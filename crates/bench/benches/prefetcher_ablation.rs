@@ -1,0 +1,71 @@
+//! Ablation: Algorithm 1 on vs off, measured in *virtual* time.
+//!
+//! Criterion here reports the real cost of the sweep machinery; the bench
+//! additionally prints the virtual-runtime ratio between a sequential
+//! out-of-core sweep with the prefetcher enabled and one with it disabled
+//! — the mechanism behind Fig. 8's flat region.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_formats::DataUrl;
+
+const PAGE: u64 = 16 * 1024;
+const PAGES: u64 = 128;
+
+/// One full sequential sweep over a backend-resident vector; returns the
+/// virtual duration.
+fn sweep(prefetch: bool) -> u64 {
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+    let rt = Runtime::new(
+        &cluster,
+        RuntimeConfig::memory_only(PAGE * 4).with_page_size(PAGE),
+    );
+    let obj = rt.backends().open(&DataUrl::parse("obj://ab/pf.bin").unwrap()).unwrap();
+    obj.write_at(0, &vec![1u8; (PAGES * PAGE) as usize]).unwrap();
+    let (out, _) = cluster.run_once(move |p| {
+        let mut opts = VecOptions::new().pcache(PAGE * 8);
+        if !prefetch {
+            opts = opts.no_prefetch();
+        }
+        let v: MmVec<u64> = MmVec::open(&rt, p, "obj://ab/pf.bin", opts).unwrap();
+        let t0 = p.now();
+        let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::ReadOnly);
+        let mut buf = vec![0u64; 2048];
+        let mut i = 0u64;
+        let mut acc = 0u64;
+        while i < v.len() {
+            let n = 2048.min((v.len() - i) as usize);
+            v.read_into(p, i, &mut buf[..n]).unwrap();
+            acc = acc.wrapping_add(buf[0]);
+            // Some per-chunk compute for the prefetcher to overlap with.
+            p.compute_flops(n as u64 * 40);
+            i += n as u64;
+        }
+        v.tx_end(p, tx);
+        black_box(acc);
+        p.now() - t0
+    });
+    out
+}
+
+fn bench_prefetcher(c: &mut Criterion) {
+    let with = sweep(true);
+    let without = sweep(false);
+    println!(
+        "\nprefetcher ablation (virtual time): with = {:.3} ms, without = {:.3} ms, \
+         speedup = {:.2}x\n",
+        with as f64 / 1e6,
+        without as f64 / 1e6,
+        without as f64 / with as f64
+    );
+    assert!(with < without, "prefetching must hide stage-in stalls");
+
+    let mut g = c.benchmark_group("prefetcher_ablation");
+    g.bench_function("sweep_with_prefetch", |b| b.iter(|| black_box(sweep(true))));
+    g.bench_function("sweep_without_prefetch", |b| b.iter(|| black_box(sweep(false))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_prefetcher);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmark: MemoryTask writer throughput through the runtime.
+//!
+//! Measures small-diff tasks (low-latency pool) and full-page tasks
+//! (high-latency pool), i.e. the §III-B scheduler's two QoS classes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+
+const PAGE: u64 = 64 * 1024;
+
+fn bench_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_throughput");
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("small_diff_tasks", |b| {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE));
+        cluster.run_once(|p| {
+            let v: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://sched-small",
+                VecOptions::new().len(PAGE / 8 * 8).pcache(PAGE * 16),
+            )
+            .unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                // One small store + commit = one low-latency writer task.
+                let tx = v.tx_begin(p, TxKind::seq(i % v.len(), 1), Access::WriteGlobal);
+                v.store(p, &tx, i % v.len(), i);
+                v.tx_end(p, tx);
+                i += 1;
+            });
+        });
+    });
+
+    g.throughput(Throughput::Bytes(PAGE));
+    g.bench_function("full_page_tasks", |b| {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE));
+        cluster.run_once(|p| {
+            let elems = PAGE / 8;
+            let v: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://sched-big",
+                VecOptions::new().len(elems * 8).pcache(PAGE * 16),
+            )
+            .unwrap();
+            let vals = vec![42u64; elems as usize];
+            let mut page = 0u64;
+            b.iter(|| {
+                let start = (page % 8) * elems;
+                let tx = v.tx_begin(p, TxKind::seq(start, elems), Access::WriteGlobal);
+                v.write_slice(p, start, &vals).unwrap();
+                v.tx_end(p, tx);
+                page += 1;
+            });
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmark: DMSH blob placement, demotion and organization.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use megammap_sim::DeviceSpec;
+use megammap_tiered::{BlobId, Dmsh};
+
+const BLOB: usize = 16 * 1024;
+
+fn dmsh() -> Dmsh {
+    Dmsh::new(
+        "bench",
+        vec![
+            DeviceSpec::dram(64 * BLOB as u64),
+            DeviceSpec::nvme(512 * BLOB as u64),
+            DeviceSpec::hdd(1 << 30),
+        ],
+    )
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tier_placement");
+    g.throughput(Throughput::Bytes(BLOB as u64));
+
+    g.bench_function("put_fits_dram", |b| {
+        let d = dmsh();
+        let data = Bytes::from(vec![0u8; BLOB]);
+        let mut i = 0u64;
+        b.iter(|| {
+            // Round-robin over the DRAM capacity: overwrites, no demotion.
+            let id = BlobId::new(1, i % 64);
+            i += 1;
+            black_box(d.put(i, id, data.clone(), 0.5, 0, false).unwrap())
+        });
+    });
+
+    g.bench_function("put_with_demotion", |b| {
+        let d = dmsh();
+        let data = Bytes::from(vec![0u8; BLOB]);
+        let mut i = 0u64;
+        b.iter(|| {
+            // Fresh blobs forever: DRAM overflows and cold blobs demote.
+            let id = BlobId::new(1, i);
+            i += 1;
+            black_box(d.put(i, id, data.clone(), 1.0, 0, false).unwrap())
+        });
+    });
+
+    g.bench_function("get_resident", |b| {
+        let d = dmsh();
+        let data = Bytes::from(vec![0u8; BLOB]);
+        for i in 0..64 {
+            d.put(0, BlobId::new(1, i), data.clone(), 0.5, 0, false).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let id = BlobId::new(1, i % 64);
+            i += 1;
+            black_box(d.get(u64::MAX / 2, id).unwrap().0.len())
+        });
+    });
+
+    g.bench_function("organize_pass", |b| {
+        let d = dmsh();
+        let data = Bytes::from(vec![0u8; BLOB]);
+        for i in 0..256 {
+            d.put(0, BlobId::new(1, i), data.clone(), (i % 10) as f32 / 10.0, 0, false)
+                .unwrap();
+        }
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 1;
+            black_box(d.organize(t, 0.8))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 4 — application code volume, MegaMmap vs original designs.
+//!
+//! The paper reports each MegaMmap application at 45% – 2× fewer lines than
+//! its original (Spark/MPI) counterpart, because "all I/O partitioning,
+//! I/O compatibility, and most messaging is removed". This harness counts
+//! the per-variant application sources of this repository with the
+//! cloc-like counter (tests and shared algorithm kernels excluded on both
+//! sides).
+
+use megammap_bench::loc::count_files;
+use megammap_bench::table::Table;
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../workloads/src");
+    let apps: [(&str, Vec<String>, Vec<String>, &str); 4] = [
+        (
+            "KMeans",
+            vec![format!("{root}/kmeans/mega.rs")],
+            vec![format!("{root}/kmeans/spark.rs"), format!("{root}/loader.rs")],
+            "Spark",
+        ),
+        (
+            "Random Forest",
+            vec![format!("{root}/rf/mega.rs")],
+            vec![format!("{root}/rf/spark.rs"), format!("{root}/loader.rs")],
+            "Spark",
+        ),
+        (
+            "DBSCAN",
+            vec![format!("{root}/dbscan/mega.rs")],
+            vec![format!("{root}/dbscan/mpi.rs"), format!("{root}/loader.rs")],
+            "MPI",
+        ),
+        (
+            "Gray-Scott",
+            vec![format!("{root}/gray_scott/mega.rs")],
+            vec![format!("{root}/gray_scott/mpi.rs"), format!("{root}/io_baselines.rs")],
+            "MPI+I/O",
+        ),
+    ];
+
+    let mut t = Table::new(&["app", "megammap_loc", "original_loc", "original_kind", "ratio"]);
+    for (name, mega, orig, kind) in apps {
+        let mega_refs: Vec<&str> = mega.iter().map(|s| s.as_str()).collect();
+        let orig_refs: Vec<&str> = orig.iter().map(|s| s.as_str()).collect();
+        let (m, counted_m) = count_files(&mega_refs);
+        let (o, counted_o) = count_files(&orig_refs);
+        assert!(!counted_m.is_empty() && !counted_o.is_empty(), "sources missing for {name}");
+        t.row(vec![
+            name.to_string(),
+            m.to_string(),
+            o.to_string(),
+            kind.to_string(),
+            format!("{:.2}", o as f64 / m as f64),
+        ]);
+    }
+    println!("Fig. 4 — application lines of code (cloc-like count, tests excluded)");
+    println!("{}", t.render());
+    println!("CSV:\n{}", t.to_csv());
+    megammap_bench::save_csv("fig4_loc", &t.to_csv());
+    println!(
+        "Paper shape: MegaMmap apps are 45% - 2x smaller than the original\n\
+         designs; in this reproduction the baseline variants carry their own\n\
+         partitioning, exchange, and checkpoint-I/O code, which is the same\n\
+         structural overhead the paper attributes to the originals."
+    );
+}

@@ -1,0 +1,113 @@
+//! Fig. 6 — increasing dataset resolution through tiering.
+//!
+//! "We run Gray-Scott to produce grids of varying size ... After L = 2688,
+//! MPI-based Gray-Scott crashes due to memory overutilization. MegaMmap is
+//! unbounded ... It's also at least 20% faster than other tiered I/O
+//! systems due to effective asynchronous data movement."
+//!
+//! Scaled sweep: the node DRAM budget is fixed; the grid grows until the
+//! MPI variants (whole slab resident, ledger-allocated) hit the simulated
+//! OOM killer while MegaMmap spills to the NVMe tier and keeps producing
+//! science. The MPI variants write the final dataset through the OrangeFS /
+//! Assise / Hermes models; MegaMmap's active stager persists during
+//! compute.
+
+use megammap::prelude::*;
+use megammap_bench::table::Table;
+use megammap_bench::{mib, save_csv, secs};
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::{DeviceSpec, MIB};
+use megammap_workloads::gray_scott::{self, mpi::MpiGs, GsConfig};
+use megammap_workloads::io_baselines::{IoBackend, IoKind};
+
+const NODES: usize = 4;
+const PPN: usize = 4;
+/// Node DRAM budget (the scaled 48 GB).
+const DRAM: u64 = 8 * MIB;
+
+fn main() {
+    let ls: Vec<usize> = std::env::var("FIG6_L")
+        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|_| vec![64, 80, 96, 112, 128]);
+    let steps = 4;
+    let mut t = Table::new(&[
+        "L", "dataset_MiB", "mega_s", "orangefs_s", "assise_s", "hermes_s", "mega_peak_MiB",
+        "mpi_need_MiB",
+    ]);
+
+    for &l in &ls {
+        let cfg = GsConfig::new(l, steps);
+        let dataset = 2 * cfg.field_bytes();
+        // Per-node need of the MPI variant: 4 arrays + halos across PPN.
+        let mpi_need = (4 * (l / (NODES * PPN)).max(1) * l * l + 4 * l * l) as u64 * 8
+            * PPN as u64;
+
+        // MegaMmap: DRAM-budgeted scache + NVMe overflow.
+        let cluster = Cluster::new(ClusterSpec::new(NODES, PPN).dram_per_node(DRAM));
+        let rt = Runtime::new(
+            &cluster,
+            RuntimeConfig::default()
+                .with_page_size(64 * 1024)
+                .with_tiers(vec![DeviceSpec::dram(DRAM), DeviceSpec::nvme(64 * MIB)]),
+        );
+        let rt2 = rt.clone();
+        let (_, mega_rep) = cluster.run(move |p| {
+            gray_scott::mega::run(
+                p,
+                &gray_scott::mega::MegaGs {
+                    rt: &rt2,
+                    cfg,
+                    pcache_bytes: MIB / 2,
+                    ckpt_url: Some(format!("obj://f6/l{l}")),
+                    tag: format!("f6-{l}"),
+                },
+            )
+        });
+        let mega_peak = rt.peak_scache_dram();
+
+        // MPI with each baseline I/O system (all share the slab-in-DRAM
+        // design, so they OOM together).
+        let mut times = Vec::new();
+        for kind in [IoKind::OrangeFs, IoKind::Assise, IoKind::Hermes] {
+            let cluster = Cluster::new(ClusterSpec::new(NODES, PPN).dram_per_node(DRAM));
+            let io = IoBackend::with_defaults(kind, NODES);
+            let (outs, rep) = cluster.run(move |p| {
+                gray_scott::mpi::run(
+                    p,
+                    &MpiGs { cfg, io: Some(io.clone()), final_ckpt: true },
+                )
+                .is_ok()
+            });
+            if outs.iter().all(|&ok| ok) {
+                times.push(secs(rep.makespan_ns));
+            } else {
+                times.push("OOM".into());
+            }
+        }
+
+        t.row(vec![
+            l.to_string(),
+            mib(dataset),
+            secs(mega_rep.makespan_ns),
+            times[0].clone(),
+            times[1].clone(),
+            times[2].clone(),
+            mib(mega_peak),
+            mib(mpi_need),
+        ]);
+        eprintln!("... completed L={l}");
+    }
+
+    println!(
+        "Fig. 6 — Gray-Scott resolution sweep ({NODES} nodes x {PPN} procs, {} MiB DRAM/node)",
+        DRAM / MIB
+    );
+    println!("{}", t.render());
+    println!("CSV:\n{}", t.to_csv());
+    save_csv("fig6_resolution", &t.to_csv());
+    println!(
+        "Paper shape: past the DRAM limit the MPI variants read OOM while\n\
+         MegaMmap keeps running on the NVMe tier; below the limit MegaMmap\n\
+         is >=20% faster than the synchronous-phase I/O systems."
+    );
+}

@@ -1,0 +1,44 @@
+//! # megammap-bench — the evaluation harness
+//!
+//! One binary per table/figure of the paper's evaluation (§IV), each
+//! printing the same rows the paper plots, as an aligned table plus CSV
+//! (also written under `results/`):
+//!
+//! | Binary | Paper element |
+//! |---|---|
+//! | `fig4_loc` | Fig. 4 — lines-of-code comparison |
+//! | `fig5_weak_scaling` | Fig. 5 — weak scaling vs Spark/MPI |
+//! | `fig6_resolution` | Fig. 6 — dataset resolution until OOM |
+//! | `fig7_tiering` | Fig. 7 — DMSH composition vs runtime and $ |
+//! | `fig8_mem_scaling` | Fig. 8 — DRAM reduction vs runtime |
+//!
+//! Criterion microbenchmarks (`cargo bench`) cover the §III-E indexing
+//! overhead claim and ablate the runtime's mechanisms (prefetcher on/off,
+//! page-fault path, scheduler, tier placement).
+
+pub mod loc;
+pub mod table;
+
+use std::io::Write;
+
+/// Write a CSV string under `results/<name>.csv` (best effort).
+pub fn save_csv(name: &str, csv: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(csv.as_bytes());
+            eprintln!("(wrote {})", path.display());
+        }
+    }
+}
+
+/// Format a nanosecond duration as seconds with 3 decimals.
+pub fn secs(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e9)
+}
+
+/// Format bytes as mebibytes with 1 decimal.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}

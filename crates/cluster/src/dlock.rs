@@ -1,0 +1,125 @@
+//! Distributed locks in virtual time.
+//!
+//! MegaMmap leaves coarse coherence to "synchronization points such as
+//! barriers and locks (similar to any MPI or PGAS program)". [`DLock`] is
+//! that lock: mutual exclusion is real (a `parking_lot` mutex serializes the
+//! critical sections of the simulated processes) and the *waiting time* is
+//! charged in virtual time — an acquirer resumes no earlier than the
+//! previous holder's virtual release time plus a network round trip.
+
+use std::sync::Arc;
+
+use megammap_sim::SimTime;
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::proc::Proc;
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Virtual time at which the previous holder released the lock.
+    free_at: SimTime,
+    /// Total acquisitions (diagnostics).
+    acquisitions: u64,
+}
+
+/// A distributed lock shared by simulated processes.
+#[derive(Debug, Clone, Default)]
+pub struct DLock {
+    state: Arc<Mutex<LockState>>,
+    /// Cost of the acquire/release message exchange, ns.
+    rpc_ns: u64,
+}
+
+/// RAII guard: releases the lock (and stamps the virtual release time) on
+/// drop.
+pub struct DLockGuard<'a> {
+    guard: Option<MutexGuard<'a, LockState>>,
+    proc: &'a Proc,
+}
+
+impl DLock {
+    /// Create a lock whose acquire costs one RDMA round trip (~5 µs).
+    pub fn new() -> Self {
+        Self { state: Arc::new(Mutex::new(LockState::default())), rpc_ns: 5_000 }
+    }
+
+    /// Create a lock with a custom RPC cost.
+    pub fn with_rpc_ns(rpc_ns: u64) -> Self {
+        Self { state: Arc::new(Mutex::new(LockState::default())), rpc_ns }
+    }
+
+    /// Acquire the lock on behalf of `p`. Blocks (in real time) until the
+    /// lock is free, then advances `p`'s clock to
+    /// `max(now, previous release) + rpc`.
+    pub fn lock<'a>(&'a self, p: &'a Proc) -> DLockGuard<'a> {
+        let st = self.state.lock();
+        let resume = st.free_at.max(p.now()) + self.rpc_ns;
+        p.advance_to(resume);
+        DLockGuard { guard: Some(st), proc: p }
+    }
+
+    /// Try to acquire without blocking; `None` if held.
+    pub fn try_lock<'a>(&'a self, p: &'a Proc) -> Option<DLockGuard<'a>> {
+        let st = self.state.try_lock()?;
+        let resume = st.free_at.max(p.now()) + self.rpc_ns;
+        p.advance_to(resume);
+        Some(DLockGuard { guard: Some(st), proc: p })
+    }
+
+    /// Number of times this lock has been acquired.
+    pub fn acquisitions(&self) -> u64 {
+        self.state.lock().acquisitions
+    }
+}
+
+impl Drop for DLockGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(mut g) = self.guard.take() {
+            g.free_at = self.proc.now();
+            g.acquisitions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::Cluster;
+    use crate::topology::ClusterSpec;
+
+    #[test]
+    fn critical_sections_serialize_in_virtual_time() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 4));
+        let lock = DLock::with_rpc_ns(100);
+        let l2 = lock.clone();
+        let (times, _) = cluster.run(move |p| {
+            let g = l2.lock(p);
+            // One millisecond of virtual work inside the critical section.
+            p.advance(1_000_000);
+            drop(g);
+            p.now()
+        });
+        let mut sorted = times.clone();
+        sorted.sort();
+        // The k-th process to get the lock finishes at >= k * (1 ms + rpc).
+        for (k, t) in sorted.iter().enumerate() {
+            assert!(
+                *t >= (k as u64 + 1) * 1_000_100,
+                "holder {k} finished at {t}, too early"
+            );
+        }
+        assert_eq!(lock.acquisitions(), 4);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1));
+        let lock = DLock::new();
+        let l2 = lock.clone();
+        let (outs, _) = cluster.run(move |p| {
+            let _g = l2.lock(p);
+            l2.try_lock(p).is_none()
+        });
+        assert!(outs[0], "try_lock must fail while the lock is held");
+    }
+}

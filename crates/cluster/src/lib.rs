@@ -1,0 +1,37 @@
+//! # megammap-cluster — simulated cluster & MPI-like substrate
+//!
+//! The paper evaluates MegaMmap with up to 1536 MPI processes over 32 nodes.
+//! This crate is the from-scratch substitute: a [`Cluster`] spawns SPMD
+//! "processes" as OS threads, each owning a virtual [`Clock`]
+//! (from `megammap-sim`) and a [`Proc`] context that provides:
+//!
+//! * **point-to-point messaging** — typed `send`/`recv` whose payloads really
+//!   move between threads, with arrival times charged by the network model;
+//! * **collectives** — `barrier`, `bcast`, `reduce`, `allreduce`, `allgather`,
+//!   `gather`, `scatter` with MPICH-style tree/ring cost shapes;
+//! * **communicators** — `Comm::split` for the recursive process partitioning
+//!   that µDBSCAN and Random Forest perform;
+//! * **distributed locks** — virtual-time queued mutual exclusion;
+//! * **per-node DRAM ledgers** — baseline workloads allocate through these,
+//!   which is how the MPI Gray-Scott "crashes due to memory overutilization"
+//!   past L = 2688 in Fig. 6 while MegaMmap keeps running.
+//!
+//! Nothing here is MegaMmap-specific: the MPI-style baselines in
+//! `megammap-workloads` are written directly against this API, exactly as the
+//! paper's baselines are written against MPICH.
+//!
+//! [`Clock`]: megammap_sim::Clock
+
+pub mod comm;
+pub mod dlock;
+pub mod mailbox;
+pub mod proc;
+pub mod rendezvous;
+pub mod run;
+pub mod topology;
+
+pub use comm::Comm;
+pub use dlock::DLock;
+pub use proc::{MemGuard, OomError, Proc};
+pub use run::{Cluster, RunReport};
+pub use topology::ClusterSpec;

@@ -1,0 +1,134 @@
+//! Point-to-point message mailboxes.
+//!
+//! Each rank owns a [`Mailbox`]: an MPI-style matching queue. A sender
+//! deposits an [`Envelope`] carrying a type-erased payload plus the virtual
+//! arrival time computed by the network model; `recv(src, tag)` blocks (in
+//! real time) until a matching envelope exists, then hands it over. The
+//! receiver's clock is advanced to `max(now, arrival)` by the caller.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use megammap_sim::SimTime;
+use parking_lot::{Condvar, Mutex};
+
+/// Wildcard source rank (like `MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: usize = usize::MAX;
+/// Wildcard tag (like `MPI_ANY_TAG`).
+pub const ANY_TAG: u64 = u64::MAX;
+
+/// A message in flight.
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag for matching.
+    pub tag: u64,
+    /// Virtual time at which the payload is fully received.
+    pub arrival: SimTime,
+    /// Size in bytes that was charged to the network.
+    pub bytes: u64,
+    /// The payload (really moved between threads).
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// An MPI-style matching receive queue for one rank.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit an envelope and wake matching receivers.
+    pub fn deliver(&self, env: Envelope) {
+        let mut q = self.queue.lock();
+        q.push_back(env);
+        self.cv.notify_all();
+    }
+
+    /// Block until an envelope matching `(src, tag)` is available and remove
+    /// it. Matching is FIFO among candidates, per MPI ordering semantics.
+    pub fn recv_match(&self, src: usize, tag: u64) -> Envelope {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| {
+                (src == ANY_SOURCE || e.src == src) && (tag == ANY_TAG || e.tag == tag)
+            }) {
+                return q.remove(pos).expect("position just found");
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: does a matching envelope exist?
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        let q = self.queue.lock();
+        q.iter().any(|e| {
+            (src == ANY_SOURCE || e.src == src) && (tag == ANY_TAG || e.tag == tag)
+        })
+    }
+
+    /// Number of queued messages (diagnostics).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env(src: usize, tag: u64, v: i32) -> Envelope {
+        Envelope { src, tag, arrival: 0, bytes: 4, payload: Box::new(v) }
+    }
+
+    #[test]
+    fn matches_by_src_and_tag() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 7, 10));
+        mb.deliver(env(2, 7, 20));
+        mb.deliver(env(1, 8, 30));
+        let e = mb.recv_match(2, 7);
+        assert_eq!(*e.payload.downcast::<i32>().unwrap(), 20);
+        let e = mb.recv_match(1, 8);
+        assert_eq!(*e.payload.downcast::<i32>().unwrap(), 30);
+        let e = mb.recv_match(1, 7);
+        assert_eq!(*e.payload.downcast::<i32>().unwrap(), 10);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn wildcards_match_fifo() {
+        let mb = Mailbox::new();
+        mb.deliver(env(3, 1, 1));
+        mb.deliver(env(4, 2, 2));
+        let e = mb.recv_match(ANY_SOURCE, ANY_TAG);
+        assert_eq!(e.src, 3, "FIFO among candidates");
+        assert!(mb.probe(4, ANY_TAG));
+        assert!(!mb.probe(3, ANY_TAG));
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            let e = mb2.recv_match(0, 0);
+            *e.payload.downcast::<i32>().unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.deliver(env(0, 0, 99));
+        assert_eq!(h.join().unwrap(), 99);
+    }
+}

@@ -1,0 +1,337 @@
+//! The per-process context handed to SPMD workload code.
+
+use std::fmt;
+use std::sync::Arc;
+
+use megammap_sim::clock::Clock;
+use megammap_sim::{CpuModel, MemoryLedger, NetworkModel, SimTime};
+
+use crate::comm::Comm;
+use crate::mailbox::{Envelope, Mailbox};
+use crate::topology::ClusterSpec;
+
+/// Shared, immutable-after-spawn cluster state.
+pub(crate) struct ClusterState {
+    pub(crate) spec: ClusterSpec,
+    pub(crate) net: NetworkModel,
+    /// Per-node DRAM ledgers used by baseline (non-DSM) allocations.
+    pub(crate) node_mem: Vec<MemoryLedger>,
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) clocks: Vec<Arc<Clock>>,
+}
+
+impl ClusterState {
+    pub(crate) fn new(spec: ClusterSpec) -> Self {
+        let n = spec.nprocs();
+        Self {
+            net: NetworkModel::new(spec.nodes, spec.link),
+            node_mem: (0..spec.nodes).map(|_| MemoryLedger::new(spec.dram_per_node)).collect(),
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            clocks: (0..n).map(|_| Arc::new(Clock::new())).collect(),
+            spec,
+        }
+    }
+}
+
+/// Error raised when a baseline allocation exceeds a node's DRAM.
+///
+/// This is the simulation's stand-in for the Linux OOM killer: "the default
+/// behavior of Linux is to terminate programs overutilizing memory" (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    /// Node that ran out of memory.
+    pub node: usize,
+    /// Bytes the allocation requested.
+    pub requested: u64,
+    /// Bytes that were available on the node.
+    pub available: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulated OOM kill on node {}: requested {} B, {} B available",
+            self.node, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// RAII guard for a baseline DRAM allocation; frees the ledger on drop.
+pub struct MemGuard {
+    state: Arc<ClusterState>,
+    node: usize,
+    bytes: u64,
+}
+
+impl MemGuard {
+    /// Size of this allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Grow the allocation in place.
+    pub fn grow(&mut self, extra: u64) -> Result<(), OomError> {
+        let ledger = &self.state.node_mem[self.node];
+        ledger.alloc(extra).map_err(|e| OomError {
+            node: self.node,
+            requested: extra,
+            available: e.available,
+        })?;
+        self.bytes += extra;
+        Ok(())
+    }
+}
+
+impl Drop for MemGuard {
+    fn drop(&mut self) {
+        self.state.node_mem[self.node].free(self.bytes);
+    }
+}
+
+/// The context of one simulated SPMD process.
+///
+/// A `Proc` is created by [`Cluster::run`](crate::run::Cluster::run) and
+/// passed to the workload closure; it owns the process's virtual clock and
+/// exposes communication, compute charging, and memory allocation.
+pub struct Proc {
+    pub(crate) state: Arc<ClusterState>,
+    pub(crate) rank: usize,
+    pub(crate) world: Comm,
+}
+
+impl Proc {
+    pub(crate) fn new(state: Arc<ClusterState>, rank: usize, world: Comm) -> Self {
+        Self { state, rank, world }
+    }
+
+    /// This process's rank in the world communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of processes.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.state.spec.nprocs()
+    }
+
+    /// The node hosting this process.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.state.spec.node_of(self.rank)
+    }
+
+    /// The world communicator (all ranks).
+    pub fn world(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// The cluster specification.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.state.spec
+    }
+
+    /// The network model (shared with the DSM runtime).
+    pub fn net(&self) -> &NetworkModel {
+        &self.state.net
+    }
+
+    /// This process's virtual clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.state.clocks[self.rank]
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock().now()
+    }
+
+    /// Advance this process's clock by `ns`.
+    #[inline]
+    pub fn advance(&self, ns: u64) {
+        self.clock().advance(ns);
+    }
+
+    /// Wait (in virtual time) until `t`.
+    #[inline]
+    pub fn advance_to(&self, t: SimTime) {
+        self.clock().advance_to(t);
+    }
+
+    /// The per-process CPU model.
+    pub fn cpu(&self) -> CpuModel {
+        self.state.spec.cpu
+    }
+
+    /// Charge `flops` floating-point operations of compute.
+    #[inline]
+    pub fn compute_flops(&self, flops: u64) {
+        self.advance(self.cpu().flops_ns(flops));
+    }
+
+    /// Charge a streaming pass over `bytes` of memory.
+    #[inline]
+    pub fn stream_bytes(&self, bytes: u64) {
+        self.advance(self.cpu().mem_ns(bytes));
+    }
+
+    /// Charge a memcpy of `bytes`.
+    #[inline]
+    pub fn memcpy(&self, bytes: u64) {
+        self.advance(self.cpu().memcpy_ns(bytes));
+    }
+
+    // ---- point-to-point messaging -------------------------------------
+
+    /// Send `value` (logically `bytes` long) to `dst` with `tag`. The send
+    /// is asynchronous: the sender is only charged the injection overhead;
+    /// the transfer occupies NIC timelines and the arrival time rides along
+    /// in the envelope.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T, bytes: u64) {
+        let now = self.now();
+        let src_node = self.node();
+        let dst_node = self.state.spec.node_of(dst);
+        let arrival = self.state.net.transfer(now, src_node, dst_node, bytes);
+        // Sender-side injection cost: a memcpy into the transport.
+        self.advance(self.cpu().memcpy_ns(bytes.min(64 * 1024)));
+        self.state.mailboxes[dst].deliver(Envelope {
+            src: self.rank,
+            tag,
+            arrival,
+            bytes,
+            payload: Box::new(value),
+        });
+    }
+
+    /// Blocking receive of a `T` from `src` with `tag` (wildcards in
+    /// [`crate::mailbox`]). Panics if the matched payload has the wrong type
+    /// — a protocol error in SPMD code.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        let env = self.state.mailboxes[self.rank].recv_match(src, tag);
+        self.advance_to(env.arrival);
+        *env.payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("recv type mismatch from rank {} tag {}", src, tag))
+    }
+
+    /// Receive returning the sender too (for `ANY_SOURCE` receives).
+    pub fn recv_any<T: Send + 'static>(&self, tag: u64) -> (usize, T) {
+        let env = self.state.mailboxes[self.rank].recv_match(crate::mailbox::ANY_SOURCE, tag);
+        self.advance_to(env.arrival);
+        let src = env.src;
+        (src, *env.payload.downcast::<T>().expect("recv_any type mismatch"))
+    }
+
+    // ---- baseline memory accounting ------------------------------------
+
+    /// Allocate `bytes` of node DRAM for baseline data structures; the
+    /// allocation is charged against the node's ledger and returns an OOM
+    /// error when the node's memory would be over-utilized.
+    pub fn alloc(&self, bytes: u64) -> Result<MemGuard, OomError> {
+        let node = self.node();
+        self.state.node_mem[node].alloc(bytes).map_err(|e| OomError {
+            node,
+            requested: bytes,
+            available: e.available,
+        })?;
+        Ok(MemGuard { state: self.state.clone(), node, bytes })
+    }
+
+    /// Peak DRAM observed on this process's node so far.
+    pub fn node_peak_mem(&self) -> u64 {
+        self.state.node_mem[self.node()].peak()
+    }
+
+    /// The DRAM ledger of this process's node.
+    pub fn node_mem(&self) -> &MemoryLedger {
+        &self.state.node_mem[self.node()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::Cluster;
+
+    #[test]
+    fn ranks_and_nodes_visible() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 2));
+        let (ranks, _) = cluster.run(|p| (p.rank(), p.node(), p.nprocs()));
+        assert_eq!(ranks, vec![(0, 0, 4), (1, 0, 4), (2, 1, 4), (3, 1, 4)]);
+    }
+
+    #[test]
+    fn send_recv_moves_data_and_time() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 1));
+        let (out, _) = cluster.run(|p| {
+            if p.rank() == 0 {
+                p.send(1, 0, vec![1u8, 2, 3], 3 * 1024 * 1024);
+                0u64
+            } else {
+                let v: Vec<u8> = p.recv(0, 0);
+                assert_eq!(v, vec![1, 2, 3]);
+                p.now()
+            }
+        });
+        // Receiver's clock advanced by the transfer time of 3 MiB over RDMA.
+        assert!(out[1] > 500_000, "recv time was {}", out[1]);
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1));
+        let (out, report) = cluster.run(|p| {
+            p.compute_flops(2_000_000_000);
+            p.now()
+        });
+        assert_eq!(out[0], megammap_sim::NS_PER_SEC);
+        assert_eq!(report.makespan_ns, megammap_sim::NS_PER_SEC);
+    }
+
+    #[test]
+    fn oom_fires_at_node_capacity() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 2).dram_per_node(1000));
+        let (out, _) = cluster.run(|p| {
+            // Both procs on node 0 share the ledger; together they exceed it.
+            let g = p.alloc(400);
+            p.world().barrier(p);
+            let g2 = p.alloc(400);
+            p.world().barrier(p);
+            (g.is_ok(), g2.is_err())
+        });
+        // First allocations fit (800 <= 1000); second round cannot.
+        assert!(out.iter().all(|&(a, _)| a));
+        assert!(out.iter().any(|&(_, b)| b), "at least one proc must OOM");
+    }
+
+    #[test]
+    fn memguard_frees_on_drop() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1000));
+        let (out, report) = cluster.run(|p| {
+            {
+                let _g = p.alloc(800).unwrap();
+                assert_eq!(p.node_mem().used(), 800);
+            }
+            p.node_mem().used()
+        });
+        assert_eq!(out[0], 0);
+        assert_eq!(report.node_peak_mem[0], 800);
+    }
+
+    #[test]
+    fn memguard_grow() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1000));
+        let (out, _) = cluster.run(|p| {
+            let mut g = p.alloc(100).unwrap();
+            g.grow(200).unwrap();
+            assert!(g.grow(10_000).is_err());
+            g.bytes()
+        });
+        assert_eq!(out[0], 300);
+    }
+}

@@ -1,0 +1,181 @@
+//! Spawning SPMD jobs and collecting run reports.
+
+use std::sync::Arc;
+
+use megammap_sim::NetworkModel;
+
+use crate::comm::Comm;
+use crate::proc::{ClusterState, Proc};
+use crate::topology::ClusterSpec;
+
+/// Aggregate statistics of one SPMD run — the rows the paper's `pymonitor`
+/// + Jarvis pipeline would write to `stats_dict.csv`.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual makespan: the maximum clock over all processes at exit.
+    pub makespan_ns: u64,
+    /// Per-rank virtual finish times.
+    pub rank_times: Vec<u64>,
+    /// Peak baseline DRAM per node (bytes).
+    pub node_peak_mem: Vec<u64>,
+    /// Total bytes that crossed the inter-node network.
+    pub net_bytes: u64,
+}
+
+impl RunReport {
+    /// Makespan in seconds.
+    pub fn makespan_secs(&self) -> f64 {
+        megammap_sim::clock::ns_to_secs(self.makespan_ns)
+    }
+
+    /// Peak DRAM over all nodes (bytes).
+    pub fn peak_mem(&self) -> u64 {
+        self.node_peak_mem.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A simulated cluster ready to run SPMD jobs.
+pub struct Cluster {
+    state: Arc<ClusterState>,
+}
+
+impl Cluster {
+    /// Build a cluster from a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self { state: Arc::new(ClusterState::new(spec)) }
+    }
+
+    /// The cluster spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.state.spec
+    }
+
+    /// The network model (shared with higher layers, e.g. the DSM runtime).
+    pub fn net(&self) -> &NetworkModel {
+        &self.state.net
+    }
+
+    /// Run `f` as one process per rank; returns per-rank results (in rank
+    /// order) plus the [`RunReport`].
+    ///
+    /// Each process is an OS thread. Panics in any process propagate.
+    pub fn run<F, R>(&self, f: F) -> (Vec<R>, RunReport)
+    where
+        F: Fn(&Proc) -> R + Send + Sync,
+        R: Send,
+    {
+        let n = self.state.spec.nprocs();
+        let world = Comm::world(&self.state);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let state = self.state.clone();
+                let world = world.clone();
+                let f = &f;
+                handles.push(s.spawn(move |_| {
+                    let p = Proc::new(state, rank, world);
+                    *slot = Some(f(&p));
+                }));
+            }
+            for h in handles {
+                h.join().expect("simulated process panicked");
+            }
+        })
+        .expect("cluster scope");
+        let results: Vec<R> =
+            results.into_iter().map(|r| r.expect("every rank produced a result")).collect();
+        let rank_times: Vec<u64> = self.state.clocks.iter().map(|c| c.now()).collect();
+        let report = RunReport {
+            makespan_ns: rank_times.iter().copied().max().unwrap_or(0),
+            rank_times,
+            node_peak_mem: self.state.node_mem.iter().map(|m| m.peak()).collect(),
+            net_bytes: self.state.net.total_bytes(),
+        };
+        (results, report)
+    }
+
+    /// Run `f` once on a single-process cluster, allowing a mutably
+    /// capturing closure (useful for benchmark harnesses that drive a
+    /// `Bencher` from inside the simulated process).
+    ///
+    /// Panics if the cluster has more than one process.
+    pub fn run_once<F, R>(&self, f: F) -> (R, RunReport)
+    where
+        F: FnOnce(&Proc) -> R + Send,
+        R: Send,
+    {
+        assert_eq!(
+            self.state.spec.nprocs(),
+            1,
+            "run_once requires a single-process cluster"
+        );
+        let world = Comm::world(&self.state);
+        let mut out: Option<R> = None;
+        crossbeam::thread::scope(|s| {
+            let state = self.state.clone();
+            let slot = &mut out;
+            s.spawn(move |_| {
+                let p = Proc::new(state, 0, world);
+                *slot = Some(f(&p));
+            })
+            .join()
+            .expect("simulated process panicked");
+        })
+        .expect("cluster scope");
+        let rank_times: Vec<u64> = self.state.clocks.iter().map(|c| c.now()).collect();
+        let report = RunReport {
+            makespan_ns: rank_times.iter().copied().max().unwrap_or(0),
+            rank_times,
+            node_peak_mem: self.state.node_mem.iter().map(|m| m.peak()).collect(),
+            net_bytes: self.state.net.total_bytes(),
+        };
+        (out.expect("closure ran"), report)
+    }
+
+    /// Reset clocks, ledgers and network between repetitions.
+    pub fn reset(&self) {
+        for c in &self.state.clocks {
+            c.reset();
+        }
+        for m in &self.state.node_mem {
+            m.reset();
+        }
+        self.state.net.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_makespan_and_peaks() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 1).dram_per_node(10_000));
+        let (_, report) = cluster.run(|p| {
+            let _g = p.alloc(1000 * (p.rank() as u64 + 1)).unwrap();
+            p.advance(500 + p.rank() as u64);
+        });
+        assert_eq!(report.makespan_ns, 501);
+        assert_eq!(report.rank_times, vec![500, 501]);
+        assert_eq!(report.node_peak_mem, vec![1000, 2000]);
+        assert_eq!(report.peak_mem(), 2000);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 2));
+        let (_, r1) = cluster.run(|p| p.advance(100));
+        assert_eq!(r1.makespan_ns, 100);
+        cluster.reset();
+        let (_, r2) = cluster.run(|p| p.advance(50));
+        assert_eq!(r2.makespan_ns, 50, "clocks must restart from zero");
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 3));
+        let (out, _) = cluster.run(|p| p.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Cluster shape: nodes, processes per node, hardware profiles.
+
+use megammap_sim::{CpuModel, LinkProfile, GIB};
+
+/// Describes the simulated cluster an experiment runs on.
+///
+/// Defaults mirror one compute rack of the paper's testbed at 1/1000 scale:
+/// 48 MB DRAM per node standing in for 48 GB, RDMA over 40 GbE, Xeon-class
+/// cores.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// SPMD processes placed on each node (the paper runs 48 per node; the
+    /// scaled experiments default to fewer so thread counts stay sane).
+    pub procs_per_node: usize,
+    /// Inter-node transport profile.
+    pub link: LinkProfile,
+    /// Per-process compute model.
+    pub cpu: CpuModel,
+    /// DRAM capacity per node in bytes, enforced on baseline allocations.
+    pub dram_per_node: u64,
+}
+
+impl ClusterSpec {
+    /// A small default cluster: 4 nodes × 4 procs, RDMA, 48 MB DRAM/node.
+    pub fn new(nodes: usize, procs_per_node: usize) -> Self {
+        Self {
+            nodes,
+            procs_per_node,
+            link: LinkProfile::rdma_40g(),
+            cpu: CpuModel::native(),
+            dram_per_node: 48 * 1024 * 1024,
+        }
+    }
+
+    /// Override the DRAM capacity per node.
+    pub fn dram_per_node(mut self, bytes: u64) -> Self {
+        self.dram_per_node = bytes;
+        self
+    }
+
+    /// Override the network link profile.
+    pub fn link(mut self, link: LinkProfile) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Override the CPU model.
+    pub fn cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// A full-scale analog of the paper's testbed node (used in docs/tests):
+    /// 48 GB DRAM.
+    pub fn paper_rack(nodes: usize, procs_per_node: usize) -> Self {
+        Self::new(nodes, procs_per_node).dram_per_node(48 * GIB)
+    }
+
+    /// Total process count.
+    pub fn nprocs(&self) -> usize {
+        self.nodes * self.procs_per_node
+    }
+
+    /// Node that hosts `rank` (block distribution, like `mpirun -ppn`).
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.procs_per_node
+    }
+
+    /// Ranks hosted on `node`.
+    pub fn ranks_on(&self, node: usize) -> std::ops::Range<usize> {
+        node * self.procs_per_node..(node + 1) * self.procs_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_rank_mapping() {
+        let s = ClusterSpec::new(4, 3);
+        assert_eq!(s.nprocs(), 12);
+        assert_eq!(s.node_of(0), 0);
+        assert_eq!(s.node_of(2), 0);
+        assert_eq!(s.node_of(3), 1);
+        assert_eq!(s.node_of(11), 3);
+        assert_eq!(s.ranks_on(1), 3..6);
+    }
+
+    #[test]
+    fn builders_override() {
+        let s = ClusterSpec::new(2, 2)
+            .dram_per_node(123)
+            .link(LinkProfile::tcp_10g())
+            .cpu(CpuModel::jvm());
+        assert_eq!(s.dram_per_node, 123);
+        assert_eq!(s.link, LinkProfile::tcp_10g());
+        assert!((s.cpu.slowdown - 1.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Per-vector creation options.
+
+/// Options for creating/attaching a [`MmVec`](crate::vector::MmVec).
+#[derive(Debug, Clone, Default)]
+pub struct VecOptions {
+    /// Page size override (bytes); defaults to the runtime configuration.
+    /// "Users can choose a custom page size for a particular MegaMmap
+    /// vector ... immutable after the creation of the vector."
+    pub page_size: Option<u64>,
+    /// pcache bound (bytes); defaults to the runtime configuration. Can be
+    /// changed later with `bound_memory`.
+    pub pcache_bytes: Option<u64>,
+    /// Initial length in elements (ignored when attaching to an existing
+    /// vector or a non-empty persistent backend, whose size wins).
+    pub initial_len: Option<u64>,
+    /// Disable the prefetcher for this vector instance (ablation studies;
+    /// faults become fully synchronous).
+    pub no_prefetch: bool,
+}
+
+impl VecOptions {
+    /// Start from defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the page size.
+    pub fn page_size(mut self, bytes: u64) -> Self {
+        self.page_size = Some(bytes);
+        self
+    }
+
+    /// Set the pcache bound (`BoundMemory`).
+    pub fn pcache(mut self, bytes: u64) -> Self {
+        self.pcache_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the initial element count.
+    pub fn len(mut self, elems: u64) -> Self {
+        self.initial_len = Some(elems);
+        self
+    }
+
+    /// Disable prefetching (ablation).
+    pub fn no_prefetch(mut self) -> Self {
+        self.no_prefetch = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let o = VecOptions::new().page_size(4096).pcache(1 << 20).len(100);
+        assert_eq!(o.page_size, Some(4096));
+        assert_eq!(o.pcache_bytes, Some(1 << 20));
+        assert_eq!(o.initial_len, Some(100));
+    }
+}

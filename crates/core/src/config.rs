@@ -1,0 +1,460 @@
+//! Runtime configuration, including the YAML deployment file.
+//!
+//! "Applications can specify the maximum amount of DRAM and high-performance
+//! storage to use for caching using either the native C++ API or the
+//! MegaMmap configuration YAML file." This module provides both paths: a
+//! builder-style [`RuntimeConfig`] and a small YAML-subset parser
+//! ([`yaml`]) for deployment files like:
+//!
+//! ```yaml
+//! page_size: 65536
+//! default_pcache: 1048576
+//! workers_low: 2
+//! workers_high: 2
+//! tiers:
+//!   - kind: dram
+//!     capacity: 50331648
+//!   - kind: nvme
+//!     capacity: 134217728
+//! ```
+
+use megammap_sim::{DeviceSpec, TierKind, GIB, KIB, MIB};
+
+/// Configuration of a MegaMmap runtime deployment.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Default page size in bytes for new vectors (per-vector override via
+    /// [`VecOptions`](crate::client::VecOptions)).
+    pub page_size: u64,
+    /// Default pcache bound per vector instance (`BoundMemory` override).
+    pub default_pcache: u64,
+    /// Per-node DMSH tier specs, fastest first. The first tier must be DRAM
+    /// (the scache's in-memory layer).
+    pub tiers: Vec<DeviceSpec>,
+    /// Shared parallel-filesystem backend bandwidth (bytes/s) and latency;
+    /// the stager charges this for stage-in/stage-out.
+    pub pfs_bandwidth: u64,
+    /// PFS per-op latency (ns).
+    pub pfs_latency_ns: u64,
+    /// Low-latency worker pool size per node.
+    pub workers_low: usize,
+    /// High-latency worker pool size per node.
+    pub workers_high: usize,
+    /// Tasks strictly smaller than this go to the low-latency pool
+    /// (paper: 16 KiB).
+    pub low_latency_threshold: u64,
+    /// Data-Organizer period in virtual ns.
+    pub organize_interval_ns: u64,
+    /// Score-merge window: scores for the same page within this window take
+    /// the max (paper §III-B).
+    pub score_window_ns: u64,
+    /// Prefetcher `MinScore`.
+    pub min_score: f64,
+    /// Organizer demotion watermark (fraction of tier capacity to keep).
+    pub watermark: f64,
+    /// Period of the active stager: dirty pages of nonvolatile vectors are
+    /// staged to their backends at least this often during computation
+    /// ("MegaMmap actively flushes modified data to storage during periods
+    /// of computation"). `u64::MAX` disables it.
+    pub stage_interval_ns: u64,
+}
+
+impl Default for RuntimeConfig {
+    /// The paper's testbed node at 1/1000 scale: 48 MB DRAM budget, 128 MB
+    /// NVMe, 256 MB SSD, 1 GB HDD.
+    fn default() -> Self {
+        Self {
+            page_size: 64 * KIB,
+            default_pcache: 4 * MIB,
+            tiers: vec![
+                DeviceSpec::dram(48 * MIB),
+                DeviceSpec::nvme(128 * MIB),
+                DeviceSpec::ssd(256 * MIB),
+                DeviceSpec::hdd(GIB),
+            ],
+            pfs_bandwidth: 2_000 * MIB,
+            pfs_latency_ns: 100_000,
+            workers_low: 4,
+            workers_high: 4,
+            low_latency_threshold: 16 * KIB,
+            organize_interval_ns: 5_000_000,
+            score_window_ns: 1_000_000,
+            min_score: 0.05,
+            watermark: 0.9,
+            stage_interval_ns: 4_000_000,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Memory-only configuration (evaluation 1 disables tiering: "MegaMmap
+    /// is configured with no optimizations enabled and only uses memory").
+    pub fn memory_only(dram: u64) -> Self {
+        Self { tiers: vec![DeviceSpec::dram(dram)], ..Self::default() }
+    }
+
+    /// Replace the tier stack.
+    pub fn with_tiers(mut self, tiers: Vec<DeviceSpec>) -> Self {
+        self.tiers = tiers;
+        self
+    }
+
+    /// Set the default page size.
+    pub fn with_page_size(mut self, page_size: u64) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    /// Set the default pcache bound.
+    pub fn with_pcache(mut self, bytes: u64) -> Self {
+        self.default_pcache = bytes;
+        self
+    }
+
+    /// Parse a deployment YAML file (subset; see [`yaml`]).
+    pub fn from_yaml(text: &str) -> Result<Self, String> {
+        let doc = yaml::parse(text)?;
+        let mut cfg = Self::default();
+        let map = doc.as_map().ok_or("top level must be a mapping")?;
+        for (k, v) in map {
+            match k.as_str() {
+                "page_size" => cfg.page_size = v.as_u64().ok_or("page_size: int")?,
+                "default_pcache" => cfg.default_pcache = v.as_u64().ok_or("default_pcache: int")?,
+                "pfs_bandwidth" => cfg.pfs_bandwidth = v.as_u64().ok_or("pfs_bandwidth: int")?,
+                "pfs_latency_ns" => cfg.pfs_latency_ns = v.as_u64().ok_or("pfs_latency_ns: int")?,
+                "workers_low" => cfg.workers_low = v.as_u64().ok_or("workers_low: int")? as usize,
+                "workers_high" => cfg.workers_high = v.as_u64().ok_or("workers_high: int")? as usize,
+                "low_latency_threshold" => {
+                    cfg.low_latency_threshold = v.as_u64().ok_or("low_latency_threshold: int")?
+                }
+                "organize_interval_ns" => {
+                    cfg.organize_interval_ns = v.as_u64().ok_or("organize_interval_ns: int")?
+                }
+                "score_window_ns" => {
+                    cfg.score_window_ns = v.as_u64().ok_or("score_window_ns: int")?
+                }
+                "min_score" => cfg.min_score = v.as_f64().ok_or("min_score: float")?,
+                "watermark" => cfg.watermark = v.as_f64().ok_or("watermark: float")?,
+                "tiers" => {
+                    let list = v.as_list().ok_or("tiers must be a list")?;
+                    let mut tiers = Vec::new();
+                    for item in list {
+                        let m = item.as_map().ok_or("tier must be a mapping")?;
+                        let kind = m
+                            .iter()
+                            .find(|(k, _)| k == "kind")
+                            .and_then(|(_, v)| v.as_str())
+                            .ok_or("tier needs kind")?;
+                        let capacity = m
+                            .iter()
+                            .find(|(k, _)| k == "capacity")
+                            .and_then(|(_, v)| v.as_u64())
+                            .ok_or("tier needs capacity")?;
+                        let kind = match kind {
+                            "dram" => TierKind::Dram,
+                            "cxl" => TierKind::Cxl,
+                            "nvme" => TierKind::Nvme,
+                            "ssd" => TierKind::Ssd,
+                            "hdd" => TierKind::Hdd,
+                            other => return Err(format!("unknown tier kind {other:?}")),
+                        };
+                        tiers.push(DeviceSpec::preset(kind, capacity));
+                    }
+                    cfg.tiers = tiers;
+                }
+                other => return Err(format!("unknown config key {other:?}")),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Sanity-check the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.page_size == 0 || !self.page_size.is_power_of_two() {
+            return Err("page_size must be a nonzero power of two".into());
+        }
+        if self.tiers.is_empty() {
+            return Err("at least one tier required".into());
+        }
+        if self.tiers[0].kind != TierKind::Dram {
+            return Err("the first tier must be DRAM".into());
+        }
+        for w in self.tiers.windows(2) {
+            if w[0].kind >= w[1].kind {
+                return Err("tiers must be ordered fastest-first without duplicates".into());
+            }
+        }
+        if !(0.0..=1.0).contains(&self.min_score) || !(0.0..=1.0).contains(&self.watermark) {
+            return Err("min_score and watermark must be within [0,1]".into());
+        }
+        if self.workers_low == 0 || self.workers_high == 0 {
+            return Err("worker pools must be nonempty".into());
+        }
+        Ok(())
+    }
+}
+
+/// A minimal YAML-subset parser: mappings, lists, and scalars, with 2-space
+/// indentation, `#` comments, and `- ` list items whose value may be an
+/// inline mapping continued on following, deeper-indented lines.
+pub mod yaml {
+    /// A parsed YAML-subset value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Yaml {
+        /// A scalar (kept as the raw string).
+        Scalar(String),
+        /// A sequence.
+        List(Vec<Yaml>),
+        /// A mapping with insertion order preserved.
+        Map(Vec<(String, Yaml)>),
+    }
+
+    impl Yaml {
+        /// As a map, if this is one.
+        pub fn as_map(&self) -> Option<&[(String, Yaml)]> {
+            match self {
+                Yaml::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// As a list, if this is one.
+        pub fn as_list(&self) -> Option<&[Yaml]> {
+            match self {
+                Yaml::List(l) => Some(l),
+                _ => None,
+            }
+        }
+
+        /// As a string scalar.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Yaml::Scalar(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// As an unsigned integer (allows `_` separators).
+        pub fn as_u64(&self) -> Option<u64> {
+            self.as_str()?.replace('_', "").parse().ok()
+        }
+
+        /// As a float.
+        pub fn as_f64(&self) -> Option<f64> {
+            self.as_str()?.parse().ok()
+        }
+
+        /// Look up a key in a mapping.
+        pub fn get(&self, key: &str) -> Option<&Yaml> {
+            self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    struct Line {
+        indent: usize,
+        text: String,
+    }
+
+    fn lex(text: &str) -> Vec<Line> {
+        text.lines()
+            .filter_map(|raw| {
+                let no_comment = match raw.find('#') {
+                    Some(i) => &raw[..i],
+                    None => raw,
+                };
+                let trimmed = no_comment.trim_end();
+                if trimmed.trim().is_empty() {
+                    return None;
+                }
+                let indent = trimmed.len() - trimmed.trim_start().len();
+                Some(Line { indent, text: trimmed.trim_start().to_string() })
+            })
+            .collect()
+    }
+
+    /// Parse a document. Errors carry a human-readable description.
+    pub fn parse(text: &str) -> Result<Yaml, String> {
+        let lines = lex(text);
+        if lines.is_empty() {
+            return Ok(Yaml::Map(vec![]));
+        }
+        let (v, used) = parse_block(&lines, 0, lines[0].indent)?;
+        if used != lines.len() {
+            return Err(format!("trailing content at line {used}"));
+        }
+        Ok(v)
+    }
+
+    fn parse_block(lines: &[Line], start: usize, indent: usize) -> Result<(Yaml, usize), String> {
+        if start >= lines.len() {
+            return Err("unexpected end of document".into());
+        }
+        if lines[start].text.starts_with("- ") || lines[start].text == "-" {
+            parse_list(lines, start, indent)
+        } else {
+            parse_map(lines, start, indent)
+        }
+    }
+
+    fn parse_map(lines: &[Line], start: usize, indent: usize) -> Result<(Yaml, usize), String> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < lines.len() && lines[i].indent == indent && !lines[i].text.starts_with("- ") {
+            let (key, rest) = lines[i]
+                .text
+                .split_once(':')
+                .ok_or_else(|| format!("expected 'key:' at line {i}: {:?}", lines[i].text))?;
+            let key = key.trim().to_string();
+            let rest = rest.trim();
+            if rest.is_empty() {
+                // Nested block follows.
+                if i + 1 < lines.len() && lines[i + 1].indent > indent {
+                    let (v, next) = parse_block(lines, i + 1, lines[i + 1].indent)?;
+                    out.push((key, v));
+                    i = next;
+                } else {
+                    out.push((key, Yaml::Scalar(String::new())));
+                    i += 1;
+                }
+            } else {
+                out.push((key, Yaml::Scalar(rest.to_string())));
+                i += 1;
+            }
+        }
+        Ok((Yaml::Map(out), i))
+    }
+
+    fn parse_list(lines: &[Line], start: usize, indent: usize) -> Result<(Yaml, usize), String> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < lines.len() && lines[i].indent == indent && lines[i].text.starts_with('-') {
+            let rest = lines[i].text[1..].trim().to_string();
+            if rest.is_empty() {
+                // Item is a nested block.
+                if i + 1 < lines.len() && lines[i + 1].indent > indent {
+                    let (v, next) = parse_block(lines, i + 1, lines[i + 1].indent)?;
+                    out.push(v);
+                    i = next;
+                } else {
+                    out.push(Yaml::Scalar(String::new()));
+                    i += 1;
+                }
+            } else if rest.contains(':') {
+                // Inline first key of a mapping item; further keys may
+                // follow at deeper indentation.
+                let item_indent = indent + 2;
+                let mut synth = vec![Line { indent: item_indent, text: rest }];
+                let mut j = i + 1;
+                while j < lines.len()
+                    && lines[j].indent >= item_indent
+                    && !lines[j].text.starts_with("- ")
+                {
+                    synth.push(Line { indent: lines[j].indent, text: lines[j].text.clone() });
+                    j += 1;
+                }
+                let (v, used) = parse_map(&synth, 0, item_indent)?;
+                if used != synth.len() {
+                    return Err("malformed list item mapping".into());
+                }
+                out.push(v);
+                i = j;
+            } else {
+                out.push(Yaml::Scalar(rest));
+                i += 1;
+            }
+        }
+        Ok((Yaml::List(out), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates_and_mirrors_testbed() {
+        let cfg = RuntimeConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.tiers[0].kind, TierKind::Dram);
+        assert_eq!(cfg.tiers.len(), 4);
+        assert_eq!(cfg.low_latency_threshold, 16 * KIB);
+    }
+
+    #[test]
+    fn memory_only_has_single_tier() {
+        let cfg = RuntimeConfig::memory_only(100 * MIB);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.tiers.len(), 1);
+        assert_eq!(cfg.tiers[0].capacity, 100 * MIB);
+    }
+
+    #[test]
+    fn yaml_scalars_and_nesting() {
+        let doc = yaml::parse(
+            "a: 1\nb: hello  # comment\nnested:\n  x: 2\n  y: 3.5\n",
+        )
+        .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("b").unwrap().as_str(), Some("hello"));
+        assert_eq!(doc.get("nested").unwrap().get("x").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("nested").unwrap().get("y").unwrap().as_f64(), Some(3.5));
+    }
+
+    #[test]
+    fn yaml_lists() {
+        let doc = yaml::parse("items:\n  - one\n  - two\n").unwrap();
+        let list = doc.get("items").unwrap().as_list().unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[1].as_str(), Some("two"));
+    }
+
+    #[test]
+    fn yaml_list_of_mappings() {
+        let doc = yaml::parse("tiers:\n  - kind: dram\n    capacity: 100\n  - kind: nvme\n    capacity: 200\n").unwrap();
+        let list = doc.get("tiers").unwrap().as_list().unwrap();
+        assert_eq!(list[0].get("kind").unwrap().as_str(), Some("dram"));
+        assert_eq!(list[1].get("capacity").unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    fn config_from_yaml_round_trip() {
+        let cfg = RuntimeConfig::from_yaml(
+            "page_size: 4096\ndefault_pcache: 1048576\nmin_score: 0.2\ntiers:\n  - kind: dram\n    capacity: 1048576\n  - kind: hdd\n    capacity: 10485760\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.page_size, 4096);
+        assert_eq!(cfg.min_score, 0.2);
+        assert_eq!(cfg.tiers.len(), 2);
+        assert_eq!(cfg.tiers[1].kind, TierKind::Hdd);
+        assert_eq!(cfg.tiers[1].dollars_per_gb, 0.02, "presets carry paper $/GB");
+    }
+
+    #[test]
+    fn config_rejects_bad_input() {
+        assert!(RuntimeConfig::from_yaml("page_size: nope\n").is_err());
+        assert!(RuntimeConfig::from_yaml("unknown_key: 1\n").is_err());
+        assert!(
+            RuntimeConfig::from_yaml("tiers:\n  - kind: floppy\n    capacity: 10\n").is_err()
+        );
+        // Non-power-of-two page size.
+        assert!(RuntimeConfig::from_yaml("page_size: 1000\n").is_err());
+        // Tiers out of order.
+        assert!(RuntimeConfig::from_yaml(
+            "tiers:\n  - kind: nvme\n    capacity: 10\n  - kind: dram\n    capacity: 10\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn yaml_underscore_numbers() {
+        let doc = yaml::parse("n: 1_000_000\n").unwrap();
+        assert_eq!(doc.get("n").unwrap().as_u64(), Some(1_000_000));
+    }
+
+    #[test]
+    fn empty_doc_is_empty_map() {
+        let doc = yaml::parse("\n# only a comment\n").unwrap();
+        assert_eq!(doc, yaml::Yaml::Map(vec![]));
+    }
+}

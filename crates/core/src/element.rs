@@ -1,0 +1,172 @@
+//! Fixed-size element encoding.
+//!
+//! The paper: "Through C++ templating, MegaMmap can theoretically store any
+//! type of data — including complex C++ classes, so long as a serialization
+//! method is provided." [`Element`] is the Rust equivalent: a fixed-size,
+//! explicitly little-endian encoding, implemented for the primitives and
+//! easily derived for user structs with [`impl_element_struct!`].
+
+/// A value storable in a [`MmVec`](crate::vector::MmVec).
+///
+/// Encodings must be fixed-size and position-independent so pages can be
+/// staged to any backend and fragmented arbitrarily.
+pub trait Element: Clone + Send + Sync + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Encode into `buf` (exactly `SIZE` bytes).
+    fn write_to(&self, buf: &mut [u8]);
+
+    /// Decode from `buf` (exactly `SIZE` bytes).
+    fn read_from(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_element_prim {
+    ($($t:ty),*) => {$(
+        impl Element for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn write_to(&self, buf: &mut [u8]) {
+                buf[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_from(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..Self::SIZE].try_into().expect("sized"))
+            }
+        }
+    )*};
+}
+
+impl_element_prim!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl<T: Element, const N: usize> Element for [T; N] {
+    const SIZE: usize = T::SIZE * N;
+
+    #[inline]
+    fn write_to(&self, buf: &mut [u8]) {
+        for (i, v) in self.iter().enumerate() {
+            v.write_to(&mut buf[i * T::SIZE..(i + 1) * T::SIZE]);
+        }
+    }
+
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        std::array::from_fn(|i| T::read_from(&buf[i * T::SIZE..(i + 1) * T::SIZE]))
+    }
+}
+
+impl<A: Element, B: Element> Element for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+
+    #[inline]
+    fn write_to(&self, buf: &mut [u8]) {
+        self.0.write_to(&mut buf[..A::SIZE]);
+        self.1.write_to(&mut buf[A::SIZE..A::SIZE + B::SIZE]);
+    }
+
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        (A::read_from(&buf[..A::SIZE]), B::read_from(&buf[A::SIZE..A::SIZE + B::SIZE]))
+    }
+}
+
+/// Implement [`Element`] for a struct of `Element` fields.
+///
+/// ```
+/// use megammap::element::Element;
+/// use megammap::impl_element_struct;
+///
+/// #[derive(Clone, PartialEq, Debug)]
+/// struct Point3D { x: f32, y: f32, z: f32 }
+/// impl_element_struct!(Point3D { x: f32, y: f32, z: f32 });
+///
+/// let p = Point3D { x: 1.0, y: 2.0, z: 3.0 };
+/// let mut buf = [0u8; Point3D::SIZE];
+/// p.write_to(&mut buf);
+/// assert_eq!(Point3D::read_from(&buf), p);
+/// ```
+#[macro_export]
+macro_rules! impl_element_struct {
+    ($name:ident { $($field:ident : $ft:ty),+ $(,)? }) => {
+        impl $crate::element::Element for $name {
+            const SIZE: usize = 0 $(+ <$ft as $crate::element::Element>::SIZE)+;
+
+            #[inline]
+            fn write_to(&self, buf: &mut [u8]) {
+                let mut __off = 0usize;
+                $(
+                    <$ft as $crate::element::Element>::write_to(
+                        &self.$field,
+                        &mut buf[__off..__off + <$ft as $crate::element::Element>::SIZE],
+                    );
+                    __off += <$ft as $crate::element::Element>::SIZE;
+                )+
+                let _ = __off;
+            }
+
+            #[inline]
+            fn read_from(buf: &[u8]) -> Self {
+                let mut __off = 0usize;
+                $(
+                    let $field = <$ft as $crate::element::Element>::read_from(
+                        &buf[__off..__off + <$ft as $crate::element::Element>::SIZE],
+                    );
+                    __off += <$ft as $crate::element::Element>::SIZE;
+                )+
+                let _ = __off;
+                Self { $($field),+ }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Element + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.write_to(&mut buf);
+        assert_eq!(T::read_from(&buf), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42u8);
+        round_trip(-7i32);
+        round_trip(1234567890123u64);
+        round_trip(3.25f32);
+        round_trip(-2.5e300f64);
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        round_trip([1.0f32, 2.0, 3.0]);
+        round_trip((42u32, -1.5f64));
+        assert_eq!(<[f32; 3]>::SIZE, 12);
+        assert_eq!(<(u32, f64)>::SIZE, 12);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut buf = [0u8; 4];
+        0x01020304u32.write_to(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    struct Sample {
+        id: u64,
+        pos: [f32; 3],
+        label: i32,
+    }
+    impl_element_struct!(Sample { id: u64, pos: [f32; 3], label: i32 });
+
+    #[test]
+    fn struct_macro_round_trip() {
+        assert_eq!(Sample::SIZE, 8 + 12 + 4);
+        round_trip(Sample { id: 9, pos: [1.0, -2.0, 0.5], label: -3 });
+    }
+}

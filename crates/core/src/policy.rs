@@ -1,0 +1,137 @@
+//! Access intents and coherence policies (paper Fig. 3).
+//!
+//! Applications declare *how* a region will be used at `TxBegin`; the DSM
+//! picks the coherence behaviour accordingly:
+//!
+//! * **Read/Write Local** — processes touch non-overlapping regions; caches
+//!   are naturally coherent; evictions ship only modified sub-page ranges.
+//! * **Read Only Global** — data is never modified; pages may be replicated
+//!   into every node's scache (and every pcache) for locality.
+//! * **Write/Append Only Global** — ordered asynchronous writer tasks give
+//!   consistency; the application only pays a memcpy on eviction.
+//! * **Read Write Global** — strong per-page consistency via worker
+//!   hashing; multi-page atomicity needs locks/barriers (or bigger pages).
+//! * any of the above can be **Collective**, turning page distribution into
+//!   a tree like MPICH allgather.
+
+/// Declared access intent for a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Non-overlapping reads (PGAS-partitioned input scan).
+    ReadLocal,
+    /// Non-overlapping writes (each process owns its partition).
+    WriteLocal,
+    /// Globally shared, never modified (ML/DL training data).
+    ReadOnly,
+    /// Globally shared, write-only phase (simulation output).
+    WriteGlobal,
+    /// Globally shared, append-only phase (k-d tree construction).
+    AppendGlobal,
+    /// Simultaneous global reads and writes (key-value-store style).
+    ReadWriteGlobal,
+}
+
+impl Access {
+    /// Whether the transaction may read existing data.
+    pub fn reads(self) -> bool {
+        !matches!(self, Access::WriteLocal | Access::WriteGlobal | Access::AppendGlobal)
+    }
+
+    /// Whether the transaction may modify data.
+    pub fn writes(self) -> bool {
+        !matches!(self, Access::ReadLocal | Access::ReadOnly)
+    }
+
+    /// Whether regions are process-private (no cross-process sharing
+    /// within the phase).
+    pub fn is_local(self) -> bool {
+        matches!(self, Access::ReadLocal | Access::WriteLocal)
+    }
+
+    /// Whether pages read under this intent may be replicated across nodes.
+    pub fn replicable(self) -> bool {
+        matches!(self, Access::ReadOnly)
+    }
+
+    /// Whether appends are expected.
+    pub fn appends(self) -> bool {
+        matches!(self, Access::AppendGlobal)
+    }
+}
+
+/// A vector's current coherence phase, derived from the most recent
+/// transaction intents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// No transaction seen yet; conservative (no replication).
+    #[default]
+    Unknown,
+    /// Non-overlapping access phase.
+    Local,
+    /// Read-only phase — replication allowed.
+    ReadOnlyGlobal,
+    /// Write/append-only phase — ordered async tasks.
+    WriteGlobal,
+    /// Mixed read/write phase — per-page strong consistency.
+    ReadWriteGlobal,
+}
+
+impl Policy {
+    /// The phase implied by an access intent.
+    pub fn from_access(a: Access) -> Policy {
+        match a {
+            Access::ReadLocal | Access::WriteLocal => Policy::Local,
+            Access::ReadOnly => Policy::ReadOnlyGlobal,
+            Access::WriteGlobal | Access::AppendGlobal => Policy::WriteGlobal,
+            Access::ReadWriteGlobal => Policy::ReadWriteGlobal,
+        }
+    }
+
+    /// Whether switching from `self` to the phase of `next` must invalidate
+    /// read replicas ("if a region changes from read-only to write-only,
+    /// all replicas produced during reads will be invalidated").
+    pub fn transition_invalidates(self, next: Access) -> bool {
+        self == Policy::ReadOnlyGlobal && next.writes()
+    }
+
+    /// Whether replicas are permitted in this phase.
+    pub fn replicates(self) -> bool {
+        self == Policy::ReadOnlyGlobal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_predicates() {
+        assert!(Access::ReadOnly.reads());
+        assert!(!Access::ReadOnly.writes());
+        assert!(Access::ReadOnly.replicable());
+        assert!(Access::WriteLocal.writes());
+        assert!(!Access::WriteLocal.reads());
+        assert!(Access::WriteLocal.is_local());
+        assert!(Access::AppendGlobal.appends());
+        assert!(Access::ReadWriteGlobal.reads() && Access::ReadWriteGlobal.writes());
+        assert!(!Access::ReadWriteGlobal.is_local());
+    }
+
+    #[test]
+    fn phase_derivation() {
+        assert_eq!(Policy::from_access(Access::ReadLocal), Policy::Local);
+        assert_eq!(Policy::from_access(Access::ReadOnly), Policy::ReadOnlyGlobal);
+        assert_eq!(Policy::from_access(Access::AppendGlobal), Policy::WriteGlobal);
+        assert_eq!(Policy::from_access(Access::ReadWriteGlobal), Policy::ReadWriteGlobal);
+    }
+
+    #[test]
+    fn read_only_to_write_invalidates() {
+        assert!(Policy::ReadOnlyGlobal.transition_invalidates(Access::WriteGlobal));
+        assert!(Policy::ReadOnlyGlobal.transition_invalidates(Access::WriteLocal));
+        assert!(!Policy::ReadOnlyGlobal.transition_invalidates(Access::ReadOnly));
+        assert!(!Policy::Local.transition_invalidates(Access::WriteGlobal));
+        assert!(Policy::ReadOnlyGlobal.replicates());
+        assert!(!Policy::WriteGlobal.replicates());
+    }
+}

@@ -1,0 +1,168 @@
+//! The page-location directory.
+//!
+//! The runtime needs "metadata management to locate data in the DMSH" (the
+//! role Hermes plays in the paper's implementation). The directory maps
+//! each page to its **home node** (the canonical copy, where writer tasks
+//! are applied) plus any read **replicas** created under the Read-Only
+//! Global policy.
+
+use std::collections::HashMap;
+
+use megammap_tiered::BlobId;
+use parking_lot::Mutex;
+
+/// Where a page lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageLoc {
+    /// Node holding the canonical copy.
+    pub home: usize,
+    /// Nodes holding read replicas (Read-Only Global phase only).
+    pub replicas: Vec<usize>,
+}
+
+/// Cluster-wide page directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    map: Mutex<HashMap<BlobId, PageLoc>>,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Location of a page, if known.
+    pub fn lookup(&self, id: BlobId) -> Option<PageLoc> {
+        self.map.lock().get(&id).cloned()
+    }
+
+    /// Record (or return the existing) home for a page. First writer wins —
+    /// this is what pins Write-Local pages to the producing node.
+    pub fn home_or_insert(&self, id: BlobId, home: usize) -> usize {
+        self.map
+            .lock()
+            .entry(id)
+            .or_insert(PageLoc { home, replicas: Vec::new() })
+            .home
+    }
+
+    /// Add a replica node for a page (idempotent). No-op if unknown.
+    pub fn add_replica(&self, id: BlobId, node: usize) {
+        if let Some(loc) = self.map.lock().get_mut(&id) {
+            if loc.home != node && !loc.replicas.contains(&node) {
+                loc.replicas.push(node);
+            }
+        }
+    }
+
+    /// The closest copy to `node`: the node itself if it holds one, else
+    /// the home.
+    pub fn nearest_copy(&self, id: BlobId, node: usize) -> Option<usize> {
+        let map = self.map.lock();
+        let loc = map.get(&id)?;
+        if loc.home == node || loc.replicas.contains(&node) {
+            Some(node)
+        } else {
+            Some(loc.home)
+        }
+    }
+
+    /// Strip all replicas of a bucket's pages, returning `(page, node)`
+    /// pairs to invalidate (phase change from read-only to writable).
+    pub fn take_replicas(&self, bucket: u64) -> Vec<(BlobId, usize)> {
+        let mut out = Vec::new();
+        let mut map = self.map.lock();
+        for (id, loc) in map.iter_mut() {
+            if id.bucket == bucket && !loc.replicas.is_empty() {
+                for n in loc.replicas.drain(..) {
+                    out.push((*id, n));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Forget a single page (its home copy was drained to the backend).
+    pub fn remove_entry(&self, id: BlobId) -> Option<PageLoc> {
+        self.map.lock().remove(&id)
+    }
+
+    /// Forget every page of a bucket (vector destroy). Returns the entries.
+    pub fn remove_bucket(&self, bucket: u64) -> Vec<(BlobId, PageLoc)> {
+        let mut map = self.map.lock();
+        let ids: Vec<BlobId> = map.keys().filter(|b| b.bucket == bucket).copied().collect();
+        let mut out: Vec<(BlobId, PageLoc)> =
+            ids.into_iter().map(|id| (id, map.remove(&id).expect("present"))).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Number of known pages.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_writer_pins_home() {
+        let d = Directory::new();
+        assert_eq!(d.home_or_insert(BlobId::new(1, 0), 3), 3);
+        assert_eq!(d.home_or_insert(BlobId::new(1, 0), 5), 3, "home is sticky");
+    }
+
+    #[test]
+    fn replicas_tracked_and_deduped() {
+        let d = Directory::new();
+        d.home_or_insert(BlobId::new(1, 0), 0);
+        d.add_replica(BlobId::new(1, 0), 2);
+        d.add_replica(BlobId::new(1, 0), 2);
+        d.add_replica(BlobId::new(1, 0), 0); // home is never a replica
+        assert_eq!(d.lookup(BlobId::new(1, 0)).unwrap().replicas, vec![2]);
+    }
+
+    #[test]
+    fn nearest_copy_prefers_local() {
+        let d = Directory::new();
+        d.home_or_insert(BlobId::new(1, 0), 0);
+        d.add_replica(BlobId::new(1, 0), 2);
+        assert_eq!(d.nearest_copy(BlobId::new(1, 0), 2), Some(2));
+        assert_eq!(d.nearest_copy(BlobId::new(1, 0), 1), Some(0));
+        assert_eq!(d.nearest_copy(BlobId::new(9, 9), 1), None);
+    }
+
+    #[test]
+    fn take_replicas_scopes_to_bucket() {
+        let d = Directory::new();
+        d.home_or_insert(BlobId::new(1, 0), 0);
+        d.add_replica(BlobId::new(1, 0), 1);
+        d.home_or_insert(BlobId::new(2, 0), 0);
+        d.add_replica(BlobId::new(2, 0), 3);
+        let taken = d.take_replicas(1);
+        assert_eq!(taken, vec![(BlobId::new(1, 0), 1)]);
+        assert!(d.lookup(BlobId::new(1, 0)).unwrap().replicas.is_empty());
+        assert_eq!(d.lookup(BlobId::new(2, 0)).unwrap().replicas, vec![3]);
+    }
+
+    #[test]
+    fn remove_bucket_clears_entries() {
+        let d = Directory::new();
+        for i in 0..4 {
+            d.home_or_insert(BlobId::new(7, i), 0);
+        }
+        d.home_or_insert(BlobId::new(8, 0), 1);
+        let removed = d.remove_bucket(7);
+        assert_eq!(removed.len(), 4);
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,967 @@
+//! The MegaMmap runtime: scache management and MemoryTask scheduling.
+//!
+//! "Each application process is linked to the MegaMmap library, which
+//! internally stores the pcache and a queue for submitting MemoryTasks to
+//! the MegaMmap runtime, which is a process running separate from
+//! applications that manages the scache."
+//!
+//! In this reproduction the runtime is a shared object: one [`NodeRt`] per
+//! simulated node holds the node's [`Dmsh`] (the tiered scache shard) and
+//! its worker pools. MemoryTasks are not queued to real threads; instead a
+//! task submitted at virtual time *t* reserves its worker's busy-until
+//! timeline (giving per-page ordering and low/high-latency QoS separation)
+//! and the device/network timelines after it — the same arithmetic, without
+//! nondeterministic thread scheduling. The *data* movement is performed
+//! eagerly and is entirely real.
+
+pub mod directory;
+pub mod stager;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use megammap_cluster::Cluster;
+use megammap_formats::{Backends, DataObject, DataUrl, Scheme};
+use megammap_sim::{CollectiveShape, CpuModel, NetworkModel, SharedResource, SimTime};
+use megammap_tiered::{BlobId, Dmsh, DmshError};
+use parking_lot::Mutex;
+
+use crate::config::RuntimeConfig;
+use crate::error::{MmError, Result};
+use crate::policy::Policy;
+use crate::rangeset::RangeSet;
+use crate::tx::splitmix64;
+
+/// Fixed cost of constructing a MemoryTask in the library (ns).
+const TASK_CONSTRUCT_NS: u64 = 500;
+/// Worker per-task dispatch latency (ns).
+const WORKER_DISPATCH_NS: u64 = 2_000;
+/// Worker apply bandwidth. Workers serialize *dispatch* (per-task latency);
+/// the byte-proportional cost of moving data is charged on the device and
+/// network timelines, not here — charging it twice would both double-count
+/// and let fast-running processes park large future reservations that
+/// virtually-earlier operations of other processes would spuriously queue
+/// behind.
+const WORKER_BW: u64 = 0;
+
+/// Shared metadata of one vector.
+pub struct VectorMeta {
+    /// Unique vector id (the blob bucket).
+    pub id: u64,
+    /// The user key / URL string.
+    pub key: String,
+    /// Element size in bytes.
+    pub elem_size: u64,
+    /// Effective page size in bytes (a multiple of `elem_size`).
+    pub page_size: u64,
+    /// Current length in elements.
+    pub len: AtomicU64,
+    /// Current coherence phase.
+    pub policy: Mutex<Policy>,
+    /// Persistent backend, if nonvolatile.
+    pub backend: Option<Arc<dyn DataObject>>,
+    /// Whether the vector persists past destruction of the runtime.
+    pub nonvolatile: bool,
+    /// Virtual time of the last active-stager pass over this vector.
+    pub last_stage: AtomicU64,
+}
+
+impl VectorMeta {
+    /// Length in elements.
+    pub fn len_elems(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len_elems() * self.elem_size
+    }
+
+    /// Number of pages covering the current length.
+    pub fn num_pages(&self) -> u64 {
+        self.len_bytes().div_ceil(self.page_size)
+    }
+
+    /// Elements per page.
+    pub fn elems_per_page(&self) -> u64 {
+        self.page_size / self.elem_size
+    }
+}
+
+/// Per-node runtime state: the scache shard and worker pools.
+pub struct NodeRt {
+    /// The node's tiered scache shard.
+    pub dmsh: Dmsh,
+    low: Vec<SharedResource>,
+    high: Vec<SharedResource>,
+    last_organize: AtomicU64,
+    /// Sharded per-page apply locks: concurrent writer tasks to the same
+    /// page serialize their install-or-patch decision (the real-execution
+    /// counterpart of "tasks for the same page hash to the same worker").
+    apply_locks: Vec<Mutex<()>>,
+}
+
+/// Aggregate runtime statistics (diagnostics + benchmark output).
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Synchronous page faults served.
+    pub faults: AtomicU64,
+    /// Prefetch (asynchronous) page reads issued.
+    pub prefetches: AtomicU64,
+    /// Reads served from a remote node.
+    pub remote_reads: AtomicU64,
+    /// Reads served from a local replica or local home.
+    pub local_reads: AtomicU64,
+    /// Writer tasks executed.
+    pub writes: AtomicU64,
+    /// Bytes staged in from backends.
+    pub staged_in: AtomicU64,
+    /// Bytes staged out to backends.
+    pub staged_out: AtomicU64,
+    /// Tasks routed to the low-latency pool.
+    pub tasks_low: AtomicU64,
+    /// Tasks routed to the high-latency pool.
+    pub tasks_high: AtomicU64,
+    /// Replicas invalidated on phase changes.
+    pub invalidations: AtomicU64,
+}
+
+/// A snapshot of [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`Stats::faults`].
+    pub faults: u64,
+    /// See [`Stats::prefetches`].
+    pub prefetches: u64,
+    /// See [`Stats::remote_reads`].
+    pub remote_reads: u64,
+    /// See [`Stats::local_reads`].
+    pub local_reads: u64,
+    /// See [`Stats::writes`].
+    pub writes: u64,
+    /// See [`Stats::staged_in`].
+    pub staged_in: u64,
+    /// See [`Stats::staged_out`].
+    pub staged_out: u64,
+    /// See [`Stats::tasks_low`].
+    pub tasks_low: u64,
+    /// See [`Stats::tasks_high`].
+    pub tasks_high: u64,
+    /// See [`Stats::invalidations`].
+    pub invalidations: u64,
+}
+
+struct RuntimeInner {
+    cfg: RuntimeConfig,
+    nodes: Vec<NodeRt>,
+    net: NetworkModel,
+    /// The shared parallel-filesystem backend device.
+    pfs: SharedResource,
+    cpu: CpuModel,
+    backends: Backends,
+    vectors: Mutex<HashMap<String, Arc<VectorMeta>>>,
+    next_id: AtomicU64,
+    dir: directory::Directory,
+    stats: Stats,
+}
+
+/// Handle on the MegaMmap runtime (cheaply cloneable).
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl Runtime {
+    /// Deploy a runtime over a simulated cluster.
+    pub fn new(cluster: &Cluster, cfg: RuntimeConfig) -> Self {
+        cfg.validate().expect("invalid runtime config");
+        let nodes = (0..cluster.spec().nodes)
+            .map(|n| NodeRt {
+                dmsh: Dmsh::new(format!("node{n}"), cfg.tiers.clone()),
+                low: (0..cfg.workers_low)
+                    .map(|w| {
+                        SharedResource::new(format!("node{n}/wl{w}"), WORKER_DISPATCH_NS, WORKER_BW)
+                    })
+                    .collect(),
+                high: (0..cfg.workers_high)
+                    .map(|w| {
+                        SharedResource::new(format!("node{n}/wh{w}"), WORKER_DISPATCH_NS, WORKER_BW)
+                    })
+                    .collect(),
+                last_organize: AtomicU64::new(0),
+                apply_locks: (0..64).map(|_| Mutex::new(())).collect(),
+            })
+            .collect();
+        Self {
+            inner: Arc::new(RuntimeInner {
+                pfs: SharedResource::new("pfs", cfg.pfs_latency_ns, cfg.pfs_bandwidth),
+                nodes,
+                net: cluster.net().clone(),
+                cpu: cluster.spec().cpu,
+                backends: Backends::new(),
+                vectors: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+                dir: directory::Directory::new(),
+                stats: Stats::default(),
+                cfg,
+            }),
+        }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &RuntimeConfig {
+        &self.inner.cfg
+    }
+
+    /// Backend dispatch (exposed so tests/workloads can pre-populate
+    /// `mem://` or `obj://` objects).
+    pub fn backends(&self) -> &Backends {
+        &self.inner.backends
+    }
+
+    /// Number of nodes the runtime spans.
+    pub fn nodes(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// Per-node runtime state (diagnostics).
+    pub fn node(&self, n: usize) -> &NodeRt {
+        &self.inner.nodes[n]
+    }
+
+    /// Snapshot of the statistics counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.inner.stats;
+        StatsSnapshot {
+            faults: s.faults.load(Ordering::Relaxed),
+            prefetches: s.prefetches.load(Ordering::Relaxed),
+            remote_reads: s.remote_reads.load(Ordering::Relaxed),
+            local_reads: s.local_reads.load(Ordering::Relaxed),
+            writes: s.writes.load(Ordering::Relaxed),
+            staged_in: s.staged_in.load(Ordering::Relaxed),
+            staged_out: s.staged_out.load(Ordering::Relaxed),
+            tasks_low: s.tasks_low.load(Ordering::Relaxed),
+            tasks_high: s.tasks_high.load(Ordering::Relaxed),
+            invalidations: s.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Peak DRAM-tier usage across nodes (the DSM's memory footprint).
+    pub fn peak_scache_dram(&self) -> u64 {
+        self.inner.nodes.iter().map(|n| n.dmsh.device(0).ledger().peak()).max().unwrap_or(0)
+    }
+
+    // ---- vector registry -------------------------------------------------
+
+    /// Open or create the vector named by `key`. Idempotent across
+    /// processes: the first caller initializes, later callers attach.
+    pub(crate) fn open_or_create_vector(
+        &self,
+        key: &str,
+        elem_size: u64,
+        page_size_hint: Option<u64>,
+        initial_len: Option<u64>,
+    ) -> Result<Arc<VectorMeta>> {
+        let mut reg = self.inner.vectors.lock();
+        if let Some(meta) = reg.get(key) {
+            if meta.elem_size != elem_size {
+                return Err(MmError::Incompatible(format!(
+                    "vector {key:?} has element size {}, requested {elem_size}",
+                    meta.elem_size
+                )));
+            }
+            return Ok(meta.clone());
+        }
+        let url = DataUrl::parse(key)?;
+        let nonvolatile = url.scheme != Scheme::Mem;
+        let backend: Option<Arc<dyn DataObject>> = if nonvolatile {
+            Some(Arc::from(self.inner.backends.open(&url)?))
+        } else {
+            None
+        };
+        let cfg_ps = page_size_hint.unwrap_or(self.inner.cfg.page_size);
+        // Effective page size: the largest multiple of elem_size that fits,
+        // so elements never straddle pages.
+        let page_size = (cfg_ps / elem_size).max(1) * elem_size;
+        let mut len = initial_len.unwrap_or(0);
+        if let Some(b) = &backend {
+            let blen = b.len().map_err(MmError::Io)?;
+            if blen > 0 {
+                len = blen / elem_size;
+            }
+        }
+        let meta = Arc::new(VectorMeta {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            key: key.to_string(),
+            elem_size,
+            page_size,
+            len: AtomicU64::new(len),
+            policy: Mutex::new(Policy::Unknown),
+            backend,
+            nonvolatile,
+            last_stage: AtomicU64::new(0),
+        });
+        reg.insert(key.to_string(), meta.clone());
+        Ok(meta)
+    }
+
+    /// Look up an existing vector's shared metadata by key (diagnostics /
+    /// tooling; applications attach via [`MmVec::open`](crate::MmVec)).
+    pub fn lookup_vector(&self, key: &str) -> Option<Arc<VectorMeta>> {
+        self.inner.vectors.lock().get(key).cloned()
+    }
+
+    // ---- task routing ----------------------------------------------------
+
+    /// The worker a task for `(vector, page)` of `bytes` hashes to.
+    /// "MemoryTasks for the same page are hashed to the same worker";
+    /// "MemoryTasks containing less than 16KB of data will be sent to
+    /// low-latency workers".
+    fn worker(&self, node: usize, vec_id: u64, page: u64, bytes: u64) -> &SharedResource {
+        let rt = &self.inner.nodes[node];
+        let h = splitmix64(vec_id.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(page)) as usize;
+        if bytes < self.inner.cfg.low_latency_threshold {
+            self.inner.stats.tasks_low.fetch_add(1, Ordering::Relaxed);
+            &rt.low[h % rt.low.len()]
+        } else {
+            self.inner.stats.tasks_high.fetch_add(1, Ordering::Relaxed);
+            &rt.high[h % rt.high.len()]
+        }
+    }
+
+    /// Default home node for a page (hash placement for global policies).
+    fn default_home(&self, vec_id: u64, page: u64) -> usize {
+        (splitmix64(vec_id.rotate_left(17) ^ page) % self.inner.nodes.len() as u64) as usize
+    }
+
+    // ---- read path --------------------------------------------------------
+
+    /// Serve a page read for a process on `my_node` at virtual time `now`.
+    ///
+    /// Returns the full page bytes plus the virtual completion time. If
+    /// `prefetch` is true the read is asynchronous (issued now, completing
+    /// at the returned time) and counted as a prefetch. `collective` holds
+    /// the group size when the transaction carries the Collective hint.
+    pub(crate) fn read_page(
+        &self,
+        now: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        my_node: usize,
+        collective: Option<usize>,
+        prefetch: bool,
+    ) -> Result<(Vec<u8>, SimTime)> {
+        let s = &self.inner.stats;
+        if prefetch {
+            s.prefetches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            s.faults.fetch_add(1, Ordering::Relaxed);
+        }
+        let id = BlobId::new(meta.id, page);
+        let t = now + TASK_CONSTRUCT_NS;
+        if let Some(node) = self.inner.dir.nearest_copy(id, my_node) {
+            match self.read_from_node(t, meta, id, node, my_node, collective) {
+                Ok(r) => return Ok(r),
+                Err(MmError::Capacity(_)) => { /* raced with removal; fall through */ }
+                Err(e) => return Err(e),
+            }
+        }
+        // Not resident anywhere: stage in from the backend or synthesize a
+        // fresh zero page.
+        let home = self.default_home(meta.id, page);
+        let (data, ready) = stager::stage_in(self, t, meta, page, home)?;
+        self.inner.dir.home_or_insert(id, home);
+        if home != my_node {
+            let done =
+                self.finish_remote(ready, meta, id, home, my_node, data.len() as u64, collective);
+            return Ok((data.to_vec(), done));
+        }
+        s.local_reads.fetch_add(1, Ordering::Relaxed);
+        Ok((data.to_vec(), ready))
+    }
+
+    fn read_from_node(
+        &self,
+        t: SimTime,
+        meta: &VectorMeta,
+        id: BlobId,
+        node: usize,
+        my_node: usize,
+        collective: Option<usize>,
+    ) -> Result<(Vec<u8>, SimTime)> {
+        let bytes_hint = meta.page_size;
+        let w = self.worker(node, meta.id, id.blob, bytes_hint);
+        let ws = w.acquire_causal(t, 0);
+        let (data, dev_done) = self.inner.nodes[node].dmsh.get(ws, id).map_err(|e| match e {
+            DmshError::NotFound(_) => MmError::Capacity("page vanished".into()),
+            other => MmError::from(other),
+        })?;
+        if node == my_node {
+            self.inner.stats.local_reads.fetch_add(1, Ordering::Relaxed);
+            return Ok((data.to_vec(), dev_done));
+        }
+        let done =
+            self.finish_remote(dev_done, meta, id, node, my_node, data.len() as u64, collective);
+        // Replicate locally under the Read-Only Global policy so future
+        // reads are node-local.
+        if meta.policy.lock().replicates() {
+            let _ = self.inner.nodes[my_node].dmsh.put(done, id, data.clone(), 0.8, my_node, false);
+            self.inner.dir.add_replica(id, my_node);
+        }
+        Ok((data.to_vec(), done))
+    }
+
+    /// Network completion for a remote read; collective reads use a
+    /// tree-shaped distribution instead of per-process unicast.
+    fn finish_remote(
+        &self,
+        dev_done: SimTime,
+        _meta: &VectorMeta,
+        _id: BlobId,
+        src: usize,
+        dst: usize,
+        len: u64,
+        collective: Option<usize>,
+    ) -> SimTime {
+        self.inner.stats.remote_reads.fetch_add(1, Ordering::Relaxed);
+        match collective {
+            Some(n) => dev_done + self.inner.net.collective_time(CollectiveShape::Tree, n, len),
+            None => self.inner.net.transfer(dev_done, src, dst, len),
+        }
+    }
+
+    // ---- write path -------------------------------------------------------
+
+    /// Execute a writer MemoryTask: apply the `dirty` ranges of `data` (a
+    /// full page image) to the page's canonical copy. Asynchronous: the
+    /// caller has already paid the memcpy; the returned time is when the
+    /// update is applied and visible.
+    pub(crate) fn write_page_diff(
+        &self,
+        submit: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        data: &[u8],
+        dirty: &RangeSet,
+        my_node: usize,
+    ) -> Result<SimTime> {
+        if dirty.is_empty() {
+            return Ok(submit);
+        }
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let id = BlobId::new(meta.id, page);
+        let policy = *meta.policy.lock();
+        let preferred = if policy == Policy::Local {
+            my_node
+        } else {
+            self.default_home(meta.id, page)
+        };
+        let home = self.inner.dir.home_or_insert(id, preferred);
+        let bytes = dirty.covered();
+        let w = self.worker(home, meta.id, page, bytes);
+        let mut t = w.acquire_causal(submit, bytes);
+        if home != my_node {
+            t = t.max(self.inner.net.transfer(submit, my_node, home, bytes));
+        }
+        let dmsh = &self.inner.nodes[home].dmsh;
+        // Serialize install-or-patch per page so concurrent first writers
+        // of one page never clobber each other's ranges.
+        let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
+        let _guard = self.inner.nodes[home].apply_locks[shard].lock();
+        let mut done = t;
+        if dmsh.contains(id) {
+            for (s, e) in dirty.iter() {
+                done = done.max(self.put_range_with_drain(home, t, id, s, &data[s as usize..e as usize])?);
+            }
+        } else {
+            // First materialization of the page at its home: install a zero
+            // base, then apply only the trusted (dirty) ranges, so two
+            // processes writing disjoint halves of one page never clobber
+            // each other with stale bytes.
+            let mut base = vec![0u8; data.len()];
+            for (s, e) in dirty.iter() {
+                base[s as usize..e as usize].copy_from_slice(&data[s as usize..e as usize]);
+            }
+            done = self.put_with_drain(home, t, id, Bytes::from(base), 1.0, my_node, true)?;
+        }
+        self.maybe_organize(home, done);
+        self.maybe_stage(meta, done);
+        Ok(done)
+    }
+
+    /// The active stager: periodically push a nonvolatile vector's dirty
+    /// pages to its backend while the application computes, so explicit
+    /// synchronization later finds little left to do.
+    pub(crate) fn maybe_stage(&self, meta: &VectorMeta, now: SimTime) {
+        if !meta.nonvolatile {
+            return;
+        }
+        let interval = self.inner.cfg.stage_interval_ns;
+        if interval == u64::MAX {
+            return;
+        }
+        let last = meta.last_stage.load(Ordering::Relaxed);
+        if now.saturating_sub(last) >= interval
+            && meta
+                .last_stage
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            // Asynchronous: completion rides on the device/PFS timelines.
+            let _ = stager::stage_out_all(self, now, meta);
+        }
+    }
+
+    /// `Dmsh::put` with emergency stage-out when every tier is full.
+    fn put_with_drain(
+        &self,
+        node: usize,
+        t: SimTime,
+        id: BlobId,
+        data: Bytes,
+        score: f32,
+        score_node: usize,
+        dirty: bool,
+    ) -> Result<SimTime> {
+        let dmsh = &self.inner.nodes[node].dmsh;
+        let mut t = t;
+        for _ in 0..64 {
+            match dmsh.put(t, id, data.clone(), score, score_node, dirty) {
+                Ok(out) => return Ok(out.done_at),
+                Err(DmshError::Full { requested }) => {
+                    t = stager::emergency_drain(self, t, node, requested)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(MmError::Capacity("DMSH full and nothing drainable".into()))
+    }
+
+    fn put_range_with_drain(
+        &self,
+        node: usize,
+        t: SimTime,
+        id: BlobId,
+        off: u64,
+        patch: &[u8],
+    ) -> Result<SimTime> {
+        let dmsh = &self.inner.nodes[node].dmsh;
+        Ok(dmsh.put_range(t, id, off, patch)?)
+    }
+
+    // ---- scoring / organization -------------------------------------------
+
+    /// Propagate a prefetcher score to the Data Organizer.
+    pub(crate) fn rescore(&self, now: SimTime, meta: &VectorMeta, page: u64, score: f64, node: usize) {
+        let id = BlobId::new(meta.id, page);
+        if let Some(holder) = self.inner.dir.nearest_copy(id, node) {
+            self.inner.nodes[holder].dmsh.rescore(
+                now,
+                id,
+                score as f32,
+                node,
+                self.inner.cfg.score_window_ns,
+            );
+        }
+    }
+
+    /// Run the Data Organizer on `node` if its period elapsed.
+    pub(crate) fn maybe_organize(&self, node: usize, now: SimTime) {
+        let rt = &self.inner.nodes[node];
+        let last = rt.last_organize.load(Ordering::Relaxed);
+        if now.saturating_sub(last) >= self.inner.cfg.organize_interval_ns
+            && rt
+                .last_organize
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            rt.dmsh.organize(now, self.inner.cfg.watermark);
+        }
+    }
+
+    /// Tier bandwidth currently backing `page` (for Algorithm 1 scoring).
+    pub(crate) fn tier_bandwidth_of(&self, meta: &VectorMeta, page: u64, my_node: usize) -> u64 {
+        let id = BlobId::new(meta.id, page);
+        if let Some(node) = self.inner.dir.nearest_copy(id, my_node) {
+            if let Some(m) = self.inner.nodes[node].dmsh.meta_of(id) {
+                return self.inner.nodes[node].dmsh.device(m.tier).spec().bandwidth;
+            }
+        }
+        // Not resident: it would come from the PFS backend.
+        self.inner.cfg.pfs_bandwidth
+    }
+
+    // ---- persistence ------------------------------------------------------
+
+    /// Stage every dirty page of `meta` out to its backend. Returns the
+    /// virtual completion time; the caller decides whether to wait
+    /// (synchronous msync) or not (asynchronous flushing during compute).
+    pub(crate) fn flush_vector(&self, now: SimTime, meta: &VectorMeta) -> Result<SimTime> {
+        stager::stage_out_all(self, now, meta)
+    }
+
+    /// Invalidate all read replicas of a vector (phase change).
+    pub(crate) fn invalidate_replicas(&self, meta: &VectorMeta) {
+        for (id, node) in self.inner.dir.take_replicas(meta.id) {
+            self.inner.nodes[node].dmsh.remove(id);
+            self.inner.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Destroy a vector: drop every cached page and forget the key.
+    /// The persistent backend object is left intact for nonvolatile
+    /// vectors (destroying the *handle*, not the data) unless `purge`.
+    pub(crate) fn destroy_vector(&self, meta: &VectorMeta, purge: bool) -> Result<()> {
+        self.inner.dir.remove_bucket(meta.id);
+        for n in &self.inner.nodes {
+            n.dmsh.remove_bucket(meta.id);
+        }
+        self.inner.vectors.lock().remove(&meta.key);
+        if purge {
+            if let Ok(url) = DataUrl::parse(&meta.key) {
+                if url.scheme == Scheme::Mem {
+                    self.inner.backends.delete_mem(&url.path);
+                } else if let Some(b) = &meta.backend {
+                    b.set_len(0).map_err(MmError::Io)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush every nonvolatile vector (runtime termination: "Periodically
+    /// and during the termination of the runtime, the stager task will be
+    /// scheduled to serialize pages in the scache and persist them").
+    pub fn shutdown(&self, now: SimTime) -> Result<SimTime> {
+        let vecs: Vec<Arc<VectorMeta>> =
+            self.inner.vectors.lock().values().cloned().collect();
+        let mut done = now;
+        for v in vecs {
+            if v.nonvolatile {
+                done = done.max(self.flush_vector(now, &v)?);
+            }
+        }
+        Ok(done)
+    }
+
+    // ---- internals shared with the stager ----------------------------------
+
+    pub(crate) fn inner_pfs(&self) -> &SharedResource {
+        &self.inner.pfs
+    }
+
+    pub(crate) fn inner_cpu(&self) -> &CpuModel {
+        &self.inner.cpu
+    }
+
+    pub(crate) fn inner_stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    pub(crate) fn inner_node(&self, n: usize) -> &NodeRt {
+        &self.inner.nodes[n]
+    }
+
+    pub(crate) fn inner_dir(&self) -> &directory::Directory {
+        &self.inner.dir
+    }
+
+    pub(crate) fn all_vectors(&self) -> Vec<Arc<VectorMeta>> {
+        self.inner.vectors.lock().values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use megammap_cluster::ClusterSpec;
+    use megammap_sim::MIB;
+
+    fn runtime(nodes: usize) -> (Cluster, Runtime) {
+        let cluster = Cluster::new(ClusterSpec::new(nodes, 1));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(4096));
+        (cluster, rt)
+    }
+
+    #[test]
+    fn vector_registry_idempotent() {
+        let (_c, rt) = runtime(2);
+        let a = rt.open_or_create_vector("mem://v", 8, None, Some(100)).unwrap();
+        let b = rt.open_or_create_vector("mem://v", 8, None, Some(100)).unwrap();
+        assert_eq!(a.id, b.id);
+        assert!(rt.lookup_vector("mem://v").is_some());
+        match rt.open_or_create_vector("mem://v", 4, None, None) {
+            Err(MmError::Incompatible(_)) => {}
+            other => panic!("expected Incompatible, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn page_size_rounds_to_element_multiple() {
+        let (_c, rt) = runtime(1);
+        // 12-byte elements with a 4096 hint → 4092 effective.
+        let m = rt.open_or_create_vector("mem://p3", 12, None, Some(10)).unwrap();
+        assert_eq!(m.page_size % 12, 0);
+        assert_eq!(m.page_size, 4092);
+        assert_eq!(m.elems_per_page(), 341);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (_c, rt) = runtime(2);
+        let m = rt.open_or_create_vector("mem://rw", 1, None, Some(4096)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let mut data = vec![0u8; m.page_size as usize];
+        data[100..200].copy_from_slice(&[7u8; 100]);
+        let mut dirty = RangeSet::new();
+        dirty.insert(100, 200);
+        let t = rt.write_page_diff(0, &m, 0, &data, &dirty, 0).unwrap();
+        assert!(t > 0);
+        let (read, rt_done) = rt.read_page(t, &m, 0, 0, None, false).unwrap();
+        assert!(rt_done >= t);
+        assert_eq!(&read[100..200], &[7u8; 100]);
+        assert_eq!(&read[0..100], &[0u8; 100]);
+    }
+
+    #[test]
+    fn disjoint_writers_merge_on_one_page() {
+        // Two nodes write disjoint halves of page 0; the canonical page
+        // must contain both (the Read/Write Local guarantee).
+        let (_c, rt) = runtime(2);
+        let m = rt.open_or_create_vector("mem://halves", 1, None, Some(4096)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let ps = m.page_size as usize;
+        let mut d0 = vec![0u8; ps];
+        d0[..ps / 2].fill(0xAA);
+        let mut r0 = RangeSet::new();
+        r0.insert(0, ps as u64 / 2);
+        let mut d1 = vec![0u8; ps];
+        d1[ps / 2..].fill(0xBB);
+        let mut r1 = RangeSet::new();
+        r1.insert(ps as u64 / 2, ps as u64);
+        let t0 = rt.write_page_diff(0, &m, 0, &d0, &r0, 0).unwrap();
+        let t1 = rt.write_page_diff(0, &m, 0, &d1, &r1, 1).unwrap();
+        let (read, _) = rt.read_page(t0.max(t1), &m, 0, 0, None, false).unwrap();
+        assert!(read[..ps / 2].iter().all(|&b| b == 0xAA));
+        assert!(read[ps / 2..].iter().all(|&b| b == 0xBB));
+    }
+
+    #[test]
+    fn fresh_page_reads_zero() {
+        let (_c, rt) = runtime(1);
+        let m = rt.open_or_create_vector("mem://zeros", 8, None, Some(1024)).unwrap();
+        let (data, _) = rt.read_page(0, &m, 0, 0, None, false).unwrap();
+        assert!(data.iter().all(|&b| b == 0));
+        assert_eq!(data.len(), m.page_size as usize);
+    }
+
+    #[test]
+    fn remote_read_costs_more_than_local() {
+        let (_c, rt) = runtime(2);
+        let m = rt.open_or_create_vector("mem://remote", 1, None, Some(8192)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        // Node 0 writes the page (home = node 0 under Local policy).
+        let t = rt.write_page_diff(0, &m, 0, &vec![1u8; ps], &dirty, 0).unwrap();
+        let (_, local_done) = rt.read_page(t, &m, 0, 0, None, false).unwrap();
+        let (_, remote_done) = rt.read_page(t, &m, 0, 1, None, false).unwrap();
+        assert!(remote_done > local_done, "remote {remote_done} vs local {local_done}");
+        let s = rt.stats();
+        assert_eq!(s.remote_reads, 1);
+        assert!(s.local_reads >= 1);
+    }
+
+    #[test]
+    fn read_only_policy_replicates_then_invalidates() {
+        let (_c, rt) = runtime(2);
+        let m = rt.open_or_create_vector("mem://ro", 1, None, Some(8192)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        let t = rt.write_page_diff(0, &m, 0, &vec![5u8; ps], &dirty, 0).unwrap();
+        *m.policy.lock() = Policy::ReadOnlyGlobal;
+        // First remote read replicates onto node 1.
+        rt.read_page(t, &m, 0, 1, None, false).unwrap();
+        let id = BlobId::new(m.id, 0);
+        assert!(rt.inner.nodes[1].dmsh.contains(id), "replica created on node 1");
+        // Second read from node 1 is local.
+        let before = rt.stats().remote_reads;
+        rt.read_page(t + 1_000_000, &m, 0, 1, None, false).unwrap();
+        assert_eq!(rt.stats().remote_reads, before, "served by local replica");
+        // Phase change wipes the replica.
+        rt.invalidate_replicas(&m);
+        assert!(!rt.inner.nodes[1].dmsh.contains(id));
+        assert_eq!(rt.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn collective_read_charges_tree_not_unicast() {
+        let (_c, rt) = runtime(4);
+        let m = rt.open_or_create_vector("mem://coll", 1, None, Some(8192)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        let t = rt.write_page_diff(0, &m, 0, &vec![1u8; ps], &dirty, 0).unwrap();
+        let (_, coll) = rt.read_page(t, &m, 0, 1, Some(4), false).unwrap();
+        let (_, uni) = rt.read_page(t, &m, 0, 2, None, false).unwrap();
+        // Both are remote; the collective one pays log2(4)=2 message times
+        // without NIC serialization, so for one reader it is comparable,
+        // but it must not reserve the NIC (no queueing impact).
+        assert!(coll > t && uni > t);
+    }
+
+    #[test]
+    fn small_tasks_use_low_latency_pool() {
+        let (_c, rt) = runtime(1);
+        let m = rt.open_or_create_vector("mem://pools", 1, Some(65536), Some(65536)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        // A small diff (< 16 KiB) routes low; a big one routes high.
+        let ps = m.page_size as usize;
+        let mut small = RangeSet::new();
+        small.insert(0, 100);
+        rt.write_page_diff(0, &m, 0, &vec![0u8; ps], &small, 0).unwrap();
+        let mut big = RangeSet::new();
+        big.insert(0, 20_000.min(ps as u64));
+        rt.write_page_diff(0, &m, 0, &vec![0u8; ps], &big, 0).unwrap();
+        let s = rt.stats();
+        assert!(s.tasks_low >= 1);
+        assert!(s.tasks_high >= 1);
+    }
+
+    #[test]
+    fn backend_stage_in_reads_existing_file_data() {
+        let (_c, rt) = runtime(1);
+        // Pre-populate a mem:// object... mem is volatile; use obj://.
+        let url = DataUrl::parse("obj://bkt/data.bin").unwrap();
+        let obj = rt.backends().open(&url).unwrap();
+        obj.write_at(0, &vec![9u8; 5000]).unwrap();
+        let m = rt.open_or_create_vector("obj://bkt/data.bin", 1, Some(4096), None).unwrap();
+        assert_eq!(m.len_elems(), 5000);
+        let (page0, t) = rt.read_page(0, &m, 0, 0, None, false).unwrap();
+        assert!(t > 0);
+        assert!(page0.iter().all(|&b| b == 9));
+        // Page 1 covers bytes 4096..8192 but only 5000 exist: tail zeros.
+        let (page1, _) = rt.read_page(0, &m, 1, 0, None, false).unwrap();
+        assert!(page1[..904].iter().all(|&b| b == 9));
+        assert!(page1[904..].iter().all(|&b| b == 0));
+        assert!(rt.stats().staged_in > 0);
+    }
+
+    #[test]
+    fn flush_persists_dirty_pages_to_backend() {
+        let (_c, rt) = runtime(1);
+        let m = rt.open_or_create_vector("obj://bkt/out.bin", 1, Some(4096), Some(6000)).unwrap();
+        *m.policy.lock() = Policy::WriteGlobal;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        let t0 = rt.write_page_diff(0, &m, 0, &vec![3u8; ps], &dirty, 0).unwrap();
+        let mut dirty1 = RangeSet::new();
+        dirty1.insert(0, 6000 - ps as u64);
+        let t1 = rt.write_page_diff(0, &m, 1, &vec![4u8; ps], &dirty1, 0).unwrap();
+        let done = rt.flush_vector(t0.max(t1), &m).unwrap();
+        assert!(done > t0.max(t1));
+        let url = DataUrl::parse("obj://bkt/out.bin").unwrap();
+        let obj = rt.backends().open(&url).unwrap();
+        let all = megammap_formats::object::read_all(obj.as_ref()).unwrap();
+        assert_eq!(all.len(), 6000);
+        assert!(all[..ps].iter().all(|&b| b == 3));
+        assert!(all[ps..6000].iter().all(|&b| b == 4));
+        assert!(rt.stats().staged_out > 0);
+    }
+
+    #[test]
+    fn dmsh_overflow_drains_to_backend() {
+        // Tiny DMSH: a single 64 KiB DRAM tier; write 32 pages of 4 KiB
+        // to a nonvolatile vector → must emergency-stage to the backend
+        // instead of failing.
+        let cluster = Cluster::new(ClusterSpec::new(1, 1));
+        let cfg = RuntimeConfig::memory_only(64 * 1024).with_page_size(4096);
+        let rt = Runtime::new(&cluster, cfg);
+        let m = rt
+            .open_or_create_vector("obj://bkt/big.bin", 1, None, Some(32 * 4096))
+            .unwrap();
+        *m.policy.lock() = Policy::WriteGlobal;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        let mut t = 0;
+        for page in 0..32 {
+            t = rt.write_page_diff(t, &m, page, &vec![page as u8; ps], &dirty, 0).unwrap();
+        }
+        // All 32 pages readable with correct contents.
+        let done = rt.flush_vector(t, &m).unwrap();
+        for page in [0u64, 10, 31] {
+            let (data, _) = rt.read_page(done, &m, page, 0, None, false).unwrap();
+            assert!(data.iter().all(|&b| b == page as u8), "page {page}");
+        }
+        assert!(rt.stats().staged_out > 0, "overflow must have staged out");
+    }
+
+    #[test]
+    fn destroy_clears_everything() {
+        let (_c, rt) = runtime(2);
+        let m = rt.open_or_create_vector("mem://gone", 1, None, Some(4096)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        rt.write_page_diff(0, &m, 0, &vec![1u8; ps], &dirty, 0).unwrap();
+        rt.destroy_vector(&m, true).unwrap();
+        assert!(rt.lookup_vector("mem://gone").is_none());
+        assert!(rt.inner.dir.is_empty());
+        assert!(!rt.inner.nodes[0].dmsh.contains(BlobId::new(m.id, 0)));
+    }
+
+    #[test]
+    fn shutdown_flushes_nonvolatile_only() {
+        let (_c, rt) = runtime(1);
+        let nv = rt.open_or_create_vector("obj://b/nv.bin", 1, Some(4096), Some(4096)).unwrap();
+        let vol = rt.open_or_create_vector("mem://tmp", 1, Some(4096), Some(4096)).unwrap();
+        for m in [&nv, &vol] {
+            *m.policy.lock() = Policy::WriteGlobal;
+            let ps = m.page_size as usize;
+            let mut dirty = RangeSet::new();
+            dirty.insert(0, ps as u64);
+            rt.write_page_diff(0, m, 0, &vec![8u8; ps], &dirty, 0).unwrap();
+        }
+        rt.shutdown(1_000_000).unwrap();
+        let obj = rt.backends().open(&DataUrl::parse("obj://b/nv.bin").unwrap()).unwrap();
+        assert_eq!(obj.len().unwrap(), 4096);
+    }
+
+    #[test]
+    fn organize_respects_interval() {
+        let (_c, rt) = runtime(1);
+        let interval = rt.cfg().organize_interval_ns;
+        rt.maybe_organize(0, interval + 1);
+        let t1 = rt.inner.nodes[0].last_organize.load(Ordering::Relaxed);
+        assert_eq!(t1, interval + 1);
+        // Too soon: no update.
+        rt.maybe_organize(0, interval + 2);
+        assert_eq!(rt.inner.nodes[0].last_organize.load(Ordering::Relaxed), t1);
+        rt.maybe_organize(0, 3 * interval);
+        assert_eq!(rt.inner.nodes[0].last_organize.load(Ordering::Relaxed), 3 * interval);
+    }
+
+    #[test]
+    fn tier_bandwidth_reflects_residency() {
+        let (_c, rt) = runtime(1);
+        let m = rt.open_or_create_vector("mem://bw", 1, None, Some(4 * MIB)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        // Unmapped page: PFS bandwidth.
+        assert_eq!(rt.tier_bandwidth_of(&m, 0, 0), rt.cfg().pfs_bandwidth);
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        rt.write_page_diff(0, &m, 0, &vec![1u8; ps], &dirty, 0).unwrap();
+        assert_eq!(rt.tier_bandwidth_of(&m, 0, 0), rt.cfg().tiers[0].bandwidth);
+    }
+}

@@ -1,0 +1,174 @@
+//! The Data Stager: transparent (de)serialization between the scache and
+//! persistent backends.
+//!
+//! "The Data Stager is responsible for serializing, deserializing, and
+//! flushing content to the backend. The stager is an extensible component
+//! containing integrations with widely-used file formats (e.g., HDF5,
+//! Adios2, parquet) and storage services (e.g., PFS, Amazon S3)."
+//!
+//! Format dispatch happens in `megammap-formats`: a vector's URL resolves to
+//! a [`DataObject`] whose `read_at`/`write_at` hide the format's internal
+//! layout (h5lite dataset extents, pqlite column gather/scatter). This
+//! module adds the *cost model* (the shared PFS device plus serde CPU time)
+//! and the stage-in / stage-out / emergency-drain flows.
+
+use std::sync::atomic::Ordering;
+
+use bytes::Bytes;
+use megammap_sim::SimTime;
+use megammap_tiered::BlobId;
+
+use crate::error::{MmError, Result};
+use crate::runtime::{Runtime, VectorMeta};
+
+/// Read one page of `meta` from its persistent backend (or synthesize a
+/// zero page for data never written), install it in `home`'s scache shard,
+/// and return the bytes plus the completion time.
+pub(crate) fn stage_in(
+    rt: &Runtime,
+    now: SimTime,
+    meta: &VectorMeta,
+    page: u64,
+    home: usize,
+) -> Result<(Bytes, SimTime)> {
+    let ps = meta.page_size as usize;
+    let mut buf = vec![0u8; ps];
+    let mut t = now;
+    let mut from_backend = 0usize;
+    if let Some(backend) = &meta.backend {
+        from_backend = backend.read_at(page * meta.page_size, &mut buf).map_err(MmError::Io)?;
+        if from_backend > 0 {
+            // Charge the shared PFS device plus deserialization CPU.
+            t = rt.inner_pfs().acquire_causal_pipelined(now, from_backend as u64);
+            t += rt.inner_cpu().serde_ns(from_backend as u64);
+            rt.inner_stats().staged_in.fetch_add(from_backend as u64, Ordering::Relaxed);
+        }
+    }
+    let data = Bytes::from(buf);
+    if from_backend > 0 {
+        // Install in the home shard so future faults come from the DMSH.
+        // Use a middling score; the prefetcher will rescore it.
+        let id = BlobId::new(meta.id, page);
+        if let Ok(out) = rt.inner_node(home).dmsh.put(t, id, data.clone(), 0.5, home, false) {
+            t = out.done_at;
+        }
+        // If the DMSH is full, serve the page without caching it — a pure
+        // streaming read.
+    }
+    Ok((data, t))
+}
+
+/// Stage every dirty page of `meta` (across all nodes) out to its backend.
+/// Returns the completion time of the slowest page.
+pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Result<SimTime> {
+    let Some(backend) = &meta.backend else {
+        return Ok(now); // volatile vectors have nothing to persist
+    };
+    let mut done = now;
+    for node in 0..rt.nodes() {
+        let dmsh = &rt.inner_node(node).dmsh;
+        for id in dmsh.dirty_blobs() {
+            if id.bucket != meta.id {
+                continue;
+            }
+            let (data, read_done) = dmsh.get(now, id).map_err(MmError::from)?;
+            let t = stage_out_page(rt, read_done, meta, backend.as_ref(), id.blob, &data)?;
+            dmsh.mark_clean(id);
+            done = done.max(t);
+        }
+    }
+    // Trim the backend to the vector's logical length (appends may have
+    // grown it page-granularly) and persist format metadata.
+    let logical = meta.len_bytes();
+    if backend.len().map_err(MmError::Io)? > logical {
+        backend.set_len(logical).map_err(MmError::Io)?;
+    }
+    backend.flush().map_err(MmError::Io)?;
+    Ok(done)
+}
+
+/// Serialize and write one page image to the backend.
+fn stage_out_page(
+    rt: &Runtime,
+    now: SimTime,
+    meta: &VectorMeta,
+    backend: &dyn megammap_formats::DataObject,
+    page: u64,
+    data: &[u8],
+) -> Result<SimTime> {
+    // Clip the final page to the logical length so the backend never holds
+    // trailing garbage.
+    let start = page * meta.page_size;
+    let logical = meta.len_bytes();
+    if start >= logical {
+        return Ok(now);
+    }
+    let len = data.len().min((logical - start) as usize);
+    backend.write_at(start, &data[..len]).map_err(MmError::Io)?;
+    let t = now + rt.inner_cpu().serde_ns(len as u64);
+    let t = rt.inner_pfs().acquire_causal_pipelined(t, len as u64);
+    rt.inner_stats().staged_out.fetch_add(len as u64, Ordering::Relaxed);
+    Ok(t)
+}
+
+/// The DMSH on `node` is completely full and a placement of `requested`
+/// bytes failed: make room by staging out (nonvolatile, dirty) or dropping
+/// (clean) the lowest-score blobs. Returns the time the space is available.
+pub(crate) fn emergency_drain(
+    rt: &Runtime,
+    now: SimTime,
+    node: usize,
+    requested: u64,
+) -> Result<SimTime> {
+    let dmsh = &rt.inner_node(node).dmsh;
+    let mut freed = 0u64;
+    let mut done = now;
+    // Walk blobs from coldest: approximate by scanning all residents of the
+    // node; the count here is small (the DMSH is full, i.e. bounded).
+    let mut candidates: Vec<(BlobId, f32, u64, bool)> = Vec::new();
+    for vec in rt.all_vectors() {
+        for id in dmsh.blobs_of(vec.id) {
+            if let Some(m) = dmsh.meta_of(id) {
+                candidates.push((id, m.score, m.size, m.dirty));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    for (id, _score, size, dirty) in candidates {
+        if freed >= requested {
+            break;
+        }
+        let vec = match rt.all_vectors().into_iter().find(|v| v.id == id.bucket) {
+            Some(v) => v,
+            None => continue,
+        };
+        if dirty {
+            let Some(backend) = vec.backend.clone() else {
+                continue; // volatile dirty data must stay resident
+            };
+            let (data, read_done) = match dmsh.get(now, id) {
+                Ok(x) => x,
+                Err(_) => continue,
+            };
+            let t = stage_out_page(rt, read_done, &vec, backend.as_ref(), id.blob, &data)?;
+            done = done.max(t);
+        }
+        dmsh.remove(id);
+        // Keep the directory consistent: the page now lives only in the
+        // backend (or as replicas elsewhere); forget this node's copy.
+        if rt.inner_dir().nearest_copy(id, node) == Some(node) {
+            // Home copy went away; the next fault will stage in again and
+            // may pick a new home. Simplest correct move: drop the entry.
+            rt.inner_dir().remove_entry(id);
+        }
+        freed += size;
+    }
+    if freed == 0 {
+        return Err(MmError::Capacity(format!(
+            "node {node} DMSH full of volatile data; cannot free {requested} bytes"
+        )));
+    }
+    Ok(done)
+}

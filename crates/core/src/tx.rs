@@ -1,0 +1,411 @@
+//! Transactions: the user-driven access-intent API (paper Listing 2).
+//!
+//! A transaction declares the *pattern* of an upcoming access phase —
+//! sequential over a range, seeded-random over a domain, or append — plus
+//! its [`Access`] intent. The DSM counts memory accesses (`tail`); the
+//! prefetcher consumes them (`head`). `GetPages` maps access counts to the
+//! exact page regions they touch, which is what lets eviction, prefetching
+//! and coherence act on *future* knowledge instead of reacting to faults.
+
+use crate::policy::Access;
+
+/// A sub-page region (paper's `PageRegion`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRegion {
+    /// Page index within the vector.
+    pub page_idx: u64,
+    /// Byte offset within the page.
+    pub off: u64,
+    /// Bytes touched within the page.
+    pub size: u64,
+}
+
+/// The access pattern of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxKind {
+    /// Sequential over `[start, start + len)` element indices.
+    Seq {
+        /// First element.
+        start: u64,
+        /// Element count.
+        len: u64,
+    },
+    /// Seeded pseudo-random accesses within `[start, start + len)`.
+    ///
+    /// "Factors such as randomness seeds ... are used to guide data
+    /// organization decisions" — the k-th access is a pure function of
+    /// `(seed, k)`, so the DSM can predict the future of the stream.
+    Rand {
+        /// RNG seed shared with the application's own sampling.
+        seed: u64,
+        /// Domain start element.
+        start: u64,
+        /// Domain length in elements.
+        len: u64,
+    },
+    /// Appends at the vector tail starting from element `base`.
+    Append {
+        /// Element index appends start at.
+        base: u64,
+    },
+}
+
+impl TxKind {
+    /// Sequential pattern shorthand.
+    pub fn seq(start: u64, len: u64) -> Self {
+        TxKind::Seq { start, len }
+    }
+
+    /// Random pattern shorthand.
+    pub fn rand(seed: u64, start: u64, len: u64) -> Self {
+        TxKind::Rand { seed, start, len }
+    }
+
+    /// Append pattern shorthand.
+    pub fn append(base: u64) -> Self {
+        TxKind::Append { base }
+    }
+
+    /// Element index of the `k`-th access of this pattern.
+    pub fn access_index(&self, k: u64) -> u64 {
+        match *self {
+            TxKind::Seq { start, len } => start + if len == 0 { 0 } else { k % len },
+            TxKind::Rand { seed, start, len } => {
+                if len == 0 {
+                    start
+                } else {
+                    start + splitmix64(seed.wrapping_add(k)) % len
+                }
+            }
+            TxKind::Append { base } => base + k,
+        }
+    }
+
+    /// Whether an already-touched page may be touched again soon (random
+    /// patterns revisit pages; Algorithm 1 must not evict those).
+    pub fn may_retouch(&self) -> bool {
+        matches!(self, TxKind::Rand { .. })
+    }
+}
+
+/// SplitMix64: a tiny, high-quality hash for reproducible random streams.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// An active transaction on a vector (paper Listing 2's `Transaction`).
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// Access pattern.
+    pub kind: TxKind,
+    /// Declared intent.
+    pub access: Access,
+    /// Accesses acknowledged by the prefetcher.
+    pub head: u64,
+    /// Accesses performed so far.
+    pub tail: u64,
+    /// Collective group size, if the region is accessed by a process group
+    /// through the Collective hint.
+    pub collective: Option<usize>,
+    pub(crate) elem_size: u64,
+    pub(crate) page_size: u64,
+}
+
+impl Transaction {
+    pub(crate) fn new(kind: TxKind, access: Access, elem_size: u64, page_size: u64) -> Self {
+        Self { kind, access, head: 0, tail: 0, collective: None, elem_size, page_size }
+    }
+
+    /// Mark this transaction collective over a group of `n` processes.
+    pub fn collective(mut self, n: usize) -> Self {
+        self.collective = Some(n);
+        self
+    }
+
+    /// Page index holding element `elem`.
+    #[inline]
+    pub fn page_of(&self, elem: u64) -> u64 {
+        elem * self.elem_size / self.page_size
+    }
+
+    /// The page regions touched by accesses `[from, from + count)` —
+    /// the paper's `GetPages`. Consecutive same-page accesses coalesce into
+    /// one region; regions are emitted in access order.
+    pub fn get_pages(&self, from: u64, count: u64) -> Vec<PageRegion> {
+        let mut out: Vec<PageRegion> = Vec::new();
+        // Cap the work for pathological counts: beyond one region per
+        // access there is nothing new to learn.
+        for k in from..from.saturating_add(count) {
+            let elem = self.kind.access_index(k);
+            let byte = elem * self.elem_size;
+            let page_idx = byte / self.page_size;
+            let off = byte % self.page_size;
+            let size = self.elem_size;
+            if let Some(last) = out.last_mut() {
+                if last.page_idx == page_idx && last.off + last.size == off {
+                    last.size += size;
+                    continue;
+                }
+            }
+            out.push(PageRegion { page_idx, off, size });
+        }
+        out
+    }
+
+    /// Pages touched since the prefetcher last ran (`GetTouchedPages`).
+    pub fn touched_pages(&self) -> Vec<PageRegion> {
+        self.get_pages(self.head, self.tail - self.head)
+    }
+
+    /// The next `count` accesses' pages (`GetFuturePages`).
+    pub fn future_pages(&self, count: u64) -> Vec<PageRegion> {
+        self.get_pages(self.tail, count)
+    }
+
+    /// Distinct page indices among accesses `[from, from+count)`, in first-
+    /// touch order.
+    ///
+    /// Sequential and append patterns are computed arithmetically (O(pages)
+    /// instead of O(accesses)); random patterns enumerate their stream with
+    /// a bounded scan.
+    pub fn distinct_pages(&self, from: u64, count: u64) -> Vec<u64> {
+        if count == 0 {
+            return Vec::new();
+        }
+        match self.kind {
+            TxKind::Seq { start, len } => {
+                // Elements touched: start + ((from..from+count) % len),
+                // i.e. a window that may wrap around the range once.
+                if len == 0 {
+                    return vec![self.page_of(start)];
+                }
+                let first = from % len;
+                let span = count.min(len);
+                let mut out = Vec::new();
+                let mut push_range = |e0: u64, e1: u64, out: &mut Vec<u64>| {
+                    if e0 >= e1 {
+                        return;
+                    }
+                    let p0 = self.page_of(start + e0);
+                    let p1 = self.page_of(start + e1 - 1);
+                    out.extend(p0..=p1);
+                };
+                if first + span <= len {
+                    push_range(first, first + span, &mut out);
+                } else {
+                    push_range(first, len, &mut out);
+                    push_range(0, first + span - len, &mut out);
+                }
+                out.dedup();
+                // A wrap may revisit the first pages; keep first-touch order.
+                let mut seen = std::collections::HashSet::new();
+                out.retain(|p| seen.insert(*p));
+                out
+            }
+            TxKind::Append { base } => {
+                let p0 = self.page_of(base + from);
+                let p1 = self.page_of(base + from + count - 1);
+                (p0..=p1).collect()
+            }
+            TxKind::Rand { .. } => {
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                // Bounded scan: beyond this many stream entries there is
+                // nothing new to learn about upcoming pages.
+                for k in from..from.saturating_add(count.min(65_536)) {
+                    let page = self.page_of(self.kind.access_index(k));
+                    if seen.insert(page) {
+                        out.push(page);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Record one access (bumps `tail`); returns whether the access crossed
+    /// into a page not touched by the previous access — the hook point for
+    /// running the prefetcher.
+    #[inline]
+    pub fn record_access(&mut self, elem: u64) -> bool {
+        let page = self.page_of(elem);
+        let prev = if self.tail == 0 {
+            None
+        } else {
+            Some(self.page_of(self.kind.access_index(self.tail - 1)))
+        };
+        self.tail += 1;
+        prev != Some(page)
+    }
+
+    /// Elements per page for this vector.
+    pub fn elems_per_page(&self) -> u64 {
+        self.page_size / self.elem_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tx(start: u64, len: u64) -> Transaction {
+        // 8-byte elements, 64-byte pages → 8 elements per page.
+        Transaction::new(TxKind::seq(start, len), Access::ReadOnly, 8, 64)
+    }
+
+    #[test]
+    fn seq_access_indices() {
+        let k = TxKind::seq(10, 5);
+        assert_eq!(k.access_index(0), 10);
+        assert_eq!(k.access_index(4), 14);
+        // Wraps for repeated sweeps.
+        assert_eq!(k.access_index(5), 10);
+    }
+
+    #[test]
+    fn rand_is_reproducible_and_in_domain() {
+        let k = TxKind::rand(42, 100, 50);
+        let a: Vec<u64> = (0..20).map(|i| k.access_index(i)).collect();
+        let b: Vec<u64> = (0..20).map(|i| k.access_index(i)).collect();
+        assert_eq!(a, b, "same seed, same stream");
+        assert!(a.iter().all(|&x| (100..150).contains(&x)));
+        let other = TxKind::rand(43, 100, 50);
+        let c: Vec<u64> = (0..20).map(|i| other.access_index(i)).collect();
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn get_pages_coalesces_sequential_runs() {
+        let tx = seq_tx(0, 100);
+        // 16 accesses starting at access 0: elements 0..16, pages 0 and 1.
+        let regions = tx.get_pages(0, 16);
+        assert_eq!(
+            regions,
+            vec![
+                PageRegion { page_idx: 0, off: 0, size: 64 },
+                PageRegion { page_idx: 1, off: 0, size: 64 },
+            ]
+        );
+    }
+
+    #[test]
+    fn get_pages_partial_region() {
+        let tx = seq_tx(6, 100);
+        // 4 accesses from access 0: elements 6..10 → page 0 bytes 48..64,
+        // page 1 bytes 0..16.
+        let regions = tx.get_pages(0, 4);
+        assert_eq!(
+            regions,
+            vec![
+                PageRegion { page_idx: 0, off: 48, size: 16 },
+                PageRegion { page_idx: 1, off: 0, size: 16 },
+            ]
+        );
+    }
+
+    #[test]
+    fn touched_and_future_track_head_tail() {
+        let mut tx = seq_tx(0, 64);
+        for i in 0..10 {
+            tx.record_access(i);
+        }
+        assert_eq!(tx.tail, 10);
+        let touched = tx.touched_pages();
+        assert_eq!(touched[0].page_idx, 0);
+        let fut = tx.future_pages(8);
+        assert_eq!(fut.last().unwrap().page_idx, 2);
+        tx.head = tx.tail;
+        assert!(tx.touched_pages().is_empty());
+    }
+
+    #[test]
+    fn record_access_reports_page_crossings() {
+        let mut tx = seq_tx(0, 64);
+        assert!(tx.record_access(0), "first access is a crossing");
+        for i in 1..8 {
+            assert!(!tx.record_access(i), "within page 0");
+        }
+        assert!(tx.record_access(8), "into page 1");
+    }
+
+    #[test]
+    fn distinct_pages_dedups_random() {
+        let tx = Transaction::new(TxKind::rand(7, 0, 16), Access::ReadOnly, 8, 64);
+        let pages = tx.distinct_pages(0, 100);
+        // Domain is 16 elements = 2 pages; dedup must find at most 2.
+        assert!(pages.len() <= 2);
+        assert!(!pages.is_empty());
+        let mut sorted = pages.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pages.len());
+    }
+
+    #[test]
+    fn append_pattern_is_sequential_from_base() {
+        let k = TxKind::append(100);
+        assert_eq!(k.access_index(0), 100);
+        assert_eq!(k.access_index(9), 109);
+        assert!(!k.may_retouch());
+        assert!(TxKind::rand(1, 0, 10).may_retouch());
+    }
+
+    #[test]
+    fn collective_marker() {
+        let tx = seq_tx(0, 8).collective(16);
+        assert_eq!(tx.collective, Some(16));
+    }
+
+    #[test]
+    fn zero_len_domains_do_not_divide_by_zero() {
+        assert_eq!(TxKind::seq(5, 0).access_index(3), 5);
+        assert_eq!(TxKind::rand(1, 5, 0).access_index(3), 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// get_pages regions exactly tile the accessed bytes, in order,
+        /// never crossing a page boundary.
+        #[test]
+        fn regions_tile_accesses(
+            start in 0u64..1000,
+            from in 0u64..50,
+            count in 0u64..200,
+            elem_size in prop::sample::select(vec![1u64, 4, 8, 16]),
+        ) {
+            let page_size = 64u64;
+            let tx = Transaction::new(
+                TxKind::seq(start, 10_000), crate::policy::Access::ReadOnly,
+                elem_size, page_size);
+            let regions = tx.get_pages(from, count);
+            // Total size equals count * elem_size.
+            let total: u64 = regions.iter().map(|r| r.size).sum();
+            prop_assert_eq!(total, count * elem_size);
+            for r in &regions {
+                prop_assert!(r.off + r.size <= page_size, "region stays in its page");
+                prop_assert!(r.size > 0);
+            }
+            // Regions are contiguous in byte space for sequential patterns.
+            let mut pos = (start + from) * elem_size;
+            for r in &regions {
+                prop_assert_eq!(r.page_idx * page_size + r.off, pos);
+                pos += r.size;
+            }
+        }
+
+        /// Random streams stay within their declared domain.
+        #[test]
+        fn rand_stays_in_domain(seed in any::<u64>(), start in 0u64..1000, len in 1u64..500, k in 0u64..1000) {
+            let idx = TxKind::rand(seed, start, len).access_index(k);
+            prop_assert!(idx >= start && idx < start + len);
+        }
+    }
+}

@@ -1,0 +1,920 @@
+//! The shared vector: MegaMmap's user-facing abstraction.
+//!
+//! "MegaMmap implements a shared memory vector API, providing
+//! implementations of several functions and operators including array
+//! index, memory copy, acquiring current size, appending, resizing, and
+//! destroying the data container. Processes connect to the shared vector
+//! using a semantic, user-defined key common to all processes."
+//!
+//! An [`MmVec<T>`] instance is the per-process view of one shared vector:
+//! it owns a bounded [`PCache`] and an optional active [`Transaction`];
+//! the shared state (length, coherence phase, the tiered scache pages)
+//! lives behind the [`Runtime`]. All operations take the calling process's
+//! [`Proc`] so data movement is charged to the right virtual clock.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use megammap_cluster::Proc;
+use megammap_sim::SimTime;
+use parking_lot::Mutex;
+
+use crate::client::VecOptions;
+use crate::element::Element;
+use crate::error::{MmError, Result};
+use crate::pcache::{CachedPage, PCache, PCacheStats};
+use crate::policy::{Access, Policy};
+use crate::prefetch::{run_prefetcher, PrefetchEnv};
+use crate::runtime::{Runtime, VectorMeta};
+use crate::tx::{Transaction, TxKind};
+
+/// Opaque token for an active transaction (returned by
+/// [`MmVec::tx_begin`], consumed by [`MmVec::tx_end`]).
+#[derive(Debug)]
+pub struct TxHandle {
+    seq: u64,
+}
+
+/// The per-process handle on a shared MegaMmap vector.
+pub struct MmVec<T: Element> {
+    meta: Arc<VectorMeta>,
+    rt: Runtime,
+    state: Mutex<VecState>,
+    pgas: Mutex<Option<(usize, usize)>>,
+    no_prefetch: bool,
+    _t: PhantomData<T>,
+}
+
+struct VecState {
+    pcache: PCache,
+    tx: Option<Transaction>,
+    tx_seq: u64,
+    /// Completion time of the most recent asynchronous flush.
+    last_flush_done: SimTime,
+}
+
+impl<T: Element> MmVec<T> {
+    /// Create or attach to the shared vector named by `key` (a URL; see
+    /// [`megammap_formats::url`]). Idempotent across processes.
+    pub fn open(rt: &Runtime, _p: &Proc, key: &str, opts: VecOptions) -> Result<Self> {
+        let meta = rt.open_or_create_vector(
+            key,
+            T::SIZE as u64,
+            opts.page_size,
+            opts.initial_len,
+        )?;
+        let pcache_cap = opts.pcache_bytes.unwrap_or(rt.cfg().default_pcache);
+        Ok(Self {
+            meta: meta.clone(),
+            rt: rt.clone(),
+            state: Mutex::new(VecState {
+                pcache: PCache::new(meta.page_size, pcache_cap),
+                tx: None,
+                tx_seq: 0,
+                last_flush_done: 0,
+            }),
+            pgas: Mutex::new(None),
+            no_prefetch: opts.no_prefetch,
+            _t: PhantomData,
+        })
+    }
+
+    /// Current length in elements.
+    pub fn len(&self) -> u64 {
+        self.meta.len_elems()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The vector's key.
+    pub fn key(&self) -> &str {
+        &self.meta.key
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.meta.page_size
+    }
+
+    /// Bound the DRAM this process may use for the vector (`BoundMemory`).
+    pub fn bound_memory(&self, bytes: u64) {
+        self.state.lock().pcache.set_cap(bytes);
+    }
+
+    /// Resize to `elems` elements (growing reads as zero).
+    pub fn resize(&self, elems: u64) {
+        self.meta.len.store(elems, std::sync::atomic::Ordering::Release);
+    }
+
+    /// pcache statistics for this process's view.
+    pub fn cache_stats(&self) -> PCacheStats {
+        self.state.lock().pcache.stats()
+    }
+
+    /// The shared metadata (id, policy phase, ...).
+    pub fn meta(&self) -> &Arc<VectorMeta> {
+        &self.meta
+    }
+
+    // ---- PGAS partitioning ------------------------------------------------
+
+    /// Declare the PGAS block partition: this process owns the `rank`-th of
+    /// `nprocs` equal slices (paper: `pts.Pgas(rank, nprocs)`).
+    pub fn pgas(&self, _p: &Proc, rank: usize, nprocs: usize) {
+        assert!(rank < nprocs, "rank {rank} out of {nprocs}");
+        *self.pgas.lock() = Some((rank, nprocs));
+    }
+
+    /// First element of this process's partition (`local_off`).
+    pub fn local_off(&self) -> u64 {
+        let (rank, n) = self.pgas.lock().expect("call pgas() first");
+        self.len() * rank as u64 / n as u64
+    }
+
+    /// Length of this process's partition (`local_size`).
+    pub fn local_len(&self) -> u64 {
+        let (rank, n) = self.pgas.lock().expect("call pgas() first");
+        let len = self.len();
+        len * (rank as u64 + 1) / n as u64 - len * rank as u64 / n as u64
+    }
+
+    /// The element range this process owns.
+    pub fn local_range(&self) -> std::ops::Range<u64> {
+        let off = self.local_off();
+        off..off + self.local_len()
+    }
+
+    // ---- transactions -----------------------------------------------------
+
+    /// Begin a transaction (`TxBegin`): declare the access pattern and
+    /// intent of the upcoming phase. Runs the coherence phase transition
+    /// (invalidating replicas when leaving a read-only phase) and an
+    /// initial prefetcher pass.
+    pub fn tx_begin(&self, p: &Proc, kind: TxKind, access: Access) -> TxHandle {
+        {
+            let mut pol = self.meta.policy.lock();
+            if pol.transition_invalidates(access) {
+                drop(pol);
+                self.rt.invalidate_replicas(&self.meta);
+                pol = self.meta.policy.lock();
+            }
+            *pol = Policy::from_access(access);
+        }
+        let mut st = self.state.lock();
+        assert!(st.tx.is_none(), "a transaction is already active on {:?}", self.meta.key);
+        st.tx_seq += 1;
+        let seq = st.tx_seq;
+        // Pages left over from earlier transactions become reclaimable so
+        // this transaction's working set can displace them.
+        st.pcache.age_all();
+        // Entering a globally-reading phase: locally cached pages may be
+        // stale (other processes committed to the scache since we cached
+        // them), so drop them. Dirty pages are committed first. Local-read
+        // phases keep the cache: PGAS ownership guarantees nobody else
+        // wrote our partition.
+        if access.reads() && !access.is_local() {
+            self.commit_dirty(p, &mut st);
+            // Keep pages this process itself fully wrote (and committed) in
+            // the immediately preceding transaction: their local copies are
+            // the canonical content. Everything else may be stale.
+            let prev = st.tx_seq - 1;
+            st.pcache.drop_stale(prev);
+        }
+        let mut tx = Transaction::new(kind, access, T::SIZE as u64, self.meta.page_size);
+        // Initial prefetch: warm the pipeline before the first access.
+        if access.reads() {
+            self.run_prefetch(p, &mut st, &mut tx);
+        }
+        st.tx = Some(tx);
+        TxHandle { seq }
+    }
+
+    /// Begin a collective transaction over a group of `group` processes
+    /// (the Collective hint: tree-shaped distribution).
+    pub fn tx_begin_collective(
+        &self,
+        p: &Proc,
+        kind: TxKind,
+        access: Access,
+        group: usize,
+    ) -> TxHandle {
+        let h = self.tx_begin(p, kind, access);
+        let mut st = self.state.lock();
+        if let Some(tx) = st.tx.as_mut() {
+            tx.collective = Some(group);
+        }
+        h
+    }
+
+    /// End the transaction (`TxEnd`): commit all unflushed modifications as
+    /// asynchronous writer tasks (the process pays only the memcpy).
+    pub fn tx_end(&self, p: &Proc, tx: TxHandle) {
+        let mut st = self.state.lock();
+        assert_eq!(
+            st.tx.as_ref().map(|_| st.tx_seq),
+            Some(tx.seq),
+            "tx_end with a stale transaction handle"
+        );
+        self.commit_dirty(p, &mut st);
+        st.tx = None;
+    }
+
+    // ---- element access ---------------------------------------------------
+
+    /// Read element `i` (array-index operator).
+    pub fn load(&self, p: &Proc, _tx: &TxHandle, i: u64) -> T {
+        self.try_load(p, i).expect("load failed")
+    }
+
+    /// Read element `i`, surfacing errors.
+    pub fn try_load(&self, p: &Proc, i: u64) -> Result<T> {
+        let len = self.len();
+        if i >= len {
+            return Err(MmError::OutOfBounds { index: i, len });
+        }
+        let mut st = self.state.lock();
+        let page = i * T::SIZE as u64 / self.meta.page_size;
+        let off = (i * T::SIZE as u64 % self.meta.page_size) as usize;
+        let crossed = match st.tx.as_mut() {
+            Some(tx) => tx.record_access(i),
+            None => false,
+        };
+        let cp = self.page_for_read(p, &mut st, page)?;
+        let val = T::read_from(&cp.data[off..off + T::SIZE]);
+        // The per-access overhead: a DRAM touch of one element.
+        p.advance(p.cpu().mem_ns(T::SIZE as u64));
+        if crossed {
+            self.prefetch_tick(p, &mut st);
+        }
+        Ok(val)
+    }
+
+    /// Write element `i` (mutable array-index operator).
+    pub fn store(&self, p: &Proc, _tx: &TxHandle, i: u64, v: T) {
+        self.try_store(p, i, v).expect("store failed")
+    }
+
+    /// Write element `i`, surfacing errors.
+    pub fn try_store(&self, p: &Proc, i: u64, v: T) -> Result<()> {
+        let len = self.len();
+        if i >= len {
+            return Err(MmError::OutOfBounds { index: i, len });
+        }
+        let mut st = self.state.lock();
+        let page = i * T::SIZE as u64 / self.meta.page_size;
+        let off = i * T::SIZE as u64 % self.meta.page_size;
+        let (crossed, reads) = match st.tx.as_mut() {
+            Some(tx) => (tx.record_access(i), tx.access.reads()),
+            None => (false, true),
+        };
+        let cp = if reads {
+            // Read-modify-write intent: the rest of the page must be valid.
+            self.page_for_read(p, &mut st, page)?
+        } else {
+            // Write-only intent: copy-on-write into a fresh local page,
+            // no fault needed ("Processes write to their local pcache
+            // first and have their own view of data").
+            self.page_for_write(p, &mut st, page)?
+        };
+        v.write_to(&mut cp.data[off as usize..off as usize + T::SIZE]);
+        cp.dirty.insert(off, off + T::SIZE as u64);
+        p.advance(p.cpu().mem_ns(T::SIZE as u64));
+        if crossed {
+            self.prefetch_tick(p, &mut st);
+        }
+        Ok(())
+    }
+
+    /// Append a value; returns its index. Concurrent appends from multiple
+    /// processes receive distinct indices (atomic reservation).
+    pub fn append(&self, p: &Proc, _tx: &TxHandle, v: T) -> u64 {
+        let i = self.meta.len.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        let mut st = self.state.lock();
+        let reads = match st.tx.as_mut() {
+            Some(tx) => {
+                tx.record_access(i);
+                tx.access.reads()
+            }
+            None => true,
+        };
+        let page = i * T::SIZE as u64 / self.meta.page_size;
+        let off = i * T::SIZE as u64 % self.meta.page_size;
+        // Under a reading intent the rest of the page must stay valid for
+        // later loads, so fault it in; append-only intents may take the
+        // cheap copy-on-write zero page.
+        let cp = if reads {
+            self.page_for_read(p, &mut st, page).expect("append page")
+        } else {
+            self.page_for_write(p, &mut st, page).expect("append page")
+        };
+        v.write_to(&mut cp.data[off as usize..off as usize + T::SIZE]);
+        cp.dirty.insert(off, off + T::SIZE as u64);
+        p.advance(p.cpu().mem_ns(T::SIZE as u64));
+        i
+    }
+
+    /// Bulk read `out.len()` elements starting at `start` (memory-copy
+    /// operator). Works page-at-a-time; sequential bulk reads cost one
+    /// fault per page at most.
+    pub fn read_into(&self, p: &Proc, start: u64, out: &mut [T]) -> Result<()> {
+        let len = self.len();
+        if start + out.len() as u64 > len {
+            return Err(MmError::OutOfBounds { index: start + out.len() as u64, len });
+        }
+        let mut st = self.state.lock();
+        let esz = T::SIZE as u64;
+        let mut done = 0usize;
+        while done < out.len() {
+            let i = start + done as u64;
+            let page = i * esz / self.meta.page_size;
+            let off = (i * esz % self.meta.page_size) as usize;
+            let in_page = ((self.meta.page_size as usize - off) / T::SIZE).min(out.len() - done);
+            if let Some(tx) = st.tx.as_mut() {
+                tx.tail += in_page as u64;
+            }
+            let cp = self.page_for_read(p, &mut st, page)?;
+            for (k, slot) in out[done..done + in_page].iter_mut().enumerate() {
+                *slot = T::read_from(&cp.data[off + k * T::SIZE..off + (k + 1) * T::SIZE]);
+            }
+            p.advance(p.cpu().mem_ns((in_page * T::SIZE) as u64));
+            done += in_page;
+            self.prefetch_tick(p, &mut st);
+        }
+        Ok(())
+    }
+
+    /// Bulk write (memory-copy operator), page-at-a-time.
+    pub fn write_slice(&self, p: &Proc, start: u64, vals: &[T]) -> Result<()> {
+        let len = self.len();
+        if start + vals.len() as u64 > len {
+            return Err(MmError::OutOfBounds { index: start + vals.len() as u64, len });
+        }
+        let mut st = self.state.lock();
+        let esz = T::SIZE as u64;
+        let reads = st.tx.as_ref().map(|tx| tx.access.reads()).unwrap_or(true);
+        let mut done = 0usize;
+        while done < vals.len() {
+            let i = start + done as u64;
+            let page = i * esz / self.meta.page_size;
+            let off = (i * esz % self.meta.page_size) as usize;
+            let in_page = ((self.meta.page_size as usize - off) / T::SIZE).min(vals.len() - done);
+            if let Some(tx) = st.tx.as_mut() {
+                tx.tail += in_page as u64;
+            }
+            let cp = if reads {
+                self.page_for_read(p, &mut st, page)?
+            } else {
+                self.page_for_write(p, &mut st, page)?
+            };
+            for (k, v) in vals[done..done + in_page].iter().enumerate() {
+                v.write_to(&mut cp.data[off + k * T::SIZE..off + (k + 1) * T::SIZE]);
+            }
+            cp.dirty.insert(off as u64, (off + in_page * T::SIZE) as u64);
+            p.advance(p.cpu().mem_ns((in_page * T::SIZE) as u64));
+            done += in_page;
+            self.prefetch_tick(p, &mut st);
+        }
+        Ok(())
+    }
+
+    // ---- flushing / teardown ------------------------------------------------
+
+    /// Commit dirty pcache pages and stage the vector to its backend,
+    /// without waiting (the asynchronous flushing that overlaps compute).
+    pub fn flush_async(&self, p: &Proc) -> Result<()> {
+        let mut st = self.state.lock();
+        self.commit_dirty(p, &mut st);
+        let done = self.rt.flush_vector(p.now(), &self.meta)?;
+        st.last_flush_done = st.last_flush_done.max(done);
+        Ok(())
+    }
+
+    /// Commit dirty pages and wait until everything is persistent (msync).
+    pub fn flush_wait(&self, p: &Proc) -> Result<()> {
+        self.flush_async(p)?;
+        let done = self.state.lock().last_flush_done;
+        p.advance_to(done);
+        Ok(())
+    }
+
+    /// Wait for any previously submitted asynchronous flush to complete.
+    pub fn drain(&self, p: &Proc) {
+        let done = self.state.lock().last_flush_done;
+        p.advance_to(done);
+    }
+
+    /// Explicitly destroy the shared vector ("users must explicitly destroy
+    /// them ... to avoid the race condition where processes finish at
+    /// separate times"). `purge` also deletes persistent backend contents.
+    pub fn destroy(self, p: &Proc, purge: bool) -> Result<()> {
+        let mut st = self.state.lock();
+        st.pcache.drain();
+        st.tx = None;
+        drop(st);
+        let _ = p;
+        self.rt.destroy_vector(&self.meta, purge)
+    }
+
+    // ---- internals ----------------------------------------------------------
+
+    /// Submit every dirty page as an asynchronous writer MemoryTask. The
+    /// process pays the memcpy of the modified bytes; the task runs in the
+    /// runtime ("During an eviction, the application will only experience
+    /// the performance cost of a memory copy").
+    fn commit_dirty(&self, p: &Proc, st: &mut VecState) {
+        let seq = st.tx_seq;
+        let dirty = st.pcache.dirty_pages();
+        for page in dirty {
+            let cp = st.pcache.peek_mut(page).expect("listed dirty");
+            p.advance(p.cpu().memcpy_ns(cp.dirty.covered()));
+            let full = cp.dirty.covers(0, cp.data.len() as u64);
+            let data = std::mem::take(&mut cp.data);
+            let ranges = std::mem::take(&mut cp.dirty);
+            let _ = self
+                .rt
+                .write_page_diff(p.now(), &self.meta, page, &data, &ranges, p.node())
+                .expect("writer task");
+            let cp = st.pcache.peek_mut(page).expect("still resident");
+            cp.data = data;
+            if full {
+                cp.self_write_seq = Some(seq);
+            }
+        }
+    }
+
+    /// Ensure `page` is resident with valid contents; faults synchronously
+    /// on miss.
+    fn page_for_read<'a>(
+        &self,
+        p: &Proc,
+        st: &'a mut VecState,
+        page: u64,
+    ) -> Result<&'a mut CachedPage> {
+        if st.pcache.access(page).is_some() {
+            let cp = st.pcache.peek_mut(page).expect("just hit");
+            // Wait for an in-flight prefetch to land.
+            if cp.ready_at > p.now() {
+                p.advance_to(cp.ready_at);
+            }
+            return Ok(st.pcache.peek_mut(page).expect("hit"));
+        }
+        // Miss: make room, then fault.
+        self.make_room(p, st)?;
+        let collective = st.tx.as_ref().and_then(|tx| tx.collective);
+        let (data, done) = self.rt.read_page(p.now(), &self.meta, page, p.node(), collective, false)?;
+        p.advance_to(done);
+        // The device/worker/network charges above already model the copy
+        // into the process's buffer (the task ships the page).
+        st.pcache.insert(page, CachedPage::new(data, p.now()));
+        Ok(st.pcache.peek_mut(page).expect("just inserted"))
+    }
+
+    /// Ensure `page` is resident for write-only intent: a fresh zero page
+    /// is enough (copy-on-write; the diff ranges carry the truth).
+    fn page_for_write<'a>(
+        &self,
+        p: &Proc,
+        st: &'a mut VecState,
+        page: u64,
+    ) -> Result<&'a mut CachedPage> {
+        if st.pcache.access(page).is_some() {
+            return Ok(st.pcache.peek_mut(page).expect("hit"));
+        }
+        self.make_room(p, st)?;
+        let data = vec![0u8; self.meta.page_size as usize];
+        st.pcache.insert(page, CachedPage::new(data, p.now()));
+        Ok(st.pcache.peek_mut(page).expect("just inserted"))
+    }
+
+    /// Evict until a page fits under the bound.
+    fn make_room(&self, p: &Proc, st: &mut VecState) -> Result<()> {
+        while st.pcache.needs_eviction() && !st.pcache.is_empty() {
+            let Some(victim) = st.pcache.pick_victim() else { break };
+            self.evict_page(p, st, victim);
+        }
+        Ok(())
+    }
+
+    /// Evict one page: dirty bytes become an asynchronous writer task (the
+    /// process pays only the memcpy), clean pages are dropped.
+    fn evict_page(&self, p: &Proc, st: &mut VecState, page: u64) {
+        let Some(cp) = st.pcache.remove(page) else { return };
+        if !cp.dirty.is_empty() {
+            p.advance(p.cpu().memcpy_ns(cp.dirty.covered()));
+            let _ = self
+                .rt
+                .write_page_diff(p.now(), &self.meta, page, &cp.data, &cp.dirty, p.node())
+                .expect("eviction writer task");
+        }
+    }
+
+    fn run_prefetch(&self, p: &Proc, st: &mut VecState, tx: &mut Transaction) {
+        if self.no_prefetch {
+            tx.head = tx.tail;
+            return;
+        }
+        let mut env = VecEnv { vec: self, p, st };
+        run_prefetcher(&mut env, tx, self.rt.cfg().min_score);
+    }
+
+    fn prefetch_tick(&self, p: &Proc, st: &mut VecState) {
+        let Some(mut tx) = st.tx.take() else { return };
+        if tx.access.reads() {
+            self.run_prefetch(p, st, &mut tx);
+        } else {
+            // Write-only phases do not prefetch, but consumed pages still
+            // get evicted (scored 0) so production never blocks on space.
+            tx.head = tx.tail;
+        }
+        st.tx = Some(tx);
+    }
+}
+
+/// Adapter giving Algorithm 1 access to one vector's pcache + runtime.
+struct VecEnv<'a, T: Element> {
+    vec: &'a MmVec<T>,
+    p: &'a Proc,
+    st: &'a mut VecState,
+}
+
+impl<T: Element> PrefetchEnv for VecEnv<'_, T> {
+    fn cap(&self) -> u64 {
+        self.st.pcache.cap()
+    }
+
+    fn cur(&self) -> u64 {
+        self.st.pcache.used()
+    }
+
+    fn reclaimable(&self) -> u64 {
+        self.st.pcache.reclaimable()
+    }
+
+    fn page_size(&self) -> u64 {
+        self.vec.meta.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.vec.meta.num_pages()
+    }
+
+    fn node_id(&self) -> usize {
+        self.p.node()
+    }
+
+    fn tier_bandwidth(&self, page: u64) -> u64 {
+        self.vec.rt.tier_bandwidth_of(&self.vec.meta, page, self.p.node())
+    }
+
+    fn set_score(&mut self, page: u64, score: f64, node: usize) {
+        if let Some(cp) = self.st.pcache.peek_mut(page) {
+            cp.score = score as f32;
+        }
+        self.vec.rt.rescore(self.p.now(), &self.vec.meta, page, score, node);
+    }
+
+    fn evict(&mut self, page: u64) {
+        self.vec.evict_page(self.p, self.st, page);
+    }
+
+    fn resident(&self, page: u64) -> bool {
+        self.st.pcache.contains(page)
+    }
+
+    fn issue_prefetch(&mut self, page: u64) {
+        // Make room by evicting reclaimable pages; never displace a page
+        // the Evict phase marked hot (score 1) for a further-future one.
+        while self.st.pcache.needs_eviction() {
+            match self.st.pcache.pick_victim() {
+                Some(v) => {
+                    if self.st.pcache.peek(v).map(|cp| cp.score).unwrap_or(0.0) >= 0.99 {
+                        return; // nothing reclaimable; skip this prefetch
+                    }
+                    self.vec.evict_page(self.p, self.st, v);
+                }
+                None => break,
+            }
+        }
+        let collective = self.st.tx.as_ref().and_then(|tx| tx.collective);
+        match self.vec.rt.read_page(self.p.now(), &self.vec.meta, page, self.p.node(), collective, true)
+        {
+            Ok((data, ready_at)) => {
+                let mut cp = CachedPage::new(data, ready_at);
+                cp.prefetched = true;
+                self.st.pcache.insert(page, cp);
+            }
+            Err(_) => { /* prefetch is best-effort */ }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use megammap_cluster::{Cluster, ClusterSpec};
+
+    fn fixture(nodes: usize, procs: usize) -> (Cluster, Runtime) {
+        let cluster = Cluster::new(ClusterSpec::new(nodes, procs));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(1024));
+        (cluster, rt)
+    }
+
+    #[test]
+    fn single_process_store_load() {
+        let (cluster, rt) = fixture(1, 1);
+        cluster.run(move |p| {
+            let v: MmVec<u64> = MmVec::open(&rt, p, "mem://a", VecOptions::new().len(100)).unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, 100), Access::ReadWriteGlobal);
+            for i in 0..100 {
+                v.store(p, &tx, i, i * 3);
+            }
+            for i in 0..100 {
+                assert_eq!(v.load(p, &tx, i), i * 3);
+            }
+            v.tx_end(p, tx);
+        });
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let (cluster, rt) = fixture(1, 1);
+        cluster.run(move |p| {
+            let v: MmVec<u32> = MmVec::open(&rt, p, "mem://oob", VecOptions::new().len(4)).unwrap();
+            assert!(matches!(v.try_load(p, 4), Err(MmError::OutOfBounds { .. })));
+            assert!(v.try_store(p, 10, 1).is_err());
+            let mut buf = [0u32; 8];
+            assert!(v.read_into(p, 0, &mut buf).is_err());
+        });
+    }
+
+    #[test]
+    fn data_flows_between_processes() {
+        let (cluster, rt) = fixture(2, 1);
+        cluster.run(move |p| {
+            let v: MmVec<f64> =
+                MmVec::open(&rt, p, "mem://shared", VecOptions::new().len(512)).unwrap();
+            v.pgas(p, p.rank(), p.nprocs());
+            let tx = v.tx_begin(p, TxKind::seq(v.local_off(), v.local_len()), Access::WriteLocal);
+            for i in v.local_range() {
+                v.store(p, &tx, i, i as f64 + 0.5);
+            }
+            v.tx_end(p, tx);
+            p.world().barrier(p);
+            let tx = v.tx_begin(p, TxKind::seq(0, 512), Access::ReadOnly);
+            for i in 0..512 {
+                assert_eq!(v.load(p, &tx, i), i as f64 + 0.5, "rank {} elem {i}", p.rank());
+            }
+            v.tx_end(p, tx);
+        });
+    }
+
+    #[test]
+    fn pgas_partitions_cover_exactly() {
+        let (cluster, rt) = fixture(1, 4);
+        let (outs, _) = cluster.run(move |p| {
+            let v: MmVec<u8> = MmVec::open(&rt, p, "mem://pg", VecOptions::new().len(1003)).unwrap();
+            v.pgas(p, p.rank(), p.nprocs());
+            (v.local_off(), v.local_len())
+        });
+        let total: u64 = outs.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 1003, "partitions tile the vector");
+        for w in outs.windows(2) {
+            assert_eq!(w[0].0 + w[0].1, w[1].0, "partitions are contiguous");
+        }
+    }
+
+    #[test]
+    fn bounded_memory_evicts_and_still_correct() {
+        let (cluster, rt) = fixture(1, 1);
+        cluster.run(move |p| {
+            let v: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://bounded",
+                VecOptions::new().len(2000).pcache(2048), // 2 pages of 1024 B
+            )
+            .unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, 2000), Access::WriteGlobal);
+            for i in 0..2000 {
+                v.store(p, &tx, i, i ^ 0xDEAD);
+            }
+            v.tx_end(p, tx);
+            assert!(v.cache_stats().evictions > 0, "the bound must force evictions");
+            let tx = v.tx_begin(p, TxKind::seq(0, 2000), Access::ReadOnly);
+            for i in 0..2000 {
+                assert_eq!(v.load(p, &tx, i), i ^ 0xDEAD);
+            }
+            v.tx_end(p, tx);
+        });
+    }
+
+    #[test]
+    fn sequential_reads_prefetch() {
+        let (cluster, rt) = fixture(1, 1);
+        cluster.run(move |p| {
+            let v: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://pf",
+                VecOptions::new().len(4096).pcache(8 * 1024),
+            )
+            .unwrap();
+            // Populate through the DSM.
+            let tx = v.tx_begin(p, TxKind::seq(0, 4096), Access::WriteGlobal);
+            for i in 0..4096 {
+                v.store(p, &tx, i, i);
+            }
+            v.tx_end(p, tx);
+            // Drop the pcache view so reads must come from the scache.
+            v.bound_memory(0);
+            let tx = v.tx_begin(p, TxKind::seq(0, 4096), Access::ReadOnly);
+            v.tx_end(p, tx);
+            v.bound_memory(8 * 1024);
+            let tx = v.tx_begin(p, TxKind::seq(0, 4096), Access::ReadOnly);
+            let mut sum = 0u64;
+            for i in 0..4096 {
+                sum += v.load(p, &tx, i);
+            }
+            v.tx_end(p, tx);
+            assert_eq!(sum, (0..4096u64).sum());
+            let st = v.cache_stats();
+            assert!(st.prefetch_hits > 0, "prefetcher must serve sequential reads: {st:?}");
+        });
+    }
+
+    #[test]
+    fn append_assigns_unique_indices_across_procs() {
+        let (cluster, rt) = fixture(2, 2);
+        let (outs, _) = cluster.run(move |p| {
+            let v: MmVec<u64> = MmVec::open(&rt, p, "mem://app", VecOptions::new()).unwrap();
+            let tx = v.tx_begin(p, TxKind::append(0), Access::AppendGlobal);
+            let mut mine = Vec::new();
+            for k in 0..50 {
+                mine.push(v.append(p, &tx, (p.rank() * 1000 + k) as u64));
+            }
+            v.tx_end(p, tx);
+            p.world().barrier(p);
+            (v.len(), mine)
+        });
+        assert!(outs.iter().all(|(len, _)| *len == 200));
+        let mut all: Vec<u64> = outs.iter().flat_map(|(_, m)| m.clone()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "append indices must be unique");
+    }
+
+    #[test]
+    fn append_data_visible_after_commit() {
+        let (cluster, rt) = fixture(2, 1);
+        let rt2 = rt.clone();
+        cluster.run(move |p| {
+            let v: MmVec<u32> = MmVec::open(&rt2, p, "mem://appv", VecOptions::new()).unwrap();
+            let tx = v.tx_begin(p, TxKind::append(0), Access::AppendGlobal);
+            for k in 0..100u32 {
+                v.append(p, &tx, p.rank() as u32 * 10_000 + k);
+            }
+            v.tx_end(p, tx);
+            p.world().barrier(p);
+            let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::ReadOnly);
+            let mut seen: Vec<u32> = (0..v.len()).map(|i| v.load(p, &tx, i)).collect();
+            v.tx_end(p, tx);
+            seen.sort_unstable();
+            let mut expect: Vec<u32> =
+                (0..100).flat_map(|k| [k, 10_000 + k]).collect();
+            expect.sort_unstable();
+            assert_eq!(seen, expect);
+        });
+    }
+
+    #[test]
+    fn bulk_ops_round_trip() {
+        let (cluster, rt) = fixture(1, 1);
+        cluster.run(move |p| {
+            let v: MmVec<f32> =
+                MmVec::open(&rt, p, "mem://bulk", VecOptions::new().len(1000)).unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, 1000), Access::WriteGlobal);
+            let vals: Vec<f32> = (0..1000).map(|i| i as f32 * 0.5).collect();
+            v.write_slice(p, 0, &vals).unwrap();
+            v.tx_end(p, tx);
+            let tx = v.tx_begin(p, TxKind::seq(0, 1000), Access::ReadOnly);
+            let mut out = vec![0f32; 600];
+            v.read_into(p, 200, &mut out).unwrap();
+            v.tx_end(p, tx);
+            assert_eq!(out[0], 100.0);
+            assert_eq!(out[599], 399.5);
+        });
+    }
+
+    #[test]
+    fn persistent_vector_survives_via_backend() {
+        let (cluster, rt) = fixture(1, 1);
+        let rt2 = rt.clone();
+        cluster.run(move |p| {
+            {
+                let v: MmVec<u64> =
+                    MmVec::open(&rt2, p, "obj://bkt/persist.bin", VecOptions::new().len(300))
+                        .unwrap();
+                let tx = v.tx_begin(p, TxKind::seq(0, 300), Access::WriteGlobal);
+                for i in 0..300 {
+                    v.store(p, &tx, i, i + 7);
+                }
+                v.tx_end(p, tx);
+                v.flush_wait(p).unwrap();
+                v.destroy(p, false).unwrap();
+            }
+            // Re-attach: the length and data come back from the backend.
+            let v: MmVec<u64> =
+                MmVec::open(&rt2, p, "obj://bkt/persist.bin", VecOptions::new()).unwrap();
+            assert_eq!(v.len(), 300);
+            let tx = v.tx_begin(p, TxKind::seq(0, 300), Access::ReadOnly);
+            for i in (0..300).step_by(37) {
+                assert_eq!(v.load(p, &tx, i), i + 7);
+            }
+            v.tx_end(p, tx);
+        });
+    }
+
+    #[test]
+    fn flush_wait_advances_clock_past_async() {
+        let (cluster, rt) = fixture(1, 1);
+        cluster.run(move |p| {
+            let v: MmVec<u8> = MmVec::open(
+                &rt,
+                p,
+                "obj://bkt/flush.bin",
+                VecOptions::new().len(64 * 1024),
+            )
+            .unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, 64 * 1024), Access::WriteGlobal);
+            for i in 0..64 * 1024 {
+                v.store(p, &tx, i, (i % 251) as u8);
+            }
+            v.tx_end(p, tx);
+            let before = p.now();
+            v.flush_async(p).unwrap();
+            let after_async = p.now();
+            v.drain(p);
+            let after_wait = p.now();
+            // The async submit costs little; the wait jumps to I/O completion.
+            assert!(after_async - before < after_wait - before);
+            assert!(after_wait > after_async);
+        });
+    }
+
+    #[test]
+    fn random_tx_reads_correctly() {
+        let (cluster, rt) = fixture(1, 1);
+        cluster.run(move |p| {
+            let v: MmVec<u64> =
+                MmVec::open(&rt, p, "mem://rand", VecOptions::new().len(2048).pcache(4096))
+                    .unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, 2048), Access::WriteGlobal);
+            for i in 0..2048 {
+                v.store(p, &tx, i, i * i);
+            }
+            v.tx_end(p, tx);
+            let kind = TxKind::rand(99, 0, 2048);
+            let tx = v.tx_begin(p, kind, Access::ReadOnly);
+            for k in 0..500 {
+                let idx = kind.access_index(k);
+                assert_eq!(v.load(p, &tx, idx), idx * idx);
+            }
+            v.tx_end(p, tx);
+        });
+    }
+
+    #[test]
+    fn double_tx_begin_panics() {
+        let (cluster, rt) = fixture(1, 1);
+        let (outs, _) = cluster.run(move |p| {
+            let v: MmVec<u8> = MmVec::open(&rt, p, "mem://dbl", VecOptions::new().len(8)).unwrap();
+            let _tx = v.tx_begin(p, TxKind::seq(0, 8), Access::ReadOnly);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = v.tx_begin(p, TxKind::seq(0, 8), Access::ReadOnly);
+            }))
+            .is_err()
+        });
+        assert!(outs[0], "second tx_begin must panic");
+    }
+
+    #[test]
+    fn resize_grows_with_zeroes() {
+        let (cluster, rt) = fixture(1, 1);
+        cluster.run(move |p| {
+            let v: MmVec<u32> = MmVec::open(&rt, p, "mem://rs", VecOptions::new().len(4)).unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, 4), Access::ReadWriteGlobal);
+            v.store(p, &tx, 0, 11);
+            v.tx_end(p, tx);
+            v.resize(100);
+            assert_eq!(v.len(), 100);
+            let tx = v.tx_begin(p, TxKind::seq(0, 100), Access::ReadOnly);
+            assert_eq!(v.load(p, &tx, 0), 11);
+            assert_eq!(v.load(p, &tx, 99), 0);
+            v.tx_end(p, tx);
+        });
+    }
+}

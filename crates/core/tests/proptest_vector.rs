@@ -1,0 +1,169 @@
+//! Property tests: a MegaMmap vector must behave exactly like a `Vec<u64>`
+//! under arbitrary interleavings of stores, loads, bulk ops, appends and
+//! transaction boundaries — across page sizes, pcache bounds, tier stacks
+//! and backends.
+
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::DeviceSpec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store { idx: u64, val: u64 },
+    Load { idx: u64 },
+    BulkRead { start: u64, len: usize },
+    BulkWrite { start: u64, vals: Vec<u64> },
+    Append { val: u64 },
+    TxBoundary,
+}
+
+fn op_strategy(n: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n, any::<u64>()).prop_map(|(idx, val)| Op::Store { idx, val }),
+        (0..n).prop_map(|idx| Op::Load { idx }),
+        (0..n, 1usize..64).prop_map(move |(start, len)| Op::BulkRead {
+            start,
+            len: len.min((n - start) as usize),
+        }),
+        (0..n, proptest::collection::vec(any::<u64>(), 1..32)).prop_map(
+            move |(start, mut vals)| {
+                vals.truncate((n - start) as usize);
+                Op::BulkWrite { start, vals }
+            }
+        ),
+        any::<u64>().prop_map(|val| Op::Append { val }),
+        Just(Op::TxBoundary),
+    ]
+}
+
+fn run_model(key: &str, page_size: u64, pcache: u64, tiers: Vec<DeviceSpec>, ops: Vec<Op>) {
+    let n: u64 = 500;
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+    let cfg = RuntimeConfig { tiers, ..RuntimeConfig::default().with_page_size(page_size) };
+    let rt = Runtime::new(&cluster, cfg);
+    let key = key.to_string();
+    cluster.run(move |p| {
+        let v: MmVec<u64> =
+            MmVec::open(&rt, p, &key, VecOptions::new().len(n).pcache(pcache)).unwrap();
+        let mut model: Vec<u64> = vec![0; n as usize];
+        let mut tx = v.tx_begin(p, TxKind::seq(0, n), Access::ReadWriteGlobal);
+        for op in &ops {
+            match op {
+                Op::Store { idx, val } => {
+                    v.store(p, &tx, *idx, *val);
+                    model[*idx as usize] = *val;
+                }
+                Op::Load { idx } => {
+                    assert_eq!(v.load(p, &tx, *idx), model[*idx as usize], "load {idx}");
+                }
+                Op::BulkRead { start, len } => {
+                    if *len == 0 {
+                        continue;
+                    }
+                    let mut buf = vec![0u64; *len];
+                    v.read_into(p, *start, &mut buf).unwrap();
+                    assert_eq!(
+                        buf,
+                        model[*start as usize..*start as usize + len],
+                        "bulk read at {start}"
+                    );
+                }
+                Op::BulkWrite { start, vals } => {
+                    if vals.is_empty() {
+                        continue;
+                    }
+                    v.write_slice(p, *start, vals).unwrap();
+                    model[*start as usize..*start as usize + vals.len()]
+                        .copy_from_slice(vals);
+                }
+                Op::Append { val } => {
+                    let idx = v.append(p, &tx, *val);
+                    assert_eq!(idx, model.len() as u64, "append index");
+                    model.push(*val);
+                }
+                Op::TxBoundary => {
+                    v.tx_end(p, tx);
+                    tx = v.tx_begin(
+                        p,
+                        TxKind::seq(0, v.len()),
+                        Access::ReadWriteGlobal,
+                    );
+                }
+            }
+            assert_eq!(v.len(), model.len() as u64, "length agreement");
+        }
+        // Final full verification.
+        v.tx_end(p, tx);
+        let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::ReadOnly);
+        let mut all = vec![0u64; model.len()];
+        v.read_into(p, 0, &mut all).unwrap();
+        v.tx_end(p, tx);
+        assert_eq!(all, model, "final contents");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ample pcache, memory-only runtime: the easy configuration.
+    #[test]
+    fn vector_matches_model_in_memory(ops in proptest::collection::vec(op_strategy(500), 1..60)) {
+        run_model("mem://prop-easy", 512, 1 << 20, vec![DeviceSpec::dram(1 << 24)], ops);
+    }
+
+    /// Tiny pcache + tiny DRAM tier + NVMe: everything spills constantly.
+    #[test]
+    fn vector_matches_model_under_pressure(ops in proptest::collection::vec(op_strategy(500), 1..60)) {
+        run_model(
+            "mem://prop-tight",
+            256,
+            512, // pcache below two pages
+            vec![DeviceSpec::dram(2048), DeviceSpec::nvme(1 << 22)],
+            ops,
+        );
+    }
+
+    /// Nonvolatile backend: spills can be staged all the way out.
+    #[test]
+    fn vector_matches_model_with_backend(ops in proptest::collection::vec(op_strategy(500), 1..40)) {
+        // A distinct URL per case (obj store is shared per-runtime, which
+        // is fresh per run, so a fixed key is fine).
+        run_model(
+            "obj://prop/backed.bin",
+            1024,
+            2048,
+            vec![DeviceSpec::dram(4096), DeviceSpec::nvme(1 << 22)],
+            ops,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random-pattern transactions never corrupt data either.
+    #[test]
+    fn random_tx_reads_match_model(seed in any::<u64>(), count in 1u64..300) {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(512));
+        cluster.run(move |p| {
+            let n = 400u64;
+            let v: MmVec<u64> =
+                MmVec::open(&rt, p, "mem://prop-rand", VecOptions::new().len(n).pcache(2048))
+                    .unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, n), Access::WriteGlobal);
+            for i in 0..n {
+                v.store(p, &tx, i, i * 1000 + 7);
+            }
+            v.tx_end(p, tx);
+            let kind = TxKind::rand(seed, 0, n);
+            let tx = v.tx_begin(p, kind, Access::ReadOnly);
+            for k in 0..count {
+                let idx = kind.access_index(k);
+                assert_eq!(v.load(p, &tx, idx), idx * 1000 + 7);
+            }
+            v.tx_end(p, tx);
+        });
+    }
+}

@@ -1,0 +1,90 @@
+//! Primitive element types for typed datasets.
+
+use std::fmt;
+
+/// Element type of an `h5lite` dataset or `pqlite` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Unsigned byte.
+    U8,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit unsigned integer.
+    U64,
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+}
+
+impl DType {
+    /// Size in bytes of one element.
+    pub const fn size(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::I32 | DType::F32 => 4,
+            DType::I64 | DType::U64 | DType::F64 => 8,
+        }
+    }
+
+    /// Stable on-disk tag.
+    pub(crate) const fn tag(self) -> u8 {
+        match self {
+            DType::U8 => 0,
+            DType::I32 => 1,
+            DType::I64 => 2,
+            DType::U64 => 3,
+            DType::F32 => 4,
+            DType::F64 => 5,
+        }
+    }
+
+    /// Decode an on-disk tag.
+    pub(crate) fn from_tag(t: u8) -> Option<Self> {
+        Some(match t {
+            0 => DType::U8,
+            1 => DType::I32,
+            2 => DType::I64,
+            3 => DType::U64,
+            4 => DType::F32,
+            5 => DType::F64,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::U8 => "u8",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::U64 => "u64",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::U8.size(), 1);
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::F64.size(), 8);
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        for d in [DType::U8, DType::I32, DType::I64, DType::U64, DType::F32, DType::F64] {
+            assert_eq!(DType::from_tag(d.tag()), Some(d));
+        }
+        assert_eq!(DType::from_tag(99), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Resolving vector-key URLs to opened objects.
+//!
+//! [`Backends`] is the stager's dispatch table: given a parsed [`DataUrl`]
+//! it opens (or creates, where the format permits) the backing
+//! [`DataObject`]. One `Backends` instance is shared by a MegaMmap runtime;
+//! its `mem://` registry and object store are process-local state, its
+//! `file://`/`hdf5://`/`parquet://` schemes hit the real filesystem.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::h5lite::H5File;
+use crate::multi::MultiObject;
+use crate::object::{DataObject, MemObject};
+use crate::objstore::ObjStore;
+use crate::posix::PosixObject;
+use crate::pqlite::{PqFile, PqRecords};
+use crate::url::{DataUrl, Scheme};
+use crate::{dtype::DType, glob};
+
+/// Backend dispatch for the data stager.
+#[derive(Clone, Default)]
+pub struct Backends {
+    mem: Arc<Mutex<HashMap<String, MemObject>>>,
+    objstore: ObjStore,
+}
+
+impl Backends {
+    /// Create an empty backend set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The S3-like object store behind `obj://` URLs.
+    pub fn objstore(&self) -> &ObjStore {
+        &self.objstore
+    }
+
+    /// Open the object a URL names, creating it where the format permits
+    /// (plain files, h5lite datasets, mem and obj objects). Parquet objects
+    /// must already exist — records views cannot invent a schema.
+    pub fn open(&self, url: &DataUrl) -> io::Result<Box<dyn DataObject>> {
+        match url.scheme {
+            Scheme::Mem => {
+                let mut reg = self.mem.lock();
+                Ok(Box::new(reg.entry(url.path.clone()).or_default().clone()))
+            }
+            Scheme::Obj => {
+                let (bucket, key) = url
+                    .path
+                    .trim_start_matches('/')
+                    .split_once('/')
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "obj:// needs bucket/key")
+                    })?;
+                Ok(Box::new(self.objstore.open(bucket, key)))
+            }
+            Scheme::File => {
+                if url.is_glob() {
+                    let paths = glob::expand(&url.path)?;
+                    let members: io::Result<Vec<Box<dyn DataObject>>> = paths
+                        .iter()
+                        .map(|p| {
+                            PosixObject::open_existing(p).map(|o| Box::new(o) as Box<dyn DataObject>)
+                        })
+                        .collect();
+                    Ok(Box::new(MultiObject::new(members?)?))
+                } else {
+                    Ok(Box::new(PosixObject::open(&url.path)?))
+                }
+            }
+            Scheme::Hdf5 => {
+                let file = H5File::open_or_create(Box::new(PosixObject::open(&url.path)?))?;
+                let dset_name = url.params.clone().unwrap_or_else(|| "data".to_string());
+                let dset = if file.has_dataset(&dset_name) {
+                    file.dataset(&dset_name)?
+                } else {
+                    let d = file.create_dataset(&dset_name, DType::U8, 0)?;
+                    file.flush()?;
+                    d
+                };
+                Ok(Box::new(dset))
+            }
+            Scheme::Parquet => {
+                let file = PqFile::open(Box::new(PosixObject::open_existing(&url.path)?))?;
+                Ok(Box::new(PqRecords::new(file)))
+            }
+        }
+    }
+
+    /// Whether the URL currently resolves to existing data.
+    pub fn exists(&self, url: &DataUrl) -> bool {
+        match url.scheme {
+            Scheme::Mem => self.mem.lock().contains_key(&url.path),
+            Scheme::Obj => {
+                url.path
+                    .trim_start_matches('/')
+                    .split_once('/')
+                    .map(|(b, k)| self.objstore.get(b, k).is_some())
+                    .unwrap_or(false)
+            }
+            Scheme::File => {
+                if url.is_glob() {
+                    glob::expand(&url.path).is_ok()
+                } else {
+                    url.fs_path().exists()
+                }
+            }
+            Scheme::Hdf5 | Scheme::Parquet => url.fs_path().exists(),
+        }
+    }
+
+    /// Drop a `mem://` object (volatile vector destruction).
+    pub fn delete_mem(&self, name: &str) -> bool {
+        self.mem.lock().remove(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::read_all;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("mm-factory-tests");
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn mem_scheme_is_shared_and_deletable() {
+        let b = Backends::new();
+        let u = DataUrl::mem("scratch");
+        let o1 = b.open(&u).unwrap();
+        o1.write_at(0, b"x").unwrap();
+        let o2 = b.open(&u).unwrap();
+        assert_eq!(read_all(o2.as_ref()).unwrap(), b"x");
+        assert!(b.exists(&u));
+        assert!(b.delete_mem("scratch"));
+        assert!(!b.exists(&u));
+    }
+
+    #[test]
+    fn obj_scheme_bucket_key() {
+        let b = Backends::new();
+        let u = DataUrl::parse("obj://bucket/some/key.bin").unwrap();
+        let o = b.open(&u).unwrap();
+        o.write_at(0, b"payload").unwrap();
+        assert!(b.exists(&u));
+        assert_eq!(b.objstore().list("bucket", ""), vec!["some/key.bin"]);
+        assert!(b.open(&DataUrl::parse("obj://nokeypart").unwrap()).is_err());
+    }
+
+    #[test]
+    fn file_scheme_round_trip() {
+        let b = Backends::new();
+        let p = tmp("file-rt.bin");
+        let u = DataUrl::parse(&format!("file://{}", p.display())).unwrap();
+        let o = b.open(&u).unwrap();
+        o.set_len(0).unwrap();
+        o.write_at(0, b"disk").unwrap();
+        o.flush().unwrap();
+        assert!(b.exists(&u));
+        assert_eq!(std::fs::read(&p).unwrap(), b"disk");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn hdf5_scheme_creates_dataset() {
+        let b = Backends::new();
+        let p = tmp("fac.h5");
+        std::fs::remove_file(&p).ok();
+        let u = DataUrl::parse(&format!("hdf5://{}:grp", p.display())).unwrap();
+        let o = b.open(&u).unwrap();
+        o.write_at(0, b"hdf5 bytes").unwrap();
+        o.flush().unwrap();
+        // Reopen through the factory and read back.
+        let o2 = b.open(&u).unwrap();
+        assert_eq!(read_all(o2.as_ref()).unwrap(), b"hdf5 bytes");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn parquet_requires_existing_file() {
+        let b = Backends::new();
+        let u = DataUrl::parse("parquet:///does/not/exist.pq").unwrap();
+        assert!(b.open(&u).is_err());
+    }
+
+    #[test]
+    fn glob_file_scheme() {
+        let b = Backends::new();
+        let d = std::env::temp_dir().join(format!("mm-fac-glob-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        std::fs::write(d.join("part.0"), b"AB").unwrap();
+        std::fs::write(d.join("part.1"), b"CD").unwrap();
+        let u = DataUrl::parse(&format!("file://{}/part.*", d.display())).unwrap();
+        let o = b.open(&u).unwrap();
+        assert_eq!(read_all(o.as_ref()).unwrap(), b"ABCD");
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,140 @@
+//! Filesystem glob expansion for multi-file datasets.
+//!
+//! The paper: "multiple data objects, such as files produced in a
+//! file-per-process HPC simulation, can be mapped as a single uniform
+//! vector via a regex query such as `file:///path/to/dataset.parquet*`".
+//! Only the `*` wildcard is supported (match any run of characters within a
+//! file name); matches are returned sorted so the concatenation order is
+//! deterministic.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Whether `name` matches `pattern` where `*` matches any (possibly empty)
+/// run of characters.
+pub fn wildcard_match(pattern: &str, name: &str) -> bool {
+    // Classic two-pointer wildcard match, O(n*m) worst case but patterns
+    // here are file names.
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut mark) = (None::<usize>, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            mark = ni;
+            pi += 1;
+        } else if let Some(s) = star {
+            pi = s + 1;
+            mark += 1;
+            ni = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Expand a path that may contain `*` in its final component into the
+/// sorted list of matching files. A literal path returns itself (if it
+/// exists) without touching the directory.
+pub fn expand(path: &str) -> io::Result<Vec<PathBuf>> {
+    if !path.contains('*') {
+        let p = PathBuf::from(path);
+        return if p.exists() {
+            Ok(vec![p])
+        } else {
+            Err(io::Error::new(io::ErrorKind::NotFound, path.to_string()))
+        };
+    }
+    let p = Path::new(path);
+    let dir = p.parent().unwrap_or_else(|| Path::new("."));
+    let pattern = p
+        .file_name()
+        .and_then(|f| f.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "bad glob"))?;
+    if dir.to_string_lossy().contains('*') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "globs are only supported in the final path component",
+        ));
+    }
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if wildcard_match(pattern, name) {
+                out.push(entry.path());
+            }
+        }
+    }
+    out.sort();
+    if out.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::NotFound, format!("no match for {path}")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_semantics() {
+        assert!(wildcard_match("*", "anything"));
+        assert!(wildcard_match("data.*.pq", "data.0001.pq"));
+        assert!(wildcard_match("data*", "data"));
+        assert!(!wildcard_match("data.*.pq", "data.pq"));
+        assert!(!wildcard_match("a*b", "acbx"));
+        assert!(wildcard_match("a*b*c", "a--b--c"));
+        assert!(!wildcard_match("abc", "abd"));
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mm-glob-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn expand_matches_sorted() {
+        let d = tmpdir("sorted");
+        for n in ["out.2.bin", "out.0.bin", "out.1.bin", "other.txt"] {
+            std::fs::write(d.join(n), b"x").unwrap();
+        }
+        let pat = d.join("out.*.bin");
+        let got = expand(pat.to_str().unwrap()).unwrap();
+        let names: Vec<_> =
+            got.iter().map(|p| p.file_name().unwrap().to_string_lossy().to_string()).collect();
+        assert_eq!(names, vec!["out.0.bin", "out.1.bin", "out.2.bin"]);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn literal_path_passthrough() {
+        let d = tmpdir("literal");
+        let f = d.join("one.bin");
+        std::fs::write(&f, b"x").unwrap();
+        assert_eq!(expand(f.to_str().unwrap()).unwrap(), vec![f.clone()]);
+        assert!(expand(d.join("missing.bin").to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn no_match_is_error() {
+        let d = tmpdir("nomatch");
+        assert!(expand(d.join("zzz*").to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn glob_in_directory_rejected() {
+        assert!(expand("/tmp/*/file.bin").is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! `h5lite` — a hierarchical container format standing in for HDF5.
+//!
+//! A container holds named, typed, growable datasets organized in
+//! slash-separated groups (`"particles/position"`). The on-disk layout is
+//! real and self-describing:
+//!
+//! ```text
+//! [8 B magic "H5LITE\x00\x01"]
+//! [dataset extents ...]                  (appended as datasets grow)
+//! [TOC bytes][toc_len u64][toc_off u64][8 B magic "H5LTOC\x00\x01"]
+//! ```
+//!
+//! Datasets live in contiguous extents; growing past an extent's capacity
+//! relocates the dataset to a fresh extent at the end of the data region
+//! (the old extent is leaked until a future compaction — the classic
+//! append-only container trade-off). [`H5File::flush`] rewrites the TOC and
+//! footer, making the container reopenable.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::dtype::DType;
+use crate::object::DataObject;
+
+const MAGIC: &[u8; 8] = b"H5LITE\x00\x01";
+const TOC_MAGIC: &[u8; 8] = b"H5LTOC\x00\x01";
+const HEADER_LEN: u64 = 8;
+const FOOTER_LEN: u64 = 8 + 8 + 8; // toc_len + toc_off + magic
+
+fn err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[derive(Debug, Clone)]
+struct DsetMeta {
+    dtype: DType,
+    /// Logical length in bytes.
+    len: u64,
+    /// Extent start offset in the file.
+    off: u64,
+    /// Extent capacity in bytes.
+    cap: u64,
+}
+
+struct Inner {
+    obj: Box<dyn DataObject>,
+    toc: RwLock<Toc>,
+}
+
+#[derive(Default)]
+struct Toc {
+    dsets: BTreeMap<String, DsetMeta>,
+    /// First byte past the last extent — where new extents are appended.
+    data_end: u64,
+    /// Whether in-memory state is ahead of the on-disk TOC.
+    dirty: bool,
+}
+
+/// An open `h5lite` container.
+#[derive(Clone)]
+pub struct H5File {
+    inner: Arc<Inner>,
+}
+
+impl H5File {
+    /// Create a fresh container on `obj` (truncates existing content).
+    pub fn create(obj: Box<dyn DataObject>) -> io::Result<Self> {
+        obj.set_len(0)?;
+        obj.write_at(0, MAGIC)?;
+        let file = Self {
+            inner: Arc::new(Inner {
+                obj,
+                toc: RwLock::new(Toc { data_end: HEADER_LEN, dirty: true, ..Default::default() }),
+            }),
+        };
+        file.flush()?;
+        Ok(file)
+    }
+
+    /// Open an existing container, reading its TOC.
+    pub fn open(obj: Box<dyn DataObject>) -> io::Result<Self> {
+        let len = obj.len()?;
+        if len < HEADER_LEN + FOOTER_LEN {
+            return Err(err("h5lite: file too small"));
+        }
+        let mut head = [0u8; 8];
+        obj.read_at(0, &mut head)?;
+        if &head != MAGIC {
+            return Err(err("h5lite: bad header magic"));
+        }
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        obj.read_at(len - FOOTER_LEN, &mut footer)?;
+        if &footer[16..24] != TOC_MAGIC {
+            return Err(err("h5lite: bad footer magic"));
+        }
+        let toc_len = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let toc_off = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        if toc_off + toc_len + FOOTER_LEN != len {
+            return Err(err("h5lite: inconsistent footer"));
+        }
+        let mut toc_bytes = vec![0u8; toc_len as usize];
+        obj.read_at(toc_off, &mut toc_bytes)?;
+        let dsets = decode_toc(&toc_bytes)?;
+        let data_end = toc_off;
+        Ok(Self {
+            inner: Arc::new(Inner {
+                obj,
+                toc: RwLock::new(Toc { dsets, data_end, dirty: false }),
+            }),
+        })
+    }
+
+    /// Open if a valid container exists, otherwise create.
+    pub fn open_or_create(obj: Box<dyn DataObject>) -> io::Result<Self> {
+        if obj.len()? >= HEADER_LEN + FOOTER_LEN {
+            // Probe the magic before committing to open.
+            let mut head = [0u8; 8];
+            obj.read_at(0, &mut head)?;
+            if &head == MAGIC {
+                return Self::open(obj);
+            }
+        }
+        Self::create(obj)
+    }
+
+    /// Create a dataset of `dtype` with `len_elems` elements (zero-filled).
+    /// Errors if the name exists.
+    pub fn create_dataset(&self, name: &str, dtype: DType, len_elems: u64) -> io::Result<H5Dataset> {
+        let bytes = len_elems * dtype.size() as u64;
+        let mut toc = self.inner.toc.write();
+        if toc.dsets.contains_key(name) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("h5lite: dataset {name:?} exists"),
+            ));
+        }
+        let cap = bytes.next_power_of_two().max(64);
+        let off = toc.data_end;
+        toc.data_end += cap;
+        // Zero-fill the logical extent so reads of fresh data are defined.
+        if bytes > 0 {
+            self.inner.obj.write_at(off, &vec![0u8; bytes as usize])?;
+        }
+        toc.dsets.insert(name.to_string(), DsetMeta { dtype, len: bytes, off, cap });
+        toc.dirty = true;
+        drop(toc);
+        Ok(H5Dataset { file: self.clone(), name: name.to_string() })
+    }
+
+    /// Open an existing dataset by name.
+    pub fn dataset(&self, name: &str) -> io::Result<H5Dataset> {
+        let toc = self.inner.toc.read();
+        if !toc.dsets.contains_key(name) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("h5lite: no dataset {name:?}"),
+            ));
+        }
+        Ok(H5Dataset { file: self.clone(), name: name.to_string() })
+    }
+
+    /// Whether a dataset exists.
+    pub fn has_dataset(&self, name: &str) -> bool {
+        self.inner.toc.read().dsets.contains_key(name)
+    }
+
+    /// Names of all datasets under `group` (prefix match on `group/`);
+    /// pass `""` for all.
+    pub fn list(&self, group: &str) -> Vec<String> {
+        let prefix = if group.is_empty() { String::new() } else { format!("{group}/") };
+        self.inner
+            .toc
+            .read()
+            .dsets
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Delete a dataset (its extent is leaked until compaction).
+    pub fn delete_dataset(&self, name: &str) -> io::Result<()> {
+        let mut toc = self.inner.toc.write();
+        toc.dsets
+            .remove(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        toc.dirty = true;
+        Ok(())
+    }
+
+    /// Persist the TOC and footer; afterwards the container can be reopened.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut toc = self.inner.toc.write();
+        let toc_bytes = encode_toc(&toc.dsets);
+        let toc_off = toc.data_end;
+        self.inner.obj.write_at(toc_off, &toc_bytes)?;
+        let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+        footer.extend_from_slice(&(toc_bytes.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&toc_off.to_le_bytes());
+        footer.extend_from_slice(TOC_MAGIC);
+        self.inner.obj.write_at(toc_off + toc_bytes.len() as u64, &footer)?;
+        self.inner.obj.set_len(toc_off + toc_bytes.len() as u64 + FOOTER_LEN)?;
+        self.inner.obj.flush()?;
+        toc.dirty = false;
+        Ok(())
+    }
+
+    fn meta(&self, name: &str) -> io::Result<DsetMeta> {
+        self.inner
+            .toc
+            .read()
+            .dsets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+}
+
+fn encode_toc(dsets: &BTreeMap<String, DsetMeta>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(dsets.len() as u32).to_le_bytes());
+    for (name, m) in dsets {
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.push(m.dtype.tag());
+        out.extend_from_slice(&m.len.to_le_bytes());
+        out.extend_from_slice(&m.off.to_le_bytes());
+        out.extend_from_slice(&m.cap.to_le_bytes());
+    }
+    out
+}
+
+fn decode_toc(bytes: &[u8]) -> io::Result<BTreeMap<String, DsetMeta>> {
+    let mut dsets = BTreeMap::new();
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> io::Result<&[u8]> {
+        if *pos + n > bytes.len() {
+            return Err(err("h5lite: truncated TOC"));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    for _ in 0..count {
+        let nlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+            .map_err(|_| err("h5lite: non-UTF8 dataset name"))?;
+        let dtype = DType::from_tag(take(&mut pos, 1)?[0]).ok_or_else(|| err("bad dtype"))?;
+        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let off = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let cap = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        dsets.insert(name, DsetMeta { dtype, len, off, cap });
+    }
+    Ok(dsets)
+}
+
+/// A handle on one dataset within an [`H5File`].
+#[derive(Clone)]
+pub struct H5Dataset {
+    file: H5File,
+    name: String,
+}
+
+impl H5Dataset {
+    /// Dataset name (full group path).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> io::Result<DType> {
+        Ok(self.file.meta(&self.name)?.dtype)
+    }
+
+    /// Length in elements.
+    pub fn len_elems(&self) -> io::Result<u64> {
+        let m = self.file.meta(&self.name)?;
+        Ok(m.len / m.dtype.size() as u64)
+    }
+
+    /// Grow or shrink to `bytes` logical bytes, relocating if needed.
+    fn ensure_capacity(&self, bytes: u64) -> io::Result<()> {
+        let mut toc = self.file.inner.toc.write();
+        let m = toc.dsets.get(&self.name).ok_or_else(|| err("dataset vanished"))?.clone();
+        if bytes <= m.cap {
+            return Ok(());
+        }
+        let new_cap = bytes.next_power_of_two();
+        let new_off = toc.data_end;
+        toc.data_end += new_cap;
+        // Relocate existing bytes.
+        if m.len > 0 {
+            let mut buf = vec![0u8; m.len as usize];
+            self.file.inner.obj.read_at(m.off, &mut buf)?;
+            self.file.inner.obj.write_at(new_off, &buf)?;
+        }
+        let entry = toc.dsets.get_mut(&self.name).unwrap();
+        entry.off = new_off;
+        entry.cap = new_cap;
+        toc.dirty = true;
+        Ok(())
+    }
+}
+
+impl DataObject for H5Dataset {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.meta(&self.name)?.len)
+    }
+
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let m = self.file.meta(&self.name)?;
+        if off >= m.len {
+            return Ok(0);
+        }
+        let n = buf.len().min((m.len - off) as usize);
+        self.file.inner.obj.read_at(m.off + off, &mut buf[..n])?;
+        Ok(n)
+    }
+
+    fn write_at(&self, off: u64, data: &[u8]) -> io::Result<()> {
+        let end = off + data.len() as u64;
+        self.ensure_capacity(end)?;
+        let mut toc = self.file.inner.toc.write();
+        let m = toc.dsets.get_mut(&self.name).ok_or_else(|| err("dataset vanished"))?;
+        // Zero-fill any gap between the logical end and the write start:
+        // the extent may hold stale bytes (from a truncation or the region
+        // a relocation landed on) that must never become readable.
+        if off > m.len {
+            self.file
+                .inner
+                .obj
+                .write_at(m.off + m.len, &vec![0u8; (off - m.len) as usize])?;
+        }
+        self.file.inner.obj.write_at(m.off + off, data)?;
+        if end > m.len {
+            m.len = end;
+            toc.dirty = true;
+        }
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.ensure_capacity(len)?;
+        let mut toc = self.file.inner.toc.write();
+        let m = toc.dsets.get_mut(&self.name).ok_or_else(|| err("dataset vanished"))?;
+        let old = m.len;
+        m.len = len;
+        let (off, dlen) = (m.off, m.len);
+        toc.dirty = true;
+        drop(toc);
+        if len > old {
+            // Zero-extend for defined reads.
+            self.file.inner.obj.write_at(off + old, &vec![0u8; (dlen - old) as usize])?;
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{read_all, MemObject};
+
+    fn mem_file() -> (H5File, MemObject) {
+        let obj = MemObject::new();
+        let f = H5File::create(Box::new(obj.clone())).unwrap();
+        (f, obj)
+    }
+
+    #[test]
+    fn create_write_read() {
+        let (f, _) = mem_file();
+        let d = f.create_dataset("grp/data", DType::F32, 4).unwrap();
+        d.write_at(0, &42f32.to_le_bytes()).unwrap();
+        let mut buf = [0u8; 4];
+        d.read_at(0, &mut buf).unwrap();
+        assert_eq!(f32::from_le_bytes(buf), 42.0);
+        assert_eq!(d.len_elems().unwrap(), 4);
+        assert_eq!(d.dtype().unwrap(), DType::F32);
+    }
+
+    #[test]
+    fn reopen_round_trip() {
+        let obj = MemObject::new();
+        {
+            let f = H5File::create(Box::new(obj.clone())).unwrap();
+            let d = f.create_dataset("particles/pos", DType::F64, 3).unwrap();
+            d.write_at(0, &1.5f64.to_le_bytes()).unwrap();
+            d.write_at(16, &2.5f64.to_le_bytes()).unwrap();
+            f.flush().unwrap();
+        }
+        let f = H5File::open(Box::new(obj)).unwrap();
+        let d = f.dataset("particles/pos").unwrap();
+        assert_eq!(d.len_elems().unwrap(), 3);
+        let mut buf = [0u8; 8];
+        d.read_at(16, &mut buf).unwrap();
+        assert_eq!(f64::from_le_bytes(buf), 2.5);
+    }
+
+    #[test]
+    fn growth_relocates_and_preserves_data() {
+        let (f, _) = mem_file();
+        let d = f.create_dataset("x", DType::U8, 16).unwrap();
+        d.write_at(0, &[7u8; 16]).unwrap();
+        // Grow far past the initial capacity.
+        d.write_at(4000, &[9u8; 8]).unwrap();
+        assert_eq!(d.len().unwrap(), 4008);
+        let all = read_all(&d).unwrap();
+        assert_eq!(&all[..16], &[7u8; 16]);
+        assert_eq!(&all[4000..], &[9u8; 8]);
+        // The gap is zero-filled.
+        assert!(all[16..4000].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn multiple_datasets_isolated() {
+        let (f, _) = mem_file();
+        let a = f.create_dataset("g/a", DType::U8, 8).unwrap();
+        let b = f.create_dataset("g/b", DType::U8, 8).unwrap();
+        a.write_at(0, &[1u8; 8]).unwrap();
+        b.write_at(0, &[2u8; 8]).unwrap();
+        assert_eq!(read_all(&a).unwrap(), vec![1u8; 8]);
+        assert_eq!(read_all(&b).unwrap(), vec![2u8; 8]);
+    }
+
+    #[test]
+    fn list_by_group() {
+        let (f, _) = mem_file();
+        f.create_dataset("g1/a", DType::U8, 1).unwrap();
+        f.create_dataset("g1/b", DType::U8, 1).unwrap();
+        f.create_dataset("g2/c", DType::U8, 1).unwrap();
+        assert_eq!(f.list("g1"), vec!["g1/a", "g1/b"]);
+        assert_eq!(f.list("").len(), 3);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let (f, _) = mem_file();
+        f.create_dataset("d", DType::U8, 1).unwrap();
+        assert!(f.create_dataset("d", DType::U8, 1).is_err());
+    }
+
+    #[test]
+    fn missing_dataset_not_found() {
+        let (f, _) = mem_file();
+        assert!(f.dataset("nope").is_err());
+        assert!(!f.has_dataset("nope"));
+    }
+
+    #[test]
+    fn delete_then_flush_then_reopen() {
+        let obj = MemObject::new();
+        let f = H5File::create(Box::new(obj.clone())).unwrap();
+        f.create_dataset("a", DType::U8, 4).unwrap();
+        f.create_dataset("b", DType::U8, 4).unwrap();
+        f.delete_dataset("a").unwrap();
+        f.flush().unwrap();
+        let f2 = H5File::open(Box::new(obj)).unwrap();
+        assert!(!f2.has_dataset("a"));
+        assert!(f2.has_dataset("b"));
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let obj = MemObject::from_vec(vec![0u8; 100]);
+        assert!(H5File::open(Box::new(obj)).is_err());
+    }
+
+    #[test]
+    fn open_or_create_is_idempotent() {
+        let obj = MemObject::new();
+        let f = H5File::open_or_create(Box::new(obj.clone())).unwrap();
+        f.create_dataset("d", DType::I64, 2).unwrap();
+        f.flush().unwrap();
+        let f2 = H5File::open_or_create(Box::new(obj)).unwrap();
+        assert!(f2.has_dataset("d"), "existing container must be opened, not clobbered");
+    }
+
+    #[test]
+    fn set_len_zero_extends() {
+        let (f, _) = mem_file();
+        let d = f.create_dataset("z", DType::U8, 2).unwrap();
+        d.write_at(0, &[5, 5]).unwrap();
+        d.set_len(10).unwrap();
+        let all = read_all(&d).unwrap();
+        assert_eq!(all, vec![5, 5, 0, 0, 0, 0, 0, 0, 0, 0]);
+        d.set_len(1).unwrap();
+        assert_eq!(read_all(&d).unwrap(), vec![5]);
+    }
+}

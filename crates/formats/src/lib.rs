@@ -1,0 +1,42 @@
+//! # megammap-formats — storage backends and file formats for the stager
+//!
+//! MegaMmap's Data Stager "contain[s] integrations with widely-used file
+//! formats (e.g., HDF5, Adios2, parquet) and storage services (e.g., PFS,
+//! Amazon S3)". This crate provides from-scratch equivalents:
+//!
+//! * [`url`] — the `protocol://URI:params` vector-key format, including the
+//!   `file:///path/to/dataset.parquet*` glob form that maps many files into
+//!   one uniform vector.
+//! * [`object`] — the [`DataObject`] trait every backend implements:
+//!   byte-addressable ranged reads/writes over one named persistent object.
+//! * [`posix`] — plain binary files on a filesystem.
+//! * [`h5lite`] — a real hierarchical container format (groups → typed
+//!   datasets, footer TOC, relocation on growth) standing in for HDF5 1.14.
+//! * [`pqlite`] — a real columnar container (schema, row groups, per-column
+//!   chunks, footer) standing in for Apache Parquet.
+//! * [`objstore`] — an S3-like in-memory object service.
+//! * [`multi`] — concatenation of several objects into one logical object
+//!   (the "file-per-process simulation output mapped as a single vector"
+//!   use case).
+//! * [`factory`] — resolves a [`DataUrl`] to an opened [`DataObject`].
+//!
+//! The exact on-disk byte layout of HDF5/Parquet is irrelevant to the
+//! paper's experiments; what matters — and what these implementations
+//! provide — is *real* (de)serialization with partial-range access, so the
+//! stager's costs and correctness are genuine.
+
+pub mod dtype;
+pub mod factory;
+pub mod glob;
+pub mod h5lite;
+pub mod multi;
+pub mod object;
+pub mod objstore;
+pub mod posix;
+pub mod pqlite;
+pub mod url;
+
+pub use dtype::DType;
+pub use factory::Backends;
+pub use object::{DataObject, MemObject};
+pub use url::{DataUrl, Scheme};

@@ -1,0 +1,182 @@
+//! Concatenation of multiple objects into one logical object.
+//!
+//! Backs the `file:///dir/part.*` form: each matched file contributes its
+//! bytes in sorted-name order, and the result behaves as one flat
+//! [`DataObject`]. Writes land in whichever member covers the offset;
+//! growth appends to the final member.
+
+use std::io;
+
+use crate::object::DataObject;
+
+/// One [`DataObject`] made of several members laid end to end.
+pub struct MultiObject {
+    members: Vec<Box<dyn DataObject>>,
+}
+
+impl MultiObject {
+    /// Combine `members`; the logical object is their concatenation.
+    pub fn new(members: Vec<Box<dyn DataObject>>) -> io::Result<Self> {
+        if members.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no members"));
+        }
+        Ok(Self { members })
+    }
+
+    /// Member count.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Per-member lengths (recomputed, so members may grow independently).
+    fn lens(&self) -> io::Result<Vec<u64>> {
+        self.members.iter().map(|m| m.len()).collect()
+    }
+}
+
+impl DataObject for MultiObject {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.lens()?.iter().sum())
+    }
+
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let lens = self.lens()?;
+        let mut base = 0u64;
+        let mut done = 0usize;
+        for (m, &len) in self.members.iter().zip(&lens) {
+            let end = base + len;
+            if done < buf.len() && off + done as u64 >= base && off + (done as u64) < end {
+                let local = off + done as u64 - base;
+                let want = (buf.len() - done).min((len - local) as usize);
+                let n = m.read_at(local, &mut buf[done..done + want])?;
+                done += n;
+                if n < want {
+                    break;
+                }
+            }
+            base = end;
+            if done == buf.len() {
+                break;
+            }
+        }
+        Ok(done)
+    }
+
+    fn write_at(&self, off: u64, data: &[u8]) -> io::Result<()> {
+        let lens = self.lens()?;
+        let total: u64 = lens.iter().sum();
+        let mut base = 0u64;
+        let mut done = 0usize;
+        for (i, (m, &len)) in self.members.iter().zip(&lens).enumerate() {
+            let is_last = i == self.members.len() - 1;
+            let end = base + len;
+            let cur = off + done as u64;
+            if done < data.len() && cur >= base && (cur < end || (is_last && cur >= total)) {
+                let local = cur - base;
+                let want = if is_last {
+                    data.len() - done
+                } else {
+                    (data.len() - done).min((end - cur) as usize)
+                };
+                m.write_at(local, &data[done..done + want])?;
+                done += want;
+            }
+            base = end;
+            if done == data.len() {
+                break;
+            }
+        }
+        if done < data.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "multi write left a gap"));
+        }
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        // Shrink from the tail / grow the final member.
+        let lens = self.lens()?;
+        let total: u64 = lens.iter().sum();
+        if len >= total {
+            let last = self.members.last().expect("nonempty");
+            let last_len = *lens.last().expect("nonempty");
+            last.set_len(last_len + (len - total))
+        } else {
+            let mut remaining = len;
+            for (m, &l) in self.members.iter().zip(&lens) {
+                let keep = remaining.min(l);
+                m.set_len(keep)?;
+                remaining -= keep;
+            }
+            Ok(())
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        for m in &self.members {
+            m.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{read_all, MemObject};
+
+    fn multi(parts: &[&[u8]]) -> MultiObject {
+        MultiObject::new(
+            parts
+                .iter()
+                .map(|p| Box::new(MemObject::from_vec(p.to_vec())) as Box<dyn DataObject>)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn concatenated_view() {
+        let m = multi(&[b"abc", b"defg", b"h"]);
+        assert_eq!(m.len().unwrap(), 8);
+        assert_eq!(read_all(&m).unwrap(), b"abcdefgh");
+    }
+
+    #[test]
+    fn read_spanning_members() {
+        let m = multi(&[b"abc", b"defg", b"h"]);
+        let mut buf = [0u8; 4];
+        assert_eq!(m.read_at(2, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"cdef");
+    }
+
+    #[test]
+    fn write_spanning_members() {
+        let m = multi(&[b"abc", b"defg", b"h"]);
+        m.write_at(1, b"XYZW").unwrap();
+        assert_eq!(read_all(&m).unwrap(), b"aXYZWfgh");
+    }
+
+    #[test]
+    fn growth_appends_to_last_member() {
+        let m = multi(&[b"ab", b"cd"]);
+        m.write_at(4, b"EF").unwrap();
+        assert_eq!(read_all(&m).unwrap(), b"abcdEF");
+        m.set_len(8).unwrap();
+        assert_eq!(m.len().unwrap(), 8);
+        m.set_len(3).unwrap();
+        assert_eq!(read_all(&m).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn empty_member_list_rejected() {
+        assert!(MultiObject::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn read_past_end_short() {
+        let m = multi(&[b"ab"]);
+        let mut buf = [0u8; 8];
+        assert_eq!(m.read_at(1, &mut buf).unwrap(), 1);
+        assert_eq!(buf[0], b'b');
+    }
+}

@@ -1,0 +1,154 @@
+//! The byte-addressable persistent-object abstraction.
+//!
+//! Every stager backend resolves to a [`DataObject`]: one named, growable,
+//! byte-addressable object supporting ranged reads and writes. The DSM's
+//! pages map 1:1 onto ranges of this flat space; the format-specific
+//! backends (h5lite datasets, pqlite record views) translate the flat space
+//! into their internal layout — which is exactly what lets MegaMmap
+//! "transparently load content from storage in the format applications
+//! expect to operate on".
+
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A named, growable, byte-addressable persistent object.
+pub trait DataObject: Send + Sync {
+    /// Current logical size in bytes.
+    fn len(&self) -> io::Result<u64>;
+
+    /// Whether the object is empty.
+    fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Read `buf.len()` bytes at `off`. Short reads past EOF fill with the
+    /// available bytes and return the count.
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Write `data` at `off`, growing the object if needed.
+    fn write_at(&self, off: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Set the logical size (truncate or zero-extend).
+    fn set_len(&self, len: u64) -> io::Result<()>;
+
+    /// Persist buffered state.
+    fn flush(&self) -> io::Result<()>;
+}
+
+/// Read the whole object into a vector (tests & small staging reads).
+pub fn read_all(obj: &dyn DataObject) -> io::Result<Vec<u8>> {
+    let len = obj.len()? as usize;
+    let mut buf = vec![0u8; len];
+    let n = obj.read_at(0, &mut buf)?;
+    buf.truncate(n);
+    Ok(buf)
+}
+
+/// A volatile in-memory object (the `mem://` scheme and test double).
+#[derive(Debug, Default, Clone)]
+pub struct MemObject {
+    data: Arc<RwLock<Vec<u8>>>,
+}
+
+impl MemObject {
+    /// Create an empty in-memory object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create from initial contents.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Self { data: Arc::new(RwLock::new(v)) }
+    }
+
+    /// Snapshot the contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.read().clone()
+    }
+}
+
+impl DataObject for MemObject {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.data.read().len() as u64)
+    }
+
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let data = self.data.read();
+        let off = off as usize;
+        if off >= data.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - off);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        Ok(n)
+    }
+
+    fn write_at(&self, off: u64, src: &[u8]) -> io::Result<()> {
+        let mut data = self.data.write();
+        let end = off as usize + src.len();
+        if end > data.len() {
+            data.resize(end, 0);
+        }
+        data[off as usize..end].copy_from_slice(src);
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.data.write().resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_object_ranged_io() {
+        let o = MemObject::new();
+        o.write_at(4, b"abcd").unwrap();
+        assert_eq!(o.len().unwrap(), 8);
+        let mut buf = [0u8; 8];
+        let n = o.read_at(0, &mut buf).unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(&buf, b"\0\0\0\0abcd");
+    }
+
+    #[test]
+    fn short_read_past_eof() {
+        let o = MemObject::from_vec(vec![1, 2, 3]);
+        let mut buf = [0u8; 10];
+        assert_eq!(o.read_at(2, &mut buf).unwrap(), 1);
+        assert_eq!(buf[0], 3);
+        assert_eq!(o.read_at(100, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn set_len_truncates_and_extends() {
+        let o = MemObject::from_vec(vec![9; 10]);
+        o.set_len(4).unwrap();
+        assert_eq!(o.to_vec(), vec![9; 4]);
+        o.set_len(6).unwrap();
+        assert_eq!(o.to_vec(), vec![9, 9, 9, 9, 0, 0]);
+    }
+
+    #[test]
+    fn read_all_helper() {
+        let o = MemObject::from_vec(vec![5; 17]);
+        assert_eq!(read_all(&o).unwrap(), vec![5; 17]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = MemObject::new();
+        let b = a.clone();
+        a.write_at(0, b"xy").unwrap();
+        assert_eq!(b.to_vec(), b"xy");
+    }
+}

@@ -1,0 +1,124 @@
+//! An S3-like in-memory object store.
+//!
+//! The paper's stager supports "storage services (e.g., PFS, Amazon S3)".
+//! [`ObjStore`] is the Amazon-S3 stand-in: buckets of named immutable-size
+//! semantics are relaxed to growable objects so the stager can write pages
+//! incrementally.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::object::{DataObject, MemObject};
+
+/// An in-memory bucket/key object service.
+#[derive(Debug, Default, Clone)]
+pub struct ObjStore {
+    buckets: Arc<RwLock<BTreeMap<String, BTreeMap<String, MemObject>>>>,
+}
+
+impl ObjStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open (creating if absent) the object at `bucket/key`.
+    pub fn open(&self, bucket: &str, key: &str) -> MemObject {
+        let mut buckets = self.buckets.write();
+        buckets
+            .entry(bucket.to_string())
+            .or_default()
+            .entry(key.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get the object if it exists.
+    pub fn get(&self, bucket: &str, key: &str) -> Option<MemObject> {
+        self.buckets.read().get(bucket)?.get(key).cloned()
+    }
+
+    /// Put full object contents.
+    pub fn put(&self, bucket: &str, key: &str, data: Vec<u8>) -> io::Result<()> {
+        let obj = self.open(bucket, key);
+        obj.set_len(0)?;
+        obj.write_at(0, &data)
+    }
+
+    /// Delete an object; `true` if it existed.
+    pub fn delete(&self, bucket: &str, key: &str) -> bool {
+        self.buckets
+            .write()
+            .get_mut(bucket)
+            .map(|b| b.remove(key).is_some())
+            .unwrap_or(false)
+    }
+
+    /// List keys in a bucket with the given prefix.
+    pub fn list(&self, bucket: &str, prefix: &str) -> Vec<String> {
+        self.buckets
+            .read()
+            .get(bucket)
+            .map(|b| b.keys().filter(|k| k.starts_with(prefix)).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total bytes stored (diagnostics).
+    pub fn total_bytes(&self) -> u64 {
+        self.buckets
+            .read()
+            .values()
+            .flat_map(|b| b.values())
+            .map(|o| o.len().unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::read_all;
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = ObjStore::new();
+        s.put("bkt", "a/b.bin", vec![1, 2, 3]).unwrap();
+        let o = s.get("bkt", "a/b.bin").unwrap();
+        assert_eq!(read_all(&o).unwrap(), vec![1, 2, 3]);
+        assert!(s.get("bkt", "missing").is_none());
+        assert!(s.get("nobucket", "a/b.bin").is_none());
+    }
+
+    #[test]
+    fn open_creates_and_shares() {
+        let s = ObjStore::new();
+        let a = s.open("b", "k");
+        a.write_at(0, b"hi").unwrap();
+        let b = s.open("b", "k");
+        assert_eq!(read_all(&b).unwrap(), b"hi");
+    }
+
+    #[test]
+    fn list_with_prefix() {
+        let s = ObjStore::new();
+        s.put("b", "x/1", vec![]).unwrap();
+        s.put("b", "x/2", vec![]).unwrap();
+        s.put("b", "y/3", vec![]).unwrap();
+        assert_eq!(s.list("b", "x/"), vec!["x/1", "x/2"]);
+        assert_eq!(s.list("b", "").len(), 3);
+        assert!(s.list("nope", "").is_empty());
+    }
+
+    #[test]
+    fn delete_and_totals() {
+        let s = ObjStore::new();
+        s.put("b", "k", vec![0u8; 100]).unwrap();
+        assert_eq!(s.total_bytes(), 100);
+        assert!(s.delete("b", "k"));
+        assert!(!s.delete("b", "k"));
+        assert_eq!(s.total_bytes(), 0);
+    }
+}

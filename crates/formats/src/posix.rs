@@ -1,0 +1,133 @@
+//! Plain binary files on a POSIX filesystem (`file://`).
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::object::DataObject;
+
+/// A [`DataObject`] backed by one file on disk.
+#[derive(Debug)]
+pub struct PosixObject {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl PosixObject {
+    /// Open or create the file at `path` for ranged read/write.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+        Ok(Self { path, file: Mutex::new(file) })
+    }
+
+    /// Open an existing file read/write; errors if it does not exist.
+    pub fn open_existing(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        Ok(Self { path, file: Mutex::new(file) })
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl DataObject for PosixObject {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let file = self.file.lock();
+        let len = file.metadata()?.len();
+        if off >= len {
+            return Ok(0);
+        }
+        let want = buf.len().min((len - off) as usize);
+        let mut done = 0;
+        while done < want {
+            let n = file.read_at(&mut buf[done..want], off + done as u64)?;
+            if n == 0 {
+                break;
+            }
+            done += n;
+        }
+        Ok(done)
+    }
+
+    fn write_at(&self, off: u64, data: &[u8]) -> io::Result<()> {
+        let file = self.file.lock();
+        file.write_all_at(data, off)
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.file.lock().set_len(len)
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.file.lock().sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::read_all;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("megammap-formats-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn ranged_io_round_trip() {
+        let p = tmp("posix-roundtrip");
+        let o = PosixObject::open(&p).unwrap();
+        o.set_len(0).unwrap();
+        o.write_at(10, b"hello").unwrap();
+        assert_eq!(o.len().unwrap(), 15);
+        let mut buf = [0u8; 5];
+        assert_eq!(o.read_at(10, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let p = tmp("posix-reopen");
+        {
+            let o = PosixObject::open(&p).unwrap();
+            o.set_len(0).unwrap();
+            o.write_at(0, b"persist me").unwrap();
+            o.flush().unwrap();
+        }
+        let o = PosixObject::open_existing(&p).unwrap();
+        assert_eq!(read_all(&o).unwrap(), b"persist me");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn open_existing_fails_on_missing() {
+        assert!(PosixObject::open_existing("/definitely/not/here.bin").is_err());
+    }
+
+    #[test]
+    fn creates_parent_dirs() {
+        let p = tmp("nested").join("a/b/c.bin");
+        let o = PosixObject::open(&p).unwrap();
+        o.write_at(0, b"x").unwrap();
+        assert!(p.exists());
+        std::fs::remove_dir_all(tmp("nested")).ok();
+    }
+}

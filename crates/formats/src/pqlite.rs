@@ -1,0 +1,555 @@
+//! `pqlite` — a columnar container format standing in for Apache Parquet.
+//!
+//! A container stores a schema (named, typed columns) and a sequence of
+//! **row groups**; within a row group each column's values are contiguous
+//! (column chunks). The layout is real and self-describing:
+//!
+//! ```text
+//! [8 B magic "PQLITE\x00\x01"]
+//! [row group 0: col0 chunk | col1 chunk | ...]
+//! [row group 1: ...]
+//! [footer: schema + row-group index][footer_len u64][8 B magic]
+//! ```
+//!
+//! [`PqRecords`] additionally exposes the container as a flat, row-major
+//! record space implementing [`DataObject`] — the adapter that lets a
+//! MegaMmap vector of fixed-size records be backed by a columnar file, with
+//! gather/scatter between record space and column chunks happening on
+//! stage-in/stage-out.
+
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::dtype::DType;
+use crate::object::DataObject;
+
+const MAGIC: &[u8; 8] = b"PQLITE\x00\x01";
+const HEADER_LEN: u64 = 8;
+const FOOTER_TAIL: u64 = 8 + 8; // footer_len + magic
+
+fn err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// One column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl Column {
+    /// Shorthand constructor.
+    pub fn new(name: &str, dtype: DType) -> Self {
+        Self { name: name.to_string(), dtype }
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The columns, in record order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self { columns }
+    }
+
+    /// Bytes of one row-major record.
+    pub fn record_size(&self) -> usize {
+        self.columns.iter().map(|c| c.dtype.size()).sum()
+    }
+
+    /// Byte offset of column `i` within a record.
+    pub fn col_offset(&self, i: usize) -> usize {
+        self.columns[..i].iter().map(|c| c.dtype.size()).sum()
+    }
+
+    /// Index of the column with `name`.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RowGroup {
+    /// Row count in this group.
+    rows: u64,
+    /// File offset where the group's first column chunk starts.
+    off: u64,
+}
+
+struct Inner {
+    obj: Box<dyn DataObject>,
+    schema: Schema,
+    state: RwLock<State>,
+}
+
+struct State {
+    groups: Vec<RowGroup>,
+    data_end: u64,
+}
+
+/// An open `pqlite` container.
+#[derive(Clone)]
+pub struct PqFile {
+    inner: Arc<Inner>,
+}
+
+impl PqFile {
+    /// Create a fresh container with `schema` (truncates existing content).
+    pub fn create(obj: Box<dyn DataObject>, schema: Schema) -> io::Result<Self> {
+        if schema.columns.is_empty() {
+            return Err(err("pqlite: empty schema"));
+        }
+        obj.set_len(0)?;
+        obj.write_at(0, MAGIC)?;
+        let f = Self {
+            inner: Arc::new(Inner {
+                obj,
+                schema,
+                state: RwLock::new(State { groups: Vec::new(), data_end: HEADER_LEN }),
+            }),
+        };
+        f.flush()?;
+        Ok(f)
+    }
+
+    /// Open an existing container.
+    pub fn open(obj: Box<dyn DataObject>) -> io::Result<Self> {
+        let len = obj.len()?;
+        if len < HEADER_LEN + FOOTER_TAIL {
+            return Err(err("pqlite: file too small"));
+        }
+        let mut head = [0u8; 8];
+        obj.read_at(0, &mut head)?;
+        if &head != MAGIC {
+            return Err(err("pqlite: bad header magic"));
+        }
+        let mut tail = [0u8; FOOTER_TAIL as usize];
+        obj.read_at(len - FOOTER_TAIL, &mut tail)?;
+        if &tail[8..16] != MAGIC {
+            return Err(err("pqlite: bad footer magic"));
+        }
+        let flen = u64::from_le_bytes(tail[0..8].try_into().unwrap());
+        let foff = len - FOOTER_TAIL - flen;
+        let mut fbytes = vec![0u8; flen as usize];
+        obj.read_at(foff, &mut fbytes)?;
+        let (schema, groups) = decode_footer(&fbytes)?;
+        Ok(Self {
+            inner: Arc::new(Inner {
+                obj,
+                schema,
+                state: RwLock::new(State { groups, data_end: foff }),
+            }),
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    /// Number of row groups.
+    pub fn num_row_groups(&self) -> usize {
+        self.inner.state.read().groups.len()
+    }
+
+    /// Total rows across all groups.
+    pub fn num_rows(&self) -> u64 {
+        self.inner.state.read().groups.iter().map(|g| g.rows).sum()
+    }
+
+    /// Rows in group `rg`.
+    pub fn rows_in(&self, rg: usize) -> io::Result<u64> {
+        self.inner
+            .state
+            .read()
+            .groups
+            .get(rg)
+            .map(|g| g.rows)
+            .ok_or_else(|| err(format!("pqlite: no row group {rg}")))
+    }
+
+    /// Append a row group. `cols[i]` holds the little-endian values of
+    /// column `i`; all columns must describe the same row count.
+    pub fn append_row_group(&self, cols: &[Vec<u8>]) -> io::Result<()> {
+        let schema = &self.inner.schema;
+        if cols.len() != schema.columns.len() {
+            return Err(err("pqlite: column count mismatch"));
+        }
+        let rows = cols[0].len() as u64 / schema.columns[0].dtype.size() as u64;
+        for (c, col) in cols.iter().zip(&schema.columns) {
+            if c.len() as u64 != rows * col.dtype.size() as u64 {
+                return Err(err(format!("pqlite: column {:?} length mismatch", col.name)));
+            }
+        }
+        let mut st = self.inner.state.write();
+        let off = st.data_end;
+        let mut pos = off;
+        for c in cols {
+            self.inner.obj.write_at(pos, c)?;
+            pos += c.len() as u64;
+        }
+        st.data_end = pos;
+        st.groups.push(RowGroup { rows, off });
+        Ok(())
+    }
+
+    fn chunk_loc(&self, rg: usize, col: usize) -> io::Result<(u64, u64)> {
+        let st = self.inner.state.read();
+        let g = st.groups.get(rg).ok_or_else(|| err("pqlite: bad row group"))?;
+        let schema = &self.inner.schema;
+        if col >= schema.columns.len() {
+            return Err(err("pqlite: bad column"));
+        }
+        let mut off = g.off;
+        for c in &schema.columns[..col] {
+            off += g.rows * c.dtype.size() as u64;
+        }
+        Ok((off, g.rows * schema.columns[col].dtype.size() as u64))
+    }
+
+    /// Read one column chunk.
+    pub fn read_column(&self, rg: usize, col: usize) -> io::Result<Vec<u8>> {
+        let (off, len) = self.chunk_loc(rg, col)?;
+        let mut buf = vec![0u8; len as usize];
+        self.inner.obj.read_at(off, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Overwrite one column chunk in place (length must match).
+    pub fn write_column(&self, rg: usize, col: usize, data: &[u8]) -> io::Result<()> {
+        let (off, len) = self.chunk_loc(rg, col)?;
+        if data.len() as u64 != len {
+            return Err(err("pqlite: chunk length mismatch"));
+        }
+        self.inner.obj.write_at(off, data)
+    }
+
+    /// Persist the footer; the container becomes reopenable.
+    pub fn flush(&self) -> io::Result<()> {
+        let st = self.inner.state.read();
+        let fbytes = encode_footer(&self.inner.schema, &st.groups);
+        let foff = st.data_end;
+        self.inner.obj.write_at(foff, &fbytes)?;
+        let mut tail = Vec::with_capacity(FOOTER_TAIL as usize);
+        tail.extend_from_slice(&(fbytes.len() as u64).to_le_bytes());
+        tail.extend_from_slice(MAGIC);
+        self.inner.obj.write_at(foff + fbytes.len() as u64, &tail)?;
+        self.inner.obj.set_len(foff + fbytes.len() as u64 + FOOTER_TAIL)?;
+        self.inner.obj.flush()
+    }
+}
+
+fn encode_footer(schema: &Schema, groups: &[RowGroup]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(schema.columns.len() as u32).to_le_bytes());
+    for c in &schema.columns {
+        out.extend_from_slice(&(c.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(c.name.as_bytes());
+        out.push(c.dtype.tag());
+    }
+    out.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+    for g in groups {
+        out.extend_from_slice(&g.rows.to_le_bytes());
+        out.extend_from_slice(&g.off.to_le_bytes());
+    }
+    out
+}
+
+fn decode_footer(bytes: &[u8]) -> io::Result<(Schema, Vec<RowGroup>)> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> io::Result<&[u8]> {
+        if *pos + n > bytes.len() {
+            return Err(err("pqlite: truncated footer"));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let ncols = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let mut columns = Vec::with_capacity(ncols as usize);
+    for _ in 0..ncols {
+        let nlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+            .map_err(|_| err("pqlite: bad column name"))?;
+        let dtype = DType::from_tag(take(&mut pos, 1)?[0]).ok_or_else(|| err("bad dtype"))?;
+        columns.push(Column { name, dtype });
+    }
+    let ngroups = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let mut groups = Vec::with_capacity(ngroups as usize);
+    for _ in 0..ngroups {
+        let rows = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let off = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        groups.push(RowGroup { rows, off });
+    }
+    Ok((Schema { columns }, groups))
+}
+
+/// Row-major record view over a [`PqFile`], implementing [`DataObject`].
+///
+/// Byte offset `i * record_size + col_offset(c)` in the view corresponds to
+/// row `i`, column `c`. Reads gather from column chunks; writes scatter back.
+/// Writes must stay within the existing rows (appends go through
+/// [`PqFile::append_row_group`]).
+#[derive(Clone)]
+pub struct PqRecords {
+    file: PqFile,
+}
+
+impl PqRecords {
+    /// Wrap an open container.
+    pub fn new(file: PqFile) -> Self {
+        Self { file }
+    }
+
+    /// The underlying container.
+    pub fn file(&self) -> &PqFile {
+        &self.file
+    }
+
+    fn record_size(&self) -> u64 {
+        self.file.schema().record_size() as u64
+    }
+
+    /// Translate `(row range)` to per-group work and invoke `f(rg, first
+    /// row in rg, rows, global first row)`.
+    fn for_groups(
+        &self,
+        row0: u64,
+        rows: u64,
+        mut f: impl FnMut(usize, u64, u64, u64) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let mut base = 0u64;
+        let ngroups = self.file.num_row_groups();
+        let mut remaining_start = row0;
+        let mut remaining = rows;
+        for rg in 0..ngroups {
+            let g_rows = self.file.rows_in(rg)?;
+            let g_end = base + g_rows;
+            if remaining > 0 && remaining_start < g_end {
+                let local = remaining_start - base;
+                let take = remaining.min(g_rows - local);
+                f(rg, local, take, remaining_start)?;
+                remaining_start += take;
+                remaining -= take;
+            }
+            base = g_end;
+            if remaining == 0 {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DataObject for PqRecords {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.num_rows() * self.record_size())
+    }
+
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let rsz = self.record_size();
+        let total = self.len()?;
+        if off >= total {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(total - off);
+        // Work over whole records covering [off, off+want), then copy the
+        // requested byte window out.
+        let row0 = off / rsz;
+        let row_end = (off + want).div_ceil(rsz);
+        let mut records = vec![0u8; ((row_end - row0) * rsz) as usize];
+        let schema = self.file.schema().clone();
+        self.for_groups(row0, row_end - row0, |rg, local, take, global0| {
+            for (ci, col) in schema.columns.iter().enumerate() {
+                let chunk = self.file.read_column(rg, ci)?;
+                let esz = col.dtype.size() as u64;
+                let coff = schema.col_offset(ci) as u64;
+                for r in 0..take {
+                    let src = ((local + r) * esz) as usize;
+                    let dst = (((global0 + r) - row0) * rsz + coff) as usize;
+                    records[dst..dst + esz as usize]
+                        .copy_from_slice(&chunk[src..src + esz as usize]);
+                }
+            }
+            Ok(())
+        })?;
+        let skip = (off - row0 * rsz) as usize;
+        buf[..want as usize].copy_from_slice(&records[skip..skip + want as usize]);
+        Ok(want as usize)
+    }
+
+    fn write_at(&self, off: u64, data: &[u8]) -> io::Result<()> {
+        let rsz = self.record_size();
+        let total = self.len()?;
+        if off + data.len() as u64 > total {
+            return Err(err("pqlite: record write past end (append via row groups)"));
+        }
+        let row0 = off / rsz;
+        let row_end = (off + data.len() as u64).div_ceil(rsz);
+        // Read-modify-write whole covering records.
+        let mut records = vec![0u8; ((row_end - row0) * rsz) as usize];
+        self.read_at(row0 * rsz, &mut records)?;
+        let skip = (off - row0 * rsz) as usize;
+        records[skip..skip + data.len()].copy_from_slice(data);
+        let schema = self.file.schema().clone();
+        self.for_groups(row0, row_end - row0, |rg, local, take, global0| {
+            for (ci, col) in schema.columns.iter().enumerate() {
+                let mut chunk = self.file.read_column(rg, ci)?;
+                let esz = col.dtype.size() as u64;
+                let coff = schema.col_offset(ci) as u64;
+                for r in 0..take {
+                    let dst = ((local + r) * esz) as usize;
+                    let src = (((global0 + r) - row0) * rsz + coff) as usize;
+                    chunk[dst..dst + esz as usize]
+                        .copy_from_slice(&records[src..src + esz as usize]);
+                }
+                self.file.write_column(rg, ci, &chunk)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        if len == self.len()? {
+            Ok(())
+        } else {
+            Err(err("pqlite: record view cannot resize; append row groups"))
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::MemObject;
+
+    fn xyz_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("x", DType::F32),
+            Column::new("y", DType::F32),
+            Column::new("z", DType::F32),
+        ])
+    }
+
+    fn col_f32(vals: &[f32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn write_and_read_columns() {
+        let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
+        f.append_row_group(&[col_f32(&[1.0, 2.0]), col_f32(&[3.0, 4.0]), col_f32(&[5.0, 6.0])])
+            .unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.read_column(0, 1).unwrap(), col_f32(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn reopen_round_trip() {
+        let obj = MemObject::new();
+        {
+            let f = PqFile::create(Box::new(obj.clone()), xyz_schema()).unwrap();
+            f.append_row_group(&[col_f32(&[1.0]), col_f32(&[2.0]), col_f32(&[3.0])]).unwrap();
+            f.append_row_group(&[col_f32(&[4.0]), col_f32(&[5.0]), col_f32(&[6.0])]).unwrap();
+            f.flush().unwrap();
+        }
+        let f = PqFile::open(Box::new(obj)).unwrap();
+        assert_eq!(f.schema(), &xyz_schema());
+        assert_eq!(f.num_row_groups(), 2);
+        assert_eq!(f.read_column(1, 2).unwrap(), col_f32(&[6.0]));
+    }
+
+    #[test]
+    fn mismatched_columns_rejected() {
+        let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
+        assert!(f.append_row_group(&[col_f32(&[1.0])]).is_err(), "wrong column count");
+        assert!(
+            f.append_row_group(&[col_f32(&[1.0]), col_f32(&[2.0, 9.0]), col_f32(&[3.0])])
+                .is_err(),
+            "ragged rows"
+        );
+    }
+
+    #[test]
+    fn record_view_gathers_row_major() {
+        let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
+        f.append_row_group(&[col_f32(&[1.0, 4.0]), col_f32(&[2.0, 5.0]), col_f32(&[3.0, 6.0])])
+            .unwrap();
+        let rec = PqRecords::new(f);
+        assert_eq!(rec.len().unwrap(), 2 * 12);
+        let mut buf = [0u8; 24];
+        rec.read_at(0, &mut buf).unwrap();
+        let vals: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn record_view_scatters_writes() {
+        let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
+        f.append_row_group(&[col_f32(&[0.0; 3]), col_f32(&[0.0; 3]), col_f32(&[0.0; 3])])
+            .unwrap();
+        let rec = PqRecords::new(f.clone());
+        // Write record 1 = (7, 8, 9).
+        let bytes = col_f32(&[7.0, 8.0, 9.0]);
+        rec.write_at(12, &bytes).unwrap();
+        assert_eq!(f.read_column(0, 0).unwrap(), col_f32(&[0.0, 7.0, 0.0]));
+        assert_eq!(f.read_column(0, 2).unwrap(), col_f32(&[0.0, 9.0, 0.0]));
+    }
+
+    #[test]
+    fn record_view_spans_row_groups() {
+        let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
+        f.append_row_group(&[col_f32(&[1.0]), col_f32(&[2.0]), col_f32(&[3.0])]).unwrap();
+        f.append_row_group(&[col_f32(&[4.0]), col_f32(&[5.0]), col_f32(&[6.0])]).unwrap();
+        let rec = PqRecords::new(f);
+        // Read a window crossing the group boundary: bytes 8..20 = z of row
+        // 0 and x,y of row 1.
+        let mut buf = [0u8; 12];
+        rec.read_at(8, &mut buf).unwrap();
+        let vals: Vec<f32> =
+            buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(vals, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn unaligned_partial_record_write() {
+        let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
+        f.append_row_group(&[col_f32(&[1.0, 2.0]), col_f32(&[3.0, 4.0]), col_f32(&[5.0, 6.0])])
+            .unwrap();
+        let rec = PqRecords::new(f.clone());
+        // Overwrite just y of row 0 (bytes 4..8).
+        rec.write_at(4, &42f32.to_le_bytes()).unwrap();
+        assert_eq!(f.read_column(0, 1).unwrap(), col_f32(&[42.0, 4.0]));
+        assert_eq!(f.read_column(0, 0).unwrap(), col_f32(&[1.0, 2.0]), "x untouched");
+    }
+
+    #[test]
+    fn record_write_past_end_rejected() {
+        let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
+        f.append_row_group(&[col_f32(&[1.0]), col_f32(&[2.0]), col_f32(&[3.0])]).unwrap();
+        let rec = PqRecords::new(f);
+        assert!(rec.write_at(12, &[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(PqFile::create(Box::new(MemObject::new()), Schema::default()).is_err());
+    }
+}

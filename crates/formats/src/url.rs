@@ -1,0 +1,185 @@
+//! Vector-key URLs.
+//!
+//! Persistent MegaMmap vectors are named by a URL: *"the key of the vector
+//! is structured as a URL (i.e., `protocol://URI:params`), where all
+//! information needed to read and write the object ... [is] provided"*.
+//! Examples from the paper:
+//!
+//! * `hdf5:///path/to/df.h5:mygroup` — an HDF5 group within a file;
+//! * `file:///path/to/dataset.parquet*` — a glob over many files presented
+//!   as one uniform vector.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Supported backend protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Plain binary file(s) on a POSIX filesystem (supports `*` globs).
+    File,
+    /// A dataset inside an [`h5lite`](crate::h5lite) container.
+    Hdf5,
+    /// A column-set inside a [`pqlite`](crate::pqlite) container.
+    Parquet,
+    /// An object in the S3-like [`objstore`](crate::objstore).
+    Obj,
+    /// A volatile in-memory object (temporary shared data).
+    Mem,
+}
+
+impl Scheme {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "file" => Some(Scheme::File),
+            "hdf5" | "h5" => Some(Scheme::Hdf5),
+            "parquet" | "pq" => Some(Scheme::Parquet),
+            "obj" | "s3" => Some(Scheme::Obj),
+            "mem" => Some(Scheme::Mem),
+            _ => None,
+        }
+    }
+
+    /// Canonical scheme string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::File => "file",
+            Scheme::Hdf5 => "hdf5",
+            Scheme::Parquet => "parquet",
+            Scheme::Obj => "obj",
+            Scheme::Mem => "mem",
+        }
+    }
+}
+
+/// Error produced when a vector key is not a valid URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlError(pub String);
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid data URL: {}", self.0)
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+/// A parsed vector key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DataUrl {
+    /// Backend protocol.
+    pub scheme: Scheme,
+    /// Path or object name (may contain `*` for `file://`).
+    pub path: String,
+    /// Optional `:params` suffix — e.g. the HDF5 group / parquet column set.
+    pub params: Option<String>,
+}
+
+impl DataUrl {
+    /// Parse `protocol://URI[:params]`.
+    ///
+    /// The `:params` separator is the **last** colon after the authority
+    /// part, so Windows-style or nested paths keep working.
+    pub fn parse(key: &str) -> Result<Self, UrlError> {
+        let (scheme_str, rest) = key
+            .split_once("://")
+            .ok_or_else(|| UrlError(format!("missing '://' in {key:?}")))?;
+        let scheme = Scheme::parse(scheme_str)
+            .ok_or_else(|| UrlError(format!("unknown scheme {scheme_str:?}")))?;
+        if rest.is_empty() {
+            return Err(UrlError(format!("empty path in {key:?}")));
+        }
+        // Split params on the last ':' that is not part of the path root.
+        let (path, params) = match rest.rsplit_once(':') {
+            Some((p, q)) if !p.is_empty() && !q.is_empty() && !q.contains('/') => {
+                (p.to_string(), Some(q.to_string()))
+            }
+            _ => (rest.to_string(), None),
+        };
+        Ok(Self { scheme, path, params })
+    }
+
+    /// Build an in-memory volatile URL from a plain name.
+    pub fn mem(name: &str) -> Self {
+        Self { scheme: Scheme::Mem, path: name.to_string(), params: None }
+    }
+
+    /// Whether the path contains a `*` glob.
+    pub fn is_glob(&self) -> bool {
+        self.path.contains('*')
+    }
+
+    /// The path as a filesystem path.
+    pub fn fs_path(&self) -> PathBuf {
+        PathBuf::from(&self.path)
+    }
+
+    /// Canonical string form.
+    pub fn to_string_key(&self) -> String {
+        match &self.params {
+            Some(p) => format!("{}://{}:{}", self.scheme.as_str(), self.path, p),
+            None => format!("{}://{}", self.scheme.as_str(), self.path),
+        }
+    }
+}
+
+impl fmt::Display for DataUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        let u = DataUrl::parse("hdf5:///path/to/df.h5:mygroup").unwrap();
+        assert_eq!(u.scheme, Scheme::Hdf5);
+        assert_eq!(u.path, "/path/to/df.h5");
+        assert_eq!(u.params.as_deref(), Some("mygroup"));
+
+        let u = DataUrl::parse("file:///path/to/dataset.parquet*").unwrap();
+        assert_eq!(u.scheme, Scheme::File);
+        assert!(u.is_glob());
+        assert_eq!(u.params, None);
+    }
+
+    #[test]
+    fn scheme_aliases() {
+        assert_eq!(DataUrl::parse("pq:///d.pq").unwrap().scheme, Scheme::Parquet);
+        assert_eq!(DataUrl::parse("s3://bucket/key").unwrap().scheme, Scheme::Obj);
+        assert_eq!(DataUrl::parse("h5:///a.h5").unwrap().scheme, Scheme::Hdf5);
+    }
+
+    #[test]
+    fn rejects_bad_urls() {
+        assert!(DataUrl::parse("no-scheme-here").is_err());
+        assert!(DataUrl::parse("ftp:///nope").is_err());
+        assert!(DataUrl::parse("file://").is_err());
+    }
+
+    #[test]
+    fn params_split_ignores_path_colons() {
+        // A colon followed by something containing '/' is part of the path.
+        let u = DataUrl::parse("file:///a/b:c/d").unwrap();
+        assert_eq!(u.path, "/a/b:c/d");
+        assert_eq!(u.params, None);
+    }
+
+    #[test]
+    fn round_trips_to_string() {
+        for key in ["hdf5:///x.h5:grp", "file:///plain.bin", "mem://scratch"] {
+            let u = DataUrl::parse(key).unwrap();
+            assert_eq!(u.to_string_key(), key);
+            assert_eq!(DataUrl::parse(&u.to_string_key()).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn mem_constructor() {
+        let u = DataUrl::mem("scratch");
+        assert_eq!(u.scheme, Scheme::Mem);
+        assert_eq!(u.to_string_key(), "mem://scratch");
+    }
+}

@@ -1,0 +1,131 @@
+//! The driver/executor context.
+
+use std::cell::RefCell;
+
+use megammap_cluster::{MemGuard, OomError, Proc};
+use megammap_sim::CpuModel;
+
+use crate::rdd::Rdd;
+
+/// Dataset copies Spark keeps resident after a load: the raw input buffer,
+/// the deserialized objects, and the storage-level cache.
+pub const LOAD_COPIES: u64 = 3;
+
+/// Per-process Spark executor context (rank 0 doubles as the driver).
+pub struct SparkContext<'a> {
+    pub(crate) p: &'a Proc,
+    pub(crate) cpu: CpuModel,
+    /// Live allocations modelling the JVM heap; freed when the context
+    /// drops (job end), which is what makes Spark's *peak* memory high.
+    pub(crate) heap: RefCell<Vec<MemGuard>>,
+}
+
+impl<'a> SparkContext<'a> {
+    /// Create an executor context on this process. Compute runs on the JVM
+    /// cost model regardless of the cluster's native CPU setting.
+    pub fn new(p: &'a Proc) -> Self {
+        Self { p, cpu: p.cpu().with_slowdown(p.cpu().slowdown.max(1.8)), heap: RefCell::new(Vec::new()) }
+    }
+
+    /// Whether this process is the driver.
+    pub fn is_driver(&self) -> bool {
+        self.p.rank() == 0
+    }
+
+    /// The underlying process context.
+    pub fn proc(&self) -> &'a Proc {
+        self.p
+    }
+
+    /// Reserve `bytes` on the executor heap (fails like a JVM OOM).
+    pub(crate) fn heap_alloc(&self, bytes: u64) -> Result<(), OomError> {
+        let g = self.p.alloc(bytes)?;
+        self.heap.borrow_mut().push(g);
+        Ok(())
+    }
+
+    /// Load this executor's partition of a dataset: `records` become an
+    /// RDD of `elem_bytes`-sized elements. Charges deserialization time
+    /// plus [`LOAD_COPIES`] resident copies of the partition.
+    pub fn load_partition<T: Clone + Send + 'static>(
+        &self,
+        records: Vec<T>,
+        elem_bytes: u64,
+    ) -> Result<Rdd<'_, 'a, T>, OomError> {
+        let bytes = records.len() as u64 * elem_bytes;
+        self.heap_alloc(bytes * LOAD_COPIES)?;
+        // Read + deserialize the input buffer.
+        self.p.advance(self.cpu.serde_ns(bytes));
+        Ok(Rdd::new(self, records, elem_bytes))
+    }
+
+    /// Current executor heap usage on this node (bytes).
+    pub fn heap_used(&self) -> u64 {
+        self.heap.borrow().iter().map(|g| g.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megammap_cluster::{Cluster, ClusterSpec};
+    use megammap_sim::LinkProfile;
+
+    fn spark_cluster(nodes: usize, procs: usize, dram: u64) -> Cluster {
+        Cluster::new(
+            ClusterSpec::new(nodes, procs)
+                .link(LinkProfile::tcp_40g())
+                .cpu(CpuModel::jvm())
+                .dram_per_node(dram),
+        )
+    }
+
+    #[test]
+    fn load_charges_three_copies() {
+        let cluster = spark_cluster(1, 1, 10_000_000);
+        let (_, report) = cluster.run(|p| {
+            let sc = SparkContext::new(p);
+            let rdd = sc.load_partition(vec![1.0f64; 1000], 8).unwrap();
+            assert_eq!(rdd.len(), 1000);
+            assert_eq!(sc.heap_used(), 3 * 8000);
+        });
+        assert_eq!(report.node_peak_mem[0], 24_000);
+    }
+
+    #[test]
+    fn load_oom_when_partition_too_large() {
+        let cluster = spark_cluster(1, 1, 10_000);
+        let (outs, _) = cluster.run(|p| {
+            let sc = SparkContext::new(p);
+            sc.load_partition(vec![0u8; 5_000], 1).is_err()
+        });
+        assert!(outs[0], "3 x 5000 > 10000 must OOM");
+    }
+
+    #[test]
+    fn jvm_compute_slower_than_native() {
+        let cluster = spark_cluster(1, 1, 1 << 30);
+        let (outs, _) = cluster.run(|p| {
+            let sc = SparkContext::new(p);
+            let t0 = p.now();
+            p.advance(sc.cpu.flops_ns(1_000_000));
+            p.now() - t0
+        });
+        let native = CpuModel::native().flops_ns(1_000_000);
+        assert!(outs[0] > native, "JVM {0} vs native {native}", outs[0]);
+    }
+
+    #[test]
+    fn heap_freed_at_context_drop() {
+        let cluster = spark_cluster(1, 1, 1 << 20);
+        let (_, report) = cluster.run(|p| {
+            {
+                let sc = SparkContext::new(p);
+                sc.load_partition(vec![0u8; 1000], 1).unwrap();
+                assert!(p.node_mem().used() >= 3000);
+            }
+            assert_eq!(p.node_mem().used(), 0, "job end releases the heap");
+        });
+        assert!(report.node_peak_mem[0] >= 3000, "peak remembers the copies");
+    }
+}

@@ -1,0 +1,26 @@
+//! # megammap-minispark — the Apache Spark (MLlib) style baseline
+//!
+//! The paper's Fig. 5 compares MegaMmap's KMeans and Random Forest against
+//! Apache Spark 3.4.1 MLlib (fault tolerance disabled). Spark loses for
+//! three measurable reasons the paper names:
+//!
+//! 1. "its use of the slower TCP protocol" — run the cluster with
+//!    [`LinkProfile::tcp_40g`](megammap_sim::LinkProfile::tcp_40g);
+//! 2. "the Java Runtime" — every compute charge goes through a JVM
+//!    [`CpuModel`](megammap_sim::CpuModel) (~1.8× slowdown);
+//! 3. "Spark creates several copies of the dataset when initially loading
+//!    data from the backend and during the map/reduce phases ... Spark used
+//!    3-4x the amount of DRAM" — [`SparkContext::load_partition`] allocates
+//!    three resident copies against the node's DRAM ledger, and every
+//!    `map` materializes a new one.
+//!
+//! The engine is a real (if small) RDD implementation: partitions hold real
+//! records, `map`/`filter`/`reduce`/`collect`/`shuffle_by_key` really
+//! compute, and their costs (serde passes, TCP messages, JVM compute,
+//! resident copies) are charged to the virtual clock and memory ledgers.
+
+pub mod context;
+pub mod rdd;
+
+pub use context::SparkContext;
+pub use rdd::Rdd;

@@ -1,0 +1,257 @@
+//! Resilient-distributed-dataset operations.
+//!
+//! Each [`Rdd`] value is *this executor's partition* of a distributed
+//! dataset (the SPMD view, matching how the cluster substrate runs one
+//! thread per executor). Narrow operations (`map`, `filter`) stay local;
+//! wide operations (`reduce`, `collect`, `shuffle_by_key`) serialize,
+//! cross the (TCP-profile) network through the cluster collectives, and
+//! charge driver-side merge compute.
+
+use megammap_cluster::comm::ReduceOp;
+use megammap_cluster::OomError;
+
+use crate::context::SparkContext;
+
+/// One executor's partition of a distributed dataset.
+pub struct Rdd<'s, 'a, T> {
+    ctx: &'s SparkContext<'a>,
+    data: Vec<T>,
+    elem_bytes: u64,
+}
+
+impl<'s, 'a, T: Clone + Send + 'static> Rdd<'s, 'a, T> {
+    pub(crate) fn new(ctx: &'s SparkContext<'a>, data: Vec<T>, elem_bytes: u64) -> Self {
+        Self { ctx, data, elem_bytes }
+    }
+
+    /// Records in this partition.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether this partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the partition's records.
+    pub fn records(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Partition size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 * self.elem_bytes
+    }
+
+    /// Narrow transformation: apply `f` to every record, materializing a
+    /// new partition (`flops_per_elem` models `f`'s arithmetic cost,
+    /// `elem_bytes_out` the new record size).
+    pub fn map<U: Clone + Send + 'static>(
+        &self,
+        elem_bytes_out: u64,
+        flops_per_elem: u64,
+        f: impl FnMut(&T) -> U,
+    ) -> Result<Rdd<'s, 'a, U>, OomError> {
+        let out: Vec<U> = self.data.iter().map(f).collect();
+        let p = self.ctx.p;
+        p.advance(self.ctx.cpu.flops_ns(flops_per_elem * self.data.len() as u64));
+        let out_bytes = out.len() as u64 * elem_bytes_out;
+        // The new partition is materialized on the heap alongside the old.
+        self.ctx.heap_alloc(out_bytes)?;
+        p.advance(self.ctx.cpu.mem_ns(self.bytes() + out_bytes));
+        Ok(Rdd::new(self.ctx, out, elem_bytes_out))
+    }
+
+    /// Narrow transformation: keep records matching `pred`.
+    pub fn filter(&self, flops_per_elem: u64, pred: impl FnMut(&&T) -> bool) -> Result<Rdd<'s, 'a, T>, OomError> {
+        let out: Vec<T> = self.data.iter().filter(pred).cloned().collect();
+        let p = self.ctx.p;
+        p.advance(self.ctx.cpu.flops_ns(flops_per_elem * self.data.len() as u64));
+        self.ctx.heap_alloc(out.len() as u64 * self.elem_bytes)?;
+        Ok(Rdd::new(self.ctx, out, self.elem_bytes))
+    }
+
+    /// Wide action: fold every record across all executors. The partition
+    /// is folded locally (JVM compute), partial results are serialized and
+    /// shipped to the driver (TCP collective), merged, and broadcast back.
+    pub fn reduce(
+        &self,
+        flops_per_elem: u64,
+        zero: T,
+        mut fold: impl FnMut(T, &T) -> T,
+        mut merge: impl FnMut(T, &T) -> T,
+    ) -> T
+    where
+        T: Sync,
+    {
+        let p = self.ctx.p;
+        let mut acc = zero;
+        for r in &self.data {
+            acc = fold(acc, r);
+        }
+        p.advance(self.ctx.cpu.flops_ns(flops_per_elem * self.data.len() as u64));
+        // Serialize the partial + the collective exchange.
+        p.advance(self.ctx.cpu.serde_ns(self.elem_bytes));
+        let world = p.world();
+        let partials = world.allgather(p, vec![acc], self.elem_bytes);
+        // Driver-side merge replayed on every executor (SPMD broadcastation
+        // of the merged value).
+        let mut it = partials.iter();
+        let mut total = it.next().expect("nonempty world").clone();
+        for part in it {
+            total = merge(total, part);
+        }
+        p.advance(self.ctx.cpu.flops_ns(flops_per_elem * world.size() as u64));
+        total
+    }
+
+    /// Wide action: gather every record on every executor (driver collect
+    /// + broadcast). Charges full serialization both ways.
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Sync,
+    {
+        let p = self.ctx.p;
+        p.advance(self.ctx.cpu.serde_ns(self.bytes()));
+        let world = p.world();
+        let all = world.allgather(p, self.data.clone(), self.elem_bytes);
+        p.advance(self.ctx.cpu.serde_ns(all.len() as u64 * self.elem_bytes));
+        all
+    }
+
+    /// Wide transformation: redistribute records so that each record lands
+    /// on executor `key(r) % nprocs`. The full shuffle write (serialize) and
+    /// shuffle read (deserialize) are charged, plus a resident copy.
+    pub fn shuffle_by_key(
+        &self,
+        mut key: impl FnMut(&T) -> u64,
+    ) -> Result<Rdd<'s, 'a, T>, OomError>
+    where
+        T: Sync,
+    {
+        let p = self.ctx.p;
+        let n = p.nprocs() as u64;
+        // Shuffle write: serialize all outgoing records.
+        p.advance(self.ctx.cpu.serde_ns(self.bytes()));
+        let tagged: Vec<(u64, T)> =
+            self.data.iter().map(|r| (key(r) % n, r.clone())).collect();
+        let world = p.world();
+        let everything = world.allgather(p, tagged, self.elem_bytes + 8);
+        let mine: Vec<T> = everything
+            .into_iter()
+            .filter(|(k, _)| *k == p.rank() as u64)
+            .map(|(_, r)| r)
+            .collect();
+        // Shuffle read: deserialize what landed here; materialize it.
+        p.advance(self.ctx.cpu.serde_ns(mine.len() as u64 * self.elem_bytes));
+        self.ctx.heap_alloc(mine.len() as u64 * self.elem_bytes)?;
+        Ok(Rdd::new(self.ctx, mine, self.elem_bytes))
+    }
+
+    /// Wide action: total record count across executors.
+    pub fn count(&self) -> u64 {
+        let p = self.ctx.p;
+        p.world().allreduce_u64(p, &[self.data.len() as u64], ReduceOp::Sum)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megammap_cluster::{Cluster, ClusterSpec};
+    use megammap_sim::{CpuModel, LinkProfile};
+
+    fn cluster(nodes: usize, procs: usize) -> Cluster {
+        Cluster::new(
+            ClusterSpec::new(nodes, procs)
+                .link(LinkProfile::tcp_40g())
+                .cpu(CpuModel::jvm())
+                .dram_per_node(1 << 30),
+        )
+    }
+
+    #[test]
+    fn map_filter_compute() {
+        let c = cluster(1, 1);
+        c.run(|p| {
+            let sc = SparkContext::new(p);
+            let rdd = sc.load_partition((0..100i64).collect(), 8).unwrap();
+            let doubled = rdd.map(8, 1, |x| x * 2).unwrap();
+            let big = doubled.filter(1, |x| **x >= 100).unwrap();
+            assert_eq!(big.len(), 50);
+            assert_eq!(big.records()[0], 100);
+        });
+    }
+
+    #[test]
+    fn reduce_sums_across_executors() {
+        let c = cluster(2, 2);
+        let (outs, _) = c.run(|p| {
+            let sc = SparkContext::new(p);
+            let rdd = sc
+                .load_partition(vec![p.rank() as i64 + 1; 10], 8)
+                .unwrap();
+            rdd.reduce(1, 0i64, |a, b| a + b, |a, b| a + b)
+        });
+        // Partitions hold 10 copies of rank+1: total = 10*(1+2+3+4).
+        assert!(outs.iter().all(|&x| x == 100));
+    }
+
+    #[test]
+    fn collect_gathers_in_rank_order() {
+        let c = cluster(1, 3);
+        let (outs, _) = c.run(|p| {
+            let sc = SparkContext::new(p);
+            let rdd = sc.load_partition(vec![p.rank() as u64], 8).unwrap();
+            rdd.collect()
+        });
+        assert!(outs.iter().all(|o| *o == vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn shuffle_partitions_by_key() {
+        let c = cluster(1, 2);
+        let (outs, _) = c.run(|p| {
+            let sc = SparkContext::new(p);
+            // Everyone holds 0..10; shuffle by parity.
+            let rdd = sc.load_partition((0u64..10).collect(), 8).unwrap();
+            let mine = rdd.shuffle_by_key(|x| *x).unwrap();
+            let mut v = mine.records().to_vec();
+            v.sort_unstable();
+            v
+        });
+        assert_eq!(outs[0], vec![0, 0, 2, 2, 4, 4, 6, 6, 8, 8]);
+        assert_eq!(outs[1], vec![1, 1, 3, 3, 5, 5, 7, 7, 9, 9]);
+    }
+
+    #[test]
+    fn count_is_global() {
+        let c = cluster(2, 1);
+        let (outs, _) = c.run(|p| {
+            let sc = SparkContext::new(p);
+            let rdd = sc.load_partition(vec![0u8; 7], 1).unwrap();
+            rdd.count()
+        });
+        assert!(outs.iter().all(|&n| n == 14));
+    }
+
+    #[test]
+    fn wide_ops_cost_more_than_narrow() {
+        let c = cluster(2, 1);
+        let (outs, _) = c.run(|p| {
+            let sc = SparkContext::new(p);
+            let rdd = sc.load_partition(vec![1i64; 10_000], 8).unwrap();
+            let t0 = p.now();
+            let m = rdd.map(8, 1, |x| x + 1).unwrap();
+            let narrow = p.now() - t0;
+            let t1 = p.now();
+            let _ = m.collect();
+            let wide = p.now() - t1;
+            (narrow, wide)
+        });
+        for (narrow, wide) in outs {
+            assert!(wide > narrow, "collect {wide} must out-cost map {narrow}");
+        }
+    }
+}

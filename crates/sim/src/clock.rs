@@ -1,0 +1,194 @@
+//! Per-process virtual clocks.
+//!
+//! Each simulated process (an OS thread in [`megammap-cluster`]) owns one
+//! [`Clock`]. Time is a `u64` count of virtual nanoseconds since simulation
+//! start. Clocks only move forward; synchronization points (barriers, message
+//! receives, lock acquisitions) move a clock to the *maximum* of the clocks
+//! involved, which is the standard conservative rule for virtual-time
+//! simulation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Virtual time in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// A monotonically advancing virtual clock.
+///
+/// The clock is internally atomic so that *other* actors (e.g. a barrier
+/// implementation collecting the maximum member time) may read it while the
+/// owning process advances it. Only the owner should call the advancing
+/// methods.
+#[derive(Debug, Default)]
+pub struct Clock {
+    now: AtomicU64,
+}
+
+impl Clock {
+    /// Create a clock starting at virtual time zero.
+    pub fn new() -> Self {
+        Self { now: AtomicU64::new(0) }
+    }
+
+    /// Create a clock starting at `t` nanoseconds.
+    pub fn starting_at(t: SimTime) -> Self {
+        Self { now: AtomicU64::new(t) }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now.load(Ordering::Acquire)
+    }
+
+    /// Advance the clock by `ns` nanoseconds and return the new time.
+    #[inline]
+    pub fn advance(&self, ns: u64) -> SimTime {
+        self.now.fetch_add(ns, Ordering::AcqRel) + ns
+    }
+
+    /// Move the clock forward to `t` if `t` is later than the current time
+    /// (a no-op otherwise). Returns the resulting time.
+    ///
+    /// This is the synchronization primitive: "wait until `t`".
+    #[inline]
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let mut cur = self.now.load(Ordering::Acquire);
+        while t > cur {
+            match self
+                .now
+                .compare_exchange_weak(cur, t, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        cur
+    }
+
+    /// Reset the clock to zero. Intended for reusing a clock between
+    /// experiment repetitions; not for use while the owning process runs.
+    pub fn reset(&self) {
+        self.now.store(0, Ordering::Release);
+    }
+}
+
+/// Convert a floating-point duration in seconds to virtual nanoseconds,
+/// saturating at `u64::MAX` and clamping negatives to zero.
+#[inline]
+pub fn secs_to_ns(secs: f64) -> u64 {
+    if secs <= 0.0 {
+        return 0;
+    }
+    let ns = secs * NS_PER_SEC as f64;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    }
+}
+
+/// Convert virtual nanoseconds to floating-point seconds (for reporting).
+#[inline]
+pub fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / NS_PER_SEC as f64
+}
+
+/// Duration of moving `bytes` at `bytes_per_sec` bandwidth, in nanoseconds.
+///
+/// A zero bandwidth is treated as "infinitely fast" (returns 0) so that
+/// pseudo-devices like an always-resident DRAM view can be expressed.
+#[inline]
+pub fn transfer_ns(bytes: u64, bytes_per_sec: u64) -> u64 {
+    if bytes_per_sec == 0 {
+        return 0;
+    }
+    // bytes * NS_PER_SEC may overflow u64 for very large transfers, so use
+    // u128 for the intermediate product.
+    ((bytes as u128 * NS_PER_SEC as u128) / bytes_per_sec as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let c = Clock::new();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = Clock::new();
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let c = Clock::starting_at(100);
+        assert_eq!(c.advance_to(50), 100, "advance_to must not rewind");
+        assert_eq!(c.advance_to(200), 200);
+        assert_eq!(c.now(), 200);
+    }
+
+    #[test]
+    fn reset_rewinds_to_zero() {
+        let c = Clock::starting_at(42);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn transfer_ns_basic() {
+        // 1 GiB at 1 GiB/s takes one second.
+        assert_eq!(transfer_ns(crate::GIB, crate::GIB), NS_PER_SEC);
+        // Zero bandwidth means free.
+        assert_eq!(transfer_ns(12345, 0), 0);
+        // Zero bytes is free.
+        assert_eq!(transfer_ns(0, 100), 0);
+    }
+
+    #[test]
+    fn transfer_ns_no_overflow_on_large_sizes() {
+        // 1 TiB at 100 MB/s: would overflow u64 in naive bytes * 1e9.
+        let tib = 1024 * crate::GIB;
+        let ns = transfer_ns(tib, 100 * 1_000_000);
+        let secs = ns_to_secs(ns);
+        assert!((secs - 10995.11).abs() < 1.0, "got {secs}");
+    }
+
+    #[test]
+    fn secs_ns_round_trip() {
+        let ns = secs_to_ns(1.5);
+        assert_eq!(ns, 1_500_000_000);
+        assert!((ns_to_secs(ns) - 1.5).abs() < 1e-9);
+        assert_eq!(secs_to_ns(-1.0), 0);
+    }
+
+    #[test]
+    fn concurrent_advance_to_converges() {
+        let c = std::sync::Arc::new(Clock::new());
+        let mut handles = vec![];
+        for i in 0..8u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..1000 {
+                    c.advance_to(i * 1000 + j);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), 7999);
+    }
+}

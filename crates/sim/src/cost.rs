@@ -1,0 +1,119 @@
+//! Dollar cost accounting for tiering strategies.
+//!
+//! Fig. 7 of the paper weighs performance against hardware cost: "we measure
+//! the financial cost of tiering strategies by multiplying utilized storage
+//! by $/GB". [`CostModel`] reproduces that computation over a set of device
+//! specs.
+
+use crate::device::{DeviceSpec, TierKind};
+
+/// Computes the acquisition cost of a DMSH composition.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    tiers: Vec<DeviceSpec>,
+}
+
+impl CostModel {
+    /// Start an empty composition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a tier to the composition.
+    pub fn with(mut self, spec: DeviceSpec) -> Self {
+        self.tiers.push(spec);
+        self
+    }
+
+    /// Build from a list of specs.
+    pub fn from_specs(tiers: &[DeviceSpec]) -> Self {
+        Self { tiers: tiers.to_vec() }
+    }
+
+    /// Total dollars for the provisioned capacity of every tier.
+    pub fn provisioned_dollars(&self) -> f64 {
+        self.tiers.iter().map(|t| t.dollars()).sum()
+    }
+
+    /// Dollars attributable to the *storage* tiers only (the paper's Fig. 7
+    /// cost axis excludes DRAM, which is fixed at 48 GB in every config).
+    pub fn storage_dollars(&self) -> f64 {
+        self.tiers
+            .iter()
+            .filter(|t| t.kind != TierKind::Dram && t.kind != TierKind::Cxl)
+            .map(|t| t.dollars())
+            .sum()
+    }
+
+    /// Dollars for `used_bytes` on the tier of the given kind (utilized
+    /// storage × $/GB).
+    pub fn utilized_dollars(&self, kind: TierKind, used_bytes: u64) -> f64 {
+        self.tiers
+            .iter()
+            .find(|t| t.kind == kind)
+            .map(|t| t.dollars_per_gb * used_bytes as f64 / 1e9)
+            .unwrap_or(0.0)
+    }
+
+    /// A compact label for the composition like `48D-16N-32S` (per-node GB,
+    /// matching the paper's Fig. 7 axis labels). `scale` converts modeled
+    /// bytes back to the paper's GB figures (e.g. if the experiment runs at
+    /// 1/1000 scale, pass 1000).
+    pub fn label(&self, scale: u64) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for t in &self.tiers {
+            let gb = (t.capacity.saturating_mul(scale)) as f64 / 1e9;
+            parts.push(format!("{}{}", gb.round() as u64, t.kind.label()));
+        }
+        parts.join("-")
+    }
+
+    /// The specs in this composition.
+    pub fn tiers(&self) -> &[DeviceSpec] {
+        &self.tiers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_cost_matches_paper_figures() {
+        // 48 GB NVMe at .08 $/GB = $3.84; 48 GB SSD at .04 = $1.92: the
+        // paper's "half the financial cost of 48D-48N" observation.
+        let nvme = CostModel::new().with(DeviceSpec::nvme(48_000_000_000));
+        let ssd = CostModel::new().with(DeviceSpec::ssd(48_000_000_000));
+        let cn = nvme.storage_dollars();
+        let cs = ssd.storage_dollars();
+        assert!((cn - 3.84).abs() < 1e-9);
+        assert!((cs - 1.92).abs() < 1e-9);
+        assert!((cn / cs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_excluded_from_storage_cost() {
+        let m = CostModel::new()
+            .with(DeviceSpec::dram(48_000_000_000))
+            .with(DeviceSpec::hdd(48_000_000_000));
+        assert!((m.storage_dollars() - 0.96).abs() < 1e-9);
+        assert!(m.provisioned_dollars() > m.storage_dollars());
+    }
+
+    #[test]
+    fn labels_follow_fig7_convention() {
+        let m = CostModel::new()
+            .with(DeviceSpec::dram(48_000_000))
+            .with(DeviceSpec::nvme(16_000_000))
+            .with(DeviceSpec::ssd(32_000_000));
+        assert_eq!(m.label(1000), "48D-16N-32S");
+    }
+
+    #[test]
+    fn utilized_cost_scales_with_usage() {
+        let m = CostModel::new().with(DeviceSpec::hdd(1_000_000_000_000));
+        let half = m.utilized_dollars(TierKind::Hdd, 500_000_000_000);
+        assert!((half - 10.0).abs() < 1e-9);
+        assert_eq!(m.utilized_dollars(TierKind::Nvme, 1), 0.0);
+    }
+}

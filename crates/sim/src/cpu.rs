@@ -1,0 +1,119 @@
+//! Compute cost models.
+//!
+//! Workloads in this reproduction perform their *real* arithmetic (KMeans
+//! really computes distances, Gray-Scott really integrates the PDE) but the
+//! time charged to the virtual clock comes from a [`CpuModel`]: a calibrated
+//! flops/bytes throughput for one simulated process. The Spark-style
+//! baseline multiplies compute by a JVM slowdown factor, one of the two
+//! effects (with TCP transport and dataset copies) behind the paper's
+//! "as much as 2x faster than Spark" result in Fig. 5.
+
+use crate::clock::NS_PER_SEC;
+
+/// Compute throughput of one simulated process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Floating-point operations per second per process.
+    pub flops_per_sec: u64,
+    /// Memory touch throughput (bytes/s) for charging streaming access.
+    pub mem_bytes_per_sec: u64,
+    /// Multiplier applied to all compute time (1.0 = native; the Spark
+    /// baseline uses ~1.8 for the JVM).
+    pub slowdown: f64,
+}
+
+impl CpuModel {
+    /// A native-code process on one Xeon Silver 4114 hardware thread:
+    /// ~2 Gflop/s scalar, ~6 GB/s per-thread stream bandwidth.
+    pub fn native() -> Self {
+        Self { flops_per_sec: 2_000_000_000, mem_bytes_per_sec: 6_000_000_000, slowdown: 1.0 }
+    }
+
+    /// A JVM executor thread (Spark baseline): same hardware, ~1.8x slower
+    /// effective throughput from managed-runtime overheads.
+    pub fn jvm() -> Self {
+        Self { slowdown: 1.8, ..Self::native() }
+    }
+
+    /// Derive a model with a custom slowdown.
+    pub fn with_slowdown(self, slowdown: f64) -> Self {
+        Self { slowdown, ..self }
+    }
+
+    /// Nanoseconds to execute `flops` floating-point operations.
+    #[inline]
+    pub fn flops_ns(&self, flops: u64) -> u64 {
+        let base = (flops as u128 * NS_PER_SEC as u128) / self.flops_per_sec.max(1) as u128;
+        (base as f64 * self.slowdown) as u64
+    }
+
+    /// Nanoseconds to stream `bytes` through this process.
+    #[inline]
+    pub fn mem_ns(&self, bytes: u64) -> u64 {
+        let base =
+            (bytes as u128 * NS_PER_SEC as u128) / self.mem_bytes_per_sec.max(1) as u128;
+        (base as f64 * self.slowdown) as u64
+    }
+
+    /// Nanoseconds for a memcpy of `bytes`. Convention: memcpy bandwidth
+    /// counts bytes *copied* (the usual way copy throughput is quoted), so
+    /// this equals one streaming pass at `mem_bytes_per_sec`.
+    #[inline]
+    pub fn memcpy_ns(&self, bytes: u64) -> u64 {
+        self.mem_ns(bytes)
+    }
+
+    /// Nanoseconds to (de)serialize `bytes` — roughly three passes over the
+    /// data (parse/encode, copy, allocate). Used by the stager and by the
+    /// Spark baseline's shuffle.
+    #[inline]
+    pub fn serde_ns(&self, bytes: u64) -> u64 {
+        self.mem_ns(bytes.saturating_mul(3))
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self::native()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_flops_time() {
+        let c = CpuModel::native();
+        // 2e9 flops at 2 Gflop/s = 1 second.
+        assert_eq!(c.flops_ns(2_000_000_000), NS_PER_SEC);
+    }
+
+    #[test]
+    fn jvm_is_slower() {
+        let n = CpuModel::native();
+        let j = CpuModel::jvm();
+        assert!(j.flops_ns(1_000_000) > n.flops_ns(1_000_000));
+        let ratio = j.flops_ns(1_000_000_000) as f64 / n.flops_ns(1_000_000_000) as f64;
+        assert!((ratio - 1.8).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memcpy_is_one_copy_pass() {
+        let c = CpuModel::native();
+        assert_eq!(c.memcpy_ns(1000), c.mem_ns(1000));
+    }
+
+    #[test]
+    fn serde_more_expensive_than_memcpy() {
+        let c = CpuModel::native();
+        assert!(c.serde_ns(4096) > c.memcpy_ns(4096));
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let c = CpuModel::native();
+        assert_eq!(c.flops_ns(0), 0);
+        assert_eq!(c.mem_ns(0), 0);
+    }
+}

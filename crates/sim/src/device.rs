@@ -1,0 +1,346 @@
+//! Storage tier device models.
+//!
+//! The paper's testbed nodes carry 48 GB DRAM, a 128 GB NVMe PCIe x8 drive,
+//! a 256 GB SATA SSD, and a 1 TB HDD. [`DeviceSpec`] captures the performance
+//! envelope of each class; [`DeviceModel`] combines a spec with a
+//! [`SharedResource`] timeline and a capacity ledger, yielding the object the
+//! tiered buffering layer places data on.
+//!
+//! The dollar costs come straight from the paper's Fig. 7 discussion:
+//! HDD ≈ $0.02/GB, SATA SSD ≈ $0.04/GB, NVMe ≈ $0.08/GB.
+
+use std::sync::Arc;
+
+use crate::clock::SimTime;
+use crate::ledger::{CapacityError, MemoryLedger};
+use crate::resource::SharedResource;
+use crate::{GIB, MIB};
+
+/// The class of a storage tier in the Deep Memory and Storage Hierarchy.
+///
+/// Ordering matters: `Dram < Cxl < Nvme < Ssd < Hdd` — lower means faster.
+/// The data organizer walks tiers in this order when placing pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TierKind {
+    /// Main memory.
+    Dram,
+    /// CXL-attached memory (the paper mentions upcoming CXL devices).
+    Cxl,
+    /// NVMe flash over PCIe.
+    Nvme,
+    /// SATA SSD.
+    Ssd,
+    /// Spinning disk.
+    Hdd,
+}
+
+impl TierKind {
+    /// All tiers, fastest first.
+    pub const ALL: [TierKind; 5] =
+        [TierKind::Dram, TierKind::Cxl, TierKind::Nvme, TierKind::Ssd, TierKind::Hdd];
+
+    /// Short label used in experiment output (`D`, `C`, `N`, `S`, `H`) —
+    /// matching the paper's Fig. 7 labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            TierKind::Dram => "D",
+            TierKind::Cxl => "C",
+            TierKind::Nvme => "N",
+            TierKind::Ssd => "S",
+            TierKind::Hdd => "H",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierKind::Dram => "DRAM",
+            TierKind::Cxl => "CXL",
+            TierKind::Nvme => "NVMe",
+            TierKind::Ssd => "SSD",
+            TierKind::Hdd => "HDD",
+        }
+    }
+}
+
+/// The static performance/cost envelope of a device class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Which class this is.
+    pub kind: TierKind,
+    /// Sustained read/write bandwidth, bytes per second.
+    pub bandwidth: u64,
+    /// Per-operation latency, nanoseconds.
+    pub latency_ns: u64,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+    /// Acquisition cost in dollars per gigabyte (Fig. 7).
+    pub dollars_per_gb: f64,
+}
+
+impl DeviceSpec {
+    /// DRAM: ~80 GB/s node-wide stream bandwidth (dual-socket Xeon 4114,
+    /// 12 channels), ~100 ns access. Capacity is the *cache budget*, not
+    /// physical DIMM size; callers override it per experiment (the paper
+    /// caps DRAM use per vector/application).
+    pub fn dram(capacity: u64) -> Self {
+        Self {
+            kind: TierKind::Dram,
+            bandwidth: 80 * GIB,
+            latency_ns: 100,
+            capacity,
+            dollars_per_gb: 3.00,
+        }
+    }
+
+    /// CXL-attached memory: between DRAM and NVMe (~8 GB/s, ~350 ns).
+    pub fn cxl(capacity: u64) -> Self {
+        Self {
+            kind: TierKind::Cxl,
+            bandwidth: 8 * GIB,
+            latency_ns: 350,
+            capacity,
+            dollars_per_gb: 1.50,
+        }
+    }
+
+    /// NVMe PCIe flash: ~2.5 GB/s, ~20 µs. $0.08/GB per the paper.
+    pub fn nvme(capacity: u64) -> Self {
+        Self {
+            kind: TierKind::Nvme,
+            bandwidth: 2_500 * MIB,
+            latency_ns: 20_000,
+            capacity,
+            dollars_per_gb: 0.08,
+        }
+    }
+
+    /// SATA SSD: ~500 MB/s, ~80 µs. $0.04/GB per the paper.
+    pub fn ssd(capacity: u64) -> Self {
+        Self {
+            kind: TierKind::Ssd,
+            bandwidth: 500 * MIB,
+            latency_ns: 80_000,
+            capacity,
+            dollars_per_gb: 0.04,
+        }
+    }
+
+    /// HDD: ~150 MB/s streaming, ~8 ms seek. $0.02/GB per the paper. The
+    /// paper observes HDDs are "6-10x slower than the SSD and NVMe".
+    pub fn hdd(capacity: u64) -> Self {
+        Self {
+            kind: TierKind::Hdd,
+            bandwidth: 150 * MIB,
+            latency_ns: 8_000_000,
+            capacity,
+            dollars_per_gb: 0.02,
+        }
+    }
+
+    /// Build the preset spec for `kind` with the given capacity.
+    pub fn preset(kind: TierKind, capacity: u64) -> Self {
+        match kind {
+            TierKind::Dram => Self::dram(capacity),
+            TierKind::Cxl => Self::cxl(capacity),
+            TierKind::Nvme => Self::nvme(capacity),
+            TierKind::Ssd => Self::ssd(capacity),
+            TierKind::Hdd => Self::hdd(capacity),
+        }
+    }
+
+    /// A normalized performance score in (0, 1]: tiers closer to 1 have
+    /// higher I/O performance (the paper's Data Organizer assigns "each tier
+    /// ... a score based on its performance characteristics").
+    pub fn perf_score(&self) -> f64 {
+        // Score by bandwidth relative to DRAM, with a latency penalty.
+        let bw = self.bandwidth as f64 / (80.0 * GIB as f64);
+        let lat = 100.0 / (self.latency_ns.max(100) as f64);
+        (bw * 0.7 + lat.min(1.0) * 0.3).clamp(0.0, 1.0)
+    }
+
+    /// Dollar cost of this device's full capacity.
+    pub fn dollars(&self) -> f64 {
+        self.dollars_per_gb * (self.capacity as f64 / 1e9)
+    }
+}
+
+/// A device instance: spec + busy-until timeline + capacity ledger.
+///
+/// Cloneable handle semantics: wrap in `Arc` internally so tier sets can be
+/// shared across simulated processes on a node.
+#[derive(Debug, Clone)]
+pub struct DeviceModel {
+    inner: Arc<DeviceInner>,
+}
+
+#[derive(Debug)]
+struct DeviceInner {
+    spec: DeviceSpec,
+    timeline: SharedResource,
+    ledger: MemoryLedger,
+}
+
+impl DeviceModel {
+    /// Create a device from a spec, naming its timeline for diagnostics.
+    pub fn new(name: impl Into<String>, spec: DeviceSpec) -> Self {
+        let name = name.into();
+        Self {
+            inner: Arc::new(DeviceInner {
+                timeline: SharedResource::new(name, spec.latency_ns, spec.bandwidth),
+                ledger: MemoryLedger::new(spec.capacity),
+                spec,
+            }),
+        }
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.inner.spec
+    }
+
+    /// Which tier class this device belongs to.
+    pub fn kind(&self) -> TierKind {
+        self.inner.spec.kind
+    }
+
+    /// The capacity ledger (bytes used / free / peak).
+    pub fn ledger(&self) -> &MemoryLedger {
+        &self.inner.ledger
+    }
+
+    /// Reserve the device for an I/O of `bytes` starting no earlier than
+    /// `now`; returns completion time. Does **not** touch the ledger —
+    /// capacity is managed by the placement layer, which knows whether the
+    /// I/O allocates, overwrites, or frees.
+    ///
+    /// All devices overlap per-request latency across queued requests
+    /// (the OS elevator turns buffered page traffic into mostly-sequential
+    /// streams even on HDDs, so charging a full seek per page would be
+    /// wildly punitive); the request still pays its own latency on top of
+    /// the bandwidth queue.
+    pub fn io(&self, now: SimTime, bytes: u64) -> SimTime {
+        self.inner.timeline.acquire_causal_pipelined(now, bytes)
+    }
+
+    /// Charge capacity for newly placed data.
+    pub fn alloc(&self, bytes: u64) -> Result<(), CapacityError> {
+        self.inner.ledger.alloc(bytes)
+    }
+
+    /// Release capacity.
+    pub fn free(&self, bytes: u64) {
+        self.inner.ledger.free(bytes)
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.inner.ledger.used()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.inner.ledger.available()
+    }
+
+    /// The raw timeline, for diagnostics.
+    pub fn timeline(&self) -> &SharedResource {
+        &self.inner.timeline
+    }
+
+    /// Duration an I/O of `bytes` takes on an idle instance of this device.
+    pub fn service_time(&self, bytes: u64) -> u64 {
+        self.inner.timeline.service_time(bytes)
+    }
+
+    /// Reset timeline, counters and occupancy (between repetitions).
+    pub fn reset(&self) {
+        self.inner.timeline.reset();
+        self.inner.ledger.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ordering_fastest_first() {
+        assert!(TierKind::Dram < TierKind::Nvme);
+        assert!(TierKind::Nvme < TierKind::Ssd);
+        assert!(TierKind::Ssd < TierKind::Hdd);
+        let mut v = vec![TierKind::Hdd, TierKind::Dram, TierKind::Ssd, TierKind::Nvme];
+        v.sort();
+        assert_eq!(v, vec![TierKind::Dram, TierKind::Nvme, TierKind::Ssd, TierKind::Hdd]);
+    }
+
+    #[test]
+    fn presets_are_strictly_slower_down_the_hierarchy() {
+        let caps = 1 * GIB;
+        let specs: Vec<_> =
+            TierKind::ALL.iter().map(|&k| DeviceSpec::preset(k, caps)).collect();
+        for w in specs.windows(2) {
+            assert!(
+                w[0].bandwidth > w[1].bandwidth,
+                "{:?} should out-bandwidth {:?}",
+                w[0].kind,
+                w[1].kind
+            );
+            assert!(w[0].latency_ns < w[1].latency_ns);
+        }
+    }
+
+    #[test]
+    fn perf_scores_monotone() {
+        let specs: Vec<_> =
+            TierKind::ALL.iter().map(|&k| DeviceSpec::preset(k, GIB)).collect();
+        for w in specs.windows(2) {
+            assert!(
+                w[0].perf_score() > w[1].perf_score(),
+                "{:?}={} vs {:?}={}",
+                w[0].kind,
+                w[0].perf_score(),
+                w[1].kind,
+                w[1].perf_score()
+            );
+        }
+        for s in &specs {
+            let sc = s.perf_score();
+            assert!(sc > 0.0 && sc <= 1.0);
+        }
+    }
+
+    #[test]
+    fn dollars_match_paper_constants() {
+        // Paper: HDD .02 $/GB, SATA SSD .04 $/GB, NVMe .08 $/GB.
+        assert_eq!(DeviceSpec::hdd(GIB).dollars_per_gb, 0.02);
+        assert_eq!(DeviceSpec::ssd(GIB).dollars_per_gb, 0.04);
+        assert_eq!(DeviceSpec::nvme(GIB).dollars_per_gb, 0.08);
+        // 48 GB of NVMe ≈ 48e9 * .08 / 1e9 dollars.
+        let d = DeviceSpec::nvme(48_000_000_000).dollars();
+        assert!((d - 3.84).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn device_capacity_enforced() {
+        let dev = DeviceModel::new("t", DeviceSpec::nvme(1000));
+        dev.alloc(900).unwrap();
+        assert!(dev.alloc(200).is_err());
+        dev.free(500);
+        dev.alloc(200).unwrap();
+        assert_eq!(dev.used(), 600);
+        assert_eq!(dev.available(), 400);
+    }
+
+    #[test]
+    fn hdd_much_slower_than_nvme() {
+        let hdd = DeviceModel::new("h", DeviceSpec::hdd(GIB));
+        let nvme = DeviceModel::new("n", DeviceSpec::nvme(GIB));
+        let size = 64 * MIB;
+        let th = hdd.service_time(size);
+        let tn = nvme.service_time(size);
+        let ratio = th as f64 / tn as f64;
+        // Paper: HDDs are 6-10x slower than SSD/NVMe for this kind of I/O.
+        assert!(ratio > 6.0, "HDD/NVMe ratio was {ratio}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Capacity and memory ledgers.
+//!
+//! A [`MemoryLedger`] tracks bytes in use against a capacity, records the
+//! high-water mark, and reports [`CapacityError`] on exhaustion. Two things
+//! in the reproduction hang off this:
+//!
+//! * tier capacity enforcement in the DMSH (placement must demote when a
+//!   fast tier fills up), and
+//! * the simulated per-node DRAM limit that makes the **MPI Gray-Scott
+//!   crash past L=2688 in Fig. 6** ("the default behavior of Linux is to
+//!   terminate programs overutilizing memory") while MegaMmap keeps going.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error returned when an allocation would exceed a ledger's capacity.
+///
+/// In the cluster simulation this plays the role of the Linux OOM killer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes that were available.
+    pub available: u64,
+    /// Total capacity of the ledger.
+    pub capacity: u64,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of capacity: requested {} B, available {} B of {} B",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Thread-safe used/peak byte accounting against a fixed capacity.
+#[derive(Debug)]
+pub struct MemoryLedger {
+    capacity: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryLedger {
+    /// Create a ledger with `capacity` bytes. `u64::MAX` means unbounded.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: AtomicU64::new(0), peak: AtomicU64::new(0) }
+    }
+
+    /// An unbounded ledger (tracks usage and peak, never errors).
+    pub fn unbounded() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> u64 {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Acquire)
+    }
+
+    /// Try to allocate `bytes`; fails atomically if it would exceed capacity.
+    pub fn alloc(&self, bytes: u64) -> Result<(), CapacityError> {
+        let mut cur = self.used.load(Ordering::Acquire);
+        loop {
+            let new = cur.saturating_add(bytes);
+            if new > self.capacity {
+                return Err(CapacityError {
+                    requested: bytes,
+                    available: self.capacity.saturating_sub(cur),
+                    capacity: self.capacity,
+                });
+            }
+            match self.used.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.bump_peak(new);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Allocate even past capacity (the caller handles the overflow, e.g.
+    /// by scheduling evictions). Never fails; still tracks peak.
+    pub fn alloc_over(&self, bytes: u64) {
+        let new = self.used.fetch_add(bytes, Ordering::AcqRel) + bytes;
+        self.bump_peak(new);
+    }
+
+    /// Whether current usage exceeds capacity (possible via `alloc_over`).
+    pub fn over_capacity(&self) -> bool {
+        self.used() > self.capacity
+    }
+
+    /// Release `bytes`. Saturates at zero (double frees are a caller bug but
+    /// must not wrap the counter).
+    pub fn free(&self, bytes: u64) {
+        let mut cur = self.used.load(Ordering::Acquire);
+        loop {
+            let new = cur.saturating_sub(bytes);
+            match self.used.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Zero usage and peak (between experiment repetitions).
+    pub fn reset(&self) {
+        self.used.store(0, Ordering::Release);
+        self.peak.store(0, Ordering::Release);
+    }
+
+    fn bump_peak(&self, candidate: u64) {
+        let mut peak = self.peak.load(Ordering::Acquire);
+        while candidate > peak {
+            match self.peak.compare_exchange_weak(
+                peak,
+                candidate,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => peak = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let l = MemoryLedger::new(100);
+        l.alloc(60).unwrap();
+        assert_eq!(l.used(), 60);
+        assert_eq!(l.available(), 40);
+        l.free(60);
+        assert_eq!(l.used(), 0);
+        assert_eq!(l.peak(), 60);
+    }
+
+    #[test]
+    fn alloc_fails_atomically_at_capacity() {
+        let l = MemoryLedger::new(100);
+        l.alloc(80).unwrap();
+        let err = l.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        // Failed alloc must not consume anything.
+        assert_eq!(l.used(), 80);
+    }
+
+    #[test]
+    fn alloc_over_tracks_overflow() {
+        let l = MemoryLedger::new(100);
+        l.alloc_over(150);
+        assert!(l.over_capacity());
+        assert_eq!(l.peak(), 150);
+        l.free(100);
+        assert!(!l.over_capacity());
+    }
+
+    #[test]
+    fn free_saturates() {
+        let l = MemoryLedger::new(100);
+        l.alloc(10).unwrap();
+        l.free(50);
+        assert_eq!(l.used(), 0);
+    }
+
+    #[test]
+    fn unbounded_never_fails() {
+        let l = MemoryLedger::unbounded();
+        l.alloc(u64::MAX / 2).unwrap();
+        l.alloc(u64::MAX / 2).unwrap();
+    }
+
+    #[test]
+    fn concurrent_allocs_respect_capacity() {
+        let l = std::sync::Arc::new(MemoryLedger::new(1000));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let l = l.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                for _ in 0..1000 {
+                    if l.alloc(1).is_ok() {
+                        got += 1;
+                    }
+                }
+                got
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000, "exactly the capacity must be granted");
+        assert_eq!(l.used(), 1000);
+        assert_eq!(l.peak(), 1000);
+    }
+}

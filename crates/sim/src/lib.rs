@@ -1,0 +1,52 @@
+//! # megammap-sim — virtual-time hardware substrate
+//!
+//! The MegaMmap paper (SC'24) evaluates on a 32-node cluster with per-node
+//! DRAM, NVMe, SSD and HDD tiers connected by 40/10 GbE RoCE networks. This
+//! crate provides the deterministic substitute for that hardware: every
+//! simulated process owns a monotonically advancing **virtual clock**
+//! (nanoseconds), and every shared piece of hardware (a storage device, a
+//! network link, a runtime worker) is a [`SharedResource`] whose *busy-until*
+//! timeline serializes transfers.
+//!
+//! Data still physically moves (the DSM really copies bytes, really writes
+//! files); only the *reported durations* come from these models. That is what
+//! makes the paper's cluster-scale experiments reproducible, bit-for-bit, on a
+//! single host: all timing is pure integer arithmetic, so a given workload +
+//! configuration always produces the same virtual runtime.
+//!
+//! ## Modules
+//!
+//! * [`clock`] — per-process virtual clocks.
+//! * [`resource`] — lock-free busy-until resource timelines.
+//! * [`device`] — storage tier models (DRAM/CXL/NVMe/SSD/HDD presets with the
+//!   bandwidth/latency/$-per-GB figures used in the paper's Fig. 7).
+//! * [`net`] — network link profiles (RDMA-like 40G, 10G Ethernet, TCP-like)
+//!   and tree-shaped collective cost helpers.
+//! * [`cpu`] — compute cost models (including the JVM slowdown factor used by
+//!   the Spark-style baseline).
+//! * [`ledger`] — capacity/memory ledgers with peak tracking and simulated
+//!   out-of-memory, used to reproduce the Fig. 6 OOM crossover.
+//! * [`cost`] — dollar cost accounting for tiering strategies (Fig. 7).
+
+pub mod clock;
+pub mod cost;
+pub mod cpu;
+pub mod device;
+pub mod ledger;
+pub mod net;
+pub mod resource;
+
+pub use clock::{Clock, SimTime, NS_PER_MS, NS_PER_SEC, NS_PER_US};
+pub use cost::CostModel;
+pub use cpu::CpuModel;
+pub use device::{DeviceModel, DeviceSpec, TierKind};
+pub use ledger::{CapacityError, MemoryLedger};
+pub use net::{CollectiveShape, LinkProfile, NetworkModel};
+pub use resource::SharedResource;
+
+/// Convenience: bytes in a kibibyte.
+pub const KIB: u64 = 1024;
+/// Convenience: bytes in a mebibyte.
+pub const MIB: u64 = 1024 * 1024;
+/// Convenience: bytes in a gibibyte.
+pub const GIB: u64 = 1024 * 1024 * 1024;

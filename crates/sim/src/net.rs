@@ -1,0 +1,217 @@
+//! Network link models.
+//!
+//! The testbed interconnects its racks with two isolated Ethernet networks
+//! (40 Gb/s and 10 Gb/s) with RoCE enabled. MegaMmap (via Mochi/Thallium)
+//! uses the RDMA path; the Spark baseline uses TCP, which the paper calls
+//! out as "the slower TCP protocol". [`LinkProfile`] captures those choices;
+//! [`NetworkModel`] owns per-node NIC timelines so that concurrent transfers
+//! into one node contend.
+
+use std::sync::Arc;
+
+use crate::clock::SimTime;
+use crate::resource::SharedResource;
+
+/// Performance profile of a transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Point-to-point bandwidth in bytes per second.
+    pub bandwidth: u64,
+    /// One-way message latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Fixed per-message software overhead (protocol stack), nanoseconds.
+    pub sw_overhead_ns: u64,
+}
+
+impl LinkProfile {
+    /// 40 GbE with RoCE: ~4.6 GB/s effective, ~2 µs latency, thin stack.
+    pub fn rdma_40g() -> Self {
+        Self { bandwidth: 4_600_000_000, latency_ns: 2_000, sw_overhead_ns: 500 }
+    }
+
+    /// 10 GbE with RoCE: ~1.1 GB/s effective, ~4 µs.
+    pub fn rdma_10g() -> Self {
+        Self { bandwidth: 1_100_000_000, latency_ns: 4_000, sw_overhead_ns: 500 }
+    }
+
+    /// TCP over the 40 GbE network — the Spark baseline's transport:
+    /// lower effective bandwidth and far higher per-message software cost.
+    pub fn tcp_40g() -> Self {
+        Self { bandwidth: 2_800_000_000, latency_ns: 15_000, sw_overhead_ns: 20_000 }
+    }
+
+    /// TCP over the 10 GbE network.
+    pub fn tcp_10g() -> Self {
+        Self { bandwidth: 900_000_000, latency_ns: 25_000, sw_overhead_ns: 20_000 }
+    }
+
+    /// An intra-node "loopback" profile for processes on the same node:
+    /// effectively a memcpy through shared memory.
+    pub fn loopback() -> Self {
+        Self { bandwidth: 10_000_000_000, latency_ns: 200, sw_overhead_ns: 100 }
+    }
+
+    /// Time for one message of `bytes` on an uncontended link.
+    pub fn message_time(&self, bytes: u64) -> u64 {
+        self.latency_ns
+            + self.sw_overhead_ns
+            + crate::clock::transfer_ns(bytes, self.bandwidth)
+    }
+}
+
+/// Shape of a collective operation, used to derive its cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveShape {
+    /// Binomial-tree broadcast/reduce: `ceil(log2 n)` rounds.
+    Tree,
+    /// Ring allgather/allreduce: `n - 1` rounds of `bytes / n` each.
+    Ring,
+    /// Naive flat gather into a root (what overload-prone DSMs do; the
+    /// paper's Collective hint exists to avoid this).
+    Flat,
+}
+
+/// A cluster network: one NIC timeline per node plus inter/intra profiles.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    inner: Arc<NetInner>,
+}
+
+#[derive(Debug)]
+struct NetInner {
+    inter: LinkProfile,
+    intra: LinkProfile,
+    nics: Vec<SharedResource>,
+}
+
+impl NetworkModel {
+    /// Build a network for `nodes` nodes with the given inter-node profile.
+    /// Intra-node messages use the loopback profile and do not occupy NICs.
+    pub fn new(nodes: usize, inter: LinkProfile) -> Self {
+        let nics = (0..nodes)
+            .map(|n| SharedResource::new(format!("node{n}/nic"), 0, inter.bandwidth))
+            .collect();
+        Self {
+            inner: Arc::new(NetInner { inter, intra: LinkProfile::loopback(), nics }),
+        }
+    }
+
+    /// Number of nodes this network connects.
+    pub fn nodes(&self) -> usize {
+        self.inner.nics.len()
+    }
+
+    /// The inter-node link profile.
+    pub fn profile(&self) -> LinkProfile {
+        self.inner.inter
+    }
+
+    /// Reserve the path from `src` node to `dst` node for a transfer of
+    /// `bytes` ready at `now`; returns arrival time at `dst`.
+    ///
+    /// Same-node transfers cost loopback time and never contend on NICs.
+    pub fn transfer(&self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        if src == dst {
+            return now + self.inner.intra.message_time(bytes);
+        }
+        let fixed = self.inner.inter.latency_ns + self.inner.inter.sw_overhead_ns;
+        // Sender NIC serializes the outgoing bytes...
+        let sent = self.inner.nics[src].acquire_causal_pipelined(now, bytes);
+        // ...then the receiver NIC accepts them (store-and-forward model).
+        let recvd = self.inner.nics[dst].acquire_causal_pipelined(sent, bytes);
+        recvd + fixed
+    }
+
+    /// Cost (duration) of a collective of `bytes` across `n` participants
+    /// starting simultaneously, per the chosen shape. This intentionally
+    /// does not reserve NIC timelines — collectives in the simulation are
+    /// charged at barrier-style synchronization points.
+    pub fn collective_time(&self, shape: CollectiveShape, n: usize, bytes: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let p = self.inner.inter;
+        match shape {
+            CollectiveShape::Tree => {
+                let rounds = (usize::BITS - (n - 1).leading_zeros()) as u64;
+                rounds * p.message_time(bytes)
+            }
+            CollectiveShape::Ring => {
+                let chunk = (bytes / n as u64).max(1);
+                (n as u64 - 1) * p.message_time(chunk)
+            }
+            CollectiveShape::Flat => (n as u64 - 1) * p.message_time(bytes),
+        }
+    }
+
+    /// NIC timeline for a node, for diagnostics.
+    pub fn nic(&self, node: usize) -> &SharedResource {
+        &self.inner.nics[node]
+    }
+
+    /// Total bytes that crossed the network (sum over sender NICs).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.nics.iter().map(|n| n.total_bytes()).sum::<u64>() / 2
+    }
+
+    /// Reset all NIC timelines.
+    pub fn reset(&self) {
+        for nic in &self.inner.nics {
+            nic.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MIB;
+
+    #[test]
+    fn rdma_beats_tcp() {
+        let r = LinkProfile::rdma_40g();
+        let t = LinkProfile::tcp_40g();
+        assert!(r.message_time(MIB) < t.message_time(MIB));
+        // Small messages: the software overhead dominates; RDMA should be
+        // many times cheaper, which is what makes coherence traffic cheap
+        // for MegaMmap and expensive for the TCP-based baseline.
+        assert!(t.message_time(64) > 5 * r.message_time(64));
+    }
+
+    #[test]
+    fn same_node_transfer_is_loopback() {
+        let net = NetworkModel::new(4, LinkProfile::rdma_40g());
+        let t = net.transfer(0, 2, 2, MIB);
+        assert_eq!(t, LinkProfile::loopback().message_time(MIB));
+        // NICs untouched.
+        assert_eq!(net.nic(2).total_ops(), 0);
+    }
+
+    #[test]
+    fn cross_node_transfers_contend_on_nics() {
+        let net = NetworkModel::new(2, LinkProfile::rdma_40g());
+        let t1 = net.transfer(0, 0, 1, 10 * MIB);
+        // A second transfer submitted at the same instant must finish later:
+        // it queues behind the first on both NICs.
+        let t2 = net.transfer(0, 0, 1, 10 * MIB);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn tree_collective_logarithmic() {
+        let net = NetworkModel::new(16, LinkProfile::rdma_40g());
+        let c2 = net.collective_time(CollectiveShape::Tree, 2, 1024);
+        let c16 = net.collective_time(CollectiveShape::Tree, 16, 1024);
+        // log2(16) = 4 rounds vs 1 round.
+        assert_eq!(c16, 4 * c2);
+        assert_eq!(net.collective_time(CollectiveShape::Tree, 1, 1024), 0);
+    }
+
+    #[test]
+    fn flat_collective_linear_and_worse_than_tree() {
+        let net = NetworkModel::new(32, LinkProfile::rdma_40g());
+        let tree = net.collective_time(CollectiveShape::Tree, 32, 4096);
+        let flat = net.collective_time(CollectiveShape::Flat, 32, 4096);
+        assert!(flat > 5 * tree, "flat {flat} vs tree {tree}");
+    }
+}

@@ -1,0 +1,646 @@
+//! The per-node Deep Memory and Storage Hierarchy.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use bytes::Bytes;
+use megammap_sim::{DeviceModel, DeviceSpec, SimTime, TierKind};
+use parking_lot::Mutex;
+
+use crate::blob::{BlobId, BlobMeta};
+
+/// Errors from DMSH operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmshError {
+    /// Every tier (including the slowest) is full; the caller must stage
+    /// data out to a persistent backend to make room.
+    Full {
+        /// Bytes that could not be placed.
+        requested: u64,
+    },
+    /// The blob does not exist.
+    NotFound(BlobId),
+}
+
+impl fmt::Display for DmshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmshError::Full { requested } => {
+                write!(f, "DMSH full: cannot place {requested} bytes on any tier")
+            }
+            DmshError::NotFound(id) => write!(f, "blob {id} not resident"),
+        }
+    }
+}
+
+impl std::error::Error for DmshError {}
+
+/// Result of placing a blob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PutOutcome {
+    /// Virtual time at which the placement I/O (including any demotions it
+    /// forced) completes.
+    pub done_at: SimTime,
+    /// Tier the blob landed on.
+    pub tier: TierKind,
+}
+
+struct Tier {
+    device: DeviceModel,
+    /// Real storage for resident blobs.
+    store: Mutex<HashMap<BlobId, Bytes>>,
+}
+
+/// One node's tier stack plus blob metadata.
+///
+/// Tiers are ordered fastest-first. Placement policy (paper §III-D):
+/// "The organizer will first attempt to place pages in the fastest tiers if
+/// there is available capacity. Pages with lower scores in a tier will be
+/// prioritized for eviction to make space for higher-scoring data."
+pub struct Dmsh {
+    name: String,
+    tiers: Vec<Tier>,
+    meta: Mutex<BTreeMap<BlobId, BlobMeta>>,
+}
+
+impl Dmsh {
+    /// Build a DMSH from device specs (must be sorted fastest-first).
+    pub fn new(name: impl Into<String>, specs: Vec<DeviceSpec>) -> Self {
+        let name = name.into();
+        assert!(!specs.is_empty(), "a DMSH needs at least one tier");
+        for w in specs.windows(2) {
+            assert!(
+                w[0].kind < w[1].kind,
+                "tiers must be ordered fastest-first and unique"
+            );
+        }
+        let tiers = specs
+            .into_iter()
+            .map(|spec| Tier {
+                device: DeviceModel::new(format!("{name}/{}", spec.kind.name()), spec),
+                store: Mutex::new(HashMap::new()),
+            })
+            .collect();
+        Self { name, tiers, meta: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// DMSH name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tiers.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Device model of tier `i`.
+    pub fn device(&self, i: usize) -> &DeviceModel {
+        &self.tiers[i].device
+    }
+
+    /// `(kind, used, capacity)` per tier.
+    pub fn tier_usage(&self) -> Vec<(TierKind, u64, u64)> {
+        self.tiers
+            .iter()
+            .map(|t| (t.device.kind(), t.device.used(), t.device.spec().capacity))
+            .collect()
+    }
+
+    /// Total resident bytes.
+    pub fn used(&self) -> u64 {
+        self.tiers.iter().map(|t| t.device.used()).sum()
+    }
+
+    /// Metadata for a blob, if resident.
+    pub fn meta_of(&self, id: BlobId) -> Option<BlobMeta> {
+        self.meta.lock().get(&id).copied()
+    }
+
+    /// Whether a blob is resident.
+    pub fn contains(&self, id: BlobId) -> bool {
+        self.meta.lock().contains_key(&id)
+    }
+
+    /// Resident blob ids of a bucket (sorted).
+    pub fn blobs_of(&self, bucket: u64) -> Vec<BlobId> {
+        self.meta
+            .lock()
+            .range(BlobId::new(bucket, 0)..=BlobId::new(bucket, u64::MAX))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Dirty blob ids (sorted) — candidates for staging out.
+    pub fn dirty_blobs(&self) -> Vec<BlobId> {
+        self.meta.lock().iter().filter(|(_, m)| m.dirty).map(|(id, _)| *id).collect()
+    }
+
+    /// Clear a blob's dirty flag after it was staged to the backend.
+    pub fn mark_clean(&self, id: BlobId) {
+        if let Some(m) = self.meta.lock().get_mut(&id) {
+            m.dirty = false;
+        }
+    }
+
+    /// Pick the victim: the lowest-score (tie-break: smallest id) blob on
+    /// tier `tier_idx`.
+    fn victim_on(&self, meta: &BTreeMap<BlobId, BlobMeta>, tier_idx: usize) -> Option<BlobId> {
+        meta.iter()
+            .filter(|(_, m)| m.tier == tier_idx)
+            .min_by(|(ia, ma), (ib, mb)| {
+                ma.score.partial_cmp(&mb.score).unwrap_or(std::cmp::Ordering::Equal).then(ia.cmp(ib))
+            })
+            .map(|(id, _)| *id)
+    }
+
+    /// Demote `id` from its tier to the next one down, charging both
+    /// devices starting at `now`. Recursively demotes victims below if the
+    /// lower tier is full. Returns the completion time.
+    fn demote(
+        &self,
+        meta: &mut BTreeMap<BlobId, BlobMeta>,
+        now: SimTime,
+        id: BlobId,
+    ) -> Result<SimTime, DmshError> {
+        let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
+        let from = m.tier;
+        let to = from + 1;
+        if to >= self.tiers.len() {
+            return Err(DmshError::Full { requested: m.size });
+        }
+        let mut done = now;
+        // Make room below first (cascading demotion).
+        while self.tiers[to].device.available() < m.size {
+            let victim = self
+                .victim_on(meta, to)
+                .ok_or(DmshError::Full { requested: m.size })?;
+            done = done.max(self.demote(meta, now, victim)?);
+        }
+        // Move the bytes.
+        let data = self.tiers[from]
+            .store
+            .lock()
+            .remove(&id)
+            .expect("meta/store agree on residency");
+        let read_done = self.tiers[from].device.io(now, m.size);
+        let write_done = self.tiers[to].device.io(read_done, m.size);
+        self.tiers[from].device.free(m.size);
+        self.tiers[to].device.alloc(m.size).expect("space was just made");
+        self.tiers[to].store.lock().insert(id, data);
+        let entry = meta.get_mut(&id).expect("still resident");
+        entry.tier = to;
+        entry.tier_kind = self.tiers[to].device.kind();
+        entry.ready_at = entry.ready_at.max(write_done);
+        Ok(done.max(write_done))
+    }
+
+    /// Promote `id` one tier up (used by `organize` for hot blobs).
+    fn promote(
+        &self,
+        meta: &mut BTreeMap<BlobId, BlobMeta>,
+        now: SimTime,
+        id: BlobId,
+    ) -> Option<SimTime> {
+        let m = *meta.get(&id)?;
+        if m.tier == 0 {
+            return None;
+        }
+        let to = m.tier - 1;
+        if self.tiers[to].device.available() < m.size {
+            return None;
+        }
+        let data = self.tiers[m.tier].store.lock().remove(&id)?;
+        let read_done = self.tiers[m.tier].device.io(now, m.size);
+        let write_done = self.tiers[to].device.io(read_done, m.size);
+        self.tiers[m.tier].device.free(m.size);
+        self.tiers[to].device.alloc(m.size).expect("checked available");
+        self.tiers[to].store.lock().insert(id, data);
+        let entry = meta.get_mut(&id).expect("resident");
+        entry.tier = to;
+        entry.tier_kind = self.tiers[to].device.kind();
+        entry.ready_at = entry.ready_at.max(write_done);
+        Some(write_done)
+    }
+
+    /// Place (or overwrite) a blob with `score`, starting the I/O at `now`.
+    ///
+    /// The blob lands on the fastest tier with capacity; if a faster tier is
+    /// full, lower-score blobs are demoted to make room **only if** this
+    /// blob outscores them, otherwise placement walks down. Errors with
+    /// [`DmshError::Full`] when even the slowest tier cannot take it.
+    pub fn put(
+        &self,
+        now: SimTime,
+        id: BlobId,
+        data: Bytes,
+        score: f32,
+        node: usize,
+        dirty: bool,
+    ) -> Result<PutOutcome, DmshError> {
+        let size = data.len() as u64;
+        let mut meta = self.meta.lock();
+        // Overwrite in place if resident and same size.
+        if let Some(m) = meta.get(&id).copied() {
+            if m.size == size {
+                let done = self.tiers[m.tier].device.io(now, size);
+                self.tiers[m.tier].store.lock().insert(id, data);
+                let e = meta.get_mut(&id).unwrap();
+                e.score = score;
+                e.score_node = node;
+                e.scored_at = now;
+                e.dirty = e.dirty || dirty;
+                e.ready_at = e.ready_at.max(done);
+                return Ok(PutOutcome { done_at: done, tier: m.tier_kind });
+            }
+            // Size changed: drop and re-place.
+            self.remove_locked(&mut meta, id);
+        }
+        let mut done = now;
+        let mut target = None;
+        for (i, tier) in self.tiers.iter().enumerate() {
+            if tier.device.available() >= size {
+                target = Some(i);
+                break;
+            }
+            // Try to make room by demoting lower-scoring blobs.
+            loop {
+                let Some(victim) = self.victim_on(&meta, i) else { break };
+                let vm = meta[&victim];
+                if vm.score >= score {
+                    break; // residents outscore the newcomer; go down a tier
+                }
+                match self.demote(&mut meta, now, victim) {
+                    Ok(t) => {
+                        done = done.max(t);
+                        if tier.device.available() >= size {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            if tier.device.available() >= size {
+                target = Some(i);
+                break;
+            }
+        }
+        let Some(t) = target else {
+            return Err(DmshError::Full { requested: size });
+        };
+        self.tiers[t].device.alloc(size).expect("capacity checked");
+        let io_done = self.tiers[t].device.io(done, size);
+        self.tiers[t].store.lock().insert(id, data);
+        meta.insert(
+            id,
+            BlobMeta {
+                tier: t,
+                tier_kind: self.tiers[t].device.kind(),
+                size,
+                score,
+                score_node: node,
+                scored_at: now,
+                dirty,
+                ready_at: io_done,
+            },
+        );
+        Ok(PutOutcome { done_at: io_done, tier: self.tiers[t].device.kind() })
+    }
+
+    /// Read a whole blob; returns the bytes and the virtual completion time
+    /// of the read (which waits for any in-flight write to the blob).
+    pub fn get(&self, now: SimTime, id: BlobId) -> Result<(Bytes, SimTime), DmshError> {
+        let meta = self.meta.lock();
+        let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
+        let start = now.max(m.ready_at);
+        let done = self.tiers[m.tier].device.io(start, m.size);
+        let data = self.tiers[m.tier]
+            .store
+            .lock()
+            .get(&id)
+            .cloned()
+            .expect("meta/store agree");
+        Ok((data, done))
+    }
+
+    /// Read a sub-range of a blob — **partial paging**: only the requested
+    /// fragment is charged to the device ("MegaMmap pages [can] contain
+    /// only the fragments of data needed during a page fault").
+    pub fn get_range(
+        &self,
+        now: SimTime,
+        id: BlobId,
+        off: u64,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DmshError> {
+        let meta = self.meta.lock();
+        let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
+        let start = now.max(m.ready_at);
+        let end = (off + len).min(m.size);
+        let off = off.min(m.size);
+        let done = self.tiers[m.tier].device.io(start, end - off);
+        let data = self.tiers[m.tier].store.lock().get(&id).cloned().expect("resident");
+        Ok((data.slice(off as usize..end as usize), done))
+    }
+
+    /// Overwrite a sub-range of a resident blob (applying a page diff).
+    pub fn put_range(
+        &self,
+        now: SimTime,
+        id: BlobId,
+        off: u64,
+        patch: &[u8],
+    ) -> Result<SimTime, DmshError> {
+        let mut meta = self.meta.lock();
+        let m = meta.get_mut(&id).ok_or(DmshError::NotFound(id))?;
+        let mut store = self.tiers[m.tier].store.lock();
+        let cur = store.get(&id).expect("resident");
+        let mut buf = cur.to_vec();
+        let end = off as usize + patch.len();
+        if end > buf.len() {
+            buf.resize(end, 0);
+            self.tiers[m.tier].device.free(m.size);
+            // Growth may overshoot the tier; allow it (organize will fix).
+            let _ = self.tiers[m.tier].device.alloc(buf.len() as u64);
+            m.size = buf.len() as u64;
+        }
+        buf[off as usize..end].copy_from_slice(patch);
+        store.insert(id, Bytes::from(buf));
+        let start = now.max(m.ready_at);
+        let done = self.tiers[m.tier].device.io(start, patch.len() as u64);
+        m.dirty = true;
+        m.ready_at = done;
+        Ok(done)
+    }
+
+    /// Update a blob's score. "The Data Organizer will take the maximum of
+    /// scores if several processes score the same page within a
+    /// configurable timeframe" — pass `window_ns` for that merge rule.
+    pub fn rescore(&self, now: SimTime, id: BlobId, score: f32, node: usize, window_ns: u64) {
+        if let Some(m) = self.meta.lock().get_mut(&id) {
+            let within_window = now.saturating_sub(m.scored_at) <= window_ns;
+            if !within_window || score > m.score {
+                m.score = if within_window { m.score.max(score) } else { score };
+                m.score_node = node;
+                m.scored_at = now;
+            }
+        }
+    }
+
+    fn remove_locked(&self, meta: &mut BTreeMap<BlobId, BlobMeta>, id: BlobId) -> Option<Bytes> {
+        let m = meta.remove(&id)?;
+        let data = self.tiers[m.tier].store.lock().remove(&id);
+        self.tiers[m.tier].device.free(m.size);
+        data
+    }
+
+    /// Remove a blob entirely; returns its bytes if it was resident.
+    pub fn remove(&self, id: BlobId) -> Option<Bytes> {
+        self.remove_locked(&mut self.meta.lock(), id)
+    }
+
+    /// Remove every blob of a bucket; returns the count.
+    pub fn remove_bucket(&self, bucket: u64) -> usize {
+        let ids = self.blobs_of(bucket);
+        let mut meta = self.meta.lock();
+        for id in &ids {
+            self.remove_locked(&mut meta, *id);
+        }
+        ids.len()
+    }
+
+    /// The periodic Data-Organizer pass: demote low-score blobs out of
+    /// tiers over the `watermark` fraction of capacity, then promote the
+    /// highest-score blobs upward into free space. Returns the completion
+    /// time of the reorganization I/O.
+    pub fn organize(&self, now: SimTime, watermark: f64) -> SimTime {
+        let mut meta = self.meta.lock();
+        let mut done = now;
+        // Demotion: fastest tier first.
+        for i in 0..self.tiers.len().saturating_sub(1) {
+            let cap = self.tiers[i].device.spec().capacity;
+            let limit = (cap as f64 * watermark) as u64;
+            while self.tiers[i].device.used() > limit {
+                let Some(victim) = self.victim_on(&meta, i) else { break };
+                match self.demote(&mut meta, now, victim) {
+                    Ok(t) => done = done.max(t),
+                    Err(_) => break,
+                }
+            }
+        }
+        // Promotion: walk tiers slow → fast; move the hottest blobs up while
+        // the faster tier has headroom below the watermark.
+        for i in (1..self.tiers.len()).rev() {
+            loop {
+                let above = &self.tiers[i - 1].device;
+                let limit = (above.spec().capacity as f64 * watermark) as u64;
+                let hot = meta
+                    .iter()
+                    .filter(|(_, m)| m.tier == i && m.score > 0.5)
+                    .max_by(|(ia, ma), (ib, mb)| {
+                        ma.score
+                            .partial_cmp(&mb.score)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(ib.cmp(ia))
+                    })
+                    .map(|(id, m)| (*id, m.size));
+                let Some((id, size)) = hot else { break };
+                if above.used() + size > limit {
+                    break;
+                }
+                match self.promote(&mut meta, now, id) {
+                    Some(t) => done = done.max(t),
+                    None => break,
+                }
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megammap_sim::MIB;
+
+    fn dmsh(dram: u64, nvme: u64, hdd: u64) -> Dmsh {
+        Dmsh::new(
+            "test",
+            vec![DeviceSpec::dram(dram), DeviceSpec::nvme(nvme), DeviceSpec::hdd(hdd)],
+        )
+    }
+
+    fn blob(n: usize) -> Bytes {
+        Bytes::from(vec![0xAB; n])
+    }
+
+    #[test]
+    fn put_lands_on_fastest_tier() {
+        let d = dmsh(MIB, MIB, MIB);
+        let out = d.put(0, BlobId::new(1, 0), blob(1000), 0.5, 0, false).unwrap();
+        assert_eq!(out.tier, TierKind::Dram);
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().tier, 0);
+    }
+
+    #[test]
+    fn get_returns_exact_bytes() {
+        let d = dmsh(MIB, MIB, MIB);
+        let id = BlobId::new(1, 7);
+        let data = Bytes::from((0..=255u8).collect::<Vec<_>>());
+        d.put(0, id, data.clone(), 1.0, 0, false).unwrap();
+        let (got, t) = d.get(0, id).unwrap();
+        assert_eq!(got, data);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn overflow_demotes_low_scores() {
+        let d = dmsh(2048, MIB, MIB);
+        // Two cold kilobyte blobs fill DRAM.
+        d.put(0, BlobId::new(1, 0), blob(1024), 0.1, 0, false).unwrap();
+        d.put(0, BlobId::new(1, 1), blob(1024), 0.2, 0, false).unwrap();
+        // A hot blob displaces the coldest one.
+        let out = d.put(0, BlobId::new(1, 2), blob(1024), 0.9, 0, false).unwrap();
+        assert_eq!(out.tier, TierKind::Dram);
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().tier_kind, TierKind::Nvme);
+        assert_eq!(d.meta_of(BlobId::new(1, 1)).unwrap().tier_kind, TierKind::Dram);
+    }
+
+    #[test]
+    fn cold_put_goes_below_hot_residents() {
+        let d = dmsh(1024, MIB, MIB);
+        d.put(0, BlobId::new(1, 0), blob(1024), 0.9, 0, false).unwrap();
+        // Newcomer is colder than the resident: lands on NVMe instead.
+        let out = d.put(0, BlobId::new(1, 1), blob(1024), 0.1, 0, false).unwrap();
+        assert_eq!(out.tier, TierKind::Nvme);
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().tier_kind, TierKind::Dram);
+    }
+
+    #[test]
+    fn full_everywhere_errors() {
+        let d = dmsh(1024, 1024, 1024);
+        d.put(0, BlobId::new(1, 0), blob(1024), 0.5, 0, false).unwrap();
+        d.put(0, BlobId::new(1, 1), blob(1024), 0.5, 0, false).unwrap();
+        d.put(0, BlobId::new(1, 2), blob(1024), 0.5, 0, false).unwrap();
+        let err = d.put(0, BlobId::new(1, 3), blob(1024), 0.9, 0, false).unwrap_err();
+        assert!(matches!(err, DmshError::Full { requested: 1024 }));
+    }
+
+    #[test]
+    fn cascading_demotion_reaches_bottom_tier() {
+        let d = dmsh(1024, 1024, MIB);
+        d.put(0, BlobId::new(1, 0), blob(1024), 0.1, 0, false).unwrap();
+        d.put(0, BlobId::new(1, 1), blob(1024), 0.2, 0, false).unwrap(); // 0 → NVMe? no: 1 lands DRAM? DRAM full→demote 0
+        d.put(0, BlobId::new(1, 2), blob(1024), 0.3, 0, false).unwrap();
+        // All three resident somewhere, exactly one per occupied tier.
+        let mut kinds: Vec<_> =
+            (0..3).map(|i| d.meta_of(BlobId::new(1, i)).unwrap().tier_kind).collect();
+        kinds.sort();
+        assert_eq!(kinds, vec![TierKind::Dram, TierKind::Nvme, TierKind::Hdd]);
+        // Hotter blobs sit higher.
+        assert_eq!(d.meta_of(BlobId::new(1, 2)).unwrap().tier_kind, TierKind::Dram);
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().tier_kind, TierKind::Hdd);
+    }
+
+    #[test]
+    fn partial_read_charges_fragment_only() {
+        let d = dmsh(MIB, MIB, MIB);
+        let id = BlobId::new(1, 0);
+        d.put(0, id, blob(512 * 1024), 1.0, 0, false).unwrap();
+        let t0 = d.device(0).timeline().total_bytes();
+        let (frag, _) = d.get_range(d.meta_of(id).unwrap().ready_at, id, 1000, 64).unwrap();
+        assert_eq!(frag.len(), 64);
+        assert_eq!(d.device(0).timeline().total_bytes() - t0, 64);
+    }
+
+    #[test]
+    fn put_range_patches_and_dirties() {
+        let d = dmsh(MIB, MIB, MIB);
+        let id = BlobId::new(2, 0);
+        d.put(0, id, Bytes::from(vec![0u8; 64]), 1.0, 0, false).unwrap();
+        d.put_range(0, id, 10, &[9, 9, 9]).unwrap();
+        let (got, _) = d.get(1_000_000_000, id).unwrap();
+        assert_eq!(&got[10..13], &[9, 9, 9]);
+        assert_eq!(&got[..10], &[0u8; 10]);
+        assert!(d.meta_of(id).unwrap().dirty);
+        assert_eq!(d.dirty_blobs(), vec![id]);
+        d.mark_clean(id);
+        assert!(d.dirty_blobs().is_empty());
+    }
+
+    #[test]
+    fn rescore_takes_max_within_window() {
+        let d = dmsh(MIB, MIB, MIB);
+        let id = BlobId::new(1, 0);
+        d.put(0, id, blob(10), 0.5, 0, false).unwrap();
+        // Lower score within the window: ignored (max rule).
+        d.rescore(10, id, 0.2, 1, 1_000);
+        assert_eq!(d.meta_of(id).unwrap().score, 0.5);
+        // Higher score within the window: taken.
+        d.rescore(20, id, 0.8, 2, 1_000);
+        assert_eq!(d.meta_of(id).unwrap().score, 0.8);
+        assert_eq!(d.meta_of(id).unwrap().score_node, 2);
+        // Outside the window: replaces even if lower.
+        d.rescore(1_000_000, id, 0.1, 3, 1_000);
+        assert_eq!(d.meta_of(id).unwrap().score, 0.1);
+    }
+
+    #[test]
+    fn organize_demotes_over_watermark_and_promotes_hot() {
+        let d = dmsh(4096, MIB, MIB);
+        for i in 0..4 {
+            d.put(0, BlobId::new(1, i), blob(1024), 0.1 * (i as f32 + 1.0), 0, false).unwrap();
+        }
+        assert_eq!(d.device(0).used(), 4096);
+        // Demote until DRAM is at most half full.
+        d.organize(0, 0.5);
+        assert!(d.device(0).used() <= 2048);
+        // The coldest blobs moved down.
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().tier_kind, TierKind::Nvme);
+        assert_eq!(d.meta_of(BlobId::new(1, 3)).unwrap().tier_kind, TierKind::Dram);
+        // Now heat up a demoted blob and reorganize: it must be promoted.
+        d.remove(BlobId::new(1, 3));
+        d.remove(BlobId::new(1, 2));
+        d.rescore(1, BlobId::new(1, 0), 0.95, 0, u64::MAX);
+        d.organize(1, 0.5);
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().tier_kind, TierKind::Dram);
+    }
+
+    #[test]
+    fn overwrite_same_size_in_place() {
+        let d = dmsh(MIB, MIB, MIB);
+        let id = BlobId::new(1, 0);
+        d.put(0, id, Bytes::from(vec![1u8; 100]), 0.5, 0, false).unwrap();
+        let used = d.used();
+        d.put(1, id, Bytes::from(vec![2u8; 100]), 0.6, 0, true).unwrap();
+        assert_eq!(d.used(), used, "no double accounting on overwrite");
+        let m = d.meta_of(id).unwrap();
+        let (got, _) = d.get(m.ready_at, id).unwrap();
+        assert_eq!(got[0], 2);
+        assert!(m.dirty);
+    }
+
+    #[test]
+    fn remove_bucket_clears_and_frees() {
+        let d = dmsh(MIB, MIB, MIB);
+        for i in 0..5 {
+            d.put(0, BlobId::new(3, i), blob(100), 0.5, 0, false).unwrap();
+        }
+        d.put(0, BlobId::new(4, 0), blob(100), 0.5, 0, false).unwrap();
+        assert_eq!(d.blobs_of(3).len(), 5);
+        assert_eq!(d.remove_bucket(3), 5);
+        assert_eq!(d.blobs_of(3).len(), 0);
+        assert!(d.contains(BlobId::new(4, 0)));
+        assert_eq!(d.used(), 100);
+    }
+
+    #[test]
+    fn inflight_write_delays_read() {
+        let d = dmsh(MIB, MIB, MIB);
+        let id = BlobId::new(1, 0);
+        let out = d.put(0, id, blob(512 * 1024), 1.0, 0, false).unwrap();
+        // A read issued at time 0 cannot complete before the write did.
+        let (_, rt) = d.get(0, id).unwrap();
+        assert!(rt > out.done_at);
+    }
+}

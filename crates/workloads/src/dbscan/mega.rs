@@ -1,0 +1,236 @@
+//! µDBSCAN on MegaMmap.
+//!
+//! The k-d tree construction runs over shared vectors: at each level every
+//! process streams its PGAS slice of the current vector and **appends**
+//! each point to the `left` or `right` child vector (the Append-Only
+//! Global policy — "in DBSCAN, a k-d tree is created by appending samples
+//! to the left and right branches based on a split point"). Process groups
+//! then split to follow the branches. Leaves are scanned out of the final
+//! vectors; the merge phase is the shared [`finish`](super::finish).
+
+use megammap::prelude::*;
+use megammap_cluster::{Comm, Proc};
+
+use super::{choose_split, finish, DbscanConfig, DbscanResult, IdPoint, SplitPlane, StreamSample};
+use crate::point::Point3D;
+use megammap::element::Element as _;
+
+/// A MegaMmap DBSCAN job.
+pub struct MegaDbscan<'a> {
+    /// The deployed runtime.
+    pub rt: &'a Runtime,
+    /// Dataset vector URL (`Point3D` records).
+    pub url: String,
+    /// Parameters.
+    pub cfg: DbscanConfig,
+    /// pcache bound per vector per process.
+    pub pcache_bytes: u64,
+    /// Unique run tag (namespaces the intermediate tree vectors).
+    pub tag: String,
+}
+
+const CHUNK: usize = 1024;
+
+/// Stream the local slice of an `IdPoint` vector, calling `f` per point.
+fn stream_ids(
+    p: &Proc,
+    v: &MmVec<IdPoint>,
+    range: std::ops::Range<u64>,
+    mut f: impl FnMut(&IdPoint),
+) {
+    let tx = v.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::ReadOnly);
+    let mut buf = vec![IdPoint::default(); CHUNK];
+    let mut i = range.start;
+    while i < range.end {
+        let n = CHUNK.min((range.end - i) as usize);
+        v.read_into(p, i, &mut buf[..n]).expect("stream read");
+        for ip in &buf[..n] {
+            f(ip);
+        }
+        i += n as u64;
+    }
+    v.tx_end(p, tx);
+}
+
+/// Run µDBSCAN; every process calls this (SPMD).
+pub fn run(p: &Proc, job: &MegaDbscan<'_>) -> DbscanResult {
+    let cfg = job.cfg;
+    let world = p.world();
+
+    // Level 0: tag the raw dataset with global indices into an IdPoint
+    // vector (streamed; Write-Local over the PGAS slice).
+    let src: MmVec<Point3D> =
+        MmVec::open(job.rt, p, &job.url, VecOptions::new().pcache(job.pcache_bytes))
+            .expect("open dataset");
+    src.pgas(p, p.rank(), p.nprocs());
+    let n = src.len();
+    let tagged_url = format!("mem://dbs-{}-tagged", job.tag);
+    let tagged: MmVec<IdPoint> = MmVec::open(
+        job.rt,
+        p,
+        &tagged_url,
+        VecOptions::new().len(n).pcache(job.pcache_bytes),
+    )
+    .expect("open tagged vector");
+    {
+        let range = src.local_range();
+        let rtx = src.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::ReadLocal);
+        let wtx = tagged.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::WriteLocal);
+        let mut buf = vec![Point3D::default(); CHUNK];
+        let mut out = vec![IdPoint::default(); CHUNK];
+        let mut i = range.start;
+        while i < range.end {
+            let cn = CHUNK.min((range.end - i) as usize);
+            src.read_into(p, i, &mut buf[..cn]).expect("read points");
+            for k in 0..cn {
+                out[k] = IdPoint { id: i + k as u64, p: buf[k] };
+            }
+            tagged.write_slice(p, i, &out[..cn]).expect("write tagged");
+            i += cn as u64;
+        }
+        src.tx_end(p, rtx);
+        tagged.tx_end(p, wtx);
+    }
+    world.barrier(p);
+
+    // Recursive split: stream-sample, choose plane, append to children,
+    // halve the communicator.
+    let mut comm: Comm = world.clone();
+    let mut cur = tagged;
+    let mut path = String::new();
+    let mut planes: Vec<SplitPlane> = Vec::new();
+    let mut level = 0usize;
+    while comm.size() > 1 {
+        cur.pgas(p, comm.rank_of(p), comm.size());
+        let range = cur.local_range();
+
+        // Pass 1: deterministic subsample (streamed), gathered comm-wide.
+        let mut sampler = StreamSample::new(cfg.sample, cfg.seed.wrapping_add(level as u64));
+        stream_ids(p, &cur, range.clone(), |ip| sampler.push(ip));
+        let sample = comm.allgather(p, sampler.take(), Point3D::SIZE as u64);
+        let plane = choose_split(&sample);
+
+        // Pass 2: append each point to the matching child (Append Global).
+        let left_url = format!("mem://dbs-{}-{}{}L", job.tag, level, path);
+        let right_url = format!("mem://dbs-{}-{}{}R", job.tag, level, path);
+        let left: MmVec<IdPoint> =
+            MmVec::open(job.rt, p, &left_url, VecOptions::new().pcache(job.pcache_bytes))
+                .expect("left child");
+        let right: MmVec<IdPoint> =
+            MmVec::open(job.rt, p, &right_url, VecOptions::new().pcache(job.pcache_bytes))
+                .expect("right child");
+        let ltx = left.tx_begin(p, TxKind::append(0), Access::AppendGlobal);
+        let rtx = right.tx_begin(p, TxKind::append(0), Access::AppendGlobal);
+        stream_ids(p, &cur, range, |ip| {
+            if ip.p.axis(plane.axis) < plane.value {
+                left.append(p, &ltx, *ip);
+            } else {
+                right.append(p, &rtx, *ip);
+            }
+        });
+        left.tx_end(p, ltx);
+        right.tx_end(p, rtx);
+        comm.barrier(p);
+
+        // Halve the communicator; lower half takes the left branch.
+        let half = comm.size() / 2;
+        let go_left = comm.rank_of(p) < half;
+        let color = u64::from(!go_left);
+        comm = comm.split(p, color, comm.rank_of(p));
+        cur = if go_left { left } else { right };
+        path.push(if go_left { 'L' } else { 'R' });
+        planes.push(plane);
+        level += 1;
+    }
+
+    // Leaf: this process owns the whole remaining vector.
+    let mut own: Vec<IdPoint> = Vec::with_capacity(cur.len() as usize);
+    stream_ids(p, &cur, 0..cur.len(), |ip| own.push(*ip));
+    world.barrier(p);
+    finish(p, own, &planes, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, HaloParams};
+    use crate::verify::{rand_index, ref_dbscan};
+    use megammap_cluster::{Cluster, ClusterSpec};
+    use megammap_formats::DataUrl;
+
+    fn setup(n_points: usize) -> (Runtime, Cluster, crate::datagen::HaloDataset) {
+        let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(4096));
+        let data = generate(HaloParams { n_points, ..Default::default() });
+        let obj = rt.backends().open(&DataUrl::parse("obj://dbs/pts.bin").unwrap()).unwrap();
+        data.write_object(obj.as_ref()).unwrap();
+        (rt, cluster, data)
+    }
+
+    #[test]
+    fn matches_reference_dbscan() {
+        let (rt, cluster, data) = setup(1200);
+        let rt2 = rt.clone();
+        let (outs, _) = cluster.run(move |p| {
+            run(
+                p,
+                &MegaDbscan {
+                    rt: &rt2,
+                    url: "obj://dbs/pts.bin".into(),
+                    cfg: DbscanConfig { eps: 8.0, min_pts: 8, ..Default::default() },
+                    pcache_bytes: 1 << 20,
+                    tag: "ref".into(),
+                },
+            )
+        });
+        // All ranks agree.
+        for o in &outs[1..] {
+            assert_eq!(o.labels, outs[0].labels);
+        }
+        // Labels cover every point id exactly once, sorted.
+        assert_eq!(outs[0].labels.len(), 1200);
+        assert!(outs[0].labels.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        // Partition agrees with the brute-force reference.
+        let expect = ref_dbscan(&data.points, 8.0, 8);
+        let got: Vec<i64> = outs[0].labels.iter().map(|(_, l)| *l).collect();
+        let ri = rand_index(&got, &expect);
+        assert!(ri > 0.995, "rand index {ri}");
+        assert_eq!(outs[0].n_clusters, 8, "one cluster per halo");
+    }
+
+    #[test]
+    fn split_straddling_cluster_is_merged() {
+        // One tight line of points spanning the whole x-range: every split
+        // plane cuts through it, exercising the µcluster merge.
+        let cluster = Cluster::new(ClusterSpec::new(1, 4).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(4096));
+        let pts: Vec<crate::point::Point3D> =
+            (0..256).map(|i| crate::point::Point3D::new(i as f32 * 0.5, 0.0, 0.0)).collect();
+        let bytes: Vec<u8> = {
+            use megammap::element::Element;
+            let mut b = vec![0u8; pts.len() * 12];
+            for (i, p) in pts.iter().enumerate() {
+                p.write_to(&mut b[i * 12..(i + 1) * 12]);
+            }
+            b
+        };
+        let obj = rt.backends().open(&DataUrl::parse("obj://dbs/line.bin").unwrap()).unwrap();
+        obj.write_at(0, &bytes).unwrap();
+        let rt2 = rt.clone();
+        let (outs, _) = cluster.run(move |p| {
+            run(
+                p,
+                &MegaDbscan {
+                    rt: &rt2,
+                    url: "obj://dbs/line.bin".into(),
+                    cfg: DbscanConfig { eps: 1.0, min_pts: 3, ..Default::default() },
+                    pcache_bytes: 1 << 20,
+                    tag: "line".into(),
+                },
+            )
+        });
+        assert_eq!(outs[0].n_clusters, 1, "the line is one cluster despite the splits");
+        let first = outs[0].labels[0].1;
+        assert!(outs[0].labels.iter().all(|(_, l)| *l == first));
+    }
+}

@@ -1,0 +1,515 @@
+//! µDBSCAN density-based clustering (paper §IV).
+//!
+//! "Initially, DBSCAN constructs a k-d tree ... At the first iteration, the
+//! dataset is split evenly among the processes. The median and entropy is
+//! estimated per-axis using a small, random subsample. The axis with the
+//! largest entropy is chosen, and each process divides the dataset into two
+//! fractions: left and right of the median. Processes are then partitioned
+//! to handle the subsets ... Now that each point belongs to a µcluster
+//! (set of points in a leaf), the µclusters can be merged in parallel to
+//! form the full clusters."
+//!
+//! Implementation structure shared by both variants:
+//!
+//! 1. **Recursive k-d partition** — processes split in half per level;
+//!    the split plane is the subsample median on the highest-variance axis
+//!    (variance stands in for the paper's entropy estimate).
+//! 2. **Ghost exchange** — points within ε of any split plane are
+//!    broadcast, so per-partition neighbour counts (and hence core status)
+//!    are *exact*: any cross-partition neighbour pair lies within ε of the
+//!    separating plane.
+//! 3. **Local DBSCAN** — a uniform-grid-indexed scan labels local
+//!    µclusters.
+//! 4. **µcluster merge** — boundary core points are gathered; clusters
+//!    with core points within ε union; border points adopt adjacent remote
+//!    cores' clusters.
+
+pub mod mega;
+pub mod mpi;
+
+use megammap::impl_element_struct;
+
+use crate::point::Point3D;
+
+/// DBSCAN parameters (paper defaults: ε = 8, min_pts = 64 at full scale;
+/// tests use smaller min_pts for smaller datasets).
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius.
+    pub eps: f32,
+    /// Minimum neighbours (inclusive of self) for a core point.
+    pub min_pts: usize,
+    /// Subsample size per process for median/variance estimation.
+    pub sample: usize,
+    /// Seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        Self { eps: 8.0, min_pts: 8, sample: 64, seed: 3 }
+    }
+}
+
+/// A point tagged with its global dataset index, so identities survive the
+/// append-based redistribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IdPoint {
+    /// Global index in the input dataset.
+    pub id: u64,
+    /// Coordinates.
+    pub p: Point3D,
+}
+
+impl_element_struct!(IdPoint { id: u64, p: Point3D });
+
+/// A split plane recorded along the recursion path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitPlane {
+    /// Axis index (0..3).
+    pub axis: usize,
+    /// Plane coordinate.
+    pub value: f32,
+}
+
+/// Result of a DBSCAN run: `(global point id, cluster id)` pairs, cluster
+/// id `-1` meaning noise. Sorted by id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbscanResult {
+    /// Labels per point id.
+    pub labels: Vec<(u64, i64)>,
+    /// Number of distinct clusters found.
+    pub n_clusters: usize,
+}
+
+/// Choose the split plane from a gathered subsample: the axis with the
+/// largest variance, split at the sample median. Deterministic given the
+/// (rank-ordered) sample.
+pub(crate) fn choose_split(sample: &[Point3D]) -> SplitPlane {
+    assert!(!sample.is_empty(), "empty split sample");
+    let mut best = SplitPlane { axis: 0, value: 0.0 };
+    let mut best_var = -1.0f64;
+    for axis in 0..3 {
+        let vals: Vec<f64> = sample.iter().map(|p| p.axis(axis) as f64).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        if var > best_var {
+            let mut sorted = vals.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            best_var = var;
+            best = SplitPlane { axis, value: sorted[sorted.len() / 2] as f32 };
+        }
+    }
+    best
+}
+
+/// Deterministically subsample `k` points (seeded by `seed` and the points'
+/// ids so both variants pick the same sample regardless of distribution).
+/// The streaming [`StreamSample`] supersedes this in the hot paths; kept
+/// as the reference implementation its tests compare against.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn subsample(points: &[IdPoint], k: usize, seed: u64) -> Vec<Point3D> {
+    let mut tagged: Vec<(u64, &IdPoint)> = points
+        .iter()
+        .map(|ip| (megammap::tx::splitmix64(seed ^ ip.id.wrapping_mul(0x2545F4914F6CDD1D)), ip))
+        .collect();
+    tagged.sort_by_key(|(h, _)| *h);
+    tagged.into_iter().take(k).map(|(_, ip)| ip.p).collect()
+}
+
+/// Uniform-grid spatial index for ε-neighbour queries.
+pub(crate) struct GridIndex {
+    cell: f32,
+    map: std::collections::HashMap<(i32, i32, i32), Vec<usize>>,
+}
+
+impl GridIndex {
+    pub(crate) fn build(points: &[Point3D], eps: f32) -> Self {
+        let cell = eps.max(1e-6);
+        let mut map: std::collections::HashMap<(i32, i32, i32), Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            map.entry(Self::key(p, cell)).or_default().push(i);
+        }
+        Self { cell, map }
+    }
+
+    fn key(p: &Point3D, cell: f32) -> (i32, i32, i32) {
+        (
+            (p.x / cell).floor() as i32,
+            (p.y / cell).floor() as i32,
+            (p.z / cell).floor() as i32,
+        )
+    }
+
+    /// Indices of points within `eps` of `q` (inclusive).
+    pub(crate) fn neighbors(&self, points: &[Point3D], q: &Point3D, eps: f32) -> Vec<usize> {
+        let (cx, cy, cz) = Self::key(q, self.cell);
+        let eps2 = eps * eps;
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if let Some(bucket) = self.map.get(&(cx + dx, cy + dy, cz + dz)) {
+                        for &i in bucket {
+                            if points[i].dist2(q) <= eps2 {
+                                out.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The local phase: DBSCAN over `own` points with `ghosts` contributing to
+/// neighbour counts (but not receiving labels). Returns per-own-point
+/// labels (µcluster ids local to this partition, -1 = noise/undecided) and
+/// per-own-point core flags.
+pub(crate) fn local_dbscan(
+    own: &[IdPoint],
+    ghosts: &[IdPoint],
+    cfg: &DbscanConfig,
+) -> (Vec<i64>, Vec<bool>) {
+    let all: Vec<Point3D> =
+        own.iter().map(|ip| ip.p).chain(ghosts.iter().map(|ip| ip.p)).collect();
+    let index = GridIndex::build(&all, cfg.eps);
+    let n = own.len();
+    // Core status: neighbour count over own + ghosts (exact global count).
+    let core: Vec<bool> = (0..n)
+        .map(|i| index.neighbors(&all, &all[i], cfg.eps).len() >= cfg.min_pts)
+        .collect();
+    let mut labels = vec![-1i64; n];
+    let mut cluster = 0i64;
+    for i in 0..n {
+        if labels[i] != -1 || !core[i] {
+            continue;
+        }
+        labels[i] = cluster;
+        let mut queue: Vec<usize> =
+            index.neighbors(&all, &all[i], cfg.eps).into_iter().filter(|&j| j < n).collect();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j] == -1 {
+                labels[j] = cluster;
+                if core[j] {
+                    queue.extend(
+                        index
+                            .neighbors(&all, &all[j], cfg.eps)
+                            .into_iter()
+                            .filter(|&x| x < n && labels[x] == -1),
+                    );
+                }
+            }
+        }
+        cluster += 1;
+    }
+    (labels, core)
+}
+
+/// Whether `p` lies within `eps` of any recorded split plane — the
+/// boundary-band membership test for ghost/merge exchanges.
+pub(crate) fn in_band(p: &Point3D, planes: &[SplitPlane], eps: f32) -> bool {
+    planes.iter().any(|pl| (p.axis(pl.axis) - pl.value).abs() <= eps)
+}
+
+/// Union-find over global µcluster ids.
+pub(crate) struct UnionFind {
+    parent: std::collections::HashMap<u64, u64>,
+}
+
+impl UnionFind {
+    pub(crate) fn new() -> Self {
+        Self { parent: std::collections::HashMap::new() }
+    }
+
+    pub(crate) fn find(&mut self, x: u64) -> u64 {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    pub(crate) fn union(&mut self, a: u64, b: u64) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic direction: smaller id wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(hi, lo);
+        }
+    }
+}
+
+/// A boundary record exchanged during the merge phase.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BoundaryPoint {
+    pub(crate) p: Point3D,
+    /// Globally unique µcluster id (`rank << 40 | local cluster`), or -1.
+    pub(crate) gcluster: i64,
+    pub(crate) core: bool,
+}
+
+/// Merge µclusters: union clusters whose core boundary points are within
+/// ε. Returns the union-find over global µcluster ids.
+pub(crate) fn merge_clusters(boundary: &[BoundaryPoint], eps: f32) -> UnionFind {
+    let pts: Vec<Point3D> = boundary.iter().map(|b| b.p).collect();
+    let index = GridIndex::build(&pts, eps);
+    let mut uf = UnionFind::new();
+    for (i, b) in boundary.iter().enumerate() {
+        if !b.core {
+            continue;
+        }
+        for j in index.neighbors(&pts, &b.p, eps) {
+            let o = &boundary[j];
+            if j != i && o.core && b.gcluster >= 0 && o.gcluster >= 0 {
+                uf.union(b.gcluster as u64, o.gcluster as u64);
+            }
+        }
+    }
+    uf
+}
+
+/// Compose a globally unique µcluster id.
+pub(crate) fn gcluster(rank: usize, local: i64) -> i64 {
+    if local < 0 {
+        -1
+    } else {
+        ((rank as i64) << 40) | local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, HaloParams};
+
+    fn idpoints(pts: &[Point3D]) -> Vec<IdPoint> {
+        pts.iter().enumerate().map(|(i, p)| IdPoint { id: i as u64, p: *p }).collect()
+    }
+
+    #[test]
+    fn choose_split_picks_widest_axis() {
+        let sample: Vec<Point3D> =
+            (0..10).map(|i| Point3D::new(i as f32 * 100.0, 1.0, 2.0)).collect();
+        let sp = choose_split(&sample);
+        assert_eq!(sp.axis, 0);
+        assert!((sp.value - 500.0).abs() <= 100.0);
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_distribution_independent() {
+        let d = generate(HaloParams { n_points: 200, ..Default::default() });
+        let ips = idpoints(&d.points);
+        let a = subsample(&ips, 16, 9);
+        let mut shuffled = ips.clone();
+        shuffled.reverse();
+        let b = subsample(&shuffled, 16, 9);
+        assert_eq!(a, b, "sample depends on ids, not order");
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn grid_index_matches_brute_force() {
+        let d = generate(HaloParams { n_points: 300, ..Default::default() });
+        let eps = 8.0;
+        let idx = GridIndex::build(&d.points, eps);
+        for q in d.points.iter().step_by(29) {
+            let mut got = idx.neighbors(&d.points, q, eps);
+            got.sort_unstable();
+            let want: Vec<usize> = (0..d.points.len())
+                .filter(|&i| d.points[i].dist2(q) <= eps * eps)
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn local_dbscan_matches_reference_without_ghosts() {
+        let d = generate(HaloParams { n_points: 300, ..Default::default() });
+        let cfg = DbscanConfig { eps: 8.0, min_pts: 4, ..Default::default() };
+        let (labels, core) = local_dbscan(&idpoints(&d.points), &[], &cfg);
+        let expect = crate::verify::ref_dbscan(&d.points, cfg.eps, cfg.min_pts);
+        let ri = crate::verify::rand_index(&labels, &expect);
+        assert!(ri > 0.999, "rand index {ri}");
+        assert!(core.iter().filter(|&&c| c).count() > 200);
+    }
+
+    #[test]
+    fn ghosts_make_boundary_points_core() {
+        // 5 points in a line; split between index 2 and 3. Without ghosts
+        // the left side sees only 3 points (min_pts 4 → no cores); with the
+        // right side as ghosts, the boundary points become core.
+        let pts: Vec<Point3D> =
+            (0..5).map(|i| Point3D::new(i as f32, 0.0, 0.0)).collect();
+        let ips = idpoints(&pts);
+        let cfg = DbscanConfig { eps: 2.1, min_pts: 4, ..Default::default() };
+        let (_, core_without) = local_dbscan(&ips[..3], &[], &cfg);
+        assert!(core_without.iter().all(|&c| !c));
+        let (_, core_with) = local_dbscan(&ips[..3], &ips[3..], &cfg);
+        assert!(core_with[1] && core_with[2], "ghost neighbours must count");
+    }
+
+    #[test]
+    fn union_find_merges_transitively() {
+        let mut uf = UnionFind::new();
+        uf.union(5, 9);
+        uf.union(9, 2);
+        assert_eq!(uf.find(5), 2);
+        assert_eq!(uf.find(9), 2);
+        assert_eq!(uf.find(7), 7);
+    }
+
+    #[test]
+    fn merge_links_straddling_clusters() {
+        // Two dense µclusters split by a plane at x=5, touching across it.
+        let mk = |x0: f32, g: i64| -> Vec<BoundaryPoint> {
+            (0..4)
+                .map(|i| BoundaryPoint {
+                    p: Point3D::new(x0 + i as f32 * 0.5, 0.0, 0.0),
+                    gcluster: g,
+                    core: true,
+                })
+                .collect()
+        };
+        let mut boundary = mk(3.0, 10);
+        boundary.extend(mk(5.0, 20));
+        let mut uf = merge_clusters(&boundary, 1.0);
+        assert_eq!(uf.find(10), uf.find(20), "straddling clusters merge");
+        // A far-away third cluster stays separate.
+        boundary.push(BoundaryPoint { p: Point3D::new(100.0, 0.0, 0.0), gcluster: 30, core: true });
+        let mut uf = merge_clusters(&boundary, 1.0);
+        assert_ne!(uf.find(30), uf.find(10));
+    }
+
+    #[test]
+    fn band_membership() {
+        let planes = vec![SplitPlane { axis: 0, value: 10.0 }];
+        assert!(in_band(&Point3D::new(9.0, 0.0, 0.0), &planes, 2.0));
+        assert!(in_band(&Point3D::new(11.5, 0.0, 0.0), &planes, 2.0));
+        assert!(!in_band(&Point3D::new(20.0, 0.0, 0.0), &planes, 2.0));
+        assert!(!in_band(&Point3D::new(9.0, 0.0, 0.0), &[], 2.0));
+    }
+
+    #[test]
+    fn gcluster_ids_unique_per_rank() {
+        assert_eq!(gcluster(0, -1), -1);
+        assert_ne!(gcluster(1, 0), gcluster(2, 0));
+        assert_ne!(gcluster(1, 0), gcluster(1, 1));
+    }
+}
+
+/// The phase shared by both variants after redistribution: ghost exchange,
+/// local DBSCAN, µcluster merge, noise adoption, global label assembly.
+pub(crate) fn finish(
+    p: &megammap_cluster::Proc,
+    own: Vec<IdPoint>,
+    planes: &[SplitPlane],
+    cfg: &DbscanConfig,
+) -> DbscanResult {
+    let world = p.world();
+    // Ghost exchange: everyone's boundary-band points.
+    let my_band: Vec<IdPoint> =
+        own.iter().filter(|ip| in_band(&ip.p, planes, cfg.eps)).copied().collect();
+    p.compute_flops(own.len() as u64 * planes.len().max(1) as u64 * 2);
+    let band_all = world.allgather(p, my_band.clone(), 20);
+    let my_ids: std::collections::HashSet<u64> = own.iter().map(|ip| ip.id).collect();
+    let ghosts: Vec<IdPoint> =
+        band_all.iter().filter(|ip| !my_ids.contains(&ip.id)).copied().collect();
+
+    // Local µclusters with exact core counts.
+    let (labels, core) = local_dbscan(&own, &ghosts, cfg);
+    // ~each point visits its neighbours once.
+    p.compute_flops((own.len() + ghosts.len()) as u64 * 27);
+
+    // Merge phase: gather boundary records with µcluster ids + core flags.
+    let my_records: Vec<(IdPoint, i64, bool)> = own
+        .iter()
+        .zip(labels.iter().zip(&core))
+        .filter(|(ip, _)| in_band(&ip.p, planes, cfg.eps))
+        .map(|(ip, (l, c))| (*ip, gcluster(p.rank(), *l), *c))
+        .collect();
+    let records = world.allgather(p, my_records, 32);
+    let boundary: Vec<BoundaryPoint> = records
+        .iter()
+        .map(|(ip, g, c)| BoundaryPoint { p: ip.p, gcluster: *g, core: *c })
+        .collect();
+    let mut uf = merge_clusters(&boundary, cfg.eps);
+    p.compute_flops(boundary.len() as u64 * 27);
+
+    // Final labels: union-find roots; boundary noise adopts the nearest
+    // (smallest-root) adjacent remote core cluster.
+    let boundary_pts: Vec<Point3D> = boundary.iter().map(|b| b.p).collect();
+    let bindex = GridIndex::build(&boundary_pts, cfg.eps);
+    let mut final_labels: Vec<(u64, i64)> = Vec::with_capacity(own.len());
+    for (i, ip) in own.iter().enumerate() {
+        let mut label = if labels[i] >= 0 {
+            uf.find(gcluster(p.rank(), labels[i]) as u64) as i64
+        } else {
+            -1
+        };
+        if label < 0 && in_band(&ip.p, planes, cfg.eps) {
+            // A border point whose core neighbours all live remotely.
+            let mut adopt: Option<u64> = None;
+            for j in bindex.neighbors(&boundary_pts, &ip.p, cfg.eps) {
+                let b = &boundary[j];
+                if b.core && b.gcluster >= 0 {
+                    let root = uf.find(b.gcluster as u64);
+                    adopt = Some(adopt.map_or(root, |a| a.min(root)));
+                }
+            }
+            if let Some(root) = adopt {
+                label = root as i64;
+            }
+        }
+        final_labels.push((ip.id, label));
+    }
+    let mut all = world.allgather(p, final_labels, 16);
+    all.sort_unstable();
+    let n_clusters = all
+        .iter()
+        .filter(|(_, l)| *l >= 0)
+        .map(|(_, l)| *l)
+        .collect::<std::collections::HashSet<i64>>()
+        .len();
+    DbscanResult { labels: all, n_clusters }
+}
+
+/// Streaming deterministic subsample: keep the `k` smallest id-hashes, so
+/// both variants sample identically however the data is distributed.
+pub(crate) struct StreamSample {
+    k: usize,
+    seed: u64,
+    heap: std::collections::BinaryHeap<(u64, u64, [u32; 3])>,
+}
+
+impl StreamSample {
+    pub(crate) fn new(k: usize, seed: u64) -> Self {
+        Self { k, seed, heap: std::collections::BinaryHeap::new() }
+    }
+
+    pub(crate) fn push(&mut self, ip: &IdPoint) {
+        let h = megammap::tx::splitmix64(self.seed ^ ip.id.wrapping_mul(0x2545F4914F6CDD1D));
+        let enc = [ip.p.x.to_bits(), ip.p.y.to_bits(), ip.p.z.to_bits()];
+        self.heap.push((h, ip.id, enc));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    pub(crate) fn take(self) -> Vec<Point3D> {
+        let mut v: Vec<_> = self.heap.into_vec();
+        v.sort_unstable();
+        v.into_iter()
+            .map(|(_, _, e)| {
+                Point3D::new(f32::from_bits(e[0]), f32::from_bits(e[1]), f32::from_bits(e[2]))
+            })
+            .collect()
+    }
+}

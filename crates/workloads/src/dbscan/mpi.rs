@@ -1,0 +1,162 @@
+//! µDBSCAN in traditional MPI style — the paper's baseline.
+//!
+//! Identical algorithmic decisions to the MegaMmap variant (same streamed
+//! subsample hashes, same split planes), but data redistribution is
+//! explicit: at each level every process partitions its local points by
+//! the split plane and sends per-destination chunks to the half of the
+//! communicator handling that side (an `MPI_Alltoallv` pattern). The
+//! developer owns all partitioning and messaging — this is the code-volume
+//! cost Fig. 4 measures.
+
+use megammap_cluster::{Comm, Proc};
+
+use super::{choose_split, finish, DbscanConfig, DbscanResult, IdPoint, SplitPlane, StreamSample};
+use crate::point::Point3D;
+use megammap::element::Element as _;
+
+/// An MPI-style DBSCAN job.
+pub struct MpiDbscan {
+    /// Parameters.
+    pub cfg: DbscanConfig,
+}
+
+/// Run the baseline over this process's partition (SPMD). `part_base` is
+/// the global index of the first point.
+pub fn run(p: &Proc, partition: Vec<Point3D>, part_base: u64, job: &MpiDbscan) -> DbscanResult {
+    let cfg = job.cfg;
+    let world = p.world();
+    // Load + tag the partition (the original pays this I/O/format pass too).
+    let load_bytes = partition.len() as u64 * 12;
+    p.advance(p.cpu().serde_ns(load_bytes));
+    let mut own: Vec<IdPoint> = partition
+        .into_iter()
+        .enumerate()
+        .map(|(i, pt)| IdPoint { id: part_base + i as u64, p: pt })
+        .collect();
+    p.stream_bytes(own.len() as u64 * 20);
+
+    let mut comm: Comm = world.clone();
+    let mut planes: Vec<SplitPlane> = Vec::new();
+    let mut level = 0usize;
+    while comm.size() > 1 {
+        // Subsample and agree on the split plane (same hashes as mega).
+        let mut sampler = StreamSample::new(cfg.sample, cfg.seed.wrapping_add(level as u64));
+        for ip in &own {
+            sampler.push(ip);
+        }
+        p.stream_bytes(own.len() as u64 * 20);
+        let sample = comm.allgather(p, sampler.take(), Point3D::SIZE as u64);
+        let plane = choose_split(&sample);
+
+        // Partition local points and exchange: the lower half of the comm
+        // handles the left side. Each member sends each destination its
+        // share directly (alltoallv).
+        let half = comm.size() / 2;
+        let m = comm.size();
+        let my_idx = comm.rank_of(p);
+        let (mut left, mut right): (Vec<IdPoint>, Vec<IdPoint>) = (Vec::new(), Vec::new());
+        for ip in own.drain(..) {
+            if ip.p.axis(plane.axis) < plane.value {
+                left.push(ip);
+            } else {
+                right.push(ip);
+            }
+        }
+        p.compute_flops((left.len() + right.len()) as u64 * 2);
+        p.stream_bytes((left.len() + right.len()) as u64 * 20);
+        // Round-robin chunks per destination keep sizes balanced without a
+        // second negotiation round.
+        let dests_left = half;
+        let dests_right = m - half;
+        let tag = 100 + level as u64;
+        for d in 0..m {
+            let chunk: Vec<IdPoint> = if d < dests_left {
+                left.iter().skip(d).step_by(dests_left).copied().collect()
+            } else {
+                right.iter().skip(d - dests_left).step_by(dests_right).copied().collect()
+            };
+            let bytes = chunk.len() as u64 * 20;
+            p.send(comm.world_rank(d), tag, chunk, bytes);
+        }
+        let mut mine: Vec<IdPoint> = Vec::new();
+        for s in 0..m {
+            let chunk: Vec<IdPoint> = p.recv(comm.world_rank(s), tag);
+            mine.extend(chunk);
+        }
+        own = mine;
+
+        let go_left = my_idx < half;
+        comm = comm.split(p, u64::from(!go_left), my_idx);
+        planes.push(plane);
+        level += 1;
+    }
+    world.barrier(p);
+    finish(p, own, &planes, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, HaloParams};
+    use crate::verify::{rand_index, ref_dbscan};
+    use megammap_cluster::{Cluster, ClusterSpec};
+    use std::sync::Arc;
+
+    #[test]
+    fn matches_reference_and_mega() {
+        let data = Arc::new(generate(HaloParams { n_points: 1200, ..Default::default() }));
+        let cfg = DbscanConfig { eps: 8.0, min_pts: 8, ..Default::default() };
+        let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+        let d2 = data.clone();
+        let (outs, _) = cluster.run(move |p| {
+            let part = d2.partition(p.rank(), p.nprocs()).to_vec();
+            let base = (d2.points.len() * p.rank() / p.nprocs()) as u64;
+            run(p, part, base, &MpiDbscan { cfg })
+        });
+        let expect = ref_dbscan(&data.points, cfg.eps, cfg.min_pts);
+        let got: Vec<i64> = outs[0].labels.iter().map(|(_, l)| *l).collect();
+        let ri = rand_index(&got, &expect);
+        assert!(ri > 0.995, "rand index {ri}");
+        assert_eq!(outs[0].n_clusters, 8);
+
+        // The MegaMmap variant finds the same partition of the data.
+        let mm = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+        let rt = megammap::Runtime::new(
+            &mm,
+            megammap::RuntimeConfig::default().with_page_size(4096),
+        );
+        let obj = rt
+            .backends()
+            .open(&megammap_formats::DataUrl::parse("obj://dbs/mpi-cmp.bin").unwrap())
+            .unwrap();
+        data.write_object(obj.as_ref()).unwrap();
+        let rt2 = rt.clone();
+        let (mouts, _) = mm.run(move |p| {
+            crate::dbscan::mega::run(
+                p,
+                &crate::dbscan::mega::MegaDbscan {
+                    rt: &rt2,
+                    url: "obj://dbs/mpi-cmp.bin".into(),
+                    cfg,
+                    pcache_bytes: 1 << 20,
+                    tag: "mpi-cmp".into(),
+                },
+            )
+        });
+        let mega_labels: Vec<i64> = mouts[0].labels.iter().map(|(_, l)| *l).collect();
+        let agreement = rand_index(&got, &mega_labels);
+        assert!(agreement > 0.999, "mega vs mpi agreement {agreement}");
+    }
+
+    #[test]
+    fn single_process_degenerates_to_plain_dbscan() {
+        let data = generate(HaloParams { n_points: 400, ..Default::default() });
+        let cfg = DbscanConfig { eps: 8.0, min_pts: 4, ..Default::default() };
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let pts = data.points.clone();
+        let (outs, _) = cluster.run(move |p| run(p, pts.clone(), 0, &MpiDbscan { cfg }));
+        let expect = ref_dbscan(&data.points, cfg.eps, cfg.min_pts);
+        let got: Vec<i64> = outs[0].labels.iter().map(|(_, l)| *l).collect();
+        assert!(rand_index(&got, &expect) > 0.999);
+    }
+}

@@ -1,0 +1,218 @@
+//! Gray-Scott in traditional MPI style — the paper's baseline.
+//!
+//! The entire slab (two fields, double-buffered: four arrays) lives in
+//! process-local DRAM, allocated against the node's memory ledger — which
+//! is why this variant "crashes due to memory overutilization" past the
+//! Fig. 6 resolution limit while MegaMmap keeps going. Halo planes are
+//! exchanged with explicit sends/receives; checkpoints go through one of
+//! the [`IoBackend`](crate::io_baselines::IoBackend) systems and happen in
+//! distinct, synchronous I/O phases.
+
+use megammap_cluster::{OomError, Proc};
+use megammap_cluster::comm::ReduceOp;
+
+use super::{step_plane, GsConfig, GsResult};
+use crate::io_baselines::IoBackend;
+
+/// Halo-exchange message tags.
+const TAG_UP: u64 = 1;
+const TAG_DOWN: u64 = 2;
+
+/// An MPI-style Gray-Scott job.
+pub struct MpiGs {
+    /// Simulation parameters.
+    pub cfg: GsConfig,
+    /// Checkpoint I/O system (`None` = no checkpointing at all).
+    pub io: Option<IoBackend>,
+    /// Write a final checkpoint even when `plotgap == 0` (Fig. 6 produces
+    /// the dataset once at the end).
+    pub final_ckpt: bool,
+}
+
+/// Run the baseline; every process calls this (SPMD). Fails with a
+/// simulated OOM kill when the slab does not fit node memory.
+pub fn run(p: &Proc, job: &MpiGs) -> Result<GsResult, OomError> {
+    let cfg = job.cfg;
+    let l = cfg.l;
+    let plane = l * l;
+    let world = p.world();
+    let nprocs = p.nprocs();
+    let (z0, z1) = cfg.slab(p.rank(), nprocs);
+    let slab = z1 - z0;
+
+    // The four field arrays plus four halo planes, charged to node DRAM.
+    let bytes = (4 * slab * plane + 4 * plane) as u64 * 8;
+    let mem = p.alloc(bytes);
+    // OOM is a collective fate: if any rank's allocation was killed, every
+    // rank must abort (otherwise survivors deadlock in the halo exchange
+    // waiting for the dead rank — exactly what mpirun's abort handles).
+    let ok = world.allreduce_u64(p, &[u64::from(mem.is_ok())], ReduceOp::Min)[0];
+    if ok == 0 {
+        return Err(match mem {
+            Err(e) => e,
+            Ok(_) => OomError { node: p.node(), requested: bytes, available: 0 },
+        });
+    }
+    let _mem = mem.expect("checked collectively");
+    let mut u = vec![0.0f64; slab * plane];
+    let mut v = vec![0.0f64; slab * plane];
+    let mut un = vec![0.0f64; slab * plane];
+    let mut vn = vec![0.0f64; slab * plane];
+    for z in z0..z1 {
+        for y in 0..l {
+            for x in 0..l {
+                let (iu, iv) = cfg.initial(x, y, z);
+                u[(z - z0) * plane + y * l + x] = iu;
+                v[(z - z0) * plane + y * l + x] = iv;
+            }
+        }
+    }
+    world.barrier(p);
+
+    let up_rank = (p.rank() + 1) % nprocs;
+    let down_rank = (p.rank() + nprocs - 1) % nprocs;
+    let plane_bytes = (plane * 8) as u64;
+    let mut ckpts = 0usize;
+    for step in 0..cfg.steps {
+        // ---- halo exchange (both fields, both directions) ----------------
+        let (u_below, u_above, v_below, v_above);
+        if nprocs == 1 {
+            u_below = u[(slab - 1) * plane..].to_vec();
+            u_above = u[..plane].to_vec();
+            v_below = v[(slab - 1) * plane..].to_vec();
+            v_above = v[..plane].to_vec();
+        } else {
+            // Send my top plane up and my bottom plane down.
+            let tag = |t: u64| (step as u64) * 8 + t;
+            p.send(up_rank, tag(TAG_UP), (u[(slab - 1) * plane..].to_vec(), v[(slab - 1) * plane..].to_vec()), 2 * plane_bytes);
+            p.send(down_rank, tag(TAG_DOWN), (u[..plane].to_vec(), v[..plane].to_vec()), 2 * plane_bytes);
+            let (ub, vb): (Vec<f64>, Vec<f64>) = p.recv(down_rank, tag(TAG_UP));
+            let (ua, va): (Vec<f64>, Vec<f64>) = p.recv(up_rank, tag(TAG_DOWN));
+            u_below = ub;
+            v_below = vb;
+            u_above = ua;
+            v_above = va;
+        }
+
+        // ---- stencil -------------------------------------------------------
+        let mut uo = vec![0.0f64; plane];
+        let mut vo = vec![0.0f64; plane];
+        for zi in 0..slab {
+            let below_u = if zi == 0 { &u_below[..] } else { &u[(zi - 1) * plane..zi * plane] };
+            let above_u =
+                if zi + 1 == slab { &u_above[..] } else { &u[(zi + 1) * plane..(zi + 2) * plane] };
+            let below_v = if zi == 0 { &v_below[..] } else { &v[(zi - 1) * plane..zi * plane] };
+            let above_v =
+                if zi + 1 == slab { &v_above[..] } else { &v[(zi + 1) * plane..(zi + 2) * plane] };
+            step_plane(
+                &cfg,
+                below_u,
+                &u[zi * plane..(zi + 1) * plane],
+                above_u,
+                below_v,
+                &v[zi * plane..(zi + 1) * plane],
+                above_v,
+                &mut uo,
+                &mut vo,
+            );
+            p.compute_flops(GsConfig::FLOPS_PER_CELL * plane as u64);
+            // Memory traffic of the stencil: both fields read + written.
+            p.stream_bytes(4 * plane as u64 * 8);
+            un[zi * plane..(zi + 1) * plane].copy_from_slice(&uo);
+            vn[zi * plane..(zi + 1) * plane].copy_from_slice(&vo);
+        }
+        std::mem::swap(&mut u, &mut un);
+        std::mem::swap(&mut v, &mut vn);
+        world.barrier(p);
+
+        // ---- checkpoint phase (synchronous, distinct from compute) --------
+        if let Some(io) = &job.io {
+            if cfg.plotgap > 0 && (step + 1) % cfg.plotgap == 0 {
+                io.checkpoint(p, (2 * slab * plane * 8) as u64);
+                ckpts += 1;
+                world.barrier(p);
+            }
+        }
+    }
+    if let Some(io) = &job.io {
+        if job.final_ckpt && ckpts == 0 {
+            io.checkpoint(p, (2 * slab * plane * 8) as u64);
+        }
+        io.finalize(p);
+        world.barrier(p);
+    }
+
+    // Sum plane by plane so the fold order matches the MegaMmap variant
+    // exactly (bitwise-comparable checksums).
+    let mut local = [0.0f64; 2];
+    for zi in 0..slab {
+        local[0] += u[zi * plane..(zi + 1) * plane].iter().sum::<f64>();
+        local[1] += v[zi * plane..(zi + 1) * plane].iter().sum::<f64>();
+    }
+    let sums = world.allreduce_f64(p, &local, ReduceOp::Sum);
+    Ok(GsResult { sum_u: sums[0], sum_v: sums[1] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io_baselines::IoKind;
+    use megammap_cluster::{Cluster, ClusterSpec};
+    use megammap_sim::MIB;
+
+    #[test]
+    fn mpi_matches_mega_bitwise() {
+        let cfg = GsConfig::new(12, 4);
+        let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+        let (mpi_outs, _) = cluster.run(move |p| {
+            run(p, &MpiGs { cfg, io: None, final_ckpt: false }).unwrap()
+        });
+        let cluster2 = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+        let rt = megammap::Runtime::new(
+            &cluster2,
+            megammap::RuntimeConfig::default().with_page_size(8192),
+        );
+        let (mega_outs, _) = cluster2.run(move |p| {
+            crate::gray_scott::mega::run(
+                p,
+                &crate::gray_scott::mega::MegaGs {
+                    rt: &rt,
+                    cfg,
+                    pcache_bytes: 1 << 20,
+                    ckpt_url: None,
+                    tag: "vs-mpi".into(),
+                },
+            )
+        });
+        assert_eq!(mpi_outs[0].sum_u.to_bits(), mega_outs[0].sum_u.to_bits());
+        assert_eq!(mpi_outs[0].sum_v.to_bits(), mega_outs[0].sum_v.to_bits());
+    }
+
+    #[test]
+    fn ooms_when_slab_exceeds_node_memory() {
+        // L=32 grid: 4 fields x 32^3 x 8 B = 1 MiB per proc; give the node
+        // half that.
+        let cfg = GsConfig::new(32, 1);
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(MIB / 2));
+        let (outs, _) = cluster.run(move |p| run(p, &MpiGs { cfg, io: None, final_ckpt: false }).is_err());
+        assert!(outs[0], "the MPI variant must OOM, as in Fig. 6");
+    }
+
+    #[test]
+    fn checkpoint_phases_slow_the_run() {
+        let cfg = GsConfig::new(16, 4).plotgap(1);
+        let mk = |io: Option<IoBackend>, cfg: GsConfig| {
+            let cluster = Cluster::new(ClusterSpec::new(1, 2).dram_per_node(1 << 30));
+            let (outs, rep) = cluster.run(move |p| {
+                run(p, &MpiGs { cfg, io: io.clone(), final_ckpt: false }).unwrap()
+            });
+            (outs[0].clone(), rep.makespan_ns)
+        };
+        let (r_none, t_none) = mk(None, GsConfig::new(16, 4));
+        let (r_ofs, t_ofs) = mk(Some(IoBackend::with_defaults(IoKind::OrangeFs, 1)), cfg);
+        let (_r_h, t_h) = mk(Some(IoBackend::with_defaults(IoKind::Hermes, 1)), cfg);
+        assert_eq!(r_none.sum_u.to_bits(), r_ofs.sum_u.to_bits(), "I/O must not change physics");
+        assert!(t_ofs > t_none, "sync checkpoints cost time");
+        assert!(t_h < t_ofs, "hermes buffering beats sync PFS: {t_h} vs {t_ofs}");
+    }
+}

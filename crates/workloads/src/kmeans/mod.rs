@@ -1,0 +1,169 @@
+//! KMeans‖ clustering (paper §IV: "a custom version of KMeans||, which is
+//! the same algorithm used in Apache Spark").
+//!
+//! The algorithm: several sequential read-only sweeps oversample candidate
+//! centroids with probability proportional to squared distance from the
+//! current candidate set; the weighted candidates are reduced to `k`
+//! centroids; then Lloyd iterations assign points and update centroids.
+//!
+//! Everything stochastic is derived from `splitmix64(seed, global index)`,
+//! so the MegaMmap and Spark variants make *identical* decisions and their
+//! outputs can be compared bit-for-bit (and against [`crate::verify`]).
+
+pub mod mega;
+pub mod spark;
+
+use megammap::tx::splitmix64;
+
+use crate::point::Point3D;
+
+/// KMeans configuration (paper defaults: k=8, max_iter=4).
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Cluster count.
+    pub k: usize,
+    /// Lloyd iterations after initialization.
+    pub max_iter: usize,
+    /// Oversampling rounds for KMeans‖ initialization.
+    pub init_rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 8, max_iter: 4, init_rounds: 3, seed: 1 }
+    }
+}
+
+/// Result of a KMeans run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroids.
+    pub centroids: Vec<Point3D>,
+    /// Sum of squared distances to the nearest centroid.
+    pub inertia: f64,
+}
+
+/// Uniform hash to `[0, 1)` from `(seed, index)`.
+#[inline]
+pub(crate) fn hash01(seed: u64, idx: u64) -> f64 {
+    (splitmix64(seed ^ idx.wrapping_mul(0x9E3779B97F4A7C15)) >> 11) as f64
+        / (1u64 << 53) as f64
+}
+
+/// Should global point `idx` be sampled this `round`, given its squared
+/// distance `d2`, the global distance mass `sum_d2`, and the oversampling
+/// factor `l`? (The KMeans‖ sampling rule, derandomized per index.)
+#[inline]
+pub(crate) fn sampled(cfg: &KMeansConfig, round: usize, idx: u64, d2: f64, sum_d2: f64) -> bool {
+    if sum_d2 <= 0.0 {
+        return false;
+    }
+    let l = (2 * cfg.k) as f64;
+    let prob = (l * d2 / sum_d2).min(1.0);
+    hash01(cfg.seed.wrapping_add(round as u64 + 1), idx) < prob
+}
+
+/// Reduce weighted candidates to `k` centroids: greedy weighted
+/// kmeans++-style selection (highest weight first, then maximize
+/// `weight × d²` to the chosen set). Deterministic.
+pub(crate) fn select_k(candidates: &[Point3D], weights: &[u64], k: usize) -> Vec<Point3D> {
+    assert_eq!(candidates.len(), weights.len());
+    assert!(!candidates.is_empty(), "KMeans|| produced no candidates");
+    let mut chosen: Vec<Point3D> = Vec::with_capacity(k);
+    let first = weights
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, &w)| (w, usize::MAX - i))
+        .map(|(i, _)| i)
+        .expect("nonempty");
+    chosen.push(candidates[first]);
+    while chosen.len() < k.min(candidates.len()) {
+        let mut best = (0usize, -1.0f64);
+        for (i, c) in candidates.iter().enumerate() {
+            let d2 = chosen.iter().map(|ch| c.dist2(ch) as f64).fold(f64::INFINITY, f64::min);
+            let score = weights[i] as f64 * d2;
+            if score > best.1 {
+                best = (i, score);
+            }
+        }
+        if best.1 <= 0.0 {
+            break; // all remaining candidates coincide with chosen ones
+        }
+        chosen.push(candidates[best.0]);
+    }
+    // Degenerate datasets: pad by repeating (harmless for Lloyd).
+    while chosen.len() < k {
+        chosen.push(chosen[chosen.len() % chosen.len().max(1)]);
+    }
+    chosen
+}
+
+/// Count, for each candidate, how many of `points` are nearest to it.
+pub(crate) fn weigh_candidates(points: &[Point3D], candidates: &[Point3D]) -> Vec<u64> {
+    let mut w = vec![0u64; candidates.len()];
+    for p in points {
+        let (i, _) = p.nearest_centroid(candidates);
+        w[i] += 1;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, HaloParams};
+
+    #[test]
+    fn hash01_uniform_enough() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| hash01(7, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert_ne!(hash01(1, 5), hash01(2, 5), "seed matters");
+    }
+
+    #[test]
+    fn sampling_favors_far_points() {
+        let cfg = KMeansConfig::default();
+        let trials = 4000u64;
+        let far = (0..trials).filter(|&i| sampled(&cfg, 0, i, 100.0, 1000.0)).count();
+        let near = (0..trials).filter(|&i| sampled(&cfg, 0, i, 0.1, 1000.0)).count();
+        assert!(far > near * 10, "far {far} vs near {near}");
+        assert!(!sampled(&cfg, 0, 1, 1.0, 0.0), "zero mass samples nothing");
+    }
+
+    #[test]
+    fn select_k_spreads_over_halos() {
+        let d = generate(HaloParams { n_points: 400, ..Default::default() });
+        // Candidates: 4 per halo.
+        let candidates: Vec<_> = d.points.iter().step_by(25).copied().collect();
+        let weights = weigh_candidates(&d.points, &candidates);
+        let chosen = select_k(&candidates, &weights, 8);
+        assert_eq!(chosen.len(), 8);
+        // Every halo center has a chosen centroid nearby.
+        for c in &d.centers {
+            let nearest = chosen.iter().map(|ch| ch.dist(c)).fold(f32::INFINITY, f32::min);
+            assert!(nearest < 30.0, "halo at {c:?} uncovered ({nearest})");
+        }
+    }
+
+    #[test]
+    fn select_k_handles_duplicates() {
+        let candidates = vec![Point3D::new(1.0, 1.0, 1.0); 5];
+        let weights = vec![3, 1, 1, 1, 1];
+        let chosen = select_k(&candidates, &weights, 3);
+        assert_eq!(chosen.len(), 3, "padded to k even when degenerate");
+    }
+
+    #[test]
+    fn weights_count_nearest() {
+        let pts = vec![
+            Point3D::new(0.0, 0.0, 0.0),
+            Point3D::new(0.1, 0.0, 0.0),
+            Point3D::new(10.0, 0.0, 0.0),
+        ];
+        let cands = vec![Point3D::new(0.0, 0.0, 0.0), Point3D::new(10.0, 0.0, 0.0)];
+        assert_eq!(weigh_candidates(&pts, &cands), vec![2, 1]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # megammap-workloads — the paper's evaluation applications
+//!
+//! Every application the MegaMmap paper evaluates (its §IV), implemented
+//! twice: once on the MegaMmap DSM and once in the baseline form the paper
+//! compares against (hand-written MPI-style code or the minispark engine):
+//!
+//! | Workload | MegaMmap variant | Baseline | Figure |
+//! |---|---|---|---|
+//! | KMeans‖ clustering | [`kmeans::mega`] | [`kmeans::spark`] | 5a, 8 |
+//! | Random Forest | [`rf::mega`] | [`rf::spark`] | 5b, 8 |
+//! | µDBSCAN | [`dbscan::mega`] | [`dbscan::mpi`] | 5c, 8 |
+//! | Gray-Scott | [`gray_scott::mega`] | [`gray_scott::mpi`] | 5d, 6, 7, 8 |
+//!
+//! Plus:
+//!
+//! * [`datagen`] — the Gadget-4-like synthetic cosmology generator (the
+//!   paper's AD: the internal generator "outputs data in a similar format
+//!   to Gadget and can be used to accelerate reproducibility");
+//! * [`io_baselines`] — the Fig. 6 comparators: OrangeFS-like synchronous
+//!   PFS, Assise-like client-local-NVM filesystem, Hermes-like tiered
+//!   buffer — used by the MPI Gray-Scott for checkpointing;
+//! * [`loader`] — the baseline-side dataset loading/partitioning code
+//!   (exactly what the MegaMmap variants do *not* need — Fig. 4);
+//! * [`verify`] — brute-force reference implementations used by the test
+//!   suite to check the distributed algorithms' outputs.
+
+pub mod datagen;
+pub mod dbscan;
+pub mod gray_scott;
+pub mod io_baselines;
+pub mod kmeans;
+pub mod loader;
+pub mod point;
+pub mod rf;
+pub mod verify;
+
+pub use point::Point3D;

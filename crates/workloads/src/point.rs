@@ -1,0 +1,123 @@
+//! 3-D particle samples.
+
+use megammap::impl_element_struct;
+
+/// A 3-D point (particle position), the record type of the clustering
+/// workloads — the paper's `Point3D`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3D {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+    /// Z coordinate.
+    pub z: f32,
+}
+
+impl_element_struct!(Point3D { x: f32, y: f32, z: f32 });
+
+impl Point3D {
+    /// Construct from coordinates.
+    pub fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Squared euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Point3D) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point3D) -> f32 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Component by axis index (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn axis(&self, a: usize) -> f32 {
+        match a {
+            0 => self.x,
+            1 => self.y,
+            _ => self.z,
+        }
+    }
+
+    /// Elementwise addition (centroid accumulation).
+    pub fn add(&self, o: &Point3D) -> Point3D {
+        Point3D::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    /// Scale by `s`.
+    pub fn scale(&self, s: f32) -> Point3D {
+        Point3D::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Index of the nearest centroid plus the squared distance to it.
+    pub fn nearest_centroid(&self, ks: &[Point3D]) -> (usize, f32) {
+        let mut best = (0usize, f32::INFINITY);
+        for (i, k) in ks.iter().enumerate() {
+            let d = self.dist2(k);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    /// Approximate flops of one `nearest_centroid` call over `k` centroids
+    /// (used to charge virtual compute).
+    pub const fn nearest_flops(k: usize) -> u64 {
+        // 3 subs + 3 muls + 2 adds + 1 cmp per centroid.
+        9 * k as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megammap::element::Element;
+
+    #[test]
+    fn element_round_trip() {
+        let p = Point3D::new(1.5, -2.0, 3.25);
+        let mut buf = [0u8; 12];
+        p.write_to(&mut buf);
+        assert_eq!(Point3D::read_from(&buf), p);
+        assert_eq!(Point3D::SIZE, 12);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point3D::new(0.0, 0.0, 0.0);
+        let b = Point3D::new(3.0, 4.0, 0.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn nearest_centroid_picks_min() {
+        let ks = [Point3D::new(0.0, 0.0, 0.0), Point3D::new(10.0, 0.0, 0.0)];
+        let (i, d2) = Point3D::new(9.0, 0.0, 0.0).nearest_centroid(&ks);
+        assert_eq!(i, 1);
+        assert_eq!(d2, 1.0);
+    }
+
+    #[test]
+    fn axis_accessor() {
+        let p = Point3D::new(1.0, 2.0, 3.0);
+        assert_eq!(p.axis(0), 1.0);
+        assert_eq!(p.axis(1), 2.0);
+        assert_eq!(p.axis(2), 3.0);
+    }
+
+    #[test]
+    fn centroid_math() {
+        let s = Point3D::new(2.0, 4.0, 6.0).add(&Point3D::new(2.0, 0.0, 2.0)).scale(0.5);
+        assert_eq!(s, Point3D::new(2.0, 2.0, 4.0));
+    }
+}

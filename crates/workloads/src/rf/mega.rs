@@ -1,0 +1,163 @@
+//! Random Forest on MegaMmap.
+//!
+//! The feature vector and the label vector (produced by the KMeans stage)
+//! are shared MegaMmap vectors; every level of tree construction streams
+//! the process's PGAS slice through read-only transactions. The bagging
+//! subsample is a seeded pseudo-random subset — the access-intent
+//! machinery the paper's `RandTx` conveys (the seed determines exactly
+//! which samples each pass touches).
+
+use megammap::prelude::*;
+use megammap_cluster::comm::ReduceOp;
+use megammap_cluster::Proc;
+
+use super::{evaluate, train_forest, RfConfig, RfEnv, RfResult};
+use crate::point::Point3D;
+use megammap::element::Element as _;
+
+const CHUNK: usize = 1024;
+
+/// A MegaMmap Random-Forest job.
+pub struct MegaRf<'a> {
+    /// The deployed runtime.
+    pub rt: &'a Runtime,
+    /// Feature-vector URL (`Point3D` records).
+    pub points_url: String,
+    /// Label-vector URL (`u32` records, e.g. the KMeans assignments).
+    pub labels_url: String,
+    /// Parameters.
+    pub cfg: RfConfig,
+    /// pcache bound per vector per process.
+    pub pcache_bytes: u64,
+}
+
+struct MegaEnv<'a, 'p> {
+    p: &'p Proc,
+    points: MmVec<Point3D>,
+    labels: MmVec<u32>,
+    range: std::ops::Range<u64>,
+    _job: &'a MegaRf<'a>,
+}
+
+impl RfEnv for MegaEnv<'_, '_> {
+    fn scan(&mut self, f: &mut dyn FnMut(u64, &Point3D, u32)) {
+        let p = self.p;
+        let (s, e) = (self.range.start, self.range.end);
+        // Streamed sequential read-only sweep over the PGAS slice, with the
+        // seeded subset semantics conveyed by the bagging predicate.
+        let ptx = self.points.tx_begin(p, TxKind::seq(s, e - s), Access::ReadOnly);
+        let ltx = self.labels.tx_begin(p, TxKind::seq(s, e - s), Access::ReadOnly);
+        let mut pbuf = vec![Point3D::default(); CHUNK];
+        let mut lbuf = vec![0u32; CHUNK];
+        let mut i = s;
+        while i < e {
+            let n = CHUNK.min((e - i) as usize);
+            self.points.read_into(p, i, &mut pbuf[..n]).expect("read points");
+            self.labels.read_into(p, i, &mut lbuf[..n]).expect("read labels");
+            for k in 0..n {
+                f(i + k as u64, &pbuf[k], lbuf[k]);
+            }
+            i += n as u64;
+        }
+        self.points.tx_end(p, ptx);
+        self.labels.tx_end(p, ltx);
+    }
+
+    fn allreduce_sum(&self, vals: &[u64]) -> Vec<u64> {
+        self.p.world().allreduce_u64(self.p, vals, ReduceOp::Sum)
+    }
+
+    fn allgather_samples(&self, vals: Vec<(u32, u64, Point3D)>) -> Vec<(u32, u64, Point3D)> {
+        self.p.world().allgather(self.p, vals, 12 + Point3D::SIZE as u64)
+    }
+
+    fn charge_flops(&self, flops: u64) {
+        self.p.compute_flops(flops);
+    }
+}
+
+/// Run Random Forest; every process calls this (SPMD).
+pub fn run(p: &Proc, job: &MegaRf<'_>) -> RfResult {
+    let points: MmVec<Point3D> =
+        MmVec::open(job.rt, p, &job.points_url, VecOptions::new().pcache(job.pcache_bytes))
+            .expect("open points");
+    let labels: MmVec<u32> =
+        MmVec::open(job.rt, p, &job.labels_url, VecOptions::new().pcache(job.pcache_bytes))
+            .expect("open labels");
+    assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+    points.pgas(p, p.rank(), p.nprocs());
+    let range = points.local_range();
+    let mut env = MegaEnv { p, points, labels, range, _job: job };
+    let trees = train_forest(&job.cfg, &mut env);
+    let accuracy = evaluate(&job.cfg, &trees, &mut env);
+    p.world().barrier(p);
+    RfResult { trees, accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, HaloParams};
+    use megammap_cluster::{Cluster, ClusterSpec};
+    use megammap_formats::DataUrl;
+
+    fn setup(n: usize) -> (Cluster, Runtime, crate::datagen::HaloDataset) {
+        let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(4096));
+        let data = generate(HaloParams { n_points: n, ..Default::default() });
+        let pobj = rt.backends().open(&DataUrl::parse("obj://rf/pts.bin").unwrap()).unwrap();
+        data.write_object(pobj.as_ref()).unwrap();
+        let lbytes: Vec<u8> = data.labels.iter().flat_map(|l| l.to_le_bytes()).collect();
+        let lobj = rt.backends().open(&DataUrl::parse("obj://rf/lbl.bin").unwrap()).unwrap();
+        lobj.write_at(0, &lbytes).unwrap();
+        (cluster, rt, data)
+    }
+
+    #[test]
+    fn learns_the_halos() {
+        let (cluster, rt, _) = setup(2000);
+        let rt2 = rt.clone();
+        let (outs, _) = cluster.run(move |p| {
+            run(
+                p,
+                &MegaRf {
+                    rt: &rt2,
+                    points_url: "obj://rf/pts.bin".into(),
+                    labels_url: "obj://rf/lbl.bin".into(),
+                    cfg: RfConfig::default(),
+                    pcache_bytes: 1 << 20,
+                },
+            )
+        });
+        // All ranks grow the identical tree.
+        for o in &outs[1..] {
+            assert_eq!(o.trees, outs[0].trees);
+        }
+        // Well-separated halos are easy: expect high held-out accuracy.
+        assert!(outs[0].accuracy > 0.9, "accuracy {}", outs[0].accuracy);
+        let depth = outs[0].trees[0].depth();
+        assert!(depth > 2 && depth <= RfConfig::default().max_depth + 1, "depth {depth}");
+    }
+
+    #[test]
+    fn multiple_trees_do_not_hurt() {
+        let (cluster, rt, _) = setup(1000);
+        let rt2 = rt.clone();
+        let (outs, _) = cluster.run(move |p| {
+            run(
+                p,
+                &MegaRf {
+                    rt: &rt2,
+                    points_url: "obj://rf/pts.bin".into(),
+                    labels_url: "obj://rf/lbl.bin".into(),
+                    cfg: RfConfig { num_trees: 3, max_depth: 6, ..Default::default() },
+                    pcache_bytes: 1 << 20,
+                },
+            )
+        });
+        assert_eq!(outs[0].trees.len(), 3);
+        // Trees differ (different bags).
+        assert_ne!(outs[0].trees[0], outs[0].trees[1]);
+        assert!(outs[0].accuracy > 0.85, "accuracy {}", outs[0].accuracy);
+    }
+}

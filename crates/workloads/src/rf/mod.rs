@@ -1,0 +1,499 @@
+//! Random Forest classification (paper §IV).
+//!
+//! "Initially, each process performs out-of-order bagging (oob) on
+//! N/(oob·p) randomly-selected samples ... Each oob iteration measures the
+//! entropy (Gini impurity) of each feature in a chosen feature subset. The
+//! per-process oob results are then aggregated to find the feature
+//! maximizing entropy. A point is then randomly selected from the dataset
+//! and used as the split point. The dataset and processes are then divided
+//! into two partitions: left and right. The recursion continues until
+//! either the maximum depth (max_depth) of the tree is reached or the
+//! entropy difference is below a threshold."
+//!
+//! This reproduction builds the tree level-synchronously with aggregated
+//! Gini histograms (the MLlib formulation of the same recursion: instead of
+//! physically splitting processes, every process scans its partition and
+//! contributes per-node statistics to one allreduce per level). All random
+//! choices are derandomized through `splitmix64`, so the MegaMmap and
+//! Spark variants grow bit-identical trees.
+//!
+//! The task is the paper's: predict the KMeans/halo cluster assignment from
+//! particle position ("these values are taken as input and used to predict
+//! output clusters"; 80/20 stratified train/test split).
+
+pub mod mega;
+pub mod spark;
+
+use megammap::tx::splitmix64;
+
+use crate::point::Point3D;
+
+/// Random-forest configuration (paper: 1 tree, max_depth 10).
+#[derive(Debug, Clone, Copy)]
+pub struct RfConfig {
+    /// Trees in the forest.
+    pub num_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Out-of-order bagging factor: a sample is in-bag with prob `1/oob`.
+    pub oob: u32,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Features examined per node (√3 ≈ 2 of the 3 coordinates).
+    pub feat_subset: usize,
+    /// Minimum Gini gain to keep splitting.
+    pub min_gain: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RfConfig {
+    fn default() -> Self {
+        Self {
+            num_trees: 1,
+            max_depth: 10,
+            oob: 2,
+            n_classes: 8,
+            feat_subset: 2,
+            min_gain: 1e-6,
+            seed: 11,
+        }
+    }
+}
+
+/// One node of a decision tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TreeNode {
+    /// Internal split: `feature`, `threshold`, child indices.
+    Split {
+        /// Axis index (0..3).
+        feature: usize,
+        /// Samples with `axis < threshold` go left.
+        threshold: f32,
+        /// Index of the left child.
+        left: usize,
+        /// Index of the right child.
+        right: usize,
+    },
+    /// Leaf with a predicted class.
+    Leaf {
+        /// Majority class.
+        class: u32,
+    },
+}
+
+/// A trained decision tree (nodes in a flat arena, root at 0).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tree {
+    /// Arena of nodes.
+    pub nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Predict the class of a point.
+    pub fn predict(&self, p: &Point3D) -> u32 {
+        let mut i = 0usize;
+        loop {
+            match self.nodes[i] {
+                TreeNode::Leaf { class } => return class,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    i = if p.axis(feature) < threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree.
+    pub fn depth(&self) -> usize {
+        fn rec(t: &Tree, i: usize) -> usize {
+            match t.nodes[i] {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => 1 + rec(t, left).max(rec(t, right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(self, 0)
+        }
+    }
+}
+
+/// A trained forest plus its held-out accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RfResult {
+    /// The trees.
+    pub trees: Vec<Tree>,
+    /// Accuracy on the 20% test split.
+    pub accuracy: f64,
+}
+
+/// Whether global sample `idx` is in the bag of `tree` (derandomized oob).
+#[inline]
+pub fn in_bag(cfg: &RfConfig, tree: usize, idx: u64) -> bool {
+    let h = splitmix64(cfg.seed ^ (tree as u64) << 32 ^ idx.wrapping_mul(0x9E3779B97F4A7C15));
+    (h >> 11) as f64 / (1u64 << 53) as f64 <= 1.0 / cfg.oob as f64
+}
+
+/// Whether global sample `idx` is in the 80% training split (deterministic
+/// stratified-ish split: hashing is label-independent but uniform).
+#[inline]
+pub fn in_train(seed: u64, idx: u64) -> bool {
+    let h = splitmix64(seed ^ 0x7A_u64 ^ idx);
+    (h % 5) != 0
+}
+
+/// The feature subset examined at a node (deterministic per node).
+pub fn node_features(cfg: &RfConfig, tree: usize, node: usize) -> Vec<usize> {
+    let mut feats: Vec<usize> = (0..3).collect();
+    // Fisher-Yates with splitmix decisions.
+    for i in (1..3).rev() {
+        let j = (splitmix64(cfg.seed ^ (tree as u64) << 16 ^ (node as u64) << 2 ^ i as u64)
+            % (i as u64 + 1)) as usize;
+        feats.swap(i, j);
+    }
+    feats.truncate(cfg.feat_subset);
+    feats.sort_unstable();
+    feats
+}
+
+/// Gini impurity of a class histogram.
+pub fn gini(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for &c in counts {
+        let p = c as f64 / total as f64;
+        sum += p * p;
+    }
+    1.0 - sum
+}
+
+/// Gini gain of a candidate split.
+pub fn gini_gain(left: &[u64], right: &[u64]) -> f64 {
+    let nl: u64 = left.iter().sum();
+    let nr: u64 = right.iter().sum();
+    let n = nl + nr;
+    if n == 0 || nl == 0 || nr == 0 {
+        return 0.0;
+    }
+    let parent: Vec<u64> = left.iter().zip(right).map(|(a, b)| a + b).collect();
+    gini(&parent)
+        - (nl as f64 / n as f64) * gini(left)
+        - (nr as f64 / n as f64) * gini(right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_basics() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gain_rewards_clean_splits() {
+        // Parent 50/50; perfect split vs useless split.
+        let perfect = gini_gain(&[10, 0], &[0, 10]);
+        let useless = gini_gain(&[5, 5], &[5, 5]);
+        assert!((perfect - 0.5).abs() < 1e-12);
+        assert_eq!(useless, 0.0);
+        assert_eq!(gini_gain(&[0, 0], &[5, 5]), 0.0, "degenerate split has no gain");
+    }
+
+    #[test]
+    fn bagging_rate_near_one_over_oob() {
+        let cfg = RfConfig { oob: 4, ..Default::default() };
+        let n = 20_000u64;
+        let hits = (0..n).filter(|&i| in_bag(&cfg, 0, i)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        // Different trees bag differently.
+        let other = (0..n).filter(|&i| in_bag(&cfg, 1, i)).count();
+        assert_ne!(hits, other);
+    }
+
+    #[test]
+    fn train_split_is_about_80_percent() {
+        let n = 20_000u64;
+        let hits = (0..n).filter(|&i| in_train(7, i)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn node_features_deterministic_subset() {
+        let cfg = RfConfig::default();
+        let a = node_features(&cfg, 0, 5);
+        let b = node_features(&cfg, 0, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|&f| f < 3));
+        assert!(a[0] < a[1]);
+    }
+
+    #[test]
+    fn tree_prediction_walks_splits() {
+        let t = Tree {
+            nodes: vec![
+                TreeNode::Split { feature: 0, threshold: 5.0, left: 1, right: 2 },
+                TreeNode::Leaf { class: 7 },
+                TreeNode::Split { feature: 1, threshold: 0.0, left: 3, right: 4 },
+                TreeNode::Leaf { class: 8 },
+                TreeNode::Leaf { class: 9 },
+            ],
+        };
+        assert_eq!(t.predict(&Point3D::new(1.0, 0.0, 0.0)), 7);
+        assert_eq!(t.predict(&Point3D::new(9.0, -1.0, 0.0)), 8);
+        assert_eq!(t.predict(&Point3D::new(9.0, 1.0, 0.0)), 9);
+        assert_eq!(t.depth(), 3);
+    }
+}
+
+/// Data/communication access the trainer needs — implemented over MegaMmap
+/// vectors by [`mega`] and over heap partitions by [`spark`].
+pub(crate) trait RfEnv {
+    /// Scan this process's training partition: `f(global index, point,
+    /// label)` for every local sample.
+    fn scan(&mut self, f: &mut dyn FnMut(u64, &Point3D, u32));
+    /// Elementwise sum-allreduce.
+    fn allreduce_sum(&self, vals: &[u64]) -> Vec<u64>;
+    /// Allgather candidate-sample records.
+    fn allgather_samples(&self, vals: Vec<(u32, u64, Point3D)>) -> Vec<(u32, u64, Point3D)>;
+    /// Charge compute.
+    fn charge_flops(&self, flops: u64);
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Done(TreeNode),
+    Pending {
+        /// Fallback class if no samples reach the node.
+        fallback: u32,
+        depth: usize,
+    },
+}
+
+/// Walk the partial tree; `Some(arena index)` if the point lands on a
+/// pending node.
+fn walk(arena: &[Slot], p: &Point3D) -> Option<usize> {
+    let mut i = 0usize;
+    loop {
+        match arena[i] {
+            Slot::Pending { .. } => return Some(i),
+            Slot::Done(TreeNode::Leaf { .. }) => return None,
+            Slot::Done(TreeNode::Split { feature, threshold, left, right }) => {
+                i = if p.axis(feature) < threshold { left } else { right };
+            }
+        }
+    }
+}
+
+/// Per-node candidate-sample cap for threshold estimation.
+const CAND_SAMPLES: usize = 9;
+
+/// Train one tree level-synchronously (identical on every process).
+pub(crate) fn train_tree(cfg: &RfConfig, tree_idx: usize, env: &mut dyn RfEnv) -> Tree {
+    let mut arena: Vec<Slot> = vec![Slot::Pending { fallback: 0, depth: 0 }];
+    for _level in 0..=cfg.max_depth {
+        let active: Vec<usize> = arena
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Slot::Pending { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let node_slot: std::collections::HashMap<usize, u32> =
+            active.iter().enumerate().map(|(s, &n)| (n, s as u32)).collect();
+
+        // Pass 1: deterministic candidate samples per active node.
+        let mut cands: Vec<std::collections::BinaryHeap<(u64, u64, [u32; 3])>> =
+            active.iter().map(|_| std::collections::BinaryHeap::new()).collect();
+        env.scan(&mut |idx, p, _label| {
+            if !in_train(cfg.seed, idx) || !in_bag(cfg, tree_idx, idx) {
+                return;
+            }
+            if let Some(node) = walk(&arena, p) {
+                let slot = node_slot[&node] as usize;
+                let h = splitmix64(cfg.seed ^ idx.wrapping_mul(0xD1342543DE82EF95));
+                cands[slot].push((h, idx, [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]));
+                if cands[slot].len() > CAND_SAMPLES {
+                    cands[slot].pop();
+                }
+            }
+        });
+        let mut local_cands: Vec<(u32, u64, Point3D)> = Vec::new();
+        for (slot, heap) in cands.into_iter().enumerate() {
+            for (h, _idx, enc) in heap.into_vec() {
+                local_cands.push((
+                    slot as u32,
+                    h,
+                    Point3D::new(
+                        f32::from_bits(enc[0]),
+                        f32::from_bits(enc[1]),
+                        f32::from_bits(enc[2]),
+                    ),
+                ));
+            }
+        }
+        let mut gathered = env.allgather_samples(local_cands);
+        gathered.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        // Candidate (feature, threshold) pairs per node: medians of the
+        // gathered sample on the node's feature subset.
+        let mut candidates: Vec<Vec<(usize, f32)>> = Vec::with_capacity(active.len());
+        for (slot, &node) in active.iter().enumerate() {
+            let pts: Vec<Point3D> = gathered
+                .iter()
+                .filter(|(s, _, _)| *s == slot as u32)
+                .take(CAND_SAMPLES)
+                .map(|(_, _, p)| *p)
+                .collect();
+            let mut cs = Vec::new();
+            if !pts.is_empty() {
+                for f in node_features(cfg, tree_idx, node) {
+                    let mut vals: Vec<f32> = pts.iter().map(|p| p.axis(f)).collect();
+                    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    cs.push((f, vals[vals.len() / 2]));
+                }
+            }
+            candidates.push(cs);
+        }
+
+        // Pass 2: class histograms per candidate side.
+        let ncl = cfg.n_classes;
+        let mut offsets = Vec::with_capacity(active.len());
+        let mut len = 0usize;
+        for cs in &candidates {
+            offsets.push(len);
+            len += cs.len() * 2 * ncl;
+        }
+        let mut hist = vec![0u64; len.max(1)];
+        let mut scanned = 0u64;
+        env.scan(&mut |idx, p, label| {
+            if !in_train(cfg.seed, idx) || !in_bag(cfg, tree_idx, idx) {
+                return;
+            }
+            scanned += 1;
+            if let Some(node) = walk(&arena, p) {
+                let slot = node_slot[&node] as usize;
+                let base = offsets[slot];
+                for (ci, (f, thr)) in candidates[slot].iter().enumerate() {
+                    let side = usize::from(p.axis(*f) >= *thr);
+                    hist[base + (ci * 2 + side) * ncl + label as usize % ncl] += 1;
+                }
+            }
+        });
+        env.charge_flops(scanned * (cfg.max_depth as u64 + 6));
+        let hist = env.allreduce_sum(&hist);
+
+        // Decide every active node (identical on all processes).
+        for (slot, &node) in active.iter().enumerate() {
+            let Slot::Pending { fallback, depth } = arena[node] else { unreachable!() };
+            let cs = &candidates[slot];
+            if cs.is_empty() {
+                arena[node] = Slot::Done(TreeNode::Leaf { class: fallback });
+                continue;
+            }
+            let base = offsets[slot];
+            // Node class totals from candidate 0.
+            let mut totals = vec![0u64; ncl];
+            for c in 0..ncl {
+                totals[c] = hist[base + c] + hist[base + ncl + c];
+            }
+            let majority = totals
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, &v)| (v, ncl - i))
+                .map(|(i, _)| i as u32)
+                .unwrap_or(fallback);
+            let n_node: u64 = totals.iter().sum();
+            // Pick the best candidate by Gini gain.
+            let mut best: Option<(f64, usize)> = None;
+            for ci in 0..cs.len() {
+                let l = &hist[base + ci * 2 * ncl..base + (ci * 2 + 1) * ncl];
+                let r = &hist[base + (ci * 2 + 1) * ncl..base + (ci * 2 + 2) * ncl];
+                let gain = gini_gain(l, r);
+                if best.map_or(true, |(g, _)| gain > g) {
+                    best = Some((gain, ci));
+                }
+            }
+            let (gain, ci) = best.expect("candidates nonempty");
+            if depth >= cfg.max_depth || gain < cfg.min_gain || n_node < 2 {
+                arena[node] = Slot::Done(TreeNode::Leaf { class: majority });
+            } else {
+                let (f, thr) = cs[ci];
+                // Children fall back to their side's majority.
+                let l = &hist[base + ci * 2 * ncl..base + (ci * 2 + 1) * ncl];
+                let r = &hist[base + (ci * 2 + 1) * ncl..base + (ci * 2 + 2) * ncl];
+                let maj = |h: &[u64]| {
+                    h.iter()
+                        .enumerate()
+                        .max_by_key(|(i, &v)| (v, ncl - i))
+                        .map(|(i, _)| i as u32)
+                        .unwrap_or(majority)
+                };
+                let li = arena.len();
+                arena.push(Slot::Pending { fallback: maj(l), depth: depth + 1 });
+                let ri = arena.len();
+                arena.push(Slot::Pending { fallback: maj(r), depth: depth + 1 });
+                arena[node] =
+                    Slot::Done(TreeNode::Split { feature: f, threshold: thr, left: li, right: ri });
+            }
+        }
+    }
+    // Any still-pending nodes become fallback leaves.
+    let nodes: Vec<TreeNode> = arena
+        .into_iter()
+        .map(|s| match s {
+            Slot::Done(n) => n,
+            Slot::Pending { fallback, .. } => TreeNode::Leaf { class: fallback },
+        })
+        .collect();
+    Tree { nodes }
+}
+
+/// Train the whole forest.
+pub(crate) fn train_forest(cfg: &RfConfig, env: &mut dyn RfEnv) -> Vec<Tree> {
+    (0..cfg.num_trees).map(|t| train_tree(cfg, t, env)).collect()
+}
+
+/// Majority-vote accuracy on the held-out 20% split.
+pub(crate) fn evaluate(cfg: &RfConfig, trees: &[Tree], env: &mut dyn RfEnv) -> f64 {
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    env.scan(&mut |idx, p, label| {
+        if in_train(cfg.seed, idx) {
+            return;
+        }
+        total += 1;
+        let mut votes = vec![0u32; cfg.n_classes];
+        for t in trees {
+            votes[t.predict(p) as usize % cfg.n_classes] += 1;
+        }
+        let pred = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &v)| (v, cfg.n_classes - i))
+            .map(|(i, _)| i as u32)
+            .unwrap();
+        if pred == label {
+            correct += 1;
+        }
+    });
+    env.charge_flops(total * trees.len() as u64 * cfg.max_depth as u64);
+    let sums = env.allreduce_sum(&[correct, total]);
+    if sums[1] == 0 {
+        0.0
+    } else {
+        sums[0] as f64 / sums[1] as f64
+    }
+}

@@ -1,0 +1,129 @@
+//! Random Forest on the Spark-style baseline (MLlib's algorithm).
+//!
+//! Same level-synchronous trainer as [`super::mega`] — identical trees —
+//! but the data lives on the JVM heap in multiple copies, compute pays the
+//! JVM factor, and aggregates are serialized TCP exchanges.
+
+use megammap_cluster::comm::ReduceOp;
+use megammap_cluster::{OomError, Proc};
+use megammap_minispark::SparkContext;
+
+use super::{evaluate, train_forest, RfConfig, RfEnv, RfResult};
+use crate::point::Point3D;
+use megammap::element::Element as _;
+
+struct SparkEnv<'p> {
+    p: &'p Proc,
+    base: u64,
+    points: Vec<Point3D>,
+    labels: Vec<u32>,
+}
+
+impl RfEnv for SparkEnv<'_> {
+    fn scan(&mut self, f: &mut dyn FnMut(u64, &Point3D, u32)) {
+        for (k, (pt, l)) in self.points.iter().zip(&self.labels).enumerate() {
+            f(self.base + k as u64, pt, *l);
+        }
+        // A JVM pass over the partition.
+        self.p.advance(
+            self.p
+                .cpu()
+                .with_slowdown(1.8)
+                .mem_ns(self.points.len() as u64 * (Point3D::SIZE as u64 + 4)),
+        );
+    }
+
+    fn allreduce_sum(&self, vals: &[u64]) -> Vec<u64> {
+        self.p.advance(self.p.cpu().with_slowdown(1.8).serde_ns(vals.len() as u64 * 8));
+        self.p.world().allreduce_u64(self.p, vals, ReduceOp::Sum)
+    }
+
+    fn allgather_samples(&self, vals: Vec<(u32, u64, Point3D)>) -> Vec<(u32, u64, Point3D)> {
+        let bytes = vals.len() as u64 * (12 + Point3D::SIZE as u64);
+        self.p.advance(self.p.cpu().with_slowdown(1.8).serde_ns(bytes));
+        self.p.world().allgather(self.p, vals, 12 + Point3D::SIZE as u64)
+    }
+
+    fn charge_flops(&self, flops: u64) {
+        self.p.advance(self.p.cpu().with_slowdown(1.8).flops_ns(flops));
+    }
+}
+
+/// Run the Spark-style Random Forest over this process's partition.
+pub fn run(
+    p: &Proc,
+    points: Vec<Point3D>,
+    labels: Vec<u32>,
+    part_base: u64,
+    cfg: RfConfig,
+) -> Result<RfResult, OomError> {
+    assert_eq!(points.len(), labels.len());
+    let sc = SparkContext::new(p);
+    // Load both columns through the RDD layer (heap copies + serde).
+    let _prdd = sc.load_partition(points.clone(), Point3D::SIZE as u64)?;
+    let _lrdd = sc.load_partition(labels.clone(), 4)?;
+    let mut env = SparkEnv { p, base: part_base, points, labels };
+    let trees = train_forest(&cfg, &mut env);
+    let accuracy = evaluate(&cfg, &trees, &mut env);
+    Ok(RfResult { trees, accuracy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, HaloParams};
+    use megammap_cluster::{Cluster, ClusterSpec};
+    use megammap_formats::DataUrl;
+    use megammap_sim::{CpuModel, LinkProfile};
+    use std::sync::Arc;
+
+    #[test]
+    fn spark_and_mega_grow_identical_trees() {
+        let data = Arc::new(generate(HaloParams { n_points: 1500, ..Default::default() }));
+        let cfg = RfConfig::default();
+
+        let spark_cluster = Cluster::new(
+            ClusterSpec::new(2, 1)
+                .link(LinkProfile::tcp_40g())
+                .cpu(CpuModel::jvm())
+                .dram_per_node(1 << 30),
+        );
+        let d2 = data.clone();
+        let (souts, _) = spark_cluster.run(move |p| {
+            let base = d2.points.len() * p.rank() / p.nprocs();
+            let hi = d2.points.len() * (p.rank() + 1) / p.nprocs();
+            run(
+                p,
+                d2.points[base..hi].to_vec(),
+                d2.labels[base..hi].to_vec(),
+                base as u64,
+                cfg,
+            )
+            .unwrap()
+        });
+        assert!(souts[0].accuracy > 0.9, "accuracy {}", souts[0].accuracy);
+
+        let mm = Cluster::new(ClusterSpec::new(2, 1).dram_per_node(1 << 30));
+        let rt = megammap::Runtime::new(&mm, megammap::RuntimeConfig::default().with_page_size(4096));
+        let pobj = rt.backends().open(&DataUrl::parse("obj://rfs/p.bin").unwrap()).unwrap();
+        data.write_object(pobj.as_ref()).unwrap();
+        let lbytes: Vec<u8> = data.labels.iter().flat_map(|l| l.to_le_bytes()).collect();
+        let lobj = rt.backends().open(&DataUrl::parse("obj://rfs/l.bin").unwrap()).unwrap();
+        lobj.write_at(0, &lbytes).unwrap();
+        let rt2 = rt.clone();
+        let (mouts, _) = mm.run(move |p| {
+            crate::rf::mega::run(
+                p,
+                &crate::rf::mega::MegaRf {
+                    rt: &rt2,
+                    points_url: "obj://rfs/p.bin".into(),
+                    labels_url: "obj://rfs/l.bin".into(),
+                    cfg,
+                    pcache_bytes: 1 << 20,
+                },
+            )
+        });
+        assert_eq!(souts[0].trees, mouts[0].trees, "identical derandomized trees");
+        assert_eq!(souts[0].accuracy, mouts[0].accuracy);
+    }
+}

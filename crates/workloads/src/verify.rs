@@ -1,0 +1,217 @@
+//! Reference implementations used to verify the distributed algorithms.
+//!
+//! The paper: "Each algorithm was verified by comparing their outputs on
+//! several datasets to their published counterparts." These single-threaded
+//! brute-force versions play the published-counterpart role in the test
+//! suite.
+
+use crate::point::Point3D;
+
+/// Plain Lloyd iterations from fixed initial centroids. Returns the final
+/// centroids and the inertia (sum of squared distances).
+pub fn ref_kmeans(points: &[Point3D], init: &[Point3D], iters: usize) -> (Vec<Point3D>, f64) {
+    let mut ks = init.to_vec();
+    for _ in 0..iters {
+        let mut sums = vec![Point3D::default(); ks.len()];
+        let mut counts = vec![0u64; ks.len()];
+        for p in points {
+            let (i, _) = p.nearest_centroid(&ks);
+            sums[i] = sums[i].add(p);
+            counts[i] += 1;
+        }
+        for (i, k) in ks.iter_mut().enumerate() {
+            if counts[i] > 0 {
+                *k = sums[i].scale(1.0 / counts[i] as f32);
+            }
+        }
+    }
+    let inertia: f64 =
+        points.iter().map(|p| p.nearest_centroid(&ks).1 as f64).sum();
+    (ks, inertia)
+}
+
+/// Noise label used by [`ref_dbscan`].
+pub const NOISE: i64 = -1;
+
+/// Classic O(n²) DBSCAN. Returns per-point cluster ids (`NOISE` = -1).
+pub fn ref_dbscan(points: &[Point3D], eps: f32, min_pts: usize) -> Vec<i64> {
+    let n = points.len();
+    let eps2 = eps * eps;
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| points[i].dist2(&points[j]) <= eps2).collect()
+    };
+    let mut labels = vec![i64::MIN; n]; // MIN = unvisited
+    let mut cluster = 0i64;
+    for i in 0..n {
+        if labels[i] != i64::MIN {
+            continue;
+        }
+        let nb = neighbors(i);
+        if nb.len() < min_pts {
+            labels[i] = NOISE;
+            continue;
+        }
+        labels[i] = cluster;
+        let mut queue = nb;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border point
+            }
+            if labels[j] != i64::MIN {
+                continue;
+            }
+            labels[j] = cluster;
+            let nbj = neighbors(j);
+            if nbj.len() >= min_pts {
+                queue.extend(nbj);
+            }
+        }
+        cluster += 1;
+    }
+    labels
+}
+
+/// Pair-counting Rand index between two labelings (1.0 = identical
+/// partitions up to renaming). Quadratic; for test-sized data.
+pub fn rand_index<A: PartialEq, B: PartialEq>(a: &[A], b: &[B]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// One reference Gray-Scott step over a full 3-D periodic grid (fields
+/// `u`, `v` of side `l`), returning the new fields.
+#[allow(clippy::too_many_arguments)]
+pub fn ref_gray_scott_step(
+    u: &[f64],
+    v: &[f64],
+    l: usize,
+    du: f64,
+    dv: f64,
+    f: f64,
+    k: f64,
+    dt: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let idx = |x: usize, y: usize, z: usize| (z * l + y) * l + x;
+    let mut nu = vec![0.0; u.len()];
+    let mut nv = vec![0.0; v.len()];
+    for z in 0..l {
+        for y in 0..l {
+            for x in 0..l {
+                let c = idx(x, y, z);
+                let lap = |g: &[f64]| {
+                    g[idx((x + 1) % l, y, z)]
+                        + g[idx((x + l - 1) % l, y, z)]
+                        + g[idx(x, (y + 1) % l, z)]
+                        + g[idx(x, (y + l - 1) % l, z)]
+                        + g[idx(x, y, (z + 1) % l)]
+                        + g[idx(x, y, (z + l - 1) % l)]
+                        - 6.0 * g[c]
+                };
+                let uvv = u[c] * v[c] * v[c];
+                nu[c] = u[c] + dt * (du * lap(u) - uvv + f * (1.0 - u[c]));
+                nv[c] = v[c] + dt * (dv * lap(v) + uvv - (f + k) * v[c]);
+            }
+        }
+    }
+    (nu, nv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, HaloParams};
+
+    #[test]
+    fn kmeans_recovers_halo_centers() {
+        let d = generate(HaloParams { n_points: 800, ..Default::default() });
+        let (ks, inertia) = ref_kmeans(&d.points, &d.centers, 4);
+        // Starting at the true centers, Lloyd must stay there.
+        for (k, c) in ks.iter().zip(&d.centers) {
+            assert!(k.dist(c) < 2.0, "centroid drifted {}", k.dist(c));
+        }
+        // Inertia ≈ n * 3 * sigma² for isotropic gaussians.
+        let expected = 800.0 * 3.0 * 16.0;
+        assert!((inertia - expected).abs() / expected < 0.25, "inertia {inertia}");
+    }
+
+    #[test]
+    fn dbscan_finds_well_separated_halos() {
+        let d = generate(HaloParams { n_points: 400, ..Default::default() });
+        let labels = ref_dbscan(&d.points, 8.0, 4);
+        let clusters: std::collections::HashSet<_> =
+            labels.iter().filter(|&&l| l >= 0).collect();
+        assert_eq!(clusters.len(), 8, "one cluster per halo");
+        let ri = rand_index(&labels, &d.labels);
+        assert!(ri > 0.99, "rand index {ri}");
+    }
+
+    #[test]
+    fn dbscan_marks_sparse_noise() {
+        // A tight cluster plus two far-away isolated points.
+        let mut pts: Vec<Point3D> =
+            (0..20).map(|i| Point3D::new(i as f32 * 0.1, 0.0, 0.0)).collect();
+        pts.push(Point3D::new(100.0, 0.0, 0.0));
+        pts.push(Point3D::new(-100.0, 0.0, 0.0));
+        let labels = ref_dbscan(&pts, 1.0, 3);
+        assert_eq!(labels[20], NOISE);
+        assert_eq!(labels[21], NOISE);
+        assert!(labels[..20].iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn rand_index_properties() {
+        assert_eq!(rand_index(&[1, 1, 2, 2], &[5, 5, 9, 9]), 1.0, "renaming is free");
+        assert_eq!(rand_index(&[1, 1, 1, 1], &[1, 1, 2, 2]), 1.0 / 3.0);
+        assert_eq!(rand_index::<u8, u8>(&[1], &[2]), 1.0);
+    }
+
+    #[test]
+    fn gray_scott_uniform_steady_state() {
+        // With v == 0 everywhere and u == 1, the system is at the trivial
+        // fixed point: u stays 1, v stays 0.
+        let l = 4;
+        let u = vec![1.0; l * l * l];
+        let v = vec![0.0; l * l * l];
+        let (nu, nv) = ref_gray_scott_step(&u, &v, l, 0.2, 0.1, 0.025, 0.055, 1.0);
+        assert!(nu.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        assert!(nv.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn gray_scott_perturbation_diffuses() {
+        let l = 6;
+        let mut u = vec![1.0; l * l * l];
+        let mut v = vec![0.0; l * l * l];
+        let c = (2 * l + 2) * l + 2;
+        u[c] = 0.5;
+        v[c] = 0.25;
+        for _ in 0..3 {
+            let (nu, nv) = ref_gray_scott_step(&u, &v, l, 0.2, 0.1, 0.025, 0.055, 1.0);
+            u = nu;
+            v = nv;
+        }
+        // The reaction has spread beyond the seed cell.
+        let active = v.iter().filter(|&&x| x > 1e-9).count();
+        assert!(active > 1, "v should diffuse, active={active}");
+        assert!(u.iter().all(|&x| x.is_finite()));
+    }
+}

@@ -1,0 +1,32 @@
+//! # mega-mmap — MegaMmap reproduced in Rust
+//!
+//! Meta-crate for the reproduction of *"MegaMmap: Blurring the Boundary
+//! Between Memory and Storage for Data-Intensive Workloads"* (SC'24). It
+//! re-exports the public API of every workspace crate and hosts the
+//! workspace-wide examples (`examples/`) and integration tests (`tests/`).
+//!
+//! Start with [`core`] (the DSM itself) and the `examples/quickstart.rs`
+//! binary; `DESIGN.md` maps every paper concept to a module, and
+//! `EXPERIMENTS.md` records the paper-vs-measured comparison for every
+//! figure.
+
+/// The MegaMmap DSM: vectors, transactions, runtime, policies.
+pub use megammap as core;
+/// Simulated cluster: SPMD processes, MPI-like communication.
+pub use megammap_cluster as cluster;
+/// Storage backends and file formats for the data stager.
+pub use megammap_formats as formats;
+/// Spark-style baseline engine.
+pub use megammap_minispark as minispark;
+/// Virtual-time hardware models.
+pub use megammap_sim as sim;
+/// Hermes-like tiered blob buffering.
+pub use megammap_tiered as tiered;
+/// The paper's evaluation workloads.
+pub use megammap_workloads as workloads;
+
+/// Everything an application needs, in one import.
+pub mod prelude {
+    pub use megammap::prelude::*;
+    pub use megammap_cluster::{Cluster, ClusterSpec, Proc};
+}

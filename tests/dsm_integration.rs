@@ -1,0 +1,203 @@
+//! Integration tests spanning the whole stack: cluster + runtime + vector
+//! + formats + tiering, exercised together the way an application would.
+
+use mega_mmap::prelude::*;
+use mega_mmap::formats::DataObject;
+
+fn fixture(nodes: usize, procs: usize) -> (Cluster, Runtime) {
+    let cluster = Cluster::new(ClusterSpec::new(nodes, procs).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(4096));
+    (cluster, rt)
+}
+
+#[test]
+fn hdf5_backed_vector_full_cycle() {
+    // Create an h5lite container on disk through the DSM, write via the
+    // DSM, flush, then reopen the container with the format API directly.
+    let dir = std::env::temp_dir().join(format!("mm-int-h5-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.h5");
+    let url = format!("hdf5://{}:grp", path.display());
+
+    let (cluster, rt) = fixture(1, 2);
+    let rt2 = rt.clone();
+    let url2 = url.clone();
+    cluster.run(move |p| {
+        let v: MmVec<f64> =
+            MmVec::open(&rt2, p, &url2, VecOptions::new().len(1000)).unwrap();
+        v.pgas(p, p.rank(), p.nprocs());
+        let r = v.local_range();
+        let tx = v.tx_begin(p, TxKind::seq(r.start, r.end - r.start), Access::WriteLocal);
+        for i in v.local_range() {
+            v.store(p, &tx, i, i as f64 * 0.25);
+        }
+        v.tx_end(p, tx);
+        p.world().barrier(p);
+        if p.rank() == 0 {
+            v.flush_wait(p).unwrap();
+        }
+        p.world().barrier(p);
+    });
+
+    // Reopen with the raw format API: the dataset exists and holds the data.
+    let f = mega_mmap::formats::h5lite::H5File::open(Box::new(
+        mega_mmap::formats::posix::PosixObject::open_existing(&path).unwrap(),
+    ))
+    .unwrap();
+    let d = f.dataset("grp").unwrap();
+    assert_eq!(d.len().unwrap(), 8000);
+    let mut buf = [0u8; 8];
+    d.read_at(8 * 500, &mut buf).unwrap();
+    assert_eq!(f64::from_le_bytes(buf), 125.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn glob_multifile_dataset_as_one_vector() {
+    // "multiple data objects ... can be mapped as a single uniform vector
+    // via a regex query such as file:///path/to/dataset.parquet*".
+    let dir = std::env::temp_dir().join(format!("mm-int-glob-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for part in 0..4u8 {
+        let bytes: Vec<u8> = (0..1000u32).map(|i| part.wrapping_add(i as u8)).collect();
+        std::fs::write(dir.join(format!("part.{part}.bin")), bytes).unwrap();
+    }
+    let url = format!("file://{}/part.*.bin", dir.display());
+
+    let (cluster, rt) = fixture(1, 1);
+    let rt2 = rt.clone();
+    let (outs, _) = cluster.run(move |p| {
+        let v: MmVec<u8> = MmVec::open(&rt2, p, &url, VecOptions::new()).unwrap();
+        assert_eq!(v.len(), 4000, "four files concatenated");
+        let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::ReadOnly);
+        // Element 1000 is the first byte of part 1.
+        let a = v.load(p, &tx, 1000);
+        // Element 2500 is byte 500 of part 2.
+        let b = v.load(p, &tx, 2500);
+        v.tx_end(p, tx);
+        (a, b)
+    });
+    assert_eq!(outs[0].0, 1);
+    assert_eq!(outs[0].1, 2u8.wrapping_add(244));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn runtime_from_yaml_deployment_file() {
+    let yaml = "
+page_size: 8192
+default_pcache: 262144
+workers_low: 1
+workers_high: 1
+tiers:
+  - kind: dram
+    capacity: 1048576
+  - kind: nvme
+    capacity: 8388608
+";
+    let cfg = RuntimeConfig::from_yaml(yaml).unwrap();
+    let cluster = Cluster::new(ClusterSpec::new(1, 1));
+    let rt = Runtime::new(&cluster, cfg);
+    assert_eq!(rt.cfg().page_size, 8192);
+    assert_eq!(rt.cfg().tiers.len(), 2);
+    let rt2 = rt.clone();
+    cluster.run(move |p| {
+        let v: MmVec<u32> = MmVec::open(&rt2, p, "mem://yaml", VecOptions::new().len(10)).unwrap();
+        assert_eq!(v.page_size(), 8192);
+        let tx = v.tx_begin(p, TxKind::seq(0, 10), Access::ReadWriteGlobal);
+        v.store(p, &tx, 3, 33);
+        assert_eq!(v.load(p, &tx, 3), 33);
+        v.tx_end(p, tx);
+    });
+}
+
+#[test]
+fn tiering_spills_when_dram_tier_is_tiny() {
+    // A vector larger than the DRAM tier must end up partially on NVMe —
+    // and still read back correctly.
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+    let cfg = RuntimeConfig::default()
+        .with_page_size(4096)
+        .with_tiers(vec![
+            mega_mmap::sim::DeviceSpec::dram(16 * 4096),
+            mega_mmap::sim::DeviceSpec::nvme(1 << 22),
+        ]);
+    let rt = Runtime::new(&cluster, cfg);
+    let rt2 = rt.clone();
+    cluster.run(move |p| {
+        let n = 64 * 4096 / 8; // 64 pages of u64s, 4x the DRAM tier
+        let v: MmVec<u64> =
+            MmVec::open(&rt2, p, "mem://spill", VecOptions::new().len(n).pcache(8 * 4096))
+                .unwrap();
+        let tx = v.tx_begin(p, TxKind::seq(0, n), Access::WriteGlobal);
+        for i in 0..n {
+            v.store(p, &tx, i, i * 31);
+        }
+        v.tx_end(p, tx);
+        let tx = v.tx_begin(p, TxKind::seq(0, n), Access::ReadOnly);
+        for i in (0..n).step_by(97) {
+            assert_eq!(v.load(p, &tx, i), i * 31);
+        }
+        v.tx_end(p, tx);
+    });
+    // NVMe tier really holds data.
+    let usage = rt.node(0).dmsh.tier_usage();
+    let nvme_used = usage
+        .iter()
+        .find(|(k, _, _)| *k == mega_mmap::sim::TierKind::Nvme)
+        .map(|(_, used, _)| *used)
+        .unwrap();
+    assert!(nvme_used > 0, "overflow must reach the NVMe tier: {usage:?}");
+    // And the DRAM tier is within its capacity.
+    let (_, dram_used, dram_cap) = usage[0];
+    assert!(dram_used <= dram_cap);
+}
+
+#[test]
+fn obj_store_stager_round_trip_with_trim() {
+    // Appends grow page-granularly; the stager must trim the backend to
+    // the logical length.
+    let (cluster, rt) = fixture(1, 1);
+    let rt2 = rt.clone();
+    cluster.run(move |p| {
+        let v: MmVec<u16> =
+            MmVec::open(&rt2, p, "obj://it/app.bin", VecOptions::new()).unwrap();
+        let tx = v.tx_begin(p, TxKind::append(0), Access::AppendGlobal);
+        for k in 0..777u16 {
+            v.append(p, &tx, k);
+        }
+        v.tx_end(p, tx);
+        v.flush_wait(p).unwrap();
+    });
+    let obj = rt
+        .backends()
+        .open(&mega_mmap::formats::DataUrl::parse("obj://it/app.bin").unwrap())
+        .unwrap();
+    assert_eq!(obj.len().unwrap(), 777 * 2, "backend trimmed to logical length");
+}
+
+#[test]
+fn many_vectors_coexist() {
+    let (cluster, rt) = fixture(2, 2);
+    let rt2 = rt.clone();
+    cluster.run(move |p| {
+        let vs: Vec<MmVec<u64>> = (0..8)
+            .map(|k| {
+                MmVec::open(&rt2, p, &format!("mem://multi-{k}"), VecOptions::new().len(256))
+                    .unwrap()
+            })
+            .collect();
+        for (k, v) in vs.iter().enumerate() {
+            let tx = v.tx_begin(p, TxKind::seq(0, 256), Access::ReadWriteGlobal);
+            v.store(p, &tx, p.rank() as u64, k as u64 * 100);
+            assert_eq!(v.load(p, &tx, p.rank() as u64), k as u64 * 100);
+            v.tx_end(p, tx);
+        }
+        p.world().barrier(p);
+        // Cross-check a neighbour's element in vector 3.
+        let other = (p.rank() + 1) % p.nprocs();
+        let tx = vs[3].tx_begin(p, TxKind::seq(0, 256), Access::ReadOnly);
+        assert_eq!(vs[3].load(p, &tx, other as u64), 300);
+        vs[3].tx_end(p, tx);
+    });
+}

@@ -1,0 +1,222 @@
+//! Small-scale guards for the evaluation's qualitative claims: each test
+//! pins one *shape* a figure depends on, so a regression in the runtime
+//! breaks loudly here instead of silently bending a curve.
+
+use std::sync::Arc;
+
+use mega_mmap::prelude::*;
+use mega_mmap::sim::{CpuModel, DeviceSpec, LinkProfile, MIB};
+use mega_mmap::workloads::datagen::{bench_params, generate};
+use mega_mmap::workloads::gray_scott::{self, GsConfig};
+use mega_mmap::workloads::kmeans::{self, KMeansConfig};
+
+/// Fig. 5 shape: MegaMmap KMeans beats the Spark baseline at moderate scale.
+#[test]
+fn fig5_shape_kmeans_beats_spark() {
+    let data = Arc::new(generate(bench_params(40_000)));
+    let cfg = KMeansConfig::default();
+
+    let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(256 * MIB));
+    let rt = Runtime::new(&cluster, RuntimeConfig::memory_only(256 * MIB));
+    let obj = rt
+        .backends()
+        .open(&mega_mmap::formats::DataUrl::parse("obj://shape/km.bin").unwrap())
+        .unwrap();
+    data.write_object(obj.as_ref()).unwrap();
+    let rt2 = rt.clone();
+    let (_, mega) = cluster.run(move |p| {
+        kmeans::mega::run(
+            p,
+            &kmeans::mega::MegaKMeans {
+                rt: &rt2,
+                url: "obj://shape/km.bin".into(),
+                assign_url: None,
+                cfg,
+                pcache_bytes: 512 * 1024,
+            },
+        )
+    });
+
+    let spark_cluster = Cluster::new(
+        ClusterSpec::new(2, 2)
+            .link(LinkProfile::tcp_40g())
+            .cpu(CpuModel::jvm())
+            .dram_per_node(256 * MIB),
+    );
+    let d2 = data.clone();
+    let (_, spark) = spark_cluster.run(move |p| {
+        let lo = d2.points.len() * p.rank() / p.nprocs();
+        let hi = d2.points.len() * (p.rank() + 1) / p.nprocs();
+        kmeans::spark::run(p, d2.points[lo..hi].to_vec(), lo as u64, cfg).unwrap()
+    });
+    let speedup = spark.makespan_ns as f64 / mega.makespan_ns as f64;
+    assert!(
+        speedup > 1.2,
+        "MegaMmap must beat Spark (paper: up to 2x); got {speedup:.2}x"
+    );
+    // And Spark's DRAM is a small multiple of its per-node dataset share
+    // while MegaMmap's scache holds roughly one copy.
+    let per_node = data.points.len() as u64 * 12 / 2;
+    assert!(spark.peak_mem() >= 3 * per_node, "Spark copies: {}", spark.peak_mem());
+}
+
+/// Fig. 5 shape: MegaMmap Gray-Scott stays within ~1.5x of the MPI design.
+#[test]
+fn fig5_shape_gray_scott_near_mpi() {
+    let cfg = GsConfig::new(48, 4);
+    let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::memory_only(256 * MIB));
+    let rt2 = rt.clone();
+    let (_, mega) = cluster.run(move |p| {
+        gray_scott::mega::run(
+            p,
+            &gray_scott::mega::MegaGs {
+                rt: &rt2,
+                cfg,
+                pcache_bytes: 2 * MIB,
+                ckpt_url: None,
+                tag: "shape".into(),
+            },
+        )
+    });
+    let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+    let (_, mpi) = cluster.run(move |p| {
+        gray_scott::mpi::run(
+            p,
+            &gray_scott::mpi::MpiGs { cfg, io: None, final_ckpt: false },
+        )
+        .unwrap()
+    });
+    let ratio = mega.makespan_ns as f64 / mpi.makespan_ns as f64;
+    assert!(
+        ratio < 1.6,
+        "DSM coherence must not be a bottleneck (paper: ~1x); got {ratio:.2}x of MPI"
+    );
+}
+
+/// Fig. 6 shape: MPI Gray-Scott OOMs past the DRAM budget; MegaMmap
+/// completes the same configuration by spilling to NVMe.
+#[test]
+fn fig6_shape_oom_crossover() {
+    let cfg = GsConfig::new(40, 2);
+    let dram = 1 * MIB; // far below the ~2 MiB slab need
+    let cluster = Cluster::new(ClusterSpec::new(1, 2).dram_per_node(dram));
+    let (outs, _) = cluster.run(move |p| {
+        gray_scott::mpi::run(p, &gray_scott::mpi::MpiGs { cfg, io: None, final_ckpt: false })
+            .is_err()
+    });
+    assert!(outs.iter().any(|&oom| oom), "MPI must OOM at this resolution");
+
+    let cluster = Cluster::new(ClusterSpec::new(1, 2).dram_per_node(dram));
+    let rt = Runtime::new(
+        &cluster,
+        RuntimeConfig::default()
+            .with_page_size(16 * 1024)
+            .with_tiers(vec![DeviceSpec::dram(dram), DeviceSpec::nvme(64 * MIB)]),
+    );
+    let rt2 = rt.clone();
+    let (outs, _) = cluster.run(move |p| {
+        gray_scott::mega::run(
+            p,
+            &gray_scott::mega::MegaGs {
+                rt: &rt2,
+                cfg,
+                pcache_bytes: 256 * 1024,
+                ckpt_url: None,
+                tag: "oomx".into(),
+            },
+        )
+    });
+    assert!(outs[0].sum_u.is_finite(), "MegaMmap must complete where MPI died");
+    // The NVMe tier really absorbed the overflow.
+    let usage = rt.node(0).dmsh.tier_usage();
+    assert!(usage.iter().any(|(k, used, _)| *k == mega_mmap::sim::TierKind::Nvme && *used > 0));
+}
+
+/// Fig. 7 shape: an NVMe-backed DMSH outruns an HDD-backed one for the
+/// write-intensive checkpointing workload.
+#[test]
+fn fig7_shape_nvme_beats_hdd() {
+    let cfg = GsConfig::new(48, 3).plotgap(1);
+    let run_with = |storage: DeviceSpec| -> u64 {
+        let cluster = Cluster::new(ClusterSpec::new(1, 2).dram_per_node(1 << 30));
+        let rt = Runtime::new(
+            &cluster,
+            RuntimeConfig::default()
+                .with_page_size(16 * 1024)
+                .with_tiers(vec![DeviceSpec::dram(MIB / 2), storage]),
+        );
+        let label = storage.kind.label().to_string();
+        let rt2 = rt.clone();
+        let (_, rep) = cluster.run(move |p| {
+            gray_scott::mega::run(
+                p,
+                &gray_scott::mega::MegaGs {
+                    rt: &rt2,
+                    cfg,
+                    pcache_bytes: 256 * 1024,
+                    ckpt_url: Some(format!("obj://shape7/{label}")),
+                    tag: format!("f7s-{label}"),
+                },
+            )
+        });
+        rep.makespan_ns
+    };
+    let hdd = run_with(DeviceSpec::hdd(64 * MIB));
+    let nvme = run_with(DeviceSpec::nvme(64 * MIB));
+    let speedup = hdd as f64 / nvme as f64;
+    assert!(
+        speedup > 1.3,
+        "NVMe tiering must clearly beat HDD (paper: 1.8x); got {speedup:.2}x"
+    );
+}
+
+/// Fig. 8 shape: halving the DRAM budget costs little; an eighth costs a lot.
+#[test]
+fn fig8_shape_flat_then_degrading() {
+    let data = Arc::new(generate(bench_params(60_000)));
+    let dataset_per_node = data.points.len() as u64 * 12 / 2;
+    let run_with = |frac: f64| -> u64 {
+        let dram = (dataset_per_node as f64 * frac) as u64;
+        let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(256 * MIB));
+        let rt = Runtime::new(
+            &cluster,
+            RuntimeConfig::default()
+                .with_page_size(16 * 1024)
+                .with_tiers(vec![DeviceSpec::dram(dram.max(64 * 1024)), DeviceSpec::nvme(64 * MIB)]),
+        );
+        let obj = rt
+            .backends()
+            .open(&mega_mmap::formats::DataUrl::parse("obj://shape8/km.bin").unwrap())
+            .unwrap();
+        data.write_object(obj.as_ref()).unwrap();
+        let rt2 = rt.clone();
+        let pcache = ((dram / 2) as u64).max(32 * 1024);
+        let (_, rep) = cluster.run(move |p| {
+            kmeans::mega::run(
+                p,
+                &kmeans::mega::MegaKMeans {
+                    rt: &rt2,
+                    url: "obj://shape8/km.bin".into(),
+                    assign_url: None,
+                    cfg: KMeansConfig::default(),
+                    pcache_bytes: pcache,
+                },
+            )
+        });
+        rep.makespan_ns
+    };
+    let full = run_with(1.0);
+    let half = run_with(0.5);
+    let eighth = run_with(0.125);
+    let half_slowdown = half as f64 / full as f64;
+    let eighth_slowdown = eighth as f64 / full as f64;
+    assert!(
+        half_slowdown < 1.35,
+        "half DRAM should stay close to full (paper: within 10%); got {half_slowdown:.2}x"
+    );
+    assert!(
+        eighth_slowdown > half_slowdown,
+        "degradation must grow as DRAM shrinks: 1/2 -> {half_slowdown:.2}x, 1/8 -> {eighth_slowdown:.2}x"
+    );
+}

@@ -1,0 +1,119 @@
+//! The paper's end-to-end analysis pipeline as one integration test:
+//! Gadget-like generation → KMeans clustering (assignments persisted) →
+//! Random Forest trained on the persisted assignments — exactly the Fig. 8
+//! dataset flow ("The cluster assignments are stored in a binary file. RF
+//! analyzes this data").
+
+use mega_mmap::prelude::*;
+use mega_mmap::workloads::datagen::{generate, HaloParams};
+use mega_mmap::workloads::kmeans::{self, KMeansConfig};
+use mega_mmap::workloads::rf::{self, RfConfig};
+
+#[test]
+fn kmeans_assignments_feed_random_forest() {
+    let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(4096));
+    let data = generate(HaloParams { n_points: 1600, ..Default::default() });
+    let obj = rt
+        .backends()
+        .open(&mega_mmap::formats::DataUrl::parse("obj://pipe/pts.bin").unwrap())
+        .unwrap();
+    data.write_object(obj.as_ref()).unwrap();
+
+    let rt2 = rt.clone();
+    let (outs, _) = cluster.run(move |p| {
+        // Stage 1: KMeans, persisting assignments.
+        let km = kmeans::mega::run(
+            p,
+            &kmeans::mega::MegaKMeans {
+                rt: &rt2,
+                url: "obj://pipe/pts.bin".into(),
+                assign_url: Some("obj://pipe/assign.bin".into()),
+                cfg: KMeansConfig::default(),
+                pcache_bytes: 1 << 20,
+            },
+        );
+        // Make the assignment vector durable before the next stage reads it.
+        if p.rank() == 0 {
+            rt2.shutdown(p.now()).unwrap();
+        }
+        p.world().barrier(p);
+
+        // Stage 2: RF learns to predict the KMeans cluster from position.
+        // The labels URL is the file KMeans just wrote.
+        let rf = rf::mega::run(
+            p,
+            &rf::mega::MegaRf {
+                rt: &rt2,
+                points_url: "obj://pipe/pts.bin".into(),
+                labels_url: "obj://pipe/assign.bin".into(),
+                cfg: RfConfig::default(),
+                pcache_bytes: 1 << 20,
+            },
+        );
+        (km.inertia, rf.accuracy)
+    });
+
+    let (inertia, accuracy) = outs[0];
+    // KMeans converged on the halos (inertia near 3·σ²·n).
+    let expect = 1600.0 * 3.0 * 16.0;
+    assert!(
+        (inertia - expect).abs() / expect < 0.5,
+        "inertia {inertia} vs expected ~{expect}"
+    );
+    // RF predicts KMeans clusters from positions nearly perfectly — the
+    // clusters are axis-separable halos.
+    assert!(accuracy > 0.9, "accuracy {accuracy}");
+    // Everyone agreed.
+    assert!(outs.iter().all(|&o| o == outs[0]));
+}
+
+#[test]
+fn gray_scott_checkpoint_reopens_as_vector() {
+    use mega_mmap::workloads::gray_scott::{self, GsConfig};
+
+    let cluster = Cluster::new(ClusterSpec::new(1, 2).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(8192));
+    let cfg = GsConfig::new(10, 3);
+    let rt2 = rt.clone();
+    let (outs, _) = cluster.run(move |p| {
+        let r = gray_scott::mega::run(
+            p,
+            &gray_scott::mega::MegaGs {
+                rt: &rt2,
+                cfg,
+                pcache_bytes: 1 << 20,
+                ckpt_url: Some("obj://pipe/gs".into()),
+                tag: "pipe".into(),
+            },
+        );
+        p.world().barrier(p);
+        if p.rank() == 0 {
+            rt2.shutdown(p.now()).unwrap();
+        }
+        p.world().barrier(p);
+
+        // Re-attach the checkpointed U field (steps=3 → final parity u1)
+        // as a fresh read-only vector and recompute the checksum.
+        let u: MmVec<f64> =
+            MmVec::open(&rt2, p, "obj://pipe/gs.u1", VecOptions::new()).unwrap();
+        assert_eq!(u.len(), cfg.cells());
+        u.pgas(p, p.rank(), p.nprocs());
+        let range = u.local_range();
+        let tx = u.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::ReadOnly);
+        let mut sum = 0.0;
+        for i in u.local_range() {
+            sum += u.load(p, &tx, i);
+        }
+        u.tx_end(p, tx);
+        let total = p
+            .world()
+            .allreduce_f64(p, &[sum], megammap_cluster::comm::ReduceOp::Sum)[0];
+        (r.sum_u, total)
+    });
+    let (live, reloaded) = outs[0];
+    assert!(
+        (live - reloaded).abs() < 1e-9,
+        "checkpoint must reproduce the in-memory field: {live} vs {reloaded}"
+    );
+}
