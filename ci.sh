@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the full test suite.
+#
+# Usage: ./ci.sh [--release]
+#
+# The workspace flag matters: the repo root is both the `mega-mmap`
+# meta-crate and the workspace root, so a bare `cargo test` would only
+# run the root package's suites.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+PROFILE=()
+if [[ "${1:-}" == "--release" ]]; then
+    PROFILE=(--release)
+elif [[ $# -gt 0 ]]; then
+    echo "usage: $0 [--release]" >&2
+    exit 2
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets "${PROFILE[@]}" -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace "${PROFILE[@]}"
+
+echo "CI gate passed."

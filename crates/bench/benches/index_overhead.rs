@@ -25,13 +25,9 @@ fn bench_index(c: &mut Criterion) {
     let plain: Vec<f64> = (0..N).map(|i| i as f64 * 1.5).collect();
     let plain2 = plain.clone();
     cluster.run_once(move |p| {
-        let v: MmVec<f64> = MmVec::open(
-            &rt2,
-            p,
-            "mem://bench-idx",
-            VecOptions::new().len(N).pcache(8 << 20),
-        )
-        .unwrap();
+        let v: MmVec<f64> =
+            MmVec::open(&rt2, p, "mem://bench-idx", VecOptions::new().len(N).pcache(8 << 20))
+                .unwrap();
         let tx = v.tx_begin(p, TxKind::seq(0, N), Access::WriteGlobal);
         v.write_slice(p, 0, &plain2).unwrap();
         v.tx_end(p, tx);
@@ -54,13 +50,8 @@ fn bench_index(c: &mut Criterion) {
     g.bench_function("megavec_load_scan", |b| {
         let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
         cluster.run_once(|p| {
-            let v: MmVec<f64> = MmVec::open(
-                &rt3,
-                p,
-                "mem://bench-idx",
-                VecOptions::new().pcache(8 << 20),
-            )
-            .unwrap();
+            let v: MmVec<f64> =
+                MmVec::open(&rt3, p, "mem://bench-idx", VecOptions::new().pcache(8 << 20)).unwrap();
             // Warm the pcache so the loop measures the hit path. The
             // pattern matches the repeated sweeps, so crossings predict
             // correctly and prefetcher runs find nothing to do.
@@ -83,13 +74,8 @@ fn bench_index(c: &mut Criterion) {
     g.bench_function("megavec_bulk_scan", |b| {
         let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
         cluster.run_once(|p| {
-            let v: MmVec<f64> = MmVec::open(
-                &rt4,
-                p,
-                "mem://bench-idx",
-                VecOptions::new().pcache(8 << 20),
-            )
-            .unwrap();
+            let v: MmVec<f64> =
+                MmVec::open(&rt4, p, "mem://bench-idx", VecOptions::new().pcache(8 << 20)).unwrap();
             let tx = v.tx_begin(p, TxKind::seq(0, N), Access::ReadOnly);
             let mut buf = vec![0.0f64; 4096];
             b.iter(|| {

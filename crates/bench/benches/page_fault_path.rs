@@ -65,10 +65,7 @@ fn bench_faults(c: &mut Criterion) {
 
     g.bench_function("fault_with_stage_in", |b| {
         let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
-        let rt = Runtime::new(
-            &cluster,
-            RuntimeConfig::memory_only(PAGE * 4).with_page_size(PAGE),
-        );
+        let rt = Runtime::new(&cluster, RuntimeConfig::memory_only(PAGE * 4).with_page_size(PAGE));
         // Pre-populate a backend object; tiny DMSH forces re-staging.
         let obj = rt.backends().open(&DataUrl::parse("obj://bench/stage.bin").unwrap()).unwrap();
         obj.write_at(0, &vec![7u8; (PAGES * PAGE) as usize]).unwrap();

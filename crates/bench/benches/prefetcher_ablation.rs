@@ -17,10 +17,7 @@ const PAGES: u64 = 128;
 /// virtual duration.
 fn sweep(prefetch: bool) -> u64 {
     let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
-    let rt = Runtime::new(
-        &cluster,
-        RuntimeConfig::memory_only(PAGE * 4).with_page_size(PAGE),
-    );
+    let rt = Runtime::new(&cluster, RuntimeConfig::memory_only(PAGE * 4).with_page_size(PAGE));
     let obj = rt.backends().open(&DataUrl::parse("obj://ab/pf.bin").unwrap()).unwrap();
     obj.write_at(0, &vec![1u8; (PAGES * PAGE) as usize]).unwrap();
     let (out, _) = cluster.run_once(move |p| {

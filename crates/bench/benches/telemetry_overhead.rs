@@ -1,0 +1,114 @@
+//! Telemetry overhead guard: the instrumented pcache fast path with the
+//! registry **enabled** must stay within 2% of the same path with the
+//! registry **disabled**.
+//!
+//! The fast path under test is the `index_overhead` element-load scan
+//! (`MmVec::load` on a warmed pcache). With telemetry disabled every
+//! handle's write is one relaxed load and a predicted branch; enabled it
+//! adds one relaxed `fetch_add`. Both are measured on the *same* runtime —
+//! `Telemetry::set_enabled` flips all handles at once — with interleaved
+//! batches and a median, so drift hits both sides equally.
+//!
+//! Under `cargo test` (quick mode) the comparison runs once as a smoke
+//! test; under `cargo bench` it times both sides and fails the run if the
+//! enabled path exceeds the budget.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use std::time::Instant;
+
+const N: u64 = 64 * 1024;
+const BATCHES: usize = 15;
+const BUDGET_PCT: f64 = 2.0;
+
+/// Minimum over batches: the best estimator of a loop's true cost, since
+/// scheduling noise only ever adds time.
+fn floor(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(64 * 1024));
+    let telemetry = cluster.telemetry().clone();
+
+    let plain: Vec<f64> = (0..N).map(|i| i as f64 * 1.5).collect();
+    let rt2 = rt.clone();
+    cluster.run_once(move |p| {
+        let v: MmVec<f64> =
+            MmVec::open(&rt2, p, "mem://bench-tel", VecOptions::new().len(N).pcache(8 << 20))
+                .unwrap();
+        let tx = v.tx_begin(p, TxKind::seq(0, N), Access::WriteGlobal);
+        v.write_slice(p, 0, &plain).unwrap();
+        v.tx_end(p, tx);
+    });
+
+    let quick = !std::env::args().any(|a| a == "--bench");
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(N));
+
+    let rt3 = rt.clone();
+    let tel = telemetry.clone();
+    g.bench_function("load_scan_enabled_vs_disabled", move |b| {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let tel = tel.clone();
+        let rt3 = rt3.clone();
+        cluster.run_once(move |p| {
+            let v: MmVec<f64> =
+                MmVec::open(&rt3, p, "mem://bench-tel", VecOptions::new().pcache(8 << 20)).unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, N), Access::ReadOnly);
+            let scan = |v: &MmVec<f64>| {
+                let mut acc = 0.0f64;
+                for i in 0..N {
+                    acc += v.load(p, &tx, i) * 2.0;
+                }
+                acc
+            };
+            // Warm the pcache so the loop measures the hit path.
+            black_box(scan(&v));
+
+            // Criterion's registered measurement times the enabled path.
+            tel.set_enabled(true);
+            b.iter(|| black_box(scan(&v)));
+
+            if !quick {
+                // The guard proper: interleaved batches, noise floors
+                // compared.
+                let time_scan = |on: bool| -> f64 {
+                    tel.set_enabled(on);
+                    let start = Instant::now();
+                    black_box(scan(&v));
+                    start.elapsed().as_nanos() as f64
+                };
+                // One untimed pass per mode to settle branch predictors.
+                time_scan(true);
+                time_scan(false);
+                let mut on_ns = Vec::with_capacity(BATCHES);
+                let mut off_ns = Vec::with_capacity(BATCHES);
+                for _ in 0..BATCHES {
+                    on_ns.push(time_scan(true));
+                    off_ns.push(time_scan(false));
+                }
+                tel.set_enabled(true);
+                let (on, off) = (floor(on_ns), floor(off_ns));
+                let pct = (on - off) / off * 100.0;
+                println!(
+                    "telemetry overhead: enabled {on:.0} ns vs disabled {off:.0} ns \
+                     per {N}-element scan ({pct:+.2}%)"
+                );
+                assert!(
+                    pct < BUDGET_PCT,
+                    "telemetry-enabled fast path is {pct:.2}% slower than disabled \
+                     (budget {BUDGET_PCT}%)"
+                );
+            }
+            v.tx_end(p, tx);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -64,8 +64,7 @@ fn bench_tiers(c: &mut Criterion) {
         let d = dmsh();
         let data = Bytes::from(vec![0u8; BLOB]);
         for i in 0..256 {
-            d.put(0, BlobId::new(1, i), data.clone(), (i % 10) as f32 / 10.0, 0, false)
-                .unwrap();
+            d.put(0, BlobId::new(1, i), data.clone(), (i % 10) as f32 / 10.0, 0, false).unwrap();
         }
         let mut t = 1u64;
         b.iter(|| {

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use megammap::prelude::*;
 use megammap_bench::table::Table;
-use megammap_bench::{mib, save_csv, secs};
+use megammap_bench::{mib, save_csv, save_metrics_report, secs};
 use megammap_cluster::{Cluster, ClusterSpec};
 use megammap_sim::{CpuModel, LinkProfile, MIB};
 use megammap_workloads::datagen::{bench_params, generate};
@@ -54,7 +54,14 @@ fn main() {
         .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
         .unwrap_or_else(|_| vec![1, 2, 4, 8, 16]);
     let mut t = Table::new(&[
-        "app", "nodes", "procs", "mega_s", "base_s", "base", "mega_mem_MiB", "base_mem_MiB",
+        "app",
+        "nodes",
+        "procs",
+        "mega_s",
+        "base_s",
+        "base",
+        "mega_mem_MiB",
+        "base_mem_MiB",
         "speedup",
     ]);
 
@@ -89,6 +96,7 @@ fn main() {
             )
         });
         let mega_m = mega_mem(&rt, pcache, procs);
+        save_metrics_report(&format!("fig5_weak_scaling_kmeans_{nodes}n"), cluster.telemetry());
 
         let scl = spark_cluster(nodes);
         let d2 = data.clone();
@@ -141,6 +149,7 @@ fn main() {
             )
         });
         let mega_m = mega_mem(&rt, pcache, procs);
+        save_metrics_report(&format!("fig5_weak_scaling_rf_{nodes}n"), cluster.telemetry());
 
         let scl = spark_cluster(nodes);
         let d2 = data.clone();
@@ -194,6 +203,7 @@ fn main() {
             )
         });
         let mega_m = mega_mem(&rt, pcache, procs);
+        save_metrics_report(&format!("fig5_weak_scaling_dbscan_{nodes}n"), cluster.telemetry());
 
         let cluster = mm_cluster(nodes);
         let d2 = data.clone();
@@ -240,6 +250,7 @@ fn main() {
             )
         });
         let mega_m = mega_mem(&rt, pcache, procs);
+        save_metrics_report(&format!("fig5_weak_scaling_grayscott_{nodes}n"), cluster.telemetry());
 
         let cluster = mm_cluster(nodes);
         let (_, mpi_rep) = cluster.run(move |p| {

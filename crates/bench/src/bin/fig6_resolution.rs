@@ -31,7 +31,13 @@ fn main() {
         .unwrap_or_else(|_| vec![64, 80, 96, 112, 128]);
     let steps = 4;
     let mut t = Table::new(&[
-        "L", "dataset_MiB", "mega_s", "orangefs_s", "assise_s", "hermes_s", "mega_peak_MiB",
+        "L",
+        "dataset_MiB",
+        "mega_s",
+        "orangefs_s",
+        "assise_s",
+        "hermes_s",
+        "mega_peak_MiB",
         "mpi_need_MiB",
     ]);
 
@@ -39,8 +45,7 @@ fn main() {
         let cfg = GsConfig::new(l, steps);
         let dataset = 2 * cfg.field_bytes();
         // Per-node need of the MPI variant: 4 arrays + halos across PPN.
-        let mpi_need = (4 * (l / (NODES * PPN)).max(1) * l * l + 4 * l * l) as u64 * 8
-            * PPN as u64;
+        let mpi_need = (4 * (l / (NODES * PPN)).max(1) * l * l + 4 * l * l) as u64 * 8 * PPN as u64;
 
         // MegaMmap: DRAM-budgeted scache + NVMe overflow.
         let cluster = Cluster::new(ClusterSpec::new(NODES, PPN).dram_per_node(DRAM));
@@ -72,11 +77,8 @@ fn main() {
             let cluster = Cluster::new(ClusterSpec::new(NODES, PPN).dram_per_node(DRAM));
             let io = IoBackend::with_defaults(kind, NODES);
             let (outs, rep) = cluster.run(move |p| {
-                gray_scott::mpi::run(
-                    p,
-                    &MpiGs { cfg, io: Some(io.clone()), final_ckpt: true },
-                )
-                .is_ok()
+                gray_scott::mpi::run(p, &MpiGs { cfg, io: Some(io.clone()), final_ckpt: true })
+                    .is_ok()
             });
             if outs.iter().all(|&ok| ok) {
                 times.push(secs(rep.makespan_ns));

@@ -15,7 +15,7 @@
 
 use megammap::prelude::*;
 use megammap_bench::table::Table;
-use megammap_bench::{save_csv, secs};
+use megammap_bench::{save_csv, save_metrics_report, secs};
 use megammap_cluster::{Cluster, ClusterSpec};
 use megammap_sim::{CostModel, DeviceSpec, MIB};
 use megammap_workloads::gray_scott::{self, GsConfig};
@@ -68,6 +68,7 @@ fn main() {
                 },
             )
         });
+        save_metrics_report(&format!("fig7_tiering_{label}"), cluster.telemetry());
         if baseline_ns == 0 {
             baseline_ns = rep.makespan_ns;
         }

@@ -1,0 +1,108 @@
+//! `mm_report` — run a representative KMeans workload under full telemetry
+//! and print the unified observability report: every metric with per-label
+//! breakdown (per-node, per-tier, per-link), derived cache/prefetch
+//! effectiveness ratios, histograms, and the event-kind summary.
+//!
+//! The run is arranged to be fully deterministic so two invocations print
+//! byte-identical reports (`mm_report > a; mm_report > b; diff a b` is
+//! empty). Three ingredients, since simulated processes are real threads:
+//!
+//! * one process per node — no two threads race reads through the same
+//!   node's caches;
+//! * tiers sized with headroom — no capacity-pressure demotions, whose
+//!   victim order would depend on thread scheduling;
+//! * a barrier-serialized warmup that first-touches the only pages shared
+//!   across partitions (the KMeans seed page and the partition-boundary
+//!   pages), so staging order does not depend on which rank faults first.
+//!
+//! One class of quantity remains scheduling-dependent: exact *virtual
+//! timestamps* under cross-node resource contention, because the causal
+//! acquire resolves simultaneous requests in wall-clock arrival order. All
+//! counters, gauges, event counts and event byte totals are conserved
+//! regardless; the printed report therefore omits the histogram section
+//! (whose `sum` is a timing statistic). Timing detail lives in the saved
+//! artifacts instead.
+//!
+//! The report, metrics CSV and event CSV are also written under
+//! `results/mm_report.*` (event timestamps in the CSV may vary run to run
+//! for the reason above; everything else is exact).
+
+use std::sync::Arc;
+
+use megammap::prelude::*;
+use megammap_bench::{save_text, secs};
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::{DeviceSpec, MIB};
+use megammap_workloads::datagen::{bench_params, generate};
+use megammap_workloads::kmeans::{self, KMeansConfig};
+use megammap_workloads::Point3D;
+
+const NODES: usize = 2;
+const PPN: usize = 1;
+const URL: &str = "obj://report/pts.bin";
+
+fn main() {
+    let cluster = Cluster::new(ClusterSpec::new(NODES, PPN).dram_per_node(256 * MIB));
+    // DRAM over NVMe so the report has a real tier stack; both tiers have
+    // headroom over the dataset, keeping blob placement deterministic. The
+    // pcache is far smaller than a partition, so the pcache and prefetcher
+    // still do real work.
+    let rt = Runtime::new(
+        &cluster,
+        RuntimeConfig::default()
+            .with_page_size(64 * 1024)
+            .with_tiers(vec![DeviceSpec::dram(16 * MIB), DeviceSpec::nvme(32 * MIB)]),
+    );
+    let pcache_bytes = 256 * 1024;
+
+    let n_points = (4 * MIB / Point3D::SIZE as u64) as usize;
+    let data = Arc::new(generate(bench_params(n_points)));
+    let obj = rt.backends().open(&megammap_formats::DataUrl::parse(URL).unwrap()).unwrap();
+    data.write_object(obj.as_ref()).unwrap();
+
+    let cfg = KMeansConfig::default();
+    let rt2 = rt.clone();
+    let (_, rep) = cluster.run(move |p| {
+        // Deterministic warmup (see module docs): serialize first-touch of
+        // the pages shared across partitions.
+        let v: MmVec<Point3D> =
+            MmVec::open(&rt2, p, URL, VecOptions::new().pcache(pcache_bytes)).unwrap();
+        v.pgas(p, p.rank(), p.nprocs());
+        let local = v.local_range();
+        let world = p.world();
+        for r in 0..p.nprocs() {
+            if p.rank() == r {
+                let tx = v.tx_begin(p, TxKind::seq(0, 1), Access::ReadOnly);
+                v.load(p, &tx, 0);
+                v.load(p, &tx, local.start);
+                v.load(p, &tx, local.end - 1);
+                v.tx_end(p, tx);
+            }
+            world.barrier(p);
+        }
+        kmeans::mega::run(
+            p,
+            &kmeans::mega::MegaKMeans {
+                rt: &rt2,
+                url: URL.into(),
+                assign_url: None,
+                cfg,
+                pcache_bytes,
+            },
+        )
+    });
+
+    let full = cluster.telemetry().snapshot();
+    // Keep the printed report byte-identical across runs: histogram sums
+    // aggregate contention-order-dependent virtual delays (module docs).
+    let mut snap = full.clone();
+    snap.histograms.clear();
+    println!("mm_report — KMeans, {n_points} points, {NODES}x{PPN} procs");
+    // The makespan itself is a timing statistic, so stderr only.
+    eprintln!("(makespan {} virtual s)", secs(rep.makespan_ns));
+    print!("{}", snap.report());
+
+    save_text("mm_report.metrics.txt", &snap.report());
+    save_text("mm_report.metrics.csv", &full.metrics_csv());
+    save_text("mm_report.events.csv", &full.events_csv());
+}

@@ -23,14 +23,29 @@ use std::io::Write;
 
 /// Write a CSV string under `results/<name>.csv` (best effort).
 pub fn save_csv(name: &str, csv: &str) {
+    save_text(&format!("{name}.csv"), csv);
+}
+
+/// Write any text artifact under `results/<filename>` (best effort).
+/// Used for the per-run telemetry reports the figure binaries attach next
+/// to their CSVs.
+pub fn save_text(filename: &str, text: &str) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.csv"));
+        let path = dir.join(filename);
         if let Ok(mut f) = std::fs::File::create(&path) {
-            let _ = f.write_all(csv.as_bytes());
+            let _ = f.write_all(text.as_bytes());
             eprintln!("(wrote {})", path.display());
         }
     }
+}
+
+/// Snapshot a cluster's telemetry and attach the human-readable report
+/// plus the metrics CSV under `results/<stem>.metrics.{txt,csv}`.
+pub fn save_metrics_report(stem: &str, telemetry: &megammap_telemetry::Telemetry) {
+    let snap = telemetry.snapshot();
+    save_text(&format!("{stem}.metrics.txt"), &snap.report());
+    save_text(&format!("{stem}.metrics.csv"), &snap.metrics_csv());
 }
 
 /// Format a nanosecond duration as seconds with 3 decimals.

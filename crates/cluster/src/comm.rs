@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use megammap_sim::CollectiveShape;
+use megammap_telemetry::EventKind;
 
 use crate::proc::{ClusterState, Proc};
 use crate::rendezvous::Rendezvous;
@@ -100,6 +101,14 @@ impl Comm {
 
     fn charge(&self, p: &Proc, max_clock: u64, shape: CollectiveShape, bytes: u64) {
         let cost = p.net().collective_time(shape, self.size(), bytes);
+        let shape_name = match shape {
+            CollectiveShape::Tree => "tree",
+            CollectiveShape::Ring => "ring",
+            CollectiveShape::Flat => "flat",
+        };
+        let t = p.telemetry();
+        t.counter("comm", "collectives", &[("shape", shape_name)]).inc();
+        t.counter("comm", "bytes", &[("shape", shape_name)]).add(bytes);
         p.advance_to(max_clock + cost);
     }
 
@@ -107,8 +116,17 @@ impl Comm {
     /// `max(member clocks) + tree cost`.
     pub fn barrier(&self, p: &Proc) {
         let idx = self.rank_of(p);
+        let entered = p.now();
         let out = self.state.rv.exchange(idx, p.now(), Box::new(()), |_| Box::new(()) as AnyRes);
         self.charge(p, out.max_clock, CollectiveShape::Tree, 8);
+        p.telemetry().span(
+            EventKind::Barrier,
+            entered,
+            p.now(),
+            p.node() as u32,
+            0,
+            p.rank() as u64,
+        );
     }
 
     /// Elementwise allreduce over `f64` vectors. Contributions are folded in
@@ -116,22 +134,17 @@ impl Comm {
     pub fn allreduce_f64(&self, p: &Proc, vals: &[f64], op: ReduceOp) -> Vec<f64> {
         let idx = self.rank_of(p);
         let bytes = (vals.len() * 8) as u64;
-        let out = self.state.rv.exchange(
-            idx,
-            p.now(),
-            Box::new(vals.to_vec()),
-            move |contribs| {
-                let mut iter = contribs.into_iter().map(|b| {
-                    *b.downcast::<Vec<f64>>().expect("allreduce_f64 type mismatch")
-                });
-                let mut acc = iter.next().expect("nonempty comm");
-                for v in iter {
-                    assert_eq!(v.len(), acc.len(), "allreduce length mismatch");
-                    op.fold_f64(&mut acc, &v);
-                }
-                Box::new(acc) as AnyRes
-            },
-        );
+        let out = self.state.rv.exchange(idx, p.now(), Box::new(vals.to_vec()), move |contribs| {
+            let mut iter = contribs
+                .into_iter()
+                .map(|b| *b.downcast::<Vec<f64>>().expect("allreduce_f64 type mismatch"));
+            let mut acc = iter.next().expect("nonempty comm");
+            for v in iter {
+                assert_eq!(v.len(), acc.len(), "allreduce length mismatch");
+                op.fold_f64(&mut acc, &v);
+            }
+            Box::new(acc) as AnyRes
+        });
         // Reduce + broadcast: two tree phases.
         self.charge(p, out.max_clock, CollectiveShape::Tree, bytes * 2);
         out.result.downcast_ref::<Vec<f64>>().expect("result type").clone()
@@ -141,21 +154,16 @@ impl Comm {
     pub fn allreduce_u64(&self, p: &Proc, vals: &[u64], op: ReduceOp) -> Vec<u64> {
         let idx = self.rank_of(p);
         let bytes = (vals.len() * 8) as u64;
-        let out = self.state.rv.exchange(
-            idx,
-            p.now(),
-            Box::new(vals.to_vec()),
-            move |contribs| {
-                let mut iter = contribs.into_iter().map(|b| {
-                    *b.downcast::<Vec<u64>>().expect("allreduce_u64 type mismatch")
-                });
-                let mut acc = iter.next().expect("nonempty comm");
-                for v in iter {
-                    op.fold_u64(&mut acc, &v);
-                }
-                Box::new(acc) as AnyRes
-            },
-        );
+        let out = self.state.rv.exchange(idx, p.now(), Box::new(vals.to_vec()), move |contribs| {
+            let mut iter = contribs
+                .into_iter()
+                .map(|b| *b.downcast::<Vec<u64>>().expect("allreduce_u64 type mismatch"));
+            let mut acc = iter.next().expect("nonempty comm");
+            for v in iter {
+                op.fold_u64(&mut acc, &v);
+            }
+            Box::new(acc) as AnyRes
+        });
         self.charge(p, out.max_clock, CollectiveShape::Tree, bytes * 2);
         out.result.downcast_ref::<Vec<u64>>().expect("result type").clone()
     }
@@ -229,11 +237,8 @@ impl Comm {
     pub fn split(&self, p: &Proc, color: u64, key: usize) -> Comm {
         let idx = self.rank_of(p);
         let my_world = p.rank();
-        let out = self.state.rv.exchange(
-            idx,
-            p.now(),
-            Box::new((color, key, my_world)),
-            |contribs| {
+        let out =
+            self.state.rv.exchange(idx, p.now(), Box::new((color, key, my_world)), |contribs| {
                 let mut by_color: BTreeMap<u64, Vec<(usize, usize)>> = BTreeMap::new();
                 for c in contribs {
                     let (color, key, world) =
@@ -249,8 +254,7 @@ impl Comm {
                     );
                 }
                 Box::new(comms) as AnyRes
-            },
-        );
+            });
         self.charge(p, out.max_clock, CollectiveShape::Tree, 24);
         out.result
             .downcast_ref::<BTreeMap<u64, Comm>>()
@@ -308,9 +312,8 @@ mod tests {
     #[test]
     fn allgather_concatenates_in_rank_order() {
         let cluster = Cluster::new(ClusterSpec::new(1, 3));
-        let (outs, _) = cluster.run(|p| {
-            p.world().allgather(p, vec![p.rank() * 10, p.rank() * 10 + 1], 8)
-        });
+        let (outs, _) =
+            cluster.run(|p| p.world().allgather(p, vec![p.rank() * 10, p.rank() * 10 + 1], 8));
         for o in outs {
             assert_eq!(o, vec![0, 1, 10, 11, 20, 21]);
         }

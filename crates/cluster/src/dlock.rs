@@ -103,10 +103,7 @@ mod tests {
         sorted.sort();
         // The k-th process to get the lock finishes at >= k * (1 ms + rpc).
         for (k, t) in sorted.iter().enumerate() {
-            assert!(
-                *t >= (k as u64 + 1) * 1_000_100,
-                "holder {k} finished at {t}, too early"
-            );
+            assert!(*t >= (k as u64 + 1) * 1_000_100, "holder {k} finished at {t}, too early");
         }
         assert_eq!(lock.acquisitions(), 4);
     }

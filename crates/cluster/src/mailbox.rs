@@ -68,9 +68,7 @@ impl Mailbox {
     /// Non-blocking probe: does a matching envelope exist?
     pub fn probe(&self, src: usize, tag: u64) -> bool {
         let q = self.queue.lock();
-        q.iter().any(|e| {
-            (src == ANY_SOURCE || e.src == src) && (tag == ANY_TAG || e.tag == tag)
-        })
+        q.iter().any(|e| (src == ANY_SOURCE || e.src == src) && (tag == ANY_TAG || e.tag == tag))
     }
 
     /// Number of queued messages (diagnostics).

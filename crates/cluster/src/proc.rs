@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use megammap_sim::clock::Clock;
 use megammap_sim::{CpuModel, MemoryLedger, NetworkModel, SimTime};
+use megammap_telemetry::Telemetry;
 
 use crate::comm::Comm;
 use crate::mailbox::{Envelope, Mailbox};
@@ -18,17 +19,24 @@ pub(crate) struct ClusterState {
     pub(crate) node_mem: Vec<MemoryLedger>,
     pub(crate) mailboxes: Vec<Mailbox>,
     pub(crate) clocks: Vec<Arc<Clock>>,
+    /// The cluster-wide metrics registry + event ring; shared with the
+    /// network model and (via `Runtime::new`) the whole DSM stack.
+    pub(crate) telemetry: Telemetry,
 }
 
 impl ClusterState {
     pub(crate) fn new(spec: ClusterSpec) -> Self {
         let n = spec.nprocs();
+        let net = NetworkModel::new(spec.nodes, spec.link);
+        let telemetry = Telemetry::new();
+        net.attach_telemetry(&telemetry);
         Self {
-            net: NetworkModel::new(spec.nodes, spec.link),
+            net,
             node_mem: (0..spec.nodes).map(|_| MemoryLedger::new(spec.dram_per_node)).collect(),
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
             clocks: (0..n).map(|_| Arc::new(Clock::new())).collect(),
             spec,
+            telemetry,
         }
     }
 }
@@ -138,6 +146,11 @@ impl Proc {
     /// The network model (shared with the DSM runtime).
     pub fn net(&self) -> &NetworkModel {
         &self.state.net
+    }
+
+    /// The cluster-wide telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.state.telemetry
     }
 
     /// This process's virtual clock.

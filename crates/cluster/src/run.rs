@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use megammap_sim::NetworkModel;
+use megammap_telemetry::Telemetry;
 
 use crate::comm::Comm;
 use crate::proc::{ClusterState, Proc};
@@ -55,6 +56,13 @@ impl Cluster {
         &self.state.net
     }
 
+    /// The cluster-wide telemetry registry; the network model reports into
+    /// it, and `Runtime::new` adopts it so the whole DSM stack shares one
+    /// sink.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.state.telemetry
+    }
+
     /// Run `f` as one process per rank; returns per-rank results (in rank
     /// order) plus the [`RunReport`].
     ///
@@ -105,11 +113,7 @@ impl Cluster {
         F: FnOnce(&Proc) -> R + Send,
         R: Send,
     {
-        assert_eq!(
-            self.state.spec.nprocs(),
-            1,
-            "run_once requires a single-process cluster"
-        );
+        assert_eq!(self.state.spec.nprocs(), 1, "run_once requires a single-process cluster");
         let world = Comm::world(&self.state);
         let mut out: Option<R> = None;
         crossbeam::thread::scope(|s| {
@@ -133,7 +137,7 @@ impl Cluster {
         (out.expect("closure ran"), report)
     }
 
-    /// Reset clocks, ledgers and network between repetitions.
+    /// Reset clocks, ledgers, network and telemetry between repetitions.
     pub fn reset(&self) {
         for c in &self.state.clocks {
             c.reset();
@@ -142,6 +146,7 @@ impl Cluster {
             m.reset();
         }
         self.state.net.reset();
+        self.state.telemetry.reset();
     }
 }
 

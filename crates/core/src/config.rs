@@ -123,7 +123,9 @@ impl RuntimeConfig {
                 "pfs_bandwidth" => cfg.pfs_bandwidth = v.as_u64().ok_or("pfs_bandwidth: int")?,
                 "pfs_latency_ns" => cfg.pfs_latency_ns = v.as_u64().ok_or("pfs_latency_ns: int")?,
                 "workers_low" => cfg.workers_low = v.as_u64().ok_or("workers_low: int")? as usize,
-                "workers_high" => cfg.workers_high = v.as_u64().ok_or("workers_high: int")? as usize,
+                "workers_high" => {
+                    cfg.workers_high = v.as_u64().ok_or("workers_high: int")? as usize
+                }
                 "low_latency_threshold" => {
                     cfg.low_latency_threshold = v.as_u64().ok_or("low_latency_threshold: int")?
                 }
@@ -391,10 +393,7 @@ mod tests {
 
     #[test]
     fn yaml_scalars_and_nesting() {
-        let doc = yaml::parse(
-            "a: 1\nb: hello  # comment\nnested:\n  x: 2\n  y: 3.5\n",
-        )
-        .unwrap();
+        let doc = yaml::parse("a: 1\nb: hello  # comment\nnested:\n  x: 2\n  y: 3.5\n").unwrap();
         assert_eq!(doc.get("a").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("b").unwrap().as_str(), Some("hello"));
         assert_eq!(doc.get("nested").unwrap().get("x").unwrap().as_u64(), Some(2));
@@ -411,7 +410,10 @@ mod tests {
 
     #[test]
     fn yaml_list_of_mappings() {
-        let doc = yaml::parse("tiers:\n  - kind: dram\n    capacity: 100\n  - kind: nvme\n    capacity: 200\n").unwrap();
+        let doc = yaml::parse(
+            "tiers:\n  - kind: dram\n    capacity: 100\n  - kind: nvme\n    capacity: 200\n",
+        )
+        .unwrap();
         let list = doc.get("tiers").unwrap().as_list().unwrap();
         assert_eq!(list[0].get("kind").unwrap().as_str(), Some("dram"));
         assert_eq!(list[1].get("capacity").unwrap().as_u64(), Some(200));
@@ -434,9 +436,7 @@ mod tests {
     fn config_rejects_bad_input() {
         assert!(RuntimeConfig::from_yaml("page_size: nope\n").is_err());
         assert!(RuntimeConfig::from_yaml("unknown_key: 1\n").is_err());
-        assert!(
-            RuntimeConfig::from_yaml("tiers:\n  - kind: floppy\n    capacity: 10\n").is_err()
-        );
+        assert!(RuntimeConfig::from_yaml("tiers:\n  - kind: floppy\n    capacity: 10\n").is_err());
         // Non-power-of-two page size.
         assert!(RuntimeConfig::from_yaml("page_size: 1000\n").is_err());
         // Tiers out of order.

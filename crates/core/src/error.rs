@@ -76,7 +76,7 @@ mod tests {
     fn display_messages() {
         let e = MmError::OutOfBounds { index: 10, len: 4 };
         assert_eq!(e.to_string(), "index 10 out of bounds (len 4)");
-        let e: MmError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: MmError = io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         let e: MmError = DmshError::Full { requested: 7 }.into();
         assert!(matches!(e, MmError::Capacity(_)));

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use megammap_sim::SimTime;
+use megammap_telemetry::{Counter, Telemetry};
 
 use crate::rangeset::RangeSet;
 
@@ -43,7 +44,15 @@ pub struct CachedPage {
 impl CachedPage {
     /// A fresh, clean page.
     pub fn new(data: Vec<u8>, ready_at: SimTime) -> Self {
-        Self { data, dirty: RangeSet::new(), ready_at, score: 1.0, last_access: 0, prefetched: false, self_write_seq: None }
+        Self {
+            data,
+            dirty: RangeSet::new(),
+            ready_at,
+            score: 1.0,
+            last_access: 0,
+            prefetched: false,
+            self_write_seq: None,
+        }
     }
 }
 
@@ -62,6 +71,35 @@ pub struct PCacheStats {
     pub fast_hits: u64,
 }
 
+/// Registry-backed mirrors of [`PCacheStats`], shared across all pcaches
+/// (labeled per vector key) so `mm_report` and metric exports see global
+/// hit/miss totals under `pcache.*` / `prefetch.useful`. Mirroring is
+/// *deferred*: the hit fast path touches only the plain per-instance
+/// stats, and accumulated deltas are pushed on slow paths (miss,
+/// eviction) and at transaction boundaries — so an attached registry adds
+/// no atomics to the §III-E fast path.
+#[derive(Debug)]
+struct SharedCounters {
+    hits: Counter,
+    misses: Counter,
+    prefetch_hits: Counter,
+    evictions: Counter,
+    fast_hits: Counter,
+}
+
+impl SharedCounters {
+    fn new(t: &Telemetry, vec: &str) -> Self {
+        let labels = [("vec", vec)];
+        Self {
+            hits: t.counter("pcache", "hits", &labels),
+            misses: t.counter("pcache", "misses", &labels),
+            prefetch_hits: t.counter("prefetch", "useful", &labels),
+            evictions: t.counter("pcache", "evictions", &labels),
+            fast_hits: t.counter("pcache", "fast_hits", &labels),
+        }
+    }
+}
+
 /// A bounded per-process page cache for one vector.
 #[derive(Debug)]
 pub struct PCache {
@@ -73,6 +111,9 @@ pub struct PCache {
     last: Option<u64>,
     tick: u64,
     stats: PCacheStats,
+    shared: Option<SharedCounters>,
+    /// The stats values last pushed to `shared` (see [`Self::sync_shared`]).
+    synced: PCacheStats,
 }
 
 impl PCache {
@@ -87,7 +128,36 @@ impl PCache {
             last: None,
             tick: 0,
             stats: PCacheStats::default(),
+            shared: None,
+            synced: PCacheStats::default(),
         }
+    }
+
+    /// Mirror this cache's counters into `telemetry`, labeled with the
+    /// vector key. Per-instance [`stats`](Self::stats) are unaffected;
+    /// registry cells aggregate over every pcache of the same vector.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry, vec: &str) {
+        self.shared = Some(SharedCounters::new(telemetry, vec));
+    }
+
+    /// Push stat deltas accumulated since the last sync into the attached
+    /// registry counters. Runs automatically on misses and evictions;
+    /// vectors also call it at transaction boundaries so the registry is
+    /// exact whenever a snapshot can observe it.
+    pub fn sync_shared(&mut self) {
+        Self::sync(&self.shared, &self.stats, &mut self.synced);
+    }
+
+    /// Field-level sync so the miss path can run it while `pages` is
+    /// borrowed for the access return value.
+    fn sync(shared: &Option<SharedCounters>, stats: &PCacheStats, synced: &mut PCacheStats) {
+        let Some(s) = shared else { return };
+        s.hits.add(stats.hits - synced.hits);
+        s.misses.add(stats.misses - synced.misses);
+        s.prefetch_hits.add(stats.prefetch_hits - synced.prefetch_hits);
+        s.evictions.add(stats.evictions - synced.evictions);
+        s.fast_hits.add(stats.fast_hits - synced.fast_hits);
+        *synced = *stats;
     }
 
     /// Page size in bytes.
@@ -158,6 +228,9 @@ impl PCache {
             None => {
                 self.stats.misses += 1;
                 self.last = None;
+                // A miss is followed by a page fault, so the sync is free
+                // relative to the work that comes next.
+                Self::sync(&self.shared, &self.stats, &mut self.synced);
                 None
             }
         }
@@ -216,6 +289,7 @@ impl PCache {
             self.last = None;
         }
         self.stats.evictions += 1;
+        self.sync_shared();
         Some(cp)
     }
 
@@ -313,8 +387,8 @@ mod tests {
         c.access(0); // fast
         c.access(1); // not fast (last was 0)
         c.access(1); // fast
-        // insert(1) set last=1, so access(0) after it is slow; the two
-        // repeat accesses plus access(1)-after-access(1) are fast.
+                     // insert(1) set last=1, so access(0) after it is slow; the two
+                     // repeat accesses plus access(1)-after-access(1) are fast.
         assert_eq!(c.stats().fast_hits, 2);
     }
 
@@ -388,6 +462,46 @@ mod tests {
         c.insert(0, page(64));
         assert_eq!(c.used(), 64, "replacement must not double-count");
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn scripted_access_sequence_counts_and_mirrors_to_registry() {
+        let t = Telemetry::new();
+        let mut c = PCache::new(64, 4096);
+        c.attach_telemetry(&t, "mem://scripted");
+        // Scripted sequence: cold miss 3, install, two hits (second via the
+        // fast path), a prefetched page consumed once, a miss on 9, and an
+        // eviction.
+        assert!(c.access(3).is_none()); // miss
+        c.insert(3, page(64));
+        assert!(c.access(3).is_some()); // hit (+fast: insert set last=3)
+        assert!(c.access(3).is_some()); // hit, fast
+        let mut pf = page(64);
+        pf.prefetched = true;
+        c.insert(5, pf);
+        assert!(c.access(5).is_some()); // hit, fast (insert set last=5), prefetch consumed
+        assert!(c.access(9).is_none()); // miss
+        c.remove(5); // eviction
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.prefetch_hits, s.evictions, s.fast_hits), (3, 2, 1, 1, 3));
+        // The registry mirrors every count under the vector label.
+        assert_eq!(t.counter_total("pcache", "hits"), 3);
+        assert_eq!(t.counter_total("pcache", "misses"), 2);
+        assert_eq!(t.counter_total("prefetch", "useful"), 1);
+        assert_eq!(t.counter_total("pcache", "evictions"), 1);
+        assert_eq!(t.counter_total("pcache", "fast_hits"), 3);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("pcache", "hits", &[("vec", "mem://scripted")]), Some(3));
+    }
+
+    #[test]
+    fn detached_pcache_records_nothing_shared() {
+        let mut c = PCache::new(64, 256);
+        c.insert(0, page(64));
+        c.access(0);
+        c.access(1);
+        assert_eq!(c.stats().hits, 1, "per-instance stats work unattached");
+        assert_eq!(c.stats().misses, 1);
     }
 
     #[test]

@@ -272,8 +272,7 @@ mod tests {
         // Random pattern over a 2-page domain: touched pages reappear in
         // the upcoming window, so they must keep score 1 and stay resident.
         let mut env = MockEnv::new(2, 64, 2);
-        let mut tx =
-            Transaction::new(TxKind::rand(9, 0, 16), Access::ReadOnly, 8, 64);
+        let mut tx = Transaction::new(TxKind::rand(9, 0, 16), Access::ReadOnly, 8, 64);
         env.resident.insert(0);
         env.resident.insert(1);
         for k in 0..8 {

@@ -40,11 +40,7 @@ impl Directory {
     /// Record (or return the existing) home for a page. First writer wins —
     /// this is what pins Write-Local pages to the producing node.
     pub fn home_or_insert(&self, id: BlobId, home: usize) -> usize {
-        self.map
-            .lock()
-            .entry(id)
-            .or_insert(PageLoc { home, replicas: Vec::new() })
-            .home
+        self.map.lock().entry(id).or_insert(PageLoc { home, replicas: Vec::new() }).home
     }
 
     /// Add a replica node for a page (idempotent). No-op if unknown.

@@ -25,6 +25,7 @@ use bytes::Bytes;
 use megammap_cluster::Cluster;
 use megammap_formats::{Backends, DataObject, DataUrl, Scheme};
 use megammap_sim::{CollectiveShape, CpuModel, NetworkModel, SharedResource, SimTime};
+use megammap_telemetry::{Counter, EventKind, Histogram, Telemetry};
 use megammap_tiered::{BlobId, Dmsh, DmshError};
 use parking_lot::Mutex;
 
@@ -104,28 +105,58 @@ pub struct NodeRt {
 }
 
 /// Aggregate runtime statistics (diagnostics + benchmark output).
-#[derive(Debug, Default)]
+///
+/// Each field is a handle on a counter in the cluster-wide
+/// [`Telemetry`] registry, so the same numbers surface in metric
+/// snapshots, CSV/JSON exports and `mm_report` without double counting.
+#[derive(Debug)]
 pub struct Stats {
-    /// Synchronous page faults served.
-    pub faults: AtomicU64,
-    /// Prefetch (asynchronous) page reads issued.
-    pub prefetches: AtomicU64,
-    /// Reads served from a remote node.
-    pub remote_reads: AtomicU64,
-    /// Reads served from a local replica or local home.
-    pub local_reads: AtomicU64,
-    /// Writer tasks executed.
-    pub writes: AtomicU64,
-    /// Bytes staged in from backends.
-    pub staged_in: AtomicU64,
-    /// Bytes staged out to backends.
-    pub staged_out: AtomicU64,
-    /// Tasks routed to the low-latency pool.
-    pub tasks_low: AtomicU64,
-    /// Tasks routed to the high-latency pool.
-    pub tasks_high: AtomicU64,
-    /// Replicas invalidated on phase changes.
-    pub invalidations: AtomicU64,
+    /// Synchronous page faults served (`runtime.faults`).
+    pub faults: Counter,
+    /// Prefetch (asynchronous) page reads issued (`prefetch.issued`).
+    pub prefetches: Counter,
+    /// Reads served from a remote node (`runtime.remote_reads`).
+    pub remote_reads: Counter,
+    /// Reads served from a local replica or local home (`runtime.local_reads`).
+    pub local_reads: Counter,
+    /// Writer tasks executed (`runtime.writes`).
+    pub writes: Counter,
+    /// Bytes staged in from backends (`stager.staged_in_bytes`).
+    pub staged_in: Counter,
+    /// Bytes staged out to backends (`stager.staged_out_bytes`).
+    pub staged_out: Counter,
+    /// Tasks routed to the low-latency pool (`runtime.tasks_low`).
+    pub tasks_low: Counter,
+    /// Tasks routed to the high-latency pool (`runtime.tasks_high`).
+    pub tasks_high: Counter,
+    /// Replicas invalidated on phase changes (`runtime.invalidations`).
+    pub invalidations: Counter,
+    /// Virtual queueing delay (ns) between task submission and worker
+    /// dispatch — the simulation's observable for worker-pool queue depth.
+    pub queue_delay_ns: Histogram,
+}
+
+impl Stats {
+    fn new(t: &Telemetry) -> Self {
+        Self {
+            faults: t.counter("runtime", "faults", &[]),
+            prefetches: t.counter("prefetch", "issued", &[]),
+            remote_reads: t.counter("runtime", "remote_reads", &[]),
+            local_reads: t.counter("runtime", "local_reads", &[]),
+            writes: t.counter("runtime", "writes", &[]),
+            staged_in: t.counter("stager", "staged_in_bytes", &[]),
+            staged_out: t.counter("stager", "staged_out_bytes", &[]),
+            tasks_low: t.counter("runtime", "tasks_low", &[]),
+            tasks_high: t.counter("runtime", "tasks_high", &[]),
+            invalidations: t.counter("runtime", "invalidations", &[]),
+            queue_delay_ns: t.histogram(
+                "runtime",
+                "queue_delay_ns",
+                &[],
+                &[1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+            ),
+        }
+    }
 }
 
 /// A snapshot of [`Stats`].
@@ -165,6 +196,7 @@ struct RuntimeInner {
     next_id: AtomicU64,
     dir: directory::Directory,
     stats: Stats,
+    telemetry: Telemetry,
 }
 
 /// Handle on the MegaMmap runtime (cheaply cloneable).
@@ -177,9 +209,15 @@ impl Runtime {
     /// Deploy a runtime over a simulated cluster.
     pub fn new(cluster: &Cluster, cfg: RuntimeConfig) -> Self {
         cfg.validate().expect("invalid runtime config");
+        let telemetry = cluster.telemetry().clone();
         let nodes = (0..cluster.spec().nodes)
             .map(|n| NodeRt {
-                dmsh: Dmsh::new(format!("node{n}"), cfg.tiers.clone()),
+                dmsh: Dmsh::with_telemetry(
+                    format!("node{n}"),
+                    cfg.tiers.clone(),
+                    telemetry.clone(),
+                    n as u32,
+                ),
                 low: (0..cfg.workers_low)
                     .map(|w| {
                         SharedResource::new(format!("node{n}/wl{w}"), WORKER_DISPATCH_NS, WORKER_BW)
@@ -204,7 +242,8 @@ impl Runtime {
                 vectors: Mutex::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
                 dir: directory::Directory::new(),
-                stats: Stats::default(),
+                stats: Stats::new(&telemetry),
+                telemetry,
                 cfg,
             }),
         }
@@ -235,17 +274,22 @@ impl Runtime {
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.inner.stats;
         StatsSnapshot {
-            faults: s.faults.load(Ordering::Relaxed),
-            prefetches: s.prefetches.load(Ordering::Relaxed),
-            remote_reads: s.remote_reads.load(Ordering::Relaxed),
-            local_reads: s.local_reads.load(Ordering::Relaxed),
-            writes: s.writes.load(Ordering::Relaxed),
-            staged_in: s.staged_in.load(Ordering::Relaxed),
-            staged_out: s.staged_out.load(Ordering::Relaxed),
-            tasks_low: s.tasks_low.load(Ordering::Relaxed),
-            tasks_high: s.tasks_high.load(Ordering::Relaxed),
-            invalidations: s.invalidations.load(Ordering::Relaxed),
+            faults: s.faults.get(),
+            prefetches: s.prefetches.get(),
+            remote_reads: s.remote_reads.get(),
+            local_reads: s.local_reads.get(),
+            writes: s.writes.get(),
+            staged_in: s.staged_in.get(),
+            staged_out: s.staged_out.get(),
+            tasks_low: s.tasks_low.get(),
+            tasks_high: s.tasks_high.get(),
+            invalidations: s.invalidations.get(),
         }
+    }
+
+    /// The cluster-wide telemetry registry this runtime reports into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// Peak DRAM-tier usage across nodes (the DSM's memory footprint).
@@ -276,11 +320,8 @@ impl Runtime {
         }
         let url = DataUrl::parse(key)?;
         let nonvolatile = url.scheme != Scheme::Mem;
-        let backend: Option<Arc<dyn DataObject>> = if nonvolatile {
-            Some(Arc::from(self.inner.backends.open(&url)?))
-        } else {
-            None
-        };
+        let backend: Option<Arc<dyn DataObject>> =
+            if nonvolatile { Some(Arc::from(self.inner.backends.open(&url)?)) } else { None };
         let cfg_ps = page_size_hint.unwrap_or(self.inner.cfg.page_size);
         // Effective page size: the largest multiple of elem_size that fits,
         // so elements never straddle pages.
@@ -323,12 +364,32 @@ impl Runtime {
         let rt = &self.inner.nodes[node];
         let h = splitmix64(vec_id.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(page)) as usize;
         if bytes < self.inner.cfg.low_latency_threshold {
-            self.inner.stats.tasks_low.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.tasks_low.inc();
             &rt.low[h % rt.low.len()]
         } else {
-            self.inner.stats.tasks_high.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.tasks_high.inc();
             &rt.high[h % rt.high.len()]
         }
+    }
+
+    /// Dispatch a task to its worker and record queue telemetry: the
+    /// virtual delay between submission and dispatch plus a TaskDispatch
+    /// span event (`detail` = 0 for the low-latency pool, 1 for high).
+    fn dispatch(
+        &self,
+        node: usize,
+        vec_id: u64,
+        page: u64,
+        bytes: u64,
+        submit: SimTime,
+        reserve: u64,
+    ) -> SimTime {
+        let w = self.worker(node, vec_id, page, bytes);
+        let t = w.acquire_causal(submit, reserve);
+        self.inner.stats.queue_delay_ns.record(t.saturating_sub(submit));
+        let pool = u64::from(bytes >= self.inner.cfg.low_latency_threshold);
+        self.inner.telemetry.span(EventKind::TaskDispatch, submit, t, node as u32, bytes, pool);
+        t
     }
 
     /// Default home node for a page (hash placement for global policies).
@@ -353,11 +414,26 @@ impl Runtime {
         collective: Option<usize>,
         prefetch: bool,
     ) -> Result<(Vec<u8>, SimTime)> {
+        let out = self.read_page_impl(now, meta, page, my_node, collective, prefetch)?;
+        let kind = if prefetch { EventKind::PrefetchIssue } else { EventKind::PageFault };
+        self.inner.telemetry.span(kind, now, out.1, my_node as u32, out.0.len() as u64, page);
+        Ok(out)
+    }
+
+    fn read_page_impl(
+        &self,
+        now: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        my_node: usize,
+        collective: Option<usize>,
+        prefetch: bool,
+    ) -> Result<(Vec<u8>, SimTime)> {
         let s = &self.inner.stats;
         if prefetch {
-            s.prefetches.fetch_add(1, Ordering::Relaxed);
+            s.prefetches.inc();
         } else {
-            s.faults.fetch_add(1, Ordering::Relaxed);
+            s.faults.inc();
         }
         let id = BlobId::new(meta.id, page);
         let t = now + TASK_CONSTRUCT_NS;
@@ -378,7 +454,7 @@ impl Runtime {
                 self.finish_remote(ready, meta, id, home, my_node, data.len() as u64, collective);
             return Ok((data.to_vec(), done));
         }
-        s.local_reads.fetch_add(1, Ordering::Relaxed);
+        s.local_reads.inc();
         Ok((data.to_vec(), ready))
     }
 
@@ -392,14 +468,13 @@ impl Runtime {
         collective: Option<usize>,
     ) -> Result<(Vec<u8>, SimTime)> {
         let bytes_hint = meta.page_size;
-        let w = self.worker(node, meta.id, id.blob, bytes_hint);
-        let ws = w.acquire_causal(t, 0);
+        let ws = self.dispatch(node, meta.id, id.blob, bytes_hint, t, 0);
         let (data, dev_done) = self.inner.nodes[node].dmsh.get(ws, id).map_err(|e| match e {
             DmshError::NotFound(_) => MmError::Capacity("page vanished".into()),
             other => MmError::from(other),
         })?;
         if node == my_node {
-            self.inner.stats.local_reads.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.local_reads.inc();
             return Ok((data.to_vec(), dev_done));
         }
         let done =
@@ -415,6 +490,7 @@ impl Runtime {
 
     /// Network completion for a remote read; collective reads use a
     /// tree-shaped distribution instead of per-process unicast.
+    #[allow(clippy::too_many_arguments)]
     fn finish_remote(
         &self,
         dev_done: SimTime,
@@ -425,7 +501,7 @@ impl Runtime {
         len: u64,
         collective: Option<usize>,
     ) -> SimTime {
-        self.inner.stats.remote_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.remote_reads.inc();
         match collective {
             Some(n) => dev_done + self.inner.net.collective_time(CollectiveShape::Tree, n, len),
             None => self.inner.net.transfer(dev_done, src, dst, len),
@@ -450,18 +526,14 @@ impl Runtime {
         if dirty.is_empty() {
             return Ok(submit);
         }
-        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.writes.inc();
         let id = BlobId::new(meta.id, page);
         let policy = *meta.policy.lock();
-        let preferred = if policy == Policy::Local {
-            my_node
-        } else {
-            self.default_home(meta.id, page)
-        };
+        let preferred =
+            if policy == Policy::Local { my_node } else { self.default_home(meta.id, page) };
         let home = self.inner.dir.home_or_insert(id, preferred);
         let bytes = dirty.covered();
-        let w = self.worker(home, meta.id, page, bytes);
-        let mut t = w.acquire_causal(submit, bytes);
+        let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes);
         if home != my_node {
             t = t.max(self.inner.net.transfer(submit, my_node, home, bytes));
         }
@@ -473,7 +545,13 @@ impl Runtime {
         let mut done = t;
         if dmsh.contains(id) {
             for (s, e) in dirty.iter() {
-                done = done.max(self.put_range_with_drain(home, t, id, s, &data[s as usize..e as usize])?);
+                done = done.max(self.put_range_with_drain(
+                    home,
+                    t,
+                    id,
+                    s,
+                    &data[s as usize..e as usize],
+                )?);
             }
         } else {
             // First materialization of the page at its home: install a zero
@@ -515,6 +593,7 @@ impl Runtime {
     }
 
     /// `Dmsh::put` with emergency stage-out when every tier is full.
+    #[allow(clippy::too_many_arguments)]
     fn put_with_drain(
         &self,
         node: usize,
@@ -554,7 +633,14 @@ impl Runtime {
     // ---- scoring / organization -------------------------------------------
 
     /// Propagate a prefetcher score to the Data Organizer.
-    pub(crate) fn rescore(&self, now: SimTime, meta: &VectorMeta, page: u64, score: f64, node: usize) {
+    pub(crate) fn rescore(
+        &self,
+        now: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        score: f64,
+        node: usize,
+    ) {
         let id = BlobId::new(meta.id, page);
         if let Some(holder) = self.inner.dir.nearest_copy(id, node) {
             self.inner.nodes[holder].dmsh.rescore(
@@ -606,7 +692,7 @@ impl Runtime {
     pub(crate) fn invalidate_replicas(&self, meta: &VectorMeta) {
         for (id, node) in self.inner.dir.take_replicas(meta.id) {
             self.inner.nodes[node].dmsh.remove(id);
-            self.inner.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.invalidations.inc();
         }
     }
 
@@ -635,8 +721,7 @@ impl Runtime {
     /// and during the termination of the runtime, the stager task will be
     /// scheduled to serialize pages in the scache and persist them").
     pub fn shutdown(&self, now: SimTime) -> Result<SimTime> {
-        let vecs: Vec<Arc<VectorMeta>> =
-            self.inner.vectors.lock().values().cloned().collect();
+        let vecs: Vec<Arc<VectorMeta>> = self.inner.vectors.lock().values().cloned().collect();
         let mut done = now;
         for v in vecs {
             if v.nonvolatile {
@@ -885,9 +970,7 @@ mod tests {
         let cluster = Cluster::new(ClusterSpec::new(1, 1));
         let cfg = RuntimeConfig::memory_only(64 * 1024).with_page_size(4096);
         let rt = Runtime::new(&cluster, cfg);
-        let m = rt
-            .open_or_create_vector("obj://bkt/big.bin", 1, None, Some(32 * 4096))
-            .unwrap();
+        let m = rt.open_or_create_vector("obj://bkt/big.bin", 1, None, Some(32 * 4096)).unwrap();
         *m.policy.lock() = Policy::WriteGlobal;
         let ps = m.page_size as usize;
         let mut dirty = RangeSet::new();

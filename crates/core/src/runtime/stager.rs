@@ -12,14 +12,19 @@
 //! module adds the *cost model* (the shared PFS device plus serde CPU time)
 //! and the stage-in / stage-out / emergency-drain flows.
 
-use std::sync::atomic::Ordering;
-
 use bytes::Bytes;
 use megammap_sim::SimTime;
+use megammap_telemetry::EventKind;
 use megammap_tiered::BlobId;
 
 use crate::error::{MmError, Result};
 use crate::runtime::{Runtime, VectorMeta};
+
+/// Label value for per-backend byte counters: the URL scheme of the
+/// vector's key (`obj`, `file`, `h5`, ...).
+fn backend_label(meta: &VectorMeta) -> &str {
+    meta.key.split(':').next().unwrap_or("unknown")
+}
 
 /// Read one page of `meta` from its persistent backend (or synthesize a
 /// zero page for data never written), install it in `home`'s scache shard,
@@ -41,7 +46,15 @@ pub(crate) fn stage_in(
             // Charge the shared PFS device plus deserialization CPU.
             t = rt.inner_pfs().acquire_causal_pipelined(now, from_backend as u64);
             t += rt.inner_cpu().serde_ns(from_backend as u64);
-            rt.inner_stats().staged_in.fetch_add(from_backend as u64, Ordering::Relaxed);
+            rt.inner_stats().staged_in.add(from_backend as u64);
+            let tel = rt.telemetry();
+            tel.counter(
+                "stager",
+                "backend_bytes",
+                &[("backend", backend_label(meta)), ("dir", "in")],
+            )
+            .add(from_backend as u64);
+            tel.span(EventKind::StageIn, now, t, home as u32, from_backend as u64, page);
         }
     }
     let data = Bytes::from(buf);
@@ -72,11 +85,12 @@ pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Re
                 continue;
             }
             let (data, read_done) = dmsh.get(now, id).map_err(MmError::from)?;
-            let t = stage_out_page(rt, read_done, meta, backend.as_ref(), id.blob, &data)?;
+            let t = stage_out_page(rt, read_done, meta, backend.as_ref(), id.blob, &data, node)?;
             dmsh.mark_clean(id);
             done = done.max(t);
         }
     }
+    rt.telemetry().span(EventKind::Flush, now, done, 0, 0, meta.id);
     // Trim the backend to the vector's logical length (appends may have
     // grown it page-granularly) and persist format metadata.
     let logical = meta.len_bytes();
@@ -95,6 +109,7 @@ fn stage_out_page(
     backend: &dyn megammap_formats::DataObject,
     page: u64,
     data: &[u8],
+    node: usize,
 ) -> Result<SimTime> {
     // Clip the final page to the logical length so the backend never holds
     // trailing garbage.
@@ -107,7 +122,11 @@ fn stage_out_page(
     backend.write_at(start, &data[..len]).map_err(MmError::Io)?;
     let t = now + rt.inner_cpu().serde_ns(len as u64);
     let t = rt.inner_pfs().acquire_causal_pipelined(t, len as u64);
-    rt.inner_stats().staged_out.fetch_add(len as u64, Ordering::Relaxed);
+    rt.inner_stats().staged_out.add(len as u64);
+    let tel = rt.telemetry();
+    tel.counter("stager", "backend_bytes", &[("backend", backend_label(meta)), ("dir", "out")])
+        .add(len as u64);
+    tel.span(EventKind::StageOut, now, t, node as u32, len as u64, page);
     Ok(t)
 }
 
@@ -152,10 +171,11 @@ pub(crate) fn emergency_drain(
                 Ok(x) => x,
                 Err(_) => continue,
             };
-            let t = stage_out_page(rt, read_done, &vec, backend.as_ref(), id.blob, &data)?;
+            let t = stage_out_page(rt, read_done, &vec, backend.as_ref(), id.blob, &data, node)?;
             done = done.max(t);
         }
         dmsh.remove(id);
+        rt.telemetry().mark(EventKind::Eviction, now, node as u32, size, id.blob);
         // Keep the directory consistent: the page now lives only in the
         // backend (or as replicas elsewhere); forget this node's copy.
         if rt.inner_dir().nearest_copy(id, node) == Some(node) {
@@ -170,5 +190,6 @@ pub(crate) fn emergency_drain(
             "node {node} DMSH full of volatile data; cannot free {requested} bytes"
         )));
     }
+    rt.telemetry().counter("stager", "drain_bytes", &[]).add(freed);
     Ok(done)
 }

@@ -186,7 +186,7 @@ impl Transaction {
                 let first = from % len;
                 let span = count.min(len);
                 let mut out = Vec::new();
-                let mut push_range = |e0: u64, e1: u64, out: &mut Vec<u64>| {
+                let push_range = |e0: u64, e1: u64, out: &mut Vec<u64>| {
                     if e0 >= e1 {
                         return;
                     }

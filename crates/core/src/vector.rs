@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use megammap_cluster::Proc;
 use megammap_sim::SimTime;
+use megammap_telemetry::Counter;
 use parking_lot::Mutex;
 
 use crate::client::VecOptions;
@@ -42,6 +43,8 @@ pub struct MmVec<T: Element> {
     state: Mutex<VecState>,
     pgas: Mutex<Option<(usize, usize)>>,
     no_prefetch: bool,
+    /// Prefetched pages evicted before ever being read (`prefetch.wasted`).
+    wasted_prefetches: Counter,
     _t: PhantomData<T>,
 }
 
@@ -57,24 +60,18 @@ impl<T: Element> MmVec<T> {
     /// Create or attach to the shared vector named by `key` (a URL; see
     /// [`megammap_formats::url`]). Idempotent across processes.
     pub fn open(rt: &Runtime, _p: &Proc, key: &str, opts: VecOptions) -> Result<Self> {
-        let meta = rt.open_or_create_vector(
-            key,
-            T::SIZE as u64,
-            opts.page_size,
-            opts.initial_len,
-        )?;
+        let meta =
+            rt.open_or_create_vector(key, T::SIZE as u64, opts.page_size, opts.initial_len)?;
         let pcache_cap = opts.pcache_bytes.unwrap_or(rt.cfg().default_pcache);
+        let mut pcache = PCache::new(meta.page_size, pcache_cap);
+        pcache.attach_telemetry(rt.telemetry(), key);
         Ok(Self {
             meta: meta.clone(),
             rt: rt.clone(),
-            state: Mutex::new(VecState {
-                pcache: PCache::new(meta.page_size, pcache_cap),
-                tx: None,
-                tx_seq: 0,
-                last_flush_done: 0,
-            }),
+            state: Mutex::new(VecState { pcache, tx: None, tx_seq: 0, last_flush_done: 0 }),
             pgas: Mutex::new(None),
             no_prefetch: opts.no_prefetch,
+            wasted_prefetches: rt.telemetry().counter("prefetch", "wasted", &[("vec", key)]),
             _t: PhantomData,
         })
     }
@@ -220,6 +217,10 @@ impl<T: Element> MmVec<T> {
         );
         self.commit_dirty(p, &mut st);
         st.tx = None;
+        // Registry mirroring is deferred off the hit fast path; publish the
+        // accumulated deltas now so snapshots taken between transactions
+        // see exact pcache totals.
+        st.pcache.sync_shared();
     }
 
     // ---- element access ---------------------------------------------------
@@ -464,7 +465,8 @@ impl<T: Element> MmVec<T> {
         // Miss: make room, then fault.
         self.make_room(p, st)?;
         let collective = st.tx.as_ref().and_then(|tx| tx.collective);
-        let (data, done) = self.rt.read_page(p.now(), &self.meta, page, p.node(), collective, false)?;
+        let (data, done) =
+            self.rt.read_page(p.now(), &self.meta, page, p.node(), collective, false)?;
         p.advance_to(done);
         // The device/worker/network charges above already model the copy
         // into the process's buffer (the task ships the page).
@@ -502,6 +504,10 @@ impl<T: Element> MmVec<T> {
     /// process pays only the memcpy), clean pages are dropped.
     fn evict_page(&self, p: &Proc, st: &mut VecState, page: u64) {
         let Some(cp) = st.pcache.remove(page) else { return };
+        if cp.prefetched {
+            // Fetched by the prefetcher but evicted before any access.
+            self.wasted_prefetches.inc();
+        }
         if !cp.dirty.is_empty() {
             p.advance(p.cpu().memcpy_ns(cp.dirty.covered()));
             let _ = self
@@ -599,8 +605,14 @@ impl<T: Element> PrefetchEnv for VecEnv<'_, T> {
             }
         }
         let collective = self.st.tx.as_ref().and_then(|tx| tx.collective);
-        match self.vec.rt.read_page(self.p.now(), &self.vec.meta, page, self.p.node(), collective, true)
-        {
+        match self.vec.rt.read_page(
+            self.p.now(),
+            &self.vec.meta,
+            page,
+            self.p.node(),
+            collective,
+            true,
+        ) {
             Ok((data, ready_at)) => {
                 let mut cp = CachedPage::new(data, ready_at);
                 cp.prefetched = true;
@@ -676,7 +688,8 @@ mod tests {
     fn pgas_partitions_cover_exactly() {
         let (cluster, rt) = fixture(1, 4);
         let (outs, _) = cluster.run(move |p| {
-            let v: MmVec<u8> = MmVec::open(&rt, p, "mem://pg", VecOptions::new().len(1003)).unwrap();
+            let v: MmVec<u8> =
+                MmVec::open(&rt, p, "mem://pg", VecOptions::new().len(1003)).unwrap();
             v.pgas(p, p.rank(), p.nprocs());
             (v.local_off(), v.local_len())
         });
@@ -716,13 +729,9 @@ mod tests {
     fn sequential_reads_prefetch() {
         let (cluster, rt) = fixture(1, 1);
         cluster.run(move |p| {
-            let v: MmVec<u64> = MmVec::open(
-                &rt,
-                p,
-                "mem://pf",
-                VecOptions::new().len(4096).pcache(8 * 1024),
-            )
-            .unwrap();
+            let v: MmVec<u64> =
+                MmVec::open(&rt, p, "mem://pf", VecOptions::new().len(4096).pcache(8 * 1024))
+                    .unwrap();
             // Populate through the DSM.
             let tx = v.tx_begin(p, TxKind::seq(0, 4096), Access::WriteGlobal);
             for i in 0..4096 {
@@ -783,8 +792,7 @@ mod tests {
             let mut seen: Vec<u32> = (0..v.len()).map(|i| v.load(p, &tx, i)).collect();
             v.tx_end(p, tx);
             seen.sort_unstable();
-            let mut expect: Vec<u32> =
-                (0..100).flat_map(|k| [k, 10_000 + k]).collect();
+            let mut expect: Vec<u32> = (0..100).flat_map(|k| [k, 10_000 + k]).collect();
             expect.sort_unstable();
             assert_eq!(seen, expect);
         });
@@ -842,13 +850,9 @@ mod tests {
     fn flush_wait_advances_clock_past_async() {
         let (cluster, rt) = fixture(1, 1);
         cluster.run(move |p| {
-            let v: MmVec<u8> = MmVec::open(
-                &rt,
-                p,
-                "obj://bkt/flush.bin",
-                VecOptions::new().len(64 * 1024),
-            )
-            .unwrap();
+            let v: MmVec<u8> =
+                MmVec::open(&rt, p, "obj://bkt/flush.bin", VecOptions::new().len(64 * 1024))
+                    .unwrap();
             let tx = v.tx_begin(p, TxKind::seq(0, 64 * 1024), Access::WriteGlobal);
             for i in 0..64 * 1024 {
                 v.store(p, &tx, i, (i % 251) as u8);

@@ -74,8 +74,7 @@ fn run_model(key: &str, page_size: u64, pcache: u64, tiers: Vec<DeviceSpec>, ops
                         continue;
                     }
                     v.write_slice(p, *start, vals).unwrap();
-                    model[*start as usize..*start as usize + vals.len()]
-                        .copy_from_slice(vals);
+                    model[*start as usize..*start as usize + vals.len()].copy_from_slice(vals);
                 }
                 Op::Append { val } => {
                     let idx = v.append(p, &tx, *val);
@@ -84,11 +83,7 @@ fn run_model(key: &str, page_size: u64, pcache: u64, tiers: Vec<DeviceSpec>, ops
                 }
                 Op::TxBoundary => {
                     v.tx_end(p, tx);
-                    tx = v.tx_begin(
-                        p,
-                        TxKind::seq(0, v.len()),
-                        Access::ReadWriteGlobal,
-                    );
+                    tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::ReadWriteGlobal);
                 }
             }
             assert_eq!(v.len(), model.len() as u64, "length agreement");

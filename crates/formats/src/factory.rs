@@ -49,11 +49,8 @@ impl Backends {
                 Ok(Box::new(reg.entry(url.path.clone()).or_default().clone()))
             }
             Scheme::Obj => {
-                let (bucket, key) = url
-                    .path
-                    .trim_start_matches('/')
-                    .split_once('/')
-                    .ok_or_else(|| {
+                let (bucket, key) =
+                    url.path.trim_start_matches('/').split_once('/').ok_or_else(|| {
                         io::Error::new(io::ErrorKind::InvalidInput, "obj:// needs bucket/key")
                     })?;
                 Ok(Box::new(self.objstore.open(bucket, key)))
@@ -64,7 +61,8 @@ impl Backends {
                     let members: io::Result<Vec<Box<dyn DataObject>>> = paths
                         .iter()
                         .map(|p| {
-                            PosixObject::open_existing(p).map(|o| Box::new(o) as Box<dyn DataObject>)
+                            PosixObject::open_existing(p)
+                                .map(|o| Box::new(o) as Box<dyn DataObject>)
                         })
                         .collect();
                     Ok(Box::new(MultiObject::new(members?)?))
@@ -95,13 +93,12 @@ impl Backends {
     pub fn exists(&self, url: &DataUrl) -> bool {
         match url.scheme {
             Scheme::Mem => self.mem.lock().contains_key(&url.path),
-            Scheme::Obj => {
-                url.path
-                    .trim_start_matches('/')
-                    .split_once('/')
-                    .map(|(b, k)| self.objstore.get(b, k).is_some())
-                    .unwrap_or(false)
-            }
+            Scheme::Obj => url
+                .path
+                .trim_start_matches('/')
+                .split_once('/')
+                .map(|(b, k)| self.objstore.get(b, k).is_some())
+                .unwrap_or(false),
             Scheme::File => {
                 if url.is_glob() {
                     glob::expand(&url.path).is_ok()

@@ -106,10 +106,7 @@ impl H5File {
         let dsets = decode_toc(&toc_bytes)?;
         let data_end = toc_off;
         Ok(Self {
-            inner: Arc::new(Inner {
-                obj,
-                toc: RwLock::new(Toc { dsets, data_end, dirty: false }),
-            }),
+            inner: Arc::new(Inner { obj, toc: RwLock::new(Toc { dsets, data_end, dirty: false }) }),
         })
     }
 
@@ -128,7 +125,12 @@ impl H5File {
 
     /// Create a dataset of `dtype` with `len_elems` elements (zero-filled).
     /// Errors if the name exists.
-    pub fn create_dataset(&self, name: &str, dtype: DType, len_elems: u64) -> io::Result<H5Dataset> {
+    pub fn create_dataset(
+        &self,
+        name: &str,
+        dtype: DType,
+        len_elems: u64,
+    ) -> io::Result<H5Dataset> {
         let bytes = len_elems * dtype.size() as u64;
         let mut toc = self.inner.toc.write();
         if toc.dsets.contains_key(name) {
@@ -171,14 +173,7 @@ impl H5File {
     /// pass `""` for all.
     pub fn list(&self, group: &str) -> Vec<String> {
         let prefix = if group.is_empty() { String::new() } else { format!("{group}/") };
-        self.inner
-            .toc
-            .read()
-            .dsets
-            .keys()
-            .filter(|k| k.starts_with(&prefix))
-            .cloned()
-            .collect()
+        self.inner.toc.read().dsets.keys().filter(|k| k.starts_with(&prefix)).cloned().collect()
     }
 
     /// Delete a dataset (its extent is leaked until compaction).
@@ -330,10 +325,7 @@ impl DataObject for H5Dataset {
         // the extent may hold stale bytes (from a truncation or the region
         // a relocation landed on) that must never become readable.
         if off > m.len {
-            self.file
-                .inner
-                .obj
-                .write_at(m.off + m.len, &vec![0u8; (off - m.len) as usize])?;
+            self.file.inner.obj.write_at(m.off + m.len, &vec![0u8; (off - m.len) as usize])?;
         }
         self.file.inner.obj.write_at(m.off + off, data)?;
         if end > m.len {

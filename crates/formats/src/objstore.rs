@@ -28,12 +28,7 @@ impl ObjStore {
     /// Open (creating if absent) the object at `bucket/key`.
     pub fn open(&self, bucket: &str, key: &str) -> MemObject {
         let mut buckets = self.buckets.write();
-        buckets
-            .entry(bucket.to_string())
-            .or_default()
-            .entry(key.to_string())
-            .or_default()
-            .clone()
+        buckets.entry(bucket.to_string()).or_default().entry(key.to_string()).or_default().clone()
     }
 
     /// Get the object if it exists.
@@ -50,11 +45,7 @@ impl ObjStore {
 
     /// Delete an object; `true` if it existed.
     pub fn delete(&self, bucket: &str, key: &str) -> bool {
-        self.buckets
-            .write()
-            .get_mut(bucket)
-            .map(|b| b.remove(key).is_some())
-            .unwrap_or(false)
+        self.buckets.write().get_mut(bucket).map(|b| b.remove(key).is_some()).unwrap_or(false)
     }
 
     /// List keys in a bucket with the given prefix.
@@ -68,12 +59,7 @@ impl ObjStore {
 
     /// Total bytes stored (diagnostics).
     pub fn total_bytes(&self) -> u64 {
-        self.buckets
-            .read()
-            .values()
-            .flat_map(|b| b.values())
-            .map(|o| o.len().unwrap_or(0))
-            .sum()
+        self.buckets.read().values().flat_map(|b| b.values()).map(|o| o.len().unwrap_or(0)).sum()
     }
 }
 

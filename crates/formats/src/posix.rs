@@ -25,7 +25,8 @@ impl PosixObject {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
         Ok(Self { path, file: Mutex::new(file) })
     }
 

@@ -478,8 +478,7 @@ mod tests {
         let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
         assert!(f.append_row_group(&[col_f32(&[1.0])]).is_err(), "wrong column count");
         assert!(
-            f.append_row_group(&[col_f32(&[1.0]), col_f32(&[2.0, 9.0]), col_f32(&[3.0])])
-                .is_err(),
+            f.append_row_group(&[col_f32(&[1.0]), col_f32(&[2.0, 9.0]), col_f32(&[3.0])]).is_err(),
             "ragged rows"
         );
     }
@@ -493,18 +492,15 @@ mod tests {
         assert_eq!(rec.len().unwrap(), 2 * 12);
         let mut buf = [0u8; 24];
         rec.read_at(0, &mut buf).unwrap();
-        let vals: Vec<f32> = buf
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let vals: Vec<f32> =
+            buf.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }
 
     #[test]
     fn record_view_scatters_writes() {
         let f = PqFile::create(Box::new(MemObject::new()), xyz_schema()).unwrap();
-        f.append_row_group(&[col_f32(&[0.0; 3]), col_f32(&[0.0; 3]), col_f32(&[0.0; 3])])
-            .unwrap();
+        f.append_row_group(&[col_f32(&[0.0; 3]), col_f32(&[0.0; 3]), col_f32(&[0.0; 3])]).unwrap();
         let rec = PqRecords::new(f.clone());
         // Write record 1 = (7, 8, 9).
         let bytes = col_f32(&[7.0, 8.0, 9.0]);

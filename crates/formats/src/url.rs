@@ -80,9 +80,8 @@ impl DataUrl {
     /// The `:params` separator is the **last** colon after the authority
     /// part, so Windows-style or nested paths keep working.
     pub fn parse(key: &str) -> Result<Self, UrlError> {
-        let (scheme_str, rest) = key
-            .split_once("://")
-            .ok_or_else(|| UrlError(format!("missing '://' in {key:?}")))?;
+        let (scheme_str, rest) =
+            key.split_once("://").ok_or_else(|| UrlError(format!("missing '://' in {key:?}")))?;
         let scheme = Scheme::parse(scheme_str)
             .ok_or_else(|| UrlError(format!("unknown scheme {scheme_str:?}")))?;
         if rest.is_empty() {

@@ -24,7 +24,11 @@ impl<'a> SparkContext<'a> {
     /// Create an executor context on this process. Compute runs on the JVM
     /// cost model regardless of the cluster's native CPU setting.
     pub fn new(p: &'a Proc) -> Self {
-        Self { p, cpu: p.cpu().with_slowdown(p.cpu().slowdown.max(1.8)), heap: RefCell::new(Vec::new()) }
+        Self {
+            p,
+            cpu: p.cpu().with_slowdown(p.cpu().slowdown.max(1.8)),
+            heap: RefCell::new(Vec::new()),
+        }
     }
 
     /// Whether this process is the driver.

@@ -64,7 +64,11 @@ impl<'s, 'a, T: Clone + Send + 'static> Rdd<'s, 'a, T> {
     }
 
     /// Narrow transformation: keep records matching `pred`.
-    pub fn filter(&self, flops_per_elem: u64, pred: impl FnMut(&&T) -> bool) -> Result<Rdd<'s, 'a, T>, OomError> {
+    pub fn filter(
+        &self,
+        flops_per_elem: u64,
+        pred: impl FnMut(&&T) -> bool,
+    ) -> Result<Rdd<'s, 'a, T>, OomError> {
         let out: Vec<T> = self.data.iter().filter(pred).cloned().collect();
         let p = self.ctx.p;
         p.advance(self.ctx.cpu.flops_ns(flops_per_elem * self.data.len() as u64));
@@ -123,10 +127,7 @@ impl<'s, 'a, T: Clone + Send + 'static> Rdd<'s, 'a, T> {
     /// Wide transformation: redistribute records so that each record lands
     /// on executor `key(r) % nprocs`. The full shuffle write (serialize) and
     /// shuffle read (deserialize) are charged, plus a resident copy.
-    pub fn shuffle_by_key(
-        &self,
-        mut key: impl FnMut(&T) -> u64,
-    ) -> Result<Rdd<'s, 'a, T>, OomError>
+    pub fn shuffle_by_key(&self, mut key: impl FnMut(&T) -> u64) -> Result<Rdd<'s, 'a, T>, OomError>
     where
         T: Sync,
     {
@@ -134,15 +135,11 @@ impl<'s, 'a, T: Clone + Send + 'static> Rdd<'s, 'a, T> {
         let n = p.nprocs() as u64;
         // Shuffle write: serialize all outgoing records.
         p.advance(self.ctx.cpu.serde_ns(self.bytes()));
-        let tagged: Vec<(u64, T)> =
-            self.data.iter().map(|r| (key(r) % n, r.clone())).collect();
+        let tagged: Vec<(u64, T)> = self.data.iter().map(|r| (key(r) % n, r.clone())).collect();
         let world = p.world();
         let everything = world.allgather(p, tagged, self.elem_bytes + 8);
-        let mine: Vec<T> = everything
-            .into_iter()
-            .filter(|(k, _)| *k == p.rank() as u64)
-            .map(|(_, r)| r)
-            .collect();
+        let mine: Vec<T> =
+            everything.into_iter().filter(|(k, _)| *k == p.rank() as u64).map(|(_, r)| r).collect();
         // Shuffle read: deserialize what landed here; materialize it.
         p.advance(self.ctx.cpu.serde_ns(mine.len() as u64 * self.elem_bytes));
         self.ctx.heap_alloc(mine.len() as u64 * self.elem_bytes)?;
@@ -189,9 +186,7 @@ mod tests {
         let c = cluster(2, 2);
         let (outs, _) = c.run(|p| {
             let sc = SparkContext::new(p);
-            let rdd = sc
-                .load_partition(vec![p.rank() as i64 + 1; 10], 8)
-                .unwrap();
+            let rdd = sc.load_partition(vec![p.rank() as i64 + 1; 10], 8).unwrap();
             rdd.reduce(1, 0i64, |a, b| a + b, |a, b| a + b)
         });
         // Partitions hold 10 copies of rank+1: total = 10*(1+2+3+4).

@@ -61,10 +61,7 @@ impl Clock {
     pub fn advance_to(&self, t: SimTime) -> SimTime {
         let mut cur = self.now.load(Ordering::Acquire);
         while t > cur {
-            match self
-                .now
-                .compare_exchange_weak(cur, t, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.now.compare_exchange_weak(cur, t, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return t,
                 Err(actual) => cur = actual,
             }

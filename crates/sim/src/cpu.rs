@@ -50,8 +50,7 @@ impl CpuModel {
     /// Nanoseconds to stream `bytes` through this process.
     #[inline]
     pub fn mem_ns(&self, bytes: u64) -> u64 {
-        let base =
-            (bytes as u128 * NS_PER_SEC as u128) / self.mem_bytes_per_sec.max(1) as u128;
+        let base = (bytes as u128 * NS_PER_SEC as u128) / self.mem_bytes_per_sec.max(1) as u128;
         (base as f64 * self.slowdown) as u64
     }
 

@@ -276,9 +276,8 @@ mod tests {
 
     #[test]
     fn presets_are_strictly_slower_down_the_hierarchy() {
-        let caps = 1 * GIB;
-        let specs: Vec<_> =
-            TierKind::ALL.iter().map(|&k| DeviceSpec::preset(k, caps)).collect();
+        let caps = GIB;
+        let specs: Vec<_> = TierKind::ALL.iter().map(|&k| DeviceSpec::preset(k, caps)).collect();
         for w in specs.windows(2) {
             assert!(
                 w[0].bandwidth > w[1].bandwidth,
@@ -292,8 +291,7 @@ mod tests {
 
     #[test]
     fn perf_scores_monotone() {
-        let specs: Vec<_> =
-            TierKind::ALL.iter().map(|&k| DeviceSpec::preset(k, GIB)).collect();
+        let specs: Vec<_> = TierKind::ALL.iter().map(|&k| DeviceSpec::preset(k, GIB)).collect();
         for w in specs.windows(2) {
             assert!(
                 w[0].perf_score() > w[1].perf_score(),

@@ -89,12 +89,7 @@ impl MemoryLedger {
                     capacity: self.capacity,
                 });
             }
-            match self.used.compare_exchange_weak(
-                cur,
-                new,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.used.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     self.bump_peak(new);
                     return Ok(());
@@ -122,12 +117,7 @@ impl MemoryLedger {
         let mut cur = self.used.load(Ordering::Acquire);
         loop {
             let new = cur.saturating_sub(bytes);
-            match self.used.compare_exchange_weak(
-                cur,
-                new,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self.used.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }

@@ -7,7 +7,9 @@
 //! [`NetworkModel`] owns per-node NIC timelines so that concurrent transfers
 //! into one node contend.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use megammap_telemetry::Telemetry;
 
 use crate::clock::SimTime;
 use crate::resource::SharedResource;
@@ -53,9 +55,7 @@ impl LinkProfile {
 
     /// Time for one message of `bytes` on an uncontended link.
     pub fn message_time(&self, bytes: u64) -> u64 {
-        self.latency_ns
-            + self.sw_overhead_ns
-            + crate::clock::transfer_ns(bytes, self.bandwidth)
+        self.latency_ns + self.sw_overhead_ns + crate::clock::transfer_ns(bytes, self.bandwidth)
     }
 }
 
@@ -82,6 +82,7 @@ struct NetInner {
     inter: LinkProfile,
     intra: LinkProfile,
     nics: Vec<SharedResource>,
+    telemetry: OnceLock<Telemetry>,
 }
 
 impl NetworkModel {
@@ -92,8 +93,20 @@ impl NetworkModel {
             .map(|n| SharedResource::new(format!("node{n}/nic"), 0, inter.bandwidth))
             .collect();
         Self {
-            inner: Arc::new(NetInner { inter, intra: LinkProfile::loopback(), nics }),
+            inner: Arc::new(NetInner {
+                inter,
+                intra: LinkProfile::loopback(),
+                nics,
+                telemetry: OnceLock::new(),
+            }),
         }
+    }
+
+    /// Attach a telemetry sink: every subsequent transfer records per-link
+    /// `net.bytes` / `net.msgs` counters labeled `link=src->dst`. The first
+    /// attach wins; later calls are ignored.
+    pub fn attach_telemetry(&self, telemetry: &Telemetry) {
+        let _ = self.inner.telemetry.set(telemetry.clone());
     }
 
     /// Number of nodes this network connects.
@@ -111,6 +124,11 @@ impl NetworkModel {
     ///
     /// Same-node transfers cost loopback time and never contend on NICs.
     pub fn transfer(&self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        if let Some(t) = self.inner.telemetry.get() {
+            let link = format!("{src}->{dst}");
+            t.counter("net", "bytes", &[("link", &link)]).add(bytes);
+            t.counter("net", "msgs", &[("link", &link)]).inc();
+        }
         if src == dst {
             return now + self.inner.intra.message_time(bytes);
         }

@@ -1,0 +1,159 @@
+//! Structured event traces: spans of virtual time in a bounded ring.
+
+use crate::SimTime;
+use std::collections::VecDeque;
+
+/// What happened. Variants cover the DSM stack's interesting transitions;
+/// `as u8` ordinals are part of the deterministic sort order, so new kinds
+/// belong at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A page miss forced a fault (detail = page index).
+    PageFault = 0,
+    /// The prefetcher issued a speculative read (detail = page index).
+    PrefetchIssue = 1,
+    /// An access landed on a prefetched page (detail = page index).
+    PrefetchHit = 2,
+    /// A page left the pcache (detail = page index).
+    Eviction = 3,
+    /// A blob moved down a tier (detail = destination tier ordinal).
+    Demotion = 4,
+    /// A blob moved up a tier (detail = destination tier ordinal).
+    Promotion = 5,
+    /// Dirty data flushed to its home (detail = page index).
+    Flush = 6,
+    /// A memory task entered a worker pool (detail = 0 low-lat, 1 high-lat).
+    TaskDispatch = 7,
+    /// A rank hit a barrier (detail = rank).
+    Barrier = 8,
+    /// A vector staged in from a backend (detail = page index).
+    StageIn = 9,
+    /// A vector staged out to a backend (detail = page index).
+    StageOut = 10,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in CSV/JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PageFault => "page_fault",
+            EventKind::PrefetchIssue => "prefetch_issue",
+            EventKind::PrefetchHit => "prefetch_hit",
+            EventKind::Eviction => "eviction",
+            EventKind::Demotion => "demotion",
+            EventKind::Promotion => "promotion",
+            EventKind::Flush => "flush",
+            EventKind::TaskDispatch => "task_dispatch",
+            EventKind::Barrier => "barrier",
+            EventKind::StageIn => "stage_in",
+            EventKind::StageOut => "stage_out",
+        }
+    }
+}
+
+/// One traced span. `t_begin == t_end` marks an instantaneous event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event class.
+    pub kind: EventKind,
+    /// Node (rank) the event happened on.
+    pub node: u32,
+    /// Span start, virtual ns.
+    pub t_begin: SimTime,
+    /// Span end, virtual ns.
+    pub t_end: SimTime,
+    /// Bytes moved, if the event moves data (else 0).
+    pub bytes: u64,
+    /// Kind-specific payload (page index, tier ordinal, rank, …).
+    pub detail: u64,
+}
+
+/// Bounded FIFO of events; when full, the oldest event is dropped and
+/// counted, so long runs degrade gracefully instead of growing without
+/// bound.
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Append, evicting the oldest event when full.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were evicted since creation/clear.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop everything and zero the dropped count.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(detail: u64) -> Event {
+        Event {
+            kind: EventKind::PageFault,
+            node: 0,
+            t_begin: detail,
+            t_end: detail,
+            bytes: 0,
+            detail,
+        }
+    }
+
+    #[test]
+    fn ring_is_fifo_with_drop_count() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let details: Vec<u64> = r.iter().map(|e| e.detail).collect();
+        assert_eq!(details, vec![2, 3, 4]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::PageFault.name(), "page_fault");
+        assert_eq!(EventKind::StageOut.name(), "stage_out");
+    }
+}

@@ -1,0 +1,329 @@
+//! Exporters: CSV and JSON serialisations of a [`Snapshot`], plus a
+//! human-readable per-node/per-tier summary report.
+//!
+//! Everything renders from the deterministic snapshot (key-sorted metrics,
+//! time-sorted events), so identical runs yield byte-identical output.
+
+use crate::{Event, MetricKey, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn labels_json(key: &MetricKey) -> String {
+    let pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn labels_csv(key: &MetricKey) -> String {
+    let pairs: Vec<String> = key.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    pairs.join(";")
+}
+
+impl Snapshot {
+    /// Counters and gauges as CSV: `kind,subsystem,name,labels,value`.
+    pub fn metrics_csv(&self) -> String {
+        let mut out = String::from("kind,subsystem,name,labels,value\n");
+        for (key, value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "counter,{},{},{},{}",
+                key.subsystem,
+                key.name,
+                labels_csv(key),
+                value
+            );
+        }
+        for (key, value) in &self.gauges {
+            let _ =
+                writeln!(out, "gauge,{},{},{},{}", key.subsystem, key.name, labels_csv(key), value);
+        }
+        out
+    }
+
+    /// Events as CSV: `kind,node,t_begin_ns,t_end_ns,bytes,detail`.
+    pub fn events_csv(&self) -> String {
+        let mut out = String::from("kind,node,t_begin_ns,t_end_ns,bytes,detail\n");
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                e.kind.name(),
+                e.node,
+                e.t_begin,
+                e.t_end,
+                e.bytes,
+                e.detail
+            );
+        }
+        out
+    }
+
+    /// Whole snapshot as one JSON document (hand-rolled; integers and
+    /// strings only, so no float-formatting nondeterminism).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                format!(
+                    "{{\"subsystem\":\"{}\",\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                    k.subsystem,
+                    k.name,
+                    labels_json(k),
+                    v
+                )
+            })
+            .collect();
+        out.push_str(&counters.join(","));
+        out.push_str("],\"gauges\":[");
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| {
+                format!(
+                    "{{\"subsystem\":\"{}\",\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                    k.subsystem,
+                    k.name,
+                    labels_json(k),
+                    v
+                )
+            })
+            .collect();
+        out.push_str(&gauges.join(","));
+        out.push_str("],\"histograms\":[");
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+                let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+                format!(
+                    "{{\"subsystem\":\"{}\",\"name\":\"{}\",\"labels\":{},\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+                    k.subsystem,
+                    k.name,
+                    labels_json(k),
+                    bounds.join(","),
+                    counts.join(","),
+                    h.sum,
+                    h.count
+                )
+            })
+            .collect();
+        out.push_str(&hists.join(","));
+        out.push_str("],\"events\":[");
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"kind\":\"{}\",\"node\":{},\"t_begin_ns\":{},\"t_end_ns\":{},\"bytes\":{},\"detail\":{}}}",
+                    e.kind.name(),
+                    e.node,
+                    e.t_begin,
+                    e.t_end,
+                    e.bytes,
+                    e.detail
+                )
+            })
+            .collect();
+        out.push_str(&events.join(","));
+        let _ = write!(out, "],\"events_dropped\":{}}}", self.events_dropped);
+        out
+    }
+
+    /// Sum of all counters named `(subsystem, name)` across labels.
+    pub fn counter_total(&self, subsystem: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.subsystem == subsystem && k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Value of one exact counter, if present.
+    pub fn counter(&self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| {
+                k.subsystem == subsystem
+                    && k.name == name
+                    && k.labels.len() == labels.len()
+                    && labels.iter().all(|(lk, lv)| k.label(lk) == Some(*lv))
+            })
+            .map(|(_, v)| *v)
+    }
+
+    /// Human-readable summary: totals per metric with per-label breakdown
+    /// (which yields per-node and per-tier sections naturally), derived
+    /// ratios for cache/prefetch effectiveness, and event counts per kind.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== telemetry report ===");
+
+        // Group counters+gauges by (subsystem, name).
+        type Entries<'a> = Vec<(&'a MetricKey, u64, &'a str)>;
+        let mut groups: BTreeMap<(&str, &str), Entries> = BTreeMap::new();
+        for (k, v) in &self.counters {
+            groups.entry((k.subsystem, k.name)).or_default().push((k, *v, "counter"));
+        }
+        for (k, v) in &self.gauges {
+            groups.entry((k.subsystem, k.name)).or_default().push((k, *v, "gauge"));
+        }
+
+        let mut last_subsystem = "";
+        for ((subsystem, name), entries) in &groups {
+            if *subsystem != last_subsystem {
+                let _ = writeln!(out, "\n[{subsystem}]");
+                last_subsystem = subsystem;
+            }
+            let total: u64 = entries.iter().map(|(_, v, _)| v).sum();
+            let kind = entries[0].2;
+            let _ = writeln!(out, "  {name:<28} {total:>16}  ({kind})");
+            if entries.len() > 1 || !entries[0].0.labels.is_empty() {
+                for (key, value, _) in entries {
+                    let _ = writeln!(out, "    {:<30} {value:>12}", labels_csv(key));
+                }
+            }
+        }
+
+        // Derived effectiveness ratios, when their inputs exist.
+        let mut derived = String::new();
+        let hits = self.counter_total("pcache", "hits");
+        let misses = self.counter_total("pcache", "misses");
+        if hits + misses > 0 {
+            let _ = writeln!(
+                derived,
+                "  pcache hit rate              {:>15.2}%  ({hits} / {})",
+                hits as f64 * 100.0 / (hits + misses) as f64,
+                hits + misses
+            );
+        }
+        let issued = self.counter_total("prefetch", "issued");
+        let useful = self.counter_total("prefetch", "useful");
+        if issued > 0 {
+            let _ = writeln!(
+                derived,
+                "  prefetch accuracy            {:>15.2}%  ({useful} / {issued})",
+                useful as f64 * 100.0 / issued as f64
+            );
+            let wasted = self.counter_total("prefetch", "wasted");
+            let _ = writeln!(
+                derived,
+                "  prefetch waste               {:>15.2}%  ({wasted} / {issued})",
+                wasted as f64 * 100.0 / issued as f64
+            );
+        }
+        if !derived.is_empty() {
+            let _ = writeln!(out, "\n[derived]");
+            out.push_str(&derived);
+        }
+
+        // Histograms.
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\n[histograms]");
+            for (key, h) in &self.histograms {
+                let _ = writeln!(out, "  {:<40} count={} sum={}", key.render(), h.count, h.sum);
+                for (i, c) in h.counts.iter().enumerate() {
+                    if *c == 0 {
+                        continue;
+                    }
+                    let label = match h.bounds.get(i) {
+                        Some(b) => format!("<= {b}"),
+                        None => "+inf".to_string(),
+                    };
+                    let _ = writeln!(out, "    {label:<12} {c}");
+                }
+            }
+        }
+
+        // Event summary.
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            let _ = writeln!(out, "\n[events]");
+            let mut per_kind: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+            for Event { kind, bytes, .. } in &self.events {
+                let e = per_kind.entry(kind.name()).or_default();
+                e.0 += 1;
+                e.1 += bytes;
+            }
+            for (name, (count, bytes)) in &per_kind {
+                let _ = writeln!(out, "  {name:<20} {count:>10}  bytes={bytes}");
+            }
+            if self.events_dropped > 0 {
+                let _ = writeln!(out, "  (ring dropped {} oldest events)", self.events_dropped);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EventKind, Telemetry};
+
+    fn sample() -> Telemetry {
+        let t = Telemetry::new();
+        t.counter("pcache", "hits", &[("node", "0")]).add(90);
+        t.counter("pcache", "misses", &[("node", "0")]).add(10);
+        t.counter("prefetch", "issued", &[]).add(20);
+        t.counter("prefetch", "useful", &[]).add(15);
+        t.counter("prefetch", "wasted", &[]).add(2);
+        t.gauge("tier", "occupancy_bytes", &[("tier", "dram")]).set(4096);
+        t.histogram("runtime", "fault_ns", &[], &[1_000, 1_000_000]).record(500);
+        t.mark(EventKind::PageFault, 100, 0, 4096, 7);
+        t.mark(EventKind::Barrier, 200, 1, 0, 1);
+        t
+    }
+
+    #[test]
+    fn csv_and_json_round_trip_shapes() {
+        let snap = sample().snapshot();
+        let m = snap.metrics_csv();
+        assert!(m.starts_with("kind,subsystem,name,labels,value\n"));
+        assert!(m.contains("counter,pcache,hits,node=0,90"));
+        assert!(m.contains("gauge,tier,occupancy_bytes,tier=dram,4096"));
+        let e = snap.events_csv();
+        assert!(e.contains("page_fault,0,100,100,4096,7"));
+        let j = snap.to_json();
+        assert!(j.contains("\"subsystem\":\"pcache\""));
+        assert!(j.contains("\"events_dropped\":0"));
+        assert!(j.contains("\"bounds\":[1000,1000000]"));
+    }
+
+    #[test]
+    fn report_contains_derived_ratios() {
+        let r = sample().snapshot().report();
+        assert!(r.contains("pcache hit rate"), "{r}");
+        assert!(r.contains("90.00%"), "{r}");
+        assert!(r.contains("prefetch accuracy"), "{r}");
+        assert!(r.contains("75.00%"), "{r}");
+        assert!(r.contains("tier=dram"), "{r}");
+        assert!(r.contains("page_fault"), "{r}");
+    }
+
+    #[test]
+    fn exports_are_deterministic_across_runs() {
+        let a = sample().snapshot();
+        let b = sample().snapshot();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.metrics_csv(), b.metrics_csv());
+        assert_eq!(a.events_csv(), b.events_csv());
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn exact_counter_lookup_respects_labels() {
+        let snap = sample().snapshot();
+        assert_eq!(snap.counter("pcache", "hits", &[("node", "0")]), Some(90));
+        assert_eq!(snap.counter("pcache", "hits", &[("node", "1")]), None);
+        assert_eq!(snap.counter("pcache", "hits", &[]), None);
+        assert_eq!(snap.counter_total("pcache", "hits"), 90);
+    }
+}

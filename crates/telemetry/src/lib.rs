@@ -1,0 +1,400 @@
+//! megammap-telemetry: unified observability for the MegaMmap stack.
+//!
+//! Two facilities behind one cheap-to-clone [`Telemetry`] handle:
+//!
+//! * a **metrics registry** — atomic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s keyed by `(subsystem, name, labels)`.
+//!   Handles are `Arc`-shared cells: registering the same key twice
+//!   returns the same cell, so every layer of the stack can grab a handle
+//!   at construction time and bump it lock-free on hot paths.
+//! * an **event-trace ring** — bounded buffer of spans (`t_begin..t_end`
+//!   in virtual nanoseconds) for page faults, prefetches, evictions,
+//!   demotions, flushes, task dispatches and barriers.
+//!
+//! Everything is driven by the simulator's virtual clock (`SimTime` is a
+//! plain `u64` of nanoseconds), so snapshots, CSV/JSON exports and the
+//! text report are **deterministic**: two identical runs produce
+//! byte-identical output. Counters are order-independent sums; events are
+//! sorted on export.
+//!
+//! The whole subsystem can be disabled ([`Telemetry::disabled`] or
+//! [`Telemetry::set_enabled`]); handles then skip their atomic writes, so
+//! instrumented fast paths cost one relaxed load and a predictable branch.
+
+mod events;
+mod export;
+mod metrics;
+
+pub use events::{Event, EventKind, EventRing};
+pub use metrics::{Counter, Gauge, Histogram, MetricKey};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Virtual nanoseconds — mirrors `megammap_sim::SimTime` without the
+/// dependency (this crate is a leaf).
+pub type SimTime = u64;
+
+/// Default capacity of the event ring (per [`Telemetry`] instance).
+pub const DEFAULT_EVENT_CAPACITY: usize = 64 * 1024;
+
+struct Inner {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<MetricKey, Counter>>,
+    gauges: Mutex<BTreeMap<MetricKey, Gauge>>,
+    histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
+    events: Mutex<EventRing>,
+}
+
+/// Shared handle to one metrics registry + event ring.
+///
+/// Clones share state; the stack creates one per cluster and threads it
+/// through runtime, caches, tiers and the network model.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.is_enabled()).finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// An enabled registry with the default event capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An enabled registry whose event ring holds `events` spans.
+    pub fn with_capacity(events: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                enabled: Arc::new(AtomicBool::new(true)),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                events: Mutex::new(EventRing::new(events)),
+            }),
+        }
+    }
+
+    /// A registry whose handles are all no-ops (until re-enabled).
+    pub fn disabled() -> Self {
+        let t = Self::new();
+        t.set_enabled(false);
+        t
+    }
+
+    /// Globally enable or disable all handles minted from this registry.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether handles currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Get or create the counter for `(subsystem, name, labels)`.
+    pub fn counter(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Counter {
+        let key = MetricKey::new(subsystem, name, labels);
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Counter::attached(self.inner.enabled.clone()))
+            .clone()
+    }
+
+    /// Get or create the gauge for `(subsystem, name, labels)`.
+    pub fn gauge(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Gauge {
+        let key = MetricKey::new(subsystem, name, labels);
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Gauge::attached(self.inner.enabled.clone()))
+            .clone()
+    }
+
+    /// Get or create the histogram for `(subsystem, name, labels)` with
+    /// the given fixed bucket upper bounds (ascending; an implicit
+    /// `+inf` bucket is appended). If the key already exists its original
+    /// bounds are kept.
+    pub fn histogram(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        bounds: &[u64],
+    ) -> Histogram {
+        let key = MetricKey::new(subsystem, name, labels);
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Histogram::attached(self.inner.enabled.clone(), bounds))
+            .clone()
+    }
+
+    /// Record one event span. No-op while disabled.
+    pub fn event(&self, event: Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.events.lock().unwrap().push(event);
+    }
+
+    /// Convenience: record an instantaneous event (`t_end == t_begin`).
+    pub fn mark(&self, kind: EventKind, t: SimTime, node: u32, bytes: u64, detail: u64) {
+        self.event(Event { kind, node, t_begin: t, t_end: t, bytes, detail });
+    }
+
+    /// Convenience: record a span.
+    pub fn span(
+        &self,
+        kind: EventKind,
+        t_begin: SimTime,
+        t_end: SimTime,
+        node: u32,
+        bytes: u64,
+        detail: u64,
+    ) {
+        self.event(Event { kind, node, t_begin, t_end, bytes, detail });
+    }
+
+    /// Deterministic snapshot of every metric and event.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters =
+            self.inner.counters.lock().unwrap().iter().map(|(k, c)| (k.clone(), c.get())).collect();
+        let gauges =
+            self.inner.gauges.lock().unwrap().iter().map(|(k, g)| (k.clone(), g.get())).collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        let ring = self.inner.events.lock().unwrap();
+        let mut events: Vec<Event> = ring.iter().cloned().collect();
+        // Ring order is insertion order, which depends on thread
+        // interleaving; sort into virtual-time order for determinism.
+        events.sort_by_key(|e| (e.t_begin, e.t_end, e.node, e.kind as u8, e.detail, e.bytes));
+        Snapshot { counters, gauges, histograms, events, events_dropped: ring.dropped() }
+    }
+
+    /// Sum of every counter matching `(subsystem, name)` across labels.
+    pub fn counter_total(&self, subsystem: &str, name: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| k.subsystem == subsystem && k.name == name)
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Reset counters, histograms and the event ring to zero (gauges are
+    /// left alone — they track current state, not accumulation).
+    pub fn reset(&self) {
+        for c in self.inner.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for h in self.inner.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+        self.inner.events.lock().unwrap().clear();
+    }
+}
+
+/// Histogram state captured by a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds; the final implicit bucket is +inf.
+    pub bounds: Vec<u64>,
+    /// One count per bound, plus the +inf bucket at the end.
+    pub counts: Vec<u64>,
+    /// Sum of every recorded value.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+/// A deterministic point-in-time view of a [`Telemetry`] instance:
+/// metrics sorted by key, events sorted by virtual time.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `(key, value)` for every counter, key-sorted.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// `(key, value)` for every gauge, key-sorted.
+    pub gauges: Vec<(MetricKey, u64)>,
+    /// `(key, state)` for every histogram, key-sorted.
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+    /// Events sorted by `(t_begin, t_end, node, kind, detail, bytes)`.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring because it was full.
+    pub events_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn same_key_returns_same_cell() {
+        let t = Telemetry::new();
+        let a = t.counter("pcache", "hits", &[("node", "0")]);
+        let b = t.counter("pcache", "hits", &[("node", "0")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(t.counter_total("pcache", "hits"), 4);
+    }
+
+    #[test]
+    fn labels_distinguish_cells() {
+        let t = Telemetry::new();
+        t.counter("net", "bytes", &[("link", "0-1")]).add(10);
+        t.counter("net", "bytes", &[("link", "1-0")]).add(5);
+        assert_eq!(t.counter_total("net", "bytes"), 15);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+    }
+
+    #[test]
+    fn disabled_handles_do_not_record() {
+        let t = Telemetry::disabled();
+        let c = t.counter("x", "y", &[]);
+        let g = t.gauge("x", "g", &[]);
+        let h = t.histogram("x", "h", &[], &[10, 100]);
+        c.inc();
+        g.set(7);
+        h.record(5);
+        t.mark(EventKind::PageFault, 100, 0, 0, 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters[0].1, 0);
+        assert_eq!(snap.gauges[0].1, 0);
+        assert_eq!(snap.histograms[0].1.count, 0);
+        assert!(snap.events.is_empty());
+        // Re-enabling makes the SAME handles live again.
+        t.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let t = Telemetry::new();
+        let h = t.histogram("rt", "lat", &[], &[10, 100, 1000]);
+        // A value equal to a bound lands in that bound's bucket.
+        for v in [0, 10, 11, 100, 101, 1000, 1001, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.bounds, vec![10, 100, 1000]);
+        assert_eq!(s.counts, vec![2, 2, 2, 2]); // ≤10, ≤100, ≤1000, +inf
+        assert_eq!(s.count, 8);
+        assert_eq!(
+            s.sum,
+            0u64.wrapping_add(10 + 11 + 100 + 101 + 1000 + 1001).wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_spmd_threads() {
+        let t = Telemetry::new();
+        let per_thread = 10_000u64;
+        thread::scope(|s| {
+            for rank in 0..8u32 {
+                let t = t.clone();
+                s.spawn(move || {
+                    // Each rank mints its own handle, as runtime code does.
+                    let c = t.counter("rt", "faults", &[]);
+                    let mine = t.counter("rt", "faults_node", &[("node", &rank.to_string())]);
+                    for _ in 0..per_thread {
+                        c.inc();
+                        mine.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(t.counter_total("rt", "faults"), 8 * per_thread);
+        assert_eq!(t.counter_total("rt", "faults_node"), 8 * per_thread);
+    }
+
+    #[test]
+    fn snapshot_ordering_is_deterministic() {
+        // Build two registries, feeding them the same data in different
+        // orders and from different interleavings: snapshots must match.
+        let build = |reverse: bool| {
+            let t = Telemetry::new();
+            let mut keys: Vec<u32> = (0..16).collect();
+            if reverse {
+                keys.reverse();
+            }
+            for k in keys {
+                t.counter("s", "c", &[("k", &k.to_string())]).add(k as u64);
+                t.mark(EventKind::Eviction, 1000 - k as u64, k, 64, k as u64);
+            }
+            t.snapshot()
+        };
+        let a = build(false);
+        let b = build(true);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.events, b.events);
+        // Events come out time-sorted regardless of insertion order.
+        assert!(a.events.windows(2).all(|w| w[0].t_begin <= w[1].t_begin));
+    }
+
+    #[test]
+    fn event_ring_drops_oldest_and_counts() {
+        let t = Telemetry::with_capacity(4);
+        for i in 0..10u64 {
+            t.mark(EventKind::Flush, i, 0, 0, i);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.events_dropped, 6);
+        assert_eq!(snap.events[0].detail, 6); // oldest surviving
+    }
+
+    #[test]
+    fn reset_clears_accumulators_not_gauges() {
+        let t = Telemetry::new();
+        let c = t.counter("a", "b", &[]);
+        let g = t.gauge("a", "g", &[]);
+        c.add(5);
+        g.set(9);
+        t.mark(EventKind::Barrier, 1, 0, 0, 0);
+        t.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 9);
+        assert!(t.snapshot().events.is_empty());
+    }
+}

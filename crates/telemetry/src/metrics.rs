@@ -1,0 +1,283 @@
+//! Metric handles: counters, gauges and fixed-bucket histograms.
+//!
+//! Every handle is a clone-shared `Arc` cell plus a reference to its
+//! registry's enabled flag. Hot-path updates are relaxed atomics guarded
+//! by one relaxed load of the flag; values are plain sums, so totals are
+//! independent of thread interleaving (deterministic under virtual time).
+
+use crate::HistogramSnapshot;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identity of a metric: `(subsystem, name, labels)`.
+///
+/// Label order is normalised (sorted by label name) so the same logical
+/// key always maps to the same cell; `Ord` gives deterministic export
+/// ordering.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Which layer owns the metric (`pcache`, `runtime`, `net`, `tier`, …).
+    pub subsystem: &'static str,
+    /// Metric name within the subsystem.
+    pub name: &'static str,
+    /// Sorted `(label, value)` pairs, e.g. `[("node", "3")]`.
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl MetricKey {
+    /// Build a key, sorting labels by name.
+    pub fn new(
+        subsystem: &'static str,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Self {
+        let mut labels: Vec<(&'static str, String)> =
+            labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        labels.sort();
+        Self { subsystem, name, labels }
+    }
+
+    /// Render as `subsystem.name{a=x,b=y}` (no braces when unlabeled).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            format!("{}.{}", self.subsystem, self.name)
+        } else {
+            let labels: Vec<String> = self.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}.{}{{{}}}", self.subsystem, self.name, labels.join(","))
+        }
+    }
+
+    /// Value of a label, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn always_on() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(true))
+}
+
+/// Monotonically increasing event count.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub(crate) fn attached(enabled: Arc<AtomicBool>) -> Self {
+        Self { enabled, cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// A standalone counter not tied to any registry (always enabled).
+    /// Lets components be constructed without telemetry and still keep
+    /// working stats (e.g. a bare `PCache` in unit tests).
+    pub fn detached() -> Self {
+        Self { enabled: always_on(), cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter.
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A current-value metric (occupancy, queue depth). Stored as `u64`;
+/// `add`/`sub` saturate at zero rather than wrapping.
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    pub(crate) fn attached(enabled: Arc<AtomicBool>) -> Self {
+        Self { enabled, cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// A standalone gauge not tied to any registry (always enabled).
+    pub fn detached() -> Self {
+        Self { enabled: always_on(), cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Increase by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Decrease by `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            let _ = self
+                .cell
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+struct HistogramCells {
+    /// Ascending upper bounds; bucket `i` counts values `v <= bounds[i]`
+    /// (and `> bounds[i-1]`). One extra +inf bucket lives at the end.
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket histogram of `u64` samples (latencies, sizes).
+#[derive(Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cells: Arc<HistogramCells>,
+}
+
+impl Histogram {
+    pub(crate) fn attached(enabled: Arc<AtomicBool>, bounds: &[u64]) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must ascend");
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            enabled,
+            cells: Arc::new(HistogramCells {
+                bounds: bounds.to_vec(),
+                counts,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A standalone histogram not tied to any registry (always enabled).
+    pub fn detached(bounds: &[u64]) -> Self {
+        Self::attached(always_on(), bounds)
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        // partition_point returns the count of bounds < v, i.e. the first
+        // bucket whose bound is >= v — inclusive upper bounds.
+        let idx = self.cells.bounds.partition_point(|&b| b < v);
+        self.cells.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(v, Ordering::Relaxed);
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.cells.bounds.clone(),
+            counts: self.cells.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: self.cells.sum.load(Ordering::Relaxed),
+            count: self.cells.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all buckets.
+    pub fn reset(&self) {
+        for c in &self.cells.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.cells.sum.store(0, Ordering::Relaxed);
+        self.cells.count.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, sum={})", s.count, s.sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_normalises_label_order() {
+        let a = MetricKey::new("s", "n", &[("b", "2"), ("a", "1")]);
+        let b = MetricKey::new("s", "n", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "s.n{a=1,b=2}");
+        assert_eq!(a.label("b"), Some("2"));
+        assert_eq!(a.label("c"), None);
+    }
+
+    #[test]
+    fn gauge_sub_saturates() {
+        let g = Gauge::detached();
+        g.set(3);
+        g.sub(10);
+        assert_eq!(g.get(), 0);
+        g.add(4);
+        g.sub(1);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn detached_counter_works_without_registry() {
+        let c = Counter::detached();
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::detached(&[10, 10]);
+    }
+}

@@ -5,6 +5,7 @@ use std::fmt;
 
 use bytes::Bytes;
 use megammap_sim::{DeviceModel, DeviceSpec, SimTime, TierKind};
+use megammap_telemetry::{Counter, EventKind, Gauge, Telemetry};
 use parking_lot::Mutex;
 
 use crate::blob::{BlobId, BlobMeta};
@@ -51,6 +52,13 @@ struct Tier {
     store: Mutex<HashMap<BlobId, Bytes>>,
 }
 
+/// Cached telemetry handles for one tier (no registry lookups on hot paths).
+struct TierMetrics {
+    occupancy: Gauge,
+    demotions: Counter,
+    promotions: Counter,
+}
+
 /// One node's tier stack plus blob metadata.
 ///
 /// Tiers are ordered fastest-first. Placement policy (paper §III-D):
@@ -59,21 +67,46 @@ struct Tier {
 /// prioritized for eviction to make space for higher-scoring data."
 pub struct Dmsh {
     name: String,
+    /// Node index for event stamping (0 when unattached).
+    node: u32,
     tiers: Vec<Tier>,
     meta: Mutex<BTreeMap<BlobId, BlobMeta>>,
+    telemetry: Telemetry,
+    tier_metrics: Vec<TierMetrics>,
 }
 
 impl Dmsh {
     /// Build a DMSH from device specs (must be sorted fastest-first).
+    /// Telemetry handles are minted from a disabled registry; use
+    /// [`with_telemetry`](Self::with_telemetry) to report into a shared one.
     pub fn new(name: impl Into<String>, specs: Vec<DeviceSpec>) -> Self {
+        Self::with_telemetry(name, specs, Telemetry::disabled(), 0)
+    }
+
+    /// Build a DMSH whose tier occupancy, promotion/demotion counters and
+    /// movement events report into `telemetry`, stamped with `node`.
+    pub fn with_telemetry(
+        name: impl Into<String>,
+        specs: Vec<DeviceSpec>,
+        telemetry: Telemetry,
+        node: u32,
+    ) -> Self {
         let name = name.into();
         assert!(!specs.is_empty(), "a DMSH needs at least one tier");
         for w in specs.windows(2) {
-            assert!(
-                w[0].kind < w[1].kind,
-                "tiers must be ordered fastest-first and unique"
-            );
+            assert!(w[0].kind < w[1].kind, "tiers must be ordered fastest-first and unique");
         }
+        let tier_metrics = specs
+            .iter()
+            .map(|spec| {
+                let labels = [("node", name.as_str()), ("tier", spec.kind.name())];
+                TierMetrics {
+                    occupancy: telemetry.gauge("tier", "occupancy_bytes", &labels),
+                    demotions: telemetry.counter("tier", "demotions", &labels),
+                    promotions: telemetry.counter("tier", "promotions", &labels),
+                }
+            })
+            .collect();
         let tiers = specs
             .into_iter()
             .map(|spec| Tier {
@@ -81,7 +114,14 @@ impl Dmsh {
                 store: Mutex::new(HashMap::new()),
             })
             .collect();
-        Self { name, tiers, meta: Mutex::new(BTreeMap::new()) }
+        Self { name, node, tiers, meta: Mutex::new(BTreeMap::new()), telemetry, tier_metrics }
+    }
+
+    /// Publish per-tier occupancy gauges (cheap: one store per tier).
+    fn publish_occupancy(&self) {
+        for (tier, m) in self.tiers.iter().zip(&self.tier_metrics) {
+            m.occupancy.set(tier.device.used());
+        }
     }
 
     /// DMSH name (diagnostics).
@@ -149,7 +189,10 @@ impl Dmsh {
         meta.iter()
             .filter(|(_, m)| m.tier == tier_idx)
             .min_by(|(ia, ma), (ib, mb)| {
-                ma.score.partial_cmp(&mb.score).unwrap_or(std::cmp::Ordering::Equal).then(ia.cmp(ib))
+                ma.score
+                    .partial_cmp(&mb.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ia.cmp(ib))
             })
             .map(|(id, _)| *id)
     }
@@ -172,17 +215,12 @@ impl Dmsh {
         let mut done = now;
         // Make room below first (cascading demotion).
         while self.tiers[to].device.available() < m.size {
-            let victim = self
-                .victim_on(meta, to)
-                .ok_or(DmshError::Full { requested: m.size })?;
+            let victim = self.victim_on(meta, to).ok_or(DmshError::Full { requested: m.size })?;
             done = done.max(self.demote(meta, now, victim)?);
         }
         // Move the bytes.
-        let data = self.tiers[from]
-            .store
-            .lock()
-            .remove(&id)
-            .expect("meta/store agree on residency");
+        let data =
+            self.tiers[from].store.lock().remove(&id).expect("meta/store agree on residency");
         let read_done = self.tiers[from].device.io(now, m.size);
         let write_done = self.tiers[to].device.io(read_done, m.size);
         self.tiers[from].device.free(m.size);
@@ -192,6 +230,8 @@ impl Dmsh {
         entry.tier = to;
         entry.tier_kind = self.tiers[to].device.kind();
         entry.ready_at = entry.ready_at.max(write_done);
+        self.tier_metrics[from].demotions.inc();
+        self.telemetry.span(EventKind::Demotion, now, write_done, self.node, m.size, id.blob);
         Ok(done.max(write_done))
     }
 
@@ -220,6 +260,8 @@ impl Dmsh {
         entry.tier = to;
         entry.tier_kind = self.tiers[to].device.kind();
         entry.ready_at = entry.ready_at.max(write_done);
+        self.tier_metrics[m.tier].promotions.inc();
+        self.telemetry.span(EventKind::Promotion, now, write_done, self.node, m.size, id.blob);
         Some(write_done)
     }
 
@@ -251,6 +293,7 @@ impl Dmsh {
                 e.scored_at = now;
                 e.dirty = e.dirty || dirty;
                 e.ready_at = e.ready_at.max(done);
+                self.publish_occupancy();
                 return Ok(PutOutcome { done_at: done, tier: m.tier_kind });
             }
             // Size changed: drop and re-place.
@@ -264,8 +307,7 @@ impl Dmsh {
                 break;
             }
             // Try to make room by demoting lower-scoring blobs.
-            loop {
-                let Some(victim) = self.victim_on(&meta, i) else { break };
+            while let Some(victim) = self.victim_on(&meta, i) {
                 let vm = meta[&victim];
                 if vm.score >= score {
                     break; // residents outscore the newcomer; go down a tier
@@ -304,6 +346,7 @@ impl Dmsh {
                 ready_at: io_done,
             },
         );
+        self.publish_occupancy();
         Ok(PutOutcome { done_at: io_done, tier: self.tiers[t].device.kind() })
     }
 
@@ -314,12 +357,7 @@ impl Dmsh {
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let start = now.max(m.ready_at);
         let done = self.tiers[m.tier].device.io(start, m.size);
-        let data = self.tiers[m.tier]
-            .store
-            .lock()
-            .get(&id)
-            .cloned()
-            .expect("meta/store agree");
+        let data = self.tiers[m.tier].store.lock().get(&id).cloned().expect("meta/store agree");
         Ok((data, done))
     }
 
@@ -370,6 +408,9 @@ impl Dmsh {
         let done = self.tiers[m.tier].device.io(start, patch.len() as u64);
         m.dirty = true;
         m.ready_at = done;
+        drop(store);
+        drop(meta);
+        self.publish_occupancy();
         Ok(done)
     }
 
@@ -396,7 +437,9 @@ impl Dmsh {
 
     /// Remove a blob entirely; returns its bytes if it was resident.
     pub fn remove(&self, id: BlobId) -> Option<Bytes> {
-        self.remove_locked(&mut self.meta.lock(), id)
+        let data = self.remove_locked(&mut self.meta.lock(), id);
+        self.publish_occupancy();
+        data
     }
 
     /// Remove every blob of a bucket; returns the count.
@@ -406,6 +449,8 @@ impl Dmsh {
         for id in &ids {
             self.remove_locked(&mut meta, *id);
         }
+        drop(meta);
+        self.publish_occupancy();
         ids.len()
     }
 
@@ -454,6 +499,8 @@ impl Dmsh {
                 }
             }
         }
+        drop(meta);
+        self.publish_occupancy();
         done
     }
 }

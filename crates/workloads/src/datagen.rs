@@ -48,7 +48,14 @@ pub struct HaloParams {
 
 impl Default for HaloParams {
     fn default() -> Self {
-        Self { n_points: 10_000, n_halos: 8, seed: 42, box_size: 1000.0, sigma: 4.0, min_sep_sigmas: 20.0 }
+        Self {
+            n_points: 10_000,
+            n_halos: 8,
+            seed: 42,
+            box_size: 1000.0,
+            sigma: 4.0,
+            min_sep_sigmas: 20.0,
+        }
     }
 }
 

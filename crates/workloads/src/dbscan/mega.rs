@@ -13,7 +13,6 @@ use megammap_cluster::{Comm, Proc};
 
 use super::{choose_split, finish, DbscanConfig, DbscanResult, IdPoint, SplitPlane, StreamSample};
 use crate::point::Point3D;
-use megammap::element::Element as _;
 
 /// A MegaMmap DBSCAN job.
 pub struct MegaDbscan<'a> {
@@ -65,17 +64,18 @@ pub fn run(p: &Proc, job: &MegaDbscan<'_>) -> DbscanResult {
     src.pgas(p, p.rank(), p.nprocs());
     let n = src.len();
     let tagged_url = format!("mem://dbs-{}-tagged", job.tag);
-    let tagged: MmVec<IdPoint> = MmVec::open(
-        job.rt,
-        p,
-        &tagged_url,
-        VecOptions::new().len(n).pcache(job.pcache_bytes),
-    )
-    .expect("open tagged vector");
+    let tagged: MmVec<IdPoint> =
+        MmVec::open(job.rt, p, &tagged_url, VecOptions::new().len(n).pcache(job.pcache_bytes))
+            .expect("open tagged vector");
     {
         let range = src.local_range();
-        let rtx = src.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::ReadLocal);
-        let wtx = tagged.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::WriteLocal);
+        let rtx =
+            src.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::ReadLocal);
+        let wtx = tagged.tx_begin(
+            p,
+            TxKind::seq(range.start, range.end - range.start),
+            Access::WriteLocal,
+        );
         let mut buf = vec![Point3D::default(); CHUNK];
         let mut out = vec![IdPoint::default(); CHUNK];
         let mut i = range.start;

@@ -135,11 +135,7 @@ impl GridIndex {
     }
 
     fn key(p: &Point3D, cell: f32) -> (i32, i32, i32) {
-        (
-            (p.x / cell).floor() as i32,
-            (p.y / cell).floor() as i32,
-            (p.z / cell).floor() as i32,
-        )
+        ((p.x / cell).floor() as i32, (p.y / cell).floor() as i32, (p.z / cell).floor() as i32)
     }
 
     /// Indices of points within `eps` of `q` (inclusive).
@@ -173,14 +169,12 @@ pub(crate) fn local_dbscan(
     ghosts: &[IdPoint],
     cfg: &DbscanConfig,
 ) -> (Vec<i64>, Vec<bool>) {
-    let all: Vec<Point3D> =
-        own.iter().map(|ip| ip.p).chain(ghosts.iter().map(|ip| ip.p)).collect();
+    let all: Vec<Point3D> = own.iter().map(|ip| ip.p).chain(ghosts.iter().map(|ip| ip.p)).collect();
     let index = GridIndex::build(&all, cfg.eps);
     let n = own.len();
     // Core status: neighbour count over own + ghosts (exact global count).
-    let core: Vec<bool> = (0..n)
-        .map(|i| index.neighbors(&all, &all[i], cfg.eps).len() >= cfg.min_pts)
-        .collect();
+    let core: Vec<bool> =
+        (0..n).map(|i| index.neighbors(&all, &all[i], cfg.eps).len() >= cfg.min_pts).collect();
     let mut labels = vec![-1i64; n];
     let mut cluster = 0i64;
     for i in 0..n {
@@ -285,126 +279,6 @@ pub(crate) fn gcluster(rank: usize, local: i64) -> i64 {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::datagen::{generate, HaloParams};
-
-    fn idpoints(pts: &[Point3D]) -> Vec<IdPoint> {
-        pts.iter().enumerate().map(|(i, p)| IdPoint { id: i as u64, p: *p }).collect()
-    }
-
-    #[test]
-    fn choose_split_picks_widest_axis() {
-        let sample: Vec<Point3D> =
-            (0..10).map(|i| Point3D::new(i as f32 * 100.0, 1.0, 2.0)).collect();
-        let sp = choose_split(&sample);
-        assert_eq!(sp.axis, 0);
-        assert!((sp.value - 500.0).abs() <= 100.0);
-    }
-
-    #[test]
-    fn subsample_is_deterministic_and_distribution_independent() {
-        let d = generate(HaloParams { n_points: 200, ..Default::default() });
-        let ips = idpoints(&d.points);
-        let a = subsample(&ips, 16, 9);
-        let mut shuffled = ips.clone();
-        shuffled.reverse();
-        let b = subsample(&shuffled, 16, 9);
-        assert_eq!(a, b, "sample depends on ids, not order");
-        assert_eq!(a.len(), 16);
-    }
-
-    #[test]
-    fn grid_index_matches_brute_force() {
-        let d = generate(HaloParams { n_points: 300, ..Default::default() });
-        let eps = 8.0;
-        let idx = GridIndex::build(&d.points, eps);
-        for q in d.points.iter().step_by(29) {
-            let mut got = idx.neighbors(&d.points, q, eps);
-            got.sort_unstable();
-            let want: Vec<usize> = (0..d.points.len())
-                .filter(|&i| d.points[i].dist2(q) <= eps * eps)
-                .collect();
-            assert_eq!(got, want);
-        }
-    }
-
-    #[test]
-    fn local_dbscan_matches_reference_without_ghosts() {
-        let d = generate(HaloParams { n_points: 300, ..Default::default() });
-        let cfg = DbscanConfig { eps: 8.0, min_pts: 4, ..Default::default() };
-        let (labels, core) = local_dbscan(&idpoints(&d.points), &[], &cfg);
-        let expect = crate::verify::ref_dbscan(&d.points, cfg.eps, cfg.min_pts);
-        let ri = crate::verify::rand_index(&labels, &expect);
-        assert!(ri > 0.999, "rand index {ri}");
-        assert!(core.iter().filter(|&&c| c).count() > 200);
-    }
-
-    #[test]
-    fn ghosts_make_boundary_points_core() {
-        // 5 points in a line; split between index 2 and 3. Without ghosts
-        // the left side sees only 3 points (min_pts 4 → no cores); with the
-        // right side as ghosts, the boundary points become core.
-        let pts: Vec<Point3D> =
-            (0..5).map(|i| Point3D::new(i as f32, 0.0, 0.0)).collect();
-        let ips = idpoints(&pts);
-        let cfg = DbscanConfig { eps: 2.1, min_pts: 4, ..Default::default() };
-        let (_, core_without) = local_dbscan(&ips[..3], &[], &cfg);
-        assert!(core_without.iter().all(|&c| !c));
-        let (_, core_with) = local_dbscan(&ips[..3], &ips[3..], &cfg);
-        assert!(core_with[1] && core_with[2], "ghost neighbours must count");
-    }
-
-    #[test]
-    fn union_find_merges_transitively() {
-        let mut uf = UnionFind::new();
-        uf.union(5, 9);
-        uf.union(9, 2);
-        assert_eq!(uf.find(5), 2);
-        assert_eq!(uf.find(9), 2);
-        assert_eq!(uf.find(7), 7);
-    }
-
-    #[test]
-    fn merge_links_straddling_clusters() {
-        // Two dense µclusters split by a plane at x=5, touching across it.
-        let mk = |x0: f32, g: i64| -> Vec<BoundaryPoint> {
-            (0..4)
-                .map(|i| BoundaryPoint {
-                    p: Point3D::new(x0 + i as f32 * 0.5, 0.0, 0.0),
-                    gcluster: g,
-                    core: true,
-                })
-                .collect()
-        };
-        let mut boundary = mk(3.0, 10);
-        boundary.extend(mk(5.0, 20));
-        let mut uf = merge_clusters(&boundary, 1.0);
-        assert_eq!(uf.find(10), uf.find(20), "straddling clusters merge");
-        // A far-away third cluster stays separate.
-        boundary.push(BoundaryPoint { p: Point3D::new(100.0, 0.0, 0.0), gcluster: 30, core: true });
-        let mut uf = merge_clusters(&boundary, 1.0);
-        assert_ne!(uf.find(30), uf.find(10));
-    }
-
-    #[test]
-    fn band_membership() {
-        let planes = vec![SplitPlane { axis: 0, value: 10.0 }];
-        assert!(in_band(&Point3D::new(9.0, 0.0, 0.0), &planes, 2.0));
-        assert!(in_band(&Point3D::new(11.5, 0.0, 0.0), &planes, 2.0));
-        assert!(!in_band(&Point3D::new(20.0, 0.0, 0.0), &planes, 2.0));
-        assert!(!in_band(&Point3D::new(9.0, 0.0, 0.0), &[], 2.0));
-    }
-
-    #[test]
-    fn gcluster_ids_unique_per_rank() {
-        assert_eq!(gcluster(0, -1), -1);
-        assert_ne!(gcluster(1, 0), gcluster(2, 0));
-        assert_ne!(gcluster(1, 0), gcluster(1, 1));
-    }
-}
-
 /// The phase shared by both variants after redistribution: ghost exchange,
 /// local DBSCAN, µcluster merge, noise adoption, global label assembly.
 pub(crate) fn finish(
@@ -449,11 +323,8 @@ pub(crate) fn finish(
     let bindex = GridIndex::build(&boundary_pts, cfg.eps);
     let mut final_labels: Vec<(u64, i64)> = Vec::with_capacity(own.len());
     for (i, ip) in own.iter().enumerate() {
-        let mut label = if labels[i] >= 0 {
-            uf.find(gcluster(p.rank(), labels[i]) as u64) as i64
-        } else {
-            -1
-        };
+        let mut label =
+            if labels[i] >= 0 { uf.find(gcluster(p.rank(), labels[i]) as u64) as i64 } else { -1 };
         if label < 0 && in_band(&ip.p, planes, cfg.eps) {
             // A border point whose core neighbours all live remotely.
             let mut adopt: Option<u64> = None;
@@ -511,5 +382,123 @@ impl StreamSample {
                 Point3D::new(f32::from_bits(e[0]), f32::from_bits(e[1]), f32::from_bits(e[2]))
             })
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, HaloParams};
+
+    fn idpoints(pts: &[Point3D]) -> Vec<IdPoint> {
+        pts.iter().enumerate().map(|(i, p)| IdPoint { id: i as u64, p: *p }).collect()
+    }
+
+    #[test]
+    fn choose_split_picks_widest_axis() {
+        let sample: Vec<Point3D> =
+            (0..10).map(|i| Point3D::new(i as f32 * 100.0, 1.0, 2.0)).collect();
+        let sp = choose_split(&sample);
+        assert_eq!(sp.axis, 0);
+        assert!((sp.value - 500.0).abs() <= 100.0);
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_distribution_independent() {
+        let d = generate(HaloParams { n_points: 200, ..Default::default() });
+        let ips = idpoints(&d.points);
+        let a = subsample(&ips, 16, 9);
+        let mut shuffled = ips.clone();
+        shuffled.reverse();
+        let b = subsample(&shuffled, 16, 9);
+        assert_eq!(a, b, "sample depends on ids, not order");
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn grid_index_matches_brute_force() {
+        let d = generate(HaloParams { n_points: 300, ..Default::default() });
+        let eps = 8.0;
+        let idx = GridIndex::build(&d.points, eps);
+        for q in d.points.iter().step_by(29) {
+            let mut got = idx.neighbors(&d.points, q, eps);
+            got.sort_unstable();
+            let want: Vec<usize> =
+                (0..d.points.len()).filter(|&i| d.points[i].dist2(q) <= eps * eps).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn local_dbscan_matches_reference_without_ghosts() {
+        let d = generate(HaloParams { n_points: 300, ..Default::default() });
+        let cfg = DbscanConfig { eps: 8.0, min_pts: 4, ..Default::default() };
+        let (labels, core) = local_dbscan(&idpoints(&d.points), &[], &cfg);
+        let expect = crate::verify::ref_dbscan(&d.points, cfg.eps, cfg.min_pts);
+        let ri = crate::verify::rand_index(&labels, &expect);
+        assert!(ri > 0.999, "rand index {ri}");
+        assert!(core.iter().filter(|&&c| c).count() > 200);
+    }
+
+    #[test]
+    fn ghosts_make_boundary_points_core() {
+        // 5 points in a line; split between index 2 and 3. Without ghosts
+        // the left side sees only 3 points (min_pts 4 → no cores); with the
+        // right side as ghosts, the boundary points become core.
+        let pts: Vec<Point3D> = (0..5).map(|i| Point3D::new(i as f32, 0.0, 0.0)).collect();
+        let ips = idpoints(&pts);
+        let cfg = DbscanConfig { eps: 2.1, min_pts: 4, ..Default::default() };
+        let (_, core_without) = local_dbscan(&ips[..3], &[], &cfg);
+        assert!(core_without.iter().all(|&c| !c));
+        let (_, core_with) = local_dbscan(&ips[..3], &ips[3..], &cfg);
+        assert!(core_with[1] && core_with[2], "ghost neighbours must count");
+    }
+
+    #[test]
+    fn union_find_merges_transitively() {
+        let mut uf = UnionFind::new();
+        uf.union(5, 9);
+        uf.union(9, 2);
+        assert_eq!(uf.find(5), 2);
+        assert_eq!(uf.find(9), 2);
+        assert_eq!(uf.find(7), 7);
+    }
+
+    #[test]
+    fn merge_links_straddling_clusters() {
+        // Two dense µclusters split by a plane at x=5, touching across it.
+        let mk = |x0: f32, g: i64| -> Vec<BoundaryPoint> {
+            (0..4)
+                .map(|i| BoundaryPoint {
+                    p: Point3D::new(x0 + i as f32 * 0.5, 0.0, 0.0),
+                    gcluster: g,
+                    core: true,
+                })
+                .collect()
+        };
+        let mut boundary = mk(3.0, 10);
+        boundary.extend(mk(5.0, 20));
+        let mut uf = merge_clusters(&boundary, 1.0);
+        assert_eq!(uf.find(10), uf.find(20), "straddling clusters merge");
+        // A far-away third cluster stays separate.
+        boundary.push(BoundaryPoint { p: Point3D::new(100.0, 0.0, 0.0), gcluster: 30, core: true });
+        let mut uf = merge_clusters(&boundary, 1.0);
+        assert_ne!(uf.find(30), uf.find(10));
+    }
+
+    #[test]
+    fn band_membership() {
+        let planes = vec![SplitPlane { axis: 0, value: 10.0 }];
+        assert!(in_band(&Point3D::new(9.0, 0.0, 0.0), &planes, 2.0));
+        assert!(in_band(&Point3D::new(11.5, 0.0, 0.0), &planes, 2.0));
+        assert!(!in_band(&Point3D::new(20.0, 0.0, 0.0), &planes, 2.0));
+        assert!(!in_band(&Point3D::new(9.0, 0.0, 0.0), &[], 2.0));
+    }
+
+    #[test]
+    fn gcluster_ids_unique_per_rank() {
+        assert_eq!(gcluster(0, -1), -1);
+        assert_ne!(gcluster(1, 0), gcluster(2, 0));
+        assert_ne!(gcluster(1, 0), gcluster(1, 1));
     }
 }

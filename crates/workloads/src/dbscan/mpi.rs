@@ -121,10 +121,8 @@ mod tests {
 
         // The MegaMmap variant finds the same partition of the data.
         let mm = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
-        let rt = megammap::Runtime::new(
-            &mm,
-            megammap::RuntimeConfig::default().with_page_size(4096),
-        );
+        let rt =
+            megammap::Runtime::new(&mm, megammap::RuntimeConfig::default().with_page_size(4096));
         let obj = rt
             .backends()
             .open(&megammap_formats::DataUrl::parse("obj://dbs/mpi-cmp.bin").unwrap())

@@ -34,10 +34,7 @@ fn field_urls(job: &MegaGs<'_>) -> [[String; 2]; 2] {
         Some(u) => u.clone(),
         None => format!("mem://gs-{}", job.tag),
     };
-    [
-        [format!("{base}.u0"), format!("{base}.u1")],
-        [format!("{base}.v0"), format!("{base}.v1")],
-    ]
+    [[format!("{base}.u0"), format!("{base}.u1")], [format!("{base}.v0"), format!("{base}.v1")]]
 }
 
 /// Run the simulation; every process calls this (SPMD).
@@ -48,13 +45,8 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
     let world = p.world();
     let urls = field_urls(job);
     let open = |url: &str| -> MmVec<f64> {
-        MmVec::open(
-            job.rt,
-            p,
-            url,
-            VecOptions::new().len(cfg.cells()).pcache(job.pcache_bytes),
-        )
-        .expect("open field vector")
+        MmVec::open(job.rt, p, url, VecOptions::new().len(cfg.cells()).pcache(job.pcache_bytes))
+            .expect("open field vector")
     };
     let u = [open(&urls[0][0]), open(&urls[0][1])];
     let v = [open(&urls[1][0]), open(&urls[1][1])];
@@ -62,8 +54,16 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
 
     // ---- initial condition -------------------------------------------------
     {
-        let txu = u[0].tx_begin(p, TxKind::seq((z0 * plane) as u64, ((z1 - z0) * plane) as u64), Access::WriteLocal);
-        let txv = v[0].tx_begin(p, TxKind::seq((z0 * plane) as u64, ((z1 - z0) * plane) as u64), Access::WriteLocal);
+        let txu = u[0].tx_begin(
+            p,
+            TxKind::seq((z0 * plane) as u64, ((z1 - z0) * plane) as u64),
+            Access::WriteLocal,
+        );
+        let txv = v[0].tx_begin(
+            p,
+            TxKind::seq((z0 * plane) as u64, ((z1 - z0) * plane) as u64),
+            Access::WriteLocal,
+        );
         let mut up = vec![0.0f64; plane];
         let mut vp = vec![0.0f64; plane];
         for z in z0..z1 {
@@ -191,9 +191,8 @@ mod tests {
             }
         }
         for _ in 0..cfg.steps {
-            let (nu, nv) = crate::verify::ref_gray_scott_step(
-                &u, &v, l, cfg.du, cfg.dv, cfg.f, cfg.k, cfg.dt,
-            );
+            let (nu, nv) =
+                crate::verify::ref_gray_scott_step(&u, &v, l, cfg.du, cfg.dv, cfg.f, cfg.k, cfg.dt);
             u = nu;
             v = nv;
         }

@@ -117,12 +117,10 @@ pub(crate) fn step_plane(
             let xp = y * l + (x + 1) % l;
             let ym = ((y + l - 1) % l) * l + x;
             let yp = ((y + 1) % l) * l + x;
-            let lap_u =
-                u_mid[xm] + u_mid[xp] + u_mid[ym] + u_mid[yp] + u_below[c] + u_above[c]
-                    - 6.0 * u_mid[c];
-            let lap_v =
-                v_mid[xm] + v_mid[xp] + v_mid[ym] + v_mid[yp] + v_below[c] + v_above[c]
-                    - 6.0 * v_mid[c];
+            let lap_u = u_mid[xm] + u_mid[xp] + u_mid[ym] + u_mid[yp] + u_below[c] + u_above[c]
+                - 6.0 * u_mid[c];
+            let lap_v = v_mid[xm] + v_mid[xp] + v_mid[ym] + v_mid[yp] + v_below[c] + v_above[c]
+                - 6.0 * v_mid[c];
             let uvv = u_mid[c] * v_mid[c] * v_mid[c];
             u_out[c] = u_mid[c] + cfg.dt * (cfg.du * lap_u - uvv + cfg.f * (1.0 - u_mid[c]));
             v_out[c] = v_mid[c] + cfg.dt * (cfg.dv * lap_v + uvv - (cfg.f + cfg.k) * v_mid[c]);
@@ -170,9 +168,8 @@ mod tests {
                 }
             }
         }
-        let (ru, rv) = crate::verify::ref_gray_scott_step(
-            &u, &v, l, cfg.du, cfg.dv, cfg.f, cfg.k, cfg.dt,
-        );
+        let (ru, rv) =
+            crate::verify::ref_gray_scott_step(&u, &v, l, cfg.du, cfg.dv, cfg.f, cfg.k, cfg.dt);
         // Plane-wise computation must agree exactly.
         let plane = |g: &Vec<f64>, z: usize| g[z * l * l..(z + 1) * l * l].to_vec();
         for z in 0..l {

@@ -8,8 +8,8 @@
 //! the [`IoBackend`](crate::io_baselines::IoBackend) systems and happen in
 //! distinct, synchronous I/O phases.
 
-use megammap_cluster::{OomError, Proc};
 use megammap_cluster::comm::ReduceOp;
+use megammap_cluster::{OomError, Proc};
 
 use super::{step_plane, GsConfig, GsResult};
 use crate::io_baselines::IoBackend;
@@ -84,8 +84,18 @@ pub fn run(p: &Proc, job: &MpiGs) -> Result<GsResult, OomError> {
         } else {
             // Send my top plane up and my bottom plane down.
             let tag = |t: u64| (step as u64) * 8 + t;
-            p.send(up_rank, tag(TAG_UP), (u[(slab - 1) * plane..].to_vec(), v[(slab - 1) * plane..].to_vec()), 2 * plane_bytes);
-            p.send(down_rank, tag(TAG_DOWN), (u[..plane].to_vec(), v[..plane].to_vec()), 2 * plane_bytes);
+            p.send(
+                up_rank,
+                tag(TAG_UP),
+                (u[(slab - 1) * plane..].to_vec(), v[(slab - 1) * plane..].to_vec()),
+                2 * plane_bytes,
+            );
+            p.send(
+                down_rank,
+                tag(TAG_DOWN),
+                (u[..plane].to_vec(), v[..plane].to_vec()),
+                2 * plane_bytes,
+            );
             let (ub, vb): (Vec<f64>, Vec<f64>) = p.recv(down_rank, tag(TAG_UP));
             let (ua, va): (Vec<f64>, Vec<f64>) = p.recv(up_rank, tag(TAG_DOWN));
             u_below = ub;
@@ -164,9 +174,8 @@ mod tests {
     fn mpi_matches_mega_bitwise() {
         let cfg = GsConfig::new(12, 4);
         let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
-        let (mpi_outs, _) = cluster.run(move |p| {
-            run(p, &MpiGs { cfg, io: None, final_ckpt: false }).unwrap()
-        });
+        let (mpi_outs, _) =
+            cluster.run(move |p| run(p, &MpiGs { cfg, io: None, final_ckpt: false }).unwrap());
         let cluster2 = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
         let rt = megammap::Runtime::new(
             &cluster2,
@@ -194,7 +203,8 @@ mod tests {
         // half that.
         let cfg = GsConfig::new(32, 1);
         let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(MIB / 2));
-        let (outs, _) = cluster.run(move |p| run(p, &MpiGs { cfg, io: None, final_ckpt: false }).is_err());
+        let (outs, _) =
+            cluster.run(move |p| run(p, &MpiGs { cfg, io: None, final_ckpt: false }).is_err());
         assert!(outs[0], "the MPI variant must OOM, as in Fig. 6");
     }
 
@@ -203,9 +213,8 @@ mod tests {
         let cfg = GsConfig::new(16, 4).plotgap(1);
         let mk = |io: Option<IoBackend>, cfg: GsConfig| {
             let cluster = Cluster::new(ClusterSpec::new(1, 2).dram_per_node(1 << 30));
-            let (outs, rep) = cluster.run(move |p| {
-                run(p, &MpiGs { cfg, io: io.clone(), final_ckpt: false }).unwrap()
-            });
+            let (outs, rep) = cluster
+                .run(move |p| run(p, &MpiGs { cfg, io: io.clone(), final_ckpt: false }).unwrap());
             (outs[0].clone(), rep.makespan_ns)
         };
         let (r_none, t_none) = mk(None, GsConfig::new(16, 4));

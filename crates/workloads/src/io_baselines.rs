@@ -80,7 +80,9 @@ impl IoBackend {
                 kind,
                 pfs: SharedResource::new("baseline-pfs", 100_000, pfs_bandwidth),
                 nvme: (0..nodes)
-                    .map(|n| DeviceModel::new(format!("bl{n}/nvme"), DeviceSpec::nvme(nvme_capacity)))
+                    .map(|n| {
+                        DeviceModel::new(format!("bl{n}/nvme"), DeviceSpec::nvme(nvme_capacity))
+                    })
                     .collect(),
                 dram_left: (0..nodes).map(|_| AtomicU64::new(dram_burst)).collect(),
                 drain_done: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
@@ -134,7 +136,7 @@ impl IoBackend {
                 // Burst into DRAM while the budget lasts, else NVMe; drain
                 // to PFS in the background either way.
                 let dram = &self.inner.dram_left[node];
-                let mut from_dram = 0u64;
+                let from_dram;
                 let mut cur = dram.load(Ordering::Acquire);
                 loop {
                     let take = cur.min(bytes);

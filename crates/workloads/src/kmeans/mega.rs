@@ -58,13 +58,9 @@ fn sweep(
 pub fn run(p: &Proc, job: &MegaKMeans<'_>) -> KMeansResult {
     let cfg = job.cfg;
     let world = p.world();
-    let v: MmVec<Point3D> = MmVec::open(
-        job.rt,
-        p,
-        &job.url,
-        VecOptions::new().pcache(job.pcache_bytes),
-    )
-    .expect("open dataset vector");
+    let v: MmVec<Point3D> =
+        MmVec::open(job.rt, p, &job.url, VecOptions::new().pcache(job.pcache_bytes))
+            .expect("open dataset vector");
     v.pgas(p, p.rank(), p.nprocs());
     let n = v.len();
     assert!(n > 0, "empty dataset at {}", job.url);
@@ -140,11 +136,8 @@ pub fn run(p: &Proc, job: &MegaKMeans<'_>) -> KMeansResult {
         let av: MmVec<u32> =
             MmVec::open(job.rt, p, url, VecOptions::new().len(n).pcache(job.pcache_bytes))
                 .expect("open assignment vector");
-        let tx = av.tx_begin(
-            p,
-            TxKind::seq(local.start, local.end - local.start),
-            Access::WriteLocal,
-        );
+        let tx =
+            av.tx_begin(p, TxKind::seq(local.start, local.end - local.start), Access::WriteLocal);
         av.write_slice(p, local.start, &assigns).expect("persist assignments");
         av.tx_end(p, tx);
         av.flush_async(p).expect("stage assignments");
@@ -161,7 +154,11 @@ mod tests {
     use megammap_cluster::{Cluster, ClusterSpec};
     use megammap_formats::DataUrl;
 
-    fn setup(nodes: usize, procs: usize, n_points: usize) -> (Cluster, Runtime, crate::datagen::HaloDataset) {
+    fn setup(
+        nodes: usize,
+        procs: usize,
+        n_points: usize,
+    ) -> (Cluster, Runtime, crate::datagen::HaloDataset) {
         let cluster = Cluster::new(ClusterSpec::new(nodes, procs).dram_per_node(1 << 30));
         let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(4096));
         let data = generate(HaloParams { n_points, ..Default::default() });
@@ -220,10 +217,7 @@ mod tests {
             p.world().barrier(p);
             r
         });
-        let obj = rt
-            .backends()
-            .open(&DataUrl::parse("obj://data/assign.bin").unwrap())
-            .unwrap();
+        let obj = rt.backends().open(&DataUrl::parse("obj://data/assign.bin").unwrap()).unwrap();
         let bytes = megammap_formats::object::read_all(obj.as_ref()).unwrap();
         assert_eq!(bytes.len(), 400 * 4);
         // Assignments must agree with nearest-centroid of the output.

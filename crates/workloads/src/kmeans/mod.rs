@@ -48,8 +48,7 @@ pub struct KMeansResult {
 /// Uniform hash to `[0, 1)` from `(seed, index)`.
 #[inline]
 pub(crate) fn hash01(seed: u64, idx: u64) -> f64 {
-    (splitmix64(seed ^ idx.wrapping_mul(0x9E3779B97F4A7C15)) >> 11) as f64
-        / (1u64 << 53) as f64
+    (splitmix64(seed ^ idx.wrapping_mul(0x9E3779B97F4A7C15)) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Should global point `idx` be sampled this `round`, given its squared

@@ -48,9 +48,12 @@ pub fn run(
     for round in 0..cfg.init_rounds {
         let flops = Point3D::nearest_flops(candidates.len());
         let cands = candidates.clone();
-        let mass = rdd
-            .map(8, flops, |pt| pt.nearest_centroid(&cands).1 as f64)?
-            .reduce(1, 0.0f64, |a, b| a + b, |a, b| a + b);
+        let mass = rdd.map(8, flops, |pt| pt.nearest_centroid(&cands).1 as f64)?.reduce(
+            1,
+            0.0f64,
+            |a, b| a + b,
+            |a, b| a + b,
+        );
         let cands = candidates.clone();
         let cfg2 = cfg;
         let picked: Vec<Point3D> = rdd
@@ -191,9 +194,8 @@ mod tests {
         let cluster = spark_cluster(1, 1);
         let bytes = (data.points.len() * Point3D::SIZE) as u64;
         let d2 = data.clone();
-        let (_, report) = cluster.run(move |p| {
-            run(p, d2.points.clone(), 0, KMeansConfig::default()).unwrap()
-        });
+        let (_, report) =
+            cluster.run(move |p| run(p, d2.points.clone(), 0, KMeansConfig::default()).unwrap());
         assert!(
             report.node_peak_mem[0] >= 3 * bytes,
             "peak {} vs dataset {bytes}",

@@ -27,18 +27,12 @@ pub fn block_partition(n: usize, rank: usize, nprocs: usize) -> (usize, usize) {
 
 /// Decode little-endian xyz f32 records from raw bytes.
 pub fn decode_points(bytes: &[u8]) -> Vec<Point3D> {
-    bytes
-        .chunks_exact(Point3D::SIZE)
-        .map(Point3D::read_from)
-        .collect()
+    bytes.chunks_exact(Point3D::SIZE).map(Point3D::read_from).collect()
 }
 
 /// Decode little-endian u32 labels from raw bytes.
 pub fn decode_labels(bytes: &[u8]) -> Vec<u32> {
-    bytes
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("chunked")))
-        .collect()
+    bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("chunked"))).collect()
 }
 
 /// Read this rank's partition of a raw binary point file, charging the
@@ -99,7 +93,7 @@ pub fn train_test_split(part_base: u64, n: usize, seed: u64) -> (Vec<usize>, Vec
     let mut test = Vec::with_capacity(n / 5);
     for i in 0..n {
         let h = megammap::tx::splitmix64(seed ^ 0x7A ^ (part_base + i as u64));
-        if h % 5 != 0 {
+        if !h.is_multiple_of(5) {
             train.push(i);
         } else {
             test.push(i);

@@ -13,7 +13,6 @@ use megammap_cluster::Proc;
 
 use super::{evaluate, train_forest, RfConfig, RfEnv, RfResult};
 use crate::point::Point3D;
-use megammap::element::Element as _;
 
 const CHUNK: usize = 1024;
 

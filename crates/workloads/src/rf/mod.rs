@@ -140,7 +140,7 @@ pub fn in_bag(cfg: &RfConfig, tree: usize, idx: u64) -> bool {
 #[inline]
 pub fn in_train(seed: u64, idx: u64) -> bool {
     let h = splitmix64(seed ^ 0x7A_u64 ^ idx);
-    (h % 5) != 0
+    !h.is_multiple_of(5)
 }
 
 /// The feature subset examined at a node (deterministic per node).
@@ -180,9 +180,7 @@ pub fn gini_gain(left: &[u64], right: &[u64]) -> f64 {
         return 0.0;
     }
     let parent: Vec<u64> = left.iter().zip(right).map(|(a, b)| a + b).collect();
-    gini(&parent)
-        - (nl as f64 / n as f64) * gini(left)
-        - (nr as f64 / n as f64) * gini(right)
+    gini(&parent) - (nl as f64 / n as f64) * gini(left) - (nr as f64 / n as f64) * gini(right)
 }
 
 #[cfg(test)]
@@ -345,7 +343,7 @@ pub(crate) fn train_tree(cfg: &RfConfig, tree_idx: usize, env: &mut dyn RfEnv) -
             }
         }
         let mut gathered = env.allgather_samples(local_cands);
-        gathered.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        gathered.sort_by_key(|a| (a.0, a.1));
 
         // Candidate (feature, threshold) pairs per node: medians of the
         // gathered sample on the node's feature subset.
@@ -422,7 +420,7 @@ pub(crate) fn train_tree(cfg: &RfConfig, tree_idx: usize, env: &mut dyn RfEnv) -
                 let l = &hist[base + ci * 2 * ncl..base + (ci * 2 + 1) * ncl];
                 let r = &hist[base + (ci * 2 + 1) * ncl..base + (ci * 2 + 2) * ncl];
                 let gain = gini_gain(l, r);
-                if best.map_or(true, |(g, _)| gain > g) {
+                if best.is_none_or(|(g, _)| gain > g) {
                     best = Some((gain, ci));
                 }
             }

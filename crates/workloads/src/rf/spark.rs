@@ -92,19 +92,14 @@ mod tests {
         let (souts, _) = spark_cluster.run(move |p| {
             let base = d2.points.len() * p.rank() / p.nprocs();
             let hi = d2.points.len() * (p.rank() + 1) / p.nprocs();
-            run(
-                p,
-                d2.points[base..hi].to_vec(),
-                d2.labels[base..hi].to_vec(),
-                base as u64,
-                cfg,
-            )
-            .unwrap()
+            run(p, d2.points[base..hi].to_vec(), d2.labels[base..hi].to_vec(), base as u64, cfg)
+                .unwrap()
         });
         assert!(souts[0].accuracy > 0.9, "accuracy {}", souts[0].accuracy);
 
         let mm = Cluster::new(ClusterSpec::new(2, 1).dram_per_node(1 << 30));
-        let rt = megammap::Runtime::new(&mm, megammap::RuntimeConfig::default().with_page_size(4096));
+        let rt =
+            megammap::Runtime::new(&mm, megammap::RuntimeConfig::default().with_page_size(4096));
         let pobj = rt.backends().open(&DataUrl::parse("obj://rfs/p.bin").unwrap()).unwrap();
         data.write_object(pobj.as_ref()).unwrap();
         let lbytes: Vec<u8> = data.labels.iter().flat_map(|l| l.to_le_bytes()).collect();

@@ -25,8 +25,7 @@ pub fn ref_kmeans(points: &[Point3D], init: &[Point3D], iters: usize) -> (Vec<Po
             }
         }
     }
-    let inertia: f64 =
-        points.iter().map(|p| p.nearest_centroid(&ks).1 as f64).sum();
+    let inertia: f64 = points.iter().map(|p| p.nearest_centroid(&ks).1 as f64).sum();
     (ks, inertia)
 }
 
@@ -157,8 +156,7 @@ mod tests {
     fn dbscan_finds_well_separated_halos() {
         let d = generate(HaloParams { n_points: 400, ..Default::default() });
         let labels = ref_dbscan(&d.points, 8.0, 4);
-        let clusters: std::collections::HashSet<_> =
-            labels.iter().filter(|&&l| l >= 0).collect();
+        let clusters: std::collections::HashSet<_> = labels.iter().filter(|&&l| l >= 0).collect();
         assert_eq!(clusters.len(), 8, "one cluster per halo");
         let ri = rand_index(&labels, &d.labels);
         assert!(ri > 0.99, "rand index {ri}");

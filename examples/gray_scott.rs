@@ -56,7 +56,6 @@ fn main() {
         .backends()
         .open(&mega_mmap::formats::DataUrl::parse("obj://gs-example/run.u0").unwrap())
         .expect("checkpoint object");
-    use mega_mmap::formats::DataObject;
     println!("checkpointed U grid: {} bytes", obj.len().unwrap());
     assert_eq!(obj.len().unwrap(), cfg.field_bytes());
     assert!(r.sum_v > 0.0, "the reaction should be alive");

@@ -23,13 +23,9 @@ fn main() {
         let world = p.world();
         let nprocs = p.nprocs();
         // The unsorted input, bounded to 256 KiB of DRAM per process.
-        let input: MmVec<u64> = MmVec::open(
-            &rt2,
-            p,
-            "mem://sort-input",
-            VecOptions::new().len(N).pcache(256 << 10),
-        )
-        .unwrap();
+        let input: MmVec<u64> =
+            MmVec::open(&rt2, p, "mem://sort-input", VecOptions::new().len(N).pcache(256 << 10))
+                .unwrap();
         input.pgas(p, p.rank(), nprocs);
 
         // Fill with a deterministic pseudo-random permutation-ish stream.
@@ -43,13 +39,13 @@ fn main() {
 
         // Splitters: sample locally, gather, take quantiles.
         let tx = input.tx_begin(p, TxKind::rand(7, r.start, r.end - r.start), Access::ReadOnly);
-        let sample: Vec<u64> =
-            (0..64).map(|k| input.load(p, &tx, TxKind::rand(7, r.start, r.end - r.start).access_index(k))).collect();
+        let sample: Vec<u64> = (0..64)
+            .map(|k| input.load(p, &tx, TxKind::rand(7, r.start, r.end - r.start).access_index(k)))
+            .collect();
         input.tx_end(p, tx);
         let mut all = world.allgather(p, sample, 8);
         all.sort_unstable();
-        let splitters: Vec<u64> =
-            (1..nprocs).map(|b| all[b * all.len() / nprocs]).collect();
+        let splitters: Vec<u64> = (1..nprocs).map(|b| all[b * all.len() / nprocs]).collect();
 
         // Redistribute into per-bucket append-only vectors.
         let buckets: Vec<MmVec<u64>> = (0..nprocs)
@@ -97,13 +93,9 @@ fn main() {
         let offset: u64 = sizes[..p.rank()].iter().sum();
 
         // Write the sorted run into the output at its global offset.
-        let output: MmVec<u64> = MmVec::open(
-            &rt2,
-            p,
-            "mem://sort-output",
-            VecOptions::new().len(N).pcache(256 << 10),
-        )
-        .unwrap();
+        let output: MmVec<u64> =
+            MmVec::open(&rt2, p, "mem://sort-output", VecOptions::new().len(N).pcache(256 << 10))
+                .unwrap();
         let tx = output.tx_begin(p, TxKind::seq(offset, len), Access::WriteLocal);
         output.write_slice(p, offset, &vals).unwrap();
         output.tx_end(p, tx);

@@ -18,13 +18,8 @@ fn main() {
 
     let (sums, report) = cluster.run(move |p| {
         let world = p.world();
-        let log: MmVec<u64> = MmVec::open(
-            &rt2,
-            p,
-            "mem://event-log",
-            VecOptions::new().pcache(512 << 10),
-        )
-        .unwrap();
+        let log: MmVec<u64> =
+            MmVec::open(&rt2, p, "mem://event-log", VecOptions::new().pcache(512 << 10)).unwrap();
 
         // Phase 1 — producers append events (Append-Only Global: ordered
         // asynchronous writer tasks, no read traffic).

@@ -34,7 +34,8 @@ fn main() {
         // Write-Local transaction: non-overlapping partitions, so caches
         // are naturally coherent and evictions ship only the diffs.
         let range = v.local_range();
-        let tx = v.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::WriteLocal);
+        let tx =
+            v.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::WriteLocal);
         for i in v.local_range() {
             v.store(p, &tx, i, (i as f64).sqrt());
         }

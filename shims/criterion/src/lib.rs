@@ -1,0 +1,183 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness with Criterion's call shape:
+//! `benchmark_group` / `throughput` / `bench_function` / `finish`, plus the
+//! `criterion_group!` / `criterion_main!` macros. Under `cargo bench` (the
+//! harness receives `--bench`) each benchmark is warmed up and timed, and a
+//! `ns/iter` line plus optional throughput is printed. Under `cargo test`
+//! the flag is absent and every benchmark body runs exactly once, so bench
+//! targets double as smoke tests without burning CI time. No statistics,
+//! plots or baselines — point estimates only.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How to express a group's work rate alongside its timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to each `criterion_group!` function.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        // Cargo invokes bench targets with `--bench` under `cargo bench`;
+        // under `cargo test` (and plain execution) the flag is absent and
+        // we run one iteration per benchmark as a smoke test.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Self { quick }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+
+    /// Register a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, self.quick, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work rate reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.throughput, self.criterion.quick, f);
+        self
+    }
+
+    /// End the group (kept for API parity; reporting happens per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    quick: bool,
+    /// Measured mean ns/iter, set by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, storing mean wall-clock ns per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm up for ~50ms to estimate the per-iteration cost.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Measure for ~200ms in one timed batch.
+        let target = Duration::from_millis(200).as_nanos() as f64;
+        let iters = ((target / est_ns) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, quick: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { quick, ns_per_iter: 0.0 };
+    f(&mut b);
+    if quick {
+        println!("{name:<32} ok (test mode, 1 iter)");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} Melem/s", n as f64 / b.ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / b.ns_per_iter * 1e9 / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("{name:<32} {:>14.1} ns/iter{rate}", b.ns_per_iter);
+}
+
+/// Define a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::__new_criterion();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main()` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __new_criterion() -> Criterion {
+    Criterion::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim-self-test");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).map(black_box).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_in_quick_mode() {
+        // Test binaries have no `--bench` arg, so this runs each bench once.
+        benches();
+    }
+}

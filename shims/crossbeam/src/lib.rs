@@ -1,0 +1,84 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (`scope(|s| { s.spawn(|_| ...) })` returning a `Result`), implemented
+//! over `std::thread::scope`. Only the surface this workspace uses exists.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam signatures.
+
+    use std::any::Any;
+
+    /// Result of a scope or a join: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// The scope handle passed to the closure; spawn borrows from `'env`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// (crossbeam allows nested spawns; callers here ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before this returns.
+    ///
+    /// Deviation from crossbeam: if a spawned thread panics and its handle
+    /// was never joined, the panic propagates (std scope semantics) instead
+    /// of being collected into the returned `Result`. Every caller in this
+    /// workspace joins its handles explicitly, so the difference is moot.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_borrowing_threads() {
+            let data = vec![1u64, 2, 3, 4];
+            let mut outs = vec![0u64; 4];
+            super::scope(|s| {
+                let mut handles = Vec::new();
+                for (slot, v) in outs.iter_mut().zip(&data) {
+                    handles.push(s.spawn(move |_| *slot = v * 10));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+            .unwrap();
+            assert_eq!(outs, vec![10, 20, 30, 40]);
+        }
+
+        #[test]
+        fn join_surfaces_panics() {
+            let caught = super::scope(|s| s.spawn(|_| panic!("boom")).join().is_err()).unwrap();
+            assert!(caught);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline shim for `rand` 0.8.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::{gen, gen_range}` over common numeric types. The generator is
+//! xoshiro256++ seeded through SplitMix64 — high-quality, fast, and fully
+//! deterministic in the seed, which is all the workloads need. Streams do
+//! NOT match the real rand crate's StdRng (ChaCha12); datasets generated
+//! here are deterministic per seed but differ from upstream-rand output.
+
+pub mod rngs {
+    //! Named generator types.
+
+    /// The standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding constructors (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the reference seeding for xoshiro.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self { s }
+    }
+}
+
+/// A type samplable uniformly from a range (subset of `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one value from the range using `rng`.
+    fn sample_single(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64_impl() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single(self, rng: &mut StdRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range in gen_range");
+                let span = (e as i128 - s as i128) as u128 + 1;
+                let v = (rng.next_u64_impl() as u128) % span;
+                (s as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single(self, rng: &mut StdRng) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (rng.next_u64_impl() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (rng.next_u64_impl() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// A type with a "natural" uniform distribution for `Rng::gen` (subset of
+/// `rand::distributions::Standard` coverage).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn gen_standard(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn gen_standard(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl()
+    }
+}
+
+impl Standard for u32 {
+    fn gen_standard(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    fn gen_standard(rng: &mut StdRng) -> Self {
+        (rng.next_u64_impl() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn gen_standard(rng: &mut StdRng) -> Self {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn gen_standard(rng: &mut StdRng) -> Self {
+        (0.0f32..1.0).sample_single(rng)
+    }
+}
+
+impl Standard for f64 {
+    fn gen_standard(rng: &mut StdRng) -> Self {
+        (0.0f64..1.0).sample_single(rng)
+    }
+}
+
+/// Sampling methods (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value of `T`'s natural distribution.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Uniform value in `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::gen_standard(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen_range(1e-6..1.0f32);
+            assert!((1e-6..1.0).contains(&f), "{f}");
+            let i = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&i), "{i}");
+            let n = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&n), "{n}");
+        }
+    }
+
+    #[test]
+    fn gen_covers_value_space_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hi = 0usize;
+        for _ in 0..1000 {
+            if rng.gen::<u64>() > u64::MAX / 2 {
+                hi += 1;
+            }
+        }
+        assert!((300..700).contains(&hi), "badly skewed: {hi}/1000 above midpoint");
+    }
+}

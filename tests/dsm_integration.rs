@@ -1,8 +1,8 @@
 //! Integration tests spanning the whole stack: cluster + runtime + vector
 //! + formats + tiering, exercised together the way an application would.
 
-use mega_mmap::prelude::*;
 use mega_mmap::formats::DataObject;
+use mega_mmap::prelude::*;
 
 fn fixture(nodes: usize, procs: usize) -> (Cluster, Runtime) {
     let cluster = Cluster::new(ClusterSpec::new(nodes, procs).dram_per_node(1 << 30));
@@ -23,8 +23,7 @@ fn hdf5_backed_vector_full_cycle() {
     let rt2 = rt.clone();
     let url2 = url.clone();
     cluster.run(move |p| {
-        let v: MmVec<f64> =
-            MmVec::open(&rt2, p, &url2, VecOptions::new().len(1000)).unwrap();
+        let v: MmVec<f64> = MmVec::open(&rt2, p, &url2, VecOptions::new().len(1000)).unwrap();
         v.pgas(p, p.rank(), p.nprocs());
         let r = v.local_range();
         let tx = v.tx_begin(p, TxKind::seq(r.start, r.end - r.start), Access::WriteLocal);
@@ -116,19 +115,16 @@ fn tiering_spills_when_dram_tier_is_tiny() {
     // A vector larger than the DRAM tier must end up partially on NVMe —
     // and still read back correctly.
     let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
-    let cfg = RuntimeConfig::default()
-        .with_page_size(4096)
-        .with_tiers(vec![
-            mega_mmap::sim::DeviceSpec::dram(16 * 4096),
-            mega_mmap::sim::DeviceSpec::nvme(1 << 22),
-        ]);
+    let cfg = RuntimeConfig::default().with_page_size(4096).with_tiers(vec![
+        mega_mmap::sim::DeviceSpec::dram(16 * 4096),
+        mega_mmap::sim::DeviceSpec::nvme(1 << 22),
+    ]);
     let rt = Runtime::new(&cluster, cfg);
     let rt2 = rt.clone();
     cluster.run(move |p| {
         let n = 64 * 4096 / 8; // 64 pages of u64s, 4x the DRAM tier
         let v: MmVec<u64> =
-            MmVec::open(&rt2, p, "mem://spill", VecOptions::new().len(n).pcache(8 * 4096))
-                .unwrap();
+            MmVec::open(&rt2, p, "mem://spill", VecOptions::new().len(n).pcache(8 * 4096)).unwrap();
         let tx = v.tx_begin(p, TxKind::seq(0, n), Access::WriteGlobal);
         for i in 0..n {
             v.store(p, &tx, i, i * 31);
@@ -160,8 +156,7 @@ fn obj_store_stager_round_trip_with_trim() {
     let (cluster, rt) = fixture(1, 1);
     let rt2 = rt.clone();
     cluster.run(move |p| {
-        let v: MmVec<u16> =
-            MmVec::open(&rt2, p, "obj://it/app.bin", VecOptions::new()).unwrap();
+        let v: MmVec<u16> = MmVec::open(&rt2, p, "obj://it/app.bin", VecOptions::new()).unwrap();
         let tx = v.tx_begin(p, TxKind::append(0), Access::AppendGlobal);
         for k in 0..777u16 {
             v.append(p, &tx, k);

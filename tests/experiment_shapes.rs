@@ -50,10 +50,7 @@ fn fig5_shape_kmeans_beats_spark() {
         kmeans::spark::run(p, d2.points[lo..hi].to_vec(), lo as u64, cfg).unwrap()
     });
     let speedup = spark.makespan_ns as f64 / mega.makespan_ns as f64;
-    assert!(
-        speedup > 1.2,
-        "MegaMmap must beat Spark (paper: up to 2x); got {speedup:.2}x"
-    );
+    assert!(speedup > 1.2, "MegaMmap must beat Spark (paper: up to 2x); got {speedup:.2}x");
     // And Spark's DRAM is a small multiple of its per-node dataset share
     // while MegaMmap's scache holds roughly one copy.
     let per_node = data.points.len() as u64 * 12 / 2;
@@ -81,11 +78,8 @@ fn fig5_shape_gray_scott_near_mpi() {
     });
     let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(1 << 30));
     let (_, mpi) = cluster.run(move |p| {
-        gray_scott::mpi::run(
-            p,
-            &gray_scott::mpi::MpiGs { cfg, io: None, final_ckpt: false },
-        )
-        .unwrap()
+        gray_scott::mpi::run(p, &gray_scott::mpi::MpiGs { cfg, io: None, final_ckpt: false })
+            .unwrap()
     });
     let ratio = mega.makespan_ns as f64 / mpi.makespan_ns as f64;
     assert!(
@@ -99,7 +93,7 @@ fn fig5_shape_gray_scott_near_mpi() {
 #[test]
 fn fig6_shape_oom_crossover() {
     let cfg = GsConfig::new(40, 2);
-    let dram = 1 * MIB; // far below the ~2 MiB slab need
+    let dram = MIB; // far below the ~2 MiB slab need
     let cluster = Cluster::new(ClusterSpec::new(1, 2).dram_per_node(dram));
     let (outs, _) = cluster.run(move |p| {
         gray_scott::mpi::run(p, &gray_scott::mpi::MpiGs { cfg, io: None, final_ckpt: false })
@@ -165,10 +159,7 @@ fn fig7_shape_nvme_beats_hdd() {
     let hdd = run_with(DeviceSpec::hdd(64 * MIB));
     let nvme = run_with(DeviceSpec::nvme(64 * MIB));
     let speedup = hdd as f64 / nvme as f64;
-    assert!(
-        speedup > 1.3,
-        "NVMe tiering must clearly beat HDD (paper: 1.8x); got {speedup:.2}x"
-    );
+    assert!(speedup > 1.3, "NVMe tiering must clearly beat HDD (paper: 1.8x); got {speedup:.2}x");
 }
 
 /// Fig. 8 shape: halving the DRAM budget costs little; an eighth costs a lot.
@@ -181,9 +172,10 @@ fn fig8_shape_flat_then_degrading() {
         let cluster = Cluster::new(ClusterSpec::new(2, 2).dram_per_node(256 * MIB));
         let rt = Runtime::new(
             &cluster,
-            RuntimeConfig::default()
-                .with_page_size(16 * 1024)
-                .with_tiers(vec![DeviceSpec::dram(dram.max(64 * 1024)), DeviceSpec::nvme(64 * MIB)]),
+            RuntimeConfig::default().with_page_size(16 * 1024).with_tiers(vec![
+                DeviceSpec::dram(dram.max(64 * 1024)),
+                DeviceSpec::nvme(64 * MIB),
+            ]),
         );
         let obj = rt
             .backends()

@@ -57,10 +57,7 @@ fn kmeans_assignments_feed_random_forest() {
     let (inertia, accuracy) = outs[0];
     // KMeans converged on the halos (inertia near 3·σ²·n).
     let expect = 1600.0 * 3.0 * 16.0;
-    assert!(
-        (inertia - expect).abs() / expect < 0.5,
-        "inertia {inertia} vs expected ~{expect}"
-    );
+    assert!((inertia - expect).abs() / expect < 0.5, "inertia {inertia} vs expected ~{expect}");
     // RF predicts KMeans clusters from positions nearly perfectly — the
     // clusters are axis-separable halos.
     assert!(accuracy > 0.9, "accuracy {accuracy}");
@@ -95,8 +92,7 @@ fn gray_scott_checkpoint_reopens_as_vector() {
 
         // Re-attach the checkpointed U field (steps=3 → final parity u1)
         // as a fresh read-only vector and recompute the checksum.
-        let u: MmVec<f64> =
-            MmVec::open(&rt2, p, "obj://pipe/gs.u1", VecOptions::new()).unwrap();
+        let u: MmVec<f64> = MmVec::open(&rt2, p, "obj://pipe/gs.u1", VecOptions::new()).unwrap();
         assert_eq!(u.len(), cfg.cells());
         u.pgas(p, p.rank(), p.nprocs());
         let range = u.local_range();
@@ -106,9 +102,7 @@ fn gray_scott_checkpoint_reopens_as_vector() {
             sum += u.load(p, &tx, i);
         }
         u.tx_end(p, tx);
-        let total = p
-            .world()
-            .allreduce_f64(p, &[sum], megammap_cluster::comm::ReduceOp::Sum)[0];
+        let total = p.world().allreduce_f64(p, &[sum], megammap_cluster::comm::ReduceOp::Sum)[0];
         (r.sum_u, total)
     });
     let (live, reloaded) = outs[0];
