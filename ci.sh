@@ -26,4 +26,7 @@ cargo clippy --workspace --all-targets "${PROFILE[@]}" -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace "${PROFILE[@]}"
 
+echo "==> cargo bench --no-run (benches must compile)"
+cargo bench --workspace --no-run
+
 echo "CI gate passed."

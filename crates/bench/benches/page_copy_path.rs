@@ -1,0 +1,124 @@
+//! Microbenchmark: proving the clean-page pipeline is zero-copy.
+//!
+//! Pages travel pcache → scache → pcache as refcounted [`bytes::Bytes`]
+//! views; a physical copy happens only when a transaction dirties a shared
+//! page (copy-on-write promotion). The `runtime.bytes_copied` counter
+//! records every such copy, so the clean-fault cases below can assert the
+//! delta is exactly zero while timing the path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+
+const PAGES: u64 = 64;
+const PAGE: u64 = 16 * 1024;
+
+fn bench_copies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_copy_path");
+
+    // Clean faults against a populated scache: every page switch re-faults
+    // (pcache of two pages), and none of them may copy page bytes.
+    g.bench_function("clean_fault_zero_copy", |b| {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE));
+        cluster.run_once(|p| {
+            let v: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://copy-clean",
+                VecOptions::new().len(PAGES * PAGE / 8).pcache(PAGE * 2).no_prefetch(),
+            )
+            .unwrap();
+            // Populate with full-page writes (the zero-copy commit path).
+            let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::WriteGlobal);
+            for i in 0..v.len() {
+                v.store(p, &tx, i, i);
+            }
+            v.tx_end(p, tx);
+            let before = rt.telemetry().counter_total("runtime", "bytes_copied");
+            let elems = PAGE / 8;
+            let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::ReadOnly);
+            let mut page = 0u64;
+            b.iter(|| {
+                page = (page + 1) % PAGES;
+                black_box(v.load(p, &tx, page * elems))
+            });
+            v.tx_end(p, tx);
+            let after = rt.telemetry().counter_total("runtime", "bytes_copied");
+            assert_eq!(after, before, "clean faults must not copy page bytes");
+        });
+    });
+
+    // Same sweep with the prefetcher + fault coalescing enabled: runs of
+    // contiguous faults collapse into single ranged MemoryTasks, still with
+    // zero copies.
+    g.bench_function("coalesced_fault_zero_copy", |b| {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE));
+        cluster.run_once(|p| {
+            let v: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://copy-coalesce",
+                VecOptions::new().len(PAGES * PAGE / 8).pcache(PAGE * 8),
+            )
+            .unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::WriteGlobal);
+            for i in 0..v.len() {
+                v.store(p, &tx, i, i);
+            }
+            v.tx_end(p, tx);
+            let before = rt.telemetry().counter_total("runtime", "bytes_copied");
+            let elems = PAGE / 8;
+            let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::ReadOnly);
+            let mut page = 0u64;
+            b.iter(|| {
+                page = (page + 1) % PAGES;
+                black_box(v.load(p, &tx, page * elems))
+            });
+            v.tx_end(p, tx);
+            let after = rt.telemetry().counter_total("runtime", "bytes_copied");
+            assert_eq!(after, before, "coalesced faults must not copy page bytes");
+            black_box(rt.stats().coalesced_faults);
+        });
+    });
+
+    // The one remaining copy: dirtying a clean shared page promotes it to a
+    // private buffer. The counter must record exactly those bytes.
+    g.bench_function("cow_promote", |b| {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE));
+        cluster.run_once(|p| {
+            let v: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://copy-promote",
+                VecOptions::new().len(PAGES * PAGE / 8).pcache(PAGE * 2).no_prefetch(),
+            )
+            .unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, v.len()), Access::WriteGlobal);
+            for i in 0..v.len() {
+                v.store(p, &tx, i, i);
+            }
+            v.tx_end(p, tx);
+            let before = rt.telemetry().counter_total("runtime", "bytes_copied");
+            let elems = PAGE / 8;
+            let tx = v.tx_begin(p, TxKind::rand(1, 0, v.len()), Access::ReadWriteGlobal);
+            let mut page = 0u64;
+            b.iter(|| {
+                page = (page + 1) % PAGES;
+                // Fault clean, then dirty one element: exactly one promotion.
+                v.store(p, &tx, page * elems, page);
+            });
+            v.tx_end(p, tx);
+            let after = rt.telemetry().counter_total("runtime", "bytes_copied");
+            assert!(after > before, "CoW promotion must be counted");
+            assert_eq!((after - before) % PAGE, 0, "promotions copy whole pages");
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_copies);
+criterion_main!(benches);

@@ -129,9 +129,11 @@ impl Comm {
         );
     }
 
-    /// Elementwise allreduce over `f64` vectors. Contributions are folded in
-    /// member order, so results are bitwise deterministic.
-    pub fn allreduce_f64(&self, p: &Proc, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+    /// Elementwise allreduce over `f64` vectors, returning a shared handle:
+    /// every member receives an `Arc` of the **same** reduced vector, so no
+    /// per-rank deep copy is made. Contributions are folded in member
+    /// order, so results are bitwise deterministic.
+    pub fn allreduce_f64_shared(&self, p: &Proc, vals: &[f64], op: ReduceOp) -> Arc<Vec<f64>> {
         let idx = self.rank_of(p);
         let bytes = (vals.len() * 8) as u64;
         let out = self.state.rv.exchange(idx, p.now(), Box::new(vals.to_vec()), move |contribs| {
@@ -143,15 +145,24 @@ impl Comm {
                 assert_eq!(v.len(), acc.len(), "allreduce length mismatch");
                 op.fold_f64(&mut acc, &v);
             }
-            Box::new(acc) as AnyRes
+            Box::new(Arc::new(acc)) as AnyRes
         });
         // Reduce + broadcast: two tree phases.
         self.charge(p, out.max_clock, CollectiveShape::Tree, bytes * 2);
-        out.result.downcast_ref::<Vec<f64>>().expect("result type").clone()
+        out.result.downcast_ref::<Arc<Vec<f64>>>().expect("result type").clone()
     }
 
-    /// Elementwise allreduce over `u64` vectors.
-    pub fn allreduce_u64(&self, p: &Proc, vals: &[u64], op: ReduceOp) -> Vec<u64> {
+    /// Elementwise allreduce over `f64` vectors. Delegates to
+    /// [`allreduce_f64_shared`](Self::allreduce_f64_shared); the deep copy
+    /// happens only here, for callers that need ownership.
+    pub fn allreduce_f64(&self, p: &Proc, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let shared = self.allreduce_f64_shared(p, vals, op);
+        Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone())
+    }
+
+    /// Elementwise allreduce over `u64` vectors; every member receives an
+    /// `Arc` of the same result (no per-rank copy).
+    pub fn allreduce_u64_shared(&self, p: &Proc, vals: &[u64], op: ReduceOp) -> Arc<Vec<u64>> {
         let idx = self.rank_of(p);
         let bytes = (vals.len() * 8) as u64;
         let out = self.state.rv.exchange(idx, p.now(), Box::new(vals.to_vec()), move |contribs| {
@@ -162,15 +173,22 @@ impl Comm {
             for v in iter {
                 op.fold_u64(&mut acc, &v);
             }
-            Box::new(acc) as AnyRes
+            Box::new(Arc::new(acc)) as AnyRes
         });
         self.charge(p, out.max_clock, CollectiveShape::Tree, bytes * 2);
-        out.result.downcast_ref::<Vec<u64>>().expect("result type").clone()
+        out.result.downcast_ref::<Arc<Vec<u64>>>().expect("result type").clone()
     }
 
-    /// Allgather: every member contributes a `Vec<T>`; everyone receives the
-    /// concatenation in member order. `elem_bytes` sizes the network charge.
-    pub fn allgather<T>(&self, p: &Proc, vals: Vec<T>, elem_bytes: u64) -> Vec<T>
+    /// Elementwise allreduce over `u64` vectors (owned result).
+    pub fn allreduce_u64(&self, p: &Proc, vals: &[u64], op: ReduceOp) -> Vec<u64> {
+        let shared = self.allreduce_u64_shared(p, vals, op);
+        Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone())
+    }
+
+    /// Allgather: every member contributes a `Vec<T>`; everyone receives an
+    /// `Arc` of the **same** concatenation in member order (no per-rank
+    /// copy). `elem_bytes` sizes the network charge.
+    pub fn allgather_shared<T>(&self, p: &Proc, vals: Vec<T>, elem_bytes: u64) -> Arc<Vec<T>>
     where
         T: Clone + Send + Sync + 'static,
     {
@@ -181,15 +199,24 @@ impl Comm {
             for c in contribs {
                 all.extend(*c.downcast::<Vec<T>>().expect("allgather type mismatch"));
             }
-            Box::new(all) as AnyRes
+            Box::new(Arc::new(all)) as AnyRes
         });
         self.charge(p, out.max_clock, CollectiveShape::Ring, bytes * self.size() as u64);
-        out.result.downcast_ref::<Vec<T>>().expect("result type").clone()
+        out.result.downcast_ref::<Arc<Vec<T>>>().expect("result type").clone()
     }
 
-    /// Broadcast from member `root`: the root passes `Some(value)`, others
-    /// pass `None`; everyone receives the root's value.
-    pub fn bcast<T>(&self, p: &Proc, root: usize, value: Option<T>, bytes: u64) -> T
+    /// Allgather with an owned result, for callers that consume it.
+    pub fn allgather<T>(&self, p: &Proc, vals: Vec<T>, elem_bytes: u64) -> Vec<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let shared = self.allgather_shared(p, vals, elem_bytes);
+        Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone())
+    }
+
+    /// Broadcast from member `root`, returning a shared handle: every
+    /// member receives an `Arc` of the root's value (no per-rank copy).
+    pub fn bcast_shared<T>(&self, p: &Proc, root: usize, value: Option<T>, bytes: u64) -> Arc<T>
     where
         T: Clone + Send + Sync + 'static,
     {
@@ -204,14 +231,25 @@ impl Comm {
                     found = Some(v);
                 }
             }
-            Box::new(found.expect("root must supply a value")) as AnyRes
+            Box::new(Arc::new(found.expect("root must supply a value"))) as AnyRes
         });
         self.charge(p, out.max_clock, CollectiveShape::Tree, bytes);
-        out.result.downcast_ref::<T>().expect("result type").clone()
+        out.result.downcast_ref::<Arc<T>>().expect("result type").clone()
+    }
+
+    /// Broadcast from member `root`: the root passes `Some(value)`, others
+    /// pass `None`; everyone receives the root's value (owned).
+    pub fn bcast<T>(&self, p: &Proc, root: usize, value: Option<T>, bytes: u64) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let shared = self.bcast_shared(p, root, value, bytes);
+        Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone())
     }
 
     /// Gather member contributions at member `root` (others receive `None`).
-    pub fn gather<T>(&self, p: &Proc, root: usize, val: T, bytes: u64) -> Option<Vec<T>>
+    /// The root's view is an `Arc` of the rendezvous result — no copy.
+    pub fn gather_shared<T>(&self, p: &Proc, root: usize, val: T, bytes: u64) -> Option<Arc<Vec<T>>>
     where
         T: Clone + Send + Sync + 'static,
     {
@@ -221,14 +259,23 @@ impl Comm {
                 .into_iter()
                 .map(|c| *c.downcast::<T>().expect("gather type mismatch"))
                 .collect();
-            Box::new(all) as AnyRes
+            Box::new(Arc::new(all)) as AnyRes
         });
         self.charge(p, out.max_clock, CollectiveShape::Tree, bytes * self.size() as u64);
         if idx == root {
-            Some(out.result.downcast_ref::<Vec<T>>().expect("result type").clone())
+            Some(out.result.downcast_ref::<Arc<Vec<T>>>().expect("result type").clone())
         } else {
             None
         }
+    }
+
+    /// Gather member contributions at member `root` (owned result).
+    pub fn gather<T>(&self, p: &Proc, root: usize, val: T, bytes: u64) -> Option<Vec<T>>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.gather_shared(p, root, val, bytes)
+            .map(|shared| Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone()))
     }
 
     /// Split into sub-communicators by `color` (like `MPI_Comm_split`).

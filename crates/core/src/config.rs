@@ -57,6 +57,10 @@ pub struct RuntimeConfig {
     /// ("MegaMmap actively flushes modified data to storage during periods
     /// of computation"). `u64::MAX` disables it.
     pub stage_interval_ns: u64,
+    /// Maximum contiguous pages a sequential-hint fault may coalesce into
+    /// one ranged MemoryTask (1 disables coalescing). Each extra page in a
+    /// run saves one worker dispatch.
+    pub max_coalesce_pages: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -82,6 +86,7 @@ impl Default for RuntimeConfig {
             min_score: 0.05,
             watermark: 0.9,
             stage_interval_ns: 4_000_000,
+            max_coalesce_pages: 8,
         }
     }
 }
@@ -111,6 +116,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Set the fault-coalescing run bound (1 disables coalescing).
+    pub fn with_coalesce(mut self, pages: u64) -> Self {
+        self.max_coalesce_pages = pages;
+        self
+    }
+
     /// Parse a deployment YAML file (subset; see [`yaml`]).
     pub fn from_yaml(text: &str) -> Result<Self, String> {
         let doc = yaml::parse(text)?;
@@ -137,6 +148,9 @@ impl RuntimeConfig {
                 }
                 "min_score" => cfg.min_score = v.as_f64().ok_or("min_score: float")?,
                 "watermark" => cfg.watermark = v.as_f64().ok_or("watermark: float")?,
+                "max_coalesce_pages" => {
+                    cfg.max_coalesce_pages = v.as_u64().ok_or("max_coalesce_pages: int")?
+                }
                 "tiers" => {
                     let list = v.as_list().ok_or("tiers must be a list")?;
                     let mut tiers = Vec::new();
@@ -192,6 +206,9 @@ impl RuntimeConfig {
         }
         if self.workers_low == 0 || self.workers_high == 0 {
             return Err("worker pools must be nonempty".into());
+        }
+        if self.max_coalesce_pages == 0 {
+            return Err("max_coalesce_pages must be at least 1".into());
         }
         Ok(())
     }
@@ -422,11 +439,12 @@ mod tests {
     #[test]
     fn config_from_yaml_round_trip() {
         let cfg = RuntimeConfig::from_yaml(
-            "page_size: 4096\ndefault_pcache: 1048576\nmin_score: 0.2\ntiers:\n  - kind: dram\n    capacity: 1048576\n  - kind: hdd\n    capacity: 10485760\n",
+            "page_size: 4096\ndefault_pcache: 1048576\nmin_score: 0.2\nmax_coalesce_pages: 4\ntiers:\n  - kind: dram\n    capacity: 1048576\n  - kind: hdd\n    capacity: 10485760\n",
         )
         .unwrap();
         assert_eq!(cfg.page_size, 4096);
         assert_eq!(cfg.min_score, 0.2);
+        assert_eq!(cfg.max_coalesce_pages, 4);
         assert_eq!(cfg.tiers.len(), 2);
         assert_eq!(cfg.tiers[1].kind, TierKind::Hdd);
         assert_eq!(cfg.tiers[1].dollars_per_gb, 0.02, "presets carry paper $/GB");

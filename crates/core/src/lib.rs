@@ -13,7 +13,7 @@
 //! |---|---|
 //! | Shared vector API (`mm::Vector`) | [`vector`] |
 //! | Transactional memory hints (`TxBegin`/`TxEnd`, Listing 2) | [`tx`] |
-//! | Private cache + copy-on-write diff tracking | [`pcache`], [`rangeset`] |
+//! | Private cache + copy-on-write diff tracking | [`pcache`], [`pagebuf`], [`rangeset`] |
 //! | MemoryTask runtime, worker hashing, low/high-latency pools | [`runtime`] |
 //! | Coherence policies (Fig. 3) | [`policy`] |
 //! | Prefetcher (Algorithm 1) | [`prefetch`] |
@@ -53,6 +53,7 @@ pub mod client;
 pub mod config;
 pub mod element;
 pub mod error;
+pub mod pagebuf;
 pub mod pcache;
 pub mod policy;
 pub mod prefetch;
@@ -65,6 +66,7 @@ pub use client::VecOptions;
 pub use config::RuntimeConfig;
 pub use element::Element;
 pub use error::MmError;
+pub use pagebuf::PageBuf;
 pub use policy::{Access, Policy};
 pub use runtime::Runtime;
 pub use tx::{Transaction, TxKind};

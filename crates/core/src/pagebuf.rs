@@ -1,0 +1,172 @@
+//! Copy-on-write page payloads.
+//!
+//! A pcache page's backing buffer is either a refcounted immutable
+//! [`Bytes`] view — sharing one allocation with the scache, other readers,
+//! or replicas — or a private mutable `Vec<u8>` this process owns. Clean
+//! pages stay shared across every hop of the fault path; the first write
+//! of a transaction [`promote`](PageBuf::promote)s the page to a private
+//! buffer (copying only if someone else still holds the storage), and
+//! committing a fully-written page [`freeze`](PageBuf::freeze)s it back
+//! into a shareable view with zero copies.
+
+use bytes::Bytes;
+
+/// A page's backing buffer: shared-immutable or private-mutable.
+#[derive(Debug, Clone)]
+pub enum PageBuf {
+    /// Refcounted immutable view (clean page, storage shared with the
+    /// scache / other readers).
+    Shared(Bytes),
+    /// Private mutable buffer (locally dirtied, or a fresh zero page).
+    Owned(Vec<u8>),
+}
+
+impl Default for PageBuf {
+    fn default() -> Self {
+        PageBuf::Shared(Bytes::new())
+    }
+}
+
+impl PageBuf {
+    /// Wrap a shared view (clean page faulted from the scache).
+    pub fn shared(data: Bytes) -> Self {
+        PageBuf::Shared(data)
+    }
+
+    /// A fresh private zero page (write-only intent: no fault needed).
+    pub fn zeroed(len: usize) -> Self {
+        PageBuf::Owned(vec![0; len])
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            PageBuf::Shared(b) => b.len(),
+            PageBuf::Owned(v) => v.len(),
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the buffer is currently a shared view.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, PageBuf::Shared(_))
+    }
+
+    /// Read access (both representations).
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            PageBuf::Shared(b) => b.as_ref(),
+            PageBuf::Owned(v) => v.as_slice(),
+        }
+    }
+
+    /// Ensure the buffer is privately owned (copy-on-write). Returns the
+    /// number of bytes physically copied: 0 when already owned *or* when
+    /// the shared view was the sole reference to its storage and the
+    /// allocation could be stolen.
+    pub fn promote(&mut self) -> u64 {
+        match self {
+            PageBuf::Owned(_) => 0,
+            PageBuf::Shared(b) => {
+                let (vec, copied) = match std::mem::take(b).try_into_vec() {
+                    Ok(v) => (v, 0),
+                    Err(shared) => {
+                        let n = shared.len() as u64;
+                        (shared.to_vec(), n)
+                    }
+                };
+                *self = PageBuf::Owned(vec);
+                copied
+            }
+        }
+    }
+
+    /// Mutable access; the caller must have [`promote`](Self::promote)d
+    /// first (panics on a shared view — mutating one would be visible to
+    /// every reader of the storage).
+    pub fn owned_mut(&mut self) -> &mut [u8] {
+        match self {
+            PageBuf::Owned(v) => v.as_mut_slice(),
+            PageBuf::Shared(_) => panic!("PageBuf::owned_mut on a shared view; promote() first"),
+        }
+    }
+
+    /// Turn the buffer into a shareable [`Bytes`] without copying: an owned
+    /// buffer becomes the shared storage (and `self` keeps a view of it);
+    /// a shared view is cloned (O(1)).
+    pub fn freeze(&mut self) -> Bytes {
+        match self {
+            PageBuf::Shared(b) => b.clone(),
+            PageBuf::Owned(v) => {
+                let b = Bytes::from(std::mem::take(v));
+                *self = PageBuf::Shared(b.clone());
+                b
+            }
+        }
+    }
+
+    /// Consume into a shareable [`Bytes`] (zero-copy for both variants).
+    pub fn into_bytes(self) -> Bytes {
+        match self {
+            PageBuf::Shared(b) => b,
+            PageBuf::Owned(v) => Bytes::from(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_owned_and_mutable() {
+        let mut b = PageBuf::zeroed(16);
+        assert!(!b.is_shared());
+        assert_eq!(b.promote(), 0, "already owned: no copy");
+        b.owned_mut()[3] = 9;
+        assert_eq!(b.as_slice()[3], 9);
+    }
+
+    #[test]
+    fn promote_steals_unique_shared_storage() {
+        let mut b = PageBuf::shared(Bytes::from(vec![5u8; 32]));
+        let ptr = b.as_slice().as_ptr();
+        assert_eq!(b.promote(), 0, "sole reference: steal, no copy");
+        assert!(!b.is_shared());
+        assert_eq!(b.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn promote_copies_when_storage_is_shared() {
+        let shared = Bytes::from(vec![7u8; 32]);
+        let mut b = PageBuf::shared(shared.clone());
+        assert_eq!(b.promote(), 32, "other handles exist: must copy");
+        b.owned_mut()[0] = 1;
+        assert_eq!(shared[0], 7, "readers keep their stable view");
+        assert_eq!(b.as_slice()[0], 1);
+    }
+
+    #[test]
+    fn freeze_owned_shares_without_copy() {
+        let mut b = PageBuf::zeroed(8);
+        b.owned_mut()[0] = 3;
+        let ptr = b.as_slice().as_ptr();
+        let frozen = b.freeze();
+        assert_eq!(frozen.as_ref().as_ptr(), ptr, "freeze must not copy");
+        assert!(b.is_shared());
+        assert_eq!(frozen[0], 3);
+        // Re-dirtying after freeze copies (the scache holds the storage).
+        assert_eq!(b.promote(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "promote")]
+    fn owned_mut_on_shared_panics() {
+        let mut b = PageBuf::shared(Bytes::from(vec![0u8; 4]));
+        let _ = b.owned_mut();
+    }
+}

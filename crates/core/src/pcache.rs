@@ -17,13 +17,15 @@ use std::collections::HashMap;
 use megammap_sim::SimTime;
 use megammap_telemetry::{Counter, Telemetry};
 
+use crate::pagebuf::PageBuf;
 use crate::rangeset::RangeSet;
 
 /// A page resident in the pcache.
 #[derive(Debug, Clone)]
 pub struct CachedPage {
-    /// Page contents (a private, copy-on-write view).
-    pub data: Vec<u8>,
+    /// Page contents: a shared refcounted view while clean, promoted to a
+    /// private buffer on the first write (copy-on-write; see [`PageBuf`]).
+    pub data: PageBuf,
     /// Byte ranges modified since the page was last flushed.
     pub dirty: RangeSet,
     /// Virtual time the contents become valid (in-flight prefetch).
@@ -43,7 +45,7 @@ pub struct CachedPage {
 
 impl CachedPage {
     /// A fresh, clean page.
-    pub fn new(data: Vec<u8>, ready_at: SimTime) -> Self {
+    pub fn new(data: PageBuf, ready_at: SimTime) -> Self {
         Self {
             data,
             dirty: RangeSet::new(),
@@ -365,7 +367,7 @@ mod tests {
     use super::*;
 
     fn page(bytes: usize) -> CachedPage {
-        CachedPage::new(vec![0u8; bytes], 0)
+        CachedPage::new(PageBuf::zeroed(bytes), 0)
     }
 
     #[test]

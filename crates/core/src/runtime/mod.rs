@@ -131,6 +131,16 @@ pub struct Stats {
     pub tasks_high: Counter,
     /// Replicas invalidated on phase changes (`runtime.invalidations`).
     pub invalidations: Counter,
+    /// Page-payload bytes physically copied on the fault/commit path
+    /// (`runtime.bytes_copied`). Clean faults and full-page commits share
+    /// refcounted buffers, so this counts only copy-on-write promotions of
+    /// still-shared pages and scache patches of shared blobs — the proof
+    /// that the zero-copy pipeline stays zero-copy.
+    pub bytes_copied: Counter,
+    /// Extra pages served by a coalesced (ranged) fault — contiguous pages
+    /// that shared one MemoryTask dispatch instead of paying their own
+    /// (`runtime.coalesced_faults`).
+    pub coalesced: Counter,
     /// Virtual queueing delay (ns) between task submission and worker
     /// dispatch — the simulation's observable for worker-pool queue depth.
     pub queue_delay_ns: Histogram,
@@ -149,6 +159,8 @@ impl Stats {
             tasks_low: t.counter("runtime", "tasks_low", &[]),
             tasks_high: t.counter("runtime", "tasks_high", &[]),
             invalidations: t.counter("runtime", "invalidations", &[]),
+            bytes_copied: t.counter("runtime", "bytes_copied", &[]),
+            coalesced: t.counter("runtime", "coalesced_faults", &[]),
             queue_delay_ns: t.histogram(
                 "runtime",
                 "queue_delay_ns",
@@ -182,6 +194,10 @@ pub struct StatsSnapshot {
     pub tasks_high: u64,
     /// See [`Stats::invalidations`].
     pub invalidations: u64,
+    /// See [`Stats::bytes_copied`].
+    pub bytes_copied: u64,
+    /// See [`Stats::coalesced`].
+    pub coalesced_faults: u64,
 }
 
 struct RuntimeInner {
@@ -284,6 +300,8 @@ impl Runtime {
             tasks_low: s.tasks_low.get(),
             tasks_high: s.tasks_high.get(),
             invalidations: s.invalidations.get(),
+            bytes_copied: s.bytes_copied.get(),
+            coalesced_faults: s.coalesced.get(),
         }
     }
 
@@ -401,10 +419,12 @@ impl Runtime {
 
     /// Serve a page read for a process on `my_node` at virtual time `now`.
     ///
-    /// Returns the full page bytes plus the virtual completion time. If
-    /// `prefetch` is true the read is asynchronous (issued now, completing
-    /// at the returned time) and counted as a prefetch. `collective` holds
-    /// the group size when the transaction carries the Collective hint.
+    /// Returns the full page as a refcounted [`Bytes`] view — the caller
+    /// shares the scache's allocation rather than receiving a copy — plus
+    /// the virtual completion time. If `prefetch` is true the read is
+    /// asynchronous (issued now, completing at the returned time) and
+    /// counted as a prefetch. `collective` holds the group size when the
+    /// transaction carries the Collective hint.
     pub(crate) fn read_page(
         &self,
         now: SimTime,
@@ -413,7 +433,7 @@ impl Runtime {
         my_node: usize,
         collective: Option<usize>,
         prefetch: bool,
-    ) -> Result<(Vec<u8>, SimTime)> {
+    ) -> Result<(Bytes, SimTime)> {
         let out = self.read_page_impl(now, meta, page, my_node, collective, prefetch)?;
         let kind = if prefetch { EventKind::PrefetchIssue } else { EventKind::PageFault };
         self.inner.telemetry.span(kind, now, out.1, my_node as u32, out.0.len() as u64, page);
@@ -428,7 +448,7 @@ impl Runtime {
         my_node: usize,
         collective: Option<usize>,
         prefetch: bool,
-    ) -> Result<(Vec<u8>, SimTime)> {
+    ) -> Result<(Bytes, SimTime)> {
         let s = &self.inner.stats;
         if prefetch {
             s.prefetches.inc();
@@ -444,18 +464,31 @@ impl Runtime {
                 Err(e) => return Err(e),
             }
         }
-        // Not resident anywhere: stage in from the backend or synthesize a
-        // fresh zero page.
+        self.fault_absent(t, meta, page, my_node, collective)
+    }
+
+    /// Serve a page that is resident nowhere: stage in from the backend or
+    /// synthesize a fresh zero page (no worker dispatch — the stager path
+    /// charges the PFS device directly).
+    fn fault_absent(
+        &self,
+        t: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        my_node: usize,
+        collective: Option<usize>,
+    ) -> Result<(Bytes, SimTime)> {
+        let id = BlobId::new(meta.id, page);
         let home = self.default_home(meta.id, page);
         let (data, ready) = stager::stage_in(self, t, meta, page, home)?;
         self.inner.dir.home_or_insert(id, home);
         if home != my_node {
             let done =
                 self.finish_remote(ready, meta, id, home, my_node, data.len() as u64, collective);
-            return Ok((data.to_vec(), done));
+            return Ok((data, done));
         }
-        s.local_reads.inc();
-        Ok((data.to_vec(), ready))
+        self.inner.stats.local_reads.inc();
+        Ok((data, ready))
     }
 
     fn read_from_node(
@@ -466,7 +499,7 @@ impl Runtime {
         node: usize,
         my_node: usize,
         collective: Option<usize>,
-    ) -> Result<(Vec<u8>, SimTime)> {
+    ) -> Result<(Bytes, SimTime)> {
         let bytes_hint = meta.page_size;
         let ws = self.dispatch(node, meta.id, id.blob, bytes_hint, t, 0);
         let (data, dev_done) = self.inner.nodes[node].dmsh.get(ws, id).map_err(|e| match e {
@@ -475,17 +508,142 @@ impl Runtime {
         })?;
         if node == my_node {
             self.inner.stats.local_reads.inc();
-            return Ok((data.to_vec(), dev_done));
+            return Ok((data, dev_done));
         }
         let done =
             self.finish_remote(dev_done, meta, id, node, my_node, data.len() as u64, collective);
         // Replicate locally under the Read-Only Global policy so future
-        // reads are node-local.
+        // reads are node-local. The replica shares the same storage as the
+        // caller's view (an O(1) refcount bump, not a copy).
         if meta.policy.lock().replicates() {
             let _ = self.inner.nodes[my_node].dmsh.put(done, id, data.clone(), 0.8, my_node, false);
             self.inner.dir.add_replica(id, my_node);
         }
-        Ok((data.to_vec(), done))
+        Ok((data, done))
+    }
+
+    /// Serve `count` contiguous page reads starting at `first` as ranged
+    /// MemoryTasks (fault coalescing): pages resident on the same holder
+    /// node share one task construction + one worker dispatch and come back
+    /// as zero-copy [`Bytes`] views, so per-task dispatch latency is paid
+    /// once per run instead of once per page. The first page is the
+    /// synchronous fault; the extras are counted as prefetches (they arrive
+    /// ahead of their access) plus `runtime.coalesced_faults`.
+    pub(crate) fn read_page_run(
+        &self,
+        now: SimTime,
+        meta: &VectorMeta,
+        first: u64,
+        count: u64,
+        my_node: usize,
+        collective: Option<usize>,
+    ) -> Result<Vec<(Bytes, SimTime)>> {
+        debug_assert!(count >= 1);
+        let s = &self.inner.stats;
+        s.faults.inc();
+        if count > 1 {
+            s.prefetches.add(count - 1);
+            s.coalesced.add(count - 1);
+        }
+        let t = now + TASK_CONSTRUCT_NS;
+        let mut out: Vec<(Bytes, SimTime)> = Vec::with_capacity(count as usize);
+        let mut i = 0u64;
+        while i < count {
+            let page = first + i;
+            let id = BlobId::new(meta.id, page);
+            let Some(node) = self.inner.dir.nearest_copy(id, my_node) else {
+                out.push(self.fault_absent(t, meta, page, my_node, collective)?);
+                i += 1;
+                continue;
+            };
+            // Extend the run while the following pages share the holder.
+            let mut n = 1u64;
+            while i + n < count {
+                let next = BlobId::new(meta.id, first + i + n);
+                if self.inner.dir.nearest_copy(next, my_node) != Some(node) {
+                    break;
+                }
+                n += 1;
+            }
+            let mut part =
+                self.read_run_from_node(t, meta, first + i, n, node, my_node, collective)?;
+            i += part.len() as u64;
+            out.append(&mut part);
+        }
+        let done = out.iter().map(|x| x.1).max().unwrap_or(t);
+        self.inner.telemetry.span(
+            EventKind::PageFault,
+            now,
+            done,
+            my_node as u32,
+            meta.page_size * count,
+            first,
+        );
+        Ok(out)
+    }
+
+    /// One ranged MemoryTask: `n` contiguous pages believed resident on
+    /// `node`. Pays one worker dispatch for the whole run; device charges
+    /// chain per page on the holder's timeline and remote runs pay the
+    /// network per page (the data still moves). A page that vanished
+    /// between the directory lookup and the read falls back to the backend.
+    #[allow(clippy::too_many_arguments)]
+    fn read_run_from_node(
+        &self,
+        t: SimTime,
+        meta: &VectorMeta,
+        first: u64,
+        n: u64,
+        node: usize,
+        my_node: usize,
+        collective: Option<usize>,
+    ) -> Result<Vec<(Bytes, SimTime)>> {
+        let bytes_hint = meta.page_size * n;
+        let ws = self.dispatch(node, meta.id, first, bytes_hint, t, 0);
+        let replicate = meta.policy.lock().replicates();
+        let mut out = Vec::with_capacity(n as usize);
+        let mut dev = ws;
+        for k in 0..n {
+            let id = BlobId::new(meta.id, first + k);
+            match self.inner.nodes[node].dmsh.get(dev, id) {
+                Ok((data, dev_done)) => {
+                    dev = dev_done;
+                    let done = if node == my_node {
+                        self.inner.stats.local_reads.inc();
+                        dev_done
+                    } else {
+                        let done = self.finish_remote(
+                            dev_done,
+                            meta,
+                            id,
+                            node,
+                            my_node,
+                            data.len() as u64,
+                            collective,
+                        );
+                        if replicate {
+                            let _ = self.inner.nodes[my_node].dmsh.put(
+                                done,
+                                id,
+                                data.clone(),
+                                0.8,
+                                my_node,
+                                false,
+                            );
+                            self.inner.dir.add_replica(id, my_node);
+                        }
+                        done
+                    };
+                    out.push((data, done));
+                }
+                Err(DmshError::NotFound(_)) => {
+                    // Vanished mid-run: re-serve this page from the backend.
+                    out.push(self.fault_absent(dev, meta, first + k, my_node, collective)?);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(out)
     }
 
     /// Network completion for a remote read; collective reads use a
@@ -564,6 +722,41 @@ impl Runtime {
             }
             done = self.put_with_drain(home, t, id, Bytes::from(base), 1.0, my_node, true)?;
         }
+        self.maybe_organize(home, done);
+        self.maybe_stage(meta, done);
+        Ok(done)
+    }
+
+    /// Execute a writer MemoryTask for a *fully rewritten* page: install
+    /// `data` as the page's canonical copy. `data` is a refcounted view of
+    /// the committing process's pcache buffer (see [`PageBuf::freeze`]
+    /// (crate::pagebuf::PageBuf::freeze)), so a local install shares one
+    /// allocation between pcache and scache — zero copies.
+    pub(crate) fn write_page_full(
+        &self,
+        submit: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        data: Bytes,
+        my_node: usize,
+    ) -> Result<SimTime> {
+        if data.is_empty() {
+            return Ok(submit);
+        }
+        self.inner.stats.writes.inc();
+        let id = BlobId::new(meta.id, page);
+        let policy = *meta.policy.lock();
+        let preferred =
+            if policy == Policy::Local { my_node } else { self.default_home(meta.id, page) };
+        let home = self.inner.dir.home_or_insert(id, preferred);
+        let bytes = data.len() as u64;
+        let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes);
+        if home != my_node {
+            t = t.max(self.inner.net.transfer(submit, my_node, home, bytes));
+        }
+        let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
+        let _guard = self.inner.nodes[home].apply_locks[shard].lock();
+        let done = self.put_with_drain(home, t, id, data, 1.0, my_node, true)?;
         self.maybe_organize(home, done);
         self.maybe_stage(meta, done);
         Ok(done)

@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 use crate::client::VecOptions;
 use crate::element::Element;
 use crate::error::{MmError, Result};
+use crate::pagebuf::PageBuf;
 use crate::pcache::{CachedPage, PCache, PCacheStats};
 use crate::policy::{Access, Policy};
 use crate::prefetch::{run_prefetcher, PrefetchEnv};
@@ -45,6 +46,9 @@ pub struct MmVec<T: Element> {
     no_prefetch: bool,
     /// Prefetched pages evicted before ever being read (`prefetch.wasted`).
     wasted_prefetches: Counter,
+    /// Bytes physically copied by copy-on-write promotions — shares the
+    /// runtime's `runtime.bytes_copied` registry cell.
+    bytes_copied: Counter,
     _t: PhantomData<T>,
 }
 
@@ -72,6 +76,7 @@ impl<T: Element> MmVec<T> {
             pgas: Mutex::new(None),
             no_prefetch: opts.no_prefetch,
             wasted_prefetches: rt.telemetry().counter("prefetch", "wasted", &[("vec", key)]),
+            bytes_copied: rt.telemetry().counter("runtime", "bytes_copied", &[]),
             _t: PhantomData,
         })
     }
@@ -244,7 +249,7 @@ impl<T: Element> MmVec<T> {
             None => false,
         };
         let cp = self.page_for_read(p, &mut st, page)?;
-        let val = T::read_from(&cp.data[off..off + T::SIZE]);
+        let val = T::read_from(&cp.data.as_slice()[off..off + T::SIZE]);
         // The per-access overhead: a DRAM touch of one element.
         p.advance(p.cpu().mem_ns(T::SIZE as u64));
         if crossed {
@@ -280,7 +285,8 @@ impl<T: Element> MmVec<T> {
             // first and have their own view of data").
             self.page_for_write(p, &mut st, page)?
         };
-        v.write_to(&mut cp.data[off as usize..off as usize + T::SIZE]);
+        let buf = Self::writable(&self.bytes_copied, cp);
+        v.write_to(&mut buf[off as usize..off as usize + T::SIZE]);
         cp.dirty.insert(off, off + T::SIZE as u64);
         p.advance(p.cpu().mem_ns(T::SIZE as u64));
         if crossed {
@@ -311,7 +317,8 @@ impl<T: Element> MmVec<T> {
         } else {
             self.page_for_write(p, &mut st, page).expect("append page")
         };
-        v.write_to(&mut cp.data[off as usize..off as usize + T::SIZE]);
+        let buf = Self::writable(&self.bytes_copied, cp);
+        v.write_to(&mut buf[off as usize..off as usize + T::SIZE]);
         cp.dirty.insert(off, off + T::SIZE as u64);
         p.advance(p.cpu().mem_ns(T::SIZE as u64));
         i
@@ -337,8 +344,9 @@ impl<T: Element> MmVec<T> {
                 tx.tail += in_page as u64;
             }
             let cp = self.page_for_read(p, &mut st, page)?;
+            let buf = cp.data.as_slice();
             for (k, slot) in out[done..done + in_page].iter_mut().enumerate() {
-                *slot = T::read_from(&cp.data[off + k * T::SIZE..off + (k + 1) * T::SIZE]);
+                *slot = T::read_from(&buf[off + k * T::SIZE..off + (k + 1) * T::SIZE]);
             }
             p.advance(p.cpu().mem_ns((in_page * T::SIZE) as u64));
             done += in_page;
@@ -370,8 +378,9 @@ impl<T: Element> MmVec<T> {
             } else {
                 self.page_for_write(p, &mut st, page)?
             };
+            let buf = Self::writable(&self.bytes_copied, cp);
             for (k, v) in vals[done..done + in_page].iter().enumerate() {
-                v.write_to(&mut cp.data[off + k * T::SIZE..off + (k + 1) * T::SIZE]);
+                v.write_to(&mut buf[off + k * T::SIZE..off + (k + 1) * T::SIZE]);
             }
             cp.dirty.insert(off as u64, (off + in_page * T::SIZE) as u64);
             p.advance(p.cpu().mem_ns((in_page * T::SIZE) as u64));
@@ -421,27 +430,53 @@ impl<T: Element> MmVec<T> {
 
     // ---- internals ----------------------------------------------------------
 
-    /// Submit every dirty page as an asynchronous writer MemoryTask. The
-    /// process pays the memcpy of the modified bytes; the task runs in the
-    /// runtime ("During an eviction, the application will only experience
-    /// the performance cost of a memory copy").
+    /// Copy-on-write access to a cached page's bytes: promote a shared view
+    /// to a private buffer on the first write, charging any physical copy to
+    /// the `runtime.bytes_copied` counter. Clean re-writes of an
+    /// already-private page are free.
+    fn writable<'a>(bytes_copied: &Counter, cp: &'a mut CachedPage) -> &'a mut [u8] {
+        let copied = cp.data.promote();
+        if copied > 0 {
+            bytes_copied.add(copied);
+        }
+        cp.data.owned_mut()
+    }
+
+    /// Submit every dirty page as an asynchronous writer MemoryTask.
+    /// Fully-dirty pages take the zero-copy path: the private buffer is
+    /// frozen into a shared [`PageBuf`] view and handed to the scache as-is
+    /// (no memcpy at all). Partially-dirty pages still pay the memcpy of
+    /// the modified bytes ("During an eviction, the application will only
+    /// experience the performance cost of a memory copy").
     fn commit_dirty(&self, p: &Proc, st: &mut VecState) {
         let seq = st.tx_seq;
         let dirty = st.pcache.dirty_pages();
         for page in dirty {
             let cp = st.pcache.peek_mut(page).expect("listed dirty");
-            p.advance(p.cpu().memcpy_ns(cp.dirty.covered()));
             let full = cp.dirty.covers(0, cp.data.len() as u64);
-            let data = std::mem::take(&mut cp.data);
             let ranges = std::mem::take(&mut cp.dirty);
-            let _ = self
-                .rt
-                .write_page_diff(p.now(), &self.meta, page, &data, &ranges, p.node())
-                .expect("writer task");
-            let cp = st.pcache.peek_mut(page).expect("still resident");
-            cp.data = data;
             if full {
+                // Zero-copy commit: the scache gets a shared view of the
+                // same allocation; the page stays resident and clean.
+                let data = cp.data.freeze();
                 cp.self_write_seq = Some(seq);
+                let _ = self
+                    .rt
+                    .write_page_full(p.now(), &self.meta, page, data, p.node())
+                    .expect("writer task");
+            } else {
+                p.advance(p.cpu().memcpy_ns(ranges.covered()));
+                let _ = self
+                    .rt
+                    .write_page_diff(
+                        p.now(),
+                        &self.meta,
+                        page,
+                        cp.data.as_slice(),
+                        &ranges,
+                        p.node(),
+                    )
+                    .expect("writer task");
             }
         }
     }
@@ -462,16 +497,65 @@ impl<T: Element> MmVec<T> {
             }
             return Ok(st.pcache.peek_mut(page).expect("hit"));
         }
-        // Miss: make room, then fault.
+        // Miss: make room, then fault. Sequential transactions coalesce a
+        // run of contiguous absent pages into one ranged MemoryTask — one
+        // worker dispatch amortized over the whole run, each page landing
+        // as a zero-copy shared view.
         self.make_room(p, st)?;
         let collective = st.tx.as_ref().and_then(|tx| tx.collective);
-        let (data, done) =
-            self.rt.read_page(p.now(), &self.meta, page, p.node(), collective, false)?;
-        p.advance_to(done);
-        // The device/worker/network charges above already model the copy
-        // into the process's buffer (the task ships the page).
-        st.pcache.insert(page, CachedPage::new(data, p.now()));
+        let run = self.coalesce_run(st, page);
+        if run > 1 {
+            let parts =
+                self.rt.read_page_run(p.now(), &self.meta, page, run, p.node(), collective)?;
+            let mut iter = parts.into_iter();
+            let (data, done) = iter.next().expect("run includes the faulting page");
+            // Extras land as prefetched pages with their own ready time;
+            // insert them first so the faulting page stays the fast-path
+            // `last` entry.
+            for (k, (extra, ready)) in iter.enumerate() {
+                let mut cp = CachedPage::new(PageBuf::shared(extra), ready);
+                cp.prefetched = true;
+                st.pcache.insert(page + 1 + k as u64, cp);
+            }
+            p.advance_to(done);
+            st.pcache.insert(page, CachedPage::new(PageBuf::shared(data), p.now()));
+        } else {
+            let (data, done) =
+                self.rt.read_page(p.now(), &self.meta, page, p.node(), collective, false)?;
+            p.advance_to(done);
+            // The device/worker/network charges above already model shipping
+            // the page; installing it is a refcount bump, not a copy.
+            st.pcache.insert(page, CachedPage::new(PageBuf::shared(data), p.now()));
+        }
         Ok(st.pcache.peek_mut(page).expect("just inserted"))
+    }
+
+    /// How many contiguous pages (starting at the faulting `page`) to pull
+    /// in one ranged MemoryTask. Returns 1 (no coalescing) unless the
+    /// active transaction declares a sequential access pattern that
+    /// actually extends past `page`. Bounded by the vector end, the free
+    /// pcache space, and [`RuntimeConfig::max_coalesce_pages`].
+    fn coalesce_run(&self, st: &VecState, page: u64) -> u64 {
+        if self.no_prefetch {
+            return 1;
+        }
+        let Some(tx) = st.tx.as_ref() else { return 1 };
+        if !tx.access.reads() {
+            return 1;
+        }
+        let tx_last = match tx.kind {
+            TxKind::Seq { start, len } if len > 0 => tx.page_of(start + len - 1),
+            TxKind::Append { .. } => u64::MAX,
+            _ => return 1,
+        };
+        let last_page = self.meta.num_pages().saturating_sub(1).min(tx_last);
+        let ps = self.meta.page_size.max(1);
+        let budget = (st.pcache.available() / ps).max(1).min(self.rt.cfg().max_coalesce_pages);
+        let mut run = 1u64;
+        while run < budget && page + run <= last_page && !st.pcache.contains(page + run) {
+            run += 1;
+        }
+        run
     }
 
     /// Ensure `page` is resident for write-only intent: a fresh zero page
@@ -486,7 +570,7 @@ impl<T: Element> MmVec<T> {
             return Ok(st.pcache.peek_mut(page).expect("hit"));
         }
         self.make_room(p, st)?;
-        let data = vec![0u8; self.meta.page_size as usize];
+        let data = PageBuf::zeroed(self.meta.page_size as usize);
         st.pcache.insert(page, CachedPage::new(data, p.now()));
         Ok(st.pcache.peek_mut(page).expect("just inserted"))
     }
@@ -508,11 +592,20 @@ impl<T: Element> MmVec<T> {
             // Fetched by the prefetcher but evicted before any access.
             self.wasted_prefetches.inc();
         }
-        if !cp.dirty.is_empty() {
+        if cp.dirty.is_empty() {
+            return;
+        }
+        if cp.dirty.covers(0, cp.data.len() as u64) {
+            // Fully-dirty eviction ships the buffer itself — no memcpy.
+            let _ = self
+                .rt
+                .write_page_full(p.now(), &self.meta, page, cp.data.into_bytes(), p.node())
+                .expect("eviction writer task");
+        } else {
             p.advance(p.cpu().memcpy_ns(cp.dirty.covered()));
             let _ = self
                 .rt
-                .write_page_diff(p.now(), &self.meta, page, &cp.data, &cp.dirty, p.node())
+                .write_page_diff(p.now(), &self.meta, page, cp.data.as_slice(), &cp.dirty, p.node())
                 .expect("eviction writer task");
         }
     }
@@ -614,7 +707,7 @@ impl<T: Element> PrefetchEnv for VecEnv<'_, T> {
             true,
         ) {
             Ok((data, ready_at)) => {
-                let mut cp = CachedPage::new(data, ready_at);
+                let mut cp = CachedPage::new(PageBuf::shared(data), ready_at);
                 cp.prefetched = true;
                 self.st.pcache.insert(page, cp);
             }

@@ -1,0 +1,108 @@
+//! Property tests for copy-on-write page buffers.
+//!
+//! Clean pages are shared between the pcache and the scache as refcounted
+//! views of one allocation, so two invariants must hold under arbitrary
+//! inputs: readers can never observe a writer's uncommitted bytes through
+//! the shared buffer (promotion isolates the writer), and the zero-copy
+//! full-page commit path (`self_write_seq`) round-trips byte-identically.
+
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CoW aliasing safety: while a writer holds an open transaction with
+    /// uncommitted stores, an independent handle on the same vector (its
+    /// own pcache, same scache) must keep seeing the committed contents;
+    /// after `tx_end`, a fresh handle sees the patch.
+    #[test]
+    fn readers_never_see_uncommitted_writes(
+        page_size in prop_oneof![Just(256u64), Just(512u64), Just(1024u64)],
+        base in any::<u64>(),
+        patch in any::<u64>(),
+        idx in 0u64..200,
+    ) {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(page_size));
+        cluster.run(move |p| {
+            let n = 200u64;
+            let opts = || VecOptions::new().len(n).pcache(1 << 20);
+            let w: MmVec<u64> = MmVec::open(&rt, p, "mem://prop-cow", opts()).unwrap();
+            let tx = w.tx_begin(p, TxKind::seq(0, n), Access::WriteGlobal);
+            for i in 0..n {
+                w.store(p, &tx, i, base.wrapping_add(i));
+            }
+            w.tx_end(p, tx);
+
+            // Writer dirties `idx` but does not commit yet.
+            let wtx = w.tx_begin(p, TxKind::seq(0, n), Access::ReadWriteGlobal);
+            w.store(p, &wtx, idx, patch);
+
+            // Independent reader: committed bytes only.
+            let r: MmVec<u64> = MmVec::open(&rt, p, "mem://prop-cow", opts()).unwrap();
+            let rtx = r.tx_begin(p, TxKind::seq(0, n), Access::ReadOnly);
+            for i in 0..n {
+                assert_eq!(r.load(p, &rtx, i), base.wrapping_add(i), "uncommitted write leaked");
+            }
+            r.tx_end(p, rtx);
+
+            w.tx_end(p, wtx);
+
+            // After commit a fresh handle observes exactly the patch.
+            let r2: MmVec<u64> = MmVec::open(&rt, p, "mem://prop-cow", opts()).unwrap();
+            let rtx = r2.tx_begin(p, TxKind::seq(0, n), Access::ReadOnly);
+            for i in 0..n {
+                let want = if i == idx { patch } else { base.wrapping_add(i) };
+                assert_eq!(r2.load(p, &rtx, i), want, "committed write lost");
+            }
+            r2.tx_end(p, rtx);
+        });
+    }
+
+    /// Full-page self-writes take the zero-copy commit: the writer's buffer
+    /// is frozen and handed to the scache without a memcpy. The contents
+    /// must survive byte-identically, and the whole write+readback cycle
+    /// must not add a single byte to `runtime.bytes_copied`.
+    #[test]
+    fn full_page_self_write_round_trips(
+        page_size in prop_oneof![Just(256u64), Just(512u64)],
+        seed in any::<u64>(),
+    ) {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(page_size));
+        cluster.run(move |p| {
+            let n = page_size / 8 * 4; // four full pages of u64
+            let vals: Vec<u64> =
+                (0..n).map(|i| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i)).collect();
+            let before = rt.telemetry().counter_total("runtime", "bytes_copied");
+            let w: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://prop-selfwrite",
+                VecOptions::new().len(n).pcache(1 << 20),
+            )
+            .unwrap();
+            let tx = w.tx_begin(p, TxKind::seq(0, n), Access::WriteGlobal);
+            w.write_slice(p, 0, &vals).unwrap();
+            w.tx_end(p, tx);
+
+            let r: MmVec<u64> = MmVec::open(
+                &rt,
+                p,
+                "mem://prop-selfwrite",
+                VecOptions::new().len(n).pcache(1 << 20),
+            )
+            .unwrap();
+            let rtx = r.tx_begin(p, TxKind::seq(0, n), Access::ReadOnly);
+            let mut got = vec![0u64; n as usize];
+            r.read_into(p, 0, &mut got).unwrap();
+            r.tx_end(p, rtx);
+            assert_eq!(got, vals, "full-page self-write must round-trip");
+
+            let after = rt.telemetry().counter_total("runtime", "bytes_copied");
+            assert_eq!(after, before, "full-page writes and clean reads must be zero-copy");
+        });
+    }
+}

@@ -98,7 +98,7 @@ impl<'s, 'a, T: Clone + Send + 'static> Rdd<'s, 'a, T> {
         // Serialize the partial + the collective exchange.
         p.advance(self.ctx.cpu.serde_ns(self.elem_bytes));
         let world = p.world();
-        let partials = world.allgather(p, vec![acc], self.elem_bytes);
+        let partials = world.allgather_shared(p, vec![acc], self.elem_bytes);
         // Driver-side merge replayed on every executor (SPMD broadcastation
         // of the merged value).
         let mut it = partials.iter();
@@ -149,7 +149,7 @@ impl<'s, 'a, T: Clone + Send + 'static> Rdd<'s, 'a, T> {
     /// Wide action: total record count across executors.
     pub fn count(&self) -> u64 {
         let p = self.ctx.p;
-        p.world().allreduce_u64(p, &[self.data.len() as u64], ReduceOp::Sum)[0]
+        p.world().allreduce_u64_shared(p, &[self.data.len() as u64], ReduceOp::Sum)[0]
     }
 }
 

@@ -19,6 +19,19 @@ use parking_lot::Mutex;
 
 use crate::clock::{transfer_ns, SimTime};
 
+/// Recent reservations for the causal acquire path, with cached maxima so
+/// the common case (a request at or after everything recorded) answers
+/// without scanning the list.
+#[derive(Debug, Default)]
+struct Reservations {
+    /// `(request time, completion time)` in arrival order.
+    q: VecDeque<(SimTime, SimTime)>,
+    /// Largest request time currently in the queue.
+    max_req: SimTime,
+    /// Largest completion time currently in the queue.
+    max_end: SimTime,
+}
+
 /// A serialized hardware resource with a busy-until timeline.
 #[derive(Debug)]
 pub struct SharedResource {
@@ -30,9 +43,8 @@ pub struct SharedResource {
     bytes_per_sec: u64,
     /// The timeline: the earliest time a new operation may start.
     busy_until: AtomicU64,
-    /// Recent reservations `(request time, completion time)` for the
-    /// causal acquire path.
-    reservations: Mutex<VecDeque<(SimTime, SimTime)>>,
+    /// Recent reservations for the causal acquire path.
+    reservations: Mutex<Reservations>,
     /// Total bytes pushed through this resource (diagnostics).
     total_bytes: AtomicU64,
     /// Total operations issued (diagnostics).
@@ -47,7 +59,7 @@ impl SharedResource {
             latency_ns,
             bytes_per_sec,
             busy_until: AtomicU64::new(0),
-            reservations: Mutex::new(VecDeque::new()),
+            reservations: Mutex::new(Reservations::default()),
             total_bytes: AtomicU64::new(0),
             total_ops: AtomicU64::new(0),
         }
@@ -115,21 +127,32 @@ impl SharedResource {
     /// `work_ns` is the service duration to enqueue. Returns the
     /// completion time.
     pub fn acquire_causal_work(&self, now: SimTime, work_ns: u64) -> SimTime {
-        let mut q = self.reservations.lock();
+        let mut r = self.reservations.lock();
         // Only work requested at or before `now` can delay this request.
-        let causal_busy =
-            q.iter().filter(|(req, _)| *req <= now).map(|(_, end)| *end).max().unwrap_or(0);
+        // When `now` is at or past every recorded request — the common case,
+        // since each process's clock is monotonic — the cached maximum IS
+        // the answer and no scan is needed.
+        let causal_busy = if now >= r.max_req {
+            r.max_end
+        } else {
+            r.q.iter().filter(|(req, _)| *req <= now).map(|(_, end)| *end).max().unwrap_or(0)
+        };
         let start = now.max(causal_busy);
         let end = start + work_ns;
-        q.push_back((now, end));
-        // Garbage-collect: completed-long-ago entries cannot delay any
-        // plausible future request; bound the list either way.
-        if q.len() > 512 {
+        r.q.push_back((now, end));
+        r.max_req = r.max_req.max(now);
+        r.max_end = r.max_end.max(end);
+        // Garbage-collect, amortized: completed-long-ago entries cannot
+        // delay any plausible future request; bound the list either way.
+        // Compacting down to half the trigger size keeps this O(1) per op.
+        if r.q.len() >= 1024 {
             let horizon = now.saturating_sub(1_000_000_000);
-            q.retain(|(_, e)| *e > horizon);
-            while q.len() > 1024 {
-                q.pop_front();
+            r.q.retain(|(_, e)| *e > horizon);
+            while r.q.len() > 512 {
+                r.q.pop_front();
             }
+            r.max_req = r.q.iter().map(|(req, _)| *req).max().unwrap_or(0);
+            r.max_end = r.q.iter().map(|(_, e)| *e).max().unwrap_or(0);
         }
         // Keep the coarse busy-until in sync for diagnostics.
         self.busy_until.fetch_max(end, Ordering::AcqRel);
@@ -197,7 +220,7 @@ impl SharedResource {
     /// Reset the timeline and counters (between experiment repetitions).
     pub fn reset(&self) {
         self.busy_until.store(0, Ordering::Release);
-        self.reservations.lock().clear();
+        *self.reservations.lock() = Reservations::default();
         self.total_bytes.store(0, Ordering::Relaxed);
         self.total_ops.store(0, Ordering::Relaxed);
     }

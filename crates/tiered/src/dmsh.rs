@@ -73,6 +73,9 @@ pub struct Dmsh {
     meta: Mutex<BTreeMap<BlobId, BlobMeta>>,
     telemetry: Telemetry,
     tier_metrics: Vec<TierMetrics>,
+    /// Bytes physically copied when patching a shared blob — shares the
+    /// stack-wide `runtime.bytes_copied` registry cell.
+    bytes_copied: Counter,
 }
 
 impl Dmsh {
@@ -114,7 +117,16 @@ impl Dmsh {
                 store: Mutex::new(HashMap::new()),
             })
             .collect();
-        Self { name, node, tiers, meta: Mutex::new(BTreeMap::new()), telemetry, tier_metrics }
+        let bytes_copied = telemetry.counter("runtime", "bytes_copied", &[]);
+        Self {
+            name,
+            node,
+            tiers,
+            meta: Mutex::new(BTreeMap::new()),
+            telemetry,
+            tier_metrics,
+            bytes_copied,
+        }
     }
 
     /// Publish per-tier occupancy gauges (cheap: one store per tier).
@@ -382,6 +394,11 @@ impl Dmsh {
     }
 
     /// Overwrite a sub-range of a resident blob (applying a page diff).
+    ///
+    /// When this Dmsh holds the only reference to the blob's buffer the
+    /// allocation is stolen and patched in place; a physical copy happens
+    /// only while readers still share the buffer, and is then charged to
+    /// the `runtime.bytes_copied` counter.
     pub fn put_range(
         &self,
         now: SimTime,
@@ -392,8 +409,14 @@ impl Dmsh {
         let mut meta = self.meta.lock();
         let m = meta.get_mut(&id).ok_or(DmshError::NotFound(id))?;
         let mut store = self.tiers[m.tier].store.lock();
-        let cur = store.get(&id).expect("resident");
-        let mut buf = cur.to_vec();
+        let cur = store.remove(&id).expect("resident");
+        let mut buf = match cur.try_into_vec() {
+            Ok(v) => v,
+            Err(shared) => {
+                self.bytes_copied.add(shared.len() as u64);
+                shared.to_vec()
+            }
+        };
         let end = off as usize + patch.len();
         if end > buf.len() {
             buf.resize(end, 0);

@@ -107,7 +107,7 @@ pub fn run(p: &Proc, job: &MegaDbscan<'_>) -> DbscanResult {
         // Pass 1: deterministic subsample (streamed), gathered comm-wide.
         let mut sampler = StreamSample::new(cfg.sample, cfg.seed.wrapping_add(level as u64));
         stream_ids(p, &cur, range.clone(), |ip| sampler.push(ip));
-        let sample = comm.allgather(p, sampler.take(), Point3D::SIZE as u64);
+        let sample = comm.allgather_shared(p, sampler.take(), Point3D::SIZE as u64);
         let plane = choose_split(&sample);
 
         // Pass 2: append each point to the matching child (Append Global).

@@ -292,7 +292,7 @@ pub(crate) fn finish(
     let my_band: Vec<IdPoint> =
         own.iter().filter(|ip| in_band(&ip.p, planes, cfg.eps)).copied().collect();
     p.compute_flops(own.len() as u64 * planes.len().max(1) as u64 * 2);
-    let band_all = world.allgather(p, my_band.clone(), 20);
+    let band_all = world.allgather_shared(p, my_band.clone(), 20);
     let my_ids: std::collections::HashSet<u64> = own.iter().map(|ip| ip.id).collect();
     let ghosts: Vec<IdPoint> =
         band_all.iter().filter(|ip| !my_ids.contains(&ip.id)).copied().collect();
@@ -309,7 +309,7 @@ pub(crate) fn finish(
         .filter(|(ip, _)| in_band(&ip.p, planes, cfg.eps))
         .map(|(ip, (l, c))| (*ip, gcluster(p.rank(), *l), *c))
         .collect();
-    let records = world.allgather(p, my_records, 32);
+    let records = world.allgather_shared(p, my_records, 32);
     let boundary: Vec<BoundaryPoint> = records
         .iter()
         .map(|(ip, g, c)| BoundaryPoint { p: ip.p, gcluster: *g, core: *c })

@@ -45,7 +45,7 @@ pub fn run(p: &Proc, partition: Vec<Point3D>, part_base: u64, job: &MpiDbscan) -
             sampler.push(ip);
         }
         p.stream_bytes(own.len() as u64 * 20);
-        let sample = comm.allgather(p, sampler.take(), Point3D::SIZE as u64);
+        let sample = comm.allgather_shared(p, sampler.take(), Point3D::SIZE as u64);
         let plane = choose_split(&sample);
 
         // Partition local points and exchange: the lower half of the comm

@@ -160,7 +160,7 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
         u[last].tx_end(p, txu);
         v[last].tx_end(p, txv);
     }
-    let sums = world.allreduce_f64(p, &sums, ReduceOp::Sum);
+    let sums = world.allreduce_f64_shared(p, &sums, ReduceOp::Sum);
     GsResult { sum_u: sums[0], sum_v: sums[1] }
 }
 

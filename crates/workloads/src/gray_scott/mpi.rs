@@ -46,7 +46,7 @@ pub fn run(p: &Proc, job: &MpiGs) -> Result<GsResult, OomError> {
     // OOM is a collective fate: if any rank's allocation was killed, every
     // rank must abort (otherwise survivors deadlock in the halo exchange
     // waiting for the dead rank — exactly what mpirun's abort handles).
-    let ok = world.allreduce_u64(p, &[u64::from(mem.is_ok())], ReduceOp::Min)[0];
+    let ok = world.allreduce_u64_shared(p, &[u64::from(mem.is_ok())], ReduceOp::Min)[0];
     if ok == 0 {
         return Err(match mem {
             Err(e) => e,
@@ -159,7 +159,7 @@ pub fn run(p: &Proc, job: &MpiGs) -> Result<GsResult, OomError> {
         local[0] += u[zi * plane..(zi + 1) * plane].iter().sum::<f64>();
         local[1] += v[zi * plane..(zi + 1) * plane].iter().sum::<f64>();
     }
-    let sums = world.allreduce_f64(p, &local, ReduceOp::Sum);
+    let sums = world.allreduce_f64_shared(p, &local, ReduceOp::Sum);
     Ok(GsResult { sum_u: sums[0], sum_v: sums[1] })
 }
 

@@ -77,7 +77,7 @@ pub fn run(p: &Proc, job: &MegaKMeans<'_>) -> KMeansResult {
         sweep(p, &v, local.clone(), Point3D::nearest_flops(candidates.len()), |_, pt| {
             local_mass += pt.nearest_centroid(&candidates).1 as f64;
         });
-        let sum_d2 = world.allreduce_f64(p, &[local_mass], ReduceOp::Sum)[0];
+        let sum_d2 = world.allreduce_f64_shared(p, &[local_mass], ReduceOp::Sum)[0];
         // Pass 2: oversample.
         let mut picked: Vec<Point3D> = Vec::new();
         sweep(p, &v, local.clone(), Point3D::nearest_flops(candidates.len()) + 4, |idx, pt| {
@@ -86,15 +86,15 @@ pub fn run(p: &Proc, job: &MegaKMeans<'_>) -> KMeansResult {
                 picked.push(*pt);
             }
         });
-        let new = world.allgather(p, picked, Point3D::SIZE as u64);
-        candidates.extend(new);
+        let new = world.allgather_shared(p, picked, Point3D::SIZE as u64);
+        candidates.extend(new.iter().copied());
     }
     // Weigh candidates, then reduce to k (deterministic on every process).
     let mut weights = vec![0u64; candidates.len()];
     sweep(p, &v, local.clone(), Point3D::nearest_flops(candidates.len()), |_, pt| {
         weights[pt.nearest_centroid(&candidates).0] += 1;
     });
-    let weights = world.allreduce_u64(p, &weights, ReduceOp::Sum);
+    let weights = world.allreduce_u64_shared(p, &weights, ReduceOp::Sum);
     let mut ks = select_k(&candidates, &weights, cfg.k);
 
     // ---- Lloyd iterations ------------------------------------------------
@@ -112,7 +112,7 @@ pub fn run(p: &Proc, job: &MegaKMeans<'_>) -> KMeansResult {
                 assigns.push(c as u32);
             }
         });
-        let acc = world.allreduce_f64(p, &acc, ReduceOp::Sum);
+        let acc = world.allreduce_f64_shared(p, &acc, ReduceOp::Sum);
         for (c, k) in ks.iter_mut().enumerate() {
             let cnt = acc[c * 4 + 3];
             if cnt > 0.0 {
@@ -130,7 +130,7 @@ pub fn run(p: &Proc, job: &MegaKMeans<'_>) -> KMeansResult {
     sweep(p, &v, local.clone(), Point3D::nearest_flops(cfg.k), |_, pt| {
         local_inertia += pt.nearest_centroid(&ks).1 as f64;
     });
-    let inertia = world.allreduce_f64(p, &[local_inertia], ReduceOp::Sum)[0];
+    let inertia = world.allreduce_f64_shared(p, &[local_inertia], ReduceOp::Sum)[0];
 
     if let Some(url) = &job.assign_url {
         let av: MmVec<u32> =

@@ -10,11 +10,21 @@ use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, sliceable, immutable chunk of bytes.
-#[derive(Clone, Default)]
+///
+/// Backed by an `Arc<Vec<u8>>` so `From<Vec<u8>>` is zero-copy (the vector
+/// *becomes* the shared storage) and [`try_into_vec`](Self::try_into_vec)
+/// can recover it without copying when this handle is the sole owner.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self { data: Arc::new(Vec::new()), start: 0, end: 0 }
+    }
 }
 
 impl Bytes {
@@ -59,6 +69,27 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Number of `Bytes` handles sharing this storage (diagnostics/tests).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// Recover the backing `Vec<u8>` without copying. Succeeds only when
+    /// this handle is the sole reference to the storage *and* views the
+    /// whole allocation; otherwise the handle is returned unchanged. The
+    /// mirror of the real crate's `Bytes::try_into_mut`.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        let Self { data, start, end } = self;
+        if start == 0 && end == data.len() {
+            match Arc::try_unwrap(data) {
+                Ok(v) => Ok(v),
+                Err(data) => Err(Self { data, start, end }),
+            }
+        } else {
+            Err(Self { data, start, end })
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -75,9 +106,10 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: the vector becomes the shared storage.
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
-        Self { data: Arc::from(v), start: 0, end: len }
+        Self { data: Arc::new(v), start: 0, end: len }
     }
 }
 
@@ -176,5 +208,43 @@ mod tests {
     fn slice_out_of_bounds_panics() {
         let b = Bytes::from(vec![0u8; 4]);
         let _ = b.slice(2..9);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![7u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "From<Vec<u8>> must not copy");
+    }
+
+    #[test]
+    fn try_into_vec_steals_when_unique() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let ptr = b.as_ref().as_ptr();
+        let v = b.try_into_vec().expect("sole owner");
+        assert_eq!(v.as_ptr(), ptr, "unique handle must steal the allocation");
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_into_vec_refuses_shared_or_partial() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let c = b.clone();
+        let b = b.try_into_vec().expect_err("shared storage");
+        assert_eq!(b, c);
+        drop(c);
+        let s = b.slice(1..3);
+        assert!(s.try_into_vec().is_err(), "partial view cannot steal");
+    }
+
+    #[test]
+    fn ref_count_tracks_handles() {
+        let b = Bytes::from(vec![0u8; 8]);
+        assert_eq!(b.ref_count(), 1);
+        let c = b.slice(2..4);
+        assert_eq!(b.ref_count(), 2);
+        drop(c);
+        assert_eq!(b.ref_count(), 1);
     }
 }
