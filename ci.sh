@@ -26,6 +26,24 @@ cargo clippy --workspace --all-targets "${PROFILE[@]}" -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace "${PROFILE[@]}"
 
+echo "==> trace determinism (byte-identical trace_json + metrics_csv)"
+cargo test -q -p megammap "${PROFILE[@]}" --test trace_determinism
+
+echo "==> mm_trace smoke run (deterministic Perfetto trace)"
+cargo build -q -p megammap-bench "${PROFILE[@]}" --bin mm_trace
+if [[ "${1:-}" == "--release" ]]; then
+    MM_TRACE_BIN=target/release/mm_trace
+else
+    MM_TRACE_BIN=target/debug/mm_trace
+fi
+"$MM_TRACE_BIN" > /tmp/mm_trace.ci.a.txt
+cp results/mm_trace.perfetto.json /tmp/mm_trace.ci.a.json
+"$MM_TRACE_BIN" > /tmp/mm_trace.ci.b.txt
+diff -q /tmp/mm_trace.ci.a.txt /tmp/mm_trace.ci.b.txt
+diff -q /tmp/mm_trace.ci.a.json results/mm_trace.perfetto.json
+python3 -c "import json,sys; d=json.load(open('results/mm_trace.perfetto.json')); sys.exit(0 if d['traceEvents'] else 1)" \
+    || { echo "mm_trace emitted an empty or invalid Perfetto trace" >&2; exit 1; }
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run
 

@@ -9,6 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use megammap::prelude::*;
 use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_telemetry::Stage;
 
 const PAGES: u64 = 64;
 const PAGE: u64 = 16 * 1024;
@@ -46,6 +47,14 @@ fn bench_copies(c: &mut Criterion) {
             v.tx_end(p, tx);
             let after = rt.telemetry().counter_total("runtime", "bytes_copied");
             assert_eq!(after, before, "clean faults must not copy page bytes");
+            // Span allocation on the clean fault path must not reintroduce
+            // copies: every fault above carried a trace, yet bytes_copied
+            // stayed flat.
+            let spans = rt.telemetry().snapshot().spans;
+            assert!(
+                spans.iter().any(|s| s.stage == Stage::Fault),
+                "clean faults must still record fault spans"
+            );
         });
     });
 
@@ -80,6 +89,13 @@ fn bench_copies(c: &mut Criterion) {
             let after = rt.telemetry().counter_total("runtime", "bytes_copied");
             assert_eq!(after, before, "coalesced faults must not copy page bytes");
             black_box(rt.stats().coalesced_faults);
+            // Coalesced runs get CoalesceRun slice spans, and tracing the
+            // run must keep the path zero-copy (asserted above).
+            let spans = rt.telemetry().snapshot().spans;
+            assert!(
+                spans.iter().any(|s| s.stage == Stage::Fault || s.stage == Stage::Prefetch),
+                "coalesced faults must still record trace spans"
+            );
         });
     });
 

@@ -26,6 +26,13 @@
 //! The report, metrics CSV and event CSV are also written under
 //! `results/mm_report.*` (event timestamps in the CSV may vary run to run
 //! for the reason above; everything else is exact).
+//!
+//! Fault-path *spans* carry the same contention-dependent virtual
+//! timestamps, so the span summary, critical-path attribution and flight
+//! recorder go to **stderr** and to the saved artifacts
+//! (`mm_report.critical_path.txt`, `mm_report.trace.json` — openable in
+//! Perfetto / `chrome://tracing`). For a fully deterministic trace use
+//! `mm_trace`, which runs a single-node workload.
 
 use std::sync::Arc;
 
@@ -94,15 +101,41 @@ fn main() {
 
     let full = cluster.telemetry().snapshot();
     // Keep the printed report byte-identical across runs: histogram sums
-    // aggregate contention-order-dependent virtual delays (module docs).
+    // and span intervals aggregate contention-order-dependent virtual
+    // delays (module docs), so both stay out of stdout.
     let mut snap = full.clone();
     snap.histograms.clear();
+    snap.spans.clear();
+    snap.spans_dropped = 0;
+    snap.flight.clear();
+    snap.flight_dropped = 0;
     println!("mm_report — KMeans, {n_points} points, {NODES}x{PPN} procs");
     // The makespan itself is a timing statistic, so stderr only.
     eprintln!("(makespan {} virtual s)", secs(rep.makespan_ns));
+    if full.events_dropped > 0 {
+        eprintln!(
+            "WARNING: event ring dropped {} oldest events; counters are \
+             complete but the event CSV is truncated",
+            full.events_dropped
+        );
+    }
+    if full.spans_dropped > 0 {
+        eprintln!(
+            "WARNING: span ring dropped {} oldest spans; critical-path \
+             totals below undercount early faults",
+            full.spans_dropped
+        );
+    }
     print!("{}", snap.report());
+    // Timing-bearing sections: stderr + artifacts only (module docs).
+    eprint!("{}", full.critical_path_report());
+    eprint!("{}", full.flight_report());
 
     save_text("mm_report.metrics.txt", &snap.report());
     save_text("mm_report.metrics.csv", &full.metrics_csv());
     save_text("mm_report.events.csv", &full.events_csv());
+    let mut timing = full.critical_path_report();
+    timing.push_str(&full.flight_report());
+    save_text("mm_report.critical_path.txt", &timing);
+    save_text("mm_report.trace.json", &full.trace_json());
 }

@@ -1,0 +1,127 @@
+//! `mm_trace` — run a single-node KMeans workload under full telemetry and
+//! render the *causal fault-path trace*: every page fault, prefetch, commit
+//! and flush as a span tree with per-stage virtual-time intervals
+//! (miss-detect, queue wait, tier read/write, net transfer, backend I/O,
+//! coalesced-run slicing, commit apply).
+//!
+//! Three artifacts:
+//!
+//! * `results/mm_trace.perfetto.json` — Chrome-trace/Perfetto JSON; open it
+//!   at <https://ui.perfetto.dev> or `chrome://tracing` to see the fault
+//!   timeline per node. Timestamps are *virtual* nanoseconds.
+//! * the **critical-path report** (stdout) — per-stage latency totals and
+//!   percentiles, grouped per coherence policy and per tier, showing where
+//!   fault time actually goes;
+//! * the **flight recorder** (stdout) — the K slowest fault span trees
+//!   (plus any over a threshold), rendered with nesting and per-stage
+//!   durations.
+//!
+//! The run is one node × one process, so there is no cross-node resource
+//! contention and the whole output — including every virtual timestamp —
+//! is byte-identical across invocations (`mm_trace > a; mm_trace > b;
+//! diff a b` is empty). The determinism is also asserted by the
+//! `trace_determinism` test in `megammap-core`.
+//!
+//! Knobs: `MM_TRACE_FLIGHT_K` (retained slowest traces, default 8) and
+//! `MM_TRACE_SLOW_NS` (flight-recorder threshold in virtual ns, default 0
+//! = off).
+
+use std::sync::Arc;
+
+use megammap::prelude::*;
+use megammap_bench::{save_text, secs};
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::{DeviceSpec, MIB};
+use megammap_workloads::datagen::{bench_params, generate};
+use megammap_workloads::kmeans::{self, KMeansConfig};
+use megammap_workloads::Point3D;
+
+const URL: &str = "obj://trace/pts.bin";
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let flight_k = env_u64("MM_TRACE_FLIGHT_K", 8) as usize;
+    let slow_ns = env_u64("MM_TRACE_SLOW_NS", 0);
+
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(256 * MIB));
+    cluster.telemetry().set_flight(flight_k, slow_ns);
+    // DRAM over NVMe so traces include real tier reads/writes; the pcache
+    // is far smaller than the dataset, so every stage of the fault path
+    // (miss detect, queue wait, tier read, backend I/O, commit, flush) is
+    // exercised.
+    let rt = Runtime::new(
+        &cluster,
+        RuntimeConfig::default()
+            .with_page_size(64 * 1024)
+            .with_tiers(vec![DeviceSpec::dram(8 * MIB), DeviceSpec::nvme(32 * MIB)]),
+    );
+    let pcache_bytes = 256 * 1024;
+
+    let n_points = (2 * MIB / Point3D::SIZE as u64) as usize;
+    let data = Arc::new(generate(bench_params(n_points)));
+    let obj = rt.backends().open(&megammap_formats::DataUrl::parse(URL).unwrap()).unwrap();
+    data.write_object(obj.as_ref()).unwrap();
+
+    let cfg = KMeansConfig::default();
+    let rt2 = rt.clone();
+    let (_, rep) = cluster.run(move |p| {
+        let out = kmeans::mega::run(
+            p,
+            &kmeans::mega::MegaKMeans {
+                rt: &rt2,
+                url: URL.into(),
+                // Persist assignments so the trace also covers the write
+                // path: write faults, commit apply, and the final flush.
+                assign_url: Some("obj://trace/assign.bin".into()),
+                cfg,
+                pcache_bytes,
+            },
+        );
+        // Scattered-read epilogue: the tx declares a pattern the accesses
+        // do not follow, so the prefetcher cannot hide them — these are
+        // pure demand faults (miss detect + queue wait + tier read).
+        let v: MmVec<Point3D> =
+            MmVec::open(&rt2, p, URL, VecOptions::new().pcache(pcache_bytes)).unwrap();
+        let tx = v.tx_begin(p, TxKind::seq(0, 1), Access::ReadOnly);
+        let n = v.len();
+        let mut i = 0u64;
+        while i < n {
+            v.load(p, &tx, i);
+            i += 6_007; // odd ~1.1-page stride: hops pages, defeats coalescing
+        }
+        v.tx_end(p, tx);
+        out
+    });
+
+    let snap = cluster.telemetry().snapshot();
+    println!(
+        "mm_trace — KMeans, {n_points} points, 1x1 proc, makespan {} virtual s",
+        secs(rep.makespan_ns)
+    );
+    println!(
+        "{} spans in {} traces ({} dropped); flight recorder: k={flight_k}, \
+         threshold={slow_ns} ns",
+        snap.spans.len(),
+        snap.flight.len(),
+        snap.spans_dropped,
+    );
+    if snap.events_dropped > 0 {
+        println!("WARNING: event ring dropped {} oldest events", snap.events_dropped);
+    }
+    if snap.spans_dropped > 0 {
+        println!(
+            "WARNING: span ring dropped {} oldest spans; totals undercount",
+            snap.spans_dropped
+        );
+    }
+    print!("{}", snap.critical_path_report());
+    print!("{}", snap.flight_report());
+
+    let json = snap.trace_json();
+    save_text("mm_trace.perfetto.json", &json);
+    println!("\nPerfetto trace: results/mm_trace.perfetto.json ({} bytes)", json.len());
+    println!("Open at https://ui.perfetto.dev or chrome://tracing (virtual-ns timestamps).");
+}

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use megammap_sim::CollectiveShape;
-use megammap_telemetry::EventKind;
+use megammap_telemetry::{EventKind, Stage};
 
 use crate::proc::{ClusterState, Proc};
 use crate::rendezvous::Rendezvous;
@@ -101,14 +101,29 @@ impl Comm {
 
     fn charge(&self, p: &Proc, max_clock: u64, shape: CollectiveShape, bytes: u64) {
         let cost = p.net().collective_time(shape, self.size(), bytes);
-        let shape_name = match shape {
-            CollectiveShape::Tree => "tree",
-            CollectiveShape::Ring => "ring",
-            CollectiveShape::Flat => "flat",
+        let (shape_name, shape_id) = match shape {
+            CollectiveShape::Tree => ("tree", 0u64),
+            CollectiveShape::Ring => ("ring", 1),
+            CollectiveShape::Flat => ("flat", 2),
         };
         let t = p.telemetry();
         t.counter("comm", "collectives", &[("shape", shape_name)]).inc();
         t.counter("comm", "bytes", &[("shape", shape_name)]).add(bytes);
+        // Each collective hop is its own single-span trace so per-policy
+        // critical-path attribution gets a "Collective" bucket.
+        let ctx = t.trace_begin(p.node() as u32);
+        if !ctx.is_none() {
+            t.trace_end(
+                ctx,
+                Stage::Collective,
+                max_clock,
+                max_clock + cost,
+                p.node() as u32,
+                bytes,
+                "Collective",
+                shape_id,
+            );
+        }
         p.advance_to(max_clock + cost);
     }
 

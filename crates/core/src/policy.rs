@@ -77,6 +77,23 @@ pub enum Policy {
 }
 
 impl Policy {
+    /// Number of policy phases (for per-policy counter arrays).
+    pub const COUNT: usize = 5;
+
+    /// Every phase, in discriminant order (for per-policy breakdowns).
+    pub const ALL: [Policy; Policy::COUNT] = [
+        Policy::Unknown,
+        Policy::Local,
+        Policy::ReadOnlyGlobal,
+        Policy::WriteGlobal,
+        Policy::ReadWriteGlobal,
+    ];
+
+    /// Index into [`Policy::ALL`]-shaped arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The phase implied by an access intent.
     pub fn from_access(a: Access) -> Policy {
         match a {
@@ -97,6 +114,17 @@ impl Policy {
     /// Whether replicas are permitted in this phase.
     pub fn replicates(self) -> bool {
         self == Policy::ReadOnlyGlobal
+    }
+
+    /// Stable label for telemetry (counter labels, span policies).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Unknown => "Unknown",
+            Policy::Local => "Local",
+            Policy::ReadOnlyGlobal => "ReadOnlyGlobal",
+            Policy::WriteGlobal => "WriteGlobal",
+            Policy::ReadWriteGlobal => "ReadWriteGlobal",
+        }
     }
 }
 

@@ -25,7 +25,7 @@ use bytes::Bytes;
 use megammap_cluster::Cluster;
 use megammap_formats::{Backends, DataObject, DataUrl, Scheme};
 use megammap_sim::{CollectiveShape, CpuModel, NetworkModel, SharedResource, SimTime};
-use megammap_telemetry::{Counter, EventKind, Histogram, Telemetry};
+use megammap_telemetry::{Counter, EventKind, Histogram, Stage, Telemetry, TraceCtx};
 use megammap_tiered::{BlobId, Dmsh, DmshError};
 use parking_lot::Mutex;
 
@@ -144,6 +144,16 @@ pub struct Stats {
     /// Virtual queueing delay (ns) between task submission and worker
     /// dispatch — the simulation's observable for worker-pool queue depth.
     pub queue_delay_ns: Histogram,
+    /// Synchronous faults broken down by the coherence phase that was
+    /// active when they fired (`runtime.faults_by_policy{policy=...}`),
+    /// indexed by [`Policy::index`].
+    pub faults_by_policy: [Counter; Policy::COUNT],
+    /// Writer tasks broken down by policy
+    /// (`runtime.writes_by_policy{policy=...}`).
+    pub writes_by_policy: [Counter; Policy::COUNT],
+    /// Bytes staged out to backends broken down by policy
+    /// (`stager.staged_out_bytes_by_policy{policy=...}`).
+    pub staged_out_by_policy: [Counter; Policy::COUNT],
 }
 
 impl Stats {
@@ -167,6 +177,13 @@ impl Stats {
                 &[],
                 &[1_000, 10_000, 100_000, 1_000_000, 10_000_000],
             ),
+            faults_by_policy: Policy::ALL
+                .map(|p| t.counter("runtime", "faults_by_policy", &[("policy", p.name())])),
+            writes_by_policy: Policy::ALL
+                .map(|p| t.counter("runtime", "writes_by_policy", &[("policy", p.name())])),
+            staged_out_by_policy: Policy::ALL.map(|p| {
+                t.counter("stager", "staged_out_bytes_by_policy", &[("policy", p.name())])
+            }),
         }
     }
 }
@@ -393,6 +410,9 @@ impl Runtime {
     /// Dispatch a task to its worker and record queue telemetry: the
     /// virtual delay between submission and dispatch plus a TaskDispatch
     /// span event (`detail` = 0 for the low-latency pool, 1 for high).
+    /// When a trace context is live, the enqueue→dispatch wait also lands
+    /// as a [`Stage::QueueWait`] span in the fault's causal tree.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         node: usize,
@@ -401,12 +421,23 @@ impl Runtime {
         bytes: u64,
         submit: SimTime,
         reserve: u64,
+        ctx: TraceCtx,
     ) -> SimTime {
         let w = self.worker(node, vec_id, page, bytes);
         let t = w.acquire_causal(submit, reserve);
         self.inner.stats.queue_delay_ns.record(t.saturating_sub(submit));
         let pool = u64::from(bytes >= self.inner.cfg.low_latency_threshold);
         self.inner.telemetry.span(EventKind::TaskDispatch, submit, t, node as u32, bytes, pool);
+        self.inner.telemetry.trace_child(
+            ctx,
+            Stage::QueueWait,
+            submit,
+            t,
+            node as u32,
+            bytes,
+            "",
+            pool,
+        );
         t
     }
 
@@ -425,6 +456,7 @@ impl Runtime {
     /// asynchronous (issued now, completing at the returned time) and
     /// counted as a prefetch. `collective` holds the group size when the
     /// transaction carries the Collective hint.
+    #[cfg(test)]
     pub(crate) fn read_page(
         &self,
         now: SimTime,
@@ -434,12 +466,30 @@ impl Runtime {
         collective: Option<usize>,
         prefetch: bool,
     ) -> Result<(Bytes, SimTime)> {
-        let out = self.read_page_impl(now, meta, page, my_node, collective, prefetch)?;
+        self.read_page_traced(now, meta, page, my_node, collective, prefetch, TraceCtx::NONE)
+    }
+
+    /// [`read_page`](Self::read_page) with a live causal trace context:
+    /// every stage the fault passes through (queue wait, tier read, net
+    /// hop, backend read) is recorded as a child span of `ctx`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn read_page_traced(
+        &self,
+        now: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        my_node: usize,
+        collective: Option<usize>,
+        prefetch: bool,
+        ctx: TraceCtx,
+    ) -> Result<(Bytes, SimTime)> {
+        let out = self.read_page_impl(now, meta, page, my_node, collective, prefetch, ctx)?;
         let kind = if prefetch { EventKind::PrefetchIssue } else { EventKind::PageFault };
         self.inner.telemetry.span(kind, now, out.1, my_node as u32, out.0.len() as u64, page);
         Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn read_page_impl(
         &self,
         now: SimTime,
@@ -448,23 +498,25 @@ impl Runtime {
         my_node: usize,
         collective: Option<usize>,
         prefetch: bool,
+        ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime)> {
         let s = &self.inner.stats;
         if prefetch {
             s.prefetches.inc();
         } else {
             s.faults.inc();
+            s.faults_by_policy[meta.policy.lock().index()].inc();
         }
         let id = BlobId::new(meta.id, page);
         let t = now + TASK_CONSTRUCT_NS;
         if let Some(node) = self.inner.dir.nearest_copy(id, my_node) {
-            match self.read_from_node(t, meta, id, node, my_node, collective) {
+            match self.read_from_node(t, meta, id, node, my_node, collective, ctx) {
                 Ok(r) => return Ok(r),
                 Err(MmError::Capacity(_)) => { /* raced with removal; fall through */ }
                 Err(e) => return Err(e),
             }
         }
-        self.fault_absent(t, meta, page, my_node, collective)
+        self.fault_absent(t, meta, page, my_node, collective, ctx)
     }
 
     /// Serve a page that is resident nowhere: stage in from the backend or
@@ -477,20 +529,30 @@ impl Runtime {
         page: u64,
         my_node: usize,
         collective: Option<usize>,
+        ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime)> {
         let id = BlobId::new(meta.id, page);
         let home = self.default_home(meta.id, page);
-        let (data, ready) = stager::stage_in(self, t, meta, page, home)?;
+        let (data, ready) = stager::stage_in(self, t, meta, page, home, ctx)?;
         self.inner.dir.home_or_insert(id, home);
         if home != my_node {
-            let done =
-                self.finish_remote(ready, meta, id, home, my_node, data.len() as u64, collective);
+            let done = self.finish_remote(
+                ready,
+                meta,
+                id,
+                home,
+                my_node,
+                data.len() as u64,
+                collective,
+                ctx,
+            );
             return Ok((data, done));
         }
         self.inner.stats.local_reads.inc();
         Ok((data, ready))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn read_from_node(
         &self,
         t: SimTime,
@@ -499,19 +561,29 @@ impl Runtime {
         node: usize,
         my_node: usize,
         collective: Option<usize>,
+        ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime)> {
         let bytes_hint = meta.page_size;
-        let ws = self.dispatch(node, meta.id, id.blob, bytes_hint, t, 0);
-        let (data, dev_done) = self.inner.nodes[node].dmsh.get(ws, id).map_err(|e| match e {
-            DmshError::NotFound(_) => MmError::Capacity("page vanished".into()),
-            other => MmError::from(other),
-        })?;
+        let ws = self.dispatch(node, meta.id, id.blob, bytes_hint, t, 0, ctx);
+        let (data, dev_done) =
+            self.inner.nodes[node].dmsh.get_traced(ws, id, ctx).map_err(|e| match e {
+                DmshError::NotFound(_) => MmError::Capacity("page vanished".into()),
+                other => MmError::from(other),
+            })?;
         if node == my_node {
             self.inner.stats.local_reads.inc();
             return Ok((data, dev_done));
         }
-        let done =
-            self.finish_remote(dev_done, meta, id, node, my_node, data.len() as u64, collective);
+        let done = self.finish_remote(
+            dev_done,
+            meta,
+            id,
+            node,
+            my_node,
+            data.len() as u64,
+            collective,
+            ctx,
+        );
         // Replicate locally under the Read-Only Global policy so future
         // reads are node-local. The replica shares the same storage as the
         // caller's view (an O(1) refcount bump, not a copy).
@@ -529,6 +601,8 @@ impl Runtime {
     /// once per run instead of once per page. The first page is the
     /// synchronous fault; the extras are counted as prefetches (they arrive
     /// ahead of their access) plus `runtime.coalesced_faults`.
+    #[cfg(test)]
+    #[allow(dead_code)]
     pub(crate) fn read_page_run(
         &self,
         now: SimTime,
@@ -538,9 +612,27 @@ impl Runtime {
         my_node: usize,
         collective: Option<usize>,
     ) -> Result<Vec<(Bytes, SimTime)>> {
+        self.read_page_run_traced(now, meta, first, count, my_node, collective, TraceCtx::NONE)
+    }
+
+    /// [`read_page_run`](Self::read_page_run) with a live causal trace
+    /// context; each same-holder slice of the run lands as a
+    /// [`Stage::CoalesceRun`] child span.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn read_page_run_traced(
+        &self,
+        now: SimTime,
+        meta: &VectorMeta,
+        first: u64,
+        count: u64,
+        my_node: usize,
+        collective: Option<usize>,
+        ctx: TraceCtx,
+    ) -> Result<Vec<(Bytes, SimTime)>> {
         debug_assert!(count >= 1);
         let s = &self.inner.stats;
         s.faults.inc();
+        s.faults_by_policy[meta.policy.lock().index()].inc();
         if count > 1 {
             s.prefetches.add(count - 1);
             s.coalesced.add(count - 1);
@@ -552,7 +644,7 @@ impl Runtime {
             let page = first + i;
             let id = BlobId::new(meta.id, page);
             let Some(node) = self.inner.dir.nearest_copy(id, my_node) else {
-                out.push(self.fault_absent(t, meta, page, my_node, collective)?);
+                out.push(self.fault_absent(t, meta, page, my_node, collective, ctx)?);
                 i += 1;
                 continue;
             };
@@ -566,7 +658,7 @@ impl Runtime {
                 n += 1;
             }
             let mut part =
-                self.read_run_from_node(t, meta, first + i, n, node, my_node, collective)?;
+                self.read_run_from_node(t, meta, first + i, n, node, my_node, collective, ctx)?;
             i += part.len() as u64;
             out.append(&mut part);
         }
@@ -597,15 +689,32 @@ impl Runtime {
         node: usize,
         my_node: usize,
         collective: Option<usize>,
+        ctx: TraceCtx,
     ) -> Result<Vec<(Bytes, SimTime)>> {
         let bytes_hint = meta.page_size * n;
-        let ws = self.dispatch(node, meta.id, first, bytes_hint, t, 0);
+        let ws = self.dispatch(node, meta.id, first, bytes_hint, t, 0, ctx);
+        // Each same-holder slice is one ranged MemoryTask: hang its pages'
+        // tier/net spans under a CoalesceRun child (`detail` = run length).
+        let run_ctx = if n > 1 {
+            self.inner.telemetry.trace_child(
+                ctx,
+                Stage::CoalesceRun,
+                t,
+                ws,
+                node as u32,
+                bytes_hint,
+                "",
+                n,
+            )
+        } else {
+            ctx
+        };
         let replicate = meta.policy.lock().replicates();
         let mut out = Vec::with_capacity(n as usize);
         let mut dev = ws;
         for k in 0..n {
             let id = BlobId::new(meta.id, first + k);
-            match self.inner.nodes[node].dmsh.get(dev, id) {
+            match self.inner.nodes[node].dmsh.get_traced(dev, id, run_ctx) {
                 Ok((data, dev_done)) => {
                     dev = dev_done;
                     let done = if node == my_node {
@@ -620,6 +729,7 @@ impl Runtime {
                             my_node,
                             data.len() as u64,
                             collective,
+                            run_ctx,
                         );
                         if replicate {
                             let _ = self.inner.nodes[my_node].dmsh.put(
@@ -638,7 +748,14 @@ impl Runtime {
                 }
                 Err(DmshError::NotFound(_)) => {
                     // Vanished mid-run: re-serve this page from the backend.
-                    out.push(self.fault_absent(dev, meta, first + k, my_node, collective)?);
+                    out.push(self.fault_absent(
+                        dev,
+                        meta,
+                        first + k,
+                        my_node,
+                        collective,
+                        run_ctx,
+                    )?);
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -658,12 +775,24 @@ impl Runtime {
         dst: usize,
         len: u64,
         collective: Option<usize>,
+        ctx: TraceCtx,
     ) -> SimTime {
         self.inner.stats.remote_reads.inc();
-        match collective {
+        let done = match collective {
             Some(n) => dev_done + self.inner.net.collective_time(CollectiveShape::Tree, n, len),
             None => self.inner.net.transfer(dev_done, src, dst, len),
-        }
+        };
+        self.inner.telemetry.trace_child(
+            ctx,
+            Stage::NetHop,
+            dev_done,
+            done,
+            dst as u32,
+            len,
+            "",
+            src as u64,
+        );
+        done
     }
 
     // ---- write path -------------------------------------------------------
@@ -672,6 +801,7 @@ impl Runtime {
     /// full page image) to the page's canonical copy. Asynchronous: the
     /// caller has already paid the memcpy; the returned time is when the
     /// update is applied and visible.
+    #[cfg(test)]
     pub(crate) fn write_page_diff(
         &self,
         submit: SimTime,
@@ -681,19 +811,47 @@ impl Runtime {
         dirty: &RangeSet,
         my_node: usize,
     ) -> Result<SimTime> {
+        self.write_page_diff_traced(submit, meta, page, data, dirty, my_node, TraceCtx::NONE)
+    }
+
+    /// [`write_page_diff`](Self::write_page_diff) with a live causal trace
+    /// context (queue wait / net hop / commit-apply children).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn write_page_diff_traced(
+        &self,
+        submit: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        data: &[u8],
+        dirty: &RangeSet,
+        my_node: usize,
+        ctx: TraceCtx,
+    ) -> Result<SimTime> {
         if dirty.is_empty() {
             return Ok(submit);
         }
         self.inner.stats.writes.inc();
         let id = BlobId::new(meta.id, page);
         let policy = *meta.policy.lock();
+        self.inner.stats.writes_by_policy[policy.index()].inc();
         let preferred =
             if policy == Policy::Local { my_node } else { self.default_home(meta.id, page) };
         let home = self.inner.dir.home_or_insert(id, preferred);
         let bytes = dirty.covered();
-        let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes);
+        let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes, ctx);
         if home != my_node {
-            t = t.max(self.inner.net.transfer(submit, my_node, home, bytes));
+            let net_done = self.inner.net.transfer(submit, my_node, home, bytes);
+            self.inner.telemetry.trace_child(
+                ctx,
+                Stage::NetHop,
+                submit,
+                net_done,
+                home as u32,
+                bytes,
+                "",
+                my_node as u64,
+            );
+            t = t.max(net_done);
         }
         let dmsh = &self.inner.nodes[home].dmsh;
         // Serialize install-or-patch per page so concurrent first writers
@@ -709,6 +867,7 @@ impl Runtime {
                     id,
                     s,
                     &data[s as usize..e as usize],
+                    ctx,
                 )?);
             }
         } else {
@@ -720,8 +879,18 @@ impl Runtime {
             for (s, e) in dirty.iter() {
                 base[s as usize..e as usize].copy_from_slice(&data[s as usize..e as usize]);
             }
-            done = self.put_with_drain(home, t, id, Bytes::from(base), 1.0, my_node, true)?;
+            done = self.put_with_drain(home, t, id, Bytes::from(base), 1.0, my_node, true, ctx)?;
         }
+        self.inner.telemetry.trace_child(
+            ctx,
+            Stage::CommitApply,
+            t,
+            done,
+            home as u32,
+            bytes,
+            "",
+            page,
+        );
         self.maybe_organize(home, done);
         self.maybe_stage(meta, done);
         Ok(done)
@@ -732,6 +901,8 @@ impl Runtime {
     /// the committing process's pcache buffer (see [`PageBuf::freeze`]
     /// (crate::pagebuf::PageBuf::freeze)), so a local install shares one
     /// allocation between pcache and scache — zero copies.
+    #[cfg(test)]
+    #[allow(dead_code)]
     pub(crate) fn write_page_full(
         &self,
         submit: SimTime,
@@ -740,23 +911,59 @@ impl Runtime {
         data: Bytes,
         my_node: usize,
     ) -> Result<SimTime> {
+        self.write_page_full_traced(submit, meta, page, data, my_node, TraceCtx::NONE)
+    }
+
+    /// [`write_page_full`](Self::write_page_full) with a live causal trace
+    /// context (queue wait / net hop / commit-apply children).
+    pub(crate) fn write_page_full_traced(
+        &self,
+        submit: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        data: Bytes,
+        my_node: usize,
+        ctx: TraceCtx,
+    ) -> Result<SimTime> {
         if data.is_empty() {
             return Ok(submit);
         }
         self.inner.stats.writes.inc();
         let id = BlobId::new(meta.id, page);
         let policy = *meta.policy.lock();
+        self.inner.stats.writes_by_policy[policy.index()].inc();
         let preferred =
             if policy == Policy::Local { my_node } else { self.default_home(meta.id, page) };
         let home = self.inner.dir.home_or_insert(id, preferred);
         let bytes = data.len() as u64;
-        let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes);
+        let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes, ctx);
         if home != my_node {
-            t = t.max(self.inner.net.transfer(submit, my_node, home, bytes));
+            let net_done = self.inner.net.transfer(submit, my_node, home, bytes);
+            self.inner.telemetry.trace_child(
+                ctx,
+                Stage::NetHop,
+                submit,
+                net_done,
+                home as u32,
+                bytes,
+                "",
+                my_node as u64,
+            );
+            t = t.max(net_done);
         }
         let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
         let _guard = self.inner.nodes[home].apply_locks[shard].lock();
-        let done = self.put_with_drain(home, t, id, data, 1.0, my_node, true)?;
+        let done = self.put_with_drain(home, t, id, data, 1.0, my_node, true, ctx)?;
+        self.inner.telemetry.trace_child(
+            ctx,
+            Stage::CommitApply,
+            t,
+            done,
+            home as u32,
+            bytes,
+            "",
+            page,
+        );
         self.maybe_organize(home, done);
         self.maybe_stage(meta, done);
         Ok(done)
@@ -796,11 +1003,12 @@ impl Runtime {
         score: f32,
         score_node: usize,
         dirty: bool,
+        ctx: TraceCtx,
     ) -> Result<SimTime> {
         let dmsh = &self.inner.nodes[node].dmsh;
         let mut t = t;
         for _ in 0..64 {
-            match dmsh.put(t, id, data.clone(), score, score_node, dirty) {
+            match dmsh.put_traced(t, id, data.clone(), score, score_node, dirty, ctx) {
                 Ok(out) => return Ok(out.done_at),
                 Err(DmshError::Full { requested }) => {
                     t = stager::emergency_drain(self, t, node, requested)?;
@@ -818,9 +1026,10 @@ impl Runtime {
         id: BlobId,
         off: u64,
         patch: &[u8],
+        ctx: TraceCtx,
     ) -> Result<SimTime> {
         let dmsh = &self.inner.nodes[node].dmsh;
-        Ok(dmsh.put_range(t, id, off, patch)?)
+        Ok(dmsh.put_range_traced(t, id, off, patch, ctx)?)
     }
 
     // ---- scoring / organization -------------------------------------------

@@ -14,7 +14,7 @@
 
 use bytes::Bytes;
 use megammap_sim::SimTime;
-use megammap_telemetry::EventKind;
+use megammap_telemetry::{EventKind, Stage, TraceCtx};
 use megammap_tiered::BlobId;
 
 use crate::error::{MmError, Result};
@@ -26,6 +26,12 @@ fn backend_label(meta: &VectorMeta) -> &str {
     meta.key.split(':').next().unwrap_or("unknown")
 }
 
+/// `'static` flavour of [`backend_label`] for span tier labels.
+fn backend_label_static(meta: &VectorMeta) -> &'static str {
+    use megammap_formats::Scheme;
+    meta.key.split(':').next().and_then(Scheme::parse).map(|s| s.as_str()).unwrap_or("backend")
+}
+
 /// Read one page of `meta` from its persistent backend (or synthesize a
 /// zero page for data never written), install it in `home`'s scache shard,
 /// and return the bytes plus the completion time.
@@ -35,6 +41,7 @@ pub(crate) fn stage_in(
     meta: &VectorMeta,
     page: u64,
     home: usize,
+    ctx: TraceCtx,
 ) -> Result<(Bytes, SimTime)> {
     let ps = meta.page_size as usize;
     let mut buf = vec![0u8; ps];
@@ -55,6 +62,16 @@ pub(crate) fn stage_in(
             )
             .add(from_backend as u64);
             tel.span(EventKind::StageIn, now, t, home as u32, from_backend as u64, page);
+            tel.trace_child(
+                ctx,
+                Stage::BackendRead,
+                now,
+                t,
+                home as u32,
+                from_backend as u64,
+                backend_label_static(meta),
+                page,
+            );
         }
     }
     let data = Bytes::from(buf);
@@ -62,7 +79,9 @@ pub(crate) fn stage_in(
         // Install in the home shard so future faults come from the DMSH.
         // Use a middling score; the prefetcher will rescore it.
         let id = BlobId::new(meta.id, page);
-        if let Ok(out) = rt.inner_node(home).dmsh.put(t, id, data.clone(), 0.5, home, false) {
+        if let Ok(out) =
+            rt.inner_node(home).dmsh.put_traced(t, id, data.clone(), 0.5, home, false, ctx)
+        {
             t = out.done_at;
         }
         // If the DMSH is full, serve the page without caching it — a pure
@@ -78,19 +97,32 @@ pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Re
         return Ok(now); // volatile vectors have nothing to persist
     };
     let mut done = now;
+    let mut ctx = TraceCtx::NONE;
+    let mut flushed = 0u64;
     for node in 0..rt.nodes() {
         let dmsh = &rt.inner_node(node).dmsh;
         for id in dmsh.dirty_blobs() {
             if id.bucket != meta.id {
                 continue;
             }
-            let (data, read_done) = dmsh.get(now, id).map_err(MmError::from)?;
-            let t = stage_out_page(rt, read_done, meta, backend.as_ref(), id.blob, &data, node)?;
+            if ctx.is_none() {
+                // Lazily allocate the Flush root so idle stager passes
+                // (nothing dirty) leave no trace behind.
+                ctx = rt.telemetry().trace_begin(node as u32);
+            }
+            let (data, read_done) = dmsh.get_traced(now, id, ctx).map_err(MmError::from)?;
+            let t =
+                stage_out_page(rt, read_done, meta, backend.as_ref(), id.blob, &data, node, ctx)?;
             dmsh.mark_clean(id);
+            flushed += data.len() as u64;
             done = done.max(t);
         }
     }
     rt.telemetry().span(EventKind::Flush, now, done, 0, 0, meta.id);
+    if !ctx.is_none() {
+        let policy = *meta.policy.lock();
+        rt.telemetry().trace_end(ctx, Stage::Flush, now, done, 0, flushed, policy.name(), meta.id);
+    }
     // Trim the backend to the vector's logical length (appends may have
     // grown it page-granularly) and persist format metadata.
     let logical = meta.len_bytes();
@@ -102,6 +134,7 @@ pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Re
 }
 
 /// Serialize and write one page image to the backend.
+#[allow(clippy::too_many_arguments)]
 fn stage_out_page(
     rt: &Runtime,
     now: SimTime,
@@ -110,6 +143,7 @@ fn stage_out_page(
     page: u64,
     data: &[u8],
     node: usize,
+    ctx: TraceCtx,
 ) -> Result<SimTime> {
     // Clip the final page to the logical length so the backend never holds
     // trailing garbage.
@@ -122,11 +156,23 @@ fn stage_out_page(
     backend.write_at(start, &data[..len]).map_err(MmError::Io)?;
     let t = now + rt.inner_cpu().serde_ns(len as u64);
     let t = rt.inner_pfs().acquire_causal_pipelined(t, len as u64);
-    rt.inner_stats().staged_out.add(len as u64);
+    let stats = rt.inner_stats();
+    stats.staged_out.add(len as u64);
+    stats.staged_out_by_policy[meta.policy.lock().index()].add(len as u64);
     let tel = rt.telemetry();
     tel.counter("stager", "backend_bytes", &[("backend", backend_label(meta)), ("dir", "out")])
         .add(len as u64);
     tel.span(EventKind::StageOut, now, t, node as u32, len as u64, page);
+    tel.trace_child(
+        ctx,
+        Stage::BackendWrite,
+        now,
+        t,
+        node as u32,
+        len as u64,
+        backend_label_static(meta),
+        page,
+    );
     Ok(t)
 }
 
@@ -171,7 +217,16 @@ pub(crate) fn emergency_drain(
                 Ok(x) => x,
                 Err(_) => continue,
             };
-            let t = stage_out_page(rt, read_done, &vec, backend.as_ref(), id.blob, &data, node)?;
+            let t = stage_out_page(
+                rt,
+                read_done,
+                &vec,
+                backend.as_ref(),
+                id.blob,
+                &data,
+                node,
+                TraceCtx::NONE,
+            )?;
             done = done.max(t);
         }
         dmsh.remove(id);

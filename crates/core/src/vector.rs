@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use megammap_cluster::Proc;
 use megammap_sim::SimTime;
-use megammap_telemetry::Counter;
+use megammap_telemetry::{Counter, Stage};
 use parking_lot::Mutex;
 
 use crate::client::VecOptions;
@@ -451,32 +451,52 @@ impl<T: Element> MmVec<T> {
     fn commit_dirty(&self, p: &Proc, st: &mut VecState) {
         let seq = st.tx_seq;
         let dirty = st.pcache.dirty_pages();
+        let tel = self.rt.telemetry();
         for page in dirty {
             let cp = st.pcache.peek_mut(page).expect("listed dirty");
             let full = cp.dirty.covers(0, cp.data.len() as u64);
             let ranges = std::mem::take(&mut cp.dirty);
-            if full {
+            let begin = p.now();
+            let ctx = tel.trace_begin(p.node() as u32);
+            let (bytes, done) = if full {
                 // Zero-copy commit: the scache gets a shared view of the
                 // same allocation; the page stays resident and clean.
                 let data = cp.data.freeze();
+                let bytes = data.len() as u64;
                 cp.self_write_seq = Some(seq);
-                let _ = self
+                let done = self
                     .rt
-                    .write_page_full(p.now(), &self.meta, page, data, p.node())
+                    .write_page_full_traced(p.now(), &self.meta, page, data, p.node(), ctx)
                     .expect("writer task");
+                (bytes, done)
             } else {
                 p.advance(p.cpu().memcpy_ns(ranges.covered()));
-                let _ = self
+                let done = self
                     .rt
-                    .write_page_diff(
+                    .write_page_diff_traced(
                         p.now(),
                         &self.meta,
                         page,
                         cp.data.as_slice(),
                         &ranges,
                         p.node(),
+                        ctx,
                     )
                     .expect("writer task");
+                (ranges.covered(), done)
+            };
+            if !ctx.is_none() {
+                let policy = self.meta.policy.lock().name();
+                tel.trace_end(
+                    ctx,
+                    Stage::Commit,
+                    begin,
+                    done,
+                    p.node() as u32,
+                    bytes,
+                    policy,
+                    page,
+                );
             }
         }
     }
@@ -501,12 +521,23 @@ impl<T: Element> MmVec<T> {
         // run of contiguous absent pages into one ranged MemoryTask — one
         // worker dispatch amortized over the whole run, each page landing
         // as a zero-copy shared view.
+        let fault_at = p.now();
+        let tel = self.rt.telemetry();
+        let ctx = tel.trace_begin(p.node() as u32);
+        tel.trace_child(ctx, Stage::MissDetect, fault_at, fault_at, p.node() as u32, 0, "", page);
         self.make_room(p, st)?;
         let collective = st.tx.as_ref().and_then(|tx| tx.collective);
         let run = self.coalesce_run(st, page);
         if run > 1 {
-            let parts =
-                self.rt.read_page_run(p.now(), &self.meta, page, run, p.node(), collective)?;
+            let parts = self.rt.read_page_run_traced(
+                p.now(),
+                &self.meta,
+                page,
+                run,
+                p.node(),
+                collective,
+                ctx,
+            )?;
             let mut iter = parts.into_iter();
             let (data, done) = iter.next().expect("run includes the faulting page");
             // Extras land as prefetched pages with their own ready time;
@@ -520,12 +551,32 @@ impl<T: Element> MmVec<T> {
             p.advance_to(done);
             st.pcache.insert(page, CachedPage::new(PageBuf::shared(data), p.now()));
         } else {
-            let (data, done) =
-                self.rt.read_page(p.now(), &self.meta, page, p.node(), collective, false)?;
+            let (data, done) = self.rt.read_page_traced(
+                p.now(),
+                &self.meta,
+                page,
+                p.node(),
+                collective,
+                false,
+                ctx,
+            )?;
             p.advance_to(done);
             // The device/worker/network charges above already model shipping
             // the page; installing it is a refcount bump, not a copy.
             st.pcache.insert(page, CachedPage::new(PageBuf::shared(data), p.now()));
+        }
+        if !ctx.is_none() {
+            let policy = self.meta.policy.lock().name();
+            tel.trace_end(
+                ctx,
+                Stage::Fault,
+                fault_at,
+                p.now(),
+                p.node() as u32,
+                self.meta.page_size * run,
+                policy,
+                page,
+            );
         }
         Ok(st.pcache.peek_mut(page).expect("just inserted"))
     }
@@ -595,18 +646,37 @@ impl<T: Element> MmVec<T> {
         if cp.dirty.is_empty() {
             return;
         }
-        if cp.dirty.covers(0, cp.data.len() as u64) {
+        let tel = self.rt.telemetry();
+        let begin = p.now();
+        let ctx = tel.trace_begin(p.node() as u32);
+        let (bytes, done) = if cp.dirty.covers(0, cp.data.len() as u64) {
             // Fully-dirty eviction ships the buffer itself — no memcpy.
-            let _ = self
+            let data = cp.data.into_bytes();
+            let bytes = data.len() as u64;
+            let done = self
                 .rt
-                .write_page_full(p.now(), &self.meta, page, cp.data.into_bytes(), p.node())
+                .write_page_full_traced(p.now(), &self.meta, page, data, p.node(), ctx)
                 .expect("eviction writer task");
+            (bytes, done)
         } else {
             p.advance(p.cpu().memcpy_ns(cp.dirty.covered()));
-            let _ = self
+            let done = self
                 .rt
-                .write_page_diff(p.now(), &self.meta, page, cp.data.as_slice(), &cp.dirty, p.node())
+                .write_page_diff_traced(
+                    p.now(),
+                    &self.meta,
+                    page,
+                    cp.data.as_slice(),
+                    &cp.dirty,
+                    p.node(),
+                    ctx,
+                )
                 .expect("eviction writer task");
+            (cp.dirty.covered(), done)
+        };
+        if !ctx.is_none() {
+            let policy = self.meta.policy.lock().name();
+            tel.trace_end(ctx, Stage::Commit, begin, done, p.node() as u32, bytes, policy, page);
         }
     }
 
@@ -698,20 +768,40 @@ impl<T: Element> PrefetchEnv for VecEnv<'_, T> {
             }
         }
         let collective = self.st.tx.as_ref().and_then(|tx| tx.collective);
-        match self.vec.rt.read_page(
+        let tel = self.vec.rt.telemetry();
+        let issued = self.p.now();
+        let ctx = tel.trace_begin(self.p.node() as u32);
+        let end_trace = |ready_at, bytes| {
+            if !ctx.is_none() {
+                let policy = self.vec.meta.policy.lock().name();
+                tel.trace_end(
+                    ctx,
+                    Stage::Prefetch,
+                    issued,
+                    ready_at,
+                    self.p.node() as u32,
+                    bytes,
+                    policy,
+                    page,
+                );
+            }
+        };
+        match self.vec.rt.read_page_traced(
             self.p.now(),
             &self.vec.meta,
             page,
             self.p.node(),
             collective,
             true,
+            ctx,
         ) {
             Ok((data, ready_at)) => {
+                end_trace(ready_at, data.len() as u64);
                 let mut cp = CachedPage::new(PageBuf::shared(data), ready_at);
                 cp.prefetched = true;
                 self.st.pcache.insert(page, cp);
             }
-            Err(_) => { /* prefetch is best-effort */ }
+            Err(_) => end_trace(issued, 0), // prefetch is best-effort
         }
     }
 }

@@ -1,0 +1,74 @@
+//! Determinism of the causal fault-path trace.
+//!
+//! Runs the same small tiered workload twice — one node, one process, so
+//! there is no cross-node resource contention (see `mm_report`'s module
+//! docs for why contention perturbs virtual timestamps) — and asserts the
+//! Perfetto trace JSON and the metrics CSV are **byte-identical**: span
+//! ids, virtual timestamps, ordering, everything.
+
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::{DeviceSpec, MIB};
+
+const N: u64 = 8192;
+
+fn run_once() -> (String, String) {
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(64 * MIB));
+    cluster.telemetry().set_flight(4, 50_000);
+    // Tiny DRAM tier over NVMe so faults cross tiers; tiny pcache so the
+    // scattered read phase demand-faults.
+    let rt = Runtime::new(
+        &cluster,
+        RuntimeConfig::default()
+            .with_page_size(4096)
+            .with_tiers(vec![DeviceSpec::dram(64 * 1024), DeviceSpec::nvme(MIB)]),
+    );
+    let rt2 = rt.clone();
+    cluster.run(move |p| {
+        let v: MmVec<u64> =
+            MmVec::open(&rt2, p, "obj://det/v.bin", VecOptions::new().len(N).pcache(8 * 1024))
+                .unwrap();
+        // Write phase: sequential stores -> commits + flush spans.
+        let tx = v.tx_begin(p, TxKind::seq(0, N), Access::WriteLocal);
+        for i in 0..N {
+            v.store(p, &tx, i, i.wrapping_mul(0x9e37_79b9));
+        }
+        v.tx_end(p, tx);
+        v.flush_async(p).unwrap();
+        // Scattered read phase: the declared pattern does not match the
+        // accesses, so the prefetcher cannot hide the demand faults.
+        let tx = v.tx_begin(p, TxKind::seq(0, 1), Access::ReadOnly);
+        let mut i = 0u64;
+        let mut sum = 0u64;
+        while i < N {
+            sum = sum.wrapping_add(v.load(p, &tx, i));
+            i += 379; // odd stride, keeps hopping pages
+        }
+        v.tx_end(p, tx);
+        assert_ne!(sum, 0);
+    });
+    let snap = cluster.telemetry().snapshot();
+    (snap.trace_json(), snap.metrics_csv())
+}
+
+#[test]
+fn trace_json_and_metrics_csv_are_byte_identical_across_runs() {
+    let (json_a, csv_a) = run_once();
+    let (json_b, csv_b) = run_once();
+    assert_eq!(json_a, json_b, "trace_json must be byte-identical");
+    assert_eq!(csv_a, csv_b, "metrics_csv must be byte-identical");
+
+    // Sanity: the trace is a Chrome-trace document with real fault spans.
+    assert!(json_a.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+    assert!(json_a.ends_with("]}"));
+    assert!(json_a.contains("\"name\":\"fault\""), "demand faults must be traced");
+    assert!(json_a.contains("\"name\":\"commit\""), "commits must be traced");
+    assert!(json_a.contains("\"name\":\"flush\""), "flushes must be traced");
+    assert!(json_a.contains("\"policy\":\"ReadOnlyGlobal\""));
+    // Balanced braces/brackets — cheap structural validity check without a
+    // JSON parser dependency (no string in the doc contains braces).
+    let opens = json_a.matches('{').count();
+    let closes = json_a.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces in trace JSON");
+    assert_eq!(json_a.matches('[').count(), json_a.matches(']').count());
+}

@@ -28,7 +28,8 @@ pub enum Scheme {
 }
 
 impl Scheme {
-    fn parse(s: &str) -> Option<Self> {
+    /// Parse a scheme string (accepting aliases like `h5`, `pq`, `s3`).
+    pub fn parse(s: &str) -> Option<Self> {
         match s {
             "file" => Some(Scheme::File),
             "hdf5" | "h5" => Some(Scheme::Hdf5),

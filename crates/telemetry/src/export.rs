@@ -4,9 +4,60 @@
 //! Everything renders from the deterministic snapshot (key-sorted metrics,
 //! time-sorted events), so identical runs yield byte-identical output.
 
-use crate::{Event, MetricKey, Snapshot};
+use crate::{Event, MetricKey, Snapshot, SpanRecord, Stage};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Virtual ns rendered as microseconds with fixed three decimals — the
+/// Chrome trace format wants µs, and fixed-point formatting keeps the
+/// output byte-deterministic (no float shortest-repr involved).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Per-stage latency aggregate inside one critical-path group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLatency {
+    /// The fault-path stage.
+    pub stage: Stage,
+    /// Tier label for tier I/O stages ("" otherwise).
+    pub tier: &'static str,
+    /// Number of spans folded in.
+    pub count: u64,
+    /// Sum of span durations, virtual ns.
+    pub total_ns: u64,
+    /// Nearest-rank percentiles over span durations, virtual ns.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Longest single span.
+    pub max: u64,
+}
+
+/// Critical-path fold of every trace sharing one `(policy, root stage)`:
+/// where the virtual time of those faults went, stage by stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPathGroup {
+    /// Coherence policy active at the roots.
+    pub policy: &'static str,
+    /// What kind of trace (fault / commit / flush / …).
+    pub root_stage: Stage,
+    /// Number of roots in the group.
+    pub roots: u64,
+    /// Sum of root durations, virtual ns.
+    pub root_total_ns: u64,
+    /// Per-stage aggregates, stage-ordered.
+    pub stages: Vec<StageLatency>,
+}
+
+fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() as u64 - 1) * q / 100) as usize]
+}
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -135,7 +186,11 @@ impl Snapshot {
             })
             .collect();
         out.push_str(&events.join(","));
-        let _ = write!(out, "],\"events_dropped\":{}}}", self.events_dropped);
+        let _ = write!(
+            out,
+            "],\"events_dropped\":{},\"spans_dropped\":{}}}",
+            self.events_dropped, self.spans_dropped
+        );
         out
     }
 
@@ -159,6 +214,200 @@ impl Snapshot {
                     && labels.iter().all(|(lk, lv)| k.label(lk) == Some(*lv))
             })
             .map(|(_, v)| *v)
+    }
+
+    /// Fold every completed trace into per-stage latency totals and
+    /// percentiles, grouped by `(policy, root stage)` — the answer to
+    /// "where does fault time go under this coherence policy?". Tier I/O
+    /// stages stay split per tier. Deterministic: group and stage order
+    /// follow stable enum ordinals and label sorts.
+    pub fn critical_path(&self) -> Vec<CriticalPathGroup> {
+        // trace -> (policy, root stage, root duration)
+        let mut roots: BTreeMap<u64, (&'static str, Stage, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            if s.is_root() {
+                roots.insert(s.trace, (s.policy, s.stage, s.duration()));
+            }
+        }
+        type StageKey = (Stage, &'static str);
+        type Group = (u64, u64, BTreeMap<StageKey, Vec<u64>>);
+        let mut groups: BTreeMap<(&'static str, Stage), Group> = BTreeMap::new();
+        for &(policy, stage, dur) in roots.values() {
+            let g = groups.entry((policy, stage)).or_default();
+            g.0 += 1;
+            g.1 += dur;
+        }
+        for s in &self.spans {
+            if s.is_root() {
+                continue;
+            }
+            let Some(&(policy, root_stage, _)) = roots.get(&s.trace) else {
+                continue; // root evicted from the ring; already counted as dropped
+            };
+            let g = groups.entry((policy, root_stage)).or_default();
+            g.2.entry((s.stage, s.tier)).or_default().push(s.duration());
+        }
+        groups
+            .into_iter()
+            .map(|((policy, root_stage), (roots, root_total_ns, stages))| CriticalPathGroup {
+                policy,
+                root_stage,
+                roots,
+                root_total_ns,
+                stages: stages
+                    .into_iter()
+                    .map(|((stage, tier), mut durs)| {
+                        durs.sort_unstable();
+                        StageLatency {
+                            stage,
+                            tier,
+                            count: durs.len() as u64,
+                            total_ns: durs.iter().sum(),
+                            p50: percentile(&durs, 50),
+                            p90: percentile(&durs, 90),
+                            p99: percentile(&durs, 99),
+                            max: *durs.last().unwrap_or(&0),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Text rendering of [`Snapshot::critical_path`], suitable for the
+    /// report: per-policy stage breakdown with totals, shares and
+    /// percentiles in virtual ns.
+    pub fn critical_path_report(&self) -> String {
+        let groups = self.critical_path();
+        if groups.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n[critical path] virtual ns per fault-path stage");
+        for g in &groups {
+            let avg = g.root_total_ns.checked_div(g.roots).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  policy={} root={} roots={} total={} avg={}",
+                g.policy,
+                g.root_stage.name(),
+                g.roots,
+                g.root_total_ns,
+                avg
+            );
+            for s in &g.stages {
+                let name = if s.tier.is_empty() {
+                    s.stage.name().to_string()
+                } else {
+                    format!("{}{{{}}}", s.stage.name(), s.tier)
+                };
+                let share = if g.root_total_ns > 0 {
+                    s.total_ns as f64 * 100.0 / g.root_total_ns as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "    {name:<24} n={:<6} total={:<12} share={share:>5.1}% p50={} p90={} p99={} max={}",
+                    s.count, s.total_ns, s.p50, s.p90, s.p99, s.max
+                );
+            }
+        }
+        out
+    }
+
+    /// The snapshot's spans and events as a Chrome-trace/Perfetto JSON
+    /// document (hand-rolled, byte-deterministic). Spans render as one
+    /// track per trace under the node's process; ring events render on a
+    /// per-node track 0. Open with `ui.perfetto.dev` or
+    /// `chrome://tracing`.
+    pub fn trace_json(&self) -> String {
+        let mut nodes: Vec<u32> =
+            self.spans.iter().map(|s| s.node).chain(self.events.iter().map(|e| e.node)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut parts: Vec<String> = Vec::new();
+        for n in &nodes {
+            parts.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{n},\"tid\":0,\"args\":{{\"name\":\"node{n}\"}}}}"
+            ));
+        }
+        for s in &self.spans {
+            let mut args = format!(
+                "{{\"trace\":{},\"span\":{},\"parent\":{},\"bytes\":{},\"detail\":{}",
+                s.trace, s.span, s.parent, s.bytes, s.detail
+            );
+            if !s.policy.is_empty() {
+                let _ = write!(args, ",\"policy\":\"{}\"", json_escape(s.policy));
+            }
+            if !s.tier.is_empty() {
+                let _ = write!(args, ",\"tier\":\"{}\"", json_escape(s.tier));
+            }
+            args.push('}');
+            parts.push(format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{}}}",
+                s.stage.name(),
+                s.node,
+                s.trace,
+                ts_us(s.t_begin),
+                ts_us(s.duration()),
+                args
+            ));
+        }
+        for e in &self.events {
+            let args = format!("{{\"bytes\":{},\"detail\":{}}}", e.bytes, e.detail);
+            if e.t_end > e.t_begin {
+                parts.push(format!(
+                    "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"event\",\"pid\":{},\"tid\":0,\"ts\":{},\"dur\":{},\"args\":{}}}",
+                    e.kind.name(),
+                    e.node,
+                    ts_us(e.t_begin),
+                    ts_us(e.t_end - e.t_begin),
+                    args
+                ));
+            } else {
+                parts.push(format!(
+                    "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"event\",\"pid\":{},\"tid\":0,\"ts\":{},\"s\":\"t\",\"args\":{}}}",
+                    e.kind.name(),
+                    e.node,
+                    ts_us(e.t_begin),
+                    args
+                ));
+            }
+        }
+        format!("{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}", parts.join(",\n"))
+    }
+
+    /// Text rendering of the flight recorder: the slowest fault span
+    /// trees, slowest first, children indented under their parents.
+    pub fn flight_report(&self) -> String {
+        if self.flight.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n[flight recorder] {} slowest traces", self.flight.len());
+        for (i, t) in self.flight.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  #{} {} policy={} dur={}ns trace={:#x}",
+                i + 1,
+                t.root_stage.name(),
+                if t.policy.is_empty() { "-" } else { t.policy },
+                t.duration,
+                t.trace
+            );
+            if let Some(root) = t.spans.iter().find(|s| s.is_root()) {
+                render_span_tree(&mut out, &t.spans, root, 2);
+            }
+        }
+        if self.flight_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  (flight recorder discarded {} over-threshold traces)",
+                self.flight_dropped
+            );
+        }
+        out
     }
 
     /// Human-readable summary: totals per metric with per-label breakdown
@@ -260,7 +509,49 @@ impl Snapshot {
                 let _ = writeln!(out, "  (ring dropped {} oldest events)", self.events_dropped);
             }
         }
+
+        // Span summary + critical-path attribution.
+        if !self.spans.is_empty() || self.spans_dropped > 0 {
+            let _ = writeln!(out, "\n[spans]");
+            let mut per_stage: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+            for s in &self.spans {
+                let e = per_stage.entry(s.stage.name()).or_default();
+                e.0 += 1;
+                e.1 += s.duration();
+            }
+            for (name, (count, ns)) in &per_stage {
+                let _ = writeln!(out, "  {name:<20} {count:>10}  total_ns={ns}");
+            }
+            if self.spans_dropped > 0 {
+                let _ = writeln!(out, "  (ring dropped {} oldest spans)", self.spans_dropped);
+            }
+            out.push_str(&self.critical_path_report());
+        }
         out
+    }
+}
+
+/// Append `span` and (recursively) its children to `out`, indented.
+fn render_span_tree(out: &mut String, spans: &[SpanRecord], span: &SpanRecord, depth: usize) {
+    let name = if span.tier.is_empty() {
+        span.stage.name().to_string()
+    } else {
+        format!("{}{{{}}}", span.stage.name(), span.tier)
+    };
+    let _ = writeln!(
+        out,
+        "{:indent$}- {name} {}ns [t={}..{}] bytes={} node={} detail={}",
+        "",
+        span.duration(),
+        span.t_begin,
+        span.t_end,
+        span.bytes,
+        span.node,
+        span.detail,
+        indent = depth * 2
+    );
+    for child in spans.iter().filter(|s| s.parent == span.span && s.span != span.span) {
+        render_span_tree(out, spans, child, depth + 1);
     }
 }
 

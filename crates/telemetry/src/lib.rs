@@ -24,9 +24,16 @@
 mod events;
 mod export;
 mod metrics;
+mod spans;
 
 pub use events::{Event, EventKind, EventRing};
+pub use export::{CriticalPathGroup, StageLatency};
 pub use metrics::{Counter, Gauge, Histogram, MetricKey};
+pub use spans::{
+    FlightTrace, SpanRecord, Stage, TraceCtx, DEFAULT_FLIGHT_K, DEFAULT_SPAN_CAPACITY,
+};
+
+use spans::SpanStore;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,6 +52,7 @@ struct Inner {
     gauges: Mutex<BTreeMap<MetricKey, Gauge>>,
     histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
     events: Mutex<EventRing>,
+    spans: Mutex<SpanStore>,
 }
 
 /// Shared handle to one metrics registry + event ring.
@@ -83,6 +91,7 @@ impl Telemetry {
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 events: Mutex::new(EventRing::new(events)),
+                spans: Mutex::new(SpanStore::new(DEFAULT_SPAN_CAPACITY)),
             }),
         }
     }
@@ -185,6 +194,74 @@ impl Telemetry {
         self.event(Event { kind, node, t_begin, t_end, bytes, detail });
     }
 
+    // ---- causal span tracing -------------------------------------------
+
+    /// Begin a new trace rooted at `node`; returns the root context to
+    /// thread along the fault path. [`TraceCtx::NONE`] while disabled, so
+    /// the whole downstream path costs nothing.
+    pub fn trace_begin(&self, node: u32) -> TraceCtx {
+        if !self.is_enabled() {
+            return TraceCtx::NONE;
+        }
+        self.inner.spans.lock().unwrap().begin(node)
+    }
+
+    /// Record a stage interval as a child span of `ctx`; returns the
+    /// child's context for deeper nesting. No-op on an untraced context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_child(
+        &self,
+        ctx: TraceCtx,
+        stage: Stage,
+        t_begin: SimTime,
+        t_end: SimTime,
+        node: u32,
+        bytes: u64,
+        tier: &'static str,
+        detail: u64,
+    ) -> TraceCtx {
+        if ctx.is_none() {
+            return TraceCtx::NONE;
+        }
+        self.inner
+            .spans
+            .lock()
+            .unwrap()
+            .child(ctx, stage, t_begin, t_end, node, bytes, tier, detail)
+    }
+
+    /// Complete `ctx`'s trace with its root span (stage, full interval,
+    /// active coherence `policy`); the finished tree is offered to the
+    /// flight recorder. No-op on an untraced context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_end(
+        &self,
+        ctx: TraceCtx,
+        stage: Stage,
+        t_begin: SimTime,
+        t_end: SimTime,
+        node: u32,
+        bytes: u64,
+        policy: &'static str,
+        detail: u64,
+    ) {
+        if ctx.is_none() {
+            return;
+        }
+        self.inner
+            .spans
+            .lock()
+            .unwrap()
+            .end(ctx, stage, t_begin, t_end, node, bytes, policy, detail)
+    }
+
+    /// Configure the slow-fault flight recorder: keep the span trees of
+    /// the `k` slowest roots plus any root lasting at least
+    /// `threshold_ns` virtual ns (0 disables the threshold side).
+    pub fn set_flight(&self, k: usize, threshold_ns: SimTime) {
+        self.inner.spans.lock().unwrap().configure_flight(k, threshold_ns);
+    }
+
     /// Deterministic snapshot of every metric and event.
     pub fn snapshot(&self) -> Snapshot {
         let counters =
@@ -204,7 +281,22 @@ impl Telemetry {
         // Ring order is insertion order, which depends on thread
         // interleaving; sort into virtual-time order for determinism.
         events.sort_by_key(|e| (e.t_begin, e.t_end, e.node, e.kind as u8, e.detail, e.bytes));
-        Snapshot { counters, gauges, histograms, events, events_dropped: ring.dropped() }
+        let events_dropped = ring.dropped();
+        drop(ring);
+        let store = self.inner.spans.lock().unwrap();
+        let mut spans: Vec<SpanRecord> = store.iter_done().cloned().collect();
+        spans.sort_by_key(|s| (s.t_begin, s.t_end, s.node, s.stage as u8, s.trace, s.span));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_dropped,
+            spans,
+            spans_dropped: store.dropped(),
+            flight: store.collect_flight(),
+            flight_dropped: store.flight_dropped(),
+        }
     }
 
     /// Sum of every counter matching `(subsystem, name)` across labels.
@@ -229,6 +321,7 @@ impl Telemetry {
             h.reset();
         }
         self.inner.events.lock().unwrap().clear();
+        self.inner.spans.lock().unwrap().clear();
     }
 }
 
@@ -259,6 +352,16 @@ pub struct Snapshot {
     pub events: Vec<Event>,
     /// Events evicted from the ring because it was full.
     pub events_dropped: u64,
+    /// Completed trace spans sorted by `(t_begin, t_end, node, stage,
+    /// trace, span)`.
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted from the completed-span ring because it was full.
+    pub spans_dropped: u64,
+    /// Flight-recorder contents: full span trees of the slowest roots,
+    /// slowest first.
+    pub flight: Vec<FlightTrace>,
+    /// Over-threshold traces the flight recorder had to discard.
+    pub flight_dropped: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,529 @@
+//! Causal span tracing: Dapper-style trace trees over the fault path.
+//!
+//! A [`TraceCtx`] (trace id + parent span id) is allocated when a
+//! transaction faults and threaded through the runtime's MemoryTasks,
+//! across comm hops and down into tier I/O and the stager. Each stage
+//! records a [`SpanRecord`] carrying its virtual-time interval, so every
+//! fault yields a tree: miss-detect, queue wait, tier read/write, net
+//! transfer, coalesced-run slicing, commit/flush.
+//!
+//! Determinism: trace ids are per-node sequence numbers and span ids are
+//! per-trace sequence numbers (hashed for spread), so a deterministic
+//! workload produces byte-identical traces. Completed spans live in a
+//! bounded ring (drops are counted, never silent); the
+//! [`FlightRecorder`] additionally retains the *full* span trees of the
+//! K slowest root spans plus any root exceeding a threshold.
+
+use crate::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// Traces whose root has not completed yet are buffered per trace; this
+/// caps that buffering so an abandoned trace cannot grow without bound.
+const ACTIVE_TRACE_CAP: usize = 4096;
+
+/// Default capacity of the completed-span ring.
+pub const DEFAULT_SPAN_CAPACITY: usize = 256 * 1024;
+
+/// Default flight-recorder depth: span trees of the K slowest roots.
+pub const DEFAULT_FLIGHT_K: usize = 8;
+
+/// Default cap on retained over-threshold traces.
+pub const DEFAULT_FLIGHT_OVER_CAP: usize = 64;
+
+/// SplitMix64 finalizer — spreads sequential ids into distinct-looking
+/// span ids without any randomness (determinism is load-bearing).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The causal context threaded along a fault: which trace this work
+/// belongs to and which span is the parent of anything recorded next.
+///
+/// `Copy` and two words wide, so it rides through call signatures for
+/// free; [`TraceCtx::NONE`] disables recording along the whole path
+/// (used when telemetry is off or for untraced work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id (0 = untraced).
+    pub trace: u64,
+    /// Parent span id for children recorded under this context.
+    pub span: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context: every recording call becomes a no-op.
+    pub const NONE: TraceCtx = TraceCtx { trace: 0, span: 0 };
+
+    /// Whether this context records nothing.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.trace == 0
+    }
+}
+
+/// A stage of the fault path. `as u8` ordinals are part of the
+/// deterministic sort order, so new stages belong at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// Root: a demand read fault (pcache miss to completion).
+    Fault = 0,
+    /// Root: a speculative prefetch read.
+    Prefetch = 1,
+    /// Root: a dirty-page commit (write-back to its home).
+    Commit = 2,
+    /// Root: a vector flush to a storage backend.
+    Flush = 3,
+    /// Root: a communicator collective (barrier/allreduce/…).
+    Collective = 4,
+    /// Instant: the pcache miss that started the fault.
+    MissDetect = 5,
+    /// Task enqueue → worker dispatch wait in a pool.
+    QueueWait = 6,
+    /// A DMSH tier device read.
+    TierRead = 7,
+    /// A DMSH tier device write.
+    TierWrite = 8,
+    /// An inter-node network transfer.
+    NetHop = 9,
+    /// Stager read from a storage backend (incl. deserialisation).
+    BackendRead = 10,
+    /// Stager write to a storage backend (incl. serialisation).
+    BackendWrite = 11,
+    /// The coalesced run slice a fault was served from.
+    CoalesceRun = 12,
+    /// Applying a write (diff patch or full page) at the home node.
+    CommitApply = 13,
+}
+
+impl Stage {
+    /// Stable lowercase name used in exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Fault => "fault",
+            Stage::Prefetch => "prefetch",
+            Stage::Commit => "commit",
+            Stage::Flush => "flush",
+            Stage::Collective => "collective",
+            Stage::MissDetect => "miss_detect",
+            Stage::QueueWait => "queue_wait",
+            Stage::TierRead => "tier_read",
+            Stage::TierWrite => "tier_write",
+            Stage::NetHop => "net_hop",
+            Stage::BackendRead => "backend_read",
+            Stage::BackendWrite => "backend_write",
+            Stage::CoalesceRun => "coalesce_run",
+            Stage::CommitApply => "commit_apply",
+        }
+    }
+}
+
+/// One span of a trace tree. Roots have `parent == 0` and carry the
+/// coherence policy that was active when the fault/commit happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// This span's id (unique within the trace).
+    pub span: u64,
+    /// Parent span id (0 for the root).
+    pub parent: u64,
+    /// Which stage of the fault path this interval covers.
+    pub stage: Stage,
+    /// Node (rank) the stage ran on.
+    pub node: u32,
+    /// Interval start, virtual ns.
+    pub t_begin: SimTime,
+    /// Interval end, virtual ns.
+    pub t_end: SimTime,
+    /// Bytes moved by the stage (else 0).
+    pub bytes: u64,
+    /// Coherence policy active at the root ("" on non-root spans).
+    pub policy: &'static str,
+    /// Tier the stage touched ("" when not tier I/O).
+    pub tier: &'static str,
+    /// Stage-specific payload (page index, rank, …).
+    pub detail: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in virtual ns.
+    pub fn duration(&self) -> u64 {
+        self.t_end.saturating_sub(self.t_begin)
+    }
+
+    /// Whether this is a trace root.
+    pub fn is_root(&self) -> bool {
+        self.parent == 0
+    }
+}
+
+/// A completed trace kept whole by the flight recorder: the root plus
+/// every child span, in recording order (root last).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightTrace {
+    /// Trace id.
+    pub trace: u64,
+    /// Root duration, virtual ns.
+    pub duration: u64,
+    /// Root stage (what kind of trace this is).
+    pub root_stage: Stage,
+    /// Policy active at the root.
+    pub policy: &'static str,
+    /// All spans of the trace; the root is the final entry.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Bounded reservoir of the slowest complete span trees: the K slowest
+/// roots seen so far, plus every root whose duration meets `threshold`
+/// (up to `over_cap`, with overflow counted).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    k: usize,
+    threshold: SimTime,
+    over_cap: usize,
+    slowest: Vec<FlightTrace>,
+    over: Vec<FlightTrace>,
+    over_dropped: u64,
+}
+
+impl FlightRecorder {
+    fn new() -> Self {
+        Self {
+            k: DEFAULT_FLIGHT_K,
+            threshold: 0,
+            over_cap: DEFAULT_FLIGHT_OVER_CAP,
+            slowest: Vec::new(),
+            over: Vec::new(),
+            over_dropped: 0,
+        }
+    }
+
+    fn configure(&mut self, k: usize, threshold: SimTime) {
+        self.k = k;
+        self.threshold = threshold;
+        if self.slowest.len() > k {
+            // Keep the K slowest under the tighter budget.
+            self.slowest.sort_by_key(|t| (std::cmp::Reverse(t.duration), t.trace));
+            self.slowest.truncate(k);
+        }
+    }
+
+    /// Deterministic keep-priority: longer wins; among equals the
+    /// earlier (smaller-id) trace wins.
+    fn key(t: &FlightTrace) -> (u64, std::cmp::Reverse<u64>) {
+        (t.duration, std::cmp::Reverse(t.trace))
+    }
+
+    fn offer(&mut self, t: FlightTrace) {
+        if self.threshold > 0 && t.duration >= self.threshold {
+            if self.over.len() < self.over_cap {
+                self.over.push(t.clone());
+            } else {
+                self.over_dropped += 1;
+            }
+        }
+        if self.k == 0 {
+            return;
+        }
+        if self.slowest.len() < self.k {
+            self.slowest.push(t);
+            return;
+        }
+        if let Some(min_idx) = (0..self.slowest.len()).min_by_key(|&i| Self::key(&self.slowest[i]))
+        {
+            if Self::key(&t) > Self::key(&self.slowest[min_idx]) {
+                self.slowest[min_idx] = t;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slowest.clear();
+        self.over.clear();
+        self.over_dropped = 0;
+    }
+
+    /// Retained traces, slowest first (threshold-exceeders merged in,
+    /// deduplicated by trace id).
+    fn collect(&self) -> Vec<FlightTrace> {
+        let mut out: Vec<FlightTrace> = Vec::new();
+        for t in self.slowest.iter().chain(self.over.iter()) {
+            if !out.iter().any(|o| o.trace == t.trace) {
+                out.push(t.clone());
+            }
+        }
+        out.sort_by_key(|t| (std::cmp::Reverse(t.duration), t.trace));
+        out
+    }
+}
+
+/// The span store behind a `Telemetry` instance: per-trace staging for
+/// active traces, a bounded ring of completed spans, per-node trace id
+/// sequences and the flight recorder.
+pub(crate) struct SpanStore {
+    /// Spans of traces whose root has not completed, keyed by trace id.
+    active: HashMap<u64, Vec<SpanRecord>>,
+    /// Completed spans, oldest first; bounded like the event ring.
+    done: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+    /// Next trace sequence number per node.
+    seq: HashMap<u32, u64>,
+    flight: FlightRecorder,
+}
+
+impl SpanStore {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            active: HashMap::new(),
+            done: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            seq: HashMap::new(),
+            flight: FlightRecorder::new(),
+        }
+    }
+
+    pub(crate) fn configure_flight(&mut self, k: usize, threshold: SimTime) {
+        self.flight.configure(k, threshold);
+    }
+
+    fn push_done(&mut self, span: SpanRecord) {
+        if self.done.len() == self.capacity {
+            self.done.pop_front();
+            self.dropped += 1;
+        }
+        self.done.push_back(span);
+    }
+
+    /// Allocate a new trace rooted at `node`. Trace ids encode the node
+    /// in the high bits and a per-node sequence below, so single-threaded
+    /// nodes allocate deterministically.
+    pub(crate) fn begin(&mut self, node: u32) -> TraceCtx {
+        let seq = self.seq.entry(node).or_insert(0);
+        *seq += 1;
+        let trace = ((node as u64 + 1) << 40) | *seq;
+        if self.active.len() >= ACTIVE_TRACE_CAP {
+            // An abandoned trace; flush its spans so nothing is silent.
+            if let Some(&oldest) = self.active.keys().min() {
+                if let Some(spans) = self.active.remove(&oldest) {
+                    for s in spans {
+                        self.push_done(s);
+                    }
+                }
+            }
+        }
+        self.active.insert(trace, Vec::new());
+        TraceCtx { trace, span: mix(trace) }
+    }
+
+    /// Record a child span under `ctx`; returns the child's context so
+    /// callers can nest further stages beneath it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn child(
+        &mut self,
+        ctx: TraceCtx,
+        stage: Stage,
+        t_begin: SimTime,
+        t_end: SimTime,
+        node: u32,
+        bytes: u64,
+        tier: &'static str,
+        detail: u64,
+    ) -> TraceCtx {
+        let Some(spans) = self.active.get_mut(&ctx.trace) else {
+            return TraceCtx::NONE;
+        };
+        let span = mix(ctx.trace ^ (spans.len() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        spans.push(SpanRecord {
+            trace: ctx.trace,
+            span,
+            parent: ctx.span,
+            stage,
+            node,
+            t_begin,
+            t_end,
+            bytes,
+            policy: "",
+            tier,
+            detail,
+        });
+        TraceCtx { trace: ctx.trace, span }
+    }
+
+    /// Complete `ctx`'s trace with its root span: children move to the
+    /// completed ring and the whole tree is offered to the flight
+    /// recorder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn end(
+        &mut self,
+        ctx: TraceCtx,
+        stage: Stage,
+        t_begin: SimTime,
+        t_end: SimTime,
+        node: u32,
+        bytes: u64,
+        policy: &'static str,
+        detail: u64,
+    ) {
+        let mut spans = self.active.remove(&ctx.trace).unwrap_or_default();
+        let root = SpanRecord {
+            trace: ctx.trace,
+            span: ctx.span,
+            parent: 0,
+            stage,
+            node,
+            t_begin,
+            t_end,
+            bytes,
+            policy,
+            tier: "",
+            detail,
+        };
+        spans.push(root.clone());
+        for s in &spans {
+            self.push_done(s.clone());
+        }
+        self.flight.offer(FlightTrace {
+            trace: ctx.trace,
+            duration: root.duration(),
+            root_stage: stage,
+            policy,
+            spans,
+        });
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn flight_dropped(&self) -> u64 {
+        self.flight.over_dropped
+    }
+
+    /// Completed spans in insertion order.
+    pub(crate) fn iter_done(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.done.iter()
+    }
+
+    pub(crate) fn collect_flight(&self) -> Vec<FlightTrace> {
+        self.flight.collect()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.active.clear();
+        self.done.clear();
+        self.dropped = 0;
+        self.seq.clear();
+        self.flight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(store: &mut SpanStore, node: u32, base: SimTime, dur: u64) -> TraceCtx {
+        let ctx = store.begin(node);
+        store.child(ctx, Stage::QueueWait, base, base + 2, node, 0, "", 0);
+        store.child(ctx, Stage::TierRead, base + 2, base + dur, node, 4096, "dram", 7);
+        store.end(ctx, Stage::Fault, base, base + dur, node, 4096, "ReadOnlyGlobal", 7);
+        ctx
+    }
+
+    #[test]
+    fn trace_ids_are_per_node_sequences() {
+        let mut s = SpanStore::new(1024);
+        let a = s.begin(0);
+        let b = s.begin(0);
+        let c = s.begin(1);
+        assert_eq!(a.trace, (1u64 << 40) | 1);
+        assert_eq!(b.trace, (1u64 << 40) | 2);
+        assert_eq!(c.trace, (2u64 << 40) | 1);
+        assert_ne!(a.span, b.span);
+    }
+
+    #[test]
+    fn end_moves_tree_to_done_ring() {
+        let mut s = SpanStore::new(1024);
+        rec(&mut s, 0, 100, 10);
+        let done: Vec<_> = s.iter_done().cloned().collect();
+        assert_eq!(done.len(), 3);
+        assert!(done[2].is_root());
+        assert_eq!(done[2].policy, "ReadOnlyGlobal");
+        assert_eq!(done[0].parent, done[2].span);
+        assert_eq!(done[1].tier, "dram");
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut s = SpanStore::new(4);
+        rec(&mut s, 0, 0, 5);
+        rec(&mut s, 0, 10, 5);
+        assert_eq!(s.iter_done().count(), 4);
+        assert_eq!(s.dropped(), 2);
+    }
+
+    #[test]
+    fn child_on_none_ctx_is_noop() {
+        let mut s = SpanStore::new(16);
+        let out = s.child(TraceCtx::NONE, Stage::NetHop, 0, 1, 0, 0, "", 0);
+        assert!(out.is_none());
+        assert_eq!(s.iter_done().count(), 0);
+    }
+
+    #[test]
+    fn flight_keeps_k_slowest() {
+        let mut s = SpanStore::new(4096);
+        s.configure_flight(2, 0);
+        rec(&mut s, 0, 0, 10);
+        rec(&mut s, 0, 100, 50);
+        rec(&mut s, 0, 200, 30);
+        rec(&mut s, 0, 300, 5);
+        let flight = s.collect_flight();
+        assert_eq!(flight.len(), 2);
+        assert_eq!(flight[0].duration, 50);
+        assert_eq!(flight[1].duration, 30);
+        assert_eq!(flight[0].spans.len(), 3, "full tree retained");
+    }
+
+    #[test]
+    fn flight_threshold_retains_over_and_counts_overflow() {
+        let mut s = SpanStore::new(4096);
+        s.configure_flight(1, 20);
+        s.flight.over_cap = 2;
+        rec(&mut s, 0, 0, 25);
+        rec(&mut s, 0, 100, 30);
+        rec(&mut s, 0, 200, 40);
+        rec(&mut s, 0, 300, 10);
+        let flight = s.collect_flight();
+        // Top-1 slowest (40) deduped with over-threshold retainees (25, 30).
+        assert_eq!(flight.iter().map(|t| t.duration).collect::<Vec<_>>(), vec![40, 30, 25]);
+        assert_eq!(s.flight_dropped(), 1, "third over-threshold trace overflowed");
+    }
+
+    #[test]
+    fn ties_keep_earlier_trace() {
+        let mut s = SpanStore::new(4096);
+        s.configure_flight(1, 0);
+        let a = rec(&mut s, 0, 0, 10);
+        rec(&mut s, 0, 100, 10);
+        let flight = s.collect_flight();
+        assert_eq!(flight.len(), 1);
+        assert_eq!(flight[0].trace, a.trace);
+    }
+
+    #[test]
+    fn clear_resets_sequences() {
+        let mut s = SpanStore::new(16);
+        let a = s.begin(0);
+        s.clear();
+        let b = s.begin(0);
+        assert_eq!(a.trace, b.trace, "reset must restart trace ids for determinism");
+    }
+}

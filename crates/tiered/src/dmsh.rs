@@ -5,7 +5,7 @@ use std::fmt;
 
 use bytes::Bytes;
 use megammap_sim::{DeviceModel, DeviceSpec, SimTime, TierKind};
-use megammap_telemetry::{Counter, EventKind, Gauge, Telemetry};
+use megammap_telemetry::{Counter, EventKind, Gauge, Stage, Telemetry, TraceCtx};
 use parking_lot::Mutex;
 
 use crate::blob::{BlobId, BlobMeta};
@@ -365,12 +365,88 @@ impl Dmsh {
     /// Read a whole blob; returns the bytes and the virtual completion time
     /// of the read (which waits for any in-flight write to the blob).
     pub fn get(&self, now: SimTime, id: BlobId) -> Result<(Bytes, SimTime), DmshError> {
+        self.get_traced(now, id, TraceCtx::NONE)
+    }
+
+    /// [`get`](Self::get) recording a [`Stage::TierRead`] span under `ctx`
+    /// (labelled with the tier the blob currently resides on).
+    pub fn get_traced(
+        &self,
+        now: SimTime,
+        id: BlobId,
+        ctx: TraceCtx,
+    ) -> Result<(Bytes, SimTime), DmshError> {
         let meta = self.meta.lock();
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let start = now.max(m.ready_at);
         let done = self.tiers[m.tier].device.io(start, m.size);
         let data = self.tiers[m.tier].store.lock().get(&id).cloned().expect("meta/store agree");
+        drop(meta);
+        self.telemetry.trace_child(
+            ctx,
+            Stage::TierRead,
+            start,
+            done,
+            self.node,
+            m.size,
+            m.tier_kind.name(),
+            id.blob,
+        );
         Ok((data, done))
+    }
+
+    /// [`put`](Self::put) recording a [`Stage::TierWrite`] span under `ctx`
+    /// (labelled with the tier the blob landed on).
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_traced(
+        &self,
+        now: SimTime,
+        id: BlobId,
+        data: Bytes,
+        score: f32,
+        node: usize,
+        dirty: bool,
+        ctx: TraceCtx,
+    ) -> Result<PutOutcome, DmshError> {
+        let size = data.len() as u64;
+        let out = self.put(now, id, data, score, node, dirty)?;
+        self.telemetry.trace_child(
+            ctx,
+            Stage::TierWrite,
+            now,
+            out.done_at,
+            self.node,
+            size,
+            out.tier.name(),
+            id.blob,
+        );
+        Ok(out)
+    }
+
+    /// [`put_range`](Self::put_range) recording a [`Stage::TierWrite`] span.
+    pub fn put_range_traced(
+        &self,
+        now: SimTime,
+        id: BlobId,
+        off: u64,
+        patch: &[u8],
+        ctx: TraceCtx,
+    ) -> Result<SimTime, DmshError> {
+        let done = self.put_range(now, id, off, patch)?;
+        if !ctx.is_none() {
+            let tier = self.meta.lock().get(&id).map(|m| m.tier_kind.name()).unwrap_or("unknown");
+            self.telemetry.trace_child(
+                ctx,
+                Stage::TierWrite,
+                now,
+                done,
+                self.node,
+                patch.len() as u64,
+                tier,
+                id.blob,
+            );
+        }
+        Ok(done)
     }
 
     /// Read a sub-range of a blob — **partial paging**: only the requested
