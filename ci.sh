@@ -23,8 +23,26 @@ cargo fmt --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets "${PROFILE[@]}" -- -D warnings
 
+echo "==> mm-lint (workspace invariants, deny-by-default)"
+cargo run -q -p mm-lint "${PROFILE[@]}" -- --root .
+
+echo "==> mm-lint deny (licenses + duplicate versions)"
+cargo run -q -p mm-lint "${PROFILE[@]}" -- --root . deny
+
 echo "==> cargo test"
 cargo test -q --workspace "${PROFILE[@]}"
+
+echo "==> loom model checks (resource / dlock / page merge)"
+cargo test -q -p megammap-sim --features loom-model "${PROFILE[@]}" --test loom_resource
+cargo test -q -p megammap-cluster --features loom-model "${PROFILE[@]}" --test loom_dlock
+cargo test -q -p megammap-tiered --features loom-model "${PROFILE[@]}" --test loom_page
+
+if rustup component list 2>/dev/null | grep -q "^miri.*(installed)"; then
+    echo "==> miri (pagebuf + rangeset unit tests)"
+    cargo miri test -p megammap pagebuf:: rangeset::
+else
+    echo "==> miri unavailable (component not installed); skipping"
+fi
 
 echo "==> trace determinism (byte-identical trace_json + metrics_csv)"
 cargo test -q -p megammap "${PROFILE[@]}" --test trace_determinism

@@ -79,11 +79,11 @@ fn main() {
         let world = p.world();
         for r in 0..p.nprocs() {
             if p.rank() == r {
-                let tx = v.tx_begin(p, TxKind::seq(0, 1), Access::ReadOnly);
+                let tx = v.tx(p, TxKind::seq(0, 1), Access::ReadOnly).expect("begin probe tx");
                 v.load(p, &tx, 0);
                 v.load(p, &tx, local.start);
                 v.load(p, &tx, local.end - 1);
-                v.tx_end(p, tx);
+                tx.end().expect("end probe tx");
             }
             world.barrier(p);
         }

@@ -85,14 +85,14 @@ fn main() {
         // pure demand faults (miss detect + queue wait + tier read).
         let v: MmVec<Point3D> =
             MmVec::open(&rt2, p, URL, VecOptions::new().pcache(pcache_bytes)).unwrap();
-        let tx = v.tx_begin(p, TxKind::seq(0, 1), Access::ReadOnly);
+        let tx = v.tx(p, TxKind::seq(0, 1), Access::ReadOnly).expect("begin epilogue tx");
         let n = v.len();
         let mut i = 0u64;
         while i < n {
             v.load(p, &tx, i);
             i += 6_007; // odd ~1.1-page stride: hops pages, defeats coalescing
         }
-        v.tx_end(p, tx);
+        tx.end().expect("end epilogue tx");
         out
     });
 

@@ -33,8 +33,35 @@ pub struct DLock {
 /// RAII guard: releases the lock (and stamps the virtual release time) on
 /// drop.
 pub struct DLockGuard<'a> {
-    guard: Option<MutexGuard<'a, LockState>>,
+    raw: Option<DLockRawGuard<'a>>,
     proc: &'a Proc,
+}
+
+/// Proc-free guard returned by [`DLock::lock_raw`]: the caller supplies
+/// virtual times explicitly. Used by model checks (which have no
+/// [`Proc`]) and by [`DLockGuard`] internally.
+pub struct DLockRawGuard<'a> {
+    guard: Option<MutexGuard<'a, LockState>>,
+}
+
+impl DLockRawGuard<'_> {
+    /// Release the lock, stamping `now` as the virtual release time.
+    pub fn release(mut self, now: SimTime) {
+        if let Some(mut g) = self.guard.take() {
+            g.free_at = now;
+            g.acquisitions += 1;
+        }
+    }
+}
+
+impl Drop for DLockRawGuard<'_> {
+    fn drop(&mut self) {
+        // Dropped without an explicit release (e.g. unwinding): count the
+        // acquisition but leave `free_at` at the previous holder's stamp.
+        if let Some(mut g) = self.guard.take() {
+            g.acquisitions += 1;
+        }
+    }
 }
 
 impl DLock {
@@ -52,18 +79,32 @@ impl DLock {
     /// lock is free, then advances `p`'s clock to
     /// `max(now, previous release) + rpc`.
     pub fn lock<'a>(&'a self, p: &'a Proc) -> DLockGuard<'a> {
-        let st = self.state.lock();
-        let resume = st.free_at.max(p.now()) + self.rpc_ns;
-        p.advance_to(resume);
-        DLockGuard { guard: Some(st), proc: p }
+        let (raw, grant) = self.lock_raw(p.now());
+        p.advance_to(grant);
+        DLockGuard { raw: Some(raw), proc: p }
     }
 
     /// Try to acquire without blocking; `None` if held.
     pub fn try_lock<'a>(&'a self, p: &'a Proc) -> Option<DLockGuard<'a>> {
+        let (raw, grant) = self.try_lock_raw(p.now())?;
+        p.advance_to(grant);
+        Some(DLockGuard { raw: Some(raw), proc: p })
+    }
+
+    /// Lower-level acquire for callers without a [`Proc`] (model checks,
+    /// harnesses): blocks until the lock is free and returns the guard plus
+    /// the virtual grant time `max(now, previous release) + rpc`.
+    pub fn lock_raw(&self, now: SimTime) -> (DLockRawGuard<'_>, SimTime) {
+        let st = self.state.lock();
+        let grant = st.free_at.max(now) + self.rpc_ns;
+        (DLockRawGuard { guard: Some(st) }, grant)
+    }
+
+    /// Non-blocking [`lock_raw`](Self::lock_raw); `None` if held.
+    pub fn try_lock_raw(&self, now: SimTime) -> Option<(DLockRawGuard<'_>, SimTime)> {
         let st = self.state.try_lock()?;
-        let resume = st.free_at.max(p.now()) + self.rpc_ns;
-        p.advance_to(resume);
-        Some(DLockGuard { guard: Some(st), proc: p })
+        let grant = st.free_at.max(now) + self.rpc_ns;
+        Some((DLockRawGuard { guard: Some(st) }, grant))
     }
 
     /// Number of times this lock has been acquired.
@@ -74,9 +115,8 @@ impl DLock {
 
 impl Drop for DLockGuard<'_> {
     fn drop(&mut self) {
-        if let Some(mut g) = self.guard.take() {
-            g.free_at = self.proc.now();
-            g.acquisitions += 1;
+        if let Some(raw) = self.raw.take() {
+            raw.release(self.proc.now());
         }
     }
 }

@@ -10,6 +10,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 
 use megammap_sim::SimTime;
+use megammap_telemetry::{lockorder, LockRank};
 use parking_lot::{Condvar, Mutex};
 
 /// Wildcard source rank (like `MPI_ANY_SOURCE`).
@@ -47,6 +48,7 @@ impl Mailbox {
     /// Deposit an envelope and wake matching receivers.
     pub fn deliver(&self, env: Envelope) {
         let mut q = self.queue.lock();
+        let _lo = lockorder::acquired(LockRank::Mailbox);
         q.push_back(env);
         self.cv.notify_all();
     }
@@ -55,11 +57,13 @@ impl Mailbox {
     /// it. Matching is FIFO among candidates, per MPI ordering semantics.
     pub fn recv_match(&self, src: usize, tag: u64) -> Envelope {
         let mut q = self.queue.lock();
+        let _lo = lockorder::acquired(LockRank::Mailbox);
         loop {
-            if let Some(pos) = q.iter().position(|e| {
+            let found = q.iter().position(|e| {
                 (src == ANY_SOURCE || e.src == src) && (tag == ANY_TAG || e.tag == tag)
-            }) {
-                return q.remove(pos).expect("position just found");
+            });
+            if let Some(env) = found.and_then(|pos| q.remove(pos)) {
+                return env;
             }
             self.cv.wait(&mut q);
         }

@@ -27,6 +27,10 @@ pub enum MmError {
     Capacity(String),
     /// Backend I/O failed.
     Io(io::Error),
+    /// An internal invariant did not hold (a bug, not an environment
+    /// failure). Fault-path code returns this instead of panicking so a
+    /// single bad page cannot take down the whole process.
+    Internal(&'static str),
 }
 
 impl fmt::Display for MmError {
@@ -41,6 +45,7 @@ impl fmt::Display for MmError {
             MmError::TxViolation(m) => write!(f, "transaction violation: {m}"),
             MmError::Capacity(m) => write!(f, "capacity exhausted: {m}"),
             MmError::Io(e) => write!(f, "backend I/O error: {e}"),
+            MmError::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }
@@ -55,7 +60,10 @@ impl From<io::Error> for MmError {
 
 impl From<DmshError> for MmError {
     fn from(e: DmshError) -> Self {
-        MmError::Capacity(e.to_string())
+        match e {
+            DmshError::Internal(m) => MmError::Internal(m),
+            other => MmError::Capacity(other.to_string()),
+        }
     }
 }
 

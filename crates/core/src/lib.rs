@@ -60,6 +60,7 @@ pub mod prefetch;
 pub mod rangeset;
 pub mod runtime;
 pub mod tx;
+pub mod txguard;
 pub mod vector;
 
 pub use client::VecOptions;
@@ -70,6 +71,7 @@ pub use pagebuf::PageBuf;
 pub use policy::{Access, Policy};
 pub use runtime::Runtime;
 pub use tx::{Transaction, TxKind};
+pub use txguard::TxScope;
 pub use vector::MmVec;
 
 /// Convenient glob import for applications.
@@ -81,5 +83,6 @@ pub mod prelude {
     pub use crate::policy::{Access, Policy};
     pub use crate::runtime::Runtime;
     pub use crate::tx::{Transaction, TxKind};
+    pub use crate::txguard::TxScope;
     pub use crate::vector::MmVec;
 }

@@ -90,7 +90,7 @@ impl Directory {
         let mut map = self.map.lock();
         let ids: Vec<BlobId> = map.keys().filter(|b| b.bucket == bucket).copied().collect();
         let mut out: Vec<(BlobId, PageLoc)> =
-            ids.into_iter().map(|id| (id, map.remove(&id).expect("present"))).collect();
+            ids.into_iter().filter_map(|id| map.remove(&id).map(|loc| (id, loc))).collect();
         out.sort_by_key(|(id, _)| *id);
         out
     }

@@ -25,7 +25,9 @@ use bytes::Bytes;
 use megammap_cluster::Cluster;
 use megammap_formats::{Backends, DataObject, DataUrl, Scheme};
 use megammap_sim::{CollectiveShape, CpuModel, NetworkModel, SharedResource, SimTime};
-use megammap_telemetry::{Counter, EventKind, Histogram, Stage, Telemetry, TraceCtx};
+use megammap_telemetry::{
+    lockorder, Counter, EventKind, Histogram, LockRank, Stage, Telemetry, TraceCtx,
+};
 use megammap_tiered::{BlobId, Dmsh, DmshError};
 use parking_lot::Mutex;
 
@@ -344,6 +346,7 @@ impl Runtime {
         initial_len: Option<u64>,
     ) -> Result<Arc<VectorMeta>> {
         let mut reg = self.inner.vectors.lock();
+        let _lo = lockorder::acquired(LockRank::RtMeta);
         if let Some(meta) = reg.get(key) {
             if meta.elem_size != elem_size {
                 return Err(MmError::Incompatible(format!(
@@ -858,6 +861,7 @@ impl Runtime {
         // of one page never clobber each other's ranges.
         let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
         let _guard = self.inner.nodes[home].apply_locks[shard].lock();
+        let _lo = lockorder::acquired(LockRank::ApplyShard);
         let mut done = t;
         if dmsh.contains(id) {
             for (s, e) in dirty.iter() {
@@ -953,6 +957,7 @@ impl Runtime {
         }
         let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
         let _guard = self.inner.nodes[home].apply_locks[shard].lock();
+        let _lo = lockorder::acquired(LockRank::ApplyShard);
         let done = self.put_with_drain(home, t, id, data, 1.0, my_node, true, ctx)?;
         self.inner.telemetry.trace_child(
             ctx,

@@ -1,0 +1,166 @@
+//! RAII transaction scopes.
+//!
+//! [`MmVec::tx_begin`]/[`MmVec::tx_end`] are a classic unbalanced pair: a
+//! forgotten `tx_end` silently leaves dirty pages uncommitted and the next
+//! `tx_begin` panics. [`TxScope`] makes the pairing structural — the scope
+//! ends its transaction on drop, and [`TxScope::end`] ends it explicitly at
+//! a chosen program point (workloads do this so commit costs land on the
+//! same virtual-time instant as the old hand-written `tx_end` calls).
+//!
+//! This is the only module allowed to call the raw begin/end API outside
+//! `vector.rs` itself: `mm-lint`'s tx-pairing rule rejects raw calls
+//! anywhere else in the workspace.
+
+use megammap_cluster::Proc;
+
+use crate::element::Element;
+use crate::error::Result;
+use crate::policy::Access;
+use crate::tx::TxKind;
+use crate::vector::{MmVec, TxHandle};
+
+/// An active transaction bound to its vector and process: ends on drop or
+/// via [`end`](TxScope::end). Derefs to [`TxHandle`] so element accessors
+/// (`load`/`store`/`append`) take `&scope` directly.
+pub struct TxScope<'v, T: Element> {
+    vec: &'v MmVec<T>,
+    proc: &'v Proc,
+    handle: Option<TxHandle>,
+}
+
+impl<'v, T: Element> TxScope<'v, T> {
+    /// Begin a transaction on `vec` (see [`MmVec::tx_begin`]).
+    pub fn begin(vec: &'v MmVec<T>, p: &'v Proc, kind: TxKind, access: Access) -> Result<Self> {
+        let handle = vec.try_tx_begin(p, kind, access)?;
+        Ok(Self { vec, proc: p, handle: Some(handle) })
+    }
+
+    /// Begin a collective transaction over a `group`-process tree (see
+    /// [`MmVec::tx_begin_collective`]).
+    pub fn begin_collective(
+        vec: &'v MmVec<T>,
+        p: &'v Proc,
+        kind: TxKind,
+        access: Access,
+        group: usize,
+    ) -> Result<Self> {
+        let handle = vec.try_tx_begin_collective(p, kind, access, group)?;
+        Ok(Self { vec, proc: p, handle: Some(handle) })
+    }
+
+    /// The underlying handle (for APIs that want an explicit `&TxHandle`).
+    pub fn handle(&self) -> &TxHandle {
+        self.handle.as_ref().expect("TxScope handle taken only by end()/drop")
+    }
+
+    /// End the transaction here, committing dirty pages at the current
+    /// virtual time and surfacing any commit error (a drop would swallow
+    /// it).
+    pub fn end(mut self) -> Result<()> {
+        match self.handle.take() {
+            Some(h) => self.vec.try_tx_end(self.proc, h),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<T: Element> std::ops::Deref for TxScope<'_, T> {
+    type Target = TxHandle;
+
+    fn deref(&self) -> &TxHandle {
+        self.handle()
+    }
+}
+
+impl<T: Element> Drop for TxScope<'_, T> {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            // A scope dropped during unwinding must not double-panic; the
+            // transaction's dirty pages stay cached for the next commit.
+            let _ = self.vec.try_tx_end(self.proc, h);
+        }
+    }
+}
+
+impl<T: Element> MmVec<T> {
+    /// Begin a scoped transaction: the returned [`TxScope`] commits on
+    /// [`end`](TxScope::end) or drop.
+    pub fn tx<'v>(&'v self, p: &'v Proc, kind: TxKind, access: Access) -> Result<TxScope<'v, T>> {
+        TxScope::begin(self, p, kind, access)
+    }
+
+    /// Begin a scoped collective transaction.
+    pub fn tx_collective<'v>(
+        &'v self,
+        p: &'v Proc,
+        kind: TxKind,
+        access: Access,
+        group: usize,
+    ) -> Result<TxScope<'v, T>> {
+        TxScope::begin_collective(self, p, kind, access, group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::VecOptions;
+    use crate::config::RuntimeConfig;
+    use crate::runtime::Runtime;
+    use megammap_cluster::{Cluster, ClusterSpec};
+
+    fn fixture() -> (Cluster, Runtime) {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1));
+        let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(1024));
+        (cluster, rt)
+    }
+
+    #[test]
+    fn scope_commits_on_explicit_end() {
+        let (cluster, rt) = fixture();
+        cluster.run(move |p| {
+            let v: MmVec<u64> =
+                MmVec::open(&rt, p, "mem://scope", VecOptions::new().len(64)).unwrap();
+            let tx = v.tx(p, TxKind::seq(0, 64), Access::WriteGlobal).unwrap();
+            for i in 0..64 {
+                v.store(p, &tx, i, i + 1);
+            }
+            tx.end().unwrap();
+            let tx = v.tx(p, TxKind::seq(0, 64), Access::ReadOnly).unwrap();
+            for i in 0..64 {
+                assert_eq!(v.load(p, &tx, i), i + 1);
+            }
+            tx.end().unwrap();
+        });
+    }
+
+    #[test]
+    fn scope_commits_on_drop() {
+        let (cluster, rt) = fixture();
+        cluster.run(move |p| {
+            let v: MmVec<u32> =
+                MmVec::open(&rt, p, "mem://scopedrop", VecOptions::new().len(8)).unwrap();
+            {
+                let tx = v.tx(p, TxKind::seq(0, 8), Access::WriteGlobal).unwrap();
+                v.store(p, &tx, 3, 99);
+                // No explicit end: the drop must still commit.
+            }
+            let tx = v.tx(p, TxKind::seq(0, 8), Access::ReadOnly).unwrap();
+            assert_eq!(v.load(p, &tx, 3), 99);
+            tx.end().unwrap();
+        });
+    }
+
+    #[test]
+    fn second_scope_while_active_errors_instead_of_panicking() {
+        let (cluster, rt) = fixture();
+        let (outs, _) = cluster.run(move |p| {
+            let v: MmVec<u8> =
+                MmVec::open(&rt, p, "mem://scope2", VecOptions::new().len(8)).unwrap();
+            let _tx = v.tx(p, TxKind::seq(0, 8), Access::ReadOnly).unwrap();
+            let second = v.tx(p, TxKind::seq(0, 8), Access::ReadOnly).is_err();
+            second
+        });
+        assert!(outs[0], "overlapping scopes must surface an error");
+    }
+}

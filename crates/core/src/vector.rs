@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use megammap_cluster::Proc;
 use megammap_sim::SimTime;
-use megammap_telemetry::{Counter, Stage};
-use parking_lot::Mutex;
+use megammap_telemetry::{lockorder, Counter, LockOrderToken, LockRank, Stage};
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::client::VecOptions;
 use crate::element::Element;
@@ -156,6 +156,12 @@ impl<T: Element> MmVec<T> {
     /// (invalidating replicas when leaving a read-only phase) and an
     /// initial prefetcher pass.
     pub fn tx_begin(&self, p: &Proc, kind: TxKind, access: Access) -> TxHandle {
+        self.try_tx_begin(p, kind, access).expect("tx_begin failed")
+    }
+
+    /// [`tx_begin`](Self::tx_begin), surfacing errors (an already-active
+    /// transaction, or a failed commit of leftover dirty pages).
+    pub fn try_tx_begin(&self, p: &Proc, kind: TxKind, access: Access) -> Result<TxHandle> {
         {
             let mut pol = self.meta.policy.lock();
             if pol.transition_invalidates(access) {
@@ -165,8 +171,10 @@ impl<T: Element> MmVec<T> {
             }
             *pol = Policy::from_access(access);
         }
-        let mut st = self.state.lock();
-        assert!(st.tx.is_none(), "a transaction is already active on {:?}", self.meta.key);
+        let (mut st, _lo) = self.lock_state();
+        if st.tx.is_some() {
+            return Err(MmError::Internal("a transaction is already active on this vector"));
+        }
         st.tx_seq += 1;
         let seq = st.tx_seq;
         // Pages left over from earlier transactions become reclaimable so
@@ -178,7 +186,7 @@ impl<T: Element> MmVec<T> {
         // phases keep the cache: PGAS ownership guarantees nobody else
         // wrote our partition.
         if access.reads() && !access.is_local() {
-            self.commit_dirty(p, &mut st);
+            self.commit_dirty(p, &mut st)?;
             // Keep pages this process itself fully wrote (and committed) in
             // the immediately preceding transaction: their local copies are
             // the canonical content. Everything else may be stale.
@@ -191,7 +199,7 @@ impl<T: Element> MmVec<T> {
             self.run_prefetch(p, &mut st, &mut tx);
         }
         st.tx = Some(tx);
-        TxHandle { seq }
+        Ok(TxHandle { seq })
     }
 
     /// Begin a collective transaction over a group of `group` processes
@@ -203,29 +211,45 @@ impl<T: Element> MmVec<T> {
         access: Access,
         group: usize,
     ) -> TxHandle {
-        let h = self.tx_begin(p, kind, access);
-        let mut st = self.state.lock();
+        self.try_tx_begin_collective(p, kind, access, group).expect("tx_begin failed")
+    }
+
+    /// [`tx_begin_collective`](Self::tx_begin_collective), surfacing errors.
+    pub fn try_tx_begin_collective(
+        &self,
+        p: &Proc,
+        kind: TxKind,
+        access: Access,
+        group: usize,
+    ) -> Result<TxHandle> {
+        let h = self.try_tx_begin(p, kind, access)?;
+        let (mut st, _lo) = self.lock_state();
         if let Some(tx) = st.tx.as_mut() {
             tx.collective = Some(group);
         }
-        h
+        Ok(h)
     }
 
     /// End the transaction (`TxEnd`): commit all unflushed modifications as
     /// asynchronous writer tasks (the process pays only the memcpy).
     pub fn tx_end(&self, p: &Proc, tx: TxHandle) {
-        let mut st = self.state.lock();
-        assert_eq!(
-            st.tx.as_ref().map(|_| st.tx_seq),
-            Some(tx.seq),
-            "tx_end with a stale transaction handle"
-        );
-        self.commit_dirty(p, &mut st);
+        self.try_tx_end(p, tx).expect("tx_end failed")
+    }
+
+    /// [`tx_end`](Self::tx_end), surfacing errors (a stale handle, or a
+    /// failed commit of the transaction's dirty pages).
+    pub fn try_tx_end(&self, p: &Proc, tx: TxHandle) -> Result<()> {
+        let (mut st, _lo) = self.lock_state();
+        if st.tx.as_ref().map(|_| st.tx_seq) != Some(tx.seq) {
+            return Err(MmError::Internal("tx_end with a stale transaction handle"));
+        }
+        self.commit_dirty(p, &mut st)?;
         st.tx = None;
         // Registry mirroring is deferred off the hit fast path; publish the
         // accumulated deltas now so snapshots taken between transactions
         // see exact pcache totals.
         st.pcache.sync_shared();
+        Ok(())
     }
 
     // ---- element access ---------------------------------------------------
@@ -241,7 +265,7 @@ impl<T: Element> MmVec<T> {
         if i >= len {
             return Err(MmError::OutOfBounds { index: i, len });
         }
-        let mut st = self.state.lock();
+        let (mut st, _lo) = self.lock_state();
         let page = i * T::SIZE as u64 / self.meta.page_size;
         let off = (i * T::SIZE as u64 % self.meta.page_size) as usize;
         let crossed = match st.tx.as_mut() {
@@ -269,7 +293,7 @@ impl<T: Element> MmVec<T> {
         if i >= len {
             return Err(MmError::OutOfBounds { index: i, len });
         }
-        let mut st = self.state.lock();
+        let (mut st, _lo) = self.lock_state();
         let page = i * T::SIZE as u64 / self.meta.page_size;
         let off = i * T::SIZE as u64 % self.meta.page_size;
         let (crossed, reads) = match st.tx.as_mut() {
@@ -297,9 +321,14 @@ impl<T: Element> MmVec<T> {
 
     /// Append a value; returns its index. Concurrent appends from multiple
     /// processes receive distinct indices (atomic reservation).
-    pub fn append(&self, p: &Proc, _tx: &TxHandle, v: T) -> u64 {
+    pub fn append(&self, p: &Proc, tx: &TxHandle, v: T) -> u64 {
+        self.try_append(p, tx, v).expect("append failed")
+    }
+
+    /// [`append`](Self::append), surfacing errors.
+    pub fn try_append(&self, p: &Proc, _tx: &TxHandle, v: T) -> Result<u64> {
         let i = self.meta.len.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
-        let mut st = self.state.lock();
+        let (mut st, _lo) = self.lock_state();
         let reads = match st.tx.as_mut() {
             Some(tx) => {
                 tx.record_access(i);
@@ -313,15 +342,15 @@ impl<T: Element> MmVec<T> {
         // later loads, so fault it in; append-only intents may take the
         // cheap copy-on-write zero page.
         let cp = if reads {
-            self.page_for_read(p, &mut st, page).expect("append page")
+            self.page_for_read(p, &mut st, page)?
         } else {
-            self.page_for_write(p, &mut st, page).expect("append page")
+            self.page_for_write(p, &mut st, page)?
         };
         let buf = Self::writable(&self.bytes_copied, cp);
         v.write_to(&mut buf[off as usize..off as usize + T::SIZE]);
         cp.dirty.insert(off, off + T::SIZE as u64);
         p.advance(p.cpu().mem_ns(T::SIZE as u64));
-        i
+        Ok(i)
     }
 
     /// Bulk read `out.len()` elements starting at `start` (memory-copy
@@ -332,7 +361,7 @@ impl<T: Element> MmVec<T> {
         if start + out.len() as u64 > len {
             return Err(MmError::OutOfBounds { index: start + out.len() as u64, len });
         }
-        let mut st = self.state.lock();
+        let (mut st, _lo) = self.lock_state();
         let esz = T::SIZE as u64;
         let mut done = 0usize;
         while done < out.len() {
@@ -361,7 +390,7 @@ impl<T: Element> MmVec<T> {
         if start + vals.len() as u64 > len {
             return Err(MmError::OutOfBounds { index: start + vals.len() as u64, len });
         }
-        let mut st = self.state.lock();
+        let (mut st, _lo) = self.lock_state();
         let esz = T::SIZE as u64;
         let reads = st.tx.as_ref().map(|tx| tx.access.reads()).unwrap_or(true);
         let mut done = 0usize;
@@ -395,8 +424,8 @@ impl<T: Element> MmVec<T> {
     /// Commit dirty pcache pages and stage the vector to its backend,
     /// without waiting (the asynchronous flushing that overlaps compute).
     pub fn flush_async(&self, p: &Proc) -> Result<()> {
-        let mut st = self.state.lock();
-        self.commit_dirty(p, &mut st);
+        let (mut st, _lo) = self.lock_state();
+        self.commit_dirty(p, &mut st)?;
         let done = self.rt.flush_vector(p.now(), &self.meta)?;
         st.last_flush_done = st.last_flush_done.max(done);
         Ok(())
@@ -420,7 +449,7 @@ impl<T: Element> MmVec<T> {
     /// them ... to avoid the race condition where processes finish at
     /// separate times"). `purge` also deletes persistent backend contents.
     pub fn destroy(self, p: &Proc, purge: bool) -> Result<()> {
-        let mut st = self.state.lock();
+        let (mut st, _lo) = self.lock_state();
         st.pcache.drain();
         st.tx = None;
         drop(st);
@@ -429,6 +458,21 @@ impl<T: Element> MmVec<T> {
     }
 
     // ---- internals ----------------------------------------------------------
+
+    /// Take the per-process state lock, registering it with the
+    /// [`lockorder`] layer (rank [`LockRank::VecState`], the bottom of the
+    /// workspace lock order — everything else may be acquired under it).
+    fn lock_state(&self) -> (MutexGuard<'_, VecState>, LockOrderToken) {
+        let st = self.state.lock();
+        (st, lockorder::acquired(LockRank::VecState))
+    }
+
+    /// Read the current coherence policy's name under its own lock (rank
+    /// [`LockRank::Policy`]; nests under the state lock).
+    fn policy_name(&self) -> &'static str {
+        let _lo = lockorder::acquired(LockRank::Policy);
+        self.meta.policy.lock().name()
+    }
 
     /// Copy-on-write access to a cached page's bytes: promote a shared view
     /// to a private buffer on the first write, charging any physical copy to
@@ -448,31 +492,31 @@ impl<T: Element> MmVec<T> {
     /// (no memcpy at all). Partially-dirty pages still pay the memcpy of
     /// the modified bytes ("During an eviction, the application will only
     /// experience the performance cost of a memory copy").
-    fn commit_dirty(&self, p: &Proc, st: &mut VecState) {
+    fn commit_dirty(&self, p: &Proc, st: &mut VecState) -> Result<()> {
         let seq = st.tx_seq;
         let dirty = st.pcache.dirty_pages();
         let tel = self.rt.telemetry();
         for page in dirty {
-            let cp = st.pcache.peek_mut(page).expect("listed dirty");
+            let cp = st
+                .pcache
+                .peek_mut(page)
+                .ok_or(MmError::Internal("page listed dirty but absent from pcache"))?;
             let full = cp.dirty.covers(0, cp.data.len() as u64);
             let ranges = std::mem::take(&mut cp.dirty);
             let begin = p.now();
             let ctx = tel.trace_begin(p.node() as u32);
-            let (bytes, done) = if full {
+            let res = if full {
                 // Zero-copy commit: the scache gets a shared view of the
                 // same allocation; the page stays resident and clean.
                 let data = cp.data.freeze();
                 let bytes = data.len() as u64;
                 cp.self_write_seq = Some(seq);
-                let done = self
-                    .rt
+                self.rt
                     .write_page_full_traced(p.now(), &self.meta, page, data, p.node(), ctx)
-                    .expect("writer task");
-                (bytes, done)
+                    .map(|done| (bytes, done))
             } else {
                 p.advance(p.cpu().memcpy_ns(ranges.covered()));
-                let done = self
-                    .rt
+                self.rt
                     .write_page_diff_traced(
                         p.now(),
                         &self.meta,
@@ -482,11 +526,21 @@ impl<T: Element> MmVec<T> {
                         p.node(),
                         ctx,
                     )
-                    .expect("writer task");
-                (ranges.covered(), done)
+                    .map(|done| (ranges.covered(), done))
+            };
+            let (bytes, done) = match res {
+                Ok(v) => v,
+                Err(e) => {
+                    // Writer submission failed: restore the dirty ranges so
+                    // the modifications survive for a retry.
+                    if let Some(cp) = st.pcache.peek_mut(page) {
+                        cp.dirty = ranges;
+                    }
+                    return Err(e);
+                }
             };
             if !ctx.is_none() {
-                let policy = self.meta.policy.lock().name();
+                let policy = self.policy_name();
                 tel.trace_end(
                     ctx,
                     Stage::Commit,
@@ -499,6 +553,7 @@ impl<T: Element> MmVec<T> {
                 );
             }
         }
+        Ok(())
     }
 
     /// Ensure `page` is resident with valid contents; faults synchronously
@@ -510,12 +565,16 @@ impl<T: Element> MmVec<T> {
         page: u64,
     ) -> Result<&'a mut CachedPage> {
         if st.pcache.access(page).is_some() {
-            let cp = st.pcache.peek_mut(page).expect("just hit");
+            let ready_at = st
+                .pcache
+                .peek_mut(page)
+                .ok_or(MmError::Internal("pcache hit vanished before peek"))?
+                .ready_at;
             // Wait for an in-flight prefetch to land.
-            if cp.ready_at > p.now() {
-                p.advance_to(cp.ready_at);
+            if ready_at > p.now() {
+                p.advance_to(ready_at);
             }
-            return Ok(st.pcache.peek_mut(page).expect("hit"));
+            return st.pcache.peek_mut(page).ok_or(MmError::Internal("pcache hit vanished"));
         }
         // Miss: make room, then fault. Sequential transactions coalesce a
         // run of contiguous absent pages into one ranged MemoryTask — one
@@ -539,7 +598,8 @@ impl<T: Element> MmVec<T> {
                 ctx,
             )?;
             let mut iter = parts.into_iter();
-            let (data, done) = iter.next().expect("run includes the faulting page");
+            let (data, done) =
+                iter.next().ok_or(MmError::Internal("ranged read returned no pages"))?;
             // Extras land as prefetched pages with their own ready time;
             // insert them first so the faulting page stays the fast-path
             // `last` entry.
@@ -566,7 +626,7 @@ impl<T: Element> MmVec<T> {
             st.pcache.insert(page, CachedPage::new(PageBuf::shared(data), p.now()));
         }
         if !ctx.is_none() {
-            let policy = self.meta.policy.lock().name();
+            let policy = self.policy_name();
             tel.trace_end(
                 ctx,
                 Stage::Fault,
@@ -578,7 +638,7 @@ impl<T: Element> MmVec<T> {
                 page,
             );
         }
-        Ok(st.pcache.peek_mut(page).expect("just inserted"))
+        st.pcache.peek_mut(page).ok_or(MmError::Internal("faulted page vanished after insert"))
     }
 
     /// How many contiguous pages (starting at the faulting `page`) to pull
@@ -618,50 +678,50 @@ impl<T: Element> MmVec<T> {
         page: u64,
     ) -> Result<&'a mut CachedPage> {
         if st.pcache.access(page).is_some() {
-            return Ok(st.pcache.peek_mut(page).expect("hit"));
+            return st.pcache.peek_mut(page).ok_or(MmError::Internal("pcache hit vanished"));
         }
         self.make_room(p, st)?;
         let data = PageBuf::zeroed(self.meta.page_size as usize);
         st.pcache.insert(page, CachedPage::new(data, p.now()));
-        Ok(st.pcache.peek_mut(page).expect("just inserted"))
+        st.pcache.peek_mut(page).ok_or(MmError::Internal("zero page vanished after insert"))
     }
 
     /// Evict until a page fits under the bound.
     fn make_room(&self, p: &Proc, st: &mut VecState) -> Result<()> {
         while st.pcache.needs_eviction() && !st.pcache.is_empty() {
             let Some(victim) = st.pcache.pick_victim() else { break };
-            self.evict_page(p, st, victim);
+            self.evict_page(p, st, victim)?;
         }
         Ok(())
     }
 
     /// Evict one page: dirty bytes become an asynchronous writer task (the
     /// process pays only the memcpy), clean pages are dropped.
-    fn evict_page(&self, p: &Proc, st: &mut VecState, page: u64) {
-        let Some(cp) = st.pcache.remove(page) else { return };
+    fn evict_page(&self, p: &Proc, st: &mut VecState, page: u64) -> Result<()> {
+        let Some(mut cp) = st.pcache.remove(page) else { return Ok(()) };
         if cp.prefetched {
             // Fetched by the prefetcher but evicted before any access.
             self.wasted_prefetches.inc();
         }
         if cp.dirty.is_empty() {
-            return;
+            return Ok(());
         }
         let tel = self.rt.telemetry();
         let begin = p.now();
         let ctx = tel.trace_begin(p.node() as u32);
-        let (bytes, done) = if cp.dirty.covers(0, cp.data.len() as u64) {
+        let full = cp.dirty.covers(0, cp.data.len() as u64);
+        let res = if full {
             // Fully-dirty eviction ships the buffer itself — no memcpy.
-            let data = cp.data.into_bytes();
+            // Taking the buffer out keeps its refcount at one so the
+            // scache can steal the allocation instead of copying.
+            let data = std::mem::take(&mut cp.data).into_bytes();
             let bytes = data.len() as u64;
-            let done = self
-                .rt
+            self.rt
                 .write_page_full_traced(p.now(), &self.meta, page, data, p.node(), ctx)
-                .expect("eviction writer task");
-            (bytes, done)
+                .map(|done| (bytes, done))
         } else {
             p.advance(p.cpu().memcpy_ns(cp.dirty.covered()));
-            let done = self
-                .rt
+            self.rt
                 .write_page_diff_traced(
                     p.now(),
                     &self.meta,
@@ -671,13 +731,25 @@ impl<T: Element> MmVec<T> {
                     p.node(),
                     ctx,
                 )
-                .expect("eviction writer task");
-            (cp.dirty.covered(), done)
+                .map(|done| (cp.dirty.covered(), done))
+        };
+        let (bytes, done) = match res {
+            Ok(v) => v,
+            Err(e) => {
+                // Writer submission failed. A partially-dirty page still
+                // holds its bytes: put it back so nothing is lost. The
+                // fully-dirty buffer was consumed by the attempt.
+                if !full {
+                    st.pcache.insert(page, cp);
+                }
+                return Err(e);
+            }
         };
         if !ctx.is_none() {
-            let policy = self.meta.policy.lock().name();
+            let policy = self.policy_name();
             tel.trace_end(ctx, Stage::Commit, begin, done, p.node() as u32, bytes, policy, page);
         }
+        Ok(())
     }
 
     fn run_prefetch(&self, p: &Proc, st: &mut VecState, tx: &mut Transaction) {
@@ -746,7 +818,10 @@ impl<T: Element> PrefetchEnv for VecEnv<'_, T> {
     }
 
     fn evict(&mut self, page: u64) {
-        self.vec.evict_page(self.p, self.st, page);
+        // Prefetcher-driven eviction is best-effort: a failed write-back
+        // leaves the page resident and the prefetcher simply makes less
+        // room this tick.
+        let _ = self.vec.evict_page(self.p, self.st, page);
     }
 
     fn resident(&self, page: u64) -> bool {
@@ -762,7 +837,9 @@ impl<T: Element> PrefetchEnv for VecEnv<'_, T> {
                     if self.st.pcache.peek(v).map(|cp| cp.score).unwrap_or(0.0) >= 0.99 {
                         return; // nothing reclaimable; skip this prefetch
                     }
-                    self.vec.evict_page(self.p, self.st, v);
+                    if self.vec.evict_page(self.p, self.st, v).is_err() {
+                        return; // can't make room; skip this prefetch
+                    }
                 }
                 None => break,
             }
@@ -773,7 +850,7 @@ impl<T: Element> PrefetchEnv for VecEnv<'_, T> {
         let ctx = tel.trace_begin(self.p.node() as u32);
         let end_trace = |ready_at, bytes| {
             if !ctx.is_none() {
-                let policy = self.vec.meta.policy.lock().name();
+                let policy = self.vec.policy_name();
                 tel.trace_end(
                     ctx,
                     Stage::Prefetch,

@@ -1,0 +1,177 @@
+//! The checked-in allowlist (`lint-allow.toml`).
+//!
+//! Every exception to a deny-by-default rule lives here, with a reason
+//! string — the allowlist is the audit trail for why a banned pattern is
+//! tolerated at one specific site. Entries are matched by (rule, path
+//! suffix, line substring); unused entries are themselves findings so the
+//! file can never accumulate dead exceptions.
+//!
+//! The file is a restricted TOML subset parsed by hand (the workspace is
+//! fully offline; no toml crate):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "zero-copy"
+//! path = "crates/tiered/src/dmsh.rs"
+//! pattern = "shared.to_vec()"
+//! reason = "sole CoW fallback; counted in runtime.bytes_copied"
+//! ```
+
+use std::cell::Cell;
+
+/// One `[[allow]]` entry.
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub pattern: String,
+    pub reason: String,
+    pub line: usize,
+    used: Cell<bool>,
+}
+
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    pub fn empty() -> Self {
+        Allowlist { entries: Vec::new() }
+    }
+
+    /// Parse `lint-allow.toml` content. Returns the list or a parse error
+    /// message (line-attributed).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        let mut cur: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = cur.take() {
+                    validate(&e)?;
+                    entries.push(e);
+                }
+                cur = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    pattern: String::new(),
+                    reason: String::new(),
+                    line: lno,
+                    used: Cell::new(false),
+                });
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(format!("lint-allow.toml:{lno}: expected `key = \"value\"`"));
+            };
+            let key = key.trim();
+            let val = val.trim();
+            let val = val
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("lint-allow.toml:{lno}: value must be double-quoted"))?
+                .replace("\\\"", "\"");
+            let Some(e) = cur.as_mut() else {
+                return Err(format!("lint-allow.toml:{lno}: key outside any [[allow]] table"));
+            };
+            match key {
+                "rule" => e.rule = val,
+                "path" => e.path = val,
+                "pattern" => e.pattern = val,
+                "reason" => e.reason = val,
+                other => {
+                    return Err(format!("lint-allow.toml:{lno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(e) = cur.take() {
+            validate(&e)?;
+            entries.push(e);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// True if a finding of `rule` at `path` whose source line is
+    /// `line_text` is allowlisted. Marks the matching entry used.
+    pub fn permits(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        for e in &self.entries {
+            if e.rule == rule && path.ends_with(&e.path) && line_text.contains(&e.pattern) {
+                e.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding (dead exceptions).
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.used.get()).collect()
+    }
+}
+
+fn validate(e: &AllowEntry) -> Result<(), String> {
+    for (field, val) in
+        [("rule", &e.rule), ("path", &e.path), ("pattern", &e.pattern), ("reason", &e.reason)]
+    {
+        if val.is_empty() {
+            return Err(format!(
+                "lint-allow.toml:{}: [[allow]] entry missing non-empty `{field}`",
+                e.line
+            ));
+        }
+    }
+    if e.reason.split_whitespace().count() < 3 {
+        return Err(format!(
+            "lint-allow.toml:{}: reason must actually explain the exception (got \"{}\")",
+            e.line, e.reason
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[allow]]
+rule = "zero-copy"
+path = "crates/tiered/src/dmsh.rs"
+pattern = "shared.to_vec()"
+reason = "sole CoW fallback; counted in bytes_copied"
+"#;
+
+    #[test]
+    fn parses_and_matches() {
+        let a = Allowlist::parse(GOOD).unwrap();
+        assert_eq!(a.entries.len(), 1);
+        assert!(a.permits("zero-copy", "crates/tiered/src/dmsh.rs", "let v = shared.to_vec();"));
+        assert!(a.unused().is_empty());
+    }
+
+    #[test]
+    fn wrong_rule_or_path_does_not_match() {
+        let a = Allowlist::parse(GOOD).unwrap();
+        assert!(!a.permits("tx-pairing", "crates/tiered/src/dmsh.rs", "shared.to_vec()"));
+        assert!(!a.permits("zero-copy", "crates/core/src/pcache.rs", "shared.to_vec()"));
+        assert_eq!(a.unused().len(), 1);
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let bad = "[[allow]]\nrule = \"x\"\npath = \"y\"\npattern = \"z\"\nreason = \"\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+        let thin = "[[allow]]\nrule = \"x\"\npath = \"y\"\npattern = \"z\"\nreason = \"ok\"\n";
+        assert!(Allowlist::parse(thin).is_err(), "one-word reasons are not reasons");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let bad = "[[allow]]\nrule = \"x\"\nwhy = \"y\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+    }
+}

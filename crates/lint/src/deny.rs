@@ -1,0 +1,154 @@
+//! `mm-lint deny`: license and duplicate-version checks.
+//!
+//! The workspace is fully offline (every dependency is an in-tree path
+//! crate), so `cargo deny` itself is unavailable; this subcommand covers
+//! the two checks the project needs from it, against the same kind of
+//! checked-in policy file (`deny.toml`):
+//!
+//! ```toml
+//! [licenses]
+//! allow = ["MIT", "Apache-2.0", "MIT OR Apache-2.0"]
+//!
+//! [bans]
+//! multiple-versions = "deny"
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Policy parsed from `deny.toml`.
+pub struct DenyPolicy {
+    pub licenses_allow: Vec<String>,
+    pub deny_multiple_versions: bool,
+}
+
+impl DenyPolicy {
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut section = String::new();
+        let mut allow = Vec::new();
+        let mut multiple = true;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                section = line.trim_matches(['[', ']']).to_string();
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(format!("deny.toml:{lno}: expected `key = value`"));
+            };
+            match (section.as_str(), key.trim()) {
+                ("licenses", "allow") => {
+                    let inner = val
+                        .trim()
+                        .strip_prefix('[')
+                        .and_then(|v| v.strip_suffix(']'))
+                        .ok_or_else(|| format!("deny.toml:{lno}: allow must be a [..] list"))?;
+                    for item in inner.split(',') {
+                        let item = item.trim().trim_matches('"');
+                        if !item.is_empty() {
+                            allow.push(item.to_string());
+                        }
+                    }
+                }
+                ("bans", "multiple-versions") => {
+                    multiple = val.trim().trim_matches('"') == "deny";
+                }
+                (s, k) => {
+                    return Err(format!("deny.toml:{lno}: unknown key `{k}` in section `[{s}]`"));
+                }
+            }
+        }
+        if allow.is_empty() {
+            return Err("deny.toml: [licenses] allow list is empty".into());
+        }
+        Ok(DenyPolicy { licenses_allow: allow, deny_multiple_versions: multiple })
+    }
+}
+
+/// (name, version) pairs from a `Cargo.lock`.
+pub fn lock_packages(lock: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in lock.lines() {
+        let line = line.trim();
+        if line == "[[package]]" {
+            name = None;
+        } else if let Some(v) = line.strip_prefix("name = ") {
+            name = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = line.strip_prefix("version = ") {
+            if let Some(n) = name.take() {
+                out.push((n, v.trim_matches('"').to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Names appearing with more than one version.
+pub fn duplicate_versions(packages: &[(String, String)]) -> Vec<(String, Vec<String>)> {
+    let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (n, v) in packages {
+        let vs = by_name.entry(n).or_default();
+        if !vs.contains(&v.as_str()) {
+            vs.push(v);
+        }
+    }
+    by_name
+        .into_iter()
+        .filter(|(_, vs)| vs.len() > 1)
+        .map(|(n, vs)| (n.to_string(), vs.into_iter().map(String::from).collect()))
+        .collect()
+}
+
+/// The `license = "..."` value of one crate manifest, if present.
+pub fn manifest_license(manifest: &str) -> Option<String> {
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(v) = line.strip_prefix("license = ") {
+            return Some(v.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses() {
+        let p = DenyPolicy::parse(
+            "[licenses]\nallow = [\"MIT\", \"MIT OR Apache-2.0\"]\n[bans]\nmultiple-versions = \"deny\"\n",
+        )
+        .unwrap();
+        assert_eq!(p.licenses_allow.len(), 2);
+        assert!(p.deny_multiple_versions);
+    }
+
+    #[test]
+    fn empty_allow_list_is_an_error() {
+        assert!(DenyPolicy::parse("[licenses]\nallow = []\n").is_err());
+    }
+
+    #[test]
+    fn duplicates_are_detected() {
+        let lock = "[[package]]\nname = \"a\"\nversion = \"1.0.0\"\n\n[[package]]\nname = \"a\"\nversion = \"2.0.0\"\n\n[[package]]\nname = \"b\"\nversion = \"0.1.0\"\n";
+        let pkgs = lock_packages(lock);
+        assert_eq!(pkgs.len(), 3);
+        let dups = duplicate_versions(&pkgs);
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].0, "a");
+    }
+
+    #[test]
+    fn license_field_is_extracted() {
+        assert_eq!(
+            manifest_license("[package]\nname = \"x\"\nlicense = \"MIT OR Apache-2.0\"\n"),
+            Some("MIT OR Apache-2.0".into())
+        );
+        assert_eq!(manifest_license("[package]\nname = \"x\"\n"), None);
+    }
+}

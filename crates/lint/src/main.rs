@@ -1,0 +1,210 @@
+//! mm-lint: the MegaMmap workspace invariant checker.
+//!
+//! ```text
+//! mm-lint [--root DIR]          # run all five rules (deny-by-default)
+//! mm-lint [--root DIR] deny     # license + duplicate-version checks
+//! ```
+//!
+//! Exit code 0 means clean; 1 means findings (or dead allowlist entries);
+//! 2 means the checker itself could not run. Every exception to a rule
+//! lives in `lint-allow.toml` next to the workspace root, with a reason.
+
+mod allow;
+mod deny;
+mod model;
+mod rules;
+mod scrub;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use allow::Allowlist;
+use model::FileModel;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut subcmd = "check".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("mm-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "check" | "deny" => subcmd = a,
+            other => {
+                eprintln!("mm-lint: unknown argument `{other}` (usage: mm-lint [--root DIR] [check|deny])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match subcmd.as_str() {
+        "deny" => run_deny(&root),
+        _ => run_check(&root),
+    }
+}
+
+/// Workspace-relative `/`-separated path.
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/")
+}
+
+/// All `.rs` files under `crates/` (the shims are vendored stand-ins for
+/// external crates and are not subject to workspace invariants).
+fn collect_sources(root: &Path) -> Result<Vec<FileModel>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let src = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("read {}: {e}", path.display()))?;
+                files.push(FileModel::parse(&rel(root, &path), &src));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn run_check(root: &Path) -> ExitCode {
+    let allowlist = match std::fs::read_to_string(root.join("lint-allow.toml")) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("mm-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Allowlist::empty(),
+    };
+    let files = match collect_sources(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let all = rules::run_all(&files);
+    let mut denied = 0usize;
+    let mut allowed = 0usize;
+    for f in &all {
+        if allowlist.permits(f.rule, &f.path, &f.line_text) {
+            allowed += 1;
+            continue;
+        }
+        denied += 1;
+        eprintln!("mm-lint: [{}] {}:{}: {}", f.rule, f.path, f.line, f.msg);
+        eprintln!("    > {}", f.line_text);
+    }
+    let unused = allowlist.unused();
+    for e in &unused {
+        denied += 1;
+        eprintln!(
+            "mm-lint: [allowlist] lint-allow.toml:{}: entry ({} @ {}) matched nothing — remove it",
+            e.line, e.rule, e.path
+        );
+    }
+    eprintln!(
+        "mm-lint: {} file(s), {} finding(s) denied, {} allowlisted",
+        files.len(),
+        denied,
+        allowed
+    );
+    if denied == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_deny(root: &Path) -> ExitCode {
+    let policy = match std::fs::read_to_string(root.join("deny.toml"))
+        .map_err(|e| format!("deny.toml: {e}"))
+        .and_then(|t| deny::DenyPolicy::parse(&t))
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut denied = 0usize;
+    // Duplicate versions from the lockfile.
+    match std::fs::read_to_string(root.join("Cargo.lock")) {
+        Ok(lock) => {
+            if policy.deny_multiple_versions {
+                for (name, versions) in deny::duplicate_versions(&deny::lock_packages(&lock)) {
+                    denied += 1;
+                    eprintln!(
+                        "mm-lint: [deny] duplicate versions of `{name}`: {}",
+                        versions.join(", ")
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("mm-lint: Cargo.lock: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    // License allowlist over every workspace member manifest (the root
+    // manifest doubles as the meta-crate package).
+    let mut manifests = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if std::fs::read_to_string(&root_manifest).is_ok_and(|t| t.contains("[package]")) {
+        manifests.push(root_manifest);
+    }
+    for group in ["crates", "shims"] {
+        let dir = root.join(group);
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let m = entry.path().join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    manifests.sort();
+    for m in &manifests {
+        let text = match std::fs::read_to_string(m) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mm-lint: {}: {e}", m.display());
+                return ExitCode::from(2);
+            }
+        };
+        match deny::manifest_license(&text) {
+            Some(lic) if policy.licenses_allow.contains(&lic) => {}
+            Some(lic) => {
+                denied += 1;
+                eprintln!(
+                    "mm-lint: [deny] {}: license `{lic}` not in deny.toml allow list",
+                    rel(root, m)
+                );
+            }
+            None => {
+                denied += 1;
+                eprintln!("mm-lint: [deny] {}: missing `license` field", rel(root, m));
+            }
+        }
+    }
+    eprintln!("mm-lint: deny checked {} manifest(s), {} finding(s)", manifests.len(), denied);
+    if denied == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

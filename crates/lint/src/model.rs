@@ -1,0 +1,280 @@
+//! A line-oriented, scrubbed model of one Rust source file.
+//!
+//! mm-lint is deliberately not a full parser: it works on scrubbed text
+//! (see [`crate::scrub`]) with brace-depth tracking, which is enough to
+//! attribute findings to functions, skip `#[cfg(test)]` items, and build a
+//! name-based call graph. Where the approximation misfires, the checked-in
+//! allowlist documents the exception with a reason.
+
+use crate::scrub::{line_of, scrub};
+
+/// One `fn` item: signature plus body span in the scrubbed text.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Parameter list text (scrubbed, parens stripped).
+    pub params: String,
+    pub is_pub: bool,
+    pub line: usize,
+    /// Byte span of the body `{ ... }` (empty for trait declarations).
+    pub body: std::ops::Range<usize>,
+}
+
+/// A parsed source file ready for rule passes.
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Original source (for reporting lines and allowlist matching).
+    pub src: String,
+    /// Scrubbed source (comments/strings blanked, same length).
+    pub scrubbed: String,
+    /// Byte spans covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<std::ops::Range<usize>>,
+    pub fns: Vec<FnItem>,
+}
+
+impl FileModel {
+    pub fn parse(path: &str, src: &str) -> Self {
+        let scrubbed = scrub(src);
+        let test_spans = find_test_spans(&scrubbed);
+        let fns = find_fns(&scrubbed, src);
+        FileModel { path: path.to_string(), src: src.to_string(), scrubbed, test_spans, fns }
+    }
+
+    /// True if byte offset `pos` is inside test-only code. Files under
+    /// `tests/` or `benches/` are test code wholesale.
+    pub fn in_test(&self, pos: usize) -> bool {
+        if self.path.contains("/tests/") || self.path.contains("/benches/") {
+            return true;
+        }
+        self.test_spans.iter().any(|s| s.contains(&pos))
+    }
+
+    /// 1-indexed line of a byte offset.
+    pub fn line(&self, pos: usize) -> usize {
+        line_of(&self.src, pos)
+    }
+
+    /// The source line containing byte offset `pos`, trimmed.
+    pub fn line_text(&self, pos: usize) -> &str {
+        let start = self.src[..pos.min(self.src.len())].rfind('\n').map_or(0, |i| i + 1);
+        let end = self.src[pos..].find('\n').map_or(self.src.len(), |i| pos + i);
+        self.src[start..end].trim()
+    }
+
+    /// The innermost function whose body contains `pos`.
+    pub fn enclosing_fn(&self, pos: usize) -> Option<&FnItem> {
+        self.fns.iter().filter(|f| f.body.contains(&pos)).min_by_key(|f| f.body.end - f.body.start)
+    }
+
+    /// All byte offsets where `needle` occurs in the scrubbed text.
+    pub fn occurrences<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+        let mut from = 0usize;
+        std::iter::from_fn(move || {
+            let rel = self.scrubbed[from..].find(needle)?;
+            let pos = from + rel;
+            from = pos + needle.len();
+            Some(pos)
+        })
+    }
+}
+
+/// Find body spans of items annotated `#[cfg(test)]`, `#[cfg(all(test`,
+/// or `#[test]`: from the attribute, the next `{` opens the item.
+fn find_test_spans(scrubbed: &str) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    for pat in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(rel) = scrubbed[from..].find(pat) {
+            let at = from + rel;
+            from = at + pat.len();
+            if let Some(open_rel) = scrubbed[at..].find('{') {
+                let open = at + open_rel;
+                let close = match_brace(scrubbed.as_bytes(), open);
+                spans.push(at..close);
+            }
+        }
+    }
+    spans
+}
+
+/// Byte offset just past the `}` matching the `{` at `open`.
+fn match_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Extract every `fn` item (including nested ones).
+fn find_fns(scrubbed: &str, src: &str) -> Vec<FnItem> {
+    let b = scrubbed.as_bytes();
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while let Some(rel) = scrubbed[i..].find("fn ") {
+        let at = i + rel;
+        i = at + 3;
+        // Word boundary on the left ("fn" not a suffix of an identifier).
+        if at > 0 && (b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_') {
+            continue;
+        }
+        let mut j = at + 3;
+        while j < b.len() && b[j] == b' ' {
+            j += 1;
+        }
+        let name_start = j;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        if j == name_start {
+            continue; // `fn(` type position, e.g. `Box<dyn Fn(...)>`
+        }
+        let name = scrubbed[name_start..j].to_string();
+        // Skip generics between name and the parameter list.
+        if j < b.len() && b[j] == b'<' {
+            let mut depth = 1;
+            j += 1;
+            while j < b.len() && depth > 0 {
+                match b[j] {
+                    b'<' => depth += 1,
+                    b'>' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if j >= b.len() || b[j] != b'(' {
+            continue;
+        }
+        let params_start = j + 1;
+        let mut depth = 1;
+        j += 1;
+        while j < b.len() && depth > 0 {
+            match b[j] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let params = scrubbed[params_start..j.saturating_sub(1)].trim().to_string();
+        // Body starts at the next `{` before any `;` (trait fns have none).
+        let mut body = 0..0;
+        let mut k = j;
+        while k < b.len() {
+            match b[k] {
+                b'{' => {
+                    body = k..match_brace(b, k);
+                    break;
+                }
+                b';' => break,
+                _ => k += 1,
+            }
+        }
+        // `pub` immediately before the header (allowing `pub(crate)` etc.).
+        let head = scrubbed[..at].trim_end();
+        let is_pub = head.ends_with("pub")
+            || head.ends_with(')') && {
+                let open = head.rfind("pub(");
+                open.is_some_and(|o| !head[o..].contains('\n'))
+            };
+        fns.push(FnItem { name, params, is_pub, line: line_of(src, at), body });
+    }
+    fns
+}
+
+/// Workspace-defined callee names referenced inside `span` of `scrubbed`:
+/// every `ident(` and `.ident(` token.
+pub fn calls_in(scrubbed: &str, span: std::ops::Range<usize>) -> Vec<(String, usize)> {
+    let b = scrubbed.as_bytes();
+    let mut out = Vec::new();
+    let mut i = span.start;
+    while i < span.end.min(b.len()) {
+        if b[i].is_ascii_alphabetic() || b[i] == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let mut j = i;
+            // Allow turbofish / generics between name and `(`.
+            if j + 1 < b.len() && b[j] == b':' && b[j + 1] == b':' {
+                // path segment, not a call of this ident
+            } else {
+                while j < b.len() && b[j] == b' ' {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'(' {
+                    out.push((scrubbed[start..i].to_string(), start));
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+pub fn outer(x: u64, ctx: TraceCtx) -> u64 {
+    helper(x)
+}
+
+fn helper(x: u64) -> u64 {
+    x.checked_add(1).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    fn only_in_tests() { other.tx_begin(p); }
+}
+"#;
+
+    #[test]
+    fn fns_are_found_with_params_and_pubness() {
+        let m = FileModel::parse("crates/x/src/lib.rs", SRC);
+        let outer = m.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.is_pub);
+        assert!(outer.params.contains("TraceCtx"));
+        let helper = m.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(!helper.is_pub);
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_items() {
+        let m = FileModel::parse("crates/x/src/lib.rs", SRC);
+        let pos = m.src.find("tx_begin").unwrap();
+        assert!(m.in_test(pos));
+        let pos = m.src.find("helper(x)").unwrap();
+        assert!(!m.in_test(pos));
+    }
+
+    #[test]
+    fn calls_are_attributed_to_the_innermost_fn() {
+        let m = FileModel::parse("crates/x/src/lib.rs", SRC);
+        let outer = m.fns.iter().find(|f| f.name == "outer").unwrap();
+        let calls = calls_in(&m.scrubbed, outer.body.clone());
+        assert!(calls.iter().any(|(n, _)| n == "helper"));
+    }
+
+    #[test]
+    fn tests_and_benches_dirs_are_test_code() {
+        let m = FileModel::parse("crates/x/tests/t.rs", "fn f() {}");
+        assert!(m.in_test(0));
+    }
+}

@@ -1,0 +1,618 @@
+//! The five workspace invariant rules.
+//!
+//! Each rule takes the parsed [`FileModel`]s and emits [`Finding`]s; the
+//! caller filters them through the allowlist and reports the rest. Rules
+//! are deny-by-default: anything matched is an error unless a
+//! `lint-allow.toml` entry with a reason covers the exact line.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::model::{calls_in, FileModel};
+
+/// One rule violation, attributed to a source line.
+#[derive(Debug)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub msg: String,
+    /// The offending source line (trimmed) — what allowlist patterns match.
+    pub line_text: String,
+}
+
+fn finding(rule: &'static str, m: &FileModel, pos: usize, msg: String) -> Finding {
+    Finding {
+        rule,
+        path: m.path.clone(),
+        line: m.line(pos),
+        msg,
+        line_text: m.line_text(pos).to_string(),
+    }
+}
+
+/// Run every rule.
+pub fn run_all(files: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(tx_pairing(files));
+    out.extend(zero_copy(files));
+    out.extend(trace_propagation(files));
+    out.extend(lock_order(files));
+    out.extend(panic_hygiene(files));
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+// ---- rule 1: tx-pairing ---------------------------------------------------
+
+/// Files allowed to use the raw begin/end transaction API: the vector
+/// implementation itself and the RAII guard built on it.
+const TX_EXEMPT: &[&str] = &["crates/core/src/vector.rs", "crates/core/src/txguard.rs"];
+
+const TX_BEGIN: &[&str] =
+    &[".tx_begin(", ".try_tx_begin(", ".tx_begin_collective(", ".try_tx_begin_collective("];
+const TX_END: &[&str] = &[".tx_end(", ".try_tx_end("];
+
+/// Raw `tx_begin`/`tx_end` calls are forbidden outside the RAII guard
+/// module; where they may still appear (test code), every begin must be
+/// matched by an end in the same function.
+pub fn tx_pairing(files: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in files {
+        if TX_EXEMPT.iter().any(|e| m.path.ends_with(e)) {
+            continue;
+        }
+        let mut per_fn: HashMap<usize, (usize, i64)> = HashMap::new();
+        for (pats, delta) in [(TX_BEGIN, 1i64), (TX_END, -1i64)] {
+            for pat in pats {
+                for pos in m.occurrences(pat).collect::<Vec<_>>() {
+                    if !m.in_test(pos) {
+                        out.push(finding(
+                            "tx-pairing",
+                            m,
+                            pos,
+                            format!(
+                                "raw `{}` outside the RAII guard module — use `MmVec::tx()` / `TxScope`",
+                                pat.trim_start_matches('.').trim_end_matches('(')
+                            ),
+                        ));
+                    }
+                    if let Some(f) = m.enclosing_fn(pos) {
+                        let e = per_fn.entry(f.body.start).or_insert((pos, 0));
+                        e.1 += delta;
+                    }
+                }
+            }
+        }
+        for (body_start, (first_pos, balance)) in per_fn {
+            if balance != 0 {
+                let name = m
+                    .enclosing_fn(body_start)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| "?".into());
+                out.push(finding(
+                    "tx-pairing",
+                    m,
+                    first_pos,
+                    format!(
+                        "fn `{name}` has unbalanced raw tx calls ({:+} begins vs ends)",
+                        balance
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---- rule 2: zero-copy ----------------------------------------------------
+
+/// Modules on the demand-fault / commit hot path where byte copies must be
+/// explicit, audited, and counted.
+const HOT_MODULES: &[&str] = &[
+    "crates/core/src/pcache.rs",
+    "crates/core/src/runtime/",
+    "crates/tiered/src/dmsh.rs",
+    "crates/cluster/src/comm.rs",
+];
+
+const COPY_PATTERNS: &[&str] = &[".to_vec()", "Vec::from(", "copy_from_slice(", ".promote()"];
+
+/// Copying constructs are banned in hot-path modules except allowlisted
+/// sites with a reason (typically: the copy is counted in
+/// `runtime.bytes_copied`).
+pub fn zero_copy(files: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in files {
+        if !HOT_MODULES.iter().any(|h| m.path.contains(h)) {
+            continue;
+        }
+        for pat in COPY_PATTERNS {
+            for pos in m.occurrences(pat).collect::<Vec<_>>() {
+                if m.in_test(pos) {
+                    continue;
+                }
+                out.push(finding(
+                    "zero-copy",
+                    m,
+                    pos,
+                    format!(
+                        "`{pat}` in hot-path module — copies here must be allowlisted with a reason"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---- rule 3: trace-propagation --------------------------------------------
+
+/// Name fragments identifying fault/commit/flush-path entry points.
+const TRACED_NAMES: &[&str] =
+    &["fault", "commit", "flush", "read_page", "write_page", "get_range", "put_range", "stage_"];
+
+/// Crates whose public fault-path API must thread a `TraceCtx`.
+const TRACED_CRATES: &[&str] = &["crates/core/", "crates/tiered/", "crates/cluster/"];
+
+/// Public fault/commit/flush-path functions must accept a `TraceCtx`
+/// parameter, and `TraceCtx::NONE` (which severs the causal chain) may
+/// only appear at allowlisted sites.
+pub fn trace_propagation(files: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in files {
+        let in_scope = TRACED_CRATES.iter().any(|c| m.path.contains(c));
+        if !in_scope || m.path.contains("/tests/") || m.path.contains("/benches/") {
+            continue;
+        }
+        for f in &m.fns {
+            if !f.is_pub || f.body.is_empty() || m.in_test(f.body.start) {
+                continue;
+            }
+            let on_path = TRACED_NAMES.iter().any(|n| f.name.contains(n));
+            if on_path && !f.params.contains("TraceCtx") {
+                out.push(Finding {
+                    rule: "trace-propagation",
+                    path: m.path.clone(),
+                    line: f.line,
+                    msg: format!(
+                        "pub fn `{}` matches a fault/commit/flush-path name but takes no TraceCtx",
+                        f.name
+                    ),
+                    line_text: format!("fn {}", f.name),
+                });
+            }
+        }
+        for pos in m.occurrences("TraceCtx::NONE").collect::<Vec<_>>() {
+            if m.in_test(pos) {
+                continue;
+            }
+            out.push(finding(
+                "trace-propagation",
+                m,
+                pos,
+                "`TraceCtx::NONE` severs the causal chain — allowlist-only".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+// ---- rule 4: lock-order ---------------------------------------------------
+
+/// The declared partial order over workspace locks (mirrors
+/// `megammap_telemetry::LockRank`). Receivers are matched by the last
+/// keyword on the line before `.lock()`.
+const LOCK_RANKS: &[(&str, &str, u8, &str)] = &[
+    ("crates/core/src/vector.rs", "state", 10, "VecState"),
+    ("", "policy", 20, "Policy"),
+    ("crates/core/src/runtime/", "vectors", 30, "RtMeta"),
+    ("crates/core/src/runtime/", "apply_locks", 40, "ApplyShard"),
+    ("crates/tiered/src/dmsh.rs", "meta", 50, "DmshMeta"),
+    ("crates/tiered/src/dmsh.rs", "store", 60, "DmshStore"),
+    ("crates/cluster/src/mailbox.rs", "queue", 70, "Mailbox"),
+    ("crates/sim/src/resource.rs", "reservations", 80, "Resource"),
+];
+
+/// Guard-returning helpers that acquire a ranked lock internally.
+const LOCK_HELPERS: &[(&str, u8, &str)] =
+    &[(".lock_state()", 10, "VecState"), (".lock_meta()", 50, "DmshMeta")];
+
+/// Rank of the `.lock()` at `pos`, from the last ranked keyword between
+/// the start of the line and the call.
+fn rank_of_lock(m: &FileModel, pos: usize) -> Option<(u8, &'static str)> {
+    let line_start = m.scrubbed[..pos].rfind('\n').map_or(0, |i| i + 1);
+    let recv = &m.scrubbed[line_start..pos];
+    let mut best: Option<(usize, u8, &'static str)> = None;
+    for (path, kw, rank, name) in LOCK_RANKS {
+        if !path.is_empty() && !m.path.contains(path) {
+            continue;
+        }
+        if let Some(at) = recv.rfind(kw) {
+            if best.is_none_or(|(b, _, _)| at > b) {
+                best = Some((at, *rank, name));
+            }
+        }
+    }
+    best.map(|(_, r, n)| (r, n))
+}
+
+#[derive(Clone, Copy)]
+enum LockEv {
+    /// rank, rank name, transient (a chained temporary guard, released at
+    /// the end of the statement).
+    Acquire(u8, &'static str, bool),
+    /// An explicit `drop(x)`: releases the most recent held guard.
+    Drop,
+}
+
+/// Statically check that ranked locks nest in ascending rank order within
+/// each function body (brace-depth scoping). Cross-function nesting is
+/// covered by the runtime assertion layer in
+/// `megammap_telemetry::lockorder`.
+pub fn lock_order(files: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in files {
+        let mut events: Vec<(usize, LockEv)> = Vec::new();
+        for pos in m.occurrences(".lock()").collect::<Vec<_>>() {
+            if m.in_test(pos) {
+                continue;
+            }
+            if let Some((rank, name)) = rank_of_lock(m, pos) {
+                let after = pos + ".lock()".len();
+                let transient = m.scrubbed.as_bytes().get(after) == Some(&b'.');
+                events.push((pos, LockEv::Acquire(rank, name, transient)));
+            }
+        }
+        for (pat, rank, name) in LOCK_HELPERS {
+            for pos in m.occurrences(pat).collect::<Vec<_>>() {
+                if !m.in_test(pos) {
+                    events.push((pos, LockEv::Acquire(*rank, name, false)));
+                }
+            }
+        }
+        for pos in m.occurrences("drop(").collect::<Vec<_>>() {
+            if !m.in_test(pos) {
+                events.push((pos, LockEv::Drop));
+            }
+        }
+        events.sort_by_key(|(p, _)| *p);
+        if events.is_empty() {
+            continue;
+        }
+        for f in &m.fns {
+            let evs: Vec<_> = events
+                .iter()
+                .filter(|(p, _)| {
+                    f.body.contains(p)
+                        && m.enclosing_fn(*p).map(|g| g.body.start) == Some(f.body.start)
+                })
+                .collect();
+            if evs.is_empty() {
+                continue;
+            }
+            let b = m.scrubbed.as_bytes();
+            let mut depth = 0i32;
+            let mut held: Vec<(i32, u8, &'static str)> = Vec::new();
+            let mut ei = 0usize;
+            for i in f.body.clone() {
+                while ei < evs.len() && evs[ei].0 == i {
+                    match evs[ei].1 {
+                        LockEv::Acquire(rank, name, transient) => {
+                            if let Some(&(_, _, topname)) =
+                                held.iter().rev().find(|(_, r, _)| *r >= rank)
+                            {
+                                out.push(finding(
+                                    "lock-order",
+                                    m,
+                                    i,
+                                    format!(
+                                        "acquiring {name} (rank {rank}) while {topname} is held — ranks must strictly ascend"
+                                    ),
+                                ));
+                            }
+                            if !transient {
+                                held.push((depth, rank, name));
+                            }
+                        }
+                        LockEv::Drop => {
+                            held.pop();
+                        }
+                    }
+                    ei += 1;
+                }
+                match b.get(i) {
+                    Some(b'{') => depth += 1,
+                    Some(b'}') => {
+                        depth -= 1;
+                        held.retain(|(d, _, _)| *d < depth);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---- rule 5: panic-hygiene ------------------------------------------------
+
+/// Entry points of the demand-fault / commit path.
+const FAULT_ROOTS: &[&str] = &[
+    "page_for_read",
+    "page_for_write",
+    "try_load",
+    "try_store",
+    "try_read_into",
+    "try_write_slice",
+    "try_append",
+    "commit_dirty",
+    "evict_page",
+    "make_room",
+    "read_page_traced",
+    "read_page_run_traced",
+    "write_page_diff_traced",
+    "write_page_full_traced",
+    "get_traced",
+    "put_range",
+    "get_range",
+];
+
+/// Ubiquitous method names excluded from call-graph edges: a name-based
+/// graph would otherwise connect everything to everything through
+/// std-alike helpers.
+const EDGE_STOPLIST: &[&str] = &[
+    "new", "len", "is_empty", "clone", "default", "fmt", "from", "into", "eq", "cmp", "hash",
+    "drop", "next", "iter", "min", "max", "name", "now",
+    // These collide with std methods used everywhere (str::split, Mutex
+    // lock, atomic load/store, Vec::append); the workspace fns of the same
+    // name are public wrappers that are not themselves on the fault path.
+    "split", "lock", "load", "store", "append",
+];
+
+const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// Crates whose functions participate in the fault-path call graph.
+const PANIC_CRATES: &[&str] = &[
+    "crates/sim/src/",
+    "crates/cluster/src/",
+    "crates/tiered/src/",
+    "crates/core/src/",
+    "crates/telemetry/src/",
+];
+
+/// No `unwrap`/`expect`/`panic!` may be reachable from the demand-fault
+/// path: a panic mid-fault poisons pcache locks and kills the worker. The
+/// call graph is name-based and conservative; false positives get
+/// allowlisted with the reason they cannot fire.
+pub fn panic_hygiene(files: &[FileModel]) -> Vec<Finding> {
+    // fn name -> list of (file idx, fn idx)
+    let mut by_name: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, m) in files.iter().enumerate() {
+        if !PANIC_CRATES.iter().any(|c| m.path.contains(c)) {
+            continue;
+        }
+        for (gi, f) in m.fns.iter().enumerate() {
+            if f.body.is_empty() || m.in_test(f.body.start) {
+                continue;
+            }
+            by_name.entry(f.name.as_str()).or_default().push((fi, gi));
+        }
+    }
+    // BFS from roots over name edges.
+    let mut reach: HashSet<(usize, usize)> = HashSet::new();
+    let mut via: HashMap<(usize, usize), String> = HashMap::new();
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    for root in FAULT_ROOTS {
+        for &node in by_name.get(root).into_iter().flatten() {
+            if reach.insert(node) {
+                via.insert(node, (*root).to_string());
+                queue.push(node);
+            }
+        }
+    }
+    while let Some((fi, gi)) = queue.pop() {
+        let m = &files[fi];
+        let f = &m.fns[gi];
+        let chain = via.get(&(fi, gi)).cloned().unwrap_or_default();
+        for (callee, _) in calls_in(&m.scrubbed, f.body.clone()) {
+            if EDGE_STOPLIST.contains(&callee.as_str()) || callee == f.name {
+                continue;
+            }
+            for &node in by_name.get(callee.as_str()).into_iter().flatten() {
+                if reach.insert(node) {
+                    via.insert(node, format!("{chain} -> {callee}"));
+                    queue.push(node);
+                }
+            }
+        }
+    }
+    // Scan reachable bodies for panic tokens.
+    let mut out = Vec::new();
+    for &(fi, gi) in &reach {
+        let m = &files[fi];
+        let f = &m.fns[gi];
+        for tok in PANIC_TOKENS {
+            let mut from = f.body.start;
+            while let Some(rel) = m.scrubbed[from..f.body.end].find(tok) {
+                let pos = from + rel;
+                from = pos + tok.len();
+                if m.in_test(pos) {
+                    continue;
+                }
+                out.push(finding(
+                    "panic-hygiene",
+                    m,
+                    pos,
+                    format!(
+                        "`{}` reachable from the demand-fault path (via {})",
+                        tok.trim_start_matches('.').trim_end_matches('('),
+                        via.get(&(fi, gi)).map(String::as_str).unwrap_or("?"),
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> FileModel {
+        FileModel::parse(path, src)
+    }
+
+    #[test]
+    fn seeded_raw_tx_call_is_flagged() {
+        let m = file(
+            "crates/workloads/src/x.rs",
+            "fn f(v: &V, p: &P) { let t = v.tx_begin(p); v.tx_end(p, t); }",
+        );
+        let f = tx_pairing(&[m]);
+        assert_eq!(f.iter().filter(|x| x.msg.contains("raw")).count(), 2);
+    }
+
+    #[test]
+    fn unbalanced_begin_is_flagged_even_in_tests() {
+        let m = file(
+            "crates/core/tests/t.rs",
+            "fn f(v: &V, p: &P) { let t = v.tx_begin(p); let u = v.tx_begin(p); v.tx_end(p, t); }",
+        );
+        let f = tx_pairing(&[m]);
+        assert!(f.iter().any(|x| x.msg.contains("unbalanced")), "{f:?}");
+    }
+
+    #[test]
+    fn guard_module_is_exempt() {
+        let m = file(
+            "crates/core/src/txguard.rs",
+            "fn f(v: &V, p: &P) { let h = v.try_tx_begin(p); v.try_tx_end(p, h); }",
+        );
+        assert!(tx_pairing(&[m]).is_empty());
+    }
+
+    #[test]
+    fn seeded_to_vec_in_hot_module_is_flagged() {
+        let m = file("crates/core/src/pcache.rs", "fn f(b: &[u8]) -> Vec<u8> { b.to_vec() }");
+        let f = zero_copy(&[m]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains(".to_vec()"));
+    }
+
+    #[test]
+    fn to_vec_outside_hot_modules_is_fine() {
+        let m = file("crates/formats/src/x.rs", "fn f(b: &[u8]) -> Vec<u8> { b.to_vec() }");
+        assert!(zero_copy(&[m]).is_empty());
+    }
+
+    #[test]
+    fn seeded_pagebuf_promotion_is_flagged() {
+        let m = file("crates/core/src/runtime/mod.rs", "fn f(b: &mut PageBuf) { b.promote(); }");
+        assert_eq!(zero_copy(&[m]).len(), 1);
+    }
+
+    #[test]
+    fn untraced_fault_path_pub_fn_is_flagged() {
+        let m = file(
+            "crates/core/src/runtime/mod.rs",
+            "pub fn read_page(&self, now: u64) -> Bytes { todo(now) }",
+        );
+        let f = trace_propagation(&[m]);
+        assert!(f.iter().any(|x| x.msg.contains("read_page")), "{f:?}");
+    }
+
+    #[test]
+    fn traced_fault_path_fn_passes() {
+        let m = file(
+            "crates/core/src/runtime/mod.rs",
+            "pub fn read_page_traced(&self, now: u64, ctx: TraceCtx) -> Bytes { go(now, ctx) }",
+        );
+        assert!(trace_propagation(&[m]).is_empty());
+    }
+
+    #[test]
+    fn trace_none_is_allowlist_only() {
+        let m = file(
+            "crates/tiered/src/dmsh.rs",
+            "pub fn quiet(&self) { self.get_traced(0, id, TraceCtx::NONE); }",
+        );
+        let f = trace_propagation(&[m]);
+        assert!(f.iter().any(|x| x.msg.contains("NONE")));
+    }
+
+    #[test]
+    fn descending_lock_nesting_is_flagged() {
+        let m = file(
+            "crates/tiered/src/dmsh.rs",
+            "fn f(&self) { let s = self.tiers[0].store.lock(); let m = self.meta.lock(); }",
+        );
+        let f = lock_order(&[m]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("DmshMeta"));
+    }
+
+    #[test]
+    fn ascending_lock_nesting_passes() {
+        let m = file(
+            "crates/tiered/src/dmsh.rs",
+            "fn f(&self) { let m = self.meta.lock(); let s = self.tiers[0].store.lock(); }",
+        );
+        assert!(lock_order(&[m]).is_empty());
+    }
+
+    #[test]
+    fn scoped_release_resets_the_order() {
+        let m = file(
+            "crates/tiered/src/dmsh.rs",
+            "fn f(&self) { { let s = self.tiers[0].store.lock(); } let m = self.meta.lock(); }",
+        );
+        assert!(lock_order(&[m]).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let m = file(
+            "crates/tiered/src/dmsh.rs",
+            "fn f(&self) { let s = self.tiers[0].store.lock(); drop(s); let m = self.meta.lock(); }",
+        );
+        assert!(lock_order(&[m]).is_empty());
+    }
+
+    #[test]
+    fn chained_temporary_guard_is_transient() {
+        let m = file(
+            "crates/tiered/src/dmsh.rs",
+            "fn f(&self) { self.tiers[0].store.lock().insert(id, d); let m = self.meta.lock(); }",
+        );
+        assert!(lock_order(&[m]).is_empty());
+    }
+
+    #[test]
+    fn seeded_unwrap_on_fault_path_is_flagged() {
+        let m = file(
+            "crates/core/src/vector.rs",
+            "fn page_for_read(&self) { self.helper_x(); }\nfn helper_x(&self) { self.inner.unwrap(); }",
+        );
+        let f = panic_hygiene(&[m]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("via page_for_read -> helper_x"));
+    }
+
+    #[test]
+    fn unwrap_off_the_fault_path_is_fine() {
+        let m =
+            file("crates/core/src/config.rs", "pub fn validate(&self) { self.check.unwrap(); }");
+        assert!(panic_hygiene(&[m]).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt_everywhere() {
+        let m = file(
+            "crates/core/src/pcache.rs",
+            "#[cfg(test)]\nmod tests { fn f(b: &[u8]) { b.to_vec(); } }",
+        );
+        assert!(zero_copy(&[m]).is_empty());
+    }
+}

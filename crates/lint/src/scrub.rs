@@ -1,0 +1,196 @@
+//! Source scrubbing: blank out comments and literal contents.
+//!
+//! Every rule in mm-lint is token-oriented; the scrubber removes the two
+//! places where rule patterns could occur without meaning anything —
+//! comments (including doc comments, which quote API examples) and string
+//! literals. Scrubbed text is byte-for-byte the same length as the input
+//! with the removed regions replaced by spaces, so byte offsets and line
+//! numbers in findings map straight back to the original file.
+
+/// Replace comments and string/char-literal contents with spaces.
+///
+/// Handles line comments, nested block comments, plain and raw (byte)
+/// strings, and char literals vs. lifetimes. Delimiting quotes of string
+/// literals are kept (so `"" ` stays visibly a string); their contents are
+/// blanked.
+pub fn scrub(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = b.to_vec();
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = blank_string(b, &mut out, i);
+            }
+            b'r' | b'b' => {
+                // Raw / byte strings: r", r#", br", b".
+                let start = i;
+                let mut j = i + 1;
+                if b[i] == b'b' && j < b.len() && b[j] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' && (hashes > 0 || j > start) {
+                    // Find the closing quote followed by `hashes` hashes.
+                    let close: Vec<u8> =
+                        std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+                    let mut k = j + 1;
+                    while k < b.len() {
+                        if b[k..].starts_with(&close) {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    for (idx, byte) in out.iter_mut().enumerate().take(k).skip(j + 1) {
+                        if b[idx] != b'\n' {
+                            *byte = b' ';
+                        }
+                    }
+                    i = (k + close.len()).min(b.len());
+                } else if b[i] == b'b' && i + 1 < b.len() && b[i + 1] == b'"' {
+                    i = blank_string(b, &mut out, i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes within a
+                // few bytes; a lifetime is 'ident with no closing quote.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    for byte in out.iter_mut().take(j).skip(i + 1) {
+                        *byte = b' ';
+                    }
+                    i = (j + 1).min(b.len());
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out[i + 1] = b' ';
+                    i += 3;
+                } else {
+                    i += 1; // lifetime
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|_| src.chars().map(|_| ' ').collect())
+}
+
+/// Blank a plain `"..."` string starting at `i`; returns the index after
+/// the closing quote.
+fn blank_string(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                out[j] = b' ';
+                if j + 1 < b.len() && b[j + 1] != b'\n' {
+                    out[j + 1] = b' ';
+                }
+                j += 2;
+            }
+            b'"' => return j + 1,
+            c => {
+                if c != b'\n' {
+                    out[j] = b' ';
+                }
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// 1-indexed line number of byte offset `pos`.
+pub fn line_of(src: &str, pos: usize) -> usize {
+    src.as_bytes()[..pos.min(src.len())].iter().filter(|&&c| c == b'\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_but_lines_survive() {
+        let s = scrub("a // call tx_begin here\nb /* tx_end\n spans */ c");
+        assert!(!s.contains("tx_begin"));
+        assert!(!s.contains("tx_end"));
+        assert_eq!(s.matches('\n').count(), 2);
+        assert!(s.contains('a') && s.contains('b') && s.contains('c'));
+    }
+
+    #[test]
+    fn strings_are_blanked_quotes_kept() {
+        let s = scrub(r#"let x = "to_vec() inside"; y"#);
+        assert!(!s.contains("to_vec"));
+        assert!(s.contains('"'));
+        assert!(s.contains('y'));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let s = scrub("let x = r#\"panic! \"quoted\" \"#; z");
+        assert!(!s.contains("panic!"));
+        assert!(s.ends_with("; z"));
+        let s2 = scrub(r#"let q = "escaped \" unwrap()"; w"#);
+        assert!(!s2.contains("unwrap"));
+        assert!(s2.contains('w'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(s.contains("'a"));
+        assert!(!s.contains("'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("a /* outer /* inner */ still */ b");
+        assert!(s.contains('a') && s.contains('b'));
+        assert!(!s.contains("inner"));
+        assert!(!s.contains("still"));
+    }
+
+    #[test]
+    fn length_is_preserved() {
+        let src = "x /* c */ \"s\" 'c' r\"raw\" // e\n";
+        assert_eq!(scrub(src).len(), src.len());
+    }
+}

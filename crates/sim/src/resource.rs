@@ -128,6 +128,7 @@ impl SharedResource {
     /// completion time.
     pub fn acquire_causal_work(&self, now: SimTime, work_ns: u64) -> SimTime {
         let mut r = self.reservations.lock();
+        let _lo = megammap_telemetry::lockorder::acquired(megammap_telemetry::LockRank::Resource);
         // Only work requested at or before `now` can delay this request.
         // When `now` is at or past every recorded request — the common case,
         // since each process's clock is monotonic — the cached maximum IS

@@ -1,0 +1,77 @@
+//! Model checks for [`SharedResource::acquire_causal_work`].
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p megammap-sim --features loom-model --test loom_resource
+//! ```
+//!
+//! Under the `loom-model` feature the `parking_lot` shim is backed by the
+//! `loom` shim's cooperative scheduler, so every interleaving of the lock
+//! acquisitions inside `acquire_causal_work` is explored across seeds.
+#![cfg(feature = "loom-model")]
+
+use std::sync::Arc;
+
+use megammap_sim::SharedResource;
+
+const WORK: u64 = 1_000;
+
+/// Three concurrent requests at the same virtual instant must serialize:
+/// whatever the thread interleaving, the completion times are exactly
+/// {WORK, 2·WORK, 3·WORK} — the work intervals partition the busy span
+/// with no overlap and no gap.
+#[test]
+fn causal_work_intervals_partition_the_busy_span() {
+    loom::model(|| {
+        let res = Arc::new(SharedResource::new("worker", 0, 1_000_000_000));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let r = Arc::clone(&res);
+            handles.push(loom::thread::spawn(move || r.acquire_causal_work(0, WORK)));
+        }
+        let mut ends: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ends.sort_unstable();
+        assert_eq!(
+            ends,
+            vec![WORK, 2 * WORK, 3 * WORK],
+            "same-instant requests must serialize into adjacent intervals"
+        );
+    });
+}
+
+/// A virtually-later request must never delay a virtually-earlier one
+/// (the causality property the causal path exists for), regardless of the
+/// real-time order in which the two threads reach the lock.
+#[test]
+fn future_reservation_does_not_delay_the_past() {
+    loom::model(|| {
+        let res = Arc::new(SharedResource::new("worker", 0, 1_000_000_000));
+        let r1 = Arc::clone(&res);
+        // One request far in the virtual future...
+        let t1 = loom::thread::spawn(move || r1.acquire_causal_work(1_000_000, WORK));
+        // ...and one at time zero.
+        let r2 = Arc::clone(&res);
+        let t2 = loom::thread::spawn(move || r2.acquire_causal_work(0, WORK));
+        let late = t1.join().unwrap();
+        let early = t2.join().unwrap();
+        assert_eq!(early, WORK, "the earlier request must not queue behind the future one");
+        assert!(late >= 1_000_000 + WORK);
+    });
+}
+
+/// Completion times are distinct under contention: no two requests are ever
+/// granted the same service interval.
+#[test]
+fn no_double_grant_under_contention() {
+    loom::model(|| {
+        let res = Arc::new(SharedResource::new("worker", 0, 1_000_000_000));
+        let a = Arc::clone(&res);
+        let b = Arc::clone(&res);
+        let ta = loom::thread::spawn(move || a.acquire_causal_work(0, WORK));
+        let tb = loom::thread::spawn(move || b.acquire_causal_work(0, WORK));
+        let ea = ta.join().unwrap();
+        let eb = tb.join().unwrap();
+        assert_ne!(ea, eb, "two requests may never share one service slot");
+    });
+}

@@ -23,11 +23,13 @@
 
 mod events;
 mod export;
+pub mod lockorder;
 mod metrics;
 mod spans;
 
 pub use events::{Event, EventKind, EventRing};
 pub use export::{CriticalPathGroup, StageLatency};
+pub use lockorder::{LockOrderToken, LockRank};
 pub use metrics::{Counter, Gauge, Histogram, MetricKey};
 pub use spans::{
     FlightTrace, SpanRecord, Stage, TraceCtx, DEFAULT_FLIGHT_K, DEFAULT_SPAN_CAPACITY,
@@ -37,7 +39,9 @@ use spans::SpanStore;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// Virtual nanoseconds — mirrors `megammap_sim::SimTime` without the
 /// dependency (this crate is a leaf).
@@ -124,7 +128,6 @@ impl Telemetry {
         self.inner
             .counters
             .lock()
-            .unwrap()
             .entry(key)
             .or_insert_with(|| Counter::attached(self.inner.enabled.clone()))
             .clone()
@@ -141,7 +144,6 @@ impl Telemetry {
         self.inner
             .gauges
             .lock()
-            .unwrap()
             .entry(key)
             .or_insert_with(|| Gauge::attached(self.inner.enabled.clone()))
             .clone()
@@ -162,7 +164,6 @@ impl Telemetry {
         self.inner
             .histograms
             .lock()
-            .unwrap()
             .entry(key)
             .or_insert_with(|| Histogram::attached(self.inner.enabled.clone(), bounds))
             .clone()
@@ -173,7 +174,7 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        self.inner.events.lock().unwrap().push(event);
+        self.inner.events.lock().push(event);
     }
 
     /// Convenience: record an instantaneous event (`t_end == t_begin`).
@@ -203,7 +204,7 @@ impl Telemetry {
         if !self.is_enabled() {
             return TraceCtx::NONE;
         }
-        self.inner.spans.lock().unwrap().begin(node)
+        self.inner.spans.lock().begin(node)
     }
 
     /// Record a stage interval as a child span of `ctx`; returns the
@@ -223,11 +224,7 @@ impl Telemetry {
         if ctx.is_none() {
             return TraceCtx::NONE;
         }
-        self.inner
-            .spans
-            .lock()
-            .unwrap()
-            .child(ctx, stage, t_begin, t_end, node, bytes, tier, detail)
+        self.inner.spans.lock().child(ctx, stage, t_begin, t_end, node, bytes, tier, detail)
     }
 
     /// Complete `ctx`'s trace with its root span (stage, full interval,
@@ -248,42 +245,31 @@ impl Telemetry {
         if ctx.is_none() {
             return;
         }
-        self.inner
-            .spans
-            .lock()
-            .unwrap()
-            .end(ctx, stage, t_begin, t_end, node, bytes, policy, detail)
+        self.inner.spans.lock().end(ctx, stage, t_begin, t_end, node, bytes, policy, detail)
     }
 
     /// Configure the slow-fault flight recorder: keep the span trees of
     /// the `k` slowest roots plus any root lasting at least
     /// `threshold_ns` virtual ns (0 disables the threshold side).
     pub fn set_flight(&self, k: usize, threshold_ns: SimTime) {
-        self.inner.spans.lock().unwrap().configure_flight(k, threshold_ns);
+        self.inner.spans.lock().configure_flight(k, threshold_ns);
     }
 
     /// Deterministic snapshot of every metric and event.
     pub fn snapshot(&self) -> Snapshot {
         let counters =
-            self.inner.counters.lock().unwrap().iter().map(|(k, c)| (k.clone(), c.get())).collect();
-        let gauges =
-            self.inner.gauges.lock().unwrap().iter().map(|(k, g)| (k.clone(), g.get())).collect();
-        let histograms = self
-            .inner
-            .histograms
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(k, h)| (k.clone(), h.snapshot()))
-            .collect();
-        let ring = self.inner.events.lock().unwrap();
+            self.inner.counters.lock().iter().map(|(k, c)| (k.clone(), c.get())).collect();
+        let gauges = self.inner.gauges.lock().iter().map(|(k, g)| (k.clone(), g.get())).collect();
+        let histograms =
+            self.inner.histograms.lock().iter().map(|(k, h)| (k.clone(), h.snapshot())).collect();
+        let ring = self.inner.events.lock();
         let mut events: Vec<Event> = ring.iter().cloned().collect();
         // Ring order is insertion order, which depends on thread
         // interleaving; sort into virtual-time order for determinism.
         events.sort_by_key(|e| (e.t_begin, e.t_end, e.node, e.kind as u8, e.detail, e.bytes));
         let events_dropped = ring.dropped();
         drop(ring);
-        let store = self.inner.spans.lock().unwrap();
+        let store = self.inner.spans.lock();
         let mut spans: Vec<SpanRecord> = store.iter_done().cloned().collect();
         spans.sort_by_key(|s| (s.t_begin, s.t_end, s.node, s.stage as u8, s.trace, s.span));
         Snapshot {
@@ -304,7 +290,6 @@ impl Telemetry {
         self.inner
             .counters
             .lock()
-            .unwrap()
             .iter()
             .filter(|(k, _)| k.subsystem == subsystem && k.name == name)
             .map(|(_, c)| c.get())
@@ -314,14 +299,14 @@ impl Telemetry {
     /// Reset counters, histograms and the event ring to zero (gauges are
     /// left alone — they track current state, not accumulation).
     pub fn reset(&self) {
-        for c in self.inner.counters.lock().unwrap().values() {
+        for c in self.inner.counters.lock().values() {
             c.reset();
         }
-        for h in self.inner.histograms.lock().unwrap().values() {
+        for h in self.inner.histograms.lock().values() {
             h.reset();
         }
-        self.inner.events.lock().unwrap().clear();
-        self.inner.spans.lock().unwrap().clear();
+        self.inner.events.lock().clear();
+        self.inner.spans.lock().clear();
     }
 }
 

@@ -1,0 +1,174 @@
+//! Debug-build runtime lock-order assertions.
+//!
+//! The workspace declares one partial order over its long-lived locks
+//! (mirrored statically by `mm-lint`'s lock-order rule):
+//!
+//! ```text
+//! VecState < Policy < RtMeta < ApplyShard < DmshMeta < DmshStore
+//!          < Mailbox < Resource
+//! ```
+//!
+//! A thread may only acquire a lock whose rank is *strictly greater* than
+//! every rank it already holds. Lock sites call [`acquired`] right after
+//! taking the lock and keep the returned token alive for as long as the
+//! guard; in debug builds an out-of-order acquisition panics with the held
+//! stack, in release builds everything compiles to nothing.
+//!
+//! The static `mm-lint` pass checks nesting *within* one function; this
+//! layer is its interprocedural complement — it sees the real call chains,
+//! e.g. a `Dmsh::put_range` reached while a vector's state lock is held.
+
+/// Ranks of the workspace's long-lived locks, ascending in the order they
+/// may be nested. Keep in sync with the `[lockorder]` table in
+/// `lint-allow.toml`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LockRank {
+    /// `MmVec::state` (pcache + active transaction).
+    VecState = 10,
+    /// `VectorMeta::policy` (coherence phase).
+    Policy = 20,
+    /// `Runtime` shared maps (`vectors`, staged metadata).
+    RtMeta = 30,
+    /// A per-page install/patch shard (`NodeRt::apply_locks`).
+    ApplyShard = 40,
+    /// `Dmsh::meta` (blob metadata tree).
+    DmshMeta = 50,
+    /// A tier's `store` map (blob bytes).
+    DmshStore = 60,
+    /// Cluster mailbox / rendezvous queues.
+    Mailbox = 70,
+    /// `SharedResource::reservations` (leaf; never nests further).
+    Resource = 80,
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::LockRank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// `(serial, rank)` of every lock this thread holds, in
+        /// acquisition order.
+        static HELD: RefCell<(u64, Vec<(u64, LockRank)>)> = const { RefCell::new((0, Vec::new())) };
+    }
+
+    /// Token pairing one acquisition with its release.
+    #[derive(Debug)]
+    pub struct LockOrderToken {
+        serial: u64,
+    }
+
+    pub fn acquired(rank: LockRank) -> LockOrderToken {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(&(_, top)) = h.1.last() {
+                assert!(
+                    top < rank,
+                    "lock-order violation: acquiring {rank:?} while holding {:?} \
+                     (declared order requires strictly ascending ranks)",
+                    h.1.iter().map(|&(_, r)| r).collect::<Vec<_>>(),
+                );
+            }
+            h.0 += 1;
+            let serial = h.0;
+            h.1.push((serial, rank));
+            LockOrderToken { serial }
+        })
+    }
+
+    impl Drop for LockOrderToken {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(pos) = h.1.iter().rposition(|&(s, _)| s == self.serial) {
+                    h.1.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Ranks currently held by this thread (tests/diagnostics).
+    pub fn held() -> Vec<LockRank> {
+        HELD.with(|h| h.borrow().1.iter().map(|&(_, r)| r).collect())
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    use super::LockRank;
+
+    /// Token pairing one acquisition with its release (no-op in release).
+    #[derive(Debug)]
+    pub struct LockOrderToken;
+
+    #[inline(always)]
+    pub fn acquired(_rank: LockRank) -> LockOrderToken {
+        LockOrderToken
+    }
+
+    /// Ranks currently held by this thread (always empty in release).
+    #[inline(always)]
+    pub fn held() -> Vec<LockRank> {
+        Vec::new()
+    }
+}
+
+pub use imp::{acquired, held, LockOrderToken};
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_ranks_pass() {
+        let a = acquired(LockRank::VecState);
+        let b = acquired(LockRank::DmshMeta);
+        let c = acquired(LockRank::DmshStore);
+        assert_eq!(held(), vec![LockRank::VecState, LockRank::DmshMeta, LockRank::DmshStore]);
+        drop(c);
+        drop(b);
+        drop(a);
+        assert!(held().is_empty());
+    }
+
+    #[test]
+    fn out_of_order_release_is_fine() {
+        let a = acquired(LockRank::Policy);
+        let b = acquired(LockRank::Resource);
+        drop(a); // released before b: tokens track individually
+        assert_eq!(held(), vec![LockRank::Resource]);
+        drop(b);
+        assert!(held().is_empty());
+    }
+
+    #[test]
+    fn descending_acquisition_panics() {
+        let out = std::panic::catch_unwind(|| {
+            let _a = acquired(LockRank::DmshStore);
+            let _b = acquired(LockRank::VecState); // violation
+        });
+        assert!(out.is_err(), "descending rank must panic in debug builds");
+        assert!(held().is_empty(), "unwind must clear the stack");
+    }
+
+    #[test]
+    fn same_rank_nesting_panics() {
+        let out = std::panic::catch_unwind(|| {
+            let _a = acquired(LockRank::ApplyShard);
+            let _b = acquired(LockRank::ApplyShard);
+        });
+        assert!(out.is_err(), "same-rank nesting is forbidden (one shard at a time)");
+    }
+
+    #[test]
+    fn fresh_thread_starts_empty() {
+        let _a = acquired(LockRank::DmshMeta);
+        std::thread::spawn(|| {
+            assert!(held().is_empty());
+            let _b = acquired(LockRank::VecState); // fine: per-thread stacks
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -5,8 +5,10 @@ use std::fmt;
 
 use bytes::Bytes;
 use megammap_sim::{DeviceModel, DeviceSpec, SimTime, TierKind};
-use megammap_telemetry::{Counter, EventKind, Gauge, Stage, Telemetry, TraceCtx};
-use parking_lot::Mutex;
+use megammap_telemetry::{
+    lockorder, Counter, EventKind, Gauge, LockOrderToken, LockRank, Stage, Telemetry, TraceCtx,
+};
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::blob::{BlobId, BlobMeta};
 
@@ -21,6 +23,9 @@ pub enum DmshError {
     },
     /// The blob does not exist.
     NotFound(BlobId),
+    /// An internal invariant did not hold (e.g. meta and store disagree on
+    /// residency — a bug, not an environment failure).
+    Internal(&'static str),
 }
 
 impl fmt::Display for DmshError {
@@ -30,6 +35,7 @@ impl fmt::Display for DmshError {
                 write!(f, "DMSH full: cannot place {requested} bytes on any tier")
             }
             DmshError::NotFound(id) => write!(f, "blob {id} not resident"),
+            DmshError::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }
@@ -127,6 +133,14 @@ impl Dmsh {
             tier_metrics,
             bytes_copied,
         }
+    }
+
+    /// Take the blob-metadata lock, registering it with the [`lockorder`]
+    /// layer (rank [`LockRank::DmshMeta`]; per-tier store locks nest under
+    /// it at [`LockRank::DmshStore`]).
+    fn lock_meta(&self) -> (MutexGuard<'_, BTreeMap<BlobId, BlobMeta>>, LockOrderToken) {
+        let g = self.meta.lock();
+        (g, lockorder::acquired(LockRank::DmshMeta))
     }
 
     /// Publish per-tier occupancy gauges (cheap: one store per tier).
@@ -231,14 +245,22 @@ impl Dmsh {
             done = done.max(self.demote(meta, now, victim)?);
         }
         // Move the bytes.
-        let data =
-            self.tiers[from].store.lock().remove(&id).expect("meta/store agree on residency");
+        let data = self.tiers[from]
+            .store
+            .lock()
+            .remove(&id)
+            .ok_or(DmshError::Internal("meta/store disagree on residency"))?;
         let read_done = self.tiers[from].device.io(now, m.size);
         let write_done = self.tiers[to].device.io(read_done, m.size);
+        if self.tiers[to].device.alloc(m.size).is_err() {
+            // The space made above vanished (a bug): undo and bail.
+            self.tiers[from].store.lock().insert(id, data);
+            return Err(DmshError::Internal("demotion target lost its freed space"));
+        }
         self.tiers[from].device.free(m.size);
-        self.tiers[to].device.alloc(m.size).expect("space was just made");
         self.tiers[to].store.lock().insert(id, data);
-        let entry = meta.get_mut(&id).expect("still resident");
+        let entry =
+            meta.get_mut(&id).ok_or(DmshError::Internal("blob vanished during demotion"))?;
         entry.tier = to;
         entry.tier_kind = self.tiers[to].device.kind();
         entry.ready_at = entry.ready_at.max(write_done);
@@ -265,10 +287,14 @@ impl Dmsh {
         let data = self.tiers[m.tier].store.lock().remove(&id)?;
         let read_done = self.tiers[m.tier].device.io(now, m.size);
         let write_done = self.tiers[to].device.io(read_done, m.size);
+        if self.tiers[to].device.alloc(m.size).is_err() {
+            // The headroom checked above vanished (a bug): undo and skip.
+            self.tiers[m.tier].store.lock().insert(id, data);
+            return None;
+        }
         self.tiers[m.tier].device.free(m.size);
-        self.tiers[to].device.alloc(m.size).expect("checked available");
         self.tiers[to].store.lock().insert(id, data);
-        let entry = meta.get_mut(&id).expect("resident");
+        let entry = meta.get_mut(&id)?;
         entry.tier = to;
         entry.tier_kind = self.tiers[to].device.kind();
         entry.ready_at = entry.ready_at.max(write_done);
@@ -293,13 +319,15 @@ impl Dmsh {
         dirty: bool,
     ) -> Result<PutOutcome, DmshError> {
         let size = data.len() as u64;
-        let mut meta = self.meta.lock();
+        let (mut meta, _lo) = self.lock_meta();
         // Overwrite in place if resident and same size.
         if let Some(m) = meta.get(&id).copied() {
             if m.size == size {
                 let done = self.tiers[m.tier].device.io(now, size);
                 self.tiers[m.tier].store.lock().insert(id, data);
-                let e = meta.get_mut(&id).unwrap();
+                let e = meta
+                    .get_mut(&id)
+                    .ok_or(DmshError::Internal("blob vanished during overwrite"))?;
                 e.score = score;
                 e.score_node = node;
                 e.scored_at = now;
@@ -342,7 +370,9 @@ impl Dmsh {
         let Some(t) = target else {
             return Err(DmshError::Full { requested: size });
         };
-        self.tiers[t].device.alloc(size).expect("capacity checked");
+        if self.tiers[t].device.alloc(size).is_err() {
+            return Err(DmshError::Internal("tier lost capacity between check and alloc"));
+        }
         let io_done = self.tiers[t].device.io(done, size);
         self.tiers[t].store.lock().insert(id, data);
         meta.insert(
@@ -376,11 +406,16 @@ impl Dmsh {
         id: BlobId,
         ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime), DmshError> {
-        let meta = self.meta.lock();
+        let (meta, _lo) = self.lock_meta();
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let start = now.max(m.ready_at);
         let done = self.tiers[m.tier].device.io(start, m.size);
-        let data = self.tiers[m.tier].store.lock().get(&id).cloned().expect("meta/store agree");
+        let data = self.tiers[m.tier]
+            .store
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(DmshError::Internal("meta/store disagree on residency"))?;
         drop(meta);
         self.telemetry.trace_child(
             ctx,
@@ -459,13 +494,18 @@ impl Dmsh {
         off: u64,
         len: u64,
     ) -> Result<(Bytes, SimTime), DmshError> {
-        let meta = self.meta.lock();
+        let (meta, _lo) = self.lock_meta();
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let start = now.max(m.ready_at);
         let end = (off + len).min(m.size);
         let off = off.min(m.size);
         let done = self.tiers[m.tier].device.io(start, end - off);
-        let data = self.tiers[m.tier].store.lock().get(&id).cloned().expect("resident");
+        let data = self.tiers[m.tier]
+            .store
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(DmshError::Internal("meta/store disagree on residency"))?;
         Ok((data.slice(off as usize..end as usize), done))
     }
 
@@ -482,10 +522,12 @@ impl Dmsh {
         off: u64,
         patch: &[u8],
     ) -> Result<SimTime, DmshError> {
-        let mut meta = self.meta.lock();
+        let (mut meta, _lo) = self.lock_meta();
         let m = meta.get_mut(&id).ok_or(DmshError::NotFound(id))?;
         let mut store = self.tiers[m.tier].store.lock();
-        let cur = store.remove(&id).expect("resident");
+        let _lo_store = lockorder::acquired(LockRank::DmshStore);
+        let cur =
+            store.remove(&id).ok_or(DmshError::Internal("meta/store disagree on residency"))?;
         let mut buf = match cur.try_into_vec() {
             Ok(v) => v,
             Err(shared) => {
@@ -558,7 +600,7 @@ impl Dmsh {
     /// highest-score blobs upward into free space. Returns the completion
     /// time of the reorganization I/O.
     pub fn organize(&self, now: SimTime, watermark: f64) -> SimTime {
-        let mut meta = self.meta.lock();
+        let (mut meta, _lo) = self.lock_meta();
         let mut done = now;
         // Demotion: fastest tier first.
         for i in 0..self.tiers.len().saturating_sub(1) {

@@ -37,7 +37,9 @@ fn stream_ids(
     range: std::ops::Range<u64>,
     mut f: impl FnMut(&IdPoint),
 ) {
-    let tx = v.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::ReadOnly);
+    let tx = v
+        .tx(p, TxKind::seq(range.start, range.end - range.start), Access::ReadOnly)
+        .expect("begin stream tx");
     let mut buf = vec![IdPoint::default(); CHUNK];
     let mut i = range.start;
     while i < range.end {
@@ -48,7 +50,7 @@ fn stream_ids(
         }
         i += n as u64;
     }
-    v.tx_end(p, tx);
+    tx.end().expect("end stream tx");
 }
 
 /// Run µDBSCAN; every process calls this (SPMD).
@@ -69,13 +71,12 @@ pub fn run(p: &Proc, job: &MegaDbscan<'_>) -> DbscanResult {
             .expect("open tagged vector");
     {
         let range = src.local_range();
-        let rtx =
-            src.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::ReadLocal);
-        let wtx = tagged.tx_begin(
-            p,
-            TxKind::seq(range.start, range.end - range.start),
-            Access::WriteLocal,
-        );
+        let rtx = src
+            .tx(p, TxKind::seq(range.start, range.end - range.start), Access::ReadLocal)
+            .expect("begin tag read tx");
+        let wtx = tagged
+            .tx(p, TxKind::seq(range.start, range.end - range.start), Access::WriteLocal)
+            .expect("begin tag write tx");
         let mut buf = vec![Point3D::default(); CHUNK];
         let mut out = vec![IdPoint::default(); CHUNK];
         let mut i = range.start;
@@ -88,8 +89,8 @@ pub fn run(p: &Proc, job: &MegaDbscan<'_>) -> DbscanResult {
             tagged.write_slice(p, i, &out[..cn]).expect("write tagged");
             i += cn as u64;
         }
-        src.tx_end(p, rtx);
-        tagged.tx_end(p, wtx);
+        rtx.end().expect("end tag read tx");
+        wtx.end().expect("end tag write tx");
     }
     world.barrier(p);
 
@@ -119,8 +120,8 @@ pub fn run(p: &Proc, job: &MegaDbscan<'_>) -> DbscanResult {
         let right: MmVec<IdPoint> =
             MmVec::open(job.rt, p, &right_url, VecOptions::new().pcache(job.pcache_bytes))
                 .expect("right child");
-        let ltx = left.tx_begin(p, TxKind::append(0), Access::AppendGlobal);
-        let rtx = right.tx_begin(p, TxKind::append(0), Access::AppendGlobal);
+        let ltx = left.tx(p, TxKind::append(0), Access::AppendGlobal).expect("begin left tx");
+        let rtx = right.tx(p, TxKind::append(0), Access::AppendGlobal).expect("begin right tx");
         stream_ids(p, &cur, range, |ip| {
             if ip.p.axis(plane.axis) < plane.value {
                 left.append(p, &ltx, *ip);
@@ -128,8 +129,8 @@ pub fn run(p: &Proc, job: &MegaDbscan<'_>) -> DbscanResult {
                 right.append(p, &rtx, *ip);
             }
         });
-        left.tx_end(p, ltx);
-        right.tx_end(p, rtx);
+        ltx.end().expect("end left tx");
+        rtx.end().expect("end right tx");
         comm.barrier(p);
 
         // Halve the communicator; lower half takes the left branch.

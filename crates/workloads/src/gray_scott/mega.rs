@@ -54,16 +54,12 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
 
     // ---- initial condition -------------------------------------------------
     {
-        let txu = u[0].tx_begin(
-            p,
-            TxKind::seq((z0 * plane) as u64, ((z1 - z0) * plane) as u64),
-            Access::WriteLocal,
-        );
-        let txv = v[0].tx_begin(
-            p,
-            TxKind::seq((z0 * plane) as u64, ((z1 - z0) * plane) as u64),
-            Access::WriteLocal,
-        );
+        let txu = u[0]
+            .tx(p, TxKind::seq((z0 * plane) as u64, ((z1 - z0) * plane) as u64), Access::WriteLocal)
+            .expect("begin init u tx");
+        let txv = v[0]
+            .tx(p, TxKind::seq((z0 * plane) as u64, ((z1 - z0) * plane) as u64), Access::WriteLocal)
+            .expect("begin init v tx");
         let mut up = vec![0.0f64; plane];
         let mut vp = vec![0.0f64; plane];
         for z in z0..z1 {
@@ -77,8 +73,8 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
             u[0].write_slice(p, (z * plane) as u64, &up).expect("init u");
             v[0].write_slice(p, (z * plane) as u64, &vp).expect("init v");
         }
-        u[0].tx_end(p, txu);
-        v[0].tx_end(p, txv);
+        txu.end().expect("end init u tx");
+        txv.end().expect("end init v tx");
     }
     world.barrier(p);
 
@@ -95,11 +91,11 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
         // halo planes are isolated extra faults. Declaring the slab span
         // lets the prefetcher run ahead of the stencil correctly.
         let span = TxKind::seq((z0 * plane) as u64, (slab_planes * plane) as u64);
-        let tx_ur = u[cur].tx_begin(p, span, Access::ReadOnly);
-        let tx_vr = v[cur].tx_begin(p, span, Access::ReadOnly);
+        let tx_ur = u[cur].tx(p, span, Access::ReadOnly).expect("begin u read tx");
+        let tx_vr = v[cur].tx(p, span, Access::ReadOnly).expect("begin v read tx");
         let wspan = TxKind::seq((z0 * plane) as u64, (slab_planes * plane) as u64);
-        let tx_uw = u[nxt].tx_begin(p, wspan, Access::WriteLocal);
-        let tx_vw = v[nxt].tx_begin(p, wspan, Access::WriteLocal);
+        let tx_uw = u[nxt].tx(p, wspan, Access::WriteLocal).expect("begin u write tx");
+        let tx_vw = v[nxt].tx(p, wspan, Access::WriteLocal).expect("begin v write tx");
 
         // Rolling window of three planes per field.
         let mut ub = [vec![0.0f64; plane], vec![0.0f64; plane], vec![0.0f64; plane]];
@@ -120,10 +116,10 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
             ub.rotate_left(1);
             vb.rotate_left(1);
         }
-        u[cur].tx_end(p, tx_ur);
-        v[cur].tx_end(p, tx_vr);
-        u[nxt].tx_end(p, tx_uw);
-        v[nxt].tx_end(p, tx_vw);
+        tx_ur.end().expect("end u read tx");
+        tx_vr.end().expect("end v read tx");
+        tx_uw.end().expect("end u write tx");
+        tx_vw.end().expect("end v write tx");
         world.barrier(p);
 
         // Checkpoint: stage the fresh grid asynchronously and keep going.
@@ -148,8 +144,8 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
     let mut sums = [0.0f64; 2];
     {
         let span = TxKind::seq((z0 * plane) as u64, (slab_planes * plane) as u64);
-        let txu = u[last].tx_begin(p, span, Access::ReadOnly);
-        let txv = v[last].tx_begin(p, span, Access::ReadOnly);
+        let txu = u[last].tx(p, span, Access::ReadOnly).expect("begin sum u tx");
+        let txv = v[last].tx(p, span, Access::ReadOnly).expect("begin sum v tx");
         let mut buf = vec![0.0f64; plane];
         for z in z0..z1 {
             u[last].read_into(p, (z * plane) as u64, &mut buf).expect("sum u");
@@ -157,8 +153,8 @@ pub fn run(p: &Proc, job: &MegaGs<'_>) -> GsResult {
             v[last].read_into(p, (z * plane) as u64, &mut buf).expect("sum v");
             sums[1] += buf.iter().sum::<f64>();
         }
-        u[last].tx_end(p, txu);
-        v[last].tx_end(p, txv);
+        txu.end().expect("end sum u tx");
+        txv.end().expect("end sum v tx");
     }
     let sums = world.allreduce_f64_shared(p, &sums, ReduceOp::Sum);
     GsResult { sum_u: sums[0], sum_v: sums[1] }

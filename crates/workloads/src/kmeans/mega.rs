@@ -39,7 +39,9 @@ fn sweep(
     flops_per_point: u64,
     mut f: impl FnMut(u64, &Point3D),
 ) {
-    let tx = v.tx_begin(p, TxKind::seq(range.start, range.end - range.start), Access::ReadOnly);
+    let tx = v
+        .tx(p, TxKind::seq(range.start, range.end - range.start), Access::ReadOnly)
+        .expect("begin sweep tx");
     let mut buf = vec![Point3D::default(); CHUNK];
     let mut i = range.start;
     while i < range.end {
@@ -51,7 +53,7 @@ fn sweep(
         p.compute_flops(flops_per_point * n as u64);
         i += n as u64;
     }
-    v.tx_end(p, tx);
+    tx.end().expect("end sweep tx");
 }
 
 /// Run KMeans‖ over the cluster; every process calls this (SPMD).
@@ -68,9 +70,9 @@ pub fn run(p: &Proc, job: &MegaKMeans<'_>) -> KMeansResult {
 
     // ---- KMeans|| initialization ---------------------------------------
     // Seed candidate: global point 0 (every process derives it identically).
-    let tx = v.tx_begin(p, TxKind::seq(0, 1), Access::ReadOnly);
+    let tx = v.tx(p, TxKind::seq(0, 1), Access::ReadOnly).expect("begin seed tx");
     let mut candidates = vec![v.load(p, &tx, 0)];
-    v.tx_end(p, tx);
+    tx.end().expect("end seed tx");
     for round in 0..cfg.init_rounds {
         // Pass 1: distance mass.
         let mut local_mass = 0.0f64;
@@ -136,10 +138,11 @@ pub fn run(p: &Proc, job: &MegaKMeans<'_>) -> KMeansResult {
         let av: MmVec<u32> =
             MmVec::open(job.rt, p, url, VecOptions::new().len(n).pcache(job.pcache_bytes))
                 .expect("open assignment vector");
-        let tx =
-            av.tx_begin(p, TxKind::seq(local.start, local.end - local.start), Access::WriteLocal);
+        let tx = av
+            .tx(p, TxKind::seq(local.start, local.end - local.start), Access::WriteLocal)
+            .expect("begin assignment tx");
         av.write_slice(p, local.start, &assigns).expect("persist assignments");
-        av.tx_end(p, tx);
+        tx.end().expect("end assignment tx");
         av.flush_async(p).expect("stage assignments");
     }
     world.barrier(p);

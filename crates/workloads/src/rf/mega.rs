@@ -44,8 +44,10 @@ impl RfEnv for MegaEnv<'_, '_> {
         let (s, e) = (self.range.start, self.range.end);
         // Streamed sequential read-only sweep over the PGAS slice, with the
         // seeded subset semantics conveyed by the bagging predicate.
-        let ptx = self.points.tx_begin(p, TxKind::seq(s, e - s), Access::ReadOnly);
-        let ltx = self.labels.tx_begin(p, TxKind::seq(s, e - s), Access::ReadOnly);
+        let ptx =
+            self.points.tx(p, TxKind::seq(s, e - s), Access::ReadOnly).expect("begin points tx");
+        let ltx =
+            self.labels.tx(p, TxKind::seq(s, e - s), Access::ReadOnly).expect("begin labels tx");
         let mut pbuf = vec![Point3D::default(); CHUNK];
         let mut lbuf = vec![0u32; CHUNK];
         let mut i = s;
@@ -58,8 +60,8 @@ impl RfEnv for MegaEnv<'_, '_> {
             }
             i += n as u64;
         }
-        self.points.tx_end(p, ptx);
-        self.labels.tx_end(p, ltx);
+        ptx.end().expect("end points tx");
+        ltx.end().expect("end labels tx");
     }
 
     fn allreduce_sum(&self, vals: &[u64]) -> Vec<u64> {

@@ -1,0 +1,770 @@
+//! Offline shim for `loom`: a miniature shuttle-style model checker.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! crate provides the subset of the loom API the workspace's race checks
+//! use: [`model`], [`thread::spawn`], [`sync::Mutex`], [`sync::Condvar`]
+//! and pass-through atomics.
+//!
+//! # How it works
+//!
+//! Real loom exhaustively enumerates interleavings via DPOR. This shim uses
+//! the *shuttle* approach instead: the body passed to [`model`] is executed
+//! many times (default 128, override with `MM_LOOM_ITERS`), each run driven
+//! by a cooperative scheduler with a different deterministic seed. Only one
+//! managed thread runs at a time; every synchronization operation (mutex
+//! lock/unlock, condvar wait/notify, atomic access, `yield_now`) is a
+//! *schedule point* where the scheduler picks the next runnable thread
+//! pseudo-randomly. Lost wakeups are modelled faithfully (a notify with no
+//! registered waiter is dropped) and a state where every live thread is
+//! blocked panics with a deadlock report naming the seed.
+//!
+//! Outside [`model`] every primitive falls back to plain `std::sync`
+//! behaviour, so a crate compiled with its loom feature enabled still runs
+//! its ordinary tests unchanged.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::ops::{Deref, DerefMut};
+use std::panic::AssertUnwindSafe;
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+
+const DEFAULT_ITERS: u64 = 128;
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Eligible to be picked.
+    Runnable,
+    /// The single thread currently executing.
+    Running,
+    /// Parked until the resource identified by the key is released.
+    Blocked(usize),
+    /// Parked on a condvar until notified.
+    CondWait(usize),
+    /// Exited (possibly by panic).
+    Finished,
+}
+
+struct Sched {
+    threads: Vec<TState>,
+    rng: u64,
+    abort: bool,
+    abort_msg: String,
+}
+
+struct Scheduler {
+    inner: StdMutex<Sched>,
+    cv: StdCondvar,
+    seed: u64,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Key on which a joiner parks until thread `id` finishes.
+fn exit_key(id: usize) -> usize {
+    usize::MAX - id
+}
+
+impl Scheduler {
+    fn new(seed: u64) -> Self {
+        Self {
+            inner: StdMutex::new(Sched {
+                threads: Vec::new(),
+                rng: seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xDEAD_BEEF,
+                abort: false,
+                abort_msg: String::new(),
+            }),
+            cv: StdCondvar::new(),
+            seed,
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, Sched> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register a new managed thread; it starts Runnable and waits to be
+    /// picked.
+    fn register(&self) -> usize {
+        let mut g = self.lock();
+        g.threads.push(TState::Runnable);
+        g.threads.len() - 1
+    }
+
+    /// Pick the next thread to run. Must be called with no thread Running.
+    fn pick(&self, g: &mut Sched) {
+        let runnable: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let live =
+                g.threads.iter().any(|s| matches!(s, TState::Blocked(_) | TState::CondWait(_)));
+            if live && !g.abort {
+                g.abort = true;
+                g.abort_msg = format!(
+                    "deadlock under seed {}: every live thread is blocked ({:?})",
+                    self.seed, g.threads
+                );
+            }
+            return;
+        }
+        let idx = (splitmix(&mut g.rng) % runnable.len() as u64) as usize;
+        g.threads[runnable[idx]] = TState::Running;
+    }
+
+    /// Deschedule the current thread into `state`; pick and wake a
+    /// successor; return once this thread is picked again (never, for
+    /// `Finished`). Panics (unwinding the managed thread) on abort.
+    fn switch(&self, me: usize, state: TState) {
+        let mut g = self.lock();
+        g.threads[me] = state;
+        if state == TState::Finished {
+            // Wake any joiner parked on our exit key.
+            for s in g.threads.iter_mut() {
+                if *s == TState::Blocked(exit_key(me)) {
+                    *s = TState::Runnable;
+                }
+            }
+        }
+        self.pick(&mut g);
+        self.cv.notify_all();
+        if state == TState::Finished {
+            return;
+        }
+        loop {
+            if g.abort {
+                let msg = g.abort_msg.clone();
+                drop(g);
+                panic!("loom model aborted: {msg}");
+            }
+            if g.threads[me] == TState::Running {
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A plain schedule point: stay runnable, let the scheduler re-pick.
+    fn yield_point(&self, me: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.switch(me, TState::Runnable);
+    }
+
+    /// Park until `unblock(key)` makes us runnable and we are picked.
+    fn block(&self, me: usize, key: usize) {
+        self.switch(me, TState::Blocked(key));
+    }
+
+    /// Make every thread parked on `key` runnable again (they still wait to
+    /// be picked).
+    fn unblock(&self, key: usize) {
+        let mut g = self.lock();
+        for s in g.threads.iter_mut() {
+            if *s == TState::Blocked(key) {
+                *s = TState::Runnable;
+            }
+        }
+    }
+
+    /// Park on a condvar key until notified.
+    fn cond_wait(&self, me: usize, key: usize) {
+        self.switch(me, TState::CondWait(key));
+    }
+
+    /// Wake one (random) or all waiters of a condvar key. A notify with no
+    /// waiter is dropped — lost wakeups are representable.
+    fn notify(&self, key: usize, all: bool) {
+        let mut g = self.lock();
+        let waiters: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::CondWait(key))
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        if all {
+            for i in waiters {
+                g.threads[i] = TState::Runnable;
+            }
+        } else {
+            let idx = (splitmix(&mut g.rng) % waiters.len() as u64) as usize;
+            g.threads[waiters[idx]] = TState::Runnable;
+        }
+    }
+
+    /// Mark `me` finished (recording a panic as a model abort) and hand off.
+    fn finish(&self, me: usize, panicked: bool) {
+        {
+            let mut g = self.lock();
+            if panicked && !g.abort {
+                g.abort = true;
+                g.abort_msg = format!("managed thread panicked under seed {}", self.seed);
+            }
+        }
+        self.switch(me, TState::Finished);
+    }
+
+    /// Start the model: pick the first thread to run (called from the
+    /// unmanaged driver thread).
+    fn kick(&self) {
+        let mut g = self.lock();
+        self.pick(&mut g);
+        self.cv.notify_all();
+    }
+
+    /// Wait until this freshly-spawned thread is picked for the first time.
+    fn wait_first(&self, me: usize) {
+        let mut g = self.lock();
+        loop {
+            if g.abort {
+                let msg = g.abort_msg.clone();
+                drop(g);
+                panic!("loom model aborted: {msg}");
+            }
+            if g.threads[me] == TState::Running {
+                return;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn with_sched() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_sched(v: Option<(Arc<Scheduler>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+fn key_of<T: ?Sized>(v: &T) -> usize {
+    v as *const T as *const () as usize
+}
+
+// ---------------------------------------------------------------------------
+// model()
+// ---------------------------------------------------------------------------
+
+/// Run `f` under the model checker: once per seed, with every
+/// synchronization operation a schedule point. Panics (reporting the seed)
+/// if any iteration panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = std::env::var("MM_LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(DEFAULT_ITERS);
+    let f = Arc::new(f);
+    for seed in 0..iters {
+        let sched = Arc::new(Scheduler::new(seed));
+        let root_id = sched.register();
+        let s2 = Arc::clone(&sched);
+        let f2 = Arc::clone(&f);
+        let root = std::thread::spawn(move || {
+            set_sched(Some((Arc::clone(&s2), root_id)));
+            s2.wait_first(root_id);
+            let out = std::panic::catch_unwind(AssertUnwindSafe(|| f2()));
+            s2.finish(root_id, out.is_err());
+            set_sched(None);
+            out
+        });
+        sched.kick();
+        let out = root.join().unwrap_or_else(|_| panic!("model root thread died (seed {seed})"));
+        let (abort, msg) = {
+            let g = sched.lock();
+            (g.abort, g.abort_msg.clone())
+        };
+        if let Err(payload) = out {
+            eprintln!("loom model failed under seed {seed}: {msg}");
+            std::panic::resume_unwind(payload);
+        }
+        if abort {
+            panic!("loom model failed under seed {seed}: {msg}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Managed threads: spawn/join/yield seen by the scheduler.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a spawned (possibly model-managed) thread.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        managed: Option<(Arc<Scheduler>, usize)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish, yielding to the scheduler while
+        /// it runs, and return its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((sched, target)) = &self.managed {
+                if let Some((my_sched, me)) = with_sched() {
+                    // Park on the target's exit key until it finishes.
+                    loop {
+                        let done = {
+                            let g = sched.lock();
+                            g.threads[*target] == TState::Finished
+                        };
+                        if done {
+                            break;
+                        }
+                        my_sched.block(me, exit_key(*target));
+                    }
+                }
+            }
+            self.inner.join()
+        }
+    }
+
+    /// Spawn a thread. Inside [`model`](super::model) the thread is managed
+    /// by the scheduler; outside it behaves like `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match with_sched() {
+            Some((sched, _me)) => {
+                let id = sched.register();
+                let s2 = Arc::clone(&sched);
+                let inner = std::thread::spawn(move || {
+                    set_sched(Some((Arc::clone(&s2), id)));
+                    s2.wait_first(id);
+                    let out = std::panic::catch_unwind(AssertUnwindSafe(f));
+                    s2.finish(id, out.is_err());
+                    set_sched(None);
+                    match out {
+                        Ok(v) => v,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                });
+                JoinHandle { inner, managed: Some((sched, id)) }
+            }
+            None => JoinHandle { inner: std::thread::spawn(f), managed: None },
+        }
+    }
+
+    /// A bare schedule point.
+    pub fn yield_now() {
+        match with_sched() {
+            Some((sched, me)) => sched.yield_point(me),
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync
+// ---------------------------------------------------------------------------
+
+/// Model-aware synchronization primitives.
+pub mod sync {
+    use super::*;
+
+    /// A mutex whose lock/unlock are schedule points under [`model`](super::model).
+    pub struct Mutex<T: ?Sized> {
+        /// Locked flag under the model; the actual lock in fallback mode.
+        raw: StdMutex<bool>,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: access to `data` is guarded either by holding `raw`'s guard
+    // (fallback mode) or by the locked flag + the one-runnable-thread
+    // scheduler invariant (model mode).
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+    /// Guard returned by [`Mutex::lock`].
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        /// `Some` in fallback mode (the std guard provides exclusion);
+        /// `None` under the model (the flag + scheduler provide it).
+        raw: Option<StdMutexGuard<'a, bool>>,
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a new mutex.
+        pub const fn new(value: T) -> Self {
+            Self { raw: StdMutex::new(false), data: UnsafeCell::new(value) }
+        }
+
+        /// Consume the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn flag(&self) -> StdMutexGuard<'_, bool> {
+            self.raw.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Acquire the lock; a schedule point under the model.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            match with_sched() {
+                Some((sched, me)) => {
+                    let key = key_of(self);
+                    loop {
+                        sched.yield_point(me);
+                        {
+                            let mut f = self.flag();
+                            if !*f {
+                                *f = true;
+                                return MutexGuard { lock: self, raw: None };
+                            }
+                        }
+                        sched.block(me, key);
+                    }
+                }
+                None => {
+                    let g = self.flag();
+                    MutexGuard { lock: self, raw: Some(g) }
+                }
+            }
+        }
+
+        /// Try to acquire the lock without blocking.
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match with_sched() {
+                Some((sched, me)) => {
+                    sched.yield_point(me);
+                    let mut f = self.flag();
+                    if *f {
+                        None
+                    } else {
+                        *f = true;
+                        drop(f);
+                        Some(MutexGuard { lock: self, raw: None })
+                    }
+                }
+                None => match self.raw.try_lock() {
+                    Ok(g) => Some(MutexGuard { lock: self, raw: Some(g) }),
+                    Err(std::sync::TryLockError::Poisoned(p)) => {
+                        Some(MutexGuard { lock: self, raw: Some(p.into_inner()) })
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                },
+            }
+        }
+
+        /// Mutable access without locking (requires exclusive borrow).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.data.get_mut()
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: we hold the lock (see Mutex Send/Sync safety note).
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: we hold the lock exclusively.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.raw.is_none() {
+                *self.lock.flag() = false;
+                if let Some((sched, me)) = with_sched() {
+                    sched.unblock(key_of(self.lock));
+                    sched.yield_point(me);
+                }
+            }
+        }
+    }
+
+    /// A condition variable whose wait/notify are schedule points; a notify
+    /// with no registered waiter is lost, exactly like the real thing.
+    #[derive(Default)]
+    pub struct Condvar {
+        raw: StdCondvar,
+    }
+
+    impl Condvar {
+        /// Create a new condition variable.
+        pub const fn new() -> Self {
+            Self { raw: StdCondvar::new() }
+        }
+
+        /// Atomically release the mutex and wait to be notified, then
+        /// re-acquire.
+        pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let lock = guard.lock;
+            match with_sched() {
+                Some((sched, me)) if guard.raw.is_none() => {
+                    // Release the mutex by hand (no yield: registration as
+                    // a waiter must be atomic with the unlock).
+                    *lock.flag() = false;
+                    sched.unblock(key_of(lock));
+                    std::mem::forget(guard);
+                    sched.cond_wait(me, key_of(self));
+                    lock.lock()
+                }
+                _ => {
+                    let mut guard = guard;
+                    let raw = guard.raw.take().expect("fallback guard holds the std guard");
+                    std::mem::forget(guard);
+                    let raw = self.raw.wait(raw).unwrap_or_else(PoisonError::into_inner);
+                    MutexGuard { lock, raw: Some(raw) }
+                }
+            }
+        }
+
+        /// Wake one waiter (dropped if nobody waits).
+        pub fn notify_one(&self) {
+            match with_sched() {
+                Some((sched, _)) => sched.notify(key_of(self), false),
+                None => self.raw.notify_one(),
+            }
+        }
+
+        /// Wake all waiters.
+        pub fn notify_all(&self) {
+            match with_sched() {
+                Some((sched, _)) => sched.notify(key_of(self), true),
+                None => self.raw.notify_all(),
+            }
+        }
+    }
+
+    /// Atomics: pass-throughs that insert a schedule point per operation.
+    /// Under the one-runnable-thread scheduler every execution is
+    /// sequentially consistent, so orderings are honored conservatively.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_shim {
+            ($name:ident, $std:ty, $prim:ty) => {
+                /// Model-aware atomic: each access is a schedule point.
+                #[derive(Default, Debug)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Create a new atomic.
+                    pub const fn new(v: $prim) -> Self {
+                        Self { inner: <$std>::new(v) }
+                    }
+
+                    fn point() {
+                        if let Some((sched, me)) = super::with_sched() {
+                            sched.yield_point(me);
+                        }
+                    }
+
+                    /// Load the value.
+                    pub fn load(&self, _o: Ordering) -> $prim {
+                        Self::point();
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    /// Store a value.
+                    pub fn store(&self, v: $prim, _o: Ordering) {
+                        Self::point();
+                        self.inner.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Add and return the previous value.
+                    pub fn fetch_add(&self, v: $prim, _o: Ordering) -> $prim {
+                        Self::point();
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Subtract and return the previous value.
+                    pub fn fetch_sub(&self, v: $prim, _o: Ordering) -> $prim {
+                        Self::point();
+                        self.inner.fetch_sub(v, Ordering::SeqCst)
+                    }
+
+                    /// Max and return the previous value.
+                    pub fn fetch_max(&self, v: $prim, _o: Ordering) -> $prim {
+                        Self::point();
+                        self.inner.fetch_max(v, Ordering::SeqCst)
+                    }
+
+                    /// Compare-exchange (weak form shares the strong path).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        cur: $prim,
+                        new: $prim,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        Self::point();
+                        self.inner.compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Condvar, Mutex};
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn fallback_outside_model_behaves_like_std() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                *m2.lock() += 1;
+            }
+        });
+        for _ in 0..1000 {
+            *m.lock() += 1;
+        }
+        h.join().unwrap();
+        assert_eq!(*m.lock(), 2000);
+    }
+
+    #[test]
+    fn model_explores_the_lost_update_interleaving() {
+        // Read-modify-write through separate lock() calls is racy; the
+        // scheduler must find at least one seed where an update is lost.
+        let found = Arc::new(AtomicBool::new(false));
+        let found2 = Arc::clone(&found);
+        model(move || {
+            let c = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let v = *c.lock();
+                        thread::yield_now();
+                        *c.lock() = v + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            if *c.lock() != 2 {
+                found2.store(true, Ordering::SeqCst);
+            }
+        });
+        assert!(found.load(Ordering::SeqCst), "scheduler never interleaved the RMWs");
+    }
+
+    #[test]
+    fn mutex_exclusion_holds_in_model() {
+        model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let in_cs = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    let in_cs = Arc::clone(&in_cs);
+                    thread::spawn(move || {
+                        let mut g = m.lock();
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0, "two in CS");
+                        thread::yield_now();
+                        *g += 1;
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        drop(g);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock(), 3);
+        });
+    }
+
+    #[test]
+    fn condvar_handoff_works_in_model() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let waiter = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut g = m.lock();
+                while !*g {
+                    g = cv.wait(g);
+                }
+            });
+            {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_all();
+            }
+            waiter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let out = std::panic::catch_unwind(|| {
+            model(|| {
+                let pair = Arc::new((Mutex::new(()), Condvar::new()));
+                let p2 = Arc::clone(&pair);
+                // Waits forever: nobody notifies.
+                let h = thread::spawn(move || {
+                    let (m, cv) = &*p2;
+                    let g = m.lock();
+                    let _g = cv.wait(g);
+                });
+                h.join().unwrap();
+            });
+        });
+        let err = out.expect_err("un-notified waiter must abort the model");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("deadlock") || msg.contains("aborted"), "got: {msg}");
+    }
+}
