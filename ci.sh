@@ -62,6 +62,19 @@ diff -q /tmp/mm_trace.ci.a.json results/mm_trace.perfetto.json
 python3 -c "import json,sys; d=json.load(open('results/mm_trace.perfetto.json')); sys.exit(0 if d['traceEvents'] else 1)" \
     || { echo "mm_trace emitted an empty or invalid Perfetto trace" >&2; exit 1; }
 
+echo "==> mm_chaos scenario matrix (fault runs must bit-match fault-free runs)"
+cargo build -q -p megammap-chaos "${PROFILE[@]}" --bin mm_chaos
+if [[ "${1:-}" == "--release" ]]; then
+    MM_CHAOS_BIN=target/release/mm_chaos
+else
+    MM_CHAOS_BIN=target/debug/mm_chaos
+fi
+# Same seed twice: every scenario must pass AND stdout must be
+# byte-identical (the whole point of virtual-clock fault injection).
+"$MM_CHAOS_BIN" > /tmp/mm_chaos.ci.a.txt 2> /dev/null
+"$MM_CHAOS_BIN" > /tmp/mm_chaos.ci.b.txt 2> /dev/null
+diff -q /tmp/mm_chaos.ci.a.txt /tmp/mm_chaos.ci.b.txt
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run
 

@@ -1,0 +1,334 @@
+//! # mm-chaos — deterministic fault injection for the MegaMmap runtime
+//!
+//! The paper's DSM must survive the failures real tiered clusters see:
+//! nodes crash mid-commit, networks partition during collectives, tier
+//! devices die under load, and storage backends flap. This crate drives
+//! the whole stack through those failures *deterministically* — every
+//! fault is scheduled on the simulation's virtual clock by a seeded
+//! [`FaultPlan`], so a scenario replays bit-for-bit: no wall-clock, no
+//! real randomness, no flaky tests.
+//!
+//! The correctness bar is strict: a workload run under faults must
+//! produce **bit-identical results** to the fault-free run. Fault
+//! injection may change *timing* (that is the point — recovery costs show
+//! up in the causal trace), but never *values*. Each scenario therefore
+//! runs its workload twice — once clean, once faulted — and compares a
+//! mix64-chained fingerprint over every result value (centroids, inertia,
+//! field sums, and the bytes of every persisted object).
+//!
+//! Recovery is exercised across four layers:
+//!
+//! 1. **Retry/backoff** — stager I/O against a flapping backend retries
+//!    with seeded exponential backoff in virtual time and surfaces typed
+//!    [`MmError::Unavailable`](megammap::MmError) on exhaustion;
+//! 2. **Page re-homing** — a node crash wipes its scache shard; pages are
+//!    re-homed over the surviving nodes by rendezvous hashing and
+//!    re-faulted from backends;
+//! 3. **Intent journal** — acknowledged writes are logged write-ahead, so
+//!    a crash between commit and flush replays to exact contents;
+//! 4. **Tier demotion** — a retired DMSH device evacuates its blobs to
+//!    the tiers below and placement routes around it.
+//!
+//! See `mm_chaos --help`-less usage: `mm_chaos [scenario]` runs the whole
+//! matrix (or one named scenario); stdout is byte-identical across runs
+//! of the same seed (`MM_CHAOS_SEED`). Timing diagnostics go to stderr.
+
+use std::sync::Arc;
+
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_formats::{Backends, DataUrl};
+use megammap_sim::fault::mix64;
+use megammap_sim::{DeviceSpec, FaultPlan, SimTime, GIB, KIB, MIB};
+use megammap_workloads::datagen::{bench_params, generate};
+use megammap_workloads::gray_scott::mega::MegaGs;
+use megammap_workloads::gray_scott::{self, GsConfig};
+use megammap_workloads::kmeans::{self, KMeansConfig};
+
+/// KMeans dataset object (fresh `Backends` per run, so no cross-run state).
+const KM_DATA: &str = "obj://chaos/pts.bin";
+/// KMeans persisted-assignment object.
+const KM_ASSIGN: &str = "obj://chaos/assign.bin";
+/// Gray-Scott checkpoint base URL (fields at `.u0/.u1/.v0/.v1`).
+const GS_CKPT: &str = "obj://chaos/gs";
+/// Points in the KMeans dataset (~144 KiB of Point3D).
+const KM_POINTS: usize = 12_000;
+
+/// Outcome of one workload run under a (possibly absent) fault plan.
+pub struct RunOutcome {
+    /// mix64-chained fingerprint over every result value and every
+    /// persisted object's bytes.
+    pub result_bits: u64,
+    /// Virtual makespan. Diagnostic only — never part of the fingerprint:
+    /// faults legitimately change timing, never values.
+    pub makespan_ns: SimTime,
+    /// Whether the scenario's recovery machinery left telemetry evidence
+    /// (crash/retry/demotion counters) behind.
+    pub evidence_seen: bool,
+}
+
+/// The named scenarios of the chaos matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Crash node 1 while KMeans commits assignments; the journal replays
+    /// acknowledged writes and pages re-home over the survivors.
+    NodeCrashMidCommit,
+    /// Partition nodes 0↔2 across several Lloyd allreduces; collectives
+    /// stall deterministically until the partition heals.
+    PartitionDuringCollective,
+    /// Retire node 1's DRAM tier mid-run; its blobs evacuate downward and
+    /// placement (incl. prefetched pages) routes around the dead device.
+    TierDeathUnderPrefetch,
+    /// Two transient outages of the Gray-Scott checkpoint backend; stager
+    /// writes retry with seeded virtual-time backoff.
+    BackendFlap,
+}
+
+impl Scenario {
+    /// Matrix order (also the `mm_chaos` output order).
+    pub const ALL: [Scenario; 4] = [
+        Scenario::NodeCrashMidCommit,
+        Scenario::PartitionDuringCollective,
+        Scenario::TierDeathUnderPrefetch,
+        Scenario::BackendFlap,
+    ];
+
+    /// Stable scenario name (CLI argument and output label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::NodeCrashMidCommit => "node-crash-mid-commit",
+            Scenario::PartitionDuringCollective => "partition-during-collective",
+            Scenario::TierDeathUnderPrefetch => "tier-death-under-prefetch",
+            Scenario::BackendFlap => "backend-flap",
+        }
+    }
+
+    /// Parse a CLI scenario name.
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.name() == s)
+    }
+
+    /// The telemetry signal whose presence proves the fault actually ran
+    /// through the recovery machinery (and not past it).
+    pub fn evidence(self) -> &'static str {
+        match self {
+            Scenario::NodeCrashMidCommit => "chaos.node_crashes > 0",
+            Scenario::PartitionDuringCollective => "faulted makespan > baseline",
+            Scenario::TierDeathUnderPrefetch => "tier.demotions[node1] > 0",
+            Scenario::BackendFlap => "stager.io_retries > 0",
+        }
+    }
+
+    /// The seeded fault plan. Windows are fixed virtual times chosen to
+    /// land inside the workload run (see the calibration notes in
+    /// `mm_chaos`); everything downstream derives from the seed and these
+    /// constants, so a scenario is a pure function of `(seed)`.
+    pub fn plan(self, seed: u64) -> Arc<FaultPlan> {
+        let ms = 1_000_000u64; // virtual millisecond
+        match self {
+            Scenario::NodeCrashMidCommit => {
+                FaultPlan::new(seed).crash_node(1, 2 * ms, 4 * ms).build()
+            }
+            Scenario::PartitionDuringCollective => {
+                FaultPlan::new(seed).partition(0, 2, ms, 3 * ms).build()
+            }
+            Scenario::TierDeathUnderPrefetch => {
+                FaultPlan::new(seed).retire_tier(1, 0, 2 * ms).build()
+            }
+            Scenario::BackendFlap => FaultPlan::new(seed)
+                .backend_outage("chaos/gs", ms, Some(2 * ms))
+                .backend_outage("chaos/gs", 5 * ms, Some(6 * ms))
+                .build(),
+        }
+    }
+}
+
+/// One row of the matrix: fingerprints of the clean and faulted runs.
+pub struct ScenarioReport {
+    /// Which scenario ran.
+    pub scenario: Scenario,
+    /// Fingerprint of the fault-free run.
+    pub baseline_bits: u64,
+    /// Fingerprint of the faulted run — must equal `baseline_bits`.
+    pub faulted_bits: u64,
+    /// Whether the scenario's telemetry evidence was observed.
+    pub evidence_seen: bool,
+    /// Whether recovery cost showed up as virtual-time slowdown.
+    pub slower: bool,
+}
+
+impl ScenarioReport {
+    /// The acceptance criterion: values bit-match the fault-free run.
+    pub fn matched(&self) -> bool {
+        self.baseline_bits == self.faulted_bits
+    }
+}
+
+/// mix a float's exact bit pattern into the fingerprint chain.
+fn mixf(h: u64, v: f64) -> u64 {
+    mix64(h ^ v.to_bits())
+}
+
+/// Fingerprint a persisted object's bytes (little-endian 8-byte words,
+/// mix64-chained, length included).
+pub fn object_bits(backends: &Backends, url: &str) -> u64 {
+    let obj = backends.open(&DataUrl::parse(url).expect("object url")).expect("open object");
+    let len = obj.len().expect("object len");
+    let mut h = mix64(len ^ 0x6F62_6A73);
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut off = 0u64;
+    while off < len {
+        let got = obj.read_at(off, &mut buf).expect("read object");
+        if got == 0 {
+            break;
+        }
+        for chunk in buf[..got].chunks(8) {
+            let mut w = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << (8 * i);
+            }
+            h = mix64(h ^ w);
+        }
+        off += got as u64;
+    }
+    h
+}
+
+/// Run distributed KMeans (3 nodes × 1 proc, journaled obj:// data and
+/// assignments) under `plan` and fingerprint the results.
+pub fn run_kmeans(seed: u64, plan: Option<Arc<FaultPlan>>) -> RunOutcome {
+    let cluster = Cluster::new(ClusterSpec::new(3, 1).dram_per_node(GIB));
+    let mut cfg = RuntimeConfig::default()
+        .with_page_size(4 * KIB)
+        .with_tiers(vec![DeviceSpec::dram(2 * MIB), DeviceSpec::nvme(32 * MIB)])
+        .with_journal(true);
+    if let Some(p) = plan {
+        cfg = cfg.with_faults(p);
+    }
+    let rt = Runtime::new(&cluster, cfg);
+    let data = Arc::new(generate(bench_params(KM_POINTS)));
+    let obj = rt.backends().open(&DataUrl::parse(KM_DATA).expect("data url")).expect("open data");
+    data.write_object(obj.as_ref()).expect("seed dataset");
+    let km = KMeansConfig { seed, ..KMeansConfig::default() };
+    let rt2 = rt.clone();
+    let (outs, rep) = cluster.run(move |p| {
+        kmeans::mega::run(
+            p,
+            &kmeans::mega::MegaKMeans {
+                rt: &rt2,
+                url: KM_DATA.into(),
+                assign_url: Some(KM_ASSIGN.into()),
+                cfg: km,
+                pcache_bytes: 32 * KIB,
+            },
+        )
+    });
+    let r = &outs[0];
+    let mut h = mix64(seed ^ 0x6b6d_6561_6e73);
+    for c in &r.centroids {
+        h = mix64(h ^ c.x.to_bits() as u64);
+        h = mix64(h ^ c.y.to_bits() as u64);
+        h = mix64(h ^ c.z.to_bits() as u64);
+    }
+    h = mixf(h, r.inertia);
+    h = mix64(h ^ object_bits(rt.backends(), KM_ASSIGN));
+    let tel = cluster.telemetry();
+    // Labels must match the emitters' own registrations exactly — a
+    // different label set is a different counter.
+    let evidence_seen = tel.counter("chaos", "node_crashes", &[]).get() > 0
+        || tel.counter("tier", "demotions", &[("node", "node1"), ("tier", "DRAM")]).get() > 0;
+    RunOutcome { result_bits: h, makespan_ns: rep.makespan_ns, evidence_seen }
+}
+
+/// Run Gray-Scott (2 nodes × 1 proc, journaled obj:// checkpoints) under
+/// `plan` and fingerprint the field sums plus every checkpoint object.
+pub fn run_gray_scott(plan: Option<Arc<FaultPlan>>) -> RunOutcome {
+    let cluster = Cluster::new(ClusterSpec::new(2, 1).dram_per_node(GIB));
+    let mut cfg = RuntimeConfig::default()
+        .with_page_size(4 * KIB)
+        .with_tiers(vec![DeviceSpec::dram(4 * MIB), DeviceSpec::nvme(32 * MIB)])
+        .with_journal(true);
+    if let Some(p) = plan {
+        cfg = cfg.with_faults(p);
+    }
+    let rt = Runtime::new(&cluster, cfg);
+    let gs = GsConfig::new(16, 6).plotgap(2);
+    let rt2 = rt.clone();
+    let (outs, rep) = cluster.run(move |p| {
+        gray_scott::mega::run(
+            p,
+            &MegaGs {
+                rt: &rt2,
+                cfg: gs,
+                pcache_bytes: 32 * KIB,
+                ckpt_url: Some(GS_CKPT.into()),
+                tag: "chaos".into(),
+            },
+        )
+    });
+    let r = &outs[0];
+    let mut h = mix64(0x6772_6179);
+    h = mixf(h, r.sum_u);
+    h = mixf(h, r.sum_v);
+    for field in ["u0", "u1", "v0", "v1"] {
+        h = mix64(h ^ object_bits(rt.backends(), &format!("{GS_CKPT}.{field}")));
+    }
+    let evidence_seen =
+        cluster.telemetry().counter("stager", "io_retries", &[("backend", "obj")]).get() > 0;
+    RunOutcome { result_bits: h, makespan_ns: rep.makespan_ns, evidence_seen }
+}
+
+/// Run one scenario: the fault-free baseline, then the faulted run, and
+/// compare fingerprints.
+pub fn run_scenario(sc: Scenario, seed: u64) -> ScenarioReport {
+    let plan = sc.plan(seed);
+    let (base, faulted) = match sc {
+        Scenario::BackendFlap => (run_gray_scott(None), run_gray_scott(Some(plan))),
+        _ => (run_kmeans(seed, None), run_kmeans(seed, Some(plan))),
+    };
+    eprintln!(
+        "# {}: baseline {} ns, faulted {} ns (virtual), evidence_seen {}",
+        sc.name(),
+        base.makespan_ns,
+        faulted.makespan_ns,
+        faulted.evidence_seen,
+    );
+    ScenarioReport {
+        scenario: sc,
+        baseline_bits: base.result_bits,
+        faulted_bits: faulted.result_bits,
+        evidence_seen: faulted.evidence_seen,
+        slower: faulted.makespan_ns > base.makespan_ns,
+    }
+}
+
+/// Run the whole matrix (or one scenario) in a stable order.
+pub fn run_matrix(seed: u64, only: Option<Scenario>) -> Vec<ScenarioReport> {
+    Scenario::ALL
+        .into_iter()
+        .filter(|sc| only.is_none_or(|o| o == *sc))
+        .map(|sc| run_scenario(sc, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::parse(sc.name()), Some(sc));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn plans_are_seeded_and_nonempty() {
+        for sc in Scenario::ALL {
+            let p = sc.plan(42);
+            assert!(!p.is_empty(), "{} must schedule faults", sc.name());
+            assert_eq!(p.seed(), 42);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The chaos scenario matrix as tests, at a different seed than the CI
+//! binary run (ci.sh additionally runs `mm_chaos` twice and byte-diffs
+//! stdout for determinism).
+
+use megammap_chaos::{run_scenario, Scenario};
+
+#[test]
+fn node_crash_mid_commit_bit_matches() {
+    let r = run_scenario(Scenario::NodeCrashMidCommit, 7);
+    assert!(r.matched(), "crash+journal-replay run must bit-match fault-free");
+    assert!(r.evidence_seen, "the crash must actually be observed and recovered");
+    assert!(r.slower, "recovery has a virtual-time cost");
+}
+
+#[test]
+fn partition_during_collective_bit_matches() {
+    let r = run_scenario(Scenario::PartitionDuringCollective, 7);
+    assert!(r.matched(), "partition stalls collectives but never changes values");
+    assert!(r.slower, "the stall must show up in the makespan");
+}
+
+#[test]
+fn tier_death_under_prefetch_bit_matches() {
+    let r = run_scenario(Scenario::TierDeathUnderPrefetch, 7);
+    assert!(r.matched(), "tier evacuation must be value-transparent");
+    assert!(r.evidence_seen, "the dead DRAM tier must demote its blobs");
+}
+
+#[test]
+fn backend_flap_bit_matches() {
+    let r = run_scenario(Scenario::BackendFlap, 7);
+    assert!(r.matched(), "retried checkpoint writes must land identical bytes");
+    assert!(r.evidence_seen, "the stager must have retried I/O");
+}

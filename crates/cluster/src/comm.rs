@@ -100,6 +100,25 @@ impl Comm {
     }
 
     fn charge(&self, p: &Proc, max_clock: u64, shape: CollectiveShape, bytes: u64) {
+        // Injected partitions (or a crashed member node) stall the collective
+        // until every member pair is connected again. All members agreed on
+        // `max_clock` in the rendezvous, so they compute the same stall and
+        // stay clock-aligned — fault injection never breaks determinism here.
+        let start = if p.net().fault_plan().is_some() {
+            let mut nodes: Vec<usize> =
+                self.state.ranks.iter().map(|&r| p.spec().node_of(r)).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            let ready = p.net().group_ready_at(&nodes, max_clock);
+            if ready > max_clock {
+                let t = p.telemetry();
+                t.counter("comm", "partition_stalls", &[]).inc();
+                t.span(EventKind::Retry, max_clock, ready, p.node() as u32, 0, ready - max_clock);
+            }
+            ready
+        } else {
+            max_clock
+        };
         let cost = p.net().collective_time(shape, self.size(), bytes);
         let (shape_name, shape_id) = match shape {
             CollectiveShape::Tree => ("tree", 0u64),
@@ -116,15 +135,15 @@ impl Comm {
             t.trace_end(
                 ctx,
                 Stage::Collective,
-                max_clock,
-                max_clock + cost,
+                start,
+                start + cost,
                 p.node() as u32,
                 bytes,
                 "Collective",
                 shape_id,
             );
         }
-        p.advance_to(max_clock + cost);
+        p.advance_to(start + cost);
     }
 
     /// Synchronize all members; everyone resumes at
@@ -346,6 +365,21 @@ mod tests {
         assert!(times.iter().all(|&t| t >= 3_000_000));
         let spread = times.iter().max().unwrap() - times.iter().min().unwrap();
         assert_eq!(spread, 0, "barrier must align clocks exactly");
+    }
+
+    #[test]
+    fn partition_stalls_collective_deterministically() {
+        let cluster = Cluster::new(ClusterSpec::new(2, 2));
+        let plan = megammap_sim::FaultPlan::new(11).partition(0, 1, 0, 5_000_000).build();
+        cluster.net().attach_faults(plan);
+        let (times, _) = cluster.run(|p| {
+            p.world().barrier(p);
+            p.now()
+        });
+        // The barrier spans the cut: everyone waits for the heal, together.
+        assert!(times.iter().all(|&t| t >= 5_000_000), "{times:?}");
+        let spread = times.iter().max().unwrap() - times.iter().min().unwrap();
+        assert_eq!(spread, 0, "stalled barrier must still align clocks");
     }
 
     #[test]

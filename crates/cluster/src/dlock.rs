@@ -2,32 +2,65 @@
 //!
 //! MegaMmap leaves coarse coherence to "synchronization points such as
 //! barriers and locks (similar to any MPI or PGAS program)". [`DLock`] is
-//! that lock: mutual exclusion is real (a `parking_lot` mutex serializes the
-//! critical sections of the simulated processes) and the *waiting time* is
-//! charged in virtual time — an acquirer resumes no earlier than the
-//! previous holder's virtual release time plus a network round trip.
+//! that lock: mutual exclusion is real (a held flag guarded by a
+//! `parking_lot` mutex + condvar serializes the simulated processes) and the
+//! *waiting time* is charged in virtual time — an acquirer resumes no
+//! earlier than the previous holder's virtual release time plus a network
+//! round trip.
+//!
+//! # Leases and crashed holders
+//!
+//! A real distributed lock must survive its holder dying mid-section; the
+//! classic remedy is a lease. A lock built by [`DLock::with_lease`] grants
+//! for at most `lease_ns` of virtual time: an acquirer whose `now` has
+//! passed the current holder's `granted_at + lease_ns` *breaks the lease* —
+//! it reclaims the lock, and the stale holder's eventual release (if it was
+//! merely slow, not dead) is ignored via an epoch check, exactly like a
+//! fencing token. Exclusion is therefore guaranteed only for critical
+//! sections that fit inside the lease — the standard lease contract.
+//!
+//! Lease reclaim happens on *acquire attempts* (callers retry with their
+//! clocks advancing); a waiter already parked on the condvar is woken only
+//! by a genuine release, because a crashed holder never notifies.
 
 use std::sync::Arc;
 
 use megammap_sim::SimTime;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Condvar, Mutex};
 
 use crate::proc::Proc;
 
 #[derive(Debug, Default)]
 struct LockState {
+    /// Whether the lock is logically held.
+    held: bool,
+    /// Fencing token: bumped on every grant; a release from a stale epoch
+    /// (its lease was broken) cannot unlock the current holder.
+    epoch: u64,
+    /// Virtual grant time of the current holder (valid while `held`).
+    granted_at: SimTime,
     /// Virtual time at which the previous holder released the lock.
     free_at: SimTime,
     /// Total acquisitions (diagnostics).
     acquisitions: u64,
+    /// Leases broken because a holder out-lived its lease (diagnostics).
+    lease_breaks: u64,
+}
+
+#[derive(Debug, Default)]
+struct LockShared {
+    state: Mutex<LockState>,
+    cv: Condvar,
 }
 
 /// A distributed lock shared by simulated processes.
 #[derive(Debug, Clone, Default)]
 pub struct DLock {
-    state: Arc<Mutex<LockState>>,
+    shared: Arc<LockShared>,
     /// Cost of the acquire/release message exchange, ns.
     rpc_ns: u64,
+    /// Virtual-time lease; 0 = no lease (grants never expire).
+    lease_ns: u64,
 }
 
 /// RAII guard: releases the lock (and stamps the virtual release time) on
@@ -41,15 +74,23 @@ pub struct DLockGuard<'a> {
 /// virtual times explicitly. Used by model checks (which have no
 /// [`Proc`]) and by [`DLockGuard`] internally.
 pub struct DLockRawGuard<'a> {
-    guard: Option<MutexGuard<'a, LockState>>,
+    shared: Option<&'a LockShared>,
+    epoch: u64,
 }
 
 impl DLockRawGuard<'_> {
-    /// Release the lock, stamping `now` as the virtual release time.
+    /// Release the lock, stamping `now` as the virtual release time. If the
+    /// guard's lease was broken in the meantime, the release is a fencing
+    /// no-op (the acquisition is still counted).
     pub fn release(mut self, now: SimTime) {
-        if let Some(mut g) = self.guard.take() {
-            g.free_at = now;
-            g.acquisitions += 1;
+        if let Some(sh) = self.shared.take() {
+            let mut st = sh.state.lock();
+            st.acquisitions += 1;
+            if st.held && st.epoch == self.epoch {
+                st.held = false;
+                st.free_at = now;
+                sh.cv.notify_all();
+            }
         }
     }
 }
@@ -57,9 +98,15 @@ impl DLockRawGuard<'_> {
 impl Drop for DLockRawGuard<'_> {
     fn drop(&mut self) {
         // Dropped without an explicit release (e.g. unwinding): count the
-        // acquisition but leave `free_at` at the previous holder's stamp.
-        if let Some(mut g) = self.guard.take() {
-            g.acquisitions += 1;
+        // acquisition and free the lock, but leave `free_at` at the
+        // previous holder's stamp.
+        if let Some(sh) = self.shared.take() {
+            let mut st = sh.state.lock();
+            st.acquisitions += 1;
+            if st.held && st.epoch == self.epoch {
+                st.held = false;
+                sh.cv.notify_all();
+            }
         }
     }
 }
@@ -67,12 +114,20 @@ impl Drop for DLockRawGuard<'_> {
 impl DLock {
     /// Create a lock whose acquire costs one RDMA round trip (~5 µs).
     pub fn new() -> Self {
-        Self { state: Arc::new(Mutex::new(LockState::default())), rpc_ns: 5_000 }
+        Self { shared: Arc::default(), rpc_ns: 5_000, lease_ns: 0 }
     }
 
     /// Create a lock with a custom RPC cost.
     pub fn with_rpc_ns(rpc_ns: u64) -> Self {
-        Self { state: Arc::new(Mutex::new(LockState::default())), rpc_ns }
+        Self { shared: Arc::default(), rpc_ns, lease_ns: 0 }
+    }
+
+    /// Create a leased lock: a holder that fails to release within
+    /// `lease_ns` of virtual time can be evicted by later acquirers (see
+    /// the module docs on the fencing contract).
+    pub fn with_lease(rpc_ns: u64, lease_ns: u64) -> Self {
+        debug_assert!(lease_ns > 0, "a zero lease would expire instantly");
+        Self { shared: Arc::default(), rpc_ns, lease_ns }
     }
 
     /// Acquire the lock on behalf of `p`. Blocks (in real time) until the
@@ -84,32 +139,69 @@ impl DLock {
         DLockGuard { raw: Some(raw), proc: p }
     }
 
-    /// Try to acquire without blocking; `None` if held.
+    /// Try to acquire without blocking; `None` if held (and, for leased
+    /// locks, not yet expired).
     pub fn try_lock<'a>(&'a self, p: &'a Proc) -> Option<DLockGuard<'a>> {
         let (raw, grant) = self.try_lock_raw(p.now())?;
         p.advance_to(grant);
         Some(DLockGuard { raw: Some(raw), proc: p })
     }
 
-    /// Lower-level acquire for callers without a [`Proc`] (model checks,
-    /// harnesses): blocks until the lock is free and returns the guard plus
-    /// the virtual grant time `max(now, previous release) + rpc`.
-    pub fn lock_raw(&self, now: SimTime) -> (DLockRawGuard<'_>, SimTime) {
-        let st = self.state.lock();
+    /// Grant the lock to the caller. Must hold the state mutex.
+    fn grant(&self, st: &mut LockState, now: SimTime) -> (u64, SimTime) {
         let grant = st.free_at.max(now) + self.rpc_ns;
-        (DLockRawGuard { guard: Some(st) }, grant)
+        st.held = true;
+        st.epoch += 1;
+        st.granted_at = grant;
+        (st.epoch, grant)
     }
 
-    /// Non-blocking [`lock_raw`](Self::lock_raw); `None` if held.
+    /// If the current holder's lease expired by `now`, evict it. Must hold
+    /// the state mutex; returns whether a lease was broken.
+    fn try_break_lease(&self, st: &mut LockState, now: SimTime) -> bool {
+        let expired =
+            st.held && self.lease_ns > 0 && now >= st.granted_at.saturating_add(self.lease_ns);
+        if expired {
+            st.held = false;
+            st.free_at = st.free_at.max(st.granted_at + self.lease_ns);
+            st.lease_breaks += 1;
+        }
+        expired
+    }
+
+    /// Lower-level acquire for callers without a [`Proc`] (model checks,
+    /// harnesses): blocks until the lock is free and returns the guard plus
+    /// the virtual grant time `max(now, previous release) + rpc`. On a
+    /// leased lock, a holder whose lease deadline is `<= now` is evicted
+    /// instead of waited for.
+    pub fn lock_raw(&self, now: SimTime) -> (DLockRawGuard<'_>, SimTime) {
+        let mut st = self.shared.state.lock();
+        while st.held && !self.try_break_lease(&mut st, now) {
+            self.shared.cv.wait(&mut st);
+        }
+        let (epoch, grant) = self.grant(&mut st, now);
+        (DLockRawGuard { shared: Some(&self.shared), epoch }, grant)
+    }
+
+    /// Non-blocking [`lock_raw`](Self::lock_raw); `None` if held (and not
+    /// lease-expired).
     pub fn try_lock_raw(&self, now: SimTime) -> Option<(DLockRawGuard<'_>, SimTime)> {
-        let st = self.state.try_lock()?;
-        let grant = st.free_at.max(now) + self.rpc_ns;
-        Some((DLockRawGuard { guard: Some(st) }, grant))
+        let mut st = self.shared.state.lock();
+        if st.held && !self.try_break_lease(&mut st, now) {
+            return None;
+        }
+        let (epoch, grant) = self.grant(&mut st, now);
+        Some((DLockRawGuard { shared: Some(&self.shared), epoch }, grant))
     }
 
     /// Number of times this lock has been acquired.
     pub fn acquisitions(&self) -> u64 {
-        self.state.lock().acquisitions
+        self.shared.state.lock().acquisitions
+    }
+
+    /// Number of leases broken (holder presumed crashed and evicted).
+    pub fn lease_breaks(&self) -> u64 {
+        self.shared.state.lock().lease_breaks
     }
 }
 
@@ -158,5 +250,63 @@ mod tests {
             l2.try_lock(p).is_none()
         });
         assert!(outs[0], "try_lock must fail while the lock is held");
+    }
+
+    #[test]
+    fn lease_expiry_reclaims_crashed_holder() {
+        const RPC: u64 = 100;
+        const LEASE: u64 = 10_000;
+        let lock = DLock::with_lease(RPC, LEASE);
+        let (g, grant) = lock.lock_raw(0);
+        assert_eq!(grant, RPC);
+        // The holder crashes: its guard is leaked and never releases.
+        std::mem::forget(g);
+        // Before the lease deadline the lock stays held.
+        assert!(lock.try_lock_raw(grant + LEASE - 1).is_none());
+        assert_eq!(lock.lease_breaks(), 0);
+        // At the deadline an acquirer breaks the lease and takes over; the
+        // virtual handover time is the deadline itself plus the round trip.
+        let (g2, grant2) = lock.lock_raw(grant + LEASE);
+        assert_eq!(grant2, grant + LEASE + RPC);
+        assert_eq!(lock.lease_breaks(), 1);
+        g2.release(grant2 + 500);
+        // Only the live holder's acquisition was counted (the crashed one
+        // never released or dropped its guard).
+        assert_eq!(lock.acquisitions(), 1);
+    }
+
+    #[test]
+    fn stale_release_after_lease_break_is_ignored() {
+        const RPC: u64 = 100;
+        const LEASE: u64 = 1_000;
+        let lock = DLock::with_lease(RPC, LEASE);
+        let (g1, grant1) = lock.lock_raw(0);
+        // A slow (not dead) holder out-lives its lease; a second acquirer
+        // evicts it.
+        let (g2, grant2) = lock.lock_raw(grant1 + LEASE);
+        assert_eq!(grant2, grant1 + LEASE + RPC);
+        // The evicted holder's late release is fenced off: it must not
+        // unlock the new holder's critical section (checked strictly before
+        // the new holder's own lease deadline).
+        g1.release(grant2 + 100);
+        assert!(lock.try_lock_raw(grant2 + 100).is_none(), "stale release must not unlock");
+        // The rightful holder's release works normally.
+        let end = grant2 + 500;
+        g2.release(end);
+        let (g3, grant3) = lock.try_lock_raw(end).expect("lock free after real release");
+        assert_eq!(grant3, end + RPC);
+        drop(g3);
+        assert_eq!(lock.lease_breaks(), 1);
+        assert_eq!(lock.acquisitions(), 3);
+    }
+
+    #[test]
+    fn unleased_locks_never_expire() {
+        let lock = DLock::with_rpc_ns(100);
+        let (g, grant) = lock.lock_raw(0);
+        // Arbitrarily far in the future, the holder still owns the lock.
+        assert!(lock.try_lock_raw(u64::MAX / 2).is_none());
+        g.release(grant + 10);
+        assert_eq!(lock.lease_breaks(), 0);
     }
 }

@@ -33,5 +33,6 @@ pub mod topology;
 pub use comm::Comm;
 pub use dlock::DLock;
 pub use proc::{MemGuard, OomError, Proc};
+pub use rendezvous::rendezvous_hash;
 pub use run::{Cluster, RunReport};
 pub use topology::ClusterSpec;

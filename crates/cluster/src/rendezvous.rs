@@ -103,6 +103,89 @@ impl<T: Send, R: Send + Sync> Rendezvous<T, R> {
     }
 }
 
+/// Highest-random-weight (rendezvous) hashing: deterministically assign
+/// `key` to one of `candidates` such that removing a candidate only moves
+/// the keys that were assigned *to it* — the minimal-movement property the
+/// runtime relies on for page re-homing when a node crashes.
+///
+/// Every (key, candidate) pair gets a pseudo-random weight from the
+/// SplitMix64 finalizer; the candidate with the highest weight wins. Ties
+/// are impossible in practice (64-bit weights) but break toward the lower
+/// candidate id for full determinism. Returns `None` iff `candidates` is
+/// empty.
+pub fn rendezvous_hash(key: u64, candidates: &[usize]) -> Option<usize> {
+    let mut best: Option<(u64, usize)> = None;
+    for &c in candidates {
+        let w = megammap_sim::fault::mix64(key ^ (c as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        let better = match best {
+            None => true,
+            Some((bw, bc)) => w > bw || (w == bw && c < bc),
+        };
+        if better {
+            best = Some((w, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::rendezvous_hash;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Removing one node moves exactly the keys it owned (to survivors)
+        /// and leaves every other key's assignment untouched.
+        #[test]
+        fn rehoming_moves_only_the_crashed_nodes_keys(
+            keys in proptest::collection::vec(any::<u64>(), 1..200),
+            nodes in 2usize..9,
+            crashed in 0usize..9,
+        ) {
+            let crashed = crashed % nodes;
+            let all: Vec<usize> = (0..nodes).collect();
+            let survivors: Vec<usize> = all.iter().copied().filter(|&n| n != crashed).collect();
+            for key in keys {
+                let before = rendezvous_hash(key, &all).expect("nonempty");
+                let after = rendezvous_hash(key, &survivors).expect("nonempty");
+                if before == crashed {
+                    prop_assert!(after != crashed, "key must leave the crashed node");
+                } else {
+                    prop_assert_eq!(after, before, "survivor-homed keys must not move");
+                }
+            }
+        }
+
+        /// The assignment is independent of candidate order (no positional
+        /// bias), so any layer can pass its own view of the live set.
+        #[test]
+        fn order_independent(key in any::<u64>(), nodes in 1usize..9) {
+            let fwd: Vec<usize> = (0..nodes).collect();
+            let rev: Vec<usize> = (0..nodes).rev().collect();
+            prop_assert_eq!(rendezvous_hash(key, &fwd), rendezvous_hash(key, &rev));
+        }
+
+        /// Keys spread across candidates (no degenerate constant mapping).
+        #[test]
+        fn spreads_load(seed in any::<u64>()) {
+            let all: Vec<usize> = (0..4).collect();
+            let mut counts = [0usize; 4];
+            for i in 0..256u64 {
+                let k = seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                counts[rendezvous_hash(k, &all).unwrap()] += 1;
+            }
+            for (n, &c) in counts.iter().enumerate() {
+                prop_assert!(c > 16, "node {} starved: {:?}", n, counts);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidates_is_none() {
+        assert_eq!(rendezvous_hash(42, &[]), None);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,6 +69,32 @@ fn release_always_wakes_the_waiter() {
     });
 }
 
+/// A holder that leaks its guard (the model of a crashed node) is evicted
+/// once an acquirer's virtual clock passes the lease deadline, and the
+/// handover time is exact: deadline + rpc.
+#[test]
+fn lease_break_reclaims_leaked_holder() {
+    const LEASE: u64 = 10_000;
+    loom::model(|| {
+        let lock = Arc::new(DLock::with_lease(RPC, LEASE));
+        let l = Arc::clone(&lock);
+        let t = loom::thread::spawn(move || {
+            let (guard, grant) = l.lock_raw(0);
+            std::mem::forget(guard); // crash: never releases, never drops
+            grant
+        });
+        let grant1 = t.join().unwrap();
+        assert_eq!(grant1, RPC);
+        // Before expiry the lock is stuck; at expiry it is reclaimed.
+        assert!(lock.try_lock_raw(grant1 + LEASE - 1).is_none());
+        let (guard, grant2) = lock.lock_raw(grant1 + LEASE);
+        assert_eq!(grant2, grant1 + LEASE + RPC, "handover at lease deadline + rpc");
+        guard.release(grant2 + WORK);
+        assert_eq!(lock.lease_breaks(), 1);
+        assert_eq!(lock.acquisitions(), 1, "only the live holder released");
+    });
+}
+
 /// try_lock_raw never blocks: it either acquires or observes the holder,
 /// and a successful try counts as an acquisition.
 #[test]

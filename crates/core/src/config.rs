@@ -18,7 +18,9 @@
 //!     capacity: 134217728
 //! ```
 
-use megammap_sim::{DeviceSpec, TierKind, GIB, KIB, MIB};
+use std::sync::Arc;
+
+use megammap_sim::{DeviceSpec, FaultPlan, TierKind, GIB, KIB, MIB};
 
 /// Configuration of a MegaMmap runtime deployment.
 #[derive(Debug, Clone)]
@@ -61,6 +63,19 @@ pub struct RuntimeConfig {
     /// one ranged MemoryTask (1 disables coalescing). Each extra page in a
     /// run saves one worker dispatch.
     pub max_coalesce_pages: u64,
+    /// Keep a write-ahead intent journal per nonvolatile vector (a
+    /// `{key}.wal` companion object) so flushes are crash-consistent and
+    /// replayable on restart. Off by default: the journal is a recovery
+    /// feature and fault-free runs should not pay for it.
+    pub journal: bool,
+    /// Bounded retries on transient backend outages before surfacing
+    /// [`MmError::Unavailable`](crate::MmError::Unavailable).
+    pub max_io_retries: u64,
+    /// Base virtual-time delay of the exponential backoff between retries.
+    pub retry_base_ns: u64,
+    /// The deterministic fault-injection plan driving crash / partition /
+    /// tier / backend faults (`None` or an empty plan = fault-free).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for RuntimeConfig {
@@ -87,6 +102,10 @@ impl Default for RuntimeConfig {
             watermark: 0.9,
             stage_interval_ns: 4_000_000,
             max_coalesce_pages: 8,
+            journal: false,
+            max_io_retries: 8,
+            retry_base_ns: 50_000,
+            faults: None,
         }
     }
 }
@@ -122,6 +141,30 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable or disable the write-ahead intent journal.
+    pub fn with_journal(mut self, on: bool) -> Self {
+        self.journal = on;
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Tune the transient-I/O retry policy.
+    pub fn with_retries(mut self, max_io_retries: u64, retry_base_ns: u64) -> Self {
+        self.max_io_retries = max_io_retries;
+        self.retry_base_ns = retry_base_ns;
+        self
+    }
+
+    /// The attached fault plan, if any and nonempty.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref().filter(|p| !p.is_empty())
+    }
+
     /// Parse a deployment YAML file (subset; see [`yaml`]).
     pub fn from_yaml(text: &str) -> Result<Self, String> {
         let doc = yaml::parse(text)?;
@@ -151,6 +194,15 @@ impl RuntimeConfig {
                 "max_coalesce_pages" => {
                     cfg.max_coalesce_pages = v.as_u64().ok_or("max_coalesce_pages: int")?
                 }
+                "journal" => {
+                    cfg.journal = match v.as_str() {
+                        Some("true") => true,
+                        Some("false") => false,
+                        _ => return Err("journal: true|false".into()),
+                    }
+                }
+                "max_io_retries" => cfg.max_io_retries = v.as_u64().ok_or("max_io_retries: int")?,
+                "retry_base_ns" => cfg.retry_base_ns = v.as_u64().ok_or("retry_base_ns: int")?,
                 "tiers" => {
                     let list = v.as_list().ok_or("tiers must be a list")?;
                     let mut tiers = Vec::new();
@@ -209,6 +261,9 @@ impl RuntimeConfig {
         }
         if self.max_coalesce_pages == 0 {
             return Err("max_coalesce_pages must be at least 1".into());
+        }
+        if self.retry_base_ns == 0 && self.max_io_retries > 0 {
+            return Err("retry_base_ns must be nonzero when retries are enabled".into());
         }
         Ok(())
     }
@@ -462,6 +517,25 @@ mod tests {
             "tiers:\n  - kind: nvme\n    capacity: 10\n  - kind: dram\n    capacity: 10\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn recovery_knobs_from_yaml() {
+        let cfg =
+            RuntimeConfig::from_yaml("journal: true\nmax_io_retries: 3\nretry_base_ns: 10_000\n")
+                .unwrap();
+        assert!(cfg.journal);
+        assert_eq!(cfg.max_io_retries, 3);
+        assert_eq!(cfg.retry_base_ns, 10_000);
+        assert!(cfg.fault_plan().is_none(), "YAML cannot attach a fault plan");
+        assert!(RuntimeConfig::from_yaml("journal: maybe\n").is_err());
+        assert!(RuntimeConfig::from_yaml("max_io_retries: 2\nretry_base_ns: 0\n").is_err());
+        // An attached-but-empty plan reads back as fault-free.
+        let cfg = RuntimeConfig::default().with_faults(FaultPlan::new(1).build());
+        assert!(cfg.fault_plan().is_none());
+        let cfg =
+            RuntimeConfig::default().with_faults(FaultPlan::new(1).crash_node(0, 5, 10).build());
+        assert!(cfg.fault_plan().is_some());
     }
 
     #[test]

@@ -31,6 +31,24 @@ pub enum MmError {
     /// failure). Fault-path code returns this instead of panicking so a
     /// single bad page cannot take down the whole process.
     Internal(&'static str),
+    /// A backend (or peer) is unreachable and bounded retries were
+    /// exhausted. Transient: `retry_at` carries the virtual time the
+    /// outage is expected to lift (`None` when the fault plan marks it
+    /// permanent), so callers can park the operation instead of spinning.
+    Unavailable {
+        /// What was unreachable (backend key, node, ...).
+        what: String,
+        /// Virtual time the outage lifts, if known.
+        retry_at: Option<u64>,
+    },
+}
+
+impl MmError {
+    /// Whether retrying later could succeed (typed retry classification
+    /// for the recovery layers).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MmError::Unavailable { retry_at: Some(_), .. })
+    }
 }
 
 impl fmt::Display for MmError {
@@ -46,6 +64,12 @@ impl fmt::Display for MmError {
             MmError::Capacity(m) => write!(f, "capacity exhausted: {m}"),
             MmError::Io(e) => write!(f, "backend I/O error: {e}"),
             MmError::Internal(m) => write!(f, "internal invariant violated: {m}"),
+            MmError::Unavailable { what, retry_at: Some(t) } => {
+                write!(f, "{what} unavailable (transient, heals at {t} ns)")
+            }
+            MmError::Unavailable { what, retry_at: None } => {
+                write!(f, "{what} unavailable (permanent)")
+            }
         }
     }
 }
@@ -88,5 +112,15 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e: MmError = DmshError::Full { requested: 7 }.into();
         assert!(matches!(e, MmError::Capacity(_)));
+    }
+
+    #[test]
+    fn unavailable_classifies_transient() {
+        let t = MmError::Unavailable { what: "obj://b/k".into(), retry_at: Some(9) };
+        assert!(t.is_transient());
+        assert!(t.to_string().contains("heals at 9"));
+        let p = MmError::Unavailable { what: "obj://b/k".into(), retry_at: None };
+        assert!(!p.is_transient());
+        assert!(p.to_string().contains("permanent"));
     }
 }

@@ -85,6 +85,25 @@ impl Directory {
         self.map.lock().remove(&id)
     }
 
+    /// A node crashed: drop every entry homed on it (those pages must be
+    /// re-faulted and re-homed) and strip its replica registrations from
+    /// surviving entries. Returns the ids whose home was lost, sorted.
+    pub fn purge_node(&self, node: usize) -> Vec<BlobId> {
+        let mut map = self.map.lock();
+        let mut lost: Vec<BlobId> = Vec::new();
+        map.retain(|id, loc| {
+            if loc.home == node {
+                lost.push(*id);
+                false
+            } else {
+                loc.replicas.retain(|&r| r != node);
+                true
+            }
+        });
+        lost.sort();
+        lost
+    }
+
     /// Forget every page of a bucket (vector destroy). Returns the entries.
     pub fn remove_bucket(&self, bucket: u64) -> Vec<(BlobId, PageLoc)> {
         let mut map = self.map.lock();
@@ -148,6 +167,21 @@ mod tests {
         assert_eq!(taken, vec![(BlobId::new(1, 0), 1)]);
         assert!(d.lookup(BlobId::new(1, 0)).unwrap().replicas.is_empty());
         assert_eq!(d.lookup(BlobId::new(2, 0)).unwrap().replicas, vec![3]);
+    }
+
+    #[test]
+    fn purge_node_drops_homes_and_replicas() {
+        let d = Directory::new();
+        d.home_or_insert(BlobId::new(1, 0), 0); // homed on the crashed node
+        d.home_or_insert(BlobId::new(1, 1), 1); // survives, replica on 0
+        d.add_replica(BlobId::new(1, 1), 0);
+        d.add_replica(BlobId::new(1, 1), 2);
+        let lost = d.purge_node(0);
+        assert_eq!(lost, vec![BlobId::new(1, 0)]);
+        assert!(d.lookup(BlobId::new(1, 0)).is_none());
+        let loc = d.lookup(BlobId::new(1, 1)).unwrap();
+        assert_eq!(loc.home, 1);
+        assert_eq!(loc.replicas, vec![2], "crashed node's replica must vanish");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! eagerly and is entirely real.
 
 pub mod directory;
+pub mod journal;
 pub mod stager;
 
 use std::collections::HashMap;
@@ -22,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use megammap_cluster::Cluster;
+use megammap_cluster::{rendezvous_hash, Cluster};
 use megammap_formats::{Backends, DataObject, DataUrl, Scheme};
 use megammap_sim::{CollectiveShape, CpuModel, NetworkModel, SharedResource, SimTime};
 use megammap_telemetry::{
@@ -69,6 +70,10 @@ pub struct VectorMeta {
     pub nonvolatile: bool,
     /// Virtual time of the last active-stager pass over this vector.
     pub last_stage: AtomicU64,
+    /// Write-ahead intent journal (`RuntimeConfig::journal`, nonvolatile
+    /// vectors only): every acknowledged write is logged before the crash
+    /// horizon so node crashes and torn flushes replay to exact contents.
+    pub journal: Option<Arc<journal::IntentJournal>>,
 }
 
 impl VectorMeta {
@@ -232,6 +237,12 @@ struct RuntimeInner {
     dir: directory::Directory,
     stats: Stats,
     telemetry: Telemetry,
+    /// Per-node crash epochs this runtime has recovered from (compared
+    /// against the fault plan's epoch at the current virtual time).
+    crash_epochs: Vec<AtomicU64>,
+    /// Serializes crash recovery so exactly one observer per epoch wipes
+    /// the shard and purges the directory.
+    recovery: Mutex<()>,
 }
 
 /// Handle on the MegaMmap runtime (cheaply cloneable).
@@ -243,9 +254,17 @@ pub struct Runtime {
 impl Runtime {
     /// Deploy a runtime over a simulated cluster.
     pub fn new(cluster: &Cluster, cfg: RuntimeConfig) -> Self {
+        Self::with_backends(cluster, cfg, Backends::new())
+    }
+
+    /// Deploy over an existing backend set — the crash-recovery restart
+    /// path: a fresh runtime attaching to the objects (and journals) a
+    /// previous incarnation left behind. `Backends` is cheaply cloneable
+    /// shared state, so tests hand the same instance to both lives.
+    pub fn with_backends(cluster: &Cluster, cfg: RuntimeConfig, backends: Backends) -> Self {
         cfg.validate().expect("invalid runtime config");
         let telemetry = cluster.telemetry().clone();
-        let nodes = (0..cluster.spec().nodes)
+        let nodes: Vec<NodeRt> = (0..cluster.spec().nodes)
             .map(|n| NodeRt {
                 dmsh: Dmsh::with_telemetry(
                     format!("node{n}"),
@@ -267,19 +286,28 @@ impl Runtime {
                 apply_locks: (0..64).map(|_| Mutex::new(())).collect(),
             })
             .collect();
+        let nnodes = nodes.len();
+        if let Some(plan) = cfg.fault_plan() {
+            cluster.net().attach_faults(plan.clone());
+            for (n, rt) in nodes.iter().enumerate() {
+                rt.dmsh.attach_faults(plan.clone(), n);
+            }
+        }
         Self {
             inner: Arc::new(RuntimeInner {
                 pfs: SharedResource::new("pfs", cfg.pfs_latency_ns, cfg.pfs_bandwidth),
                 nodes,
                 net: cluster.net().clone(),
                 cpu: cluster.spec().cpu,
-                backends: Backends::new(),
+                backends,
                 vectors: Mutex::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
                 dir: directory::Directory::new(),
                 stats: Stats::new(&telemetry),
                 telemetry,
                 cfg,
+                crash_epochs: (0..nnodes).map(|_| AtomicU64::new(0)).collect(),
+                recovery: Mutex::new(()),
             }),
         }
     }
@@ -360,6 +388,24 @@ impl Runtime {
         let nonvolatile = url.scheme != Scheme::Mem;
         let backend: Option<Arc<dyn DataObject>> =
             if nonvolatile { Some(Arc::from(self.inner.backends.open(&url)?)) } else { None };
+        // Open the write-ahead intent journal and replay any intents a
+        // previous incarnation (crashed runtime) left behind, *before*
+        // reading the backend length — recovered appends count.
+        let journal = match (&backend, self.inner.cfg.journal && !key.ends_with(".wal")) {
+            (Some(b), true) => {
+                let j = journal::IntentJournal::open(&self.inner.backends, key)?;
+                let sum = j.replay(b.as_ref())?;
+                if sum.records > 0 {
+                    self.inner
+                        .telemetry
+                        .counter("chaos", "journal_replayed_bytes", &[])
+                        .add(sum.bytes);
+                }
+                j.truncate()?;
+                Some(Arc::new(j))
+            }
+            _ => None,
+        };
         let cfg_ps = page_size_hint.unwrap_or(self.inner.cfg.page_size);
         // Effective page size: the largest multiple of elem_size that fits,
         // so elements never straddle pages.
@@ -381,6 +427,7 @@ impl Runtime {
             backend,
             nonvolatile,
             last_stage: AtomicU64::new(0),
+            journal,
         });
         reg.insert(key.to_string(), meta.clone());
         Ok(meta)
@@ -444,9 +491,86 @@ impl Runtime {
         t
     }
 
-    /// Default home node for a page (hash placement for global policies).
-    fn default_home(&self, vec_id: u64, page: u64) -> usize {
-        (splitmix64(vec_id.rotate_left(17) ^ page) % self.inner.nodes.len() as u64) as usize
+    /// Default home node for a page at virtual time `now`: rendezvous
+    /// (highest-random-weight) hashing over the currently-live node set.
+    /// HRW gives the minimal-movement property crash re-homing relies on —
+    /// when a node dies, only *its* pages pick a new home (always a
+    /// survivor), and every other page's placement is untouched.
+    fn default_home(&self, vec_id: u64, page: u64, now: SimTime) -> usize {
+        let key = splitmix64(vec_id.rotate_left(17) ^ page);
+        let nnodes = self.inner.nodes.len();
+        if let Some(plan) = self.inner.cfg.fault_plan() {
+            if !plan.crashes().is_empty() {
+                let live: Vec<usize> = (0..nnodes).filter(|&n| !plan.node_down(n, now)).collect();
+                if !live.is_empty() {
+                    return rendezvous_hash(key, &live).unwrap_or(0);
+                }
+            }
+        }
+        let all: Vec<usize> = (0..nnodes).collect();
+        rendezvous_hash(key, &all).unwrap_or(0)
+    }
+
+    /// Observe the fault plan at virtual time `now`: evacuate retired
+    /// tiers and run crash recovery for any node whose crash window has
+    /// opened since the last observation. Cheap when no plan is attached.
+    /// Called at every fault/commit/flush entry point — the simulation's
+    /// stand-in for failure detection.
+    pub(crate) fn poll_chaos(&self, now: SimTime) {
+        let Some(plan) = self.inner.cfg.fault_plan() else { return };
+        for n in &self.inner.nodes {
+            n.dmsh.check_tiers(now);
+        }
+        if plan.crashes().is_empty() {
+            return;
+        }
+        for node in 0..self.inner.nodes.len() {
+            if plan.crash_epoch(node, now) > self.inner.crash_epochs[node].load(Ordering::Acquire) {
+                self.recover_node(node, now);
+            }
+        }
+    }
+
+    /// Crash recovery for `node` (layer 2 of the recovery stack): the
+    /// runtime daemon and scache shard died, so every blob it held is
+    /// gone and every directory entry pointing at it is stale. Wipe the
+    /// shard, purge the directory (re-faults re-home via rendezvous
+    /// hashing over the survivors), and replay the intent journals so the
+    /// backends hold exactly the acknowledged writes — ReadOnlyGlobal
+    /// pages re-replicate from those backends, WriteGlobal pages replay
+    /// from the journal.
+    fn recover_node(&self, node: usize, now: SimTime) {
+        let Some(plan) = self.inner.cfg.fault_plan() else { return };
+        let _g = self.inner.recovery.lock();
+        let epoch = plan.crash_epoch(node, now);
+        if epoch <= self.inner.crash_epochs[node].load(Ordering::Acquire) {
+            return; // another observer already recovered this epoch
+        }
+        let at = plan
+            .crashes()
+            .iter()
+            .filter(|c| c.node == node)
+            .nth(epoch as usize - 1)
+            .map(|c| c.at)
+            .unwrap_or(now);
+        let lost = self.inner.nodes[node].dmsh.wipe();
+        let purged = self.inner.dir.purge_node(node);
+        let mut replayed = 0u64;
+        for meta in self.all_vectors() {
+            if let (Some(j), Some(b)) = (&meta.journal, &meta.backend) {
+                match j.replay(b.as_ref()) {
+                    Ok(sum) => replayed += sum.bytes,
+                    Err(_e) => {
+                        self.inner.telemetry.counter("chaos", "replay_errors", &[]).inc();
+                    }
+                }
+            }
+        }
+        let tel = &self.inner.telemetry;
+        tel.counter("chaos", "node_crashes", &[]).inc();
+        tel.span(EventKind::NodeCrash, at, at, node as u32, lost as u64, epoch);
+        tel.span(EventKind::Recovery, at, now, node as u32, replayed, purged.len() as u64);
+        self.inner.crash_epochs[node].store(epoch, Ordering::Release);
     }
 
     // ---- read path --------------------------------------------------------
@@ -503,6 +627,7 @@ impl Runtime {
         prefetch: bool,
         ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime)> {
+        self.poll_chaos(now);
         let s = &self.inner.stats;
         if prefetch {
             s.prefetches.inc();
@@ -535,7 +660,7 @@ impl Runtime {
         ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime)> {
         let id = BlobId::new(meta.id, page);
-        let home = self.default_home(meta.id, page);
+        let home = self.default_home(meta.id, page, t);
         let (data, ready) = stager::stage_in(self, t, meta, page, home, ctx)?;
         self.inner.dir.home_or_insert(id, home);
         if home != my_node {
@@ -590,8 +715,14 @@ impl Runtime {
         // Replicate locally under the Read-Only Global policy so future
         // reads are node-local. The replica shares the same storage as the
         // caller's view (an O(1) refcount bump, not a copy).
-        if meta.policy.lock().replicates() {
-            let _ = self.inner.nodes[my_node].dmsh.put(done, id, data.clone(), 0.8, my_node, false);
+        if meta.policy.lock().replicates()
+            && self.inner.nodes[my_node]
+                .dmsh
+                .put(done, id, data.clone(), 0.8, my_node, false)
+                .is_ok()
+        {
+            // Register the replica only if the local install succeeded; a
+            // full DMSH just means the next read stays remote.
             self.inner.dir.add_replica(id, my_node);
         }
         Ok((data, done))
@@ -633,6 +764,7 @@ impl Runtime {
         ctx: TraceCtx,
     ) -> Result<Vec<(Bytes, SimTime)>> {
         debug_assert!(count >= 1);
+        self.poll_chaos(now);
         let s = &self.inner.stats;
         s.faults.inc();
         s.faults_by_policy[meta.policy.lock().index()].inc();
@@ -734,15 +866,12 @@ impl Runtime {
                             collective,
                             run_ctx,
                         );
-                        if replicate {
-                            let _ = self.inner.nodes[my_node].dmsh.put(
-                                done,
-                                id,
-                                data.clone(),
-                                0.8,
-                                my_node,
-                                false,
-                            );
+                        if replicate
+                            && self.inner.nodes[my_node]
+                                .dmsh
+                                .put(done, id, data.clone(), 0.8, my_node, false)
+                                .is_ok()
+                        {
                             self.inner.dir.add_replica(id, my_node);
                         }
                         done
@@ -833,12 +962,16 @@ impl Runtime {
         if dirty.is_empty() {
             return Ok(submit);
         }
+        self.poll_chaos(submit);
         self.inner.stats.writes.inc();
         let id = BlobId::new(meta.id, page);
         let policy = *meta.policy.lock();
         self.inner.stats.writes_by_policy[policy.index()].inc();
-        let preferred =
-            if policy == Policy::Local { my_node } else { self.default_home(meta.id, page) };
+        let preferred = if policy == Policy::Local {
+            my_node
+        } else {
+            self.default_home(meta.id, page, submit)
+        };
         let home = self.inner.dir.home_or_insert(id, preferred);
         let bytes = dirty.covered();
         let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes, ctx);
@@ -862,6 +995,7 @@ impl Runtime {
         let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
         let _guard = self.inner.nodes[home].apply_locks[shard].lock();
         let _lo = lockorder::acquired(LockRank::ApplyShard);
+        self.journal_write(meta, page, data, Some(dirty), t, home, ctx)?;
         let mut done = t;
         if dmsh.contains(id) {
             for (s, e) in dirty.iter() {
@@ -932,12 +1066,16 @@ impl Runtime {
         if data.is_empty() {
             return Ok(submit);
         }
+        self.poll_chaos(submit);
         self.inner.stats.writes.inc();
         let id = BlobId::new(meta.id, page);
         let policy = *meta.policy.lock();
         self.inner.stats.writes_by_policy[policy.index()].inc();
-        let preferred =
-            if policy == Policy::Local { my_node } else { self.default_home(meta.id, page) };
+        let preferred = if policy == Policy::Local {
+            my_node
+        } else {
+            self.default_home(meta.id, page, submit)
+        };
         let home = self.inner.dir.home_or_insert(id, preferred);
         let bytes = data.len() as u64;
         let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes, ctx);
@@ -958,6 +1096,7 @@ impl Runtime {
         let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
         let _guard = self.inner.nodes[home].apply_locks[shard].lock();
         let _lo = lockorder::acquired(LockRank::ApplyShard);
+        self.journal_write(meta, page, &data, None, t, home, ctx)?;
         let done = self.put_with_drain(home, t, id, data, 1.0, my_node, true, ctx)?;
         self.inner.telemetry.trace_child(
             ctx,
@@ -972,6 +1111,54 @@ impl Runtime {
         self.maybe_organize(home, done);
         self.maybe_stage(meta, done);
         Ok(done)
+    }
+
+    /// Log an acknowledged write's byte ranges in the vector's intent
+    /// journal — write-ahead with respect to the crash horizon: the
+    /// intent is durable before the write is acknowledged to the
+    /// committer, so a later node crash replays to exact contents.
+    /// `dirty = None` journals the whole (logical-length-clipped) page.
+    #[allow(clippy::too_many_arguments)]
+    fn journal_write(
+        &self,
+        meta: &VectorMeta,
+        page: u64,
+        data: &[u8],
+        dirty: Option<&RangeSet>,
+        t: SimTime,
+        home: usize,
+        ctx: TraceCtx,
+    ) -> Result<()> {
+        let Some(j) = &meta.journal else { return Ok(()) };
+        let base = page * meta.page_size;
+        let logical = meta.len_bytes();
+        let mut bytes = 0u64;
+        match dirty {
+            Some(ranges) => {
+                for (s, e) in ranges.iter() {
+                    let off = base + s;
+                    if off >= logical {
+                        continue;
+                    }
+                    let end = (base + e).min(logical);
+                    j.append(off, &data[s as usize..(end - base) as usize])?;
+                    bytes += end - off;
+                }
+            }
+            None => {
+                if base < logical {
+                    let len = (data.len() as u64).min(logical - base) as usize;
+                    j.append(base, &data[..len])?;
+                    bytes += len as u64;
+                }
+            }
+        }
+        if bytes > 0 {
+            let tel = &self.inner.telemetry;
+            tel.trace_child(ctx, Stage::JournalWrite, t, t, home as u32, bytes, "wal", page);
+            tel.counter("stager", "journal_bytes", &[]).add(bytes);
+        }
+        Ok(())
     }
 
     /// The active stager: periodically push a nonvolatile vector's dirty
@@ -993,7 +1180,12 @@ impl Runtime {
                 .is_ok()
         {
             // Asynchronous: completion rides on the device/PFS timelines.
-            let _ = stager::stage_out_all(self, now, meta);
+            // A failed background flush is not fatal (the data stays dirty
+            // in the scache and the next flush retries) but must be
+            // visible: count it instead of discarding the Result.
+            if let Err(_e) = stager::stage_out_all(self, now, meta) {
+                self.inner.telemetry.counter("stager", "async_flush_errors", &[]).inc();
+            }
         }
     }
 

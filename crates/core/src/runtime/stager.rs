@@ -13,7 +13,7 @@
 //! and the stage-in / stage-out / emergency-drain flows.
 
 use bytes::Bytes;
-use megammap_sim::SimTime;
+use megammap_sim::{Backoff, SimTime};
 use megammap_telemetry::{EventKind, Stage, TraceCtx};
 use megammap_tiered::BlobId;
 
@@ -32,6 +32,55 @@ fn backend_label_static(meta: &VectorMeta) -> &'static str {
     meta.key.split(':').next().and_then(Scheme::parse).map(|s| s.as_str()).unwrap_or("backend")
 }
 
+/// Gate a backend I/O against the fault plan: if the plan marks `meta`'s
+/// key down at virtual time `t`, retry with seeded exponential backoff
+/// (each attempt emits a [`Stage::Retry`] span so `critical_path_report`
+/// attributes the recovery cost) until the outage lifts or the configured
+/// retry budget is exhausted — then surface the typed
+/// [`MmError::Unavailable`] instead of panicking or spinning. Returns the
+/// virtual time at which the backend answered.
+fn backend_gate(
+    rt: &Runtime,
+    t: SimTime,
+    meta: &VectorMeta,
+    node: usize,
+    ctx: TraceCtx,
+) -> Result<SimTime> {
+    let Some(plan) = rt.cfg().fault_plan() else { return Ok(t) };
+    if plan.backend_down(&meta.key, t).is_none() {
+        return Ok(t);
+    }
+    let tel = rt.telemetry();
+    let backoff = Backoff::new(plan, meta.id, rt.cfg().retry_base_ns);
+    let mut t = t;
+    for attempt in 0..rt.cfg().max_io_retries {
+        if plan.backend_down(&meta.key, t).is_none() {
+            return Ok(t);
+        }
+        let woke = t.saturating_add(backoff.delay(attempt as u32));
+        tel.counter("stager", "io_retries", &[("backend", backend_label(meta))]).inc();
+        tel.span(EventKind::Retry, t, woke, node as u32, 0, attempt);
+        tel.trace_child(
+            ctx,
+            Stage::Retry,
+            t,
+            woke,
+            node as u32,
+            0,
+            backend_label_static(meta),
+            attempt,
+        );
+        t = woke;
+    }
+    match plan.backend_down(&meta.key, t) {
+        None => Ok(t),
+        Some(until) => {
+            tel.counter("stager", "io_gave_up", &[("backend", backend_label(meta))]).inc();
+            Err(MmError::Unavailable { what: meta.key.clone(), retry_at: until })
+        }
+    }
+}
+
 /// Read one page of `meta` from its persistent backend (or synthesize a
 /// zero page for data never written), install it in `home`'s scache shard,
 /// and return the bytes plus the completion time.
@@ -48,6 +97,7 @@ pub(crate) fn stage_in(
     let mut t = now;
     let mut from_backend = 0usize;
     if let Some(backend) = &meta.backend {
+        let now = backend_gate(rt, now, meta, home, ctx)?;
         from_backend = backend.read_at(page * meta.page_size, &mut buf).map_err(MmError::Io)?;
         if from_backend > 0 {
             // Charge the shared PFS device plus deserialization CPU.
@@ -130,6 +180,17 @@ pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Re
         backend.set_len(logical).map_err(MmError::Io)?;
     }
     backend.flush().map_err(MmError::Io)?;
+    // The backend now holds every write this flush covered; the journal's
+    // intents are redundant. Only truncate if nothing went dirty again
+    // while we were flushing — those newer intents must survive until the
+    // next flush lands them.
+    if let Some(journal) = &meta.journal {
+        let still_dirty = (0..rt.nodes())
+            .any(|n| rt.inner_node(n).dmsh.dirty_blobs().iter().any(|b| b.bucket == meta.id));
+        if !still_dirty {
+            journal.truncate()?;
+        }
+    }
     Ok(done)
 }
 
@@ -153,6 +214,7 @@ fn stage_out_page(
         return Ok(now);
     }
     let len = data.len().min((logical - start) as usize);
+    let now = backend_gate(rt, now, meta, node, ctx)?;
     backend.write_at(start, &data[..len]).map_err(MmError::Io)?;
     let t = now + rt.inner_cpu().serde_ns(len as u64);
     let t = rt.inner_pfs().acquire_causal_pipelined(t, len as u64);

@@ -1,0 +1,107 @@
+//! Crash-recovery round trips, one per stager backend (posix `file://`,
+//! h5lite `hdf5://`, objstore `obj://`).
+//!
+//! The model: a journaled runtime incarnation writes a vector, then dies
+//! mid-flush (a permanent backend outage makes the flush surface the typed
+//! `MmError::Unavailable` after its retry budget — the data object never
+//! receives the bytes). The write-ahead intents live in the `{key}.wal`
+//! companion, which the fault plan models as a separately-attached log
+//! device. A *second* runtime incarnation over the same [`Backends`]
+//! replays the journal at open and every element reads back exactly.
+
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_formats::Backends;
+use megammap_sim::FaultPlan;
+
+const N: u64 = 2048; // 16 KiB of u64 = 4 exact 4-KiB pages
+
+fn pattern() -> Vec<u64> {
+    (0..N).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0DE).collect()
+}
+
+/// Write → die mid-flush → restart → verify, against one backend URL.
+/// `outage_pat` must match the data key but not its `.wal` companion
+/// (WAL keys are exempt by design — see `FaultPlan::backend_down`).
+fn crash_round_trip(url: &str, outage_pat: &str) {
+    let backends = Backends::new();
+    let pat = pattern();
+
+    // ---- life 1: journaled writes, flush dies against a dead backend ----
+    {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let plan = FaultPlan::new(7).backend_outage(outage_pat, 0, None).build();
+        let cfg = RuntimeConfig::default()
+            .with_page_size(4096)
+            .with_journal(true)
+            .with_retries(2, 1_000)
+            .with_faults(plan);
+        let rt = Runtime::with_backends(&cluster, cfg, backends.clone());
+        let rt2 = rt.clone();
+        let url_c = url.to_string();
+        let pat_c = pat.clone();
+        cluster.run(move |p| {
+            let v: MmVec<u64> =
+                MmVec::open(&rt2, p, &url_c, VecOptions::new().len(N).pcache(64 * 1024))
+                    .expect("open vector in life 1");
+            let tx = v.tx(p, TxKind::seq(0, N), Access::WriteLocal).expect("begin write tx");
+            v.write_slice(p, 0, &pat_c).expect("write pattern");
+            tx.end().expect("end write tx");
+            let err = v.flush_wait(p).expect_err("flush must die against a dead backend");
+            assert!(
+                matches!(err, MmError::Unavailable { .. }),
+                "typed transient/permanent error, got: {err}"
+            );
+        });
+        // The incarnation dies here: dirty scache pages are gone. Only the
+        // backends (holding the WAL, not the data) survive.
+    }
+
+    // ---- life 2: fresh incarnation over the same backends, no faults ----
+    {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+        let cfg = RuntimeConfig::default().with_page_size(4096).with_journal(true);
+        let rt = Runtime::with_backends(&cluster, cfg, backends.clone());
+        let rt2 = rt.clone();
+        let url_c = url.to_string();
+        cluster.run(move |p| {
+            let v: MmVec<u64> =
+                MmVec::open(&rt2, p, &url_c, VecOptions::new().len(N).pcache(64 * 1024))
+                    .expect("open vector in life 2 (journal replay)");
+            let tx = v.tx(p, TxKind::seq(0, N), Access::ReadOnly).expect("begin read tx");
+            for (i, want) in pat.iter().enumerate() {
+                assert_eq!(v.load(p, &tx, i as u64), *want, "element {i} after replay");
+            }
+            tx.end().expect("end read tx");
+        });
+    }
+}
+
+#[test]
+fn objstore_backend_replays_journal_after_crash() {
+    crash_round_trip("obj://crashrt/vec.bin", "crashrt/vec.bin");
+}
+
+#[test]
+fn posix_backend_replays_journal_after_crash() {
+    let dir = std::env::temp_dir().join("mm-crashrt-posix");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let path = dir.join("vec.bin");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(dir.join("vec.bin.wal")).ok();
+    crash_round_trip(&format!("file://{}", path.display()), "mm-crashrt-posix/vec.bin");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(dir.join("vec.bin.wal")).ok();
+}
+
+#[test]
+fn h5lite_backend_replays_journal_after_crash() {
+    let dir = std::env::temp_dir().join("mm-crashrt-h5");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let path = dir.join("vec.h5");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(dir.join("vec.h5.wal")).ok();
+    crash_round_trip(&format!("hdf5://{}:grid", path.display()), "vec.h5:grid");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(dir.join("vec.h5.wal")).ok();
+}

@@ -38,6 +38,7 @@ pub fn run_all(files: &[FileModel]) -> Vec<Finding> {
     out.extend(trace_propagation(files));
     out.extend(lock_order(files));
     out.extend(panic_hygiene(files));
+    out.extend(result_hygiene(files));
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     out
 }
@@ -456,6 +457,50 @@ pub fn panic_hygiene(files: &[FileModel]) -> Vec<Finding> {
     out
 }
 
+// ---- rule 6: result-hygiene -----------------------------------------------
+
+/// Recovery/fault-path modules where a silently discarded `Result` hides a
+/// swallowed failure: the chaos scenarios only prove recovery works if
+/// every error either propagates, is handled, or is counted.
+const RESULT_MODULES: &[&str] = &[
+    "crates/core/src/runtime/",
+    "crates/tiered/src/dmsh.rs",
+    "crates/sim/src/fault.rs",
+    "crates/sim/src/net.rs",
+    "crates/cluster/src/dlock.rs",
+    "crates/cluster/src/comm.rs",
+    "crates/chaos/src/",
+];
+
+/// `let _ =` is banned in recovery/fault-path modules (outside tests): it
+/// silently discards whatever the call returned — including the `Result`
+/// of a retry, replay, or re-homing step. Bind the error (`if let
+/// Err(_e)`) and count it, propagate it, or use an explicit, allowlisted
+/// `.ok()` with a reason.
+pub fn result_hygiene(files: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in files {
+        if !RESULT_MODULES.iter().any(|h| m.path.contains(h)) {
+            continue;
+        }
+        for pos in m.occurrences("let _ = ").collect::<Vec<_>>() {
+            if m.in_test(pos) {
+                continue;
+            }
+            out.push(finding(
+                "result-hygiene",
+                m,
+                pos,
+                "silent `let _ =` discard in a recovery/fault-path module — propagate the \
+                 error, handle it with `if let Err(_e)` + a counter, or allowlist an \
+                 explicit `.ok()` with a reason"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,5 +659,31 @@ mod tests {
             "#[cfg(test)]\nmod tests { fn f(b: &[u8]) { b.to_vec(); } }",
         );
         assert!(zero_copy(&[m]).is_empty());
+    }
+
+    #[test]
+    fn seeded_silent_discard_in_recovery_module_is_flagged() {
+        let m = file(
+            "crates/core/src/runtime/stager.rs",
+            "fn f(rt: &Runtime) { let _ = rt.flush_all(); }",
+        );
+        let f = result_hygiene(&[m]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("silent"));
+    }
+
+    #[test]
+    fn silent_discard_outside_recovery_modules_is_fine() {
+        let m = file("crates/formats/src/posix.rs", "fn f(x: F) { let _ = x.sync(); }");
+        assert!(result_hygiene(&[m]).is_empty());
+    }
+
+    #[test]
+    fn named_bindings_and_tests_pass_result_hygiene() {
+        let m = file(
+            "crates/core/src/runtime/mod.rs",
+            "fn f(g: &G) { let _lo = g.acquire(); }\n#[cfg(test)]\nmod tests { fn t(x: F) { let _ = x.go(); } }",
+        );
+        assert!(result_hygiene(&[m]).is_empty());
     }
 }

@@ -1,0 +1,491 @@
+//! Deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a *schedule* of failures expressed entirely in virtual
+//! time: node crashes, network partitions, message-drop windows, tier-device
+//! retirements/slowdowns, and backend outages. Every query is a pure function
+//! of `(plan, virtual time, ids)` — the plan holds no mutable state and draws
+//! no real randomness — so a scenario replayed with the same seed injects the
+//! same faults at the same virtual instants regardless of OS thread
+//! scheduling. That is what lets `mm_chaos` demand byte-identical output
+//! across runs.
+//!
+//! The plan is shared (`Arc`) by every layer that injects faults: `net`
+//! consults partitions and drop windows, the tiered scache consults device
+//! faults, the stager consults backend outages, and the runtime consults node
+//! crashes for lazy crash detection and re-homing.
+
+use std::sync::Arc;
+
+use crate::clock::SimTime;
+
+/// SplitMix64 finalizer — the deterministic "randomness" for jitter and drop
+/// selection. Same constants as the runtime's placement hash but independent
+/// so sim does not depend on core.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One scheduled node crash: the MegaMmap daemon (and its scache shard) on
+/// `node` dies at `at` and rejoins, empty, at `back_at`. While down the node
+/// is excluded from page placement; volatile pages it cached are lost and
+/// nonvolatile pages are recovered from their backends (plus the intent
+/// journal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCrash {
+    /// Crashed node id.
+    pub node: usize,
+    /// Virtual time of the crash.
+    pub at: SimTime,
+    /// Virtual time the node rejoins (empty).
+    pub back_at: SimTime,
+}
+
+/// A symmetric network partition between two nodes over `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: usize,
+    /// Other side of the cut.
+    pub b: usize,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); traffic resumes at this instant.
+    pub until: SimTime,
+}
+
+/// A lossy window on the `src -> dst` link: roughly one in `one_in` messages
+/// is dropped (selected by seeded hash of the send instant) and pays
+/// `retrans_ns` of retransmission delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropWindow {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Drop one message in this many (0/1 = every message delayed once).
+    pub one_in: u64,
+    /// Retransmission delay charged per dropped message.
+    pub retrans_ns: u64,
+}
+
+/// A tier-device fault on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierFault {
+    /// Predictive failure: at `at` the device is retired — existing blobs are
+    /// demoted to the next healthy tier and no new blobs are placed on it.
+    Retire {
+        /// Node owning the device.
+        node: usize,
+        /// Tier index within that node's DMSH.
+        tier: usize,
+        /// Retirement instant.
+        at: SimTime,
+    },
+    /// Fail-slow: device service time is multiplied by `factor` during the
+    /// window (e.g. a controller resetting, SSD garbage collection storm).
+    Slow {
+        /// Node owning the device.
+        node: usize,
+        /// Tier index within that node's DMSH.
+        tier: usize,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Service-time multiplier (>= 1).
+        factor: u64,
+    },
+}
+
+/// A storage-backend outage matching object keys by substring. `until = None`
+/// means permanent (the "kill" in kill-mid-flush). Transient outages return
+/// typed retryable errors carrying `retry_at = until`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendOutage {
+    /// Substring matched against the object key (not the `.wal` intent log,
+    /// which models a separately-attached log device).
+    pub key_pat: String,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); `None` = never recovers.
+    pub until: Option<SimTime>,
+}
+
+/// A deterministic, seeded schedule of faults. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<NodeCrash>,
+    partitions: Vec<Partition>,
+    drops: Vec<DropWindow>,
+    tiers: Vec<TierFault>,
+    outages: Vec<BackendOutage>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed. An empty plan injects nothing; all
+    /// fault hooks are no-ops against it.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// The scenario seed (drop selection / jitter derive from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan schedules no faults at all — hooks can early-out.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.partitions.is_empty()
+            && self.drops.is_empty()
+            && self.tiers.is_empty()
+            && self.outages.is_empty()
+    }
+
+    /// Finish building: wrap in the `Arc` every layer shares.
+    pub fn build(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    // ---- builders ---------------------------------------------------------
+
+    /// Schedule `node` to crash at `at` and rejoin (empty) at `back_at`.
+    pub fn crash_node(mut self, node: usize, at: SimTime, back_at: SimTime) -> Self {
+        debug_assert!(back_at > at);
+        self.crashes.push(NodeCrash { node, at, back_at });
+        self
+    }
+
+    /// Partition nodes `a` and `b` over `[from, until)`.
+    pub fn partition(mut self, a: usize, b: usize, from: SimTime, until: SimTime) -> Self {
+        self.partitions.push(Partition { a, b, from, until });
+        self
+    }
+
+    /// Drop ~one in `one_in` messages on `src -> dst` during `[from, until)`,
+    /// each paying `retrans_ns` of retransmission delay.
+    pub fn drop_window(
+        mut self,
+        src: usize,
+        dst: usize,
+        from: SimTime,
+        until: SimTime,
+        one_in: u64,
+        retrans_ns: u64,
+    ) -> Self {
+        self.drops.push(DropWindow { src, dst, from, until, one_in, retrans_ns });
+        self
+    }
+
+    /// Retire tier `tier` on `node` at `at` (degraded-mode demotion).
+    pub fn retire_tier(mut self, node: usize, tier: usize, at: SimTime) -> Self {
+        self.tiers.push(TierFault::Retire { node, tier, at });
+        self
+    }
+
+    /// Multiply tier `tier` service time on `node` by `factor` over
+    /// `[from, until)`.
+    pub fn slow_tier(
+        mut self,
+        node: usize,
+        tier: usize,
+        from: SimTime,
+        until: SimTime,
+        factor: u64,
+    ) -> Self {
+        self.tiers.push(TierFault::Slow { node, tier, from, until, factor });
+        self
+    }
+
+    /// Fail backend operations on keys containing `key_pat` over
+    /// `[from, until)`; `until = None` is a permanent kill.
+    pub fn backend_outage(
+        mut self,
+        key_pat: impl Into<String>,
+        from: SimTime,
+        until: Option<SimTime>,
+    ) -> Self {
+        self.outages.push(BackendOutage { key_pat: key_pat.into(), from, until });
+        self
+    }
+
+    // ---- node-crash queries -----------------------------------------------
+
+    /// Number of crash events for `node` whose crash instant is `<= now`.
+    /// The runtime compares this against the last epoch it recovered to
+    /// detect crashes lazily (no background threads, no wall-clock).
+    pub fn crash_epoch(&self, node: usize, now: SimTime) -> u64 {
+        self.crashes.iter().filter(|c| c.node == node && c.at <= now).count() as u64
+    }
+
+    /// Sum of [`crash_epoch`](Self::crash_epoch) over all nodes — a cheap
+    /// "anything new?" check before per-node scans.
+    pub fn total_crash_epoch(&self, now: SimTime) -> u64 {
+        self.crashes.iter().filter(|c| c.at <= now).count() as u64
+    }
+
+    /// Is `node` down (crashed, not yet rejoined) at `now`?
+    pub fn node_down(&self, node: usize, now: SimTime) -> bool {
+        self.crashes.iter().any(|c| c.node == node && c.at <= now && now < c.back_at)
+    }
+
+    /// All scheduled crashes (for recovery bookkeeping / reporting).
+    pub fn crashes(&self) -> &[NodeCrash] {
+        &self.crashes
+    }
+
+    // ---- network queries ---------------------------------------------------
+
+    /// If `a <-> b` traffic is cut at `now` (partition, or either endpoint
+    /// down), the virtual time the path heals. `None` = path is up.
+    pub fn path_heals_at(&self, a: usize, b: usize, now: SimTime) -> Option<SimTime> {
+        let mut heal: Option<SimTime> = None;
+        let mut bump = |t: SimTime| heal = Some(heal.map_or(t, |h: SimTime| h.max(t)));
+        for p in &self.partitions {
+            let cut = (p.a == a && p.b == b) || (p.a == b && p.b == a);
+            if cut && p.from <= now && now < p.until {
+                bump(p.until);
+            }
+        }
+        for c in &self.crashes {
+            if (c.node == a || c.node == b) && c.at <= now && now < c.back_at {
+                bump(c.back_at);
+            }
+        }
+        heal
+    }
+
+    /// Latest heal time over all pairs among `nodes` (collective stall);
+    /// `None` if every pair is connected at `now`.
+    pub fn group_heals_at(&self, nodes: &[usize], now: SimTime) -> Option<SimTime> {
+        let mut heal: Option<SimTime> = None;
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if let Some(t) = self.path_heals_at(a, b, now) {
+                    heal = Some(heal.map_or(t, |h: SimTime| h.max(t)));
+                }
+            }
+        }
+        heal
+    }
+
+    /// Deterministic retransmission delay for a message sent `src -> dst` at
+    /// `now` (0 if no drop window applies or this message is not selected).
+    pub fn retrans_delay(&self, src: usize, dst: usize, now: SimTime) -> u64 {
+        let mut extra = 0u64;
+        for d in &self.drops {
+            if d.src == src && d.dst == dst && d.from <= now && now < d.until {
+                let pick = mix64(
+                    self.seed ^ (src as u64).rotate_left(17) ^ (dst as u64).rotate_left(34) ^ now,
+                );
+                if d.one_in <= 1 || pick.is_multiple_of(d.one_in) {
+                    extra += d.retrans_ns;
+                }
+            }
+        }
+        extra
+    }
+
+    // ---- tier-device queries ----------------------------------------------
+
+    /// Is tier `tier` on `node` retired (dead for placement) at `now`?
+    pub fn tier_retired(&self, node: usize, tier: usize, now: SimTime) -> bool {
+        self.tiers.iter().any(|t| {
+            matches!(t, TierFault::Retire { node: n, tier: i, at }
+                if *n == node && *i == tier && *at <= now)
+        })
+    }
+
+    /// Number of retirement events on `node` effective at `now` — the DMSH's
+    /// lazy evacuation epoch.
+    pub fn tier_retire_epoch(&self, node: usize, now: SimTime) -> u64 {
+        self.tiers
+            .iter()
+            .filter(
+                |t| matches!(t, TierFault::Retire { node: n, at, .. } if *n == node && *at <= now),
+            )
+            .count() as u64
+    }
+
+    /// Service-time multiplier for tier `tier` on `node` at `now` (1 = no
+    /// slowdown; overlapping windows multiply).
+    pub fn tier_slow_factor(&self, node: usize, tier: usize, now: SimTime) -> u64 {
+        let mut f = 1u64;
+        for t in &self.tiers {
+            if let TierFault::Slow { node: n, tier: i, from, until, factor } = t {
+                if *n == node && *i == tier && *from <= now && now < *until {
+                    f = f.saturating_mul((*factor).max(1));
+                }
+            }
+        }
+        f
+    }
+
+    // ---- backend queries ---------------------------------------------------
+
+    /// If an outage covers an operation on `key` at `now`: `Some(until)`
+    /// where `until = None` means permanent. Keys ending in `.wal` (the
+    /// intent log, modeled as a separately-attached log device) are exempt.
+    pub fn backend_down(&self, key: &str, now: SimTime) -> Option<Option<SimTime>> {
+        if key.ends_with(".wal") {
+            return None;
+        }
+        let mut worst: Option<Option<SimTime>> = None;
+        for o in &self.outages {
+            if !key.contains(o.key_pat.as_str()) || now < o.from {
+                continue;
+            }
+            match o.until {
+                None => return Some(None),
+                Some(u) if now < u => {
+                    let cur = worst.and_then(|w| w);
+                    if cur.is_none_or(|c| u > c) {
+                        worst = Some(Some(u));
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        worst
+    }
+}
+
+/// Typed exponential backoff in virtual time with seeded jitter. `delay(k)`
+/// is pure in `(plan seed, key, k)` so retry schedules replay exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// Base delay for attempt 0.
+    pub base_ns: u64,
+    /// Cap on any single delay.
+    pub max_ns: u64,
+    /// Seed mixed into the jitter.
+    pub seed: u64,
+}
+
+impl Backoff {
+    /// Backoff driven by a plan's seed and a per-call-site key.
+    pub fn new(plan: &FaultPlan, key: u64, base_ns: u64) -> Self {
+        Self { base_ns: base_ns.max(1), max_ns: base_ns.max(1) << 10, seed: plan.seed() ^ key }
+    }
+
+    /// Delay before retry number `attempt` (0-based): exponential with up to
+    /// 25% deterministic jitter.
+    pub fn delay(&self, attempt: u32) -> u64 {
+        let exp = self.base_ns.saturating_shl(attempt.min(20)).min(self.max_ns);
+        let jitter = mix64(self.seed ^ attempt as u64) % (exp / 4 + 1);
+        exp + jitter
+    }
+}
+
+trait SatShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SatShl for u64 {
+    fn saturating_shl(self, n: u32) -> Self {
+        if n >= 64 || self > (u64::MAX >> n) {
+            u64::MAX
+        } else {
+            self << n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new(7);
+        assert!(p.is_empty());
+        assert_eq!(p.crash_epoch(0, u64::MAX), 0);
+        assert!(p.path_heals_at(0, 1, 5).is_none());
+        assert_eq!(p.retrans_delay(0, 1, 5), 0);
+        assert!(!p.tier_retired(0, 0, 5));
+        assert_eq!(p.tier_slow_factor(0, 0, 5), 1);
+        assert!(p.backend_down("obj://b/k", 5).is_none());
+    }
+
+    #[test]
+    fn crash_epoch_and_down_window() {
+        let p = FaultPlan::new(1).crash_node(1, 100, 200);
+        assert_eq!(p.crash_epoch(1, 99), 0);
+        assert_eq!(p.crash_epoch(1, 100), 1);
+        assert!(p.node_down(1, 150));
+        assert!(!p.node_down(1, 200));
+        assert!(!p.node_down(0, 150));
+        assert_eq!(p.total_crash_epoch(150), 1);
+        // A down endpoint cuts every path through it.
+        assert_eq!(p.path_heals_at(0, 1, 150), Some(200));
+        assert!(p.path_heals_at(0, 2, 150).is_none());
+    }
+
+    #[test]
+    fn partitions_are_symmetric_and_windowed() {
+        let p = FaultPlan::new(1).partition(0, 2, 50, 80);
+        assert_eq!(p.path_heals_at(0, 2, 60), Some(80));
+        assert_eq!(p.path_heals_at(2, 0, 60), Some(80));
+        assert!(p.path_heals_at(0, 2, 80).is_none());
+        assert!(p.path_heals_at(0, 1, 60).is_none());
+        assert_eq!(p.group_heals_at(&[0, 1, 2], 60), Some(80));
+        assert!(p.group_heals_at(&[0, 1], 60).is_none());
+    }
+
+    #[test]
+    fn drops_are_deterministic() {
+        let p = FaultPlan::new(42).drop_window(0, 1, 0, 1_000, 3, 500);
+        let a: Vec<u64> = (0..100).map(|t| p.retrans_delay(0, 1, t)).collect();
+        let b: Vec<u64> = (0..100).map(|t| p.retrans_delay(0, 1, t)).collect();
+        assert_eq!(a, b);
+        let hits = a.iter().filter(|&&d| d > 0).count();
+        assert!(hits > 10 && hits < 70, "one-in-three-ish, got {hits}/100");
+        assert_eq!(p.retrans_delay(1, 0, 5), 0, "direction matters");
+        assert_eq!(p.retrans_delay(0, 1, 2_000), 0, "outside window");
+    }
+
+    #[test]
+    fn tier_faults() {
+        let p = FaultPlan::new(1).retire_tier(0, 1, 100).slow_tier(1, 0, 10, 20, 8);
+        assert!(!p.tier_retired(0, 1, 99));
+        assert!(p.tier_retired(0, 1, 100));
+        assert_eq!(p.tier_retire_epoch(0, 100), 1);
+        assert_eq!(p.tier_retire_epoch(1, 100), 0);
+        assert_eq!(p.tier_slow_factor(1, 0, 15), 8);
+        assert_eq!(p.tier_slow_factor(1, 0, 20), 1);
+    }
+
+    #[test]
+    fn backend_outages_match_keys_and_spare_the_wal() {
+        let p = FaultPlan::new(1)
+            .backend_outage("pts.bin", 100, Some(200))
+            .backend_outage("dead", 50, None);
+        assert!(p.backend_down("obj://d/pts.bin", 99).is_none());
+        assert_eq!(p.backend_down("obj://d/pts.bin", 150), Some(Some(200)));
+        assert!(p.backend_down("obj://d/pts.bin", 200).is_none());
+        assert_eq!(p.backend_down("file:///tmp/dead.dat", 60), Some(None));
+        // The intent log rides a separate device: never cut.
+        assert!(p.backend_down("obj://d/pts.bin.wal", 150).is_none());
+    }
+
+    #[test]
+    fn backoff_grows_and_replays() {
+        let plan = FaultPlan::new(9);
+        let b = Backoff::new(&plan, 0xfeed, 1_000);
+        let d: Vec<u64> = (0..6).map(|k| b.delay(k)).collect();
+        assert_eq!(d, (0..6).map(|k| b.delay(k)).collect::<Vec<_>>());
+        for w in d.windows(2) {
+            assert!(w[1] > w[0], "monotone growth: {d:?}");
+        }
+        assert!(d[0] >= 1_000 && d[0] <= 1_250);
+    }
+}

@@ -27,11 +27,15 @@
 //! * [`ledger`] — capacity/memory ledgers with peak tracking and simulated
 //!   out-of-memory, used to reproduce the Fig. 6 OOM crossover.
 //! * [`cost`] — dollar cost accounting for tiering strategies (Fig. 7).
+//! * [`fault`] — deterministic, seeded fault schedules (node crashes,
+//!   partitions, drop windows, tier-device faults, backend outages) consumed
+//!   by the mm-chaos harness.
 
 pub mod clock;
 pub mod cost;
 pub mod cpu;
 pub mod device;
+pub mod fault;
 pub mod ledger;
 pub mod net;
 pub mod resource;
@@ -40,6 +44,7 @@ pub use clock::{Clock, SimTime, NS_PER_MS, NS_PER_SEC, NS_PER_US};
 pub use cost::CostModel;
 pub use cpu::CpuModel;
 pub use device::{DeviceModel, DeviceSpec, TierKind};
+pub use fault::{Backoff, FaultPlan};
 pub use ledger::{CapacityError, MemoryLedger};
 pub use net::{CollectiveShape, LinkProfile, NetworkModel};
 pub use resource::SharedResource;

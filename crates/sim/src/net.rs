@@ -12,6 +12,7 @@ use std::sync::{Arc, OnceLock};
 use megammap_telemetry::Telemetry;
 
 use crate::clock::SimTime;
+use crate::fault::FaultPlan;
 use crate::resource::SharedResource;
 
 /// Performance profile of a transport.
@@ -83,6 +84,7 @@ struct NetInner {
     intra: LinkProfile,
     nics: Vec<SharedResource>,
     telemetry: OnceLock<Telemetry>,
+    faults: OnceLock<Arc<FaultPlan>>,
 }
 
 impl NetworkModel {
@@ -98,6 +100,7 @@ impl NetworkModel {
                 intra: LinkProfile::loopback(),
                 nics,
                 telemetry: OnceLock::new(),
+                faults: OnceLock::new(),
             }),
         }
     }
@@ -106,7 +109,29 @@ impl NetworkModel {
     /// `net.bytes` / `net.msgs` counters labeled `link=src->dst`. The first
     /// attach wins; later calls are ignored.
     pub fn attach_telemetry(&self, telemetry: &Telemetry) {
-        let _ = self.inner.telemetry.set(telemetry.clone());
+        self.inner.telemetry.set(telemetry.clone()).ok();
+    }
+
+    /// Attach a fault plan: subsequent transfers honor partition and drop
+    /// windows, and collectives can query group stalls. First attach wins.
+    pub fn attach_faults(&self, plan: Arc<FaultPlan>) {
+        self.inner.faults.set(plan).ok();
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.inner.faults.get().filter(|p| !p.is_empty())
+    }
+
+    /// Earliest virtual time a collective among `nodes` starting at `now` can
+    /// proceed: the latest heal time of any cut pair, or `now` if connected.
+    /// Deterministic because every participant computes it from the same
+    /// agreed timestamp.
+    pub fn group_ready_at(&self, nodes: &[usize], now: SimTime) -> SimTime {
+        match self.fault_plan() {
+            Some(p) => p.group_heals_at(nodes, now).map_or(now, |h| h.max(now)),
+            None => now,
+        }
     }
 
     /// Number of nodes this network connects.
@@ -132,12 +157,22 @@ impl NetworkModel {
         if src == dst {
             return now + self.inner.intra.message_time(bytes);
         }
+        // Injected faults: a cut path stalls the send until it heals; a drop
+        // window charges a deterministic retransmission delay.
+        let mut start = now;
+        let mut retrans = 0;
+        if let Some(plan) = self.fault_plan() {
+            if let Some(heal) = plan.path_heals_at(src, dst, now) {
+                start = heal.max(now);
+            }
+            retrans = plan.retrans_delay(src, dst, now);
+        }
         let fixed = self.inner.inter.latency_ns + self.inner.inter.sw_overhead_ns;
         // Sender NIC serializes the outgoing bytes...
-        let sent = self.inner.nics[src].acquire_causal_pipelined(now, bytes);
+        let sent = self.inner.nics[src].acquire_causal_pipelined(start, bytes);
         // ...then the receiver NIC accepts them (store-and-forward model).
         let recvd = self.inner.nics[dst].acquire_causal_pipelined(sent, bytes);
-        recvd + fixed
+        recvd + fixed + retrans
     }
 
     /// Cost (duration) of a collective of `bytes` across `n` participants
@@ -183,7 +218,7 @@ impl NetworkModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MIB;
+    use crate::{KIB, MIB};
 
     #[test]
     fn rdma_beats_tcp() {
@@ -223,6 +258,26 @@ mod tests {
         // log2(16) = 4 rounds vs 1 round.
         assert_eq!(c16, 4 * c2);
         assert_eq!(net.collective_time(CollectiveShape::Tree, 1, 1024), 0);
+    }
+
+    #[test]
+    fn partition_stalls_transfers_until_heal() {
+        let plain = NetworkModel::new(4, LinkProfile::rdma_40g());
+        let clean = plain.transfer(0, 0, 1, KIB);
+        let net = NetworkModel::new(4, LinkProfile::rdma_40g());
+        net.attach_faults(FaultPlan::new(3).partition(0, 1, 1_000, 90_000).build());
+        // Inside the window the send waits for the heal instant.
+        let t = net.transfer(2_000, 0, 1, KIB);
+        assert_eq!(t, 90_000 + clean, "stalled send starts at heal");
+        // Unrelated pairs are unaffected.
+        let u = net.transfer(2_000, 2, 3, KIB);
+        assert_eq!(u, 2_000 + clean);
+        // After the window, back to normal (NICs are idle again by then).
+        let post = net.transfer(200_000, 0, 1, KIB);
+        assert_eq!(post, 200_000 + clean);
+        // Group stall: any collective spanning the cut waits.
+        assert_eq!(net.group_ready_at(&[0, 1, 2], 2_000), 90_000);
+        assert_eq!(net.group_ready_at(&[2, 3], 2_000), 2_000);
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub enum EventKind {
     StageIn = 9,
     /// A vector staged out to a backend (detail = page index).
     StageOut = 10,
+    /// A node's runtime daemon crashed; its scache shard is gone
+    /// (detail = crashed node id).
+    NodeCrash = 11,
+    /// Crash recovery ran: directory purge + re-homing + journal replay
+    /// (detail = recovered node id).
+    Recovery = 12,
+    /// A failed operation was retried with backoff (detail = attempt).
+    Retry = 13,
 }
 
 impl EventKind {
@@ -48,6 +56,9 @@ impl EventKind {
             EventKind::Barrier => "barrier",
             EventKind::StageIn => "stage_in",
             EventKind::StageOut => "stage_out",
+            EventKind::NodeCrash => "node_crash",
+            EventKind::Recovery => "recovery",
+            EventKind::Retry => "retry",
         }
     }
 }

@@ -97,6 +97,12 @@ pub enum Stage {
     CoalesceRun = 12,
     /// Applying a write (diff patch or full page) at the home node.
     CommitApply = 13,
+    /// A typed retry of a failed backend/comm operation (detail = attempt).
+    Retry = 14,
+    /// Appending a page intent to the write-ahead journal.
+    JournalWrite = 15,
+    /// Root: crash recovery — journal replay / scache rebuild / re-homing.
+    Recovery = 16,
 }
 
 impl Stage {
@@ -117,6 +123,9 @@ impl Stage {
             Stage::BackendWrite => "backend_write",
             Stage::CoalesceRun => "coalesce_run",
             Stage::CommitApply => "commit_apply",
+            Stage::Retry => "retry",
+            Stage::JournalWrite => "journal_write",
+            Stage::Recovery => "recovery",
         }
     }
 }

@@ -2,9 +2,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
-use megammap_sim::{DeviceModel, DeviceSpec, SimTime, TierKind};
+use megammap_sim::{DeviceModel, DeviceSpec, FaultPlan, SimTime, TierKind};
 use megammap_telemetry::{
     lockorder, Counter, EventKind, Gauge, LockOrderToken, LockRank, Stage, Telemetry, TraceCtx,
 };
@@ -82,6 +84,12 @@ pub struct Dmsh {
     /// Bytes physically copied when patching a shared blob — shares the
     /// stack-wide `runtime.bytes_copied` registry cell.
     bytes_copied: Counter,
+    /// Injected device faults for this node (chaos harness); first attach
+    /// wins, absent = healthy hardware.
+    faults: OnceLock<(Arc<FaultPlan>, usize)>,
+    /// Tier-retirement epoch already evacuated (lazy degraded-mode
+    /// demotion; compared against the plan's epoch at `now`).
+    retire_epoch: AtomicU64,
 }
 
 impl Dmsh {
@@ -132,7 +140,80 @@ impl Dmsh {
             telemetry,
             tier_metrics,
             bytes_copied,
+            faults: OnceLock::new(),
+            retire_epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Attach a fault plan: subsequent operations honor device retirements
+    /// and fail-slow windows scheduled for `node`. First attach wins.
+    pub fn attach_faults(&self, plan: Arc<FaultPlan>, node: usize) {
+        self.faults.set((plan, node)).ok();
+    }
+
+    fn fault_state(&self) -> Option<&(Arc<FaultPlan>, usize)> {
+        self.faults.get().filter(|(p, _)| !p.is_empty())
+    }
+
+    /// Whether tier `i` is retired (dead for placement) at `now`.
+    fn is_retired(&self, i: usize, now: SimTime) -> bool {
+        match self.fault_state() {
+            Some((plan, node)) => plan.tier_retired(*node, i, now),
+            None => false,
+        }
+    }
+
+    /// Charge an I/O on tier `i`, applying any fail-slow factor in effect.
+    fn tier_io(&self, i: usize, now: SimTime, bytes: u64) -> SimTime {
+        let done = self.tiers[i].device.io(now, bytes);
+        if let Some((plan, node)) = self.fault_state() {
+            let f = plan.tier_slow_factor(*node, i, now);
+            if f > 1 {
+                return done.saturating_add(done.saturating_sub(now).saturating_mul(f - 1));
+            }
+        }
+        done
+    }
+
+    /// Lazy degraded-mode demotion: if a tier device was retired since the
+    /// last check, evacuate its blobs to the next healthy tier (each move
+    /// emits a Demotion event and bumps the tier's demotion counter).
+    /// Returns the completion time of the evacuation I/O; `now` when there
+    /// was nothing to do. Retired devices stay readable while draining
+    /// (predictive-failure model); blobs that cannot be placed anywhere
+    /// remain on the dying tier and are reported via the
+    /// `tier.evacuation_stranded` counter.
+    pub fn check_tiers(&self, now: SimTime) -> SimTime {
+        let Some((plan, node)) = self.fault_state() else { return now };
+        let epoch = plan.tier_retire_epoch(*node, now);
+        if self.retire_epoch.load(Ordering::Acquire) >= epoch {
+            return now;
+        }
+        let (mut meta, _lo) = self.lock_meta();
+        if self.retire_epoch.load(Ordering::Acquire) >= epoch {
+            return now;
+        }
+        let mut done = now;
+        for i in 0..self.tiers.len() {
+            if !plan.tier_retired(*node, i, now) {
+                continue;
+            }
+            let ids: Vec<BlobId> =
+                meta.iter().filter(|(_, m)| m.tier == i).map(|(id, _)| *id).collect();
+            for id in ids {
+                match self.demote(&mut meta, now, id) {
+                    Ok(t) => done = done.max(t),
+                    Err(_) => {
+                        let labels = [("node", self.name.as_str())];
+                        self.telemetry.counter("tier", "evacuation_stranded", &labels).inc();
+                    }
+                }
+            }
+        }
+        self.retire_epoch.store(epoch, Ordering::Release);
+        drop(meta);
+        self.publish_occupancy();
+        done
     }
 
     /// Take the blob-metadata lock, registering it with the [`lockorder`]
@@ -234,7 +315,12 @@ impl Dmsh {
     ) -> Result<SimTime, DmshError> {
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let from = m.tier;
-        let to = from + 1;
+        // Demote to the next *healthy* tier down — a retired device cannot
+        // accept evacuees.
+        let mut to = from + 1;
+        while to < self.tiers.len() && self.is_retired(to, now) {
+            to += 1;
+        }
         if to >= self.tiers.len() {
             return Err(DmshError::Full { requested: m.size });
         }
@@ -250,8 +336,8 @@ impl Dmsh {
             .lock()
             .remove(&id)
             .ok_or(DmshError::Internal("meta/store disagree on residency"))?;
-        let read_done = self.tiers[from].device.io(now, m.size);
-        let write_done = self.tiers[to].device.io(read_done, m.size);
+        let read_done = self.tier_io(from, now, m.size);
+        let write_done = self.tier_io(to, read_done, m.size);
         if self.tiers[to].device.alloc(m.size).is_err() {
             // The space made above vanished (a bug): undo and bail.
             self.tiers[from].store.lock().insert(id, data);
@@ -281,12 +367,12 @@ impl Dmsh {
             return None;
         }
         let to = m.tier - 1;
-        if self.tiers[to].device.available() < m.size {
+        if self.is_retired(to, now) || self.tiers[to].device.available() < m.size {
             return None;
         }
         let data = self.tiers[m.tier].store.lock().remove(&id)?;
-        let read_done = self.tiers[m.tier].device.io(now, m.size);
-        let write_done = self.tiers[to].device.io(read_done, m.size);
+        let read_done = self.tier_io(m.tier, now, m.size);
+        let write_done = self.tier_io(to, read_done, m.size);
         if self.tiers[to].device.alloc(m.size).is_err() {
             // The headroom checked above vanished (a bug): undo and skip.
             self.tiers[m.tier].store.lock().insert(id, data);
@@ -320,10 +406,11 @@ impl Dmsh {
     ) -> Result<PutOutcome, DmshError> {
         let size = data.len() as u64;
         let (mut meta, _lo) = self.lock_meta();
-        // Overwrite in place if resident and same size.
+        // Overwrite in place if resident and same size — unless the blob
+        // sits on a retired device, in which case re-place it.
         if let Some(m) = meta.get(&id).copied() {
-            if m.size == size {
-                let done = self.tiers[m.tier].device.io(now, size);
+            if m.size == size && !self.is_retired(m.tier, now) {
+                let done = self.tier_io(m.tier, now, size);
                 self.tiers[m.tier].store.lock().insert(id, data);
                 let e = meta
                     .get_mut(&id)
@@ -342,6 +429,9 @@ impl Dmsh {
         let mut done = now;
         let mut target = None;
         for (i, tier) in self.tiers.iter().enumerate() {
+            if self.is_retired(i, now) {
+                continue;
+            }
             if tier.device.available() >= size {
                 target = Some(i);
                 break;
@@ -373,7 +463,7 @@ impl Dmsh {
         if self.tiers[t].device.alloc(size).is_err() {
             return Err(DmshError::Internal("tier lost capacity between check and alloc"));
         }
-        let io_done = self.tiers[t].device.io(done, size);
+        let io_done = self.tier_io(t, done, size);
         self.tiers[t].store.lock().insert(id, data);
         meta.insert(
             id,
@@ -409,7 +499,7 @@ impl Dmsh {
         let (meta, _lo) = self.lock_meta();
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let start = now.max(m.ready_at);
-        let done = self.tiers[m.tier].device.io(start, m.size);
+        let done = self.tier_io(m.tier, start, m.size);
         let data = self.tiers[m.tier]
             .store
             .lock()
@@ -499,7 +589,7 @@ impl Dmsh {
         let start = now.max(m.ready_at);
         let end = (off + len).min(m.size);
         let off = off.min(m.size);
-        let done = self.tiers[m.tier].device.io(start, end - off);
+        let done = self.tier_io(m.tier, start, end - off);
         let data = self.tiers[m.tier]
             .store
             .lock()
@@ -540,13 +630,13 @@ impl Dmsh {
             buf.resize(end, 0);
             self.tiers[m.tier].device.free(m.size);
             // Growth may overshoot the tier; allow it (organize will fix).
-            let _ = self.tiers[m.tier].device.alloc(buf.len() as u64);
+            self.tiers[m.tier].device.alloc(buf.len() as u64).ok();
             m.size = buf.len() as u64;
         }
         buf[off as usize..end].copy_from_slice(patch);
         store.insert(id, Bytes::from(buf));
         let start = now.max(m.ready_at);
-        let done = self.tiers[m.tier].device.io(start, patch.len() as u64);
+        let done = self.tier_io(m.tier, start, patch.len() as u64);
         m.dirty = true;
         m.ready_at = done;
         drop(store);
@@ -581,6 +671,23 @@ impl Dmsh {
         let data = self.remove_locked(&mut self.meta.lock(), id);
         self.publish_occupancy();
         data
+    }
+
+    /// Wipe the whole scache shard: every blob on every tier is discarded
+    /// and its capacity freed. This is the node-crash model — the daemon
+    /// holding this DMSH died, so all cached state (including dirty pages)
+    /// is gone; recovery restores nonvolatile data from backends and the
+    /// intent journal. Returns the number of blobs lost.
+    pub fn wipe(&self) -> usize {
+        let (mut meta, _lo) = self.lock_meta();
+        let lost = meta.len();
+        for (id, m) in std::mem::take(&mut *meta) {
+            self.tiers[m.tier].store.lock().remove(&id);
+            self.tiers[m.tier].device.free(m.size);
+        }
+        drop(meta);
+        self.publish_occupancy();
+        lost
     }
 
     /// Remove every blob of a bucket; returns the count.
@@ -820,6 +927,56 @@ mod tests {
         assert_eq!(d.blobs_of(3).len(), 0);
         assert!(d.contains(BlobId::new(4, 0)));
         assert_eq!(d.used(), 100);
+    }
+
+    #[test]
+    fn retired_tier_evacuates_and_rejects_placement() {
+        let d = dmsh(MIB, MIB, MIB);
+        let id = BlobId::new(1, 0);
+        d.put(0, id, blob(1000), 0.9, 0, true).unwrap();
+        assert_eq!(d.meta_of(id).unwrap().tier_kind, TierKind::Dram);
+        // DRAM dies (predictive failure) at t=100.
+        d.attach_faults(FaultPlan::new(5).retire_tier(0, 0, 100).build(), 0);
+        let done = d.check_tiers(200);
+        assert!(done > 200, "evacuation charges I/O");
+        let m = d.meta_of(id).unwrap();
+        assert_eq!(m.tier_kind, TierKind::Nvme, "blob demoted off the dead device");
+        assert!(m.dirty, "dirty flag survives evacuation");
+        let (got, _) = d.get(m.ready_at, id).unwrap();
+        assert_eq!(got, blob(1000));
+        assert_eq!(d.device(0).used(), 0);
+        // New placements skip the retired tier.
+        let out = d.put(300, BlobId::new(1, 1), blob(64), 0.9, 0, false).unwrap();
+        assert_eq!(out.tier, TierKind::Nvme);
+        // A second check is a no-op (epoch already evacuated).
+        assert_eq!(d.check_tiers(400), 400);
+    }
+
+    #[test]
+    fn slow_tier_multiplies_service_time() {
+        let fast = dmsh(MIB, MIB, MIB);
+        let slow = dmsh(MIB, MIB, MIB);
+        slow.attach_faults(FaultPlan::new(5).slow_tier(0, 0, 0, 1_000_000_000, 10).build(), 0);
+        let id = BlobId::new(1, 0);
+        let a = fast.put(0, id, blob(100_000), 0.5, 0, false).unwrap();
+        let b = slow.put(0, id, blob(100_000), 0.5, 0, false).unwrap();
+        assert_eq!(b.done_at, a.done_at * 10, "fail-slow factor applies");
+    }
+
+    #[test]
+    fn wipe_discards_everything() {
+        let d = dmsh(2048, MIB, MIB);
+        for i in 0..4 {
+            d.put(0, BlobId::new(1, i), blob(1024), 0.5, 0, i % 2 == 0).unwrap();
+        }
+        assert!(d.used() > 0);
+        assert_eq!(d.wipe(), 4);
+        assert_eq!(d.used(), 0);
+        assert!(d.dirty_blobs().is_empty());
+        assert!(d.get(0, BlobId::new(1, 0)).is_err());
+        // The shard keeps working after the "restart".
+        d.put(10, BlobId::new(2, 0), blob(10), 0.5, 0, false).unwrap();
+        assert!(d.contains(BlobId::new(2, 0)));
     }
 
     #[test]
