@@ -75,6 +75,23 @@ fi
 "$MM_CHAOS_BIN" > /tmp/mm_chaos.ci.b.txt 2> /dev/null
 diff -q /tmp/mm_chaos.ci.a.txt /tmp/mm_chaos.ci.b.txt
 
+echo "==> mm_serve QoS scenario (deterministic double run + verdict)"
+cargo build -q -p megammap-serve "${PROFILE[@]}" --bin mm_serve
+if [[ "${1:-}" == "--release" ]]; then
+    MM_SERVE_BIN=target/release/mm_serve
+else
+    MM_SERVE_BIN=target/debug/mm_serve
+fi
+# Same seed twice: exit 0 means the QoS verdict passed (interactive fault
+# p99 strictly better than --no-qos, budgets held); stdout must be
+# byte-identical across the runs (stderr may carry timing diagnostics).
+"$MM_SERVE_BIN" > /tmp/mm_serve.ci.a.txt 2> /dev/null
+"$MM_SERVE_BIN" > /tmp/mm_serve.ci.b.txt 2> /dev/null
+diff -q /tmp/mm_serve.ci.a.txt /tmp/mm_serve.ci.b.txt
+
+echo "==> mm_serve telemetry overhead (< 2% on the serving fast path)"
+"$MM_SERVE_BIN" --overhead-check
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run
 

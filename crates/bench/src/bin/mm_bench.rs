@@ -1,0 +1,252 @@
+//! `mm_bench` — a machine-readable performance snapshot for CI diffing.
+//!
+//! Where the Criterion benches give humans distributions, `mm_bench` emits
+//! one small JSON file a dashboard (or a reviewer) can diff across
+//! commits: the wall-clock fault-path costs, the telemetry overhead
+//! percentage, and the (virtual-time, deterministic) per-tenant fault
+//! latency percentiles.
+//!
+//! Output goes to `BENCH_<YYYY-MM-DD>.json` in the current directory, or
+//! to the path in `MM_BENCH_OUT` if set. The schema (`mm-bench/v1`) is
+//! documented in `DESIGN.md`.
+//!
+//! Wall-clock numbers use the floor-of-batches estimator (scheduling noise
+//! only ever adds time); the virtual-time numbers are bit-deterministic.
+
+use std::time::Instant;
+
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::DeviceSpec;
+
+/// Mirror of the fault-latency histogram bounds in `megammap::vector`.
+const FAULT_BOUNDS: [u64; 15] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Minimum over batches — the observation least polluted by noise.
+fn floor(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Proleptic-Gregorian civil date from days since the Unix epoch
+/// (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Wall-clock ns/iter of the pure pcache hit path.
+fn pcache_hit_ns() -> f64 {
+    const ITERS: u64 = 200_000;
+    const BATCHES: usize = 7;
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(16 * 1024));
+    let (ns, _) = cluster.run_once(|p| {
+        let v: MmVec<u64> =
+            MmVec::open(&rt, p, "mem://bench/hit", VecOptions::new().len(2048).pcache(1 << 20))
+                .unwrap();
+        let tx = v.tx(p, TxKind::seq(0, 1), Access::ReadWriteGlobal).unwrap();
+        v.store(p, tx.handle(), 0, 1);
+        let mut batches = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..ITERS {
+                acc = acc.wrapping_add(v.load(p, tx.handle(), 0));
+            }
+            std::hint::black_box(acc);
+            batches.push(t.elapsed().as_nanos() as f64 / ITERS as f64);
+        }
+        tx.end().unwrap();
+        floor(&batches)
+    });
+    ns
+}
+
+/// Wall-clock ns/iter of a fault served by the local scache shard (a
+/// one-page pcache makes every page switch a synchronous fault).
+fn fault_from_scache_ns() -> f64 {
+    const PAGES: u64 = 64;
+    const PAGE: u64 = 16 * 1024;
+    const ITERS: u64 = 20_000;
+    const BATCHES: usize = 5;
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE));
+    let (ns, _) = cluster.run_once(|p| {
+        let v: MmVec<u64> = MmVec::open(
+            &rt,
+            p,
+            "mem://bench/fault",
+            VecOptions::new().len(PAGES * PAGE / 8).pcache(PAGE).no_prefetch(),
+        )
+        .unwrap();
+        let tx = v.tx(p, TxKind::seq(0, v.len()), Access::WriteGlobal).unwrap();
+        for i in 0..v.len() {
+            v.store(p, tx.handle(), i, i);
+        }
+        tx.end().unwrap();
+        let elems_per_page = PAGE / 8;
+        let tx = v.tx(p, TxKind::rand(1, 0, v.len()), Access::ReadWriteGlobal).unwrap();
+        let mut batches = Vec::with_capacity(BATCHES);
+        let mut page = 0u64;
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..ITERS {
+                page = (page + 1) % PAGES;
+                acc = acc.wrapping_add(v.load(p, tx.handle(), page * elems_per_page));
+            }
+            std::hint::black_box(acc);
+            batches.push(t.elapsed().as_nanos() as f64 / ITERS as f64);
+        }
+        tx.end().unwrap();
+        floor(&batches)
+    });
+    ns
+}
+
+/// Telemetry overhead on the warmed load-scan fast path, in percent
+/// (interleaved enabled/disabled batches, floors compared).
+fn telemetry_overhead_pct() -> f64 {
+    const N: u64 = 64 * 1024;
+    const BATCHES: usize = 11;
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(64 * 1024));
+    let tel = cluster.telemetry().clone();
+    let (pct, _) = cluster.run_once(|p| {
+        let v: MmVec<f64> =
+            MmVec::open(&rt, p, "mem://bench/tel", VecOptions::new().len(N).pcache(8 << 20))
+                .unwrap();
+        let tx = v.tx(p, TxKind::seq(0, N), Access::WriteGlobal).unwrap();
+        for i in 0..N {
+            v.store(p, tx.handle(), i, i as f64 * 1.5);
+        }
+        tx.end().unwrap();
+        let tx = v.tx(p, TxKind::seq(0, N), Access::ReadOnly).unwrap();
+        let scan = |v: &MmVec<f64>| {
+            let mut acc = 0.0f64;
+            for i in 0..N {
+                acc += v.load(p, tx.handle(), i) * 2.0;
+            }
+            acc
+        };
+        std::hint::black_box(scan(&v)); // warm the pcache
+        let time_scan = |on: bool| {
+            tel.set_enabled(on);
+            let t = Instant::now();
+            std::hint::black_box(scan(&v));
+            t.elapsed().as_nanos() as f64
+        };
+        time_scan(true);
+        time_scan(false);
+        let mut on_ns = Vec::with_capacity(BATCHES);
+        let mut off_ns = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            on_ns.push(time_scan(true));
+            off_ns.push(time_scan(false));
+        }
+        tel.set_enabled(true);
+        let (on, off) = (floor(&on_ns), floor(&off_ns));
+        let pct = (on - off) / off * 100.0;
+        tx.end().unwrap();
+        pct
+    });
+    pct
+}
+
+/// Deterministic virtual-time fault-latency percentiles: a tenant-attached
+/// no-prefetch vector over a tight tier stack, random point reads.
+fn fault_latency_percentiles() -> (u64, u64, u64, u64) {
+    const PAGE: u64 = 4096;
+    const READS: u64 = 20_000;
+    let cluster = Cluster::new(ClusterSpec::new(1, 1));
+    let cfg = RuntimeConfig::default().with_page_size(PAGE).with_tiers(vec![
+        DeviceSpec::dram(64 * 1024),
+        DeviceSpec::nvme(1 << 20),
+        DeviceSpec::ssd(4 << 20),
+    ]);
+    let rt = Runtime::new(&cluster, cfg);
+    let tenant = rt.tenants().register("bench", TenantClass::Interactive, 32 * 1024, 1 << 20);
+    let rt2 = rt.clone();
+    let (out, _) = cluster.run_once(move |p| {
+        let n = 128 * PAGE / 8; // 128 pages of u64
+        let v: MmVec<u64> = MmVec::open(
+            &rt2,
+            p,
+            "mem://bench/lat",
+            VecOptions::new().len(n).pcache(32 * 1024).tenant(tenant).no_prefetch(),
+        )
+        .unwrap();
+        let tx = v.tx(p, TxKind::seq(0, n), Access::WriteGlobal).unwrap();
+        for i in 0..n {
+            v.store(p, tx.handle(), i, i);
+        }
+        tx.end().unwrap();
+        let kind = TxKind::rand(7, 0, n);
+        let tx = v.tx(p, kind, Access::ReadOnly).unwrap();
+        let mut acc = 0u64;
+        for k in 0..READS {
+            acc = acc.wrapping_add(v.load(p, tx.handle(), kind.access_index(k)));
+        }
+        std::hint::black_box(acc);
+        tx.end().unwrap();
+        let hist = rt2
+            .telemetry()
+            .histogram("tenant", "fault_ns", &[("tenant", "bench")], &FAULT_BOUNDS)
+            .snapshot();
+        (hist.p50(), hist.p99(), hist.p999(), hist.count)
+    });
+    out
+}
+
+fn main() {
+    let now_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_secs();
+    let (y, m, d) = civil_from_days((now_unix / 86_400) as i64);
+
+    eprintln!("mm_bench: measuring fault path ...");
+    let hit_ns = pcache_hit_ns();
+    let fault_ns = fault_from_scache_ns();
+    eprintln!("mm_bench: measuring telemetry overhead ...");
+    let overhead_pct = telemetry_overhead_pct();
+    eprintln!("mm_bench: measuring fault-latency percentiles ...");
+    let (p50, p99, p999, faults) = fault_latency_percentiles();
+
+    let json = format!(
+        "{{\n  \"schema\": \"mm-bench/v1\",\n  \"generated_unix\": {now_unix},\n  \"date\": \"{y:04}-{m:02}-{d:02}\",\n  \"fault_path\": {{\n    \"pcache_hit_ns_per_iter\": {hit_ns:.1},\n    \"fault_from_scache_ns_per_iter\": {fault_ns:.1}\n  }},\n  \"telemetry\": {{\n    \"overhead_pct\": {overhead_pct:.2},\n    \"budget_pct\": 2.0\n  }},\n  \"fault_latency\": {{\n    \"tenant\": \"bench\",\n    \"faults\": {faults},\n    \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"p999_ns\": {p999}\n  }}\n}}\n"
+    );
+
+    let path = std::env::var("MM_BENCH_OUT")
+        .unwrap_or_else(|_| format!("BENCH_{y:04}-{m:02}-{d:02}.json"));
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+    println!("  pcache hit        {hit_ns:.1} ns/iter");
+    println!("  fault from scache {fault_ns:.1} ns/iter");
+    println!("  telemetry overhead {overhead_pct:+.2}% (budget 2%)");
+    println!("  fault latency p50 {p50} p99 {p99} p999 {p999} ns over {faults} faults");
+}

@@ -1,5 +1,7 @@
 //! Per-vector creation options.
 
+use crate::tenant::TenantId;
+
 /// Options for creating/attaching a [`MmVec`](crate::vector::MmVec).
 #[derive(Debug, Clone, Default)]
 pub struct VecOptions {
@@ -16,6 +18,11 @@ pub struct VecOptions {
     /// Disable the prefetcher for this vector instance (ablation studies;
     /// faults become fully synchronous).
     pub no_prefetch: bool,
+    /// Tenant this handle's residency and faults are attributed to
+    /// (mm-serve memory QoS). Must be registered in the runtime's
+    /// [`TenantLedger`](crate::tenant::TenantLedger); `None` means the
+    /// legacy single-tenant mode with no budget accounting.
+    pub tenant: Option<TenantId>,
 }
 
 impl VecOptions {
@@ -47,6 +54,12 @@ impl VecOptions {
         self.no_prefetch = true;
         self
     }
+
+    /// Attribute this handle to a registered tenant (mm-serve QoS).
+    pub fn tenant(mut self, id: TenantId) -> Self {
+        self.tenant = Some(id);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -55,9 +68,10 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let o = VecOptions::new().page_size(4096).pcache(1 << 20).len(100);
+        let o = VecOptions::new().page_size(4096).pcache(1 << 20).len(100).tenant(TenantId(2));
         assert_eq!(o.page_size, Some(4096));
         assert_eq!(o.pcache_bytes, Some(1 << 20));
         assert_eq!(o.initial_len, Some(100));
+        assert_eq!(o.tenant, Some(TenantId(2)));
     }
 }

@@ -59,6 +59,7 @@ pub mod policy;
 pub mod prefetch;
 pub mod rangeset;
 pub mod runtime;
+pub mod tenant;
 pub mod tx;
 pub mod txguard;
 pub mod vector;
@@ -68,8 +69,9 @@ pub use config::RuntimeConfig;
 pub use element::Element;
 pub use error::MmError;
 pub use pagebuf::PageBuf;
-pub use policy::{Access, Policy};
+pub use policy::{Access, Policy, TenantClass};
 pub use runtime::Runtime;
+pub use tenant::{TenantAccount, TenantId, TenantLedger};
 pub use tx::{Transaction, TxKind};
 pub use txguard::TxScope;
 pub use vector::MmVec;
@@ -80,8 +82,9 @@ pub mod prelude {
     pub use crate::config::RuntimeConfig;
     pub use crate::element::Element;
     pub use crate::error::MmError;
-    pub use crate::policy::{Access, Policy};
+    pub use crate::policy::{Access, Policy, TenantClass};
     pub use crate::runtime::Runtime;
+    pub use crate::tenant::{TenantAccount, TenantId, TenantLedger};
     pub use crate::tx::{Transaction, TxKind};
     pub use crate::txguard::TxScope;
     pub use crate::vector::MmVec;

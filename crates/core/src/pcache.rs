@@ -13,12 +13,14 @@
 //! * score/LRU-driven victim selection for evictions.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use megammap_sim::SimTime;
 use megammap_telemetry::{Counter, Telemetry};
 
 use crate::pagebuf::PageBuf;
 use crate::rangeset::RangeSet;
+use crate::tenant::TenantAccount;
 
 /// A page resident in the pcache.
 #[derive(Debug, Clone)]
@@ -116,6 +118,11 @@ pub struct PCache {
     shared: Option<SharedCounters>,
     /// The stats values last pushed to `shared` (see [`Self::sync_shared`]).
     synced: PCacheStats,
+    /// Tenant this cache's resident bytes are charged to (mm-serve QoS).
+    /// Mirrors `used` exactly: charged on insert, uncharged on remove and
+    /// drain, so per-tenant accounting equals pcache occupancy by
+    /// construction.
+    tenant: Option<Arc<TenantAccount>>,
 }
 
 impl PCache {
@@ -132,7 +139,21 @@ impl PCache {
             stats: PCacheStats::default(),
             shared: None,
             synced: PCacheStats::default(),
+            tenant: None,
         }
+    }
+
+    /// Charge this cache's residency to `tenant` (mm-serve). Must be set
+    /// before the first insert; attaching to a non-empty cache charges the
+    /// current occupancy so the ledger never undercounts.
+    pub fn attach_tenant(&mut self, tenant: Arc<TenantAccount>) {
+        tenant.charge(self.used);
+        self.tenant = Some(tenant);
+    }
+
+    /// The tenant charged for this cache, if any.
+    pub fn tenant(&self) -> Option<&Arc<TenantAccount>> {
+        self.tenant.as_ref()
     }
 
     /// Mirror this cache's counters into `telemetry`, labeled with the
@@ -277,16 +298,27 @@ impl PCache {
         cp.last_access = self.tick;
         let sz = cp.data.len() as u64;
         if let Some(old) = self.pages.insert(page, cp) {
-            self.used -= old.data.len() as u64;
+            let old_sz = old.data.len() as u64;
+            self.used -= old_sz;
+            if let Some(t) = &self.tenant {
+                t.uncharge(old_sz);
+            }
         }
         self.used += sz;
+        if let Some(t) = &self.tenant {
+            t.charge(sz);
+        }
         self.last = Some(page);
     }
 
     /// Remove a page, returning it (for dirty write-back).
     pub fn remove(&mut self, page: u64) -> Option<CachedPage> {
         let cp = self.pages.remove(&page)?;
-        self.used -= cp.data.len() as u64;
+        let sz = cp.data.len() as u64;
+        self.used -= sz;
+        if let Some(t) = &self.tenant {
+            t.uncharge(sz);
+        }
         if self.last == Some(page) {
             self.last = None;
         }
@@ -324,6 +356,9 @@ impl PCache {
     pub fn drain(&mut self) -> Vec<(u64, CachedPage)> {
         let mut v: Vec<(u64, CachedPage)> = self.pages.drain().collect();
         v.sort_by_key(|(p, _)| *p);
+        if let Some(t) = &self.tenant {
+            t.uncharge(self.used);
+        }
         self.used = 0;
         self.last = None;
         v
@@ -504,6 +539,28 @@ mod tests {
         c.access(1);
         assert_eq!(c.stats().hits, 1, "per-instance stats work unattached");
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn tenant_charge_mirrors_used_exactly() {
+        use crate::policy::TenantClass;
+        use crate::tenant::TenantLedger;
+        let ledger = TenantLedger::new();
+        let id = ledger.register("t", TenantClass::Batch, 1 << 20, 0);
+        let acct = ledger.account(id).unwrap();
+        let mut c = PCache::new(64, 1024);
+        c.insert(0, page(64)); // pre-attach residency is charged at attach
+        c.attach_tenant(acct.clone());
+        assert_eq!(acct.resident(), c.used());
+        c.insert(1, page(64));
+        c.insert(1, page(64)); // replacement must not double-charge
+        assert_eq!(acct.resident(), c.used());
+        c.remove(0);
+        assert_eq!(acct.resident(), c.used());
+        c.drain();
+        assert_eq!(c.used(), 0);
+        assert_eq!(acct.resident(), 0);
+        assert_eq!(acct.peak(), 128);
     }
 
     #[test]

@@ -128,6 +128,54 @@ impl Policy {
     }
 }
 
+/// Service class of a tenant multiplexed over the shared DMSH (mm-serve).
+///
+/// The class decides *retention priority* under memory pressure: pages of
+/// interactive tenants are the last to leave DRAM, batch pages go before
+/// them, and background churn (e.g. an offline KMeans job) is demoted
+/// first. The class also selects the admission token-bucket parameters in
+/// the serving runtime; it never changes coherence semantics — that stays
+/// with [`Policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TenantClass {
+    /// Latency-sensitive point reads/scans; retains DRAM under pressure.
+    Interactive,
+    /// Throughput-oriented jobs; demoted before interactive tenants.
+    Batch,
+    /// Best-effort churn (compaction, offline analytics); evicted first.
+    Background,
+}
+
+impl TenantClass {
+    /// Number of classes (for per-class counter arrays).
+    pub const COUNT: usize = 3;
+
+    /// Every class, in declaration order.
+    pub const ALL: [TenantClass; TenantClass::COUNT] =
+        [TenantClass::Interactive, TenantClass::Batch, TenantClass::Background];
+
+    /// Eviction/placement retention priority: higher values are retained
+    /// longer in fast tiers. Untagged (single-tenant) buckets default to
+    /// the batch level, so legacy workloads are unaffected by QoS-aware
+    /// victim ordering.
+    pub fn retention_priority(self) -> u8 {
+        match self {
+            TenantClass::Interactive => 2,
+            TenantClass::Batch => 1,
+            TenantClass::Background => 0,
+        }
+    }
+
+    /// Stable label for telemetry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantClass::Interactive => "interactive",
+            TenantClass::Batch => "batch",
+            TenantClass::Background => "background",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +209,18 @@ mod tests {
         assert!(!Policy::Local.transition_invalidates(Access::WriteGlobal));
         assert!(Policy::ReadOnlyGlobal.replicates());
         assert!(!Policy::WriteGlobal.replicates());
+    }
+
+    #[test]
+    fn tenant_class_priority_order() {
+        assert!(
+            TenantClass::Interactive.retention_priority() > TenantClass::Batch.retention_priority()
+        );
+        assert!(
+            TenantClass::Batch.retention_priority() > TenantClass::Background.retention_priority()
+        );
+        for c in TenantClass::ALL {
+            assert!(!c.name().is_empty());
+        }
     }
 }

@@ -36,6 +36,7 @@ use crate::config::RuntimeConfig;
 use crate::error::{MmError, Result};
 use crate::policy::Policy;
 use crate::rangeset::RangeSet;
+use crate::tenant::TenantLedger;
 use crate::tx::splitmix64;
 
 /// Fixed cost of constructing a MemoryTask in the library (ns).
@@ -237,6 +238,9 @@ struct RuntimeInner {
     dir: directory::Directory,
     stats: Stats,
     telemetry: Telemetry,
+    /// Tenant registry for multi-tenant serving (mm-serve); empty in the
+    /// legacy single-tenant mode.
+    tenants: TenantLedger,
     /// Per-node crash epochs this runtime has recovered from (compared
     /// against the fault plan's epoch at the current virtual time).
     crash_epochs: Vec<AtomicU64>,
@@ -305,6 +309,7 @@ impl Runtime {
                 dir: directory::Directory::new(),
                 stats: Stats::new(&telemetry),
                 telemetry,
+                tenants: TenantLedger::new(),
                 cfg,
                 crash_epochs: (0..nnodes).map(|_| AtomicU64::new(0)).collect(),
                 recovery: Mutex::new(()),
@@ -355,6 +360,22 @@ impl Runtime {
     /// The cluster-wide telemetry registry this runtime reports into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.inner.telemetry
+    }
+
+    /// The tenant registry (mm-serve memory QoS). Register tenants here,
+    /// then open vectors with [`VecOptions::tenant`](crate::VecOptions) to
+    /// attribute their residency, faults, and placement priority.
+    pub fn tenants(&self) -> &TenantLedger {
+        &self.inner.tenants
+    }
+
+    /// Propagate a vector's tenant QoS to every scache shard: its bucket's
+    /// blobs get `priority` for victim ordering and placement, and tier
+    /// demotions are attributed to `tenant` in the telemetry registry.
+    pub(crate) fn set_vector_qos(&self, vec_id: u64, priority: u8, tenant: &str) {
+        for n in &self.inner.nodes {
+            n.dmsh.set_bucket_qos(vec_id, priority, tenant);
+        }
     }
 
     /// Peak DRAM-tier usage across nodes (the DSM's memory footprint).

@@ -1,0 +1,232 @@
+//! Tenant identity and memory-budget accounting (mm-serve memory QoS).
+//!
+//! A *tenant* is one application sharing the DMSH with others: it owns a
+//! set of vectors, a pcache byte budget, a scache byte budget, and a
+//! service class ([`TenantClass`]) that decides retention priority under
+//! pressure. The [`TenantLedger`] is the runtime-wide registry; every
+//! pcache page installed on behalf of a tenant is charged to its
+//! [`TenantAccount`] and uncharged on eviction, so at any instant the sum
+//! of per-tenant resident bytes equals the total pcache occupancy of the
+//! tenant's handles (the invariant the budget proptest pins).
+//!
+//! Everything on the charge/uncharge path is a plain atomic op — no locks,
+//! no panics — because it runs inside the demand-fault path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::policy::TenantClass;
+
+/// Identifies one tenant within a runtime's [`TenantLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// Shorthand constructor.
+    pub fn new(id: u32) -> Self {
+        Self(id)
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Per-tenant accounting cell: budgets are fixed at registration; resident
+/// bytes move with pcache insert/evict via saturating atomics.
+#[derive(Debug)]
+pub struct TenantAccount {
+    id: TenantId,
+    name: String,
+    class: TenantClass,
+    pcache_budget: u64,
+    scache_budget: u64,
+    resident: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl TenantAccount {
+    /// The tenant's id within its ledger.
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The tenant's display name (used as the telemetry `tenant` label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's service class.
+    pub fn class(&self) -> TenantClass {
+        self.class
+    }
+
+    /// Configured pcache byte budget.
+    pub fn pcache_budget(&self) -> u64 {
+        self.pcache_budget
+    }
+
+    /// Configured scache byte budget (placement guidance for the serving
+    /// runtime; the DMSH enforces it through bucket priorities).
+    pub fn scache_budget(&self) -> u64 {
+        self.scache_budget
+    }
+
+    /// pcache bytes currently charged to this tenant across all handles.
+    pub fn resident(&self) -> u64 {
+        self.resident.load(Ordering::Acquire)
+    }
+
+    /// High-water mark of [`resident`](Self::resident).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Acquire)
+    }
+
+    /// Whether the tenant currently exceeds its pcache budget.
+    pub fn over_budget(&self) -> bool {
+        self.resident() > self.pcache_budget
+    }
+
+    /// Charge `bytes` of freshly installed pcache data.
+    pub fn charge(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let now = self.resident.fetch_add(bytes, Ordering::AcqRel) + bytes;
+        self.peak.fetch_max(now, Ordering::AcqRel);
+    }
+
+    /// Release `bytes` of evicted pcache data. Saturates at zero: an
+    /// uncharge that would underflow clamps instead of wrapping (the
+    /// accounting bug would surface in the budget proptest, not as a
+    /// poisoned u64 on the fault path).
+    pub fn uncharge(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let mut cur = self.resident.load(Ordering::Acquire);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.resident.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Runtime-wide tenant registry. Cheaply cloneable; registration is rare
+/// (serving-runtime startup), lookups clone an `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct TenantLedger {
+    roster: Arc<Mutex<Vec<Arc<TenantAccount>>>>,
+}
+
+impl TenantLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tenant; returns its id. Names need not be unique (the id
+    /// disambiguates), but reports read better when they are.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        class: TenantClass,
+        pcache_budget: u64,
+        scache_budget: u64,
+    ) -> TenantId {
+        let mut roster = self.roster.lock();
+        let id = TenantId(roster.len() as u32);
+        roster.push(Arc::new(TenantAccount {
+            id,
+            name: name.into(),
+            class,
+            pcache_budget,
+            scache_budget,
+            resident: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }));
+        id
+    }
+
+    /// Look up a tenant's account.
+    pub fn account(&self, id: TenantId) -> Option<Arc<TenantAccount>> {
+        self.roster.lock().get(id.0 as usize).cloned()
+    }
+
+    /// All registered accounts, in registration (id) order.
+    pub fn accounts(&self) -> Vec<Arc<TenantAccount>> {
+        self.roster.lock().clone()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.roster.lock().len()
+    }
+
+    /// Whether no tenants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.roster.lock().is_empty()
+    }
+
+    /// Sum of resident bytes over every tenant — must equal the summed
+    /// pcache occupancy of all tenant-attached handles.
+    pub fn total_resident(&self) -> u64 {
+        self.roster.lock().iter().map(|a| a.resident()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let l = TenantLedger::new();
+        let a = l.register("web", TenantClass::Interactive, 1 << 20, 1 << 24);
+        let b = l.register("etl", TenantClass::Batch, 1 << 22, 1 << 26);
+        assert_ne!(a, b);
+        assert_eq!(l.len(), 2);
+        let acct = l.account(a).unwrap();
+        assert_eq!(acct.name(), "web");
+        assert_eq!(acct.class(), TenantClass::Interactive);
+        assert_eq!(acct.pcache_budget(), 1 << 20);
+        assert!(l.account(TenantId(9)).is_none());
+    }
+
+    #[test]
+    fn charge_uncharge_tracks_peak_and_saturates() {
+        let l = TenantLedger::new();
+        let id = l.register("t", TenantClass::Batch, 100, 0);
+        let a = l.account(id).unwrap();
+        a.charge(60);
+        a.charge(60);
+        assert_eq!(a.resident(), 120);
+        assert!(a.over_budget());
+        assert_eq!(a.peak(), 120);
+        a.uncharge(50);
+        assert_eq!(a.resident(), 70);
+        assert!(!a.over_budget());
+        // Underflow clamps to zero instead of wrapping.
+        a.uncharge(1_000);
+        assert_eq!(a.resident(), 0);
+        assert_eq!(a.peak(), 120, "peak survives discharges");
+        assert_eq!(l.total_resident(), 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TenantId(3).to_string(), "t3");
+    }
+}

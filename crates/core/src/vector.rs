@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use megammap_cluster::Proc;
 use megammap_sim::SimTime;
-use megammap_telemetry::{lockorder, Counter, LockOrderToken, LockRank, Stage};
+use megammap_telemetry::{lockorder, Counter, Histogram, LockOrderToken, LockRank, Stage};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::client::VecOptions;
@@ -28,7 +28,39 @@ use crate::pcache::{CachedPage, PCache, PCacheStats};
 use crate::policy::{Access, Policy};
 use crate::prefetch::{run_prefetcher, PrefetchEnv};
 use crate::runtime::{Runtime, VectorMeta};
+use crate::tenant::TenantAccount;
 use crate::tx::{Transaction, TxKind};
+
+/// Virtual-ns bucket bounds for per-tenant fault-latency histograms: DRAM
+/// hits sit in the first buckets, cross-node / slow-tier faults in the last.
+const TENANT_FAULT_BOUNDS: [u64; 15] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Cached per-tenant telemetry handles (`None` in single-tenant mode).
+struct TenantMetrics {
+    acct: Arc<TenantAccount>,
+    /// Demand faults taken by this tenant's handle.
+    faults: Counter,
+    /// Virtual fault latency (miss detect → page installed), per fault.
+    fault_ns: Histogram,
+    /// pcache evictions this tenant's handle absorbed.
+    evictions: Counter,
+}
 
 /// Opaque token for an active transaction (returned by
 /// [`MmVec::tx_begin`], consumed by [`MmVec::tx_end`]).
@@ -49,6 +81,8 @@ pub struct MmVec<T: Element> {
     /// Bytes physically copied by copy-on-write promotions — shares the
     /// runtime's `runtime.bytes_copied` registry cell.
     bytes_copied: Counter,
+    /// Tenant attribution for this handle (mm-serve memory QoS).
+    tenant: Option<TenantMetrics>,
     _t: PhantomData<T>,
 }
 
@@ -69,6 +103,25 @@ impl<T: Element> MmVec<T> {
         let pcache_cap = opts.pcache_bytes.unwrap_or(rt.cfg().default_pcache);
         let mut pcache = PCache::new(meta.page_size, pcache_cap);
         pcache.attach_telemetry(rt.telemetry(), key);
+        let tenant = match opts.tenant {
+            Some(tid) => {
+                let acct = rt
+                    .tenants()
+                    .account(tid)
+                    .ok_or(MmError::Internal("tenant not registered in the runtime ledger"))?;
+                pcache.attach_tenant(acct.clone());
+                rt.set_vector_qos(meta.id, acct.class().retention_priority(), acct.name());
+                let labels = [("tenant", acct.name())];
+                let tel = rt.telemetry();
+                Some(TenantMetrics {
+                    faults: tel.counter("tenant", "faults", &labels),
+                    fault_ns: tel.histogram("tenant", "fault_ns", &labels, &TENANT_FAULT_BOUNDS),
+                    evictions: tel.counter("tenant", "pcache_evictions", &labels),
+                    acct,
+                })
+            }
+            None => None,
+        };
         Ok(Self {
             meta: meta.clone(),
             rt: rt.clone(),
@@ -77,6 +130,7 @@ impl<T: Element> MmVec<T> {
             no_prefetch: opts.no_prefetch,
             wasted_prefetches: rt.telemetry().counter("prefetch", "wasted", &[("vec", key)]),
             bytes_copied: rt.telemetry().counter("runtime", "bytes_copied", &[]),
+            tenant,
             _t: PhantomData,
         })
     }
@@ -116,9 +170,20 @@ impl<T: Element> MmVec<T> {
         self.state.lock().pcache.stats()
     }
 
+    /// Bytes currently resident in this handle's pcache (what tenant
+    /// budget accounting charges).
+    pub fn resident_bytes(&self) -> u64 {
+        self.state.lock().pcache.used()
+    }
+
     /// The shared metadata (id, policy phase, ...).
     pub fn meta(&self) -> &Arc<VectorMeta> {
         &self.meta
+    }
+
+    /// The tenant account this handle charges (mm-serve), if any.
+    pub fn tenant_account(&self) -> Option<&Arc<TenantAccount>> {
+        self.tenant.as_ref().map(|tm| &tm.acct)
     }
 
     // ---- PGAS partitioning ------------------------------------------------
@@ -638,6 +703,10 @@ impl<T: Element> MmVec<T> {
                 page,
             );
         }
+        if let Some(tm) = &self.tenant {
+            tm.faults.inc();
+            tm.fault_ns.record(p.now().saturating_sub(fault_at));
+        }
         st.pcache.peek_mut(page).ok_or(MmError::Internal("faulted page vanished after insert"))
     }
 
@@ -686,9 +755,18 @@ impl<T: Element> MmVec<T> {
         st.pcache.peek_mut(page).ok_or(MmError::Internal("zero page vanished after insert"))
     }
 
-    /// Evict until a page fits under the bound.
+    /// Whether this handle's tenant is over its pcache budget (counting
+    /// residency across all of the tenant's handles). Single-tenant mode
+    /// never is.
+    fn tenant_over_budget(&self) -> bool {
+        self.tenant.as_ref().map(|tm| tm.acct.over_budget()).unwrap_or(false)
+    }
+
+    /// Evict until a page fits under the bound *and* the owning tenant is
+    /// back within its pcache budget (admission control pressure: a tenant
+    /// pushed over budget by another of its handles gives memory back here).
     fn make_room(&self, p: &Proc, st: &mut VecState) -> Result<()> {
-        while st.pcache.needs_eviction() && !st.pcache.is_empty() {
+        while (st.pcache.needs_eviction() || self.tenant_over_budget()) && !st.pcache.is_empty() {
             let Some(victim) = st.pcache.pick_victim() else { break };
             self.evict_page(p, st, victim)?;
         }
@@ -699,6 +777,9 @@ impl<T: Element> MmVec<T> {
     /// process pays only the memcpy), clean pages are dropped.
     fn evict_page(&self, p: &Proc, st: &mut VecState, page: u64) -> Result<()> {
         let Some(mut cp) = st.pcache.remove(page) else { return Ok(()) };
+        if let Some(tm) = &self.tenant {
+            tm.evictions.inc();
+        }
         if cp.prefetched {
             // Fetched by the prefetcher but evicted before any access.
             self.wasted_prefetches.inc();
@@ -1163,6 +1244,54 @@ mod tests {
             .is_err()
         });
         assert!(outs[0], "second tx_begin must panic");
+    }
+
+    #[test]
+    fn tenant_budget_bounds_residency() {
+        use crate::policy::TenantClass;
+        let (cluster, rt) = fixture(1, 1);
+        let tid = rt.tenants().register("cap", TenantClass::Interactive, 2048, 1 << 20);
+        let rt2 = rt.clone();
+        cluster.run(move |p| {
+            // The handle's own pcache bound (8 pages) exceeds the tenant
+            // budget (2 pages): the budget must win.
+            let v: MmVec<u64> = MmVec::open(
+                &rt2,
+                p,
+                "mem://qos",
+                VecOptions::new().len(4000).pcache(8192).tenant(tid).no_prefetch(),
+            )
+            .unwrap();
+            let acct = v.tenant_account().unwrap().clone();
+            let tx = v.tx_begin(p, TxKind::seq(0, 4000), Access::WriteGlobal);
+            for i in 0..4000 {
+                v.store(p, &tx, i, i);
+                assert!(
+                    acct.resident() <= 2048 + 1024,
+                    "resident {} blew past budget+1page",
+                    acct.resident()
+                );
+            }
+            v.tx_end(p, tx);
+            let tx = v.tx_begin(p, TxKind::seq(0, 4000), Access::ReadOnly);
+            for i in (0..4000).step_by(97) {
+                assert_eq!(v.load(p, &tx, i), i);
+            }
+            v.tx_end(p, tx);
+            assert!(acct.peak() > 0);
+            let faults = rt2.telemetry().counter("tenant", "faults", &[("tenant", "cap")]);
+            assert!(faults.get() > 0, "tenant faults must be attributed");
+        });
+    }
+
+    #[test]
+    fn unknown_tenant_errors_on_open() {
+        use crate::tenant::TenantId;
+        let (cluster, rt) = fixture(1, 1);
+        let (outs, _) = cluster.run(move |p| {
+            MmVec::<u8>::open(&rt, p, "mem://bad", VecOptions::new().tenant(TenantId(7))).is_err()
+        });
+        assert!(outs[0], "opening with an unregistered tenant must fail");
     }
 
     #[test]

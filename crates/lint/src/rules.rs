@@ -155,14 +155,25 @@ const TRACED_NAMES: &[&str] =
 /// Crates whose public fault-path API must thread a `TraceCtx`.
 const TRACED_CRATES: &[&str] = &["crates/core/", "crates/tiered/", "crates/cluster/"];
 
+/// The multi-tenant serving crate: fault paths entered from here must
+/// carry tenant attribution on top of trace context.
+const TENANT_CRATE: &str = "crates/serve/";
+
 /// Public fault/commit/flush-path functions must accept a `TraceCtx`
 /// parameter, and `TraceCtx::NONE` (which severs the causal chain) may
-/// only appear at allowlisted sites.
+/// only appear at allowlisted sites. In `crates/serve/` the same name
+/// classes must additionally carry a `TenantId` (an unattributed fault in
+/// the serving runtime charges nobody's budget), and every
+/// `VecOptions::new()` builder chain must attach a `.tenant(..)`.
 pub fn trace_propagation(files: &[FileModel]) -> Vec<Finding> {
     let mut out = Vec::new();
     for m in files {
-        let in_scope = TRACED_CRATES.iter().any(|c| m.path.contains(c));
-        if !in_scope || m.path.contains("/tests/") || m.path.contains("/benches/") {
+        if m.path.contains("/tests/") || m.path.contains("/benches/") {
+            continue;
+        }
+        let core_scope = TRACED_CRATES.iter().any(|c| m.path.contains(c));
+        let serve_scope = m.path.contains(TENANT_CRATE);
+        if !core_scope && !serve_scope {
             continue;
         }
         for f in &m.fns {
@@ -170,7 +181,7 @@ pub fn trace_propagation(files: &[FileModel]) -> Vec<Finding> {
                 continue;
             }
             let on_path = TRACED_NAMES.iter().any(|n| f.name.contains(n));
-            if on_path && !f.params.contains("TraceCtx") {
+            if core_scope && on_path && !f.params.contains("TraceCtx") {
                 out.push(Finding {
                     rule: "trace-propagation",
                     path: m.path.clone(),
@@ -182,17 +193,53 @@ pub fn trace_propagation(files: &[FileModel]) -> Vec<Finding> {
                     line_text: format!("fn {}", f.name),
                 });
             }
-        }
-        for pos in m.occurrences("TraceCtx::NONE").collect::<Vec<_>>() {
-            if m.in_test(pos) {
-                continue;
+            if serve_scope && on_path && !f.params.contains("TenantId") {
+                out.push(Finding {
+                    rule: "trace-propagation",
+                    path: m.path.clone(),
+                    line: f.line,
+                    msg: format!(
+                        "pub fn `{}` enters the fault path from mm-serve but takes no TenantId \
+                         — unattributed faults charge nobody's budget",
+                        f.name
+                    ),
+                    line_text: format!("fn {}", f.name),
+                });
             }
-            out.push(finding(
-                "trace-propagation",
-                m,
-                pos,
-                "`TraceCtx::NONE` severs the causal chain — allowlist-only".to_string(),
-            ));
+        }
+        if core_scope {
+            for pos in m.occurrences("TraceCtx::NONE").collect::<Vec<_>>() {
+                if m.in_test(pos) {
+                    continue;
+                }
+                out.push(finding(
+                    "trace-propagation",
+                    m,
+                    pos,
+                    "`TraceCtx::NONE` severs the causal chain — allowlist-only".to_string(),
+                ));
+            }
+        }
+        if serve_scope {
+            for pos in m.occurrences("VecOptions::new()").collect::<Vec<_>>() {
+                if m.in_test(pos) {
+                    continue;
+                }
+                // The builder chain runs to the end of the statement; a
+                // tenant-less open in the serving crate is unaccounted.
+                let rest = &m.scrubbed[pos..];
+                let stmt = &rest[..rest.find(';').map_or(rest.len(), |i| i + 1)];
+                if !stmt.contains(".tenant(") {
+                    out.push(finding(
+                        "trace-propagation",
+                        m,
+                        pos,
+                        "`VecOptions::new()` in mm-serve without `.tenant(..)` — every serving \
+                         vector must be attributed to a registered tenant"
+                            .to_string(),
+                    ));
+                }
+            }
         }
     }
     out
@@ -585,6 +632,53 @@ mod tests {
         );
         let f = trace_propagation(&[m]);
         assert!(f.iter().any(|x| x.msg.contains("NONE")));
+    }
+
+    #[test]
+    fn serve_fault_path_without_tenant_is_flagged() {
+        let m = file(
+            "crates/serve/src/admission.rs",
+            "pub fn fault_probe(&self, ctx: TraceCtx) -> u64 { self.go(ctx) }",
+        );
+        let f = trace_propagation(&[m]);
+        assert!(f.iter().any(|x| x.msg.contains("TenantId")), "{f:?}");
+    }
+
+    #[test]
+    fn serve_fault_path_with_tenant_passes() {
+        let m = file(
+            "crates/serve/src/admission.rs",
+            "pub fn fault_probe(&self, tenant: TenantId) -> u64 { self.go(tenant) }",
+        );
+        assert!(trace_propagation(&[m]).is_empty());
+    }
+
+    #[test]
+    fn serve_vec_open_without_tenant_is_flagged() {
+        let m = file(
+            "crates/serve/src/scenario.rs",
+            "fn open_it(rt: &Runtime) { let o = VecOptions::new().len(8).pcache(4096); go(o); }",
+        );
+        let f = trace_propagation(&[m]);
+        assert!(f.iter().any(|x| x.msg.contains(".tenant(")), "{f:?}");
+    }
+
+    #[test]
+    fn serve_vec_open_with_tenant_passes() {
+        let m = file(
+            "crates/serve/src/scenario.rs",
+            "fn open_it(rt: &Runtime, id: TenantId) {\n    let o = VecOptions::new()\n        .len(8)\n        .tenant(id);\n    go(o);\n}",
+        );
+        assert!(trace_propagation(&[m]).is_empty());
+    }
+
+    #[test]
+    fn vec_open_outside_serve_needs_no_tenant() {
+        let m = file(
+            "crates/workloads/src/kmeans.rs",
+            "fn open_it(rt: &Runtime) { let o = VecOptions::new().len(8); go(o); }",
+        );
+        assert!(trace_propagation(&[m]).is_empty());
     }
 
     #[test]

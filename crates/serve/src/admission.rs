@@ -1,0 +1,207 @@
+//! Virtual-time token-bucket admission control.
+//!
+//! Every tenant class gets a rate limit ahead of the shared DMSH: requests
+//! spend one token; an empty bucket either **queues** the request until the
+//! next token matures (interactive and batch tenants — latency absorbs the
+//! wait) or **rejects** it outright (background tenants — churn is
+//! best-effort and must never build a backlog). All arithmetic is integer
+//! virtual-time, so admission decisions are bit-reproducible.
+
+use megammap_sim::{SimTime, NS_PER_SEC};
+
+/// Outcome of offering one request to the admission controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Token available: serve immediately.
+    Now,
+    /// Bucket empty, queueing policy: serve when the next token matures.
+    At(SimTime),
+    /// Bucket empty, rejecting policy: drop the request.
+    Reject,
+}
+
+/// What to do with a request that finds the bucket empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Delay the request until a token matures (bounded by token rate).
+    Queue,
+    /// Drop the request (best-effort background work).
+    Shed,
+}
+
+/// A deterministic token bucket on the virtual clock.
+#[derive(Debug)]
+pub struct TokenBucket {
+    ns_per_token: u64,
+    burst: u64,
+    tokens: u64,
+    /// Virtual instant the bucket last refilled to `tokens`.
+    refilled_at: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket issuing `rate_per_sec` tokens per virtual second with
+    /// capacity `burst` (starts full).
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        let burst = burst.max(1);
+        Self {
+            ns_per_token: (NS_PER_SEC / rate_per_sec.max(1)).max(1),
+            burst,
+            tokens: burst,
+            refilled_at: 0,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if self.tokens == self.burst {
+            // A full bucket doesn't accrue; restart the clock from `now`.
+            self.refilled_at = self.refilled_at.max(now);
+            return;
+        }
+        if now <= self.refilled_at {
+            return;
+        }
+        let gained = (now - self.refilled_at) / self.ns_per_token;
+        if gained >= self.burst - self.tokens {
+            self.tokens = self.burst;
+            self.refilled_at = now;
+        } else {
+            self.tokens += gained;
+            self.refilled_at += gained * self.ns_per_token;
+        }
+    }
+
+    /// Take a token at `now`, or report when the next one matures.
+    pub fn try_take(&mut self, now: SimTime) -> Result<(), SimTime> {
+        self.refill(now);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            Ok(())
+        } else {
+            Err(self.refilled_at + self.ns_per_token)
+        }
+    }
+}
+
+/// Per-tenant admission controller with counters for the serving report.
+#[derive(Debug)]
+pub struct Admission {
+    bucket: TokenBucket,
+    policy: OverloadPolicy,
+    /// Requests admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Admitted requests that had to wait for a token.
+    pub queued: u64,
+    /// Total virtual ns spent waiting for tokens.
+    pub queued_ns: u64,
+    /// Requests shed by the overload policy.
+    pub rejected: u64,
+}
+
+impl Admission {
+    /// Build a controller for one tenant class.
+    pub fn new(rate_per_sec: u64, burst: u64, policy: OverloadPolicy) -> Self {
+        Self {
+            bucket: TokenBucket::new(rate_per_sec, burst),
+            policy,
+            admitted: 0,
+            queued: 0,
+            queued_ns: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Offer one request arriving at `now`.
+    pub fn offer(&mut self, now: SimTime) -> Admit {
+        match self.bucket.try_take(now) {
+            Ok(()) => {
+                self.admitted += 1;
+                Admit::Now
+            }
+            Err(ready) => match self.policy {
+                OverloadPolicy::Queue => {
+                    // Take the matured token at its maturity instant.
+                    self.bucket
+                        .try_take(ready)
+                        .expect("a token matures at its own maturity instant");
+                    self.admitted += 1;
+                    self.queued += 1;
+                    self.queued_ns += ready.saturating_sub(now);
+                    Admit::At(ready)
+                }
+                OverloadPolicy::Shed => {
+                    self.rejected += 1;
+                    Admit::Reject
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_steady_rate() {
+        // 1000 tokens/s = 1 token per ms; burst of 2.
+        let mut b = TokenBucket::new(1_000, 2);
+        assert!(b.try_take(0).is_ok());
+        assert!(b.try_take(0).is_ok());
+        // Bucket empty: next token matures 1 ms after the last refill.
+        let ready = b.try_take(0).unwrap_err();
+        assert_eq!(ready, 1_000_000);
+        // At the maturity instant the take succeeds.
+        assert!(b.try_take(ready).is_ok());
+        // Steady state: exactly one token per ms, no drift.
+        let again = b.try_take(ready).unwrap_err();
+        assert_eq!(again, 2_000_000);
+    }
+
+    #[test]
+    fn idle_time_refills_up_to_burst_only() {
+        let mut b = TokenBucket::new(1_000, 3);
+        for _ in 0..3 {
+            assert!(b.try_take(0).is_ok());
+        }
+        // A long idle gap refills to burst, not beyond.
+        for _ in 0..3 {
+            assert!(b.try_take(NS_PER_SEC).is_ok());
+        }
+        assert!(b.try_take(NS_PER_SEC).is_err());
+    }
+
+    #[test]
+    fn queue_policy_delays_and_counts() {
+        let mut a = Admission::new(1_000, 1, OverloadPolicy::Queue);
+        assert_eq!(a.offer(0), Admit::Now);
+        match a.offer(0) {
+            Admit::At(t) => assert_eq!(t, 1_000_000),
+            other => panic!("expected queueing, got {other:?}"),
+        }
+        assert_eq!(a.admitted, 2);
+        assert_eq!(a.queued, 1);
+        assert_eq!(a.queued_ns, 1_000_000);
+        assert_eq!(a.rejected, 0);
+    }
+
+    #[test]
+    fn shed_policy_rejects_and_counts() {
+        let mut a = Admission::new(1_000, 1, OverloadPolicy::Shed);
+        assert_eq!(a.offer(0), Admit::Now);
+        assert_eq!(a.offer(0), Admit::Reject);
+        assert_eq!(a.admitted, 1);
+        assert_eq!(a.rejected, 1);
+        // Once a token matures the tenant is admitted again.
+        assert_eq!(a.offer(2_000_000), Admit::Now);
+    }
+
+    #[test]
+    fn deterministic_sequence() {
+        let run = || {
+            let mut a = Admission::new(10_000, 4, OverloadPolicy::Queue);
+            (0..1_000u64).map(|i| a.offer(i * 37_000)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

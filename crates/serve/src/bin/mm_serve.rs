@@ -1,0 +1,92 @@
+//! `mm_serve` — the multi-tenant memory-QoS serving scenario.
+//!
+//! Default mode runs the three-tenant scenario twice — QoS on, then QoS
+//! off — prints both per-tenant reports and a verdict: PASS iff the
+//! interactive tenant's p99 fault latency is strictly better with QoS and
+//! no tenant ever exceeded its byte budget. Everything runs on the virtual
+//! clock, so stdout is **byte-identical across runs of the same seed** —
+//! the CI serve stage runs the binary twice and diffs.
+//!
+//! * `--no-qos` — run only the no-QoS phase and print its report.
+//! * `--overhead-check` — wall-clock self-check that the per-tenant
+//!   telemetry costs < 2% (diagnostics on stderr only; stdout stays empty
+//!   so the determinism diff is unaffected).
+//! * The seed comes from `MM_SERVE_SEED` (default 42).
+//!
+//! Exit status: 0 on PASS, 1 on FAIL, 2 on usage error.
+
+use std::time::Instant;
+
+use megammap_serve::{render, run, verdict, ServeOpts};
+
+/// Wall-clock telemetry overhead budget, in percent (matches the
+/// `telemetry_overhead` bench budget).
+const OVERHEAD_BUDGET_PCT: f64 = 2.0;
+
+fn overhead_check(seed: u64) -> i32 {
+    // Interleave enabled/disabled runs and keep the per-arm floor: the
+    // minimum is the observation least polluted by scheduler noise.
+    let opts_on = ServeOpts { seed, serve_ms: 40, ..ServeOpts::default() };
+    let opts_off = ServeOpts { telemetry: false, ..opts_on.clone() };
+    let mut floor_on = f64::INFINITY;
+    let mut floor_off = f64::INFINITY;
+    for round in 0..5 {
+        let t = Instant::now();
+        std::hint::black_box(run(&opts_on));
+        let on = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        std::hint::black_box(run(&opts_off));
+        let off = t.elapsed().as_secs_f64();
+        floor_on = floor_on.min(on);
+        floor_off = floor_off.min(off);
+        eprintln!("round {round}: telemetry on {on:.3}s off {off:.3}s");
+    }
+    let pct = (floor_on - floor_off) / floor_off * 100.0;
+    eprintln!(
+        "telemetry overhead: floor on {floor_on:.3}s off {floor_off:.3}s => {pct:.2}% (budget {OVERHEAD_BUDGET_PCT}%)"
+    );
+    if pct < OVERHEAD_BUDGET_PCT {
+        eprintln!("overhead check PASS");
+        0
+    } else {
+        eprintln!("overhead check FAIL");
+        1
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::var("MM_SERVE_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let mut no_qos = false;
+    let mut overhead = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-qos" => no_qos = true,
+            "--overhead-check" => overhead = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: mm_serve [--no-qos | --overhead-check]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if overhead {
+        std::process::exit(overhead_check(seed));
+    }
+
+    if no_qos {
+        let r = run(&ServeOpts { seed, qos: false, ..ServeOpts::default() });
+        print!("{}", render(&r));
+        return;
+    }
+
+    let with_qos = run(&ServeOpts { seed, ..ServeOpts::default() });
+    let without = run(&ServeOpts { seed, qos: false, ..ServeOpts::default() });
+    print!("{}", render(&with_qos));
+    print!("{}", render(&without));
+    println!("== verdict ==");
+    let (pass, text) = verdict(&with_qos, &without);
+    print!("{text}");
+    std::process::exit(if pass { 0 } else { 1 });
+}

@@ -1,0 +1,30 @@
+//! # megammap-serve — multi-tenant serving runtime with memory QoS
+//!
+//! The MegaMmap paper evaluates one job at a time; this crate asks what
+//! happens when many tenants share one DSM node. It multiplexes tenants
+//! over a single tiered scache with three mechanisms layered on the core
+//! runtime:
+//!
+//! * **Byte budgets** ([`megammap::tenant`]) — every handle is attributed
+//!   to a registered tenant whose pcache residency is accounted atomically;
+//!   caps are sized so `resident <= budget` is a structural invariant.
+//! * **Admission control** ([`admission`]) — deterministic virtual-time
+//!   token buckets per tenant class; interactive/batch tenants queue,
+//!   background tenants shed.
+//! * **Priority placement** (`megammap-tiered`) — tenant classes map to
+//!   bucket priorities; the DMSH demotes low-priority blobs first and
+//!   refuses to displace higher-priority residents, so interactive pages
+//!   keep the DRAM tier while batch churn is pushed down.
+//!
+//! The [`scenario`] module drives all of it: a three-tenant, virtual-time
+//! serving scenario (point reads + range scans + a background KMeans job)
+//! whose rendered report is byte-identical across runs of the same seed.
+//! The `mm_serve` binary runs the scenario with QoS on and off and renders
+//! a verdict: the interactive tenant's p99 fault latency must be strictly
+//! better with QoS, with every budget respected.
+
+pub mod admission;
+pub mod scenario;
+
+pub use admission::{Admission, Admit, OverloadPolicy, TokenBucket};
+pub use scenario::{render, run, verdict, ScenarioReport, ServeOpts, TenantReport};

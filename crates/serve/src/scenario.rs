@@ -1,0 +1,622 @@
+//! The deterministic three-tenant serving scenario behind `mm_serve`.
+//!
+//! One shared DMSH node hosts three tenants with very different shapes:
+//!
+//! * **web** — an interactive tenant: ~2k simulated clients issuing point
+//!   reads with a skewed hot set (Zipf-ish 7/8 hot, 1/8 cold).
+//! * **etl** — a batch tenant: dozens of clients running range scans that
+//!   alternate over two large vectors.
+//! * **bg** — a background tenant: a chunked Lloyd-style KMeans job over a
+//!   [`Point3D`] vector that keeps churning pages while the others serve.
+//!
+//! Everything runs on the virtual clock: client arrivals come from
+//! [`LoadGen`], admission from [`Admission`], and every fault/commit cost
+//! from the sim device models — so the rendered report is byte-identical
+//! across runs of the same seed, which is what the CI double-run diff
+//! checks.
+//!
+//! With QoS on, tenants are registered with their real classes and byte
+//! budgets (pcache caps sum exactly to the budget, making residency-within-
+//! budget a structural invariant); with QoS off everyone is a batch tenant
+//! with an effectively unlimited budget, which reproduces the legacy
+//! single-tenant eviction and placement behavior.
+
+use megammap::prelude::*;
+use megammap::tx::splitmix64;
+use megammap_cluster::{Cluster, ClusterSpec, Proc};
+use megammap_sim::{Arrival, LoadGen};
+use megammap_sim::{DeviceSpec, SimTime, KIB, MIB, NS_PER_MS};
+use megammap_workloads::Point3D;
+
+use crate::admission::{Admission, Admit, OverloadPolicy};
+
+/// Page size of every vector in the scenario (small pages sharpen tier
+/// contention at miniature data sizes).
+const PAGE: u64 = 4 * KIB;
+/// `web` vector length (u64 elements; 256 KiB).
+const WEB_LEN: u64 = 32 * 1024;
+/// Hot subset of `web` touched by 7 out of 8 requests (48 KiB — fits the
+/// web pcache budget, so an unmolested interactive tenant serves from DRAM).
+const WEB_HOT: u64 = 6 * 1024;
+/// Per-vector `etl` length (u64 elements; 512 KiB each, two vectors).
+const ETL_LEN: u64 = 64 * 1024;
+/// Elements per `etl` range scan.
+const SCAN: u64 = 256;
+/// `bg` vector length ([`Point3D`] elements; 288 KiB).
+const BG_LEN: u64 = 24 * 1024;
+/// Points per background KMeans chunk.
+const CHUNK: u64 = 128;
+/// KMeans cluster count.
+const K: usize = 8;
+
+/// Per-tenant pcache caps. Budgets equal the sum of a tenant's handle caps,
+/// so `resident <= budget` holds structurally (the pcache evicts before
+/// inserting past its cap).
+const WEB_CAP: u64 = 64 * KIB;
+const ETL_CAP: u64 = 48 * KIB; // per handle; two handles
+const BG_CAP: u64 = 64 * KIB;
+
+/// Mirror of the private fault-latency bucket bounds in
+/// `megammap::vector` — the registry returns the already-registered
+/// histogram for the same key, so only equality of the key matters, but
+/// keeping the bounds identical avoids surprises if registration order
+/// ever flips.
+const FAULT_BOUNDS: [u64; 15] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Scenario knobs (CLI-facing).
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Seed for every deterministic draw (load, keys, data).
+    pub seed: u64,
+    /// Register tenants with real classes/budgets (`false` = legacy
+    /// single-tenant behavior: everyone batch, unlimited budgets).
+    pub qos: bool,
+    /// Virtual serving window in milliseconds.
+    pub serve_ms: u64,
+    /// Telemetry on/off (off is only used by the overhead self-check).
+    pub telemetry: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        Self { seed: 42, qos: true, serve_ms: 200, telemetry: true }
+    }
+}
+
+/// Everything the report prints about one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name (`web` / `etl` / `bg`).
+    pub name: &'static str,
+    /// Class name as registered for this phase.
+    pub class: &'static str,
+    /// Arrivals offered to admission.
+    pub requests: u64,
+    /// Requests admitted (immediately or queued).
+    pub admitted: u64,
+    /// Admitted requests that waited for a token.
+    pub queued: u64,
+    /// Requests shed by admission.
+    pub rejected: u64,
+    /// Request latency percentiles (virtual ns, exact nearest-rank over
+    /// every served request; includes admission queueing).
+    pub lat_p50: u64,
+    /// 99th percentile request latency.
+    pub lat_p99: u64,
+    /// 99.9th percentile request latency.
+    pub lat_p999: u64,
+    /// Synchronous page faults attributed to the tenant.
+    pub faults: u64,
+    /// Fault-latency percentiles (virtual ns, histogram upper bounds).
+    pub fault_p50: u64,
+    /// 99th percentile fault latency.
+    pub fault_p99: u64,
+    /// 99.9th percentile fault latency.
+    pub fault_p999: u64,
+    /// pcache evictions this tenant suffered.
+    pub evictions: u64,
+    /// scache demotions of this tenant's blobs.
+    pub demoted_suffered: u64,
+    /// scache demotions this tenant's puts inflicted on other buckets.
+    pub demoted_inflicted: u64,
+    /// Resident pcache bytes at scenario end.
+    pub resident: u64,
+    /// Peak resident pcache bytes.
+    pub peak: u64,
+    /// Registered pcache byte budget.
+    pub budget: u64,
+    /// Whether residency stayed within budget at every sampled instant
+    /// *and* at peak.
+    pub budget_ok: bool,
+    /// scache bytes per tier for this tenant's buckets, fastest first.
+    pub tiers: Vec<(&'static str, u64)>,
+    /// Deterministic content checksum after serving.
+    pub checksum: u64,
+}
+
+/// One full scenario phase.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Seed the phase ran with.
+    pub seed: u64,
+    /// Whether QoS (classes + budgets) was enabled.
+    pub qos: bool,
+    /// Virtual instant the phase finished.
+    pub end_ns: SimTime,
+    /// Per-tenant results, in `web`, `etl`, `bg` order.
+    pub tenants: Vec<TenantReport>,
+}
+
+/// Exact nearest-rank percentile over a sorted sample (same permille
+/// convention as the telemetry histograms).
+fn pct(sorted: &[u64], pm: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() as u64 - 1) * pm.min(1000) / 1000;
+    sorted[idx as usize]
+}
+
+/// Run one phase of the scenario and collect its report.
+pub fn run(opts: &ServeOpts) -> ScenarioReport {
+    let cluster = Cluster::new(ClusterSpec::new(1, 1));
+    cluster.telemetry().set_enabled(opts.telemetry);
+    // A deliberately tight tier stack: DRAM holds a fraction of the ~1.6 MiB
+    // working set, so somebody's pages always live on slow tiers. Who gets
+    // to keep DRAM is exactly what QoS decides.
+    let cfg = RuntimeConfig::default().with_page_size(PAGE).with_pcache(WEB_CAP).with_tiers(vec![
+        DeviceSpec::dram(256 * KIB),
+        DeviceSpec::nvme(MIB),
+        DeviceSpec::ssd(4 * MIB),
+    ]);
+    let rt = Runtime::new(&cluster, cfg);
+
+    let huge = 1 << 40; // "unlimited" budget for the no-QoS phase
+    let (web_id, etl_id, bg_id) = if opts.qos {
+        (
+            rt.tenants().register("web", TenantClass::Interactive, WEB_CAP, 256 * KIB),
+            rt.tenants().register("etl", TenantClass::Batch, 2 * ETL_CAP, MIB),
+            rt.tenants().register("bg", TenantClass::Background, BG_CAP, 256 * KIB),
+        )
+    } else {
+        (
+            rt.tenants().register("web", TenantClass::Batch, huge, huge),
+            rt.tenants().register("etl", TenantClass::Batch, huge, huge),
+            rt.tenants().register("bg", TenantClass::Batch, huge, huge),
+        )
+    };
+
+    let rt2 = rt.clone();
+    let opts2 = opts.clone();
+    let ((tenants, end_ns), _) =
+        cluster.run_once(move |p| serve_on(&rt2, p, &opts2, web_id, etl_id, bg_id));
+    ScenarioReport { seed: opts.seed, qos: opts.qos, end_ns, tenants }
+}
+
+/// The serving loop proper, on the single simulated process.
+fn serve_on(
+    rt: &Runtime,
+    p: &Proc,
+    opts: &ServeOpts,
+    web_id: TenantId,
+    etl_id: TenantId,
+    bg_id: TenantId,
+) -> (Vec<TenantReport>, SimTime) {
+    let seed = opts.seed;
+    // Point reads are unpredictable to the prefetcher, so the interactive
+    // tenant runs without it: every miss is a synchronous fault whose
+    // latency reflects exactly which tier the page lived on.
+    let web_v: MmVec<u64> = MmVec::open(
+        rt,
+        p,
+        "mem://serve/web",
+        VecOptions::new().len(WEB_LEN).pcache(WEB_CAP).tenant(web_id).no_prefetch(),
+    )
+    .expect("web vector");
+    let etl_a: MmVec<u64> = MmVec::open(
+        rt,
+        p,
+        "mem://serve/etl0",
+        VecOptions::new().len(ETL_LEN).pcache(ETL_CAP).tenant(etl_id),
+    )
+    .expect("etl vector 0");
+    let etl_b: MmVec<u64> = MmVec::open(
+        rt,
+        p,
+        "mem://serve/etl1",
+        VecOptions::new().len(ETL_LEN).pcache(ETL_CAP).tenant(etl_id),
+    )
+    .expect("etl vector 1");
+    let bg_v: MmVec<Point3D> = MmVec::open(
+        rt,
+        p,
+        "mem://serve/bg",
+        VecOptions::new().len(BG_LEN).pcache(BG_CAP).tenant(bg_id),
+    )
+    .expect("bg vector");
+
+    // ---- Fill phase: deterministic contents; the drains below wait for
+    // the async flushes so serving starts from a settled scache (each
+    // pcache keeps only its capped tail of the fill).
+    {
+        let tx = web_v.tx(p, TxKind::seq(0, WEB_LEN), Access::WriteGlobal).expect("web fill tx");
+        for i in 0..WEB_LEN {
+            web_v.store(p, &tx, i, splitmix64(seed ^ i));
+        }
+        tx.end().expect("web fill commit");
+    }
+    for (n, v) in [(1u64, &etl_a), (2u64, &etl_b)] {
+        let tx = v.tx(p, TxKind::seq(0, ETL_LEN), Access::WriteGlobal).expect("etl fill tx");
+        for i in 0..ETL_LEN {
+            v.store(p, &tx, i, splitmix64(seed ^ (n << 48) ^ i));
+        }
+        tx.end().expect("etl fill commit");
+    }
+    {
+        let tx = bg_v.tx(p, TxKind::seq(0, BG_LEN), Access::WriteGlobal).expect("bg fill tx");
+        for i in 0..BG_LEN {
+            let h = splitmix64(seed ^ (3 << 48) ^ i);
+            let pt = Point3D::new(
+                (h % 1000) as f32 / 10.0,
+                ((h >> 20) % 1000) as f32 / 10.0,
+                ((h >> 40) % 1000) as f32 / 10.0,
+            );
+            bg_v.store(p, &tx, i, pt);
+        }
+        tx.end().expect("bg fill commit");
+    }
+    web_v.drain(p);
+    etl_a.drain(p);
+    etl_b.drain(p);
+    bg_v.drain(p);
+
+    // ---- Serving phase.
+    let serve_start = p.now();
+    let deadline = serve_start + opts.serve_ms * NS_PER_MS;
+    // Offered load sits just above the admission rates and near the
+    // server's virtual service capacity: the interactive tenant is barely
+    // shaped, batch is throttled, background is shed.
+    let mut web_gen = LoadGen::new(seed ^ 0xA1, 2048, 100 * NS_PER_MS, serve_start);
+    let mut etl_gen = LoadGen::new(seed ^ 0xB2, 64, 16 * NS_PER_MS, serve_start);
+    let mut bg_gen = LoadGen::new(seed ^ 0xC3, 32, 16 * NS_PER_MS, serve_start);
+    let mut adms = [
+        Admission::new(22_000, 32, OverloadPolicy::Queue), // web (~20.5k/s offered)
+        Admission::new(3_000, 8, OverloadPolicy::Queue),   // etl (~4k/s offered)
+        Admission::new(1_000, 4, OverloadPolicy::Shed),    // bg (~2k/s offered)
+    ];
+
+    let accounts = [
+        rt.tenants().account(web_id).expect("web account"),
+        rt.tenants().account(etl_id).expect("etl account"),
+        rt.tenants().account(bg_id).expect("bg account"),
+    ];
+    let mut lat: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut requests = [0u64; 3];
+    let mut budget_ok = [true; 3];
+
+    // Background KMeans state (Lloyd assign/update over deterministic
+    // chunks; centroids live in process-local memory and are periodically
+    // written back into the head of the bg vector).
+    let mut centroids = [Point3D::default(); K];
+    for (k, c) in centroids.iter_mut().enumerate() {
+        let h = splitmix64(seed ^ 0xC0FFEE ^ k as u64);
+        *c = Point3D::new(
+            (h % 1000) as f32 / 10.0,
+            ((h >> 20) % 1000) as f32 / 10.0,
+            ((h >> 40) % 1000) as f32 / 10.0,
+        );
+    }
+    let mut kacc = [(Point3D::default(), 0u64); K];
+    let mut bg_chunks = 0u64;
+    let mut sink = 0u64;
+
+    loop {
+        // Earliest arrival across the three tenants; ties break in tenant
+        // order (web, etl, bg) because only a strictly earlier time wins.
+        let mut pick: Option<(SimTime, usize)> = None;
+        for (i, t) in
+            [web_gen.peek_at(), etl_gen.peek_at(), bg_gen.peek_at()].into_iter().enumerate()
+        {
+            if let Some(t) = t {
+                if pick.is_none_or(|(bt, _)| t < bt) {
+                    pick = Some((t, i));
+                }
+            }
+        }
+        let (at, who) = pick.expect("populations are nonempty");
+        if at >= deadline {
+            break;
+        }
+        let a: Arrival = match who {
+            0 => web_gen.next_arrival(),
+            1 => etl_gen.next_arrival(),
+            _ => bg_gen.next_arrival(),
+        }
+        .expect("peeked arrival exists");
+        requests[who] += 1;
+        // Tokens accrue up to the instant the server could actually look at
+        // the request, which is max(arrival, busy-until).
+        let offered = a.at.max(p.now());
+        let start = match adms[who].offer(offered) {
+            Admit::Now => offered,
+            Admit::At(t) => t,
+            Admit::Reject => continue,
+        };
+        if start > p.now() {
+            p.advance_to(start);
+        }
+
+        match who {
+            0 => {
+                // Point read: 7/8 hot-set, 1/8 uniform cold.
+                let idx = if a.draw.is_multiple_of(8) {
+                    (a.draw >> 8) % WEB_LEN
+                } else {
+                    (a.draw >> 8) % WEB_HOT
+                };
+                let tx = web_v.tx(p, TxKind::seq(idx, 1), Access::ReadOnly).expect("web tx");
+                sink ^= web_v.load(p, &tx, idx);
+                tx.end().expect("web tx end");
+            }
+            1 => {
+                // Range scan alternating across the two etl vectors.
+                let v = if a.client.is_multiple_of(2) { &etl_a } else { &etl_b };
+                let base = (a.draw >> 8) % (ETL_LEN - SCAN);
+                let tx = v.tx(p, TxKind::seq(base, SCAN), Access::ReadOnly).expect("etl tx");
+                let mut s = 0u64;
+                for i in base..base + SCAN {
+                    s = s.wrapping_add(v.load(p, &tx, i));
+                }
+                tx.end().expect("etl tx end");
+                sink ^= s;
+            }
+            _ => {
+                // One KMeans assign chunk; periodic centroid update + write-
+                // back keeps dirty pages flowing into the shared scache.
+                let base = ((a.draw >> 8) % (BG_LEN / CHUNK)) * CHUNK;
+                let tx = bg_v.tx(p, TxKind::seq(base, CHUNK), Access::ReadOnly).expect("bg tx");
+                for i in base..base + CHUNK {
+                    let pt = bg_v.load(p, &tx, i);
+                    let (k, _) = pt.nearest_centroid(&centroids);
+                    kacc[k].0 = kacc[k].0.add(&pt);
+                    kacc[k].1 += 1;
+                }
+                tx.end().expect("bg tx end");
+                p.compute_flops(CHUNK * 11 * K as u64);
+                bg_chunks += 1;
+                if bg_chunks.is_multiple_of(48) {
+                    for (k, (sum, n)) in kacc.iter_mut().enumerate() {
+                        if *n > 0 {
+                            centroids[k] = sum.scale(1.0 / *n as f32);
+                        }
+                        *(sum) = Point3D::default();
+                        *n = 0;
+                    }
+                    let tx = bg_v
+                        .tx(p, TxKind::seq(0, K as u64), Access::WriteGlobal)
+                        .expect("bg write tx");
+                    for (k, c) in centroids.iter().enumerate() {
+                        bg_v.store(p, &tx, k as u64, *c);
+                    }
+                    tx.end().expect("bg write end");
+                }
+            }
+        }
+        lat[who].push(p.now().saturating_sub(a.at));
+        if requests[who].is_multiple_of(32) {
+            for i in 0..3 {
+                if accounts[i].resident() > accounts[i].pcache_budget() {
+                    budget_ok[i] = false;
+                }
+            }
+        }
+    }
+
+    // ---- Metrics snapshot (before the checksum pass, so fault stats
+    // reflect the serving window only).
+    let tel = rt.telemetry();
+    let mut reports = Vec::with_capacity(3);
+    for (i, name) in ["web", "etl", "bg"].into_iter().enumerate() {
+        let labels = [("tenant", name)];
+        let hist = tel.histogram("tenant", "fault_ns", &labels, &FAULT_BOUNDS).snapshot();
+        lat[i].sort_unstable();
+        reports.push(TenantReport {
+            name,
+            class: accounts[i].class().name(),
+            requests: requests[i],
+            admitted: adms[i].admitted,
+            queued: adms[i].queued,
+            rejected: adms[i].rejected,
+            lat_p50: pct(&lat[i], 500),
+            lat_p99: pct(&lat[i], 990),
+            lat_p999: pct(&lat[i], 999),
+            faults: tel.counter("tenant", "faults", &labels).get(),
+            fault_p50: hist.p50(),
+            fault_p99: hist.p99(),
+            fault_p999: hist.p999(),
+            evictions: tel.counter("tenant", "pcache_evictions", &labels).get(),
+            demoted_suffered: tel.counter("tenant", "scache_demotions_suffered", &labels).get(),
+            demoted_inflicted: tel.counter("tenant", "scache_demotions_inflicted", &labels).get(),
+            resident: 0,
+            peak: 0,
+            budget: accounts[i].pcache_budget(),
+            budget_ok: budget_ok[i],
+            tiers: Vec::new(),
+            checksum: 0,
+        });
+    }
+
+    // ---- Checksum pass: forces real end-to-end reads of every byte and
+    // pins content determinism in the diffed output.
+    let check = |v: &MmVec<u64>| -> u64 {
+        let tx = v.tx(p, TxKind::seq(0, v.len()), Access::ReadOnly).expect("checksum tx");
+        let mut s = 0u64;
+        for i in 0..v.len() {
+            s = s.wrapping_mul(31).wrapping_add(v.load(p, &tx, i));
+        }
+        tx.end().expect("checksum end");
+        s
+    };
+    reports[0].checksum = check(&web_v);
+    reports[1].checksum = check(&etl_a).wrapping_mul(31).wrapping_add(check(&etl_b));
+    {
+        let tx = bg_v.tx(p, TxKind::seq(0, BG_LEN), Access::ReadOnly).expect("bg checksum tx");
+        let mut s = 0u64;
+        for i in 0..BG_LEN {
+            let pt = bg_v.load(p, &tx, i);
+            for b in [pt.x.to_bits(), pt.y.to_bits(), pt.z.to_bits()] {
+                s = s.wrapping_mul(31).wrapping_add(b as u64);
+            }
+        }
+        tx.end().expect("bg checksum end");
+        reports[2].checksum = s;
+    }
+
+    // ---- Final residency + placement.
+    let dmsh = &rt.node(0).dmsh;
+    let buckets =
+        [vec![web_v.meta().id], vec![etl_a.meta().id, etl_b.meta().id], vec![bg_v.meta().id]];
+    for (i, r) in reports.iter_mut().enumerate() {
+        r.resident = accounts[i].resident();
+        r.peak = accounts[i].peak();
+        r.budget_ok = r.budget_ok && r.peak <= r.budget;
+        let mut tiers: Vec<(&'static str, u64)> = Vec::new();
+        for b in &buckets[i] {
+            for (j, (kind, bytes)) in dmsh.bucket_tier_usage(*b).into_iter().enumerate() {
+                if j == tiers.len() {
+                    tiers.push((kind.name(), 0));
+                }
+                tiers[j].1 += bytes;
+            }
+        }
+        r.tiers = tiers;
+    }
+    // The sink forces every load to really happen; fold it into virtual
+    // time parity instead of printing wall-clock noise.
+    std::hint::black_box(sink);
+    (reports, p.now())
+}
+
+/// Render a phase report as the deterministic text `mm_serve` prints.
+pub fn render(r: &ScenarioReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let qos = if r.qos { "on" } else { "off" };
+    let _ = writeln!(out, "== mm-serve scenario: seed {} qos {} ==", r.seed, qos);
+    let _ = writeln!(out, "virtual end: {} ns", r.end_ns);
+    for t in &r.tenants {
+        let _ = writeln!(
+            out,
+            "tenant {} ({}): requests {} admitted {} queued {} rejected {}",
+            t.name, t.class, t.requests, t.admitted, t.queued, t.rejected
+        );
+        let _ =
+            writeln!(out, "  request ns   p50 {} p99 {} p999 {}", t.lat_p50, t.lat_p99, t.lat_p999);
+        let _ = writeln!(
+            out,
+            "  fault ns     p50 {} p99 {} p999 {} (faults {})",
+            t.fault_p50, t.fault_p99, t.fault_p999, t.faults
+        );
+        let _ = writeln!(
+            out,
+            "  pcache       resident {} peak {} budget {} within-budget {}",
+            t.resident, t.peak, t.budget, t.budget_ok
+        );
+        let _ = writeln!(
+            out,
+            "  pressure     evictions {} demotions suffered {} inflicted {}",
+            t.evictions, t.demoted_suffered, t.demoted_inflicted
+        );
+        let tiers = t.tiers.iter().map(|(k, b)| format!("{k} {b}")).collect::<Vec<_>>().join("  ");
+        let _ = writeln!(out, "  scache       {tiers}");
+        let _ = writeln!(out, "  checksum     {:#018x}", t.checksum);
+    }
+    out
+}
+
+/// Compare the QoS phase against the no-QoS phase: the interactive
+/// tenant's p99 fault latency must be strictly better and every budget
+/// must have held. Returns `(pass, rendered verdict)`.
+pub fn verdict(with_qos: &ScenarioReport, without: &ScenarioReport) -> (bool, String) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let qw = &with_qos.tenants[0];
+    let nw = &without.tenants[0];
+    let fault_better = qw.fault_p99 < nw.fault_p99;
+    let req_better = qw.lat_p99 < nw.lat_p99;
+    let budgets_held = with_qos.tenants.iter().all(|t| t.budget_ok);
+    let _ = writeln!(
+        out,
+        "interactive fault p99: qos {} ns vs no-qos {} ns ({})",
+        qw.fault_p99,
+        nw.fault_p99,
+        if fault_better { "strictly better" } else { "NOT better" }
+    );
+    let _ = writeln!(
+        out,
+        "interactive request p99: qos {} ns vs no-qos {} ns ({})",
+        qw.lat_p99,
+        nw.lat_p99,
+        if req_better { "strictly better" } else { "NOT better" }
+    );
+    let _ = writeln!(out, "budgets held under qos: {budgets_held}");
+    let pass = fault_better && budgets_held;
+    let _ = writeln!(out, "VERDICT: {}", if pass { "PASS" } else { "FAIL" });
+    (pass, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServeOpts {
+        ServeOpts { serve_ms: 40, ..ServeOpts::default() }
+    }
+
+    #[test]
+    fn double_run_is_byte_identical() {
+        let a = render(&run(&small()));
+        let b = render(&run(&small()));
+        assert_eq!(a, b, "same seed must render byte-identical reports");
+    }
+
+    #[test]
+    fn budgets_hold_and_every_tenant_serves() {
+        let r = run(&small());
+        for t in &r.tenants {
+            assert!(t.budget_ok, "tenant {} broke its budget", t.name);
+            assert!(t.requests > 0, "tenant {} saw no load", t.name);
+            assert!(t.admitted > 0, "tenant {} served nothing", t.name);
+            assert!(t.peak <= t.budget, "tenant {} peaked past its budget", t.name);
+        }
+        // The interactive tenant runs without a prefetcher, so its cold
+        // reads must show up as synchronous faults; batch scans may be
+        // fully covered by prefetching.
+        assert!(r.tenants[0].faults > 0, "web never faulted");
+        // Background load is shed, not queued.
+        assert!(r.tenants[2].rejected > 0, "background tenant never shed");
+    }
+
+    #[test]
+    fn different_seeds_produce_different_reports() {
+        let a = render(&run(&small()));
+        let b = render(&run(&ServeOpts { seed: 43, ..small() }));
+        assert_ne!(a, b);
+    }
+}

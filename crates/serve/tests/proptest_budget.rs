@@ -1,0 +1,146 @@
+//! Property tests: tenant budget accounting must be exact.
+//!
+//! Two invariants, checked after **every** operation of an arbitrary
+//! interleaving of stores, loads, transaction boundaries and pcache-cap
+//! changes over handles owned by two tenants with tight caps (so faults
+//! and evictions fire constantly):
+//!
+//! 1. No tenant's resident bytes ever exceed its budget (budgets are sized
+//!    as the sum of the tenant's handle caps — the structural guarantee
+//!    `mm_serve` relies on; cap changes only ever shrink, so the sum stays
+//!    under budget).
+//! 2. The sum of per-tenant resident bytes equals the summed pcache
+//!    occupancy of the tenant-attached handles — charging mirrors the
+//!    caches exactly, no leaks in either direction.
+//!
+//! Teardown destroys every vector and asserts the ledger returns to zero.
+
+use megammap::prelude::*;
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::DeviceSpec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Store into vector `v` at `idx`.
+    Store { v: usize, idx: u64 },
+    /// Load from vector `v` at `idx`.
+    Load { v: usize, idx: u64 },
+    /// End + reopen the vector's transaction (commits dirty pages).
+    TxBoundary { v: usize },
+    /// Shrink the vector's pcache cap to one page (evicts on next insert).
+    Shrink { v: usize },
+    /// Restore the vector's original pcache cap.
+    Restore { v: usize },
+}
+
+const N: u64 = 256; // elements per vector
+const NVECS: usize = 3;
+/// Initial pcache caps; budgets are the per-tenant sums (alpha owns the
+/// first two handles, beta the third).
+const CAPS: [u64; NVECS] = [512, 768, 512];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..NVECS, 0..N).prop_map(|(v, idx)| Op::Store { v, idx }),
+        (0..NVECS, 0..N).prop_map(|(v, idx)| Op::Load { v, idx }),
+        (0..NVECS).prop_map(|v| Op::TxBoundary { v }),
+        (0..NVECS).prop_map(|v| Op::Shrink { v }),
+        (0..NVECS).prop_map(|v| Op::Restore { v }),
+    ]
+}
+
+fn run_ops(ops: Vec<Op>) {
+    let cluster = Cluster::new(ClusterSpec::new(1, 1));
+    let cfg = RuntimeConfig::default()
+        .with_page_size(256)
+        .with_tiers(vec![DeviceSpec::dram(4096), DeviceSpec::nvme(1 << 22)]);
+    let rt = Runtime::new(&cluster, cfg);
+    let alpha =
+        rt.tenants().register("alpha", TenantClass::Interactive, CAPS[0] + CAPS[1], 1 << 20);
+    let beta = rt.tenants().register("beta", TenantClass::Batch, CAPS[2], 1 << 20);
+    let rt2 = rt.clone();
+    cluster.run_once(move |p| {
+        let tenants = [alpha, alpha, beta];
+        let mut vecs: Vec<MmVec<u64>> = (0..NVECS)
+            .map(|i| {
+                MmVec::open(
+                    &rt2,
+                    p,
+                    &format!("mem://prop/v{i}"),
+                    VecOptions::new().len(N).pcache(CAPS[i]).tenant(tenants[i]),
+                )
+                .unwrap()
+            })
+            .collect();
+        let accounts =
+            [rt2.tenants().account(alpha).unwrap(), rt2.tenants().account(beta).unwrap()];
+        let mut txs: Vec<Option<TxScope<u64>>> = vecs
+            .iter()
+            .map(|v| Some(v.tx(p, TxKind::seq(0, N), Access::ReadWriteGlobal).unwrap()))
+            .collect();
+
+        let check = |vecs: &[MmVec<u64>], step: usize| {
+            for acct in &accounts {
+                assert!(
+                    acct.resident() <= acct.pcache_budget(),
+                    "step {step}: tenant {} resident {} over budget {}",
+                    acct.name(),
+                    acct.resident(),
+                    acct.pcache_budget(),
+                );
+            }
+            let charged: u64 = accounts.iter().map(|a| a.resident()).sum();
+            let occupied: u64 = vecs.iter().map(|v| v.resident_bytes()).sum();
+            assert_eq!(
+                charged, occupied,
+                "step {step}: per-tenant charges diverge from pcache occupancy"
+            );
+            assert_eq!(charged, rt2.tenants().total_resident(), "step {step}: ledger sum");
+        };
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Store { v, idx } => {
+                    let tx = txs[v].as_ref().unwrap();
+                    vecs[v].store(p, tx.handle(), idx, ((step as u64) << 32) | idx);
+                }
+                Op::Load { v, idx } => {
+                    let tx = txs[v].as_ref().unwrap();
+                    let _val = vecs[v].load(p, tx.handle(), idx);
+                }
+                Op::TxBoundary { v } => {
+                    txs[v].take().unwrap().end().unwrap();
+                    txs[v] =
+                        Some(vecs[v].tx(p, TxKind::seq(0, N), Access::ReadWriteGlobal).unwrap());
+                }
+                Op::Shrink { v } => vecs[v].bound_memory(256),
+                Op::Restore { v } => vecs[v].bound_memory(CAPS[v]),
+            }
+            check(&vecs, step);
+        }
+        // Teardown: destroying every handle must uncharge every byte.
+        for tx in txs.iter_mut() {
+            tx.take().unwrap().end().unwrap();
+        }
+        drop(txs);
+        for v in vecs.drain(..) {
+            v.destroy(p, true).unwrap();
+        }
+        for acct in &accounts {
+            assert_eq!(acct.resident(), 0, "tenant {} still charged after destroy", acct.name());
+        }
+        assert_eq!(rt2.tenants().total_resident(), 0, "ledger nonzero after full teardown");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn budgets_and_occupancy_hold_under_any_interleaving(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        run_ops(ops);
+    }
+}

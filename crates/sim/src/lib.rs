@@ -30,6 +30,8 @@
 //! * [`fault`] — deterministic, seeded fault schedules (node crashes,
 //!   partitions, drop windows, tier-device faults, backend outages) consumed
 //!   by the mm-chaos harness.
+//! * [`loadgen`] — deterministic open-loop client arrival streams consumed
+//!   by the mm-serve multi-tenant serving scenario.
 
 pub mod clock;
 pub mod cost;
@@ -37,6 +39,7 @@ pub mod cpu;
 pub mod device;
 pub mod fault;
 pub mod ledger;
+pub mod loadgen;
 pub mod net;
 pub mod resource;
 
@@ -46,6 +49,7 @@ pub use cpu::CpuModel;
 pub use device::{DeviceModel, DeviceSpec, TierKind};
 pub use fault::{Backoff, FaultPlan};
 pub use ledger::{CapacityError, MemoryLedger};
+pub use loadgen::{Arrival, LoadGen};
 pub use net::{CollectiveShape, LinkProfile, NetworkModel};
 pub use resource::SharedResource;
 

@@ -32,6 +32,8 @@ pub struct StageLatency {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (tail of the tail — the serving-QoS SLO line).
+    pub p999: u64,
     /// Longest single span.
     pub max: u64,
 }
@@ -52,11 +54,14 @@ pub struct CriticalPathGroup {
     pub stages: Vec<StageLatency>,
 }
 
-fn percentile(sorted: &[u64], q: u64) -> u64 {
+/// Nearest-rank percentile over sorted samples; `pm` is in permille
+/// (p50 = 500, p99 = 990, p99.9 = 999) so tail quantiles past the
+/// percent grid are expressible.
+fn percentile(sorted: &[u64], pm: u64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    sorted[((sorted.len() as u64 - 1) * q / 100) as usize]
+    sorted[((sorted.len() as u64 - 1) * pm / 1000) as usize]
 }
 
 fn json_escape(s: &str) -> String {
@@ -263,9 +268,10 @@ impl Snapshot {
                             tier,
                             count: durs.len() as u64,
                             total_ns: durs.iter().sum(),
-                            p50: percentile(&durs, 50),
-                            p90: percentile(&durs, 90),
-                            p99: percentile(&durs, 99),
+                            p50: percentile(&durs, 500),
+                            p90: percentile(&durs, 900),
+                            p99: percentile(&durs, 990),
+                            p999: percentile(&durs, 999),
                             max: *durs.last().unwrap_or(&0),
                         }
                     })
@@ -308,8 +314,8 @@ impl Snapshot {
                 };
                 let _ = writeln!(
                     out,
-                    "    {name:<24} n={:<6} total={:<12} share={share:>5.1}% p50={} p90={} p99={} max={}",
-                    s.count, s.total_ns, s.p50, s.p90, s.p99, s.max
+                    "    {name:<24} n={:<6} total={:<12} share={share:>5.1}% p50={} p90={} p99={} p999={} max={}",
+                    s.count, s.total_ns, s.p50, s.p90, s.p99, s.p999, s.max
                 );
             }
         }

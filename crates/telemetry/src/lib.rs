@@ -323,6 +323,61 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Quantile estimate at `pm` permille (p50 = 500, p99 = 990,
+    /// p99.9 = 999) with linear interpolation inside the containing
+    /// bucket.
+    ///
+    /// The target rank is `(count - 1) * pm / 1000` (integer math, so
+    /// deterministic); the value is interpolated between the bucket's
+    /// lower and upper bound by the rank's position within the bucket.
+    /// Samples in the final +inf bucket report the last finite bound
+    /// (the histogram cannot see past its bounds). Returns 0 for an
+    /// empty histogram.
+    pub fn percentile(&self, pm: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pm = pm.min(1000);
+        let target = (self.count - 1) * pm / 1000;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c > target {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // +inf bucket: clamp to the last finite bound.
+                    None => return self.bounds.last().copied().unwrap_or(0),
+                };
+                // Position of the target rank within this bucket, in
+                // [0, c): interpolate across the bucket's width.
+                let pos = target - seen;
+                return lo + (hi - lo) * (pos + 1) / c;
+            }
+            seen += c;
+        }
+        self.bounds.last().copied().unwrap_or(0)
+    }
+
+    /// Median estimate (see [`percentile`](Self::percentile)).
+    pub fn p50(&self) -> u64 {
+        self.percentile(500)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(990)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.percentile(999)
+    }
+}
+
 /// A deterministic point-in-time view of a [`Telemetry`] instance:
 /// metrics sorted by key, events sorted by virtual time.
 #[derive(Debug, Clone)]
@@ -412,6 +467,52 @@ mod tests {
             s.sum,
             0u64.wrapping_add(10 + 11 + 100 + 101 + 1000 + 1001).wrapping_add(u64::MAX)
         );
+    }
+
+    #[test]
+    fn histogram_percentiles_pin_interpolation() {
+        // 100 samples spread over buckets (≤100, ≤200, ≤400, +inf):
+        // 50 in the first, 30 in the second, 19 in the third, 1 in +inf.
+        let h = Histogram::detached(&[100, 200, 400]);
+        for _ in 0..50 {
+            h.record(10);
+        }
+        for _ in 0..30 {
+            h.record(150);
+        }
+        for _ in 0..19 {
+            h.record(300);
+        }
+        h.record(10_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50: target rank (99*500/1000)=49, inside bucket 0 (counts 0..49),
+        // pos 49 of 50 → 0 + 100*50/50 = 100.
+        assert_eq!(s.p50(), 100);
+        // p90: rank 89, bucket 2 (seen 80, c=19), pos 9 → 200 + 200*10/19 = 305.
+        assert_eq!(s.percentile(900), 305);
+        // p99: rank 98, bucket 2, pos 18 → 200 + 200*19/19 = 400.
+        assert_eq!(s.p99(), 400);
+        // p999: rank 98 as well (99*999/1000 = 98) → still 400; only the
+        // very last sample lives past the finite bounds.
+        assert_eq!(s.p999(), 400);
+        // p100: rank 99 lands in the +inf bucket → clamped to last bound.
+        assert_eq!(s.percentile(1000), 400);
+    }
+
+    #[test]
+    fn histogram_percentile_edge_cases() {
+        let empty = Histogram::detached(&[10]).snapshot();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p999(), 0);
+        // A single sample: every quantile reports its bucket.
+        let h = Histogram::detached(&[10, 20]);
+        h.record(15);
+        let s = h.snapshot();
+        // rank 0, bucket 1 (10..20], pos 0 of 1 → 10 + 10*1/1 = 20.
+        for pm in [0, 500, 990, 999, 1000] {
+            assert_eq!(s.percentile(pm), 20, "pm={pm}");
+        }
     }
 
     #[test]

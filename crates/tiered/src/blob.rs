@@ -37,6 +37,10 @@ pub struct BlobMeta {
     /// Importance score in `[0, 1]` — "a number between 0 and 1
     /// representing the priority of a memory page" (paper §III-B).
     pub score: f32,
+    /// Tenant retention priority of the owning bucket (mm-serve QoS):
+    /// victim selection and displacement compare priority before score, so
+    /// interactive tenants keep DRAM while batch work is demoted first.
+    pub priority: u8,
     /// Node that set the score most recently (locality hint).
     pub score_node: usize,
     /// Virtual time the score was last updated.

@@ -67,6 +67,21 @@ struct TierMetrics {
     promotions: Counter,
 }
 
+/// Per-bucket QoS registration (mm-serve): retention priority plus
+/// demotion-attribution counters labelled with the owning tenant.
+struct BucketQos {
+    priority: u8,
+    /// Demotions where a blob of this bucket was the victim.
+    suffered: Counter,
+    /// Demotions this bucket's placements forced on *other* buckets.
+    inflicted: Counter,
+}
+
+/// Retention priority of buckets with no QoS registration — the legacy
+/// single-tenant mode. Matches the batch tenant class so untagged traffic
+/// neither dominates nor starves.
+const DEFAULT_PRIORITY: u8 = 1;
+
 /// One node's tier stack plus blob metadata.
 ///
 /// Tiers are ordered fastest-first. Placement policy (paper §III-D):
@@ -79,6 +94,8 @@ pub struct Dmsh {
     node: u32,
     tiers: Vec<Tier>,
     meta: Mutex<BTreeMap<BlobId, BlobMeta>>,
+    /// Tenant QoS by bucket (leaf lock; nests under `meta` in `demote`).
+    bucket_qos: Mutex<HashMap<u64, BucketQos>>,
     telemetry: Telemetry,
     tier_metrics: Vec<TierMetrics>,
     /// Bytes physically copied when patching a shared blob — shares the
@@ -137,6 +154,7 @@ impl Dmsh {
             node,
             tiers,
             meta: Mutex::new(BTreeMap::new()),
+            bucket_qos: Mutex::new(HashMap::new()),
             telemetry,
             tier_metrics,
             bytes_copied,
@@ -201,7 +219,7 @@ impl Dmsh {
             let ids: Vec<BlobId> =
                 meta.iter().filter(|(_, m)| m.tier == i).map(|(id, _)| *id).collect();
             for id in ids {
-                match self.demote(&mut meta, now, id) {
+                match self.demote(&mut meta, now, id, None) {
                     Ok(t) => done = done.max(t),
                     Err(_) => {
                         let labels = [("node", self.name.as_str())];
@@ -290,15 +308,67 @@ impl Dmsh {
         }
     }
 
-    /// Pick the victim: the lowest-score (tie-break: smallest id) blob on
-    /// tier `tier_idx`.
+    /// Register a bucket's tenant QoS: its blobs get `priority` for victim
+    /// ordering (already-resident blobs adopt it too), and demotions it
+    /// suffers or inflicts are attributed to `tenant` in the registry.
+    pub fn set_bucket_qos(&self, bucket: u64, priority: u8, tenant: &str) {
+        let labels = [("tenant", tenant)];
+        let qos = BucketQos {
+            priority,
+            suffered: self.telemetry.counter("tenant", "scache_demotions_suffered", &labels),
+            inflicted: self.telemetry.counter("tenant", "scache_demotions_inflicted", &labels),
+        };
+        self.bucket_qos.lock().insert(bucket, qos);
+        // Separate critical section: `bucket_qos` is a leaf lock and must
+        // never be held while acquiring `meta` (demote nests the other way).
+        let (mut blobs, _lo) = self.lock_meta();
+        for (_, m) in blobs.range_mut(BlobId::new(bucket, 0)..=BlobId::new(bucket, u64::MAX)) {
+            m.priority = priority;
+        }
+    }
+
+    /// Retention priority of a bucket ([`DEFAULT_PRIORITY`] when untagged).
+    pub fn bucket_priority(&self, bucket: u64) -> u8 {
+        self.bucket_qos.lock().get(&bucket).map(|q| q.priority).unwrap_or(DEFAULT_PRIORITY)
+    }
+
+    /// Per-tier resident bytes of one bucket (tenant residency reporting;
+    /// not a hot path — walks the bucket's metadata range).
+    pub fn bucket_tier_usage(&self, bucket: u64) -> Vec<(TierKind, u64)> {
+        let mut out: Vec<(TierKind, u64)> =
+            self.tiers.iter().map(|t| (t.device.kind(), 0)).collect();
+        let blobs = self.meta.lock();
+        for (_, m) in blobs.range(BlobId::new(bucket, 0)..=BlobId::new(bucket, u64::MAX)) {
+            out[m.tier].1 += m.size;
+        }
+        out
+    }
+
+    /// Attribute one demotion: the victim's bucket suffered it; the
+    /// aggressor bucket (when different) inflicted it. Called with `meta`
+    /// held — `bucket_qos` is a leaf lock.
+    fn note_demotion(&self, victim: u64, by: Option<u64>) {
+        let qos = self.bucket_qos.lock();
+        if let Some(q) = qos.get(&victim) {
+            q.suffered.inc();
+        }
+        if let Some(b) = by.filter(|b| *b != victim) {
+            if let Some(q) = qos.get(&b) {
+                q.inflicted.inc();
+            }
+        }
+    }
+
+    /// Pick the victim: the lowest-priority, then lowest-score (tie-break:
+    /// smallest id) blob on tier `tier_idx` — batch tenants are demoted
+    /// before interactive ones regardless of score.
     fn victim_on(&self, meta: &BTreeMap<BlobId, BlobMeta>, tier_idx: usize) -> Option<BlobId> {
         meta.iter()
             .filter(|(_, m)| m.tier == tier_idx)
             .min_by(|(ia, ma), (ib, mb)| {
-                ma.score
-                    .partial_cmp(&mb.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                ma.priority
+                    .cmp(&mb.priority)
+                    .then(ma.score.partial_cmp(&mb.score).unwrap_or(std::cmp::Ordering::Equal))
                     .then(ia.cmp(ib))
             })
             .map(|(id, _)| *id)
@@ -306,12 +376,15 @@ impl Dmsh {
 
     /// Demote `id` from its tier to the next one down, charging both
     /// devices starting at `now`. Recursively demotes victims below if the
-    /// lower tier is full. Returns the completion time.
+    /// lower tier is full. `by` names the bucket whose placement forced the
+    /// move (demotion attribution); `None` for organizer/evacuation moves.
+    /// Returns the completion time.
     fn demote(
         &self,
         meta: &mut BTreeMap<BlobId, BlobMeta>,
         now: SimTime,
         id: BlobId,
+        by: Option<u64>,
     ) -> Result<SimTime, DmshError> {
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let from = m.tier;
@@ -328,7 +401,7 @@ impl Dmsh {
         // Make room below first (cascading demotion).
         while self.tiers[to].device.available() < m.size {
             let victim = self.victim_on(meta, to).ok_or(DmshError::Full { requested: m.size })?;
-            done = done.max(self.demote(meta, now, victim)?);
+            done = done.max(self.demote(meta, now, victim, by)?);
         }
         // Move the bytes.
         let data = self.tiers[from]
@@ -351,6 +424,7 @@ impl Dmsh {
         entry.tier_kind = self.tiers[to].device.kind();
         entry.ready_at = entry.ready_at.max(write_done);
         self.tier_metrics[from].demotions.inc();
+        self.note_demotion(id.bucket, by);
         self.telemetry.span(EventKind::Demotion, now, write_done, self.node, m.size, id.blob);
         Ok(done.max(write_done))
     }
@@ -405,6 +479,8 @@ impl Dmsh {
         dirty: bool,
     ) -> Result<PutOutcome, DmshError> {
         let size = data.len() as u64;
+        // Resolve tenant priority before taking `meta` (qos is a leaf lock).
+        let prio = self.bucket_priority(id.bucket);
         let (mut meta, _lo) = self.lock_meta();
         // Overwrite in place if resident and same size — unless the blob
         // sits on a retired device, in which case re-place it.
@@ -416,6 +492,7 @@ impl Dmsh {
                     .get_mut(&id)
                     .ok_or(DmshError::Internal("blob vanished during overwrite"))?;
                 e.score = score;
+                e.priority = prio;
                 e.score_node = node;
                 e.scored_at = now;
                 e.dirty = e.dirty || dirty;
@@ -436,13 +513,15 @@ impl Dmsh {
                 target = Some(i);
                 break;
             }
-            // Try to make room by demoting lower-scoring blobs.
+            // Try to make room by demoting lower-ranked blobs: a newcomer
+            // displaces residents its tenant outranks, and among equals the
+            // score decides — never the other way around.
             while let Some(victim) = self.victim_on(&meta, i) {
                 let vm = meta[&victim];
-                if vm.score >= score {
-                    break; // residents outscore the newcomer; go down a tier
+                if vm.priority > prio || (vm.priority == prio && vm.score >= score) {
+                    break; // residents outrank the newcomer; go down a tier
                 }
-                match self.demote(&mut meta, now, victim) {
+                match self.demote(&mut meta, now, victim, Some(id.bucket)) {
                     Ok(t) => {
                         done = done.max(t);
                         if tier.device.available() >= size {
@@ -472,6 +551,7 @@ impl Dmsh {
                 tier_kind: self.tiers[t].device.kind(),
                 size,
                 score,
+                priority: prio,
                 score_node: node,
                 scored_at: now,
                 dirty,
@@ -715,7 +795,7 @@ impl Dmsh {
             let limit = (cap as f64 * watermark) as u64;
             while self.tiers[i].device.used() > limit {
                 let Some(victim) = self.victim_on(&meta, i) else { break };
-                match self.demote(&mut meta, now, victim) {
+                match self.demote(&mut meta, now, victim, None) {
                     Ok(t) => done = done.max(t),
                     Err(_) => break,
                 }
@@ -731,9 +811,13 @@ impl Dmsh {
                     .iter()
                     .filter(|(_, m)| m.tier == i && m.score > 0.5)
                     .max_by(|(ia, ma), (ib, mb)| {
-                        ma.score
-                            .partial_cmp(&mb.score)
-                            .unwrap_or(std::cmp::Ordering::Equal)
+                        ma.priority
+                            .cmp(&mb.priority)
+                            .then(
+                                ma.score
+                                    .partial_cmp(&mb.score)
+                                    .unwrap_or(std::cmp::Ordering::Equal),
+                            )
                             .then(ib.cmp(ia))
                     })
                     .map(|(id, m)| (*id, m.size));
@@ -977,6 +1061,85 @@ mod tests {
         // The shard keeps working after the "restart".
         d.put(10, BlobId::new(2, 0), blob(10), 0.5, 0, false).unwrap();
         assert!(d.contains(BlobId::new(2, 0)));
+    }
+
+    #[test]
+    fn priority_buckets_resist_demotion() {
+        let d = dmsh(2048, MIB, MIB);
+        d.set_bucket_qos(1, 2, "web"); // interactive
+        d.set_bucket_qos(2, 0, "bg"); // background
+                                      // A cold interactive blob and a hot background blob fill DRAM.
+        d.put(0, BlobId::new(1, 0), blob(1024), 0.1, 0, false).unwrap();
+        d.put(0, BlobId::new(2, 0), blob(1024), 0.9, 0, false).unwrap();
+        // An untagged (batch-priority) newcomer displaces the background
+        // blob despite its higher score — never the interactive one.
+        let out = d.put(0, BlobId::new(3, 0), blob(1024), 0.5, 0, false).unwrap();
+        assert_eq!(out.tier, TierKind::Dram);
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().tier_kind, TierKind::Dram);
+        assert_eq!(d.meta_of(BlobId::new(2, 0)).unwrap().tier_kind, TierKind::Nvme);
+    }
+
+    #[test]
+    fn low_priority_put_cannot_displace_interactive() {
+        let d = dmsh(1024, MIB, MIB);
+        d.set_bucket_qos(1, 2, "web");
+        d.set_bucket_qos(2, 0, "bg");
+        d.put(0, BlobId::new(1, 0), blob(1024), 0.0, 0, false).unwrap();
+        // Even a maximally hot background blob walks down a tier.
+        let out = d.put(0, BlobId::new(2, 0), blob(1024), 1.0, 0, false).unwrap();
+        assert_eq!(out.tier, TierKind::Nvme);
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().tier_kind, TierKind::Dram);
+    }
+
+    #[test]
+    fn qos_registration_updates_resident_blobs() {
+        let d = dmsh(2048, MIB, MIB);
+        d.put(0, BlobId::new(1, 0), blob(100), 0.5, 0, false).unwrap();
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().priority, 1);
+        assert_eq!(d.bucket_priority(1), 1, "untagged buckets default to batch priority");
+        d.set_bucket_qos(1, 2, "web");
+        assert_eq!(d.bucket_priority(1), 2);
+        assert_eq!(d.meta_of(BlobId::new(1, 0)).unwrap().priority, 2);
+    }
+
+    #[test]
+    fn demotion_attribution_counters() {
+        let tel = Telemetry::new();
+        let d = Dmsh::with_telemetry(
+            "qos",
+            vec![DeviceSpec::dram(1024), DeviceSpec::nvme(MIB), DeviceSpec::hdd(MIB)],
+            tel.clone(),
+            0,
+        );
+        d.set_bucket_qos(1, 2, "web");
+        d.set_bucket_qos(2, 1, "etl");
+        d.put(0, BlobId::new(2, 0), blob(1024), 0.2, 0, false).unwrap();
+        // The interactive put forces the batch blob down: etl suffered it,
+        // web inflicted it.
+        d.put(0, BlobId::new(1, 0), blob(1024), 0.5, 0, false).unwrap();
+        let suffered = tel.counter("tenant", "scache_demotions_suffered", &[("tenant", "etl")]);
+        let inflicted = tel.counter("tenant", "scache_demotions_inflicted", &[("tenant", "web")]);
+        assert_eq!(suffered.get(), 1);
+        assert_eq!(inflicted.get(), 1);
+        // Self-inflicted demotions are not counted as inflicted.
+        let self_inflicted =
+            tel.counter("tenant", "scache_demotions_inflicted", &[("tenant", "etl")]);
+        assert_eq!(self_inflicted.get(), 0);
+    }
+
+    #[test]
+    fn bucket_tier_usage_reports_per_tier_bytes() {
+        let d = dmsh(2048, MIB, MIB);
+        d.put(0, BlobId::new(1, 0), blob(1024), 0.9, 0, false).unwrap();
+        d.put(0, BlobId::new(1, 1), blob(1024), 0.8, 0, false).unwrap();
+        d.put(0, BlobId::new(1, 2), blob(1024), 0.7, 0, false).unwrap(); // walks down to NVMe
+        d.put(0, BlobId::new(2, 0), blob(512), 0.5, 0, false).unwrap();
+        let usage = d.bucket_tier_usage(1);
+        assert_eq!(usage.iter().map(|(_, b)| b).sum::<u64>(), 3072);
+        assert_eq!(usage[0].0, TierKind::Dram);
+        assert_eq!(usage[0].1, 2048);
+        let other = d.bucket_tier_usage(2);
+        assert_eq!(other.iter().map(|(_, b)| b).sum::<u64>(), 512);
     }
 
     #[test]
