@@ -37,6 +37,9 @@ cargo test -q -p megammap-sim --features loom-model "${PROFILE[@]}" --test loom_
 cargo test -q -p megammap-cluster --features loom-model "${PROFILE[@]}" --test loom_dlock
 cargo test -q -p megammap-tiered --features loom-model "${PROFILE[@]}" --test loom_page
 
+echo "==> loom model checks (commit-vs-writeback / drain / ownership races)"
+cargo test -q -p megammap --features loom-model "${PROFILE[@]}" --lib loom_
+
 if rustup component list 2>/dev/null | grep -q "^miri.*(installed)"; then
     echo "==> miri (pagebuf + rangeset unit tests)"
     cargo miri test -p megammap pagebuf:: rangeset::
@@ -94,5 +97,26 @@ echo "==> mm_serve telemetry overhead (< 2% on the serving fast path)"
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run
+
+echo "==> bench floor (fault path must stay within 10% of the committed baseline)"
+# Wall-clock floors are only comparable across release builds, so this
+# stage always builds mm_bench in release regardless of the CI profile.
+BASELINE=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+if [[ -z "$BASELINE" ]]; then
+    echo "no committed BENCH_<date>.json baseline; skipping bench floor" >&2
+else
+    cargo build -q --release -p megammap-bench --bin mm_bench
+    MM_BENCH_OUT=/tmp/mm_bench.ci.json target/release/mm_bench > /dev/null
+    python3 - "$BASELINE" /tmp/mm_bench.ci.json <<'PY'
+import json, sys
+base = json.load(open(sys.argv[1]))["fault_path"]["fault_from_scache_ns_per_iter"]
+now = json.load(open(sys.argv[2]))["fault_path"]["fault_from_scache_ns_per_iter"]
+limit = base * 1.10
+print(f"fault_from_scache: baseline {base:.1f} ns/iter, this run {now:.1f} ns/iter, limit {limit:.1f}")
+if now > limit:
+    print(f"FAIL: fault path regressed more than 10% above {sys.argv[1]}", file=sys.stderr)
+    sys.exit(1)
+PY
+fi
 
 echo "CI gate passed."

@@ -7,8 +7,9 @@
 //! latency percentiles.
 //!
 //! Output goes to `BENCH_<YYYY-MM-DD>.json` in the current directory, or
-//! to the path in `MM_BENCH_OUT` if set. The schema (`mm-bench/v1`) is
-//! documented in `DESIGN.md`.
+//! to the path in `MM_BENCH_OUT` if set. The schema (`mm-bench/v2`) is
+//! documented in `DESIGN.md`; v2 added the `shard_path` section (shard
+//! queue-delay p99, ownership fast-path hit rate, batched crossings).
 //!
 //! Wall-clock numbers use the floor-of-batches estimator (scheduling noise
 //! only ever adds time); the virtual-time numbers are bit-deterministic.
@@ -222,6 +223,66 @@ fn fault_latency_percentiles() -> (u64, u64, u64, u64) {
     out
 }
 
+/// Deterministic observables of the sharded fault path: the worst
+/// per-shard queue-delay p99 (virtual ns), the ownership fast-path hit
+/// rate, and the number of batched pcache→runtime crossings. The workload
+/// mixes the three regimes the shard machinery serves: a sequential
+/// write pass (establishes ownership), scattered owner re-reads (fast
+/// path), and a prefetch-driven sequential scan (coalesced shard-batches).
+fn shard_path_metrics() -> (u64, f64, u64, u64, u64) {
+    const PAGE: u64 = 4096;
+    const PAGES: u64 = 256;
+    let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
+    let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE));
+    let rt2 = rt.clone();
+    cluster.run_once(move |p| {
+        let n = PAGES * PAGE / 8;
+        let v: MmVec<u64> =
+            MmVec::open(&rt2, p, "mem://bench/shard", VecOptions::new().len(n).pcache(8 * PAGE))
+                .unwrap();
+        // Ownership establishment + repeat commits.
+        for _ in 0..2 {
+            let tx = v.tx(p, TxKind::seq(0, n), Access::WriteLocal).unwrap();
+            for i in (0..n).step_by(512) {
+                v.store(p, tx.handle(), i, i);
+            }
+            tx.end().unwrap();
+        }
+        // Scattered owner re-reads: pcache-missing, owner-fast.
+        let tx = v.tx(p, TxKind::rand(3, 0, n), Access::ReadOnly).unwrap();
+        let mut acc = 0u64;
+        let mut i = 0u64;
+        while i < n {
+            acc = acc.wrapping_add(v.load(p, tx.handle(), i));
+            i += 379;
+        }
+        tx.end().unwrap();
+        // Coalesced shard-batches: a fresh handle with a pcache that holds
+        // the whole vector (coalescing is bounded by free pcache space),
+        // striding a full shard neighbourhood (8 pages) per access so the
+        // prefetcher never covers the next fault — each miss lands in a
+        // cold 8-page run and batches into one shard crossing.
+        let vscan: MmVec<u64> = MmVec::open(
+            &rt2,
+            p,
+            "mem://bench/shard",
+            VecOptions::new().len(n).pcache((PAGES + 8) * PAGE),
+        )
+        .unwrap();
+        let elems_per_page = PAGE / 8;
+        let tx = vscan.tx(p, TxKind::seq(0, n), Access::ReadOnly).unwrap();
+        for i in (0..n).step_by(8 * elems_per_page as usize) {
+            acc = acc.wrapping_add(vscan.load(p, tx.handle(), i));
+        }
+        std::hint::black_box(acc);
+        tx.end().unwrap();
+    });
+    let s = rt.stats();
+    let total = s.owner_fast_hits + s.owner_fast_misses;
+    let rate = if total == 0 { 0.0 } else { s.owner_fast_hits as f64 / total as f64 };
+    (rt.shard_queue_delay_p99(0), rate, s.owner_fast_hits, s.owner_fast_misses, s.batched_crossings)
+}
+
 fn main() {
     let now_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -236,9 +297,11 @@ fn main() {
     let overhead_pct = telemetry_overhead_pct();
     eprintln!("mm_bench: measuring fault-latency percentiles ...");
     let (p50, p99, p999, faults) = fault_latency_percentiles();
+    eprintln!("mm_bench: measuring shard-path observables ...");
+    let (queue_p99, hit_rate, hits, misses, crossings) = shard_path_metrics();
 
     let json = format!(
-        "{{\n  \"schema\": \"mm-bench/v1\",\n  \"generated_unix\": {now_unix},\n  \"date\": \"{y:04}-{m:02}-{d:02}\",\n  \"fault_path\": {{\n    \"pcache_hit_ns_per_iter\": {hit_ns:.1},\n    \"fault_from_scache_ns_per_iter\": {fault_ns:.1}\n  }},\n  \"telemetry\": {{\n    \"overhead_pct\": {overhead_pct:.2},\n    \"budget_pct\": 2.0\n  }},\n  \"fault_latency\": {{\n    \"tenant\": \"bench\",\n    \"faults\": {faults},\n    \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"p999_ns\": {p999}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"mm-bench/v2\",\n  \"generated_unix\": {now_unix},\n  \"date\": \"{y:04}-{m:02}-{d:02}\",\n  \"fault_path\": {{\n    \"pcache_hit_ns_per_iter\": {hit_ns:.1},\n    \"fault_from_scache_ns_per_iter\": {fault_ns:.1}\n  }},\n  \"telemetry\": {{\n    \"overhead_pct\": {overhead_pct:.2},\n    \"budget_pct\": 2.0\n  }},\n  \"fault_latency\": {{\n    \"tenant\": \"bench\",\n    \"faults\": {faults},\n    \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"p999_ns\": {p999}\n  }},\n  \"shard_path\": {{\n    \"shard_queue_delay_p99_ns\": {queue_p99},\n    \"owner_fast_hit_rate\": {hit_rate:.4},\n    \"owner_fast_hits\": {hits},\n    \"owner_fast_misses\": {misses},\n    \"batched_crossings\": {crossings}\n  }}\n}}\n"
     );
 
     let path = std::env::var("MM_BENCH_OUT")
@@ -249,4 +312,9 @@ fn main() {
     println!("  fault from scache {fault_ns:.1} ns/iter");
     println!("  telemetry overhead {overhead_pct:+.2}% (budget 2%)");
     println!("  fault latency p50 {p50} p99 {p99} p999 {p999} ns over {faults} faults");
+    println!(
+        "  shard path: queue-delay p99 {queue_p99} ns, owner hit rate {:.1}% ({hits}/{total}), {crossings} batched crossings",
+        hit_rate * 100.0,
+        total = hits + misses
+    );
 }

@@ -52,6 +52,15 @@ pub trait PrefetchEnv {
     fn resident(&self, page: u64) -> bool;
     /// Issue an asynchronous pcache fetch for `page` (score-1 pages).
     fn issue_prefetch(&mut self, page: u64);
+    /// Issue a contiguous run of `count` fetches starting at `first` as one
+    /// batched submission. Environments that can amortize the runtime
+    /// crossing override this (the pcache submits the run as a single
+    /// shard-batch); the default degrades to per-page issues.
+    fn issue_prefetch_run(&mut self, first: u64, count: u64) {
+        for page in first..first + count {
+            self.issue_prefetch(page);
+        }
+    }
 }
 
 /// Run one prefetcher pass (paper Algorithm 1: `Prefetcher`).
@@ -102,6 +111,10 @@ fn prefetch(env: &mut dyn PrefetchEnv, tx: &Transaction, min_score: f64) {
     let mut base_time = 0.0f64;
     let mut fetched = 0u64;
     let mut rest_start = future.len();
+    // Contiguous absent pages are accumulated and submitted as one batched
+    // run (one runtime crossing per run instead of one per page); a gap —
+    // a resident page, or a non-sequential pattern — flushes the run.
+    let mut pending: Option<(u64, u64)> = None;
     for (i, &p) in future.iter().enumerate() {
         if p >= num_pages {
             continue;
@@ -113,9 +126,19 @@ fn prefetch(env: &mut dyn PrefetchEnv, tx: &Transaction, min_score: f64) {
         base_time += page_size as f64 / env.tier_bandwidth(p).max(1) as f64;
         env.set_score(p, 1.0, node);
         if !env.resident(p) {
-            env.issue_prefetch(p);
+            pending = match pending {
+                Some((first, count)) if first + count == p => Some((first, count + 1)),
+                Some((first, count)) => {
+                    env.issue_prefetch_run(first, count);
+                    Some((p, 1))
+                }
+                None => Some((p, 1)),
+            };
         }
         fetched += 1;
+    }
+    if let Some((first, count)) = pending {
+        env.issue_prefetch_run(first, count);
     }
     // Decaying scores for pages that do not fit (see module-level deviation
     // note: BaseTime/EstTime, matching the paper's prose).
@@ -162,6 +185,7 @@ mod tests {
         scores: HashMap<u64, f64>,
         evicted: Vec<u64>,
         prefetched: Vec<u64>,
+        runs: Vec<(u64, u64)>,
         slow_pages: std::collections::HashSet<u64>,
     }
 
@@ -175,6 +199,7 @@ mod tests {
                 scores: Default::default(),
                 evicted: vec![],
                 prefetched: vec![],
+                runs: vec![],
                 slow_pages: Default::default(),
             }
         }
@@ -218,6 +243,12 @@ mod tests {
         fn issue_prefetch(&mut self, page: u64) {
             self.resident.insert(page);
             self.prefetched.push(page);
+        }
+        fn issue_prefetch_run(&mut self, first: u64, count: u64) {
+            self.runs.push((first, count));
+            for page in first..first + count {
+                self.issue_prefetch(page);
+            }
         }
     }
 
@@ -348,6 +379,34 @@ mod tests {
         run_prefetcher(&mut env, &mut tx, 0.01);
         assert!(env.scores.keys().all(|&p| p < 3), "scores {:?}", env.scores);
         assert!(env.prefetched.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn contiguous_window_submits_as_one_run() {
+        let mut env = MockEnv::new(4, 64, 100);
+        let mut tx = seq_tx(800);
+        for i in 0..8 {
+            tx.record_access(i);
+        }
+        run_prefetcher(&mut env, &mut tx, 0.1);
+        // The four-page window 1..5 is contiguous and absent: one batched
+        // submission, not four.
+        assert_eq!(env.runs, vec![(1, 4)]);
+        assert_eq!(env.prefetched, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn resident_gap_splits_the_run() {
+        let mut env = MockEnv::new(4, 64, 100);
+        env.resident.insert(2);
+        let mut tx = seq_tx(800);
+        for i in 0..8 {
+            tx.record_access(i);
+        }
+        run_prefetcher(&mut env, &mut tx, 0.1);
+        // Page 2 is already resident, so the window (three free pages:
+        // 1, 3, 4 minus the budget spent walking past 2) splits around it.
+        assert_eq!(env.runs, vec![(1, 1), (3, 1)]);
     }
 
     #[test]

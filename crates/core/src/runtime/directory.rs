@@ -1,15 +1,48 @@
-//! The page-location directory.
+//! The sharded page-location directory.
 //!
 //! The runtime needs "metadata management to locate data in the DMSH" (the
 //! role Hermes plays in the paper's implementation). The directory maps
 //! each page to its **home node** (the canonical copy, where writer tasks
 //! are applied) plus any read **replicas** created under the Read-Only
 //! Global policy.
+//!
+//! Two scaling mechanisms live here:
+//!
+//! - **Sharding.** Pages hash to [`SHARDS`] independent shards (the same
+//!   hash that picks a page's apply lock and run queue — see
+//!   [`shard_of`]), so the hot fault path never contends on a global map
+//!   lock and each shard's slice of the directory is owned by exactly one
+//!   fault shard.
+//! - **Single-writer ownership.** Each entry carries an optional *owner*
+//!   rank and an *owner epoch*. A rank that owns a page (and is its home)
+//!   may fault and commit without crossing into the runtime at all — the
+//!   DRust-style fast path. Ownership is claimed on the write path
+//!   ([`Directory::claim_owner`]): the first write of a page establishes
+//!   it via the ordinary slow path, a write by a different rank *transfers*
+//!   it (bumping the epoch, and itself paying the slow path), and only
+//!   writes by the standing owner ride the fast path. The epoch makes
+//!   transfers observable (spans, loom models) and lets stale owners be
+//!   rejected after crashes.
 
 use std::collections::HashMap;
 
 use megammap_tiered::BlobId;
 use parking_lot::Mutex;
+
+use crate::tx::splitmix64;
+
+/// Number of directory/fault shards. Pages hash here for their directory
+/// slice, their apply lock, and their run-queue assignment.
+pub const SHARDS: usize = 64;
+
+/// The shard a page belongs to. Contiguous pages are grouped eight to a
+/// shard (`blob >> 3`) so a coalesced run (bounded by
+/// `max_coalesce_pages`, default 8) usually stays inside one shard and can
+/// be dispatched as a single shard-batch.
+#[inline]
+pub fn shard_of(id: BlobId) -> usize {
+    (splitmix64(id.bucket ^ (id.blob >> 3).rotate_left(32)) % SHARDS as u64) as usize
+}
 
 /// Where a page lives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,34 +51,133 @@ pub struct PageLoc {
     pub home: usize,
     /// Nodes holding read replicas (Read-Only Global phase only).
     pub replicas: Vec<usize>,
+    /// The single-writer owner rank, if established.
+    pub owner: Option<usize>,
+    /// Bumped on every ownership transfer (never on retain).
+    pub owner_epoch: u64,
 }
 
-/// Cluster-wide page directory.
-#[derive(Debug, Default)]
+impl PageLoc {
+    fn new(home: usize) -> Self {
+        Self { home, replicas: Vec::new(), owner: None, owner_epoch: 0 }
+    }
+}
+
+/// Outcome of a write-path ownership claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnerClaim {
+    /// The page's (possibly just-inserted) home node.
+    pub home: usize,
+    /// The claiming rank already owned the page — fast-path eligible when
+    /// it is also the home.
+    pub retained: bool,
+    /// Owner epoch after the claim.
+    pub epoch: u64,
+}
+
+/// Outcome of a read-path directory probe (one shard-lock operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OwnerRead {
+    /// No entry: the page must be served from the backend.
+    Absent,
+    /// The probing rank owns the page and is its home: serve it from the
+    /// local DMSH without a runtime crossing.
+    Fast,
+    /// Slow path: the nearest copy is on this node.
+    Holder(usize),
+}
+
+/// Cluster-wide page directory, sharded by [`shard_of`].
+#[derive(Debug)]
 pub struct Directory {
-    map: Mutex<HashMap<BlobId, PageLoc>>,
+    shards: Vec<Mutex<HashMap<BlobId, PageLoc>>>,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Directory {
     /// Empty directory.
     pub fn new() -> Self {
-        Self::default()
+        Self { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    #[inline]
+    fn shard(&self, id: BlobId) -> &Mutex<HashMap<BlobId, PageLoc>> {
+        &self.shards[shard_of(id)]
     }
 
     /// Location of a page, if known.
     pub fn lookup(&self, id: BlobId) -> Option<PageLoc> {
-        self.map.lock().get(&id).cloned()
+        self.shard(id).lock().get(&id).cloned()
     }
 
     /// Record (or return the existing) home for a page. First writer wins —
     /// this is what pins Write-Local pages to the producing node.
     pub fn home_or_insert(&self, id: BlobId, home: usize) -> usize {
-        self.map.lock().entry(id).or_insert(PageLoc { home, replicas: Vec::new() }).home
+        self.shard(id).lock().entry(id).or_insert_with(|| PageLoc::new(home)).home
+    }
+
+    /// Write-path ownership claim, combined with `home_or_insert` so the
+    /// hot path pays one shard-lock operation. Ownership transfers and
+    /// first claims are *not* `retained` — establishing or stealing
+    /// ownership always goes through the slow (dispatched) path, so the
+    /// runtime observes the crossing; only a standing owner re-claiming
+    /// its own page is fast-path eligible.
+    pub fn claim_owner(&self, id: BlobId, node: usize, preferred_home: usize) -> OwnerClaim {
+        let mut map = self.shard(id).lock();
+        let loc = map.entry(id).or_insert_with(|| PageLoc::new(preferred_home));
+        match loc.owner {
+            Some(o) if o == node => {
+                OwnerClaim { home: loc.home, retained: true, epoch: loc.owner_epoch }
+            }
+            Some(_) => {
+                loc.owner = Some(node);
+                loc.owner_epoch += 1;
+                OwnerClaim { home: loc.home, retained: false, epoch: loc.owner_epoch }
+            }
+            None => {
+                loc.owner = Some(node);
+                OwnerClaim { home: loc.home, retained: false, epoch: loc.owner_epoch }
+            }
+        }
+    }
+
+    /// Read-path probe: fast-path verdict and nearest copy in one
+    /// shard-lock operation (the sharded replacement for a `nearest_copy`
+    /// followed by a separate ownership check).
+    pub fn owner_read(&self, id: BlobId, node: usize) -> OwnerRead {
+        let map = self.shard(id).lock();
+        let Some(loc) = map.get(&id) else { return OwnerRead::Absent };
+        if loc.owner == Some(node) && loc.home == node {
+            return OwnerRead::Fast;
+        }
+        if loc.home == node || loc.replicas.contains(&node) {
+            OwnerRead::Holder(node)
+        } else {
+            OwnerRead::Holder(loc.home)
+        }
+    }
+
+    /// Relinquish ownership held by `node` (eviction / drain paths). The
+    /// epoch bumps so a racing fast-path check cannot observe a stale
+    /// owner at the old epoch.
+    pub fn release_owner(&self, id: BlobId, node: usize) {
+        let mut map = self.shard(id).lock();
+        if let Some(loc) = map.get_mut(&id) {
+            if loc.owner == Some(node) {
+                loc.owner = None;
+                loc.owner_epoch += 1;
+            }
+        }
     }
 
     /// Add a replica node for a page (idempotent). No-op if unknown.
     pub fn add_replica(&self, id: BlobId, node: usize) {
-        if let Some(loc) = self.map.lock().get_mut(&id) {
+        if let Some(loc) = self.shard(id).lock().get_mut(&id) {
             if loc.home != node && !loc.replicas.contains(&node) {
                 loc.replicas.push(node);
             }
@@ -55,7 +187,7 @@ impl Directory {
     /// The closest copy to `node`: the node itself if it holds one, else
     /// the home.
     pub fn nearest_copy(&self, id: BlobId, node: usize) -> Option<usize> {
-        let map = self.map.lock();
+        let map = self.shard(id).lock();
         let loc = map.get(&id)?;
         if loc.home == node || loc.replicas.contains(&node) {
             Some(node)
@@ -68,11 +200,13 @@ impl Directory {
     /// pairs to invalidate (phase change from read-only to writable).
     pub fn take_replicas(&self, bucket: u64) -> Vec<(BlobId, usize)> {
         let mut out = Vec::new();
-        let mut map = self.map.lock();
-        for (id, loc) in map.iter_mut() {
-            if id.bucket == bucket && !loc.replicas.is_empty() {
-                for n in loc.replicas.drain(..) {
-                    out.push((*id, n));
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            for (id, loc) in map.iter_mut() {
+                if id.bucket == bucket && !loc.replicas.is_empty() {
+                    for n in loc.replicas.drain(..) {
+                        out.push((*id, n));
+                    }
                 }
             }
         }
@@ -82,41 +216,51 @@ impl Directory {
 
     /// Forget a single page (its home copy was drained to the backend).
     pub fn remove_entry(&self, id: BlobId) -> Option<PageLoc> {
-        self.map.lock().remove(&id)
+        self.shard(id).lock().remove(&id)
     }
 
     /// A node crashed: drop every entry homed on it (those pages must be
-    /// re-faulted and re-homed) and strip its replica registrations from
-    /// surviving entries. Returns the ids whose home was lost, sorted.
+    /// re-faulted and re-homed), strip its replica registrations, and
+    /// revoke any ownership it held on surviving entries (the crashed
+    /// rank's pcache is gone, so its single-writer privilege is void).
+    /// Returns the ids whose home was lost, sorted.
     pub fn purge_node(&self, node: usize) -> Vec<BlobId> {
-        let mut map = self.map.lock();
         let mut lost: Vec<BlobId> = Vec::new();
-        map.retain(|id, loc| {
-            if loc.home == node {
-                lost.push(*id);
-                false
-            } else {
-                loc.replicas.retain(|&r| r != node);
-                true
-            }
-        });
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            map.retain(|id, loc| {
+                if loc.home == node {
+                    lost.push(*id);
+                    false
+                } else {
+                    loc.replicas.retain(|&r| r != node);
+                    if loc.owner == Some(node) {
+                        loc.owner = None;
+                        loc.owner_epoch += 1;
+                    }
+                    true
+                }
+            });
+        }
         lost.sort();
         lost
     }
 
     /// Forget every page of a bucket (vector destroy). Returns the entries.
     pub fn remove_bucket(&self, bucket: u64) -> Vec<(BlobId, PageLoc)> {
-        let mut map = self.map.lock();
-        let ids: Vec<BlobId> = map.keys().filter(|b| b.bucket == bucket).copied().collect();
-        let mut out: Vec<(BlobId, PageLoc)> =
-            ids.into_iter().filter_map(|id| map.remove(&id).map(|loc| (id, loc))).collect();
+        let mut out: Vec<(BlobId, PageLoc)> = Vec::new();
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            let ids: Vec<BlobId> = map.keys().filter(|b| b.bucket == bucket).copied().collect();
+            out.extend(ids.into_iter().filter_map(|id| map.remove(&id).map(|loc| (id, loc))));
+        }
         out.sort_by_key(|(id, _)| *id);
         out
     }
 
     /// Number of known pages.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether the directory is empty.
@@ -194,5 +338,74 @@ mod tests {
         let removed = d.remove_bucket(7);
         assert_eq!(removed.len(), 4);
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn shard_of_groups_coalesce_runs() {
+        // Eight aligned consecutive pages share a shard (one batch, one
+        // apply lock); the next group of eight may differ.
+        let s0 = shard_of(BlobId::new(3, 0));
+        for p in 0..8 {
+            assert_eq!(shard_of(BlobId::new(3, p)), s0);
+        }
+        // Different buckets spread.
+        let spread: std::collections::HashSet<usize> =
+            (0..64).map(|b| shard_of(BlobId::new(b, 0))).collect();
+        assert!(spread.len() > 8, "bucket spread too poor: {}", spread.len());
+    }
+
+    #[test]
+    fn first_claim_establishes_but_is_not_retained() {
+        let d = Directory::new();
+        let id = BlobId::new(1, 0);
+        let c = d.claim_owner(id, 0, 0);
+        assert_eq!(c, OwnerClaim { home: 0, retained: false, epoch: 0 });
+        let c = d.claim_owner(id, 0, 0);
+        assert_eq!(c, OwnerClaim { home: 0, retained: true, epoch: 0 });
+    }
+
+    #[test]
+    fn claim_by_other_rank_transfers_and_bumps_epoch() {
+        let d = Directory::new();
+        let id = BlobId::new(1, 0);
+        d.claim_owner(id, 0, 0);
+        let c = d.claim_owner(id, 1, 1);
+        assert_eq!(c, OwnerClaim { home: 0, retained: false, epoch: 1 }, "home stays sticky");
+        assert_eq!(d.lookup(id).unwrap().owner, Some(1));
+        // The old owner must now take the slow path (and transfer back).
+        let c = d.claim_owner(id, 0, 0);
+        assert_eq!(c, OwnerClaim { home: 0, retained: false, epoch: 2 });
+    }
+
+    #[test]
+    fn owner_read_fast_requires_owner_and_home() {
+        let d = Directory::new();
+        let id = BlobId::new(1, 0);
+        assert_eq!(d.owner_read(id, 0), OwnerRead::Absent);
+        d.claim_owner(id, 0, 0); // home 0, owner 0
+        assert_eq!(d.owner_read(id, 0), OwnerRead::Fast);
+        assert_eq!(d.owner_read(id, 1), OwnerRead::Holder(0));
+        // Transfer to rank 1 (home stays 0): nobody is fast any more.
+        d.claim_owner(id, 1, 1);
+        assert_eq!(d.owner_read(id, 0), OwnerRead::Holder(0));
+        assert_eq!(d.owner_read(id, 1), OwnerRead::Holder(0));
+    }
+
+    #[test]
+    fn release_and_purge_revoke_ownership() {
+        let d = Directory::new();
+        let id = BlobId::new(1, 0);
+        d.claim_owner(id, 0, 0);
+        d.release_owner(id, 0);
+        let loc = d.lookup(id).unwrap();
+        assert_eq!(loc.owner, None);
+        assert_eq!(loc.owner_epoch, 1, "release bumps the epoch");
+        // Ownership on an entry homed elsewhere dies with the owner's node.
+        let id2 = BlobId::new(1, 1);
+        d.home_or_insert(id2, 1);
+        d.claim_owner(id2, 0, 0);
+        d.purge_node(0);
+        let loc = d.lookup(id2).unwrap();
+        assert_eq!(loc.owner, None, "crashed rank's ownership revoked");
     }
 }

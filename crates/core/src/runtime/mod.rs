@@ -7,15 +7,34 @@
 //!
 //! In this reproduction the runtime is a shared object: one [`NodeRt`] per
 //! simulated node holds the node's [`Dmsh`] (the tiered scache shard) and
-//! its worker pools. MemoryTasks are not queued to real threads; instead a
-//! task submitted at virtual time *t* reserves its worker's busy-until
+//! its fault shards. MemoryTasks are not queued to real threads; instead a
+//! task submitted at virtual time *t* reserves its run queue's busy-until
 //! timeline (giving per-page ordering and low/high-latency QoS separation)
 //! and the device/network timelines after it — the same arithmetic, without
 //! nondeterministic thread scheduling. The *data* movement is performed
 //! eagerly and is entirely real.
+//!
+//! Three structural mechanisms keep the hot fault path fast (see
+//! `DESIGN.md` §12):
+//!
+//! - **Sharding** — pages hash to [`directory::SHARDS`] fault shards; a
+//!   shard owns its directory slice, its apply lock and its run-queue
+//!   assignment, so a fault touches only shard-local state.
+//! - **Batched crossings** — a coalesced run crosses pcache→runtime once
+//!   and dispatches per `(holder, shard)` group as one shard-batch.
+//! - **Ownership fast path** — a rank that owns a page (single writer)
+//!   and is its home serves faults and commits without any runtime
+//!   crossing at all ([`Runtime::read_page_fast`]); ownership transfer
+//!   falls back to the dispatched slow path.
 
 pub mod directory;
 pub mod journal;
+pub(crate) mod shard;
+
+#[cfg(all(test, feature = "loom-model"))]
+mod loom_tests;
+#[cfg(test)]
+mod proptests;
 pub mod stager;
 
 use std::collections::HashMap;
@@ -39,17 +58,18 @@ use crate::rangeset::RangeSet;
 use crate::tenant::TenantLedger;
 use crate::tx::splitmix64;
 
-/// Fixed cost of constructing a MemoryTask in the library (ns).
+/// Fixed cost of constructing a MemoryTask in the library (ns). A batched
+/// crossing pays it once per run; the ownership fast path (no MemoryTask)
+/// not at all.
 const TASK_CONSTRUCT_NS: u64 = 500;
-/// Worker per-task dispatch latency (ns).
-const WORKER_DISPATCH_NS: u64 = 2_000;
-/// Worker apply bandwidth. Workers serialize *dispatch* (per-task latency);
-/// the byte-proportional cost of moving data is charged on the device and
-/// network timelines, not here — charging it twice would both double-count
-/// and let fast-running processes park large future reservations that
-/// virtually-earlier operations of other processes would spuriously queue
-/// behind.
-const WORKER_BW: u64 = 0;
+/// Run-queue per-task dispatch latency (ns). Workers serialize *dispatch*
+/// (per-task latency); the byte-proportional cost of moving data is
+/// charged on the device and network timelines, not here — charging it
+/// twice would both double-count and let fast-running processes park large
+/// future reservations that virtually-earlier operations of other
+/// processes would spuriously queue behind (hence bandwidth 0 in
+/// [`shard::build_shards`]).
+pub(crate) const WORKER_DISPATCH_NS: u64 = 2_000;
 
 /// Shared metadata of one vector.
 pub struct VectorMeta {
@@ -99,17 +119,16 @@ impl VectorMeta {
     }
 }
 
-/// Per-node runtime state: the scache shard and worker pools.
+/// Per-node runtime state: the scache shard and the fault shards.
 pub struct NodeRt {
     /// The node's tiered scache shard.
     pub dmsh: Dmsh,
-    low: Vec<SharedResource>,
-    high: Vec<SharedResource>,
+    /// The node's fault shards: per-shard run queues, apply locks and
+    /// queue-delay accounting ([`shard::ShardRt`]). A page's shard is
+    /// [`directory::shard_of`] — the same slice that holds its directory
+    /// entry, so the hot fault path touches only shard-local state.
+    shards: Vec<shard::ShardRt>,
     last_organize: AtomicU64,
-    /// Sharded per-page apply locks: concurrent writer tasks to the same
-    /// page serialize their install-or-patch decision (the real-execution
-    /// counterpart of "tasks for the same page hash to the same worker").
-    apply_locks: Vec<Mutex<()>>,
 }
 
 /// Aggregate runtime statistics (diagnostics + benchmark output).
@@ -149,6 +168,18 @@ pub struct Stats {
     /// that shared one MemoryTask dispatch instead of paying their own
     /// (`runtime.coalesced_faults`).
     pub coalesced: Counter,
+    /// Faults/commits served on the single-writer ownership fast path —
+    /// no directory message, no run-queue dispatch, no runtime crossing
+    /// (`runtime.owner_fast_hits`).
+    pub owner_hits: Counter,
+    /// Faults/commits that had to take the dispatched slow path: the page
+    /// was unowned, owned by another rank (ownership transfer), or homed
+    /// remotely (`runtime.owner_fast_misses`).
+    pub owner_misses: Counter,
+    /// Batched pcache→runtime crossings: coalesced runs that entered the
+    /// runtime once and dispatched as shard-batches instead of paying a
+    /// per-page crossing (`runtime.batched_crossings`).
+    pub batched: Counter,
     /// Virtual queueing delay (ns) between task submission and worker
     /// dispatch — the simulation's observable for worker-pool queue depth.
     pub queue_delay_ns: Histogram,
@@ -179,11 +210,14 @@ impl Stats {
             invalidations: t.counter("runtime", "invalidations", &[]),
             bytes_copied: t.counter("runtime", "bytes_copied", &[]),
             coalesced: t.counter("runtime", "coalesced_faults", &[]),
+            owner_hits: t.counter("runtime", "owner_fast_hits", &[]),
+            owner_misses: t.counter("runtime", "owner_fast_misses", &[]),
+            batched: t.counter("runtime", "batched_crossings", &[]),
             queue_delay_ns: t.histogram(
                 "runtime",
                 "queue_delay_ns",
                 &[],
-                &[1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+                &shard::QUEUE_DELAY_BOUNDS,
             ),
             faults_by_policy: Policy::ALL
                 .map(|p| t.counter("runtime", "faults_by_policy", &[("policy", p.name())])),
@@ -223,6 +257,12 @@ pub struct StatsSnapshot {
     pub bytes_copied: u64,
     /// See [`Stats::coalesced`].
     pub coalesced_faults: u64,
+    /// See [`Stats::owner_hits`].
+    pub owner_fast_hits: u64,
+    /// See [`Stats::owner_misses`].
+    pub owner_fast_misses: u64,
+    /// See [`Stats::batched`].
+    pub batched_crossings: u64,
 }
 
 struct RuntimeInner {
@@ -276,18 +316,8 @@ impl Runtime {
                     telemetry.clone(),
                     n as u32,
                 ),
-                low: (0..cfg.workers_low)
-                    .map(|w| {
-                        SharedResource::new(format!("node{n}/wl{w}"), WORKER_DISPATCH_NS, WORKER_BW)
-                    })
-                    .collect(),
-                high: (0..cfg.workers_high)
-                    .map(|w| {
-                        SharedResource::new(format!("node{n}/wh{w}"), WORKER_DISPATCH_NS, WORKER_BW)
-                    })
-                    .collect(),
+                shards: shard::build_shards(n, &cfg, &telemetry),
                 last_organize: AtomicU64::new(0),
-                apply_locks: (0..64).map(|_| Mutex::new(())).collect(),
             })
             .collect();
         let nnodes = nodes.len();
@@ -354,7 +384,21 @@ impl Runtime {
             invalidations: s.invalidations.get(),
             bytes_copied: s.bytes_copied.get(),
             coalesced_faults: s.coalesced.get(),
+            owner_fast_hits: s.owner_hits.get(),
+            owner_fast_misses: s.owner_misses.get(),
+            batched_crossings: s.batched.get(),
         }
+    }
+
+    /// Worst per-shard queue-delay p99 (ns) across `node`'s fault shards —
+    /// the mm-bench/v2 `shard_queue_delay_p99_ns` observable.
+    pub fn shard_queue_delay_p99(&self, node: usize) -> u64 {
+        self.inner.nodes[node]
+            .shards
+            .iter()
+            .map(|s| s.queue_delay.snapshot().percentile(990))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The cluster-wide telemetry registry this runtime reports into.
@@ -462,42 +506,97 @@ impl Runtime {
 
     // ---- task routing ----------------------------------------------------
 
-    /// The worker a task for `(vector, page)` of `bytes` hashes to.
-    /// "MemoryTasks for the same page are hashed to the same worker";
-    /// "MemoryTasks containing less than 16KB of data will be sent to
-    /// low-latency workers".
-    fn worker(&self, node: usize, vec_id: u64, page: u64, bytes: u64) -> &SharedResource {
-        let rt = &self.inner.nodes[node];
-        let h = splitmix64(vec_id.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(page)) as usize;
-        if bytes < self.inner.cfg.low_latency_threshold {
-            self.inner.stats.tasks_low.inc();
-            &rt.low[h % rt.low.len()]
-        } else {
-            self.inner.stats.tasks_high.inc();
-            &rt.high[h % rt.high.len()]
-        }
+    /// The fault shard a task for page `id` belongs to on `node`.
+    /// "MemoryTasks for the same page are hashed to the same worker" — the
+    /// shard owns the page's run-queue assignment, its apply lock and its
+    /// queue-delay accounting.
+    #[inline]
+    fn shard_rt(&self, node: usize, id: BlobId) -> &shard::ShardRt {
+        &self.inner.nodes[node].shards[shard::shard_of(id)]
     }
 
-    /// Dispatch a task to its worker and record queue telemetry: the
-    /// virtual delay between submission and dispatch plus a TaskDispatch
-    /// span event (`detail` = 0 for the low-latency pool, 1 for high).
-    /// When a trace context is live, the enqueue→dispatch wait also lands
-    /// as a [`Stage::QueueWait`] span in the fault's causal tree.
-    #[allow(clippy::too_many_arguments)]
+    /// Run `f` under the apply lock of `id`'s shard on `node` (blocking;
+    /// [`LockRank::ApplyShard`]). The stager's flush path uses this so a
+    /// page's stage-out and mark-clean cannot interleave with a writer's
+    /// install-or-patch of the same shard.
+    pub(crate) fn with_apply_lock<R>(&self, node: usize, id: BlobId, f: impl FnOnce() -> R) -> R {
+        let sh = self.shard_rt(node, id);
+        let _guard = sh.apply_lock.lock();
+        let _lo = lockorder::acquired(LockRank::ApplyShard);
+        let _hold = shard::ApplyHold::register(node, shard::shard_of(id));
+        f()
+    }
+
+    /// Run `f` under the apply lock of `id`'s shard on `node` if it can be
+    /// taken without blocking ([`LockRank::ApplyVictim`]): the emergency
+    /// drain's discipline for victim pages — the draining thread may
+    /// already hold its *own* shard's apply lock, so it must never wait on
+    /// a victim's (a busy victim just isn't drained this round).
+    pub(crate) fn try_with_apply_lock<R>(
+        &self,
+        node: usize,
+        id: BlobId,
+        f: impl FnOnce() -> R,
+    ) -> Option<R> {
+        // Re-entry: this thread is mid-commit in the victim's shard and
+        // already holds its apply lock (a drain triggered by its own
+        // `put`). Nobody else can be mid-commit on the victim, so running
+        // under the held lock is safe — and refusing would turn a full
+        // DMSH whose residents share the committer's shard into a
+        // spurious `Capacity` failure.
+        if shard::holds_apply(node, shard::shard_of(id)) {
+            return Some(f());
+        }
+        let sh = self.shard_rt(node, id);
+        let _guard = sh.apply_lock.try_lock()?;
+        let _lo = lockorder::acquired(LockRank::ApplyVictim);
+        Some(f())
+    }
+
+    /// Dispatch a task on its shard's run queue and record queue
+    /// telemetry: the virtual delay between submission and dispatch
+    /// (globally and per shard) plus a TaskDispatch span event (`detail` =
+    /// 0 for the low-latency pool, 1 for high). When a trace context is
+    /// live, the enqueue→dispatch wait also lands as a
+    /// [`Stage::QueueWait`] span in the fault's causal tree.
     fn dispatch(
         &self,
         node: usize,
-        vec_id: u64,
-        page: u64,
+        id: BlobId,
         bytes: u64,
         submit: SimTime,
         reserve: u64,
         ctx: TraceCtx,
     ) -> SimTime {
-        let w = self.worker(node, vec_id, page, bytes);
-        let t = w.acquire_causal(submit, reserve);
-        self.inner.stats.queue_delay_ns.record(t.saturating_sub(submit));
-        let pool = u64::from(bytes >= self.inner.cfg.low_latency_threshold);
+        self.dispatch_batch(node, id, 1, bytes, submit, reserve, ctx)
+    }
+
+    /// Dispatch `tasks` coalesced page tasks as ONE shard-batch crossing:
+    /// one reservation on the shard's run queue covers the whole batch, so
+    /// the per-page dispatch latency is paid once per run. `tasks = 1` is
+    /// the ordinary single-task dispatch.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_batch(
+        &self,
+        node: usize,
+        id: BlobId,
+        tasks: u64,
+        bytes: u64,
+        submit: SimTime,
+        reserve: u64,
+        ctx: TraceCtx,
+    ) -> SimTime {
+        let sh = self.shard_rt(node, id);
+        let (w, pool) = sh.queue(bytes, self.inner.cfg.low_latency_threshold);
+        if pool == 0 {
+            self.inner.stats.tasks_low.inc();
+        } else {
+            self.inner.stats.tasks_high.inc();
+        }
+        let t = w.acquire_causal_batch(submit, tasks, reserve);
+        let delay = t.saturating_sub(submit);
+        self.inner.stats.queue_delay_ns.record(delay);
+        sh.queue_delay.record(delay);
         self.inner.telemetry.span(EventKind::TaskDispatch, submit, t, node as u32, bytes, pool);
         self.inner.telemetry.trace_child(
             ctx,
@@ -596,6 +695,41 @@ impl Runtime {
 
     // ---- read path --------------------------------------------------------
 
+    /// The single-writer ownership fast path: if `my_node` owns the page
+    /// *and* is its home, serve the fault straight from the local scache —
+    /// no MemoryTask, no run-queue dispatch, no directory message beyond
+    /// one shard-local probe, and no trace allocation (owner-fast faults
+    /// never cross into the runtime, so they are counted — fault counters,
+    /// `owner_fast_hits`, the caller's latency histograms — but not
+    /// traced). Returns `None` whenever the fast path does not apply
+    /// (unowned, owned elsewhere, homed remotely, or the page vanished
+    /// under us); the caller then takes the ordinary traced slow path,
+    /// which does its own fault accounting.
+    pub(crate) fn read_page_fast(
+        &self,
+        now: SimTime,
+        meta: &VectorMeta,
+        page: u64,
+        my_node: usize,
+    ) -> Option<(Bytes, SimTime)> {
+        self.poll_chaos(now);
+        let id = BlobId::new(meta.id, page);
+        match self.inner.dir.owner_read(id, my_node) {
+            directory::OwnerRead::Fast => {}
+            _ => return None,
+        }
+        // Owned and home-local: the canonical copy is in our own shard.
+        // Device time is still charged (get reserves the tier's timeline);
+        // what is skipped is the task construction + dispatch machinery.
+        let (data, done) = self.inner.nodes[my_node].dmsh.get(now, id).ok()?;
+        let s = &self.inner.stats;
+        s.faults.inc();
+        s.faults_by_policy[meta.policy.lock().index()].inc();
+        s.local_reads.inc();
+        s.owner_hits.inc();
+        Some((data, done))
+    }
+
     /// Serve a page read for a process on `my_node` at virtual time `now`.
     ///
     /// Returns the full page as a refcounted [`Bytes`] view — the caller
@@ -655,6 +789,10 @@ impl Runtime {
         } else {
             s.faults.inc();
             s.faults_by_policy[meta.policy.lock().index()].inc();
+            // Reaching here means the ownership fast path did not apply
+            // (or was not attempted, e.g. a coalesced run): this fault
+            // pays a runtime crossing.
+            s.owner_misses.inc();
         }
         let id = BlobId::new(meta.id, page);
         let t = now + TASK_CONSTRUCT_NS;
@@ -713,7 +851,7 @@ impl Runtime {
         ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime)> {
         let bytes_hint = meta.page_size;
-        let ws = self.dispatch(node, meta.id, id.blob, bytes_hint, t, 0, ctx);
+        let ws = self.dispatch(node, id, bytes_hint, t, 0, ctx);
         let (data, dev_done) =
             self.inner.nodes[node].dmsh.get_traced(ws, id, ctx).map_err(|e| match e {
                 DmshError::NotFound(_) => MmError::Capacity("page vanished".into()),
@@ -767,12 +905,24 @@ impl Runtime {
         my_node: usize,
         collective: Option<usize>,
     ) -> Result<Vec<(Bytes, SimTime)>> {
-        self.read_page_run_traced(now, meta, first, count, my_node, collective, TraceCtx::NONE)
+        self.read_page_run_traced(
+            now,
+            meta,
+            first,
+            count,
+            my_node,
+            collective,
+            false,
+            TraceCtx::NONE,
+        )
     }
 
     /// [`read_page_run`](Self::read_page_run) with a live causal trace
     /// context; each same-holder slice of the run lands as a
-    /// [`Stage::CoalesceRun`] child span.
+    /// [`Stage::CoalesceRun`] child span. With `prefetch` set the whole run
+    /// is an asynchronous prefetcher batch — every page bills as a
+    /// prefetch, none as a synchronous fault — but it still pays (and
+    /// counts) the same single batched crossing.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn read_page_run_traced(
         &self,
@@ -782,16 +932,27 @@ impl Runtime {
         count: u64,
         my_node: usize,
         collective: Option<usize>,
+        prefetch: bool,
         ctx: TraceCtx,
     ) -> Result<Vec<(Bytes, SimTime)>> {
         debug_assert!(count >= 1);
         self.poll_chaos(now);
         let s = &self.inner.stats;
-        s.faults.inc();
-        s.faults_by_policy[meta.policy.lock().index()].inc();
+        if prefetch {
+            s.prefetches.add(count);
+        } else {
+            s.faults.inc();
+            s.faults_by_policy[meta.policy.lock().index()].inc();
+            // A coalesced run is dispatched, not owner-served: its
+            // synchronous first fault counts as a fast-path miss.
+            s.owner_misses.inc();
+            if count > 1 {
+                s.prefetches.add(count - 1);
+            }
+        }
         if count > 1 {
-            s.prefetches.add(count - 1);
             s.coalesced.add(count - 1);
+            s.batched.inc();
         }
         let t = now + TASK_CONSTRUCT_NS;
         let mut out: Vec<(Bytes, SimTime)> = Vec::with_capacity(count as usize);
@@ -804,11 +965,18 @@ impl Runtime {
                 i += 1;
                 continue;
             };
-            // Extend the run while the following pages share the holder.
+            // Extend the run while the following pages share the holder
+            // *and* the fault shard: a batch is one crossing into one
+            // shard's run queue, so it may not straddle shards. The shard
+            // hash groups 8-page-aligned neighbourhoods (see
+            // [`directory::shard_of`]), so coalesced runs rarely split.
+            let sh = shard::shard_of(id);
             let mut n = 1u64;
             while i + n < count {
                 let next = BlobId::new(meta.id, first + i + n);
-                if self.inner.dir.nearest_copy(next, my_node) != Some(node) {
+                if shard::shard_of(next) != sh
+                    || self.inner.dir.nearest_copy(next, my_node) != Some(node)
+                {
                     break;
                 }
                 n += 1;
@@ -819,22 +987,30 @@ impl Runtime {
             out.append(&mut part);
         }
         let done = out.iter().map(|x| x.1).max().unwrap_or(t);
-        self.inner.telemetry.span(
-            EventKind::PageFault,
-            now,
-            done,
-            my_node as u32,
-            meta.page_size * count,
-            first,
-        );
+        if count > 1 {
+            // One batched crossing served the whole run (detail = pages).
+            self.inner.telemetry.trace_child(
+                ctx,
+                Stage::ShardBatch,
+                now,
+                done,
+                my_node as u32,
+                meta.page_size * count,
+                "",
+                count,
+            );
+        }
+        let kind = if prefetch { EventKind::PrefetchIssue } else { EventKind::PageFault };
+        self.inner.telemetry.span(kind, now, done, my_node as u32, meta.page_size * count, first);
         Ok(out)
     }
 
-    /// One ranged MemoryTask: `n` contiguous pages believed resident on
-    /// `node`. Pays one worker dispatch for the whole run; device charges
-    /// chain per page on the holder's timeline and remote runs pay the
-    /// network per page (the data still moves). A page that vanished
-    /// between the directory lookup and the read falls back to the backend.
+    /// One ranged MemoryTask: `n` contiguous same-shard pages believed
+    /// resident on `node`. Pays one batched run-queue crossing for the
+    /// whole run; device charges chain per page on the holder's timeline
+    /// and remote runs pay the network per page (the data still moves). A
+    /// page that vanished between the directory lookup and the read falls
+    /// back to the backend.
     #[allow(clippy::too_many_arguments)]
     fn read_run_from_node(
         &self,
@@ -848,7 +1024,7 @@ impl Runtime {
         ctx: TraceCtx,
     ) -> Result<Vec<(Bytes, SimTime)>> {
         let bytes_hint = meta.page_size * n;
-        let ws = self.dispatch(node, meta.id, first, bytes_hint, t, 0, ctx);
+        let ws = self.dispatch_batch(node, BlobId::new(meta.id, first), n, bytes_hint, t, 0, ctx);
         // Each same-holder slice is one ranged MemoryTask: hang its pages'
         // tier/net spans under a CoalesceRun child (`detail` = run length).
         let run_ctx = if n > 1 {
@@ -993,63 +1169,73 @@ impl Runtime {
         } else {
             self.default_home(meta.id, page, submit)
         };
-        let home = self.inner.dir.home_or_insert(id, preferred);
+        // Single-writer ownership: a committer that already owned the page
+        // and is its home skips the run-queue crossing and the network
+        // entirely — the apply is shard-local. A first claim or an
+        // ownership transfer takes the dispatched slow path (the crossing
+        // is what makes the new owner visible to the runtime).
+        let claim =
+            shard::claim_for_write(&self.inner.dir, &self.inner.stats, id, my_node, preferred);
+        let home = claim.home;
+        let fast = claim.retained && home == my_node;
         let bytes = dirty.covered();
-        let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes, ctx);
-        if home != my_node {
-            let net_done = self.inner.net.transfer(submit, my_node, home, bytes);
-            self.inner.telemetry.trace_child(
-                ctx,
-                Stage::NetHop,
-                submit,
-                net_done,
-                home as u32,
-                bytes,
-                "",
-                my_node as u64,
-            );
-            t = t.max(net_done);
+        let mut t = submit;
+        if !fast {
+            t = self.dispatch(home, id, bytes, submit, bytes, ctx);
+            if home != my_node {
+                let net_done = self.inner.net.transfer(submit, my_node, home, bytes);
+                self.inner.telemetry.trace_child(
+                    ctx,
+                    Stage::NetHop,
+                    submit,
+                    net_done,
+                    home as u32,
+                    bytes,
+                    "",
+                    my_node as u64,
+                );
+                t = t.max(net_done);
+            }
         }
         let dmsh = &self.inner.nodes[home].dmsh;
-        // Serialize install-or-patch per page so concurrent first writers
-        // of one page never clobber each other's ranges.
-        let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
-        let _guard = self.inner.nodes[home].apply_locks[shard].lock();
-        let _lo = lockorder::acquired(LockRank::ApplyShard);
-        self.journal_write(meta, page, data, Some(dirty), t, home, ctx)?;
         let mut done = t;
-        if dmsh.contains(id) {
-            for (s, e) in dirty.iter() {
-                done = done.max(self.put_range_with_drain(
-                    home,
-                    t,
-                    id,
-                    s,
-                    &data[s as usize..e as usize],
-                    ctx,
-                )?);
+        {
+            // Serialize install-or-patch per page so concurrent first
+            // writers of one page never clobber each other's ranges. The
+            // guard must drop before the stager hooks below: stage_out_all
+            // takes apply locks itself.
+            let sh = self.shard_rt(home, id);
+            let _guard = sh.apply_lock.lock();
+            let _lo = lockorder::acquired(LockRank::ApplyShard);
+            let _hold = shard::ApplyHold::register(home, shard::shard_of(id));
+            self.journal_write(meta, page, data, Some(dirty), t, home, ctx)?;
+            if dmsh.contains(id) {
+                for (s, e) in dirty.iter() {
+                    done = done.max(self.put_range_with_drain(
+                        home,
+                        t,
+                        id,
+                        s,
+                        &data[s as usize..e as usize],
+                        ctx,
+                    )?);
+                }
+            } else {
+                // First materialization of the page at its home: install a
+                // zero base, then apply only the trusted (dirty) ranges, so
+                // two processes writing disjoint halves of one page never
+                // clobber each other with stale bytes.
+                let mut base = vec![0u8; data.len()];
+                for (s, e) in dirty.iter() {
+                    base[s as usize..e as usize].copy_from_slice(&data[s as usize..e as usize]);
+                }
+                done =
+                    self.put_with_drain(home, t, id, Bytes::from(base), 1.0, my_node, true, ctx)?;
             }
-        } else {
-            // First materialization of the page at its home: install a zero
-            // base, then apply only the trusted (dirty) ranges, so two
-            // processes writing disjoint halves of one page never clobber
-            // each other with stale bytes.
-            let mut base = vec![0u8; data.len()];
-            for (s, e) in dirty.iter() {
-                base[s as usize..e as usize].copy_from_slice(&data[s as usize..e as usize]);
-            }
-            done = self.put_with_drain(home, t, id, Bytes::from(base), 1.0, my_node, true, ctx)?;
         }
-        self.inner.telemetry.trace_child(
-            ctx,
-            Stage::CommitApply,
-            t,
-            done,
-            home as u32,
-            bytes,
-            "",
-            page,
-        );
+        let stage = if fast { Stage::OwnerFast } else { Stage::CommitApply };
+        let detail = if fast { claim.epoch } else { page };
+        self.inner.telemetry.trace_child(ctx, stage, t, done, home as u32, bytes, "", detail);
         self.maybe_organize(home, done);
         self.maybe_stage(meta, done);
         Ok(done)
@@ -1097,38 +1283,40 @@ impl Runtime {
         } else {
             self.default_home(meta.id, page, submit)
         };
-        let home = self.inner.dir.home_or_insert(id, preferred);
+        let claim =
+            shard::claim_for_write(&self.inner.dir, &self.inner.stats, id, my_node, preferred);
+        let home = claim.home;
+        let fast = claim.retained && home == my_node;
         let bytes = data.len() as u64;
-        let mut t = self.dispatch(home, meta.id, page, bytes, submit, bytes, ctx);
-        if home != my_node {
-            let net_done = self.inner.net.transfer(submit, my_node, home, bytes);
-            self.inner.telemetry.trace_child(
-                ctx,
-                Stage::NetHop,
-                submit,
-                net_done,
-                home as u32,
-                bytes,
-                "",
-                my_node as u64,
-            );
-            t = t.max(net_done);
+        let mut t = submit;
+        if !fast {
+            t = self.dispatch(home, id, bytes, submit, bytes, ctx);
+            if home != my_node {
+                let net_done = self.inner.net.transfer(submit, my_node, home, bytes);
+                self.inner.telemetry.trace_child(
+                    ctx,
+                    Stage::NetHop,
+                    submit,
+                    net_done,
+                    home as u32,
+                    bytes,
+                    "",
+                    my_node as u64,
+                );
+                t = t.max(net_done);
+            }
         }
-        let shard = (splitmix64(id.bucket ^ id.blob.rotate_left(32)) % 64) as usize;
-        let _guard = self.inner.nodes[home].apply_locks[shard].lock();
-        let _lo = lockorder::acquired(LockRank::ApplyShard);
-        self.journal_write(meta, page, &data, None, t, home, ctx)?;
-        let done = self.put_with_drain(home, t, id, data, 1.0, my_node, true, ctx)?;
-        self.inner.telemetry.trace_child(
-            ctx,
-            Stage::CommitApply,
-            t,
-            done,
-            home as u32,
-            bytes,
-            "",
-            page,
-        );
+        let done = {
+            let sh = self.shard_rt(home, id);
+            let _guard = sh.apply_lock.lock();
+            let _lo = lockorder::acquired(LockRank::ApplyShard);
+            let _hold = shard::ApplyHold::register(home, shard::shard_of(id));
+            self.journal_write(meta, page, &data, None, t, home, ctx)?;
+            self.put_with_drain(home, t, id, data, 1.0, my_node, true, ctx)?
+        };
+        let stage = if fast { Stage::OwnerFast } else { Stage::CommitApply };
+        let detail = if fast { claim.epoch } else { page };
+        self.inner.telemetry.trace_child(ctx, stage, t, done, home as u32, bytes, "", detail);
         self.maybe_organize(home, done);
         self.maybe_stage(meta, done);
         Ok(done)
@@ -1525,19 +1713,100 @@ mod tests {
     #[test]
     fn small_tasks_use_low_latency_pool() {
         let (_c, rt) = runtime(1);
-        let m = rt.open_or_create_vector("mem://pools", 1, Some(65536), Some(65536)).unwrap();
+        let m = rt.open_or_create_vector("mem://pools", 1, Some(65536), Some(2 * 65536)).unwrap();
         *m.policy.lock() = Policy::Local;
-        // A small diff (< 16 KiB) routes low; a big one routes high.
+        // A small diff (< 16 KiB) routes low; a big one routes high. Two
+        // distinct pages: each page's *first* write is an ownership
+        // establishment, which always dispatches (a repeat write to the
+        // same page would ride the fast path and skip the pools).
         let ps = m.page_size as usize;
         let mut small = RangeSet::new();
         small.insert(0, 100);
         rt.write_page_diff(0, &m, 0, &vec![0u8; ps], &small, 0).unwrap();
         let mut big = RangeSet::new();
         big.insert(0, 20_000.min(ps as u64));
-        rt.write_page_diff(0, &m, 0, &vec![0u8; ps], &big, 0).unwrap();
+        rt.write_page_diff(0, &m, 1, &vec![0u8; ps], &big, 0).unwrap();
         let s = rt.stats();
         assert!(s.tasks_low >= 1);
         assert!(s.tasks_high >= 1);
+    }
+
+    #[test]
+    fn repeat_writer_takes_ownership_fast_path() {
+        let (_c, rt) = runtime(1);
+        let m = rt.open_or_create_vector("mem://own", 1, None, Some(4096)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        // First write: establishes ownership, pays the dispatch (a miss).
+        let t0 = rt.write_page_diff(0, &m, 0, &vec![1u8; ps], &dirty, 0).unwrap();
+        let s0 = rt.stats();
+        assert_eq!(s0.owner_fast_hits, 0);
+        assert_eq!(s0.owner_fast_misses, 1);
+        let tasks0 = s0.tasks_low + s0.tasks_high;
+        // Second write by the same rank: retained ownership, no crossing.
+        let t1 = rt.write_page_diff(t0, &m, 0, &vec![2u8; ps], &dirty, 0).unwrap();
+        let s1 = rt.stats();
+        assert_eq!(s1.owner_fast_hits, 1);
+        assert_eq!(s1.owner_fast_misses, 1);
+        assert_eq!(s1.tasks_low + s1.tasks_high, tasks0, "fast commit skips dispatch");
+        // Owner read: served locally with no crossing either.
+        let (data, _) = rt.read_page_fast(t1, &m, 0, 0).expect("owner read is fast");
+        assert!(data.iter().all(|&b| b == 2));
+        assert_eq!(rt.stats().owner_fast_hits, 2);
+        // Another rank cannot fast-read a page it does not own.
+        assert!(rt.read_page_fast(t1, &m, 0, 1).is_none() || rt.nodes() == 1);
+    }
+
+    #[test]
+    fn ownership_transfer_falls_back_to_slow_path() {
+        let (_c, rt) = runtime(2);
+        let m = rt.open_or_create_vector("mem://xfer", 1, None, Some(4096)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        // Rank 0 writes twice: second is fast.
+        let t0 = rt.write_page_diff(0, &m, 0, &vec![1u8; ps], &dirty, 0).unwrap();
+        let t1 = rt.write_page_diff(t0, &m, 0, &vec![2u8; ps], &dirty, 0).unwrap();
+        assert_eq!(rt.stats().owner_fast_hits, 1);
+        // Rank 1 writes: ownership transfer — must dispatch, not fast.
+        let t2 = rt.write_page_diff(t1, &m, 0, &vec![3u8; ps], &dirty, 1).unwrap();
+        assert_eq!(rt.stats().owner_fast_hits, 1, "transfer is never fast");
+        // Rank 0 no longer owns the page: its fast read must miss.
+        assert!(rt.read_page_fast(t2, &m, 0, 0).is_none());
+        // Contents reflect the last writer regardless of path.
+        let (data, _) = rt.read_page(t2, &m, 0, 0, None, false).unwrap();
+        assert!(data.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn coalesced_run_counts_one_batched_crossing() {
+        let (_c, rt) = runtime(1);
+        let m = rt.open_or_create_vector("mem://batch", 1, None, Some(8 * 4096)).unwrap();
+        *m.policy.lock() = Policy::Local;
+        let ps = m.page_size as usize;
+        let mut dirty = RangeSet::new();
+        dirty.insert(0, ps as u64);
+        let mut t = 0;
+        for page in 0..8 {
+            t = rt.write_page_diff(t, &m, page, &vec![page as u8; ps], &dirty, 0).unwrap();
+        }
+        let before = rt.stats();
+        let parts = rt.read_page_run(t, &m, 0, 8, 0, None).unwrap();
+        assert_eq!(parts.len(), 8);
+        for (page, (data, _)) in parts.iter().enumerate() {
+            assert!(data.iter().all(|&b| b == page as u8), "page {page}");
+        }
+        let after = rt.stats();
+        assert_eq!(after.batched_crossings - before.batched_crossings, 1);
+        assert_eq!(after.coalesced_faults - before.coalesced_faults, 7);
+        // The 8-page aligned run shares a fault shard, so the whole run is
+        // one (or at most two) dispatches, not eight.
+        let dispatched =
+            (after.tasks_low + after.tasks_high) - (before.tasks_low + before.tasks_high);
+        assert!(dispatched <= 2, "run dispatched {dispatched} times");
     }
 
     #[test]

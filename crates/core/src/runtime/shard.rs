@@ -1,0 +1,205 @@
+//! Fault shards: the per-shard run queues and ownership-transfer helpers.
+//!
+//! The central worker-pool dispatch is replaced by [`SHARDS`] fault shards
+//! per node. A page hashes to one shard ([`shard_of`] — the same hash that
+//! picks its directory slice), and that shard owns everything the hot
+//! fault path touches: the page's apply lock, its low/high run-queue
+//! assignment, and its queue-delay accounting. No cross-shard locking
+//! happens on the fault path.
+//!
+//! The run queues model the runtime daemon's worker cores, so shards map
+//! many-to-one onto the configured `workers_low`/`workers_high` resources
+//! (shard *i* dispatches on worker `i % workers`). The virtual-time
+//! semantics — one `WORKER_DISPATCH_NS` reservation per dispatched task,
+//! same-page tasks always on the same queue — are unchanged; what the
+//! sharding buys is that dispatch, apply serialization and queue telemetry
+//! are all shard-local state.
+//!
+//! Ownership transfers (the single-writer fast path's slow edge) are
+//! funneled through the helpers at the bottom so the `ownership-release`
+//! mm-lint rule can statically check that no early return leaks a claimed
+//! epoch: these functions are total — they never `?`-propagate between
+//! claiming and recording an ownership outcome.
+
+use megammap_sim::SharedResource;
+use megammap_telemetry::{Histogram, Telemetry};
+use megammap_tiered::BlobId;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+pub use super::directory::{shard_of, SHARDS};
+use super::directory::{Directory, OwnerClaim};
+use super::Stats;
+use crate::config::RuntimeConfig;
+
+/// Queue-delay histogram bounds, shared by the global and per-shard
+/// queue-delay observables.
+pub(crate) const QUEUE_DELAY_BOUNDS: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// One fault shard of a node: the unit of locality on the hot path.
+pub(crate) struct ShardRt {
+    /// Low-latency run queue (tasks under `low_latency_threshold`).
+    pub low: Arc<SharedResource>,
+    /// High-latency (bulk) run queue.
+    pub high: Arc<SharedResource>,
+    /// Per-page install/patch serialization for this shard's pages:
+    /// concurrent writer tasks to the same page serialize their
+    /// install-or-patch decision, and the drain/stage-out paths take it
+    /// (nonblockingly) before evicting a page out from under a writer.
+    pub apply_lock: Mutex<()>,
+    /// Queue delay between submission and dispatch on this shard's queues.
+    pub queue_delay: Histogram,
+}
+
+impl ShardRt {
+    /// The run queue a task of `bytes` dispatches on, plus the pool tag
+    /// (0 = low, 1 = high) used in spans and counters.
+    #[inline]
+    pub fn queue(&self, bytes: u64, threshold: u64) -> (&SharedResource, u64) {
+        if bytes < threshold {
+            (&self.low, 0)
+        } else {
+            (&self.high, 1)
+        }
+    }
+}
+
+/// Build a node's [`SHARDS`] fault shards over its configured worker
+/// resources. Workers are shared `Arc`s (many shards, few cores); apply
+/// locks and queue-delay histograms are per shard.
+pub(crate) fn build_shards(
+    node: usize,
+    cfg: &RuntimeConfig,
+    telemetry: &Telemetry,
+) -> Vec<ShardRt> {
+    const WORKER_BW: u64 = 0; // see runtime/mod.rs: dispatch latency only
+    let low: Vec<Arc<SharedResource>> = (0..cfg.workers_low)
+        .map(|w| {
+            Arc::new(SharedResource::new(
+                format!("node{node}/wl{w}"),
+                super::WORKER_DISPATCH_NS,
+                WORKER_BW,
+            ))
+        })
+        .collect();
+    let high: Vec<Arc<SharedResource>> = (0..cfg.workers_high)
+        .map(|w| {
+            Arc::new(SharedResource::new(
+                format!("node{node}/wh{w}"),
+                super::WORKER_DISPATCH_NS,
+                WORKER_BW,
+            ))
+        })
+        .collect();
+    let node_label = node.to_string();
+    (0..SHARDS)
+        .map(|s| ShardRt {
+            low: low[s % low.len()].clone(),
+            high: high[s % high.len()].clone(),
+            apply_lock: Mutex::new(()),
+            queue_delay: telemetry.histogram(
+                "runtime",
+                "shard_queue_delay_ns",
+                &[("node", &node_label), ("shard", &s.to_string())],
+                &QUEUE_DELAY_BOUNDS,
+            ),
+        })
+        .collect()
+}
+
+thread_local! {
+    /// `(node, shard)` apply locks held by this thread. A committer that
+    /// triggers an emergency drain mid-commit may encounter victims in the
+    /// very shard it is serializing; this registry lets the drain
+    /// recognize the re-entry (no other writer can be mid-commit on those
+    /// victims — this thread holds their lock) instead of treating its own
+    /// lock as a busy victim and failing with a spurious `Capacity` error.
+    static HELD_APPLY: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII registration of an apply-lock hold; pair with the actual guard.
+pub(crate) struct ApplyHold {
+    node: usize,
+    shard: usize,
+}
+
+impl ApplyHold {
+    /// Record that the current thread holds `node`/`shard`'s apply lock.
+    pub fn register(node: usize, shard: usize) -> Self {
+        HELD_APPLY.with(|h| h.borrow_mut().push((node, shard)));
+        Self { node, shard }
+    }
+}
+
+impl Drop for ApplyHold {
+    fn drop(&mut self) {
+        HELD_APPLY.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(i) = held.iter().rposition(|&e| e == (self.node, self.shard)) {
+                held.remove(i);
+            }
+        });
+    }
+}
+
+/// Does the current thread hold `node`/`shard`'s apply lock?
+pub(crate) fn holds_apply(node: usize, shard: usize) -> bool {
+    HELD_APPLY.with(|h| h.borrow().contains(&(node, shard)))
+}
+
+/// Claim single-writer ownership of `id` for a committing rank, recording
+/// the hit/miss outcome. Returns the claim; the caller takes the fast
+/// path only when the claim was retained *and* the rank is the home.
+pub(crate) fn claim_for_write(
+    dir: &Directory,
+    stats: &Stats,
+    id: BlobId,
+    node: usize,
+    preferred_home: usize,
+) -> OwnerClaim {
+    let claim = dir.claim_owner(id, node, preferred_home);
+    if claim.retained && claim.home == node {
+        stats.owner_hits.inc();
+    } else {
+        stats.owner_misses.inc();
+    }
+    claim
+}
+
+/// Hand ownership of a drained page back to nobody: the drain evicted the
+/// home copy, so any standing owner's fast-path privilege must end before
+/// the directory entry goes away. Total on every path (no early returns),
+/// per the ownership-release rule.
+pub(crate) fn release_for_drain(dir: &Directory, id: BlobId, node: usize) {
+    dir.release_owner(id, node);
+    dir.remove_entry(id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megammap_cluster::{Cluster, ClusterSpec};
+
+    #[test]
+    fn shards_share_worker_cores() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1));
+        let cfg = RuntimeConfig::default();
+        let shards = build_shards(0, &cfg, cluster.telemetry());
+        assert_eq!(shards.len(), SHARDS);
+        // Shard i and shard i + workers share the same underlying core.
+        assert!(Arc::ptr_eq(&shards[0].low, &shards[cfg.workers_low].low));
+        assert!(Arc::ptr_eq(&shards[1].high, &shards[1 + cfg.workers_high].high));
+        assert!(!Arc::ptr_eq(&shards[0].low, &shards[1].low));
+    }
+
+    #[test]
+    fn queue_routes_by_threshold() {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1));
+        let shards = build_shards(0, &RuntimeConfig::default(), cluster.telemetry());
+        let (_, pool) = shards[0].queue(100, 16 * 1024);
+        assert_eq!(pool, 0);
+        let (_, pool) = shards[0].queue(16 * 1024, 16 * 1024);
+        assert_eq!(pool, 1);
+    }
+}

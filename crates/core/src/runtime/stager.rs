@@ -18,7 +18,7 @@ use megammap_telemetry::{EventKind, Stage, TraceCtx};
 use megammap_tiered::BlobId;
 
 use crate::error::{MmError, Result};
-use crate::runtime::{Runtime, VectorMeta};
+use crate::runtime::{shard, Runtime, VectorMeta};
 
 /// Label value for per-backend byte counters: the URL scheme of the
 /// vector's key (`obj`, `file`, `h5`, ...).
@@ -160,11 +160,27 @@ pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Re
                 // (nothing dirty) leave no trace behind.
                 ctx = rt.telemetry().trace_begin(node as u32);
             }
-            let (data, read_done) = dmsh.get_traced(now, id, ctx).map_err(MmError::from)?;
-            let t =
-                stage_out_page(rt, read_done, meta, backend.as_ref(), id.blob, &data, node, ctx)?;
-            dmsh.mark_clean(id);
-            flushed += data.len() as u64;
+            // Read, persist and mark-clean under the page's apply lock: a
+            // writer patch landing between our read and the mark_clean
+            // would otherwise have its dirty flag erased while only the
+            // pre-patch bytes reached the backend (a lost update on the
+            // next flush — the chaos KMeans flake).
+            let (t, bytes) = rt.with_apply_lock(node, id, || -> Result<(SimTime, u64)> {
+                let (data, read_done) = dmsh.get_traced(now, id, ctx).map_err(MmError::from)?;
+                let t = stage_out_page(
+                    rt,
+                    read_done,
+                    meta,
+                    backend.as_ref(),
+                    id.blob,
+                    &data,
+                    node,
+                    ctx,
+                )?;
+                dmsh.mark_clean(id);
+                Ok((t, data.len() as u64))
+            })?;
+            flushed += bytes;
             done = done.max(t);
         }
     }
@@ -263,7 +279,7 @@ pub(crate) fn emergency_drain(
     candidates.sort_by(|a, b| {
         a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
     });
-    for (id, _score, size, dirty) in candidates {
+    for (id, _score, _size, _dirty) in candidates {
         if freed >= requested {
             break;
         }
@@ -271,36 +287,54 @@ pub(crate) fn emergency_drain(
             Some(v) => v,
             None => continue,
         };
-        if dirty {
-            let Some(backend) = vec.backend.clone() else {
-                continue; // volatile dirty data must stay resident
-            };
-            let (data, read_done) = match dmsh.get(now, id) {
-                Ok(x) => x,
-                Err(_) => continue,
-            };
-            let t = stage_out_page(
-                rt,
-                read_done,
-                &vec,
-                backend.as_ref(),
-                id.blob,
-                &data,
-                node,
-                TraceCtx::NONE,
-            )?;
-            done = done.max(t);
+        // Take the victim's apply lock nonblockingly ([`LockRank::
+        // ApplyVictim`]): a page mid-commit is simply skipped this round —
+        // the committer holds its lock, and this thread may already hold
+        // its *own* shard's. Without the lock, a writer patch landing
+        // between our `get` and `remove` would be staged out stale and
+        // then evicted — the patched bytes silently lost (the chaos
+        // KMeans flake's second face).
+        let outcome = rt.try_with_apply_lock(node, id, || -> Result<Option<(u64, SimTime)>> {
+            // Re-read the metadata under the lock; the candidate snapshot
+            // above is advisory and may be stale by now.
+            let Some(m) = dmsh.meta_of(id) else { return Ok(None) };
+            let mut t = now;
+            if m.dirty {
+                let Some(backend) = vec.backend.clone() else {
+                    return Ok(None); // volatile dirty data must stay resident
+                };
+                let Ok((data, read_done)) = dmsh.get(now, id) else { return Ok(None) };
+                t = stage_out_page(
+                    rt,
+                    read_done,
+                    &vec,
+                    backend.as_ref(),
+                    id.blob,
+                    &data,
+                    node,
+                    TraceCtx::NONE,
+                )?;
+            }
+            dmsh.remove(id);
+            rt.telemetry().mark(EventKind::Eviction, now, node as u32, m.size, id.blob);
+            // Keep the directory consistent: the page now lives only in
+            // the backend (or as replicas elsewhere); forget this node's
+            // copy. Any standing owner's fast-path privilege must end with
+            // it — the next fault stages in and may pick a new home.
+            if rt.inner_dir().nearest_copy(id, node) == Some(node) {
+                shard::release_for_drain(rt.inner_dir(), id, node);
+            }
+            Ok(Some((m.size, t)))
+        });
+        match outcome {
+            None => continue,           // victim mid-commit: not drainable now
+            Some(Ok(None)) => continue, // vanished or volatile-dirty
+            Some(Ok(Some((size, t)))) => {
+                freed += size;
+                done = done.max(t);
+            }
+            Some(Err(e)) => return Err(e),
         }
-        dmsh.remove(id);
-        rt.telemetry().mark(EventKind::Eviction, now, node as u32, size, id.blob);
-        // Keep the directory consistent: the page now lives only in the
-        // backend (or as replicas elsewhere); forget this node's copy.
-        if rt.inner_dir().nearest_copy(id, node) == Some(node) {
-            // Home copy went away; the next fault will stage in again and
-            // may pick a new home. Simplest correct move: drop the entry.
-            rt.inner_dir().remove_entry(id);
-        }
-        freed += size;
     }
     if freed == 0 {
         return Err(MmError::Capacity(format!(

@@ -23,6 +23,11 @@ fn run_once() -> (String, String) {
             .with_page_size(4096)
             .with_tiers(vec![DeviceSpec::dram(64 * 1024), DeviceSpec::nvme(MIB)]),
     );
+    // Pre-populate a source object this rank never writes: faults on it
+    // never hit the single-writer ownership fast path (ownership is only
+    // established by commits), so they stay on the traced slow path.
+    let src = rt.backends().open(&megammap_formats::DataUrl::parse("obj://det/src.bin").unwrap());
+    src.unwrap().write_at(0, &vec![0x5au8; (N * 8) as usize]).unwrap();
     let rt2 = rt.clone();
     cluster.run(move |p| {
         let v: MmVec<u64> =
@@ -35,8 +40,8 @@ fn run_once() -> (String, String) {
         }
         v.tx_end(p, tx);
         v.flush_async(p).unwrap();
-        // Scattered read phase: the declared pattern does not match the
-        // accesses, so the prefetcher cannot hide the demand faults.
+        // Scattered read phase over pages this rank *owns* (it wrote
+        // them): served on the ownership fast path — counted, untraced.
         let tx = v.tx_begin(p, TxKind::seq(0, 1), Access::ReadOnly);
         let mut i = 0u64;
         let mut sum = 0u64;
@@ -46,7 +51,23 @@ fn run_once() -> (String, String) {
         }
         v.tx_end(p, tx);
         assert_ne!(sum, 0);
+        // Scattered read phase over *unowned* pages (staged in from the
+        // backend): demand faults on the traced slow path.
+        let r: MmVec<u64> =
+            MmVec::open(&rt2, p, "obj://det/src.bin", VecOptions::new().pcache(8 * 1024)).unwrap();
+        let tx = r.tx_begin(p, TxKind::seq(0, 1), Access::ReadOnly);
+        let mut i = 0u64;
+        while i < N {
+            sum = sum.wrapping_add(r.load(p, &tx, i));
+            i += 379;
+        }
+        r.tx_end(p, tx);
+        assert_ne!(sum, 0);
     });
+    assert!(
+        cluster.telemetry().snapshot().counter_total("runtime", "owner_fast_hits") > 0,
+        "owned re-reads must ride the fast path"
+    );
     let snap = cluster.telemetry().snapshot();
     (snap.trace_json(), snap.metrics_csv())
 }

@@ -39,6 +39,7 @@ pub fn run_all(files: &[FileModel]) -> Vec<Finding> {
     out.extend(lock_order(files));
     out.extend(panic_hygiene(files));
     out.extend(result_hygiene(files));
+    out.extend(ownership_release(files));
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     out
 }
@@ -254,7 +255,7 @@ const LOCK_RANKS: &[(&str, &str, u8, &str)] = &[
     ("crates/core/src/vector.rs", "state", 10, "VecState"),
     ("", "policy", 20, "Policy"),
     ("crates/core/src/runtime/", "vectors", 30, "RtMeta"),
-    ("crates/core/src/runtime/", "apply_locks", 40, "ApplyShard"),
+    ("crates/core/src/runtime/", "apply_lock", 40, "ApplyShard"),
     ("crates/tiered/src/dmsh.rs", "meta", 50, "DmshMeta"),
     ("crates/tiered/src/dmsh.rs", "store", 60, "DmshStore"),
     ("crates/cluster/src/mailbox.rs", "queue", 70, "Mailbox"),
@@ -548,6 +549,53 @@ pub fn result_hygiene(files: &[FileModel]) -> Vec<Finding> {
     out
 }
 
+// ---- rule 7: ownership-release --------------------------------------------
+
+/// Modules holding the shard handoff / ownership-transfer protocol. An
+/// early return between `claim_owner` and the matching release leaves a
+/// page's owner epoch claimed forever: every later fault on it takes the
+/// slow transfer path and the standing owner's fast path never re-arms.
+const OWNERSHIP_MODULES: &[&str] =
+    &["crates/core/src/runtime/shard.rs", "crates/core/src/runtime/directory.rs"];
+
+/// Function-name keywords marking fns that move an owner epoch.
+const OWNERSHIP_FN_KEYWORDS: &[&str] = &["claim", "owner", "release", "transfer", "handoff"];
+
+/// Bare `?` is banned in ownership-transfer fns in the shard handoff
+/// modules (outside tests): the early return skips the release/transfer
+/// on the error path and leaks the owned epoch. Keep these fns total
+/// (return enum outcomes), or match the error and release before
+/// propagating.
+pub fn ownership_release(files: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in files {
+        if !OWNERSHIP_MODULES.iter().any(|h| m.path.ends_with(h)) {
+            continue;
+        }
+        for pos in m.occurrences("?").collect::<Vec<_>>() {
+            if m.in_test(pos) {
+                continue;
+            }
+            let Some(f) = m.enclosing_fn(pos) else { continue };
+            if !OWNERSHIP_FN_KEYWORDS.iter().any(|k| f.name.contains(k)) {
+                continue;
+            }
+            out.push(finding(
+                "ownership-release",
+                m,
+                pos,
+                format!(
+                    "bare `?` in ownership-transfer fn `{}` — an early return here leaks \
+                     the owned epoch; make the fn total or release ownership on the \
+                     error path before propagating",
+                    f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -779,5 +827,52 @@ mod tests {
             "fn f(g: &G) { let _lo = g.acquire(); }\n#[cfg(test)]\nmod tests { fn t(x: F) { let _ = x.go(); } }",
         );
         assert!(result_hygiene(&[m]).is_empty());
+    }
+
+    #[test]
+    fn seeded_try_in_ownership_fn_is_flagged() {
+        let m = file(
+            "crates/core/src/runtime/shard.rs",
+            "fn claim_for_write(d: &Dir) -> Result<OwnerClaim> { let loc = d.get(id)?; Ok(loc) }",
+        );
+        let f = ownership_release(&[m]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("claim_for_write"));
+    }
+
+    #[test]
+    fn total_ownership_fn_passes() {
+        let m = file(
+            "crates/core/src/runtime/shard.rs",
+            "fn release_for_drain(d: &Dir, id: BlobId, node: usize) { d.release_owner(id, node); }",
+        );
+        assert!(ownership_release(&[m]).is_empty());
+    }
+
+    #[test]
+    fn try_outside_ownership_fns_is_fine() {
+        let m = file(
+            "crates/core/src/runtime/directory.rs",
+            "fn nearest_copy(&self, id: BlobId) -> Option<usize> { let loc = self.get(id)?; Some(loc.home) }",
+        );
+        assert!(ownership_release(&[m]).is_empty());
+    }
+
+    #[test]
+    fn ownership_named_fn_outside_handoff_modules_is_fine() {
+        let m = file(
+            "crates/core/src/vector.rs",
+            "fn owner_hint(&self) -> Result<usize> { let n = self.rt.home()?; Ok(n) }",
+        );
+        assert!(ownership_release(&[m]).is_empty());
+    }
+
+    #[test]
+    fn ownership_rule_skips_test_code() {
+        let m = file(
+            "crates/core/src/runtime/shard.rs",
+            "#[cfg(test)]\nmod tests { fn claim_it(d: &Dir) -> Result<()> { d.claim(id)?; Ok(()) } }",
+        );
+        assert!(ownership_release(&[m]).is_empty());
     }
 }

@@ -169,6 +169,20 @@ impl SharedResource {
         self.acquire_causal_work(now, self.service_time(bytes))
     }
 
+    /// Causal acquire for a *batch* of `ops` coalesced operations that
+    /// cross the resource as one submission: the timeline is reserved
+    /// once — one service window of `latency + bytes/bw`, exactly like
+    /// [`acquire_causal`](Self::acquire_causal) — while the op counter
+    /// accounts all `ops` members. One reservation-list crossing for the
+    /// whole batch is the point: a caller that previously paid `ops`
+    /// mutex acquisitions (and `ops` queueing decisions) pays one.
+    pub fn acquire_causal_batch(&self, now: SimTime, ops: u64, bytes: u64) -> SimTime {
+        debug_assert!(ops >= 1);
+        self.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.total_ops.fetch_add(ops, Ordering::Relaxed);
+        self.acquire_causal_work(now, self.service_time(bytes))
+    }
+
     /// Causal acquire with pipelined latency (deep-queue devices): only
     /// the bandwidth portion occupies the resource; the latency is added
     /// to the returned completion time.
@@ -288,6 +302,20 @@ mod tests {
         let t4 = r.acquire_pipelined(0, MIB);
         assert_eq!(t3, NS_PER_SEC + 10_000);
         assert_eq!(t4, 2 * NS_PER_SEC + 10_000);
+    }
+
+    #[test]
+    fn batch_acquire_reserves_once_counts_all() {
+        let r = SharedResource::new("dev", 2_000, 0);
+        // A batch of 8 coalesced ops occupies one service window...
+        let t = r.acquire_causal_batch(0, 8, 0);
+        assert_eq!(t, 2_000, "one dispatch latency for the whole batch");
+        // ...but the op counter sees all 8 members.
+        assert_eq!(r.total_ops(), 8);
+        // A batch of 1 is exactly acquire_causal.
+        let single = r.acquire_causal(t, 64);
+        let batch1 = r.acquire_causal_batch(single, 1, 64);
+        assert_eq!(batch1 - single, single - t);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! (mirrored statically by `mm-lint`'s lock-order rule):
 //!
 //! ```text
-//! VecState < Policy < RtMeta < ApplyShard < DmshMeta < DmshStore
-//!          < Mailbox < Resource
+//! VecState < Policy < RtMeta < ApplyShard < ApplyVictim < DmshMeta
+//!          < DmshStore < Mailbox < Resource
 //! ```
 //!
 //! A thread may only acquire a lock whose rank is *strictly greater* than
@@ -30,8 +30,14 @@ pub enum LockRank {
     Policy = 20,
     /// `Runtime` shared maps (`vectors`, staged metadata).
     RtMeta = 30,
-    /// A per-page install/patch shard (`NodeRt::apply_locks`).
+    /// A per-page install/patch shard (`ShardRt::apply_lock`).
     ApplyShard = 40,
+    /// A *victim* page's apply shard, taken nonblockingly (`try_lock`) by
+    /// the emergency drain while the caller may already hold its own
+    /// [`ApplyShard`](Self::ApplyShard). The try-lock can never block, so
+    /// a higher rank keeps the ascending-order invariant honest without
+    /// introducing a deadlock edge.
+    ApplyVictim = 45,
     /// `Dmsh::meta` (blob metadata tree).
     DmshMeta = 50,
     /// A tier's `store` map (blob bytes).

@@ -103,6 +103,12 @@ pub enum Stage {
     JournalWrite = 15,
     /// Root: crash recovery — journal replay / scache rebuild / re-homing.
     Recovery = 16,
+    /// An ownership fast-path apply: the faulting rank owns the page, so
+    /// the commit skipped the runtime crossing (detail = owner epoch).
+    OwnerFast = 17,
+    /// A batched pcache→runtime crossing: one shard-batch dispatch served
+    /// a whole coalesced run (detail = pages in the batch).
+    ShardBatch = 18,
 }
 
 impl Stage {
@@ -126,6 +132,8 @@ impl Stage {
             Stage::Retry => "retry",
             Stage::JournalWrite => "journal_write",
             Stage::Recovery => "recovery",
+            Stage::OwnerFast => "owner_fast",
+            Stage::ShardBatch => "shard_batch",
         }
     }
 }
