@@ -7,16 +7,26 @@
 //! latency percentiles.
 //!
 //! Output goes to `BENCH_<YYYY-MM-DD>.json` in the current directory, or
-//! to the path in `MM_BENCH_OUT` if set. The schema (`mm-bench/v2`) is
+//! to the path in `MM_BENCH_OUT` if set. The schema (`mm-bench/v3`) is
 //! documented in `DESIGN.md`; v2 added the `shard_path` section (shard
-//! queue-delay p99, ownership fast-path hit rate, batched crossings).
+//! queue-delay p99, ownership fast-path hit rate, batched crossings); v3
+//! adds the `scale_path` section (weak-scaling efficiency trajectory at
+//! 4/16/64/256 nodes plus the chaos-recovery virtual cost, all
+//! deterministic virtual-time numbers).
+//!
+//! `mm_bench --compare <old.json> <new.json>` diffs two snapshots: it
+//! prints a per-metric delta table and exits non-zero when any gated
+//! metric regresses past its floor threshold (this replaces the ad-hoc
+//! python floor check that used to live in `ci.sh`).
 //!
 //! Wall-clock numbers use the floor-of-batches estimator (scheduling noise
 //! only ever adds time); the virtual-time numbers are bit-deterministic.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use megammap::prelude::*;
+use megammap_bench::scale;
 use megammap_cluster::{Cluster, ClusterSpec};
 use megammap_sim::DeviceSpec;
 
@@ -283,7 +293,252 @@ fn shard_path_metrics() -> (u64, f64, u64, u64, u64) {
     (rt.shard_queue_delay_p99(0), rate, s.owner_fast_hits, s.owner_fast_misses, s.batched_crossings)
 }
 
+/// Flatten every numeric leaf of a JSON document into `path -> value`,
+/// with object keys joined by `.` and array elements by index. Strings,
+/// booleans and nulls are skipped. Hand-rolled for the restricted JSON
+/// `mm_bench` itself emits; unknown syntax aborts with a message rather
+/// than misattributing values.
+fn flat_numbers(src: &str) -> BTreeMap<String, f64> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn expect(&mut self, c: u8) {
+            self.ws();
+            assert!(self.b.get(self.i) == Some(&c), "expected '{}' at byte {}", c as char, self.i);
+            self.i += 1;
+        }
+        fn string(&mut self) -> String {
+            self.expect(b'"');
+            let start = self.i;
+            while self.b[self.i] != b'"' {
+                // mm_bench never emits escapes, but skip them defensively.
+                self.i += if self.b[self.i] == b'\\' { 2 } else { 1 };
+            }
+            let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.i += 1;
+            s
+        }
+        fn value(&mut self, path: &mut Vec<String>, out: &mut BTreeMap<String, f64>) {
+            self.ws();
+            match self.b[self.i] {
+                b'{' => {
+                    self.i += 1;
+                    self.ws();
+                    if self.b[self.i] == b'}' {
+                        self.i += 1;
+                        return;
+                    }
+                    loop {
+                        let key = self.string();
+                        self.expect(b':');
+                        path.push(key);
+                        self.value(path, out);
+                        path.pop();
+                        self.ws();
+                        if self.b[self.i] == b',' {
+                            self.i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(b'}');
+                }
+                b'[' => {
+                    self.i += 1;
+                    self.ws();
+                    if self.b[self.i] == b']' {
+                        self.i += 1;
+                        return;
+                    }
+                    let mut ix = 0usize;
+                    loop {
+                        path.push(ix.to_string());
+                        self.value(path, out);
+                        path.pop();
+                        ix += 1;
+                        self.ws();
+                        if self.b[self.i] == b',' {
+                            self.i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(b']');
+                }
+                b'"' => {
+                    self.string();
+                }
+                b't' => self.i += 4,
+                b'f' => self.i += 5,
+                b'n' => self.i += 4,
+                _ => {
+                    let start = self.i;
+                    while self.i < self.b.len()
+                        && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                    {
+                        self.i += 1;
+                    }
+                    let txt = std::str::from_utf8(&self.b[start..self.i]).unwrap_or("");
+                    let v = txt.parse::<f64>().unwrap_or_else(|_| {
+                        panic!("bad number {txt:?} at byte {start}");
+                    });
+                    out.insert(path.join("."), v);
+                }
+            }
+        }
+    }
+    let mut p = P { b: src.as_bytes(), i: 0 };
+    let mut out = BTreeMap::new();
+    p.value(&mut Vec::new(), &mut out);
+    out
+}
+
+/// Gated metrics: `(key, max relative growth)` — the new value may exceed
+/// the old by at most this fraction before `--compare` fails.
+const RATIO_GATES: [(&str, f64); 4] = [
+    ("fault_path.fault_from_scache_ns_per_iter", 0.10),
+    ("fault_path.pcache_hit_ns_per_iter", 0.15),
+    ("fault_latency.p99_ns", 0.20),
+    ("shard_path.shard_queue_delay_p99_ns", 0.20),
+];
+
+/// Weak-scaling efficiency floor at the largest trajectory point.
+const EFFICIENCY_FLOOR: f64 = 0.5;
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// `mm_bench --compare old.json new.json`: per-metric delta table plus the
+/// regression gates. Returns the process exit code.
+fn compare(old_path: &str, new_path: &str) -> i32 {
+    let read = |p: &str| {
+        flat_numbers(&std::fs::read_to_string(p).unwrap_or_else(|e| panic!("reading {p}: {e}")))
+    };
+    let old = read(old_path);
+    let new = read(new_path);
+
+    println!("mm_bench compare: {old_path} -> {new_path}");
+    println!("{:<48} {:>14} {:>14} {:>9}", "metric", "old", "new", "delta");
+    let keys: Vec<&String> = old
+        .keys()
+        .chain(new.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for k in keys {
+        if k == "generated_unix" {
+            continue;
+        }
+        let (o, n) = (old.get(k), new.get(k));
+        let delta = match (o, n) {
+            (Some(&o), Some(&n)) if o != 0.0 => format!("{:+.1}%", (n - o) / o * 100.0),
+            (Some(_), Some(_)) => "n/a".into(),
+            _ => "—".into(),
+        };
+        println!(
+            "{k:<48} {:>14} {:>14} {delta:>9}",
+            o.map_or("—".into(), |&v| fmt_num(v)),
+            n.map_or("—".into(), |&v| fmt_num(v)),
+        );
+    }
+
+    let mut failures = Vec::new();
+    for (key, max_growth) in RATIO_GATES {
+        if let (Some(&o), Some(&n)) = (old.get(key), new.get(key)) {
+            let limit = o * (1.0 + max_growth);
+            if n > limit {
+                failures.push(format!(
+                    "{key}: {} exceeds {} (+{:.0}% over baseline {})",
+                    fmt_num(n),
+                    fmt_num(limit),
+                    max_growth * 100.0,
+                    fmt_num(o)
+                ));
+            }
+        }
+    }
+    let budget = new.get("telemetry.budget_pct").copied().unwrap_or(2.0);
+    if let Some(&pct) = new.get("telemetry.overhead_pct") {
+        if pct > budget {
+            failures.push(format!("telemetry.overhead_pct: {pct:.2} exceeds budget {budget:.1}"));
+        }
+    }
+    // Weak-scaling efficiency floor at the largest node count present.
+    let eff_at_max = new
+        .iter()
+        .filter(|(k, _)| k.starts_with("scale_path.weak_scaling.") && k.ends_with(".efficiency"))
+        .max_by_key(|(k, _)| k.as_str())
+        .map(|(_, &v)| v);
+    if let Some(eff) = eff_at_max {
+        if eff < EFFICIENCY_FLOOR {
+            failures.push(format!(
+                "scale_path: weak-scaling efficiency {eff:.4} below floor {EFFICIENCY_FLOOR}"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("gates: all passed");
+        0
+    } else {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        1
+    }
+}
+
+/// Run the weak-scaling trajectory + chaos pair and render the
+/// `scale_path` JSON section (deterministic virtual-time numbers).
+fn scale_path_json() -> String {
+    let sp = scale::measure(|msg| eprintln!("mm_bench: scale_path: {msg} ..."));
+    let mut runs = String::new();
+    for (i, r) in sp.runs.iter().enumerate() {
+        let sep = if i + 1 < sp.runs.len() { "," } else { "" };
+        runs.push_str(&format!(
+            "      {{ \"nodes\": {}, \"makespan_ns\": {}, \"efficiency\": {:.4} }}{sep}\n",
+            r.nodes,
+            r.makespan_ns,
+            sp.efficiency(r.nodes)
+        ));
+    }
+    format!(
+        "  \"scale_path\": {{\n    \"pages_per_rank\": {},\n    \"rounds\": {},\n    \"weak_scaling\": [\n{runs}    ],\n    \"chaos_nodes\": {},\n    \"chaos_clean_ns\": {},\n    \"chaos_faulted_ns\": {},\n    \"chaos_recovery_ns\": {},\n    \"rehomed_pages\": {}\n  }}",
+        scale::PAGES_PER_RANK,
+        scale::ROUNDS,
+        scale::CHAOS_NODES,
+        sp.chaos_clean_ns,
+        sp.chaos_faulted_ns,
+        sp.recovery_ns(),
+        sp.rehomed_pages
+    )
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).is_some_and(|a| a == "--compare") {
+        let (Some(old), Some(new)) = (argv.get(2), argv.get(3)) else {
+            eprintln!("usage: mm_bench --compare <old.json> <new.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(compare(old, new));
+    } else if argv.len() > 1 {
+        eprintln!("usage: mm_bench [--compare <old.json> <new.json>]");
+        std::process::exit(2);
+    }
+
     let now_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .expect("clock")
@@ -299,9 +554,10 @@ fn main() {
     let (p50, p99, p999, faults) = fault_latency_percentiles();
     eprintln!("mm_bench: measuring shard-path observables ...");
     let (queue_p99, hit_rate, hits, misses, crossings) = shard_path_metrics();
+    let scale_json = scale_path_json();
 
     let json = format!(
-        "{{\n  \"schema\": \"mm-bench/v2\",\n  \"generated_unix\": {now_unix},\n  \"date\": \"{y:04}-{m:02}-{d:02}\",\n  \"fault_path\": {{\n    \"pcache_hit_ns_per_iter\": {hit_ns:.1},\n    \"fault_from_scache_ns_per_iter\": {fault_ns:.1}\n  }},\n  \"telemetry\": {{\n    \"overhead_pct\": {overhead_pct:.2},\n    \"budget_pct\": 2.0\n  }},\n  \"fault_latency\": {{\n    \"tenant\": \"bench\",\n    \"faults\": {faults},\n    \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"p999_ns\": {p999}\n  }},\n  \"shard_path\": {{\n    \"shard_queue_delay_p99_ns\": {queue_p99},\n    \"owner_fast_hit_rate\": {hit_rate:.4},\n    \"owner_fast_hits\": {hits},\n    \"owner_fast_misses\": {misses},\n    \"batched_crossings\": {crossings}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"mm-bench/v3\",\n  \"generated_unix\": {now_unix},\n  \"date\": \"{y:04}-{m:02}-{d:02}\",\n  \"fault_path\": {{\n    \"pcache_hit_ns_per_iter\": {hit_ns:.1},\n    \"fault_from_scache_ns_per_iter\": {fault_ns:.1}\n  }},\n  \"telemetry\": {{\n    \"overhead_pct\": {overhead_pct:.2},\n    \"budget_pct\": 2.0\n  }},\n  \"fault_latency\": {{\n    \"tenant\": \"bench\",\n    \"faults\": {faults},\n    \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"p999_ns\": {p999}\n  }},\n  \"shard_path\": {{\n    \"shard_queue_delay_p99_ns\": {queue_p99},\n    \"owner_fast_hit_rate\": {hit_rate:.4},\n    \"owner_fast_hits\": {hits},\n    \"owner_fast_misses\": {misses},\n    \"batched_crossings\": {crossings}\n  }},\n{scale_json}\n}}\n"
     );
 
     let path = std::env::var("MM_BENCH_OUT")
@@ -317,4 +573,5 @@ fn main() {
         hit_rate * 100.0,
         total = hits + misses
     );
+    println!("  scale path: see the scale_path section of {path}");
 }

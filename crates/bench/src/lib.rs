@@ -17,6 +17,7 @@
 //! page-fault path, scheduler, tier placement).
 
 pub mod loc;
+pub mod scale;
 pub mod table;
 
 use std::io::Write;

@@ -1,0 +1,230 @@
+//! Weak-scaling and chaos-recovery observables (`mm-bench/v3`
+//! `scale_path`, shared with `mm_scope`).
+//!
+//! The workload is deliberately synthetic and rank-local: each rank owns a
+//! small private vector (WriteLocal commits home its pages on its own
+//! node), re-reads it with a strided scan, and joins a world allreduce
+//! every round. Per-rank work is constant, so the only thing that grows
+//! with the node count is the collective fan-out — the weak-scaling
+//! efficiency `makespan(base) / makespan(n)` isolates exactly the
+//! scale-out cost the paper's Fig. 5 methodology cares about.
+//!
+//! Determinism: all fault-path virtual charges land on the faulting
+//! rank's own node (no cross-rank timeline races), and collectives are
+//! rendezvous-synchronized, so the clean makespans are bit-deterministic
+//! under real concurrency. The chaos pair additionally barrier-serializes
+//! each round (rank k works while the others wait, then everyone
+//! barriers) so crash recovery — a *global* state change — lands at the
+//! same point of every rank's virtual timeline on every run, making the
+//! recovery-time delta deterministic too.
+
+use megammap::prelude::*;
+use megammap_cluster::comm::ReduceOp;
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::{DeviceSpec, FaultPlan, GIB, MIB};
+
+/// Page size of the scale workload.
+pub const PAGE: u64 = 4096;
+/// Pages each rank owns (constant per rank: weak scaling).
+pub const PAGES_PER_RANK: u64 = 32;
+/// Rounds of write / re-read / allreduce.
+pub const ROUNDS: u64 = 3;
+/// Node counts of the weak-scaling trajectory.
+pub const NODE_COUNTS: [usize; 4] = [4, 16, 64, 256];
+/// Node count the chaos-recovery pair runs at.
+pub const CHAOS_NODES: usize = 64;
+
+/// One measured run of the scale workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRun {
+    /// Nodes in the cluster (1 proc per node).
+    pub nodes: usize,
+    /// Virtual makespan, ns.
+    pub makespan_ns: u64,
+    /// Directory entries purged by crash recovery (`chaos.rehomed_pages`)
+    /// — the HRW re-homing storm size; 0 on clean runs.
+    pub rehomed_pages: u64,
+}
+
+/// The complete `scale_path` section: the clean weak-scaling trajectory
+/// plus the serialized chaos pair at [`CHAOS_NODES`].
+#[derive(Debug, Clone)]
+pub struct ScalePath {
+    /// Clean runs, one per entry of [`NODE_COUNTS`].
+    pub runs: Vec<ScaleRun>,
+    /// Serialized clean baseline at [`CHAOS_NODES`].
+    pub chaos_clean_ns: u64,
+    /// Serialized faulted makespan at [`CHAOS_NODES`].
+    pub chaos_faulted_ns: u64,
+    /// Pages the crash re-homed (from the faulted run).
+    pub rehomed_pages: u64,
+}
+
+impl ScalePath {
+    /// Weak-scaling efficiency at `nodes` relative to the smallest
+    /// trajectory point: `makespan(base) / makespan(nodes)`.
+    pub fn efficiency(&self, nodes: usize) -> f64 {
+        let base = self.runs.first().map_or(0, |r| r.makespan_ns);
+        let at = self.runs.iter().find(|r| r.nodes == nodes).map_or(0, |r| r.makespan_ns);
+        if at == 0 {
+            return 0.0;
+        }
+        base as f64 / at as f64
+    }
+
+    /// Virtual cost of the injected crash: faulted minus clean makespan of
+    /// the serialized pair.
+    pub fn recovery_ns(&self) -> u64 {
+        self.chaos_faulted_ns.saturating_sub(self.chaos_clean_ns)
+    }
+}
+
+fn cluster_of(nodes: usize) -> (Cluster, Runtime) {
+    let cluster = Cluster::new(ClusterSpec::new(nodes, 1).dram_per_node(GIB));
+    let cfg = RuntimeConfig::default()
+        .with_page_size(PAGE)
+        .with_tiers(vec![DeviceSpec::dram(MIB), DeviceSpec::nvme(64 * MIB)]);
+    let rt = Runtime::new(&cluster, cfg);
+    (cluster, rt)
+}
+
+fn cluster_faulted(nodes: usize, crash_at: u64) -> (Cluster, Runtime) {
+    let cluster = Cluster::new(ClusterSpec::new(nodes, 1).dram_per_node(GIB));
+    let plan = FaultPlan::new(42).crash_node(1, crash_at, crash_at + 1_000_000).build();
+    let cfg = RuntimeConfig::default()
+        .with_page_size(PAGE)
+        .with_tiers(vec![DeviceSpec::dram(MIB), DeviceSpec::nvme(64 * MIB)])
+        .with_faults(plan);
+    let rt = Runtime::new(&cluster, cfg);
+    (cluster, rt)
+}
+
+/// One rank's round: a WriteLocal pass over its own pages, a strided
+/// ReadLocal scan, then (outside) a collective. Returns the running
+/// checksum so the optimizer cannot elide the loads.
+fn rank_round(p: &megammap_cluster::Proc, v: &MmVec<u64>, round: u64, mut acc: u64) -> u64 {
+    let n = PAGES_PER_RANK * PAGE / 8;
+    let tx = v.tx(p, TxKind::seq(0, n), Access::WriteLocal).expect("write tx");
+    let mut i = 0u64;
+    while i < n {
+        v.store(p, tx.handle(), i, i ^ round);
+        i += PAGE / 8; // one store per page
+    }
+    tx.end().expect("write commit");
+    let tx = v.tx(p, TxKind::rand(round, 0, n), Access::ReadLocal).expect("read tx");
+    let mut i = 1u64;
+    while i < n {
+        acc = acc.wrapping_add(v.load(p, tx.handle(), i));
+        i += 517; // co-prime stride: touches most pages out of order
+    }
+    tx.end().expect("read end");
+    acc
+}
+
+fn open_rank_vec(rt: &Runtime, p: &megammap_cluster::Proc) -> MmVec<u64> {
+    let n = PAGES_PER_RANK * PAGE / 8;
+    MmVec::open(
+        rt,
+        p,
+        &format!("mem://scale/r{}", p.rank()),
+        VecOptions::new().len(n).pcache(2 * PAGE).no_prefetch(),
+    )
+    .expect("open rank vector")
+}
+
+/// Clean, concurrent weak-scaling run at `nodes` (1 proc per node).
+pub fn weak_run(nodes: usize) -> ScaleRun {
+    let (cluster, rt) = cluster_of(nodes);
+    let rt2 = rt.clone();
+    let (_, rep) = cluster.run(move |p| {
+        let v = open_rank_vec(&rt2, p);
+        let mut acc = p.rank() as u64;
+        for round in 0..ROUNDS {
+            acc = rank_round(p, &v, round, acc);
+            let tot = p.world().allreduce_u64(p, &[acc & 0xff], ReduceOp::Sum);
+            acc = acc.wrapping_add(tot[0]);
+        }
+        std::hint::black_box(acc);
+    });
+    ScaleRun { nodes, makespan_ns: rep.makespan_ns, rehomed_pages: 0 }
+}
+
+/// Barrier-serialized run at `nodes`: rank k does its round segment while
+/// every other rank waits, then all barrier. `crash_at > 0` attaches a
+/// single-node crash plan. Serialization keeps the *real-time* order of
+/// the recovery's global state changes identical to the virtual-time
+/// order, so the faulted makespan is deterministic.
+pub fn serialized_run(nodes: usize, crash_at: u64) -> ScaleRun {
+    let (cluster, rt) =
+        if crash_at > 0 { cluster_faulted(nodes, crash_at) } else { cluster_of(nodes) };
+    let rt2 = rt.clone();
+    let (_, rep) = cluster.run(move |p| {
+        let v = open_rank_vec(&rt2, p);
+        let me = p.rank();
+        let world = p.world().clone();
+        let mut acc = me as u64;
+        for round in 0..ROUNDS {
+            for k in 0..world.size() {
+                if k == me {
+                    acc = rank_round(p, &v, round, acc);
+                }
+                world.barrier(p);
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let rehomed = cluster.telemetry().counter("chaos", "rehomed_pages", &[]).get();
+    ScaleRun { nodes, makespan_ns: rep.makespan_ns, rehomed_pages: rehomed }
+}
+
+/// Measure the full `scale_path`: clean trajectory over [`NODE_COUNTS`],
+/// then the serialized clean/faulted pair at [`CHAOS_NODES`] (the crash
+/// lands at 30% of the serialized clean makespan, so it always falls
+/// mid-run regardless of device parameters).
+pub fn measure(progress: impl Fn(&str)) -> ScalePath {
+    let mut runs = Vec::with_capacity(NODE_COUNTS.len());
+    for &n in &NODE_COUNTS {
+        progress(&format!("weak scaling @ {n} nodes"));
+        runs.push(weak_run(n));
+    }
+    progress(&format!("chaos pair @ {CHAOS_NODES} nodes (serialized)"));
+    let clean = serialized_run(CHAOS_NODES, 0);
+    let faulted = serialized_run(CHAOS_NODES, (clean.makespan_ns * 3 / 10).max(1));
+    ScalePath {
+        runs,
+        chaos_clean_ns: clean.makespan_ns,
+        chaos_faulted_ns: faulted.makespan_ns,
+        rehomed_pages: faulted.rehomed_pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_runs_are_deterministic() {
+        let a = weak_run(4);
+        let b = weak_run(4);
+        assert!(a.makespan_ns > 0);
+        assert_eq!(a.makespan_ns, b.makespan_ns, "clean weak-scaling makespan must be stable");
+    }
+
+    #[test]
+    fn serialized_chaos_pair_is_deterministic_and_ordered() {
+        let clean = serialized_run(8, 0);
+        let clean2 = serialized_run(8, 0);
+        assert_eq!(clean.makespan_ns, clean2.makespan_ns);
+        let crash_at = (clean.makespan_ns * 3 / 10).max(1);
+        let faulted = serialized_run(8, crash_at);
+        let faulted2 = serialized_run(8, crash_at);
+        assert_eq!(faulted.makespan_ns, faulted2.makespan_ns, "faulted makespan must be stable");
+        assert!(faulted.rehomed_pages > 0, "crash must purge directory entries");
+        assert!(
+            faulted.makespan_ns >= clean.makespan_ns,
+            "recovery can only add virtual time: {} < {}",
+            faulted.makespan_ns,
+            clean.makespan_ns
+        );
+    }
+}

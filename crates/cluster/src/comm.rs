@@ -119,7 +119,8 @@ impl Comm {
         } else {
             max_clock
         };
-        let cost = p.net().collective_time(shape, self.size(), bytes);
+        let (depth, hop) = p.net().collective_breakdown(shape, self.size(), bytes);
+        let cost = depth * hop;
         let (shape_name, shape_id) = match shape {
             CollectiveShape::Tree => ("tree", 0u64),
             CollectiveShape::Ring => ("ring", 1),
@@ -128,10 +129,30 @@ impl Comm {
         let t = p.telemetry();
         t.counter("comm", "collectives", &[("shape", shape_name)]).inc();
         t.counter("comm", "bytes", &[("shape", shape_name)]).add(bytes);
-        // Each collective hop is its own single-span trace so per-policy
-        // critical-path attribution gets a "Collective" bucket.
+        // Scale-out observables (mm-scope): how deep the fan-out critical
+        // path goes at this communicator size, and the virtual time the
+        // dependent hop chain costs — the collective's per-hop wait
+        // attribution.
+        t.gauge("comm", "fanout_depth", &[("shape", shape_name)]).set_max(depth);
+        t.counter("comm", "hop_wait_ns", &[("shape", shape_name)]).add(cost);
+        // Each collective is its own trace so per-policy critical-path
+        // attribution gets a "Collective" bucket; the dependent hop chain
+        // lands as NetHop children (`detail` = hop index on the critical
+        // path).
         let ctx = t.trace_begin(p.node() as u32);
         if !ctx.is_none() {
+            for h in 0..depth {
+                t.trace_child(
+                    ctx,
+                    Stage::NetHop,
+                    start + h * hop,
+                    start + (h + 1) * hop,
+                    p.node() as u32,
+                    bytes,
+                    shape_name,
+                    h,
+                );
+            }
             t.trace_end(
                 ctx,
                 Stage::Collective,

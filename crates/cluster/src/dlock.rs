@@ -26,9 +26,20 @@
 use std::sync::Arc;
 
 use megammap_sim::SimTime;
+use megammap_telemetry::{Counter, Telemetry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::proc::Proc;
+
+/// Contention observables for one named [`DLock`] (mm-scope): grants and
+/// the *virtual* wait each grant paid for the previous holder's critical
+/// section. Deterministic whenever the grant order is deterministic — the
+/// wait is `free_at - now` in virtual time, not wall-clock parking.
+#[derive(Debug)]
+struct DLockObs {
+    acquisitions: Counter,
+    wait_model_ns: Counter,
+}
 
 #[derive(Debug, Default)]
 struct LockState {
@@ -61,6 +72,8 @@ pub struct DLock {
     rpc_ns: u64,
     /// Virtual-time lease; 0 = no lease (grants never expire).
     lease_ns: u64,
+    /// Optional contention observables (`dlock.*{lock=<name>}`).
+    obs: Option<Arc<DLockObs>>,
 }
 
 /// RAII guard: releases the lock (and stamps the virtual release time) on
@@ -114,12 +127,12 @@ impl Drop for DLockRawGuard<'_> {
 impl DLock {
     /// Create a lock whose acquire costs one RDMA round trip (~5 µs).
     pub fn new() -> Self {
-        Self { shared: Arc::default(), rpc_ns: 5_000, lease_ns: 0 }
+        Self { shared: Arc::default(), rpc_ns: 5_000, lease_ns: 0, obs: None }
     }
 
     /// Create a lock with a custom RPC cost.
     pub fn with_rpc_ns(rpc_ns: u64) -> Self {
-        Self { shared: Arc::default(), rpc_ns, lease_ns: 0 }
+        Self { shared: Arc::default(), rpc_ns, lease_ns: 0, obs: None }
     }
 
     /// Create a leased lock: a holder that fails to release within
@@ -127,7 +140,19 @@ impl DLock {
     /// the module docs on the fencing contract).
     pub fn with_lease(rpc_ns: u64, lease_ns: u64) -> Self {
         debug_assert!(lease_ns > 0, "a zero lease would expire instantly");
-        Self { shared: Arc::default(), rpc_ns, lease_ns }
+        Self { shared: Arc::default(), rpc_ns, lease_ns, obs: None }
+    }
+
+    /// Attach contention observables: every grant increments
+    /// `dlock.acquisitions{lock=name}` and adds the virtual wait the
+    /// grantee paid to `dlock.wait_model_ns{lock=name}`. Call once at
+    /// construction (the observables ride along with clones).
+    pub fn observed(mut self, telemetry: &Telemetry, name: &str) -> Self {
+        self.obs = Some(Arc::new(DLockObs {
+            acquisitions: telemetry.counter("dlock", "acquisitions", &[("lock", name)]),
+            wait_model_ns: telemetry.counter("dlock", "wait_model_ns", &[("lock", name)]),
+        }));
+        self
     }
 
     /// Acquire the lock on behalf of `p`. Blocks (in real time) until the
@@ -150,6 +175,10 @@ impl DLock {
     /// Grant the lock to the caller. Must hold the state mutex.
     fn grant(&self, st: &mut LockState, now: SimTime) -> (u64, SimTime) {
         let grant = st.free_at.max(now) + self.rpc_ns;
+        if let Some(obs) = &self.obs {
+            obs.acquisitions.inc();
+            obs.wait_model_ns.add(st.free_at.saturating_sub(now));
+        }
         st.held = true;
         st.epoch += 1;
         st.granted_at = grant;
@@ -298,6 +327,19 @@ mod tests {
         drop(g3);
         assert_eq!(lock.lease_breaks(), 1);
         assert_eq!(lock.acquisitions(), 3);
+    }
+
+    #[test]
+    fn observed_lock_records_grants_and_virtual_waits() {
+        let tel = Telemetry::new();
+        let lock = DLock::with_rpc_ns(1_000).observed(&tel, "leader");
+        let (g1, t1) = lock.lock_raw(0);
+        assert_eq!(t1, 1_000);
+        g1.release(t1 + 500); // free_at = 1_500
+        let (_g2, _t2) = lock.lock_raw(200); // arrived 1_300 ns before the release
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("dlock", "acquisitions", &[("lock", "leader")]), Some(2));
+        assert_eq!(snap.counter("dlock", "wait_model_ns", &[("lock", "leader")]), Some(1_300));
     }
 
     #[test]

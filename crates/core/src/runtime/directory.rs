@@ -26,8 +26,10 @@
 
 use std::collections::HashMap;
 
+use megammap_sim::SimTime;
+use megammap_telemetry::{lockorder, LockRank, LockStats, LockTimeline, Telemetry};
 use megammap_tiered::BlobId;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::tx::splitmix64;
 
@@ -91,6 +93,11 @@ pub enum OwnerRead {
 #[derive(Debug)]
 pub struct Directory {
     shards: Vec<Mutex<HashMap<BlobId, PageLoc>>>,
+    /// Contention-profiler accounting (rank `DirShard`), with one
+    /// virtual-time watermark per shard so independent slices never model
+    /// false contention.
+    stats: LockStats,
+    timelines: Vec<LockTimeline>,
 }
 
 impl Default for Directory {
@@ -100,14 +107,43 @@ impl Default for Directory {
 }
 
 impl Directory {
-    /// Empty directory.
+    /// Empty directory with detached (registry-less) profiler counters.
     pub fn new() -> Self {
-        Self { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        Self::build(LockStats::detached(LockRank::DirShard))
+    }
+
+    /// Empty directory whose shard-lock profile reports into `telemetry`.
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
+        Self::build(telemetry.lock_stats(LockRank::DirShard, &[]))
+    }
+
+    fn build(stats: LockStats) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            stats,
+            timelines: (0..SHARDS).map(|_| LockTimeline::new()).collect(),
+        }
     }
 
     #[inline]
     fn shard(&self, id: BlobId) -> &Mutex<HashMap<BlobId, PageLoc>> {
+        self.stats.acquire_untimed();
         &self.shards[shard_of(id)]
+    }
+
+    /// Lock a page's shard at a known virtual time, charging the
+    /// contention profiler's modeled wait. Registers the `DirShard`
+    /// lock-order rank; the returned guard carries the token.
+    #[inline]
+    fn probe(
+        &self,
+        id: BlobId,
+        now: SimTime,
+    ) -> (MutexGuard<'_, HashMap<BlobId, PageLoc>>, lockorder::LockOrderToken) {
+        let s = shard_of(id);
+        let g = self.shards[s].lock();
+        self.stats.acquire(&self.timelines[s], now);
+        (g, lockorder::acquired(LockRank::DirShard))
     }
 
     /// Location of a page, if known.
@@ -128,7 +164,29 @@ impl Directory {
     /// runtime observes the crossing; only a standing owner re-claiming
     /// its own page is fast-path eligible.
     pub fn claim_owner(&self, id: BlobId, node: usize, preferred_home: usize) -> OwnerClaim {
-        let mut map = self.shard(id).lock();
+        let map = self.shard(id).lock();
+        Self::claim_owner_in(map, id, node, preferred_home)
+    }
+
+    /// [`claim_owner`](Self::claim_owner) at a known virtual time: also
+    /// charges the contention profiler's modeled wait for the shard.
+    pub fn claim_owner_at(
+        &self,
+        id: BlobId,
+        node: usize,
+        preferred_home: usize,
+        now: SimTime,
+    ) -> OwnerClaim {
+        let (map, _lo) = self.probe(id, now);
+        Self::claim_owner_in(map, id, node, preferred_home)
+    }
+
+    fn claim_owner_in(
+        mut map: MutexGuard<'_, HashMap<BlobId, PageLoc>>,
+        id: BlobId,
+        node: usize,
+        preferred_home: usize,
+    ) -> OwnerClaim {
         let loc = map.entry(id).or_insert_with(|| PageLoc::new(preferred_home));
         match loc.owner {
             Some(o) if o == node => {
@@ -151,6 +209,17 @@ impl Directory {
     /// followed by a separate ownership check).
     pub fn owner_read(&self, id: BlobId, node: usize) -> OwnerRead {
         let map = self.shard(id).lock();
+        Self::owner_read_in(&map, id, node)
+    }
+
+    /// [`owner_read`](Self::owner_read) at a known virtual time: also
+    /// charges the contention profiler's modeled wait for the shard.
+    pub fn owner_read_at(&self, id: BlobId, node: usize, now: SimTime) -> OwnerRead {
+        let (map, _lo) = self.probe(id, now);
+        Self::owner_read_in(&map, id, node)
+    }
+
+    fn owner_read_in(map: &HashMap<BlobId, PageLoc>, id: BlobId, node: usize) -> OwnerRead {
         let Some(loc) = map.get(&id) else { return OwnerRead::Absent };
         if loc.owner == Some(node) && loc.home == node {
             return OwnerRead::Fast;

@@ -46,7 +46,7 @@ use megammap_cluster::{rendezvous_hash, Cluster};
 use megammap_formats::{Backends, DataObject, DataUrl, Scheme};
 use megammap_sim::{CollectiveShape, CpuModel, NetworkModel, SharedResource, SimTime};
 use megammap_telemetry::{
-    lockorder, Counter, EventKind, Histogram, LockRank, Stage, Telemetry, TraceCtx,
+    lockorder, Counter, EventKind, Histogram, LockRank, LockStats, Stage, Telemetry, TraceCtx,
 };
 use megammap_tiered::{BlobId, Dmsh, DmshError};
 use parking_lot::Mutex;
@@ -129,6 +129,10 @@ pub struct NodeRt {
     /// entry, so the hot fault path touches only shard-local state.
     shards: Vec<shard::ShardRt>,
     last_organize: AtomicU64,
+    /// Page reads/commits this node served (`scope.node_touches{node=N}`)
+    /// — the per-node load attribution behind `mm_scope`'s imbalance
+    /// Gini.
+    touches: Counter,
 }
 
 /// Aggregate runtime statistics (diagnostics + benchmark output).
@@ -187,6 +191,11 @@ pub struct Stats {
     /// active when they fired (`runtime.faults_by_policy{policy=...}`),
     /// indexed by [`Policy::index`].
     pub faults_by_policy: [Counter; Policy::COUNT],
+    /// Owner-fast (counted-not-traced) faults broken down by policy
+    /// (`runtime.owner_fast_hits_by_policy{policy=...}`) — what lets
+    /// `critical_path_report` reconcile traced roots against the tenant
+    /// fault histograms.
+    pub owner_hits_by_policy: [Counter; Policy::COUNT],
     /// Writer tasks broken down by policy
     /// (`runtime.writes_by_policy{policy=...}`).
     pub writes_by_policy: [Counter; Policy::COUNT],
@@ -221,6 +230,9 @@ impl Stats {
             ),
             faults_by_policy: Policy::ALL
                 .map(|p| t.counter("runtime", "faults_by_policy", &[("policy", p.name())])),
+            owner_hits_by_policy: Policy::ALL.map(|p| {
+                t.counter("runtime", "owner_fast_hits_by_policy", &[("policy", p.name())])
+            }),
             writes_by_policy: Policy::ALL
                 .map(|p| t.counter("runtime", "writes_by_policy", &[("policy", p.name())])),
             staged_out_by_policy: Policy::ALL.map(|p| {
@@ -277,6 +289,16 @@ struct RuntimeInner {
     next_id: AtomicU64,
     dir: directory::Directory,
     stats: Stats,
+    /// Contention accounting for the blocking apply-lock path
+    /// (`lock.*{lock=ApplyShard}`).
+    apply_stats: LockStats,
+    /// Contention accounting for the nonblocking victim-drain apply-lock
+    /// path (`lock.*{lock=ApplyVictim}`); `contended` counts try-lock
+    /// refusals (busy victims skipped by a drain round).
+    victim_stats: LockStats,
+    /// Contention accounting for the shared PFS device
+    /// (`lock.*{lock=Resource,resource=pfs}`).
+    pfs_stats: LockStats,
     telemetry: Telemetry,
     /// Tenant registry for multi-tenant serving (mm-serve); empty in the
     /// legacy single-tenant mode.
@@ -318,6 +340,7 @@ impl Runtime {
                 ),
                 shards: shard::build_shards(n, &cfg, &telemetry),
                 last_organize: AtomicU64::new(0),
+                touches: telemetry.counter("scope", "node_touches", &[("node", &n.to_string())]),
             })
             .collect();
         let nnodes = nodes.len();
@@ -336,8 +359,11 @@ impl Runtime {
                 backends,
                 vectors: Mutex::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
-                dir: directory::Directory::new(),
+                dir: directory::Directory::with_telemetry(&telemetry),
                 stats: Stats::new(&telemetry),
+                apply_stats: telemetry.lock_stats(LockRank::ApplyShard, &[]),
+                victim_stats: telemetry.lock_stats(LockRank::ApplyVictim, &[]),
+                pfs_stats: telemetry.lock_stats(LockRank::Resource, &[("resource", "pfs")]),
                 telemetry,
                 tenants: TenantLedger::new(),
                 cfg,
@@ -522,6 +548,7 @@ impl Runtime {
     pub(crate) fn with_apply_lock<R>(&self, node: usize, id: BlobId, f: impl FnOnce() -> R) -> R {
         let sh = self.shard_rt(node, id);
         let _guard = sh.apply_lock.lock();
+        self.inner.apply_stats.acquire_untimed();
         let _lo = lockorder::acquired(LockRank::ApplyShard);
         let _hold = shard::ApplyHold::register(node, shard::shard_of(id));
         f()
@@ -548,7 +575,13 @@ impl Runtime {
             return Some(f());
         }
         let sh = self.shard_rt(node, id);
-        let _guard = sh.apply_lock.try_lock()?;
+        let Some(_guard) = sh.apply_lock.try_lock() else {
+            // Busy victim skipped this round — the drain's (real-time,
+            // diagnostic-only) contention signal.
+            self.inner.victim_stats.contended();
+            return None;
+        };
+        self.inner.victim_stats.acquire_untimed();
         let _lo = lockorder::acquired(LockRank::ApplyVictim);
         Some(f())
     }
@@ -597,6 +630,10 @@ impl Runtime {
         let delay = t.saturating_sub(submit);
         self.inner.stats.queue_delay_ns.record(delay);
         sh.queue_delay.record(delay);
+        // Modeled queue depth: the delay is whole reservations queued
+        // ahead of this batch, so delay/reservation is how deep the shard's
+        // queue got (high-water, in virtual time — deterministic).
+        sh.queue_depth.set_max(delay / reserve.max(1));
         self.inner.telemetry.span(EventKind::TaskDispatch, submit, t, node as u32, bytes, pool);
         self.inner.telemetry.trace_child(
             ctx,
@@ -688,6 +725,9 @@ impl Runtime {
         }
         let tel = &self.inner.telemetry;
         tel.counter("chaos", "node_crashes", &[]).inc();
+        // Re-homing storm size: every purged entry is a page whose next
+        // fault re-homes it via rendezvous hashing over the survivors.
+        tel.counter("chaos", "rehomed_pages", &[]).add(purged.len() as u64);
         tel.span(EventKind::NodeCrash, at, at, node as u32, lost as u64, epoch);
         tel.span(EventKind::Recovery, at, now, node as u32, replayed, purged.len() as u64);
         self.inner.crash_epochs[node].store(epoch, Ordering::Release);
@@ -714,7 +754,7 @@ impl Runtime {
     ) -> Option<(Bytes, SimTime)> {
         self.poll_chaos(now);
         let id = BlobId::new(meta.id, page);
-        match self.inner.dir.owner_read(id, my_node) {
+        match self.inner.dir.owner_read_at(id, my_node, now) {
             directory::OwnerRead::Fast => {}
             _ => return None,
         }
@@ -723,10 +763,14 @@ impl Runtime {
         // what is skipped is the task construction + dispatch machinery.
         let (data, done) = self.inner.nodes[my_node].dmsh.get(now, id).ok()?;
         let s = &self.inner.stats;
+        let policy_ix = meta.policy.lock().index();
         s.faults.inc();
-        s.faults_by_policy[meta.policy.lock().index()].inc();
+        s.faults_by_policy[policy_ix].inc();
         s.local_reads.inc();
         s.owner_hits.inc();
+        s.owner_hits_by_policy[policy_ix].inc();
+        self.inner.nodes[my_node].touches.inc();
+        self.inner.telemetry.hot_pages().record(meta.id, page, 1);
         Some((data, done))
     }
 
@@ -794,6 +838,7 @@ impl Runtime {
             // pays a runtime crossing.
             s.owner_misses.inc();
         }
+        self.inner.telemetry.hot_pages().record(meta.id, page, 1);
         let id = BlobId::new(meta.id, page);
         let t = now + TASK_CONSTRUCT_NS;
         if let Some(node) = self.inner.dir.nearest_copy(id, my_node) {
@@ -822,6 +867,7 @@ impl Runtime {
         let home = self.default_home(meta.id, page, t);
         let (data, ready) = stager::stage_in(self, t, meta, page, home, ctx)?;
         self.inner.dir.home_or_insert(id, home);
+        self.inner.nodes[home].touches.inc();
         if home != my_node {
             let done = self.finish_remote(
                 ready,
@@ -851,6 +897,7 @@ impl Runtime {
         ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime)> {
         let bytes_hint = meta.page_size;
+        self.inner.nodes[node].touches.inc();
         let ws = self.dispatch(node, id, bytes_hint, t, 0, ctx);
         let (data, dev_done) =
             self.inner.nodes[node].dmsh.get_traced(ws, id, ctx).map_err(|e| match e {
@@ -954,6 +1001,9 @@ impl Runtime {
             s.coalesced.add(count - 1);
             s.batched.inc();
         }
+        // One sketch touch per run (weight = pages): a coalesced scan is
+        // one access pattern, not `count` independent hot-page candidates.
+        self.inner.telemetry.hot_pages().record(meta.id, first, count);
         let t = now + TASK_CONSTRUCT_NS;
         let mut out: Vec<(Bytes, SimTime)> = Vec::with_capacity(count as usize);
         let mut i = 0u64;
@@ -1174,10 +1224,18 @@ impl Runtime {
         // entirely — the apply is shard-local. A first claim or an
         // ownership transfer takes the dispatched slow path (the crossing
         // is what makes the new owner visible to the runtime).
-        let claim =
-            shard::claim_for_write(&self.inner.dir, &self.inner.stats, id, my_node, preferred);
+        let claim = shard::claim_for_write(
+            &self.inner.dir,
+            &self.inner.stats,
+            id,
+            my_node,
+            preferred,
+            submit,
+        );
         let home = claim.home;
         let fast = claim.retained && home == my_node;
+        self.inner.nodes[home].touches.inc();
+        self.inner.telemetry.hot_pages().record(meta.id, page, 1);
         let bytes = dirty.covered();
         let mut t = submit;
         if !fast {
@@ -1206,6 +1264,7 @@ impl Runtime {
             // takes apply locks itself.
             let sh = self.shard_rt(home, id);
             let _guard = sh.apply_lock.lock();
+            self.inner.apply_stats.acquire_untimed();
             let _lo = lockorder::acquired(LockRank::ApplyShard);
             let _hold = shard::ApplyHold::register(home, shard::shard_of(id));
             self.journal_write(meta, page, data, Some(dirty), t, home, ctx)?;
@@ -1283,10 +1342,18 @@ impl Runtime {
         } else {
             self.default_home(meta.id, page, submit)
         };
-        let claim =
-            shard::claim_for_write(&self.inner.dir, &self.inner.stats, id, my_node, preferred);
+        let claim = shard::claim_for_write(
+            &self.inner.dir,
+            &self.inner.stats,
+            id,
+            my_node,
+            preferred,
+            submit,
+        );
         let home = claim.home;
         let fast = claim.retained && home == my_node;
+        self.inner.nodes[home].touches.inc();
+        self.inner.telemetry.hot_pages().record(meta.id, page, 1);
         let bytes = data.len() as u64;
         let mut t = submit;
         if !fast {
@@ -1309,6 +1376,7 @@ impl Runtime {
         let done = {
             let sh = self.shard_rt(home, id);
             let _guard = sh.apply_lock.lock();
+            self.inner.apply_stats.acquire_untimed();
             let _lo = lockorder::acquired(LockRank::ApplyShard);
             let _hold = shard::ApplyHold::register(home, shard::shard_of(id));
             self.journal_write(meta, page, &data, None, t, home, ctx)?;
@@ -1543,6 +1611,13 @@ impl Runtime {
 
     pub(crate) fn inner_pfs(&self) -> &SharedResource {
         &self.inner.pfs
+    }
+
+    /// Contention accounting for the shared PFS device
+    /// (`lock.*{lock=Resource,resource=pfs}`): the stager records each
+    /// backend transfer's modeled queueing delay here.
+    pub(crate) fn pfs_stats(&self) -> &LockStats {
+        &self.inner.pfs_stats
     }
 
     pub(crate) fn inner_cpu(&self) -> &CpuModel {

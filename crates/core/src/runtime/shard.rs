@@ -21,8 +21,8 @@
 //! epoch: these functions are total — they never `?`-propagate between
 //! claiming and recording an ownership outcome.
 
-use megammap_sim::SharedResource;
-use megammap_telemetry::{Histogram, Telemetry};
+use megammap_sim::{SharedResource, SimTime};
+use megammap_telemetry::{Gauge, Histogram, Telemetry};
 use megammap_tiered::BlobId;
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -34,8 +34,29 @@ use super::Stats;
 use crate::config::RuntimeConfig;
 
 /// Queue-delay histogram bounds, shared by the global and per-shard
-/// queue-delay observables.
-pub(crate) const QUEUE_DELAY_BOUNDS: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+/// queue-delay observables. Log-scaled (1-2-5 per decade): the old
+/// decade-wide bounds put every contended dispatch in one coarse
+/// `100µs..1ms` bucket, so the interpolated p99 pinned at a suspicious
+/// round 950µs regardless of the real tail shape.
+pub(crate) const QUEUE_DELAY_BOUNDS: [u64; 17] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    1_000_000_000,
+];
 
 /// One fault shard of a node: the unit of locality on the hot path.
 pub(crate) struct ShardRt {
@@ -50,6 +71,10 @@ pub(crate) struct ShardRt {
     pub apply_lock: Mutex<()>,
     /// Queue delay between submission and dispatch on this shard's queues.
     pub queue_delay: Histogram,
+    /// High-water modeled queue depth: how many dispatch reservations deep
+    /// this shard's queue got (delay / per-task reservation), in virtual
+    /// time — a deterministic stand-in for instantaneous queue length.
+    pub queue_depth: Gauge,
 }
 
 impl ShardRt {
@@ -104,6 +129,11 @@ pub(crate) fn build_shards(
                 &[("node", &node_label), ("shard", &s.to_string())],
                 &QUEUE_DELAY_BOUNDS,
             ),
+            queue_depth: telemetry.gauge(
+                "runtime",
+                "shard_queue_depth",
+                &[("node", &node_label), ("shard", &s.to_string())],
+            ),
         })
         .collect()
 }
@@ -157,8 +187,9 @@ pub(crate) fn claim_for_write(
     id: BlobId,
     node: usize,
     preferred_home: usize,
+    now: SimTime,
 ) -> OwnerClaim {
-    let claim = dir.claim_owner(id, node, preferred_home);
+    let claim = dir.claim_owner_at(id, node, preferred_home, now);
     if claim.retained && claim.home == node {
         stats.owner_hits.inc();
     } else {

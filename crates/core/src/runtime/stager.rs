@@ -102,6 +102,11 @@ pub(crate) fn stage_in(
         if from_backend > 0 {
             // Charge the shared PFS device plus deserialization CPU.
             t = rt.inner_pfs().acquire_causal_pipelined(now, from_backend as u64);
+            // Queueing share of the charge = completion minus our own
+            // service time: what *other* transfers cost this one.
+            rt.pfs_stats().record_wait(
+                (t - now).saturating_sub(rt.inner_pfs().service_time(from_backend as u64)),
+            );
             t += rt.inner_cpu().serde_ns(from_backend as u64);
             rt.inner_stats().staged_in.add(from_backend as u64);
             let tel = rt.telemetry();
@@ -233,7 +238,10 @@ fn stage_out_page(
     let now = backend_gate(rt, now, meta, node, ctx)?;
     backend.write_at(start, &data[..len]).map_err(MmError::Io)?;
     let t = now + rt.inner_cpu().serde_ns(len as u64);
+    let serde_done = t;
     let t = rt.inner_pfs().acquire_causal_pipelined(t, len as u64);
+    rt.pfs_stats()
+        .record_wait((t - serde_done).saturating_sub(rt.inner_pfs().service_time(len as u64)));
     let stats = rt.inner_stats();
     stats.staged_out.add(len as u64);
     stats.staged_out_by_policy[meta.policy.lock().index()].add(len as u64);

@@ -7,6 +7,7 @@
 //! ids, virtual timestamps, ordering, everything.
 
 use megammap::prelude::*;
+use megammap_cluster::comm::ReduceOp;
 use megammap_cluster::{Cluster, ClusterSpec};
 use megammap_sim::{DeviceSpec, MIB};
 
@@ -70,6 +71,84 @@ fn run_once() -> (String, String) {
     );
     let snap = cluster.telemetry().snapshot();
     (snap.trace_json(), snap.metrics_csv())
+}
+
+/// Four nodes, one proc each, barrier-serialized. Virtual timestamps are
+/// deterministic because each rank's fault-path charges are rank-local and
+/// the serialization pins the *real-time* order of the shared trace store
+/// to the same interleaving every run; span/trace ids are per-node
+/// sequences, so they only need each node's own trace order to be stable.
+fn run_multinode() -> String {
+    const PAGE: u64 = 4096;
+    const PAGES: u64 = 64;
+    let cluster = Cluster::new(ClusterSpec::new(4, 1).dram_per_node(64 * MIB));
+    cluster.telemetry().set_flight(4, 50_000);
+    let rt = Runtime::new(
+        &cluster,
+        RuntimeConfig::default()
+            .with_page_size(PAGE)
+            .with_tiers(vec![DeviceSpec::dram(256 * 1024), DeviceSpec::nvme(4 * MIB)]),
+    );
+    let rt2 = rt.clone();
+    cluster.run(move |p| {
+        let me = p.rank();
+        let world = p.world().clone();
+        let n = PAGES * PAGE / 8;
+        let v: MmVec<u64> = MmVec::open(
+            &rt2,
+            p,
+            &format!("mem://det4/r{me}"),
+            VecOptions::new().len(n).pcache(8 * PAGE),
+        )
+        .unwrap();
+        // Write phase: establishes ownership, emits commit spans.
+        for k in 0..world.size() {
+            if k == me {
+                let tx = v.tx_begin(p, TxKind::seq(0, n), Access::WriteLocal);
+                for i in (0..n).step_by(512) {
+                    v.store(p, &tx, i, i ^ me as u64);
+                }
+                v.tx_end(p, tx);
+            }
+            world.barrier(p);
+        }
+        // Sequential scan on a fresh full-size-pcache handle, striding a
+        // whole coalesce neighbourhood per access: every miss lands in a
+        // cold run and batches into one ShardBatch crossing.
+        for k in 0..world.size() {
+            if k == me {
+                let vs: MmVec<u64> = MmVec::open(
+                    &rt2,
+                    p,
+                    &format!("mem://det4/r{me}"),
+                    VecOptions::new().len(n).pcache((PAGES + 8) * PAGE),
+                )
+                .unwrap();
+                let tx = vs.tx_begin(p, TxKind::seq(0, n), Access::ReadOnly);
+                let mut acc = 0u64;
+                for i in (0..n).step_by(8 * (PAGE / 8) as usize) {
+                    acc = acc.wrapping_add(vs.load(p, &tx, i));
+                }
+                vs.tx_end(p, tx);
+                std::hint::black_box(acc);
+            }
+            world.barrier(p);
+        }
+        // One explicit collective on top of the barriers: Collective root
+        // spans with per-hop NetHop children.
+        let _ = world.allreduce_u64(p, &[me as u64], ReduceOp::Sum);
+    });
+    cluster.telemetry().snapshot().trace_json()
+}
+
+#[test]
+fn four_node_trace_is_byte_identical_with_shard_batches_and_collectives() {
+    let a = run_multinode();
+    let b = run_multinode();
+    assert_eq!(a, b, "4-node trace_json must be byte-identical");
+    assert!(a.contains("\"name\":\"shard_batch\""), "batched crossings must be traced");
+    assert!(a.contains("\"name\":\"collective\""), "collectives must be traced");
+    assert!(a.contains("\"name\":\"net_hop\""), "per-hop fan-out children must be traced");
 }
 
 #[test]

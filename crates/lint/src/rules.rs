@@ -256,6 +256,7 @@ const LOCK_RANKS: &[(&str, &str, u8, &str)] = &[
     ("", "policy", 20, "Policy"),
     ("crates/core/src/runtime/", "vectors", 30, "RtMeta"),
     ("crates/core/src/runtime/", "apply_lock", 40, "ApplyShard"),
+    ("crates/core/src/runtime/directory.rs", "shards", 48, "DirShard"),
     ("crates/tiered/src/dmsh.rs", "meta", 50, "DmshMeta"),
     ("crates/tiered/src/dmsh.rs", "store", 60, "DmshStore"),
     ("crates/cluster/src/mailbox.rs", "queue", 70, "Mailbox"),

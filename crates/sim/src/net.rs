@@ -180,20 +180,30 @@ impl NetworkModel {
     /// does not reserve NIC timelines — collectives in the simulation are
     /// charged at barrier-style synchronization points.
     pub fn collective_time(&self, shape: CollectiveShape, n: usize, bytes: u64) -> u64 {
+        let (depth, hop) = self.collective_breakdown(shape, n, bytes);
+        depth * hop
+    }
+
+    /// Per-hop breakdown of [`collective_time`](Self::collective_time):
+    /// `(fan_out_depth, hop_cost_ns)` — the number of dependent hops on
+    /// the collective's critical path and the uniform virtual cost of each
+    /// (`depth * hop = collective_time`). Tree fan-out is `ceil(log2 n)`
+    /// rounds deep; Ring and Flat serialize `n - 1` hops.
+    pub fn collective_breakdown(&self, shape: CollectiveShape, n: usize, bytes: u64) -> (u64, u64) {
         if n <= 1 {
-            return 0;
+            return (0, 0);
         }
         let p = self.inner.inter;
         match shape {
             CollectiveShape::Tree => {
                 let rounds = (usize::BITS - (n - 1).leading_zeros()) as u64;
-                rounds * p.message_time(bytes)
+                (rounds, p.message_time(bytes))
             }
             CollectiveShape::Ring => {
                 let chunk = (bytes / n as u64).max(1);
-                (n as u64 - 1) * p.message_time(chunk)
+                (n as u64 - 1, p.message_time(chunk))
             }
-            CollectiveShape::Flat => (n as u64 - 1) * p.message_time(bytes),
+            CollectiveShape::Flat => (n as u64 - 1, p.message_time(bytes)),
         }
     }
 

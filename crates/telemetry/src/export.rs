@@ -50,6 +50,12 @@ pub struct CriticalPathGroup {
     pub roots: u64,
     /// Sum of root durations, virtual ns.
     pub root_total_ns: u64,
+    /// Owner-fast faults under this policy: counted, never traced (no
+    /// spans exist for them), folded in from
+    /// `runtime.owner_fast_hits_by_policy` so `roots + untraced_fast`
+    /// reconciles against the per-policy fault counters. Zero for
+    /// non-fault root stages.
+    pub untraced_fast: u64,
     /// Per-stage aggregates, stage-ordered.
     pub stages: Vec<StageLatency>,
 }
@@ -259,6 +265,12 @@ impl Snapshot {
                 root_stage,
                 roots,
                 root_total_ns,
+                untraced_fast: if root_stage == Stage::Fault {
+                    self.counter("runtime", "owner_fast_hits_by_policy", &[("policy", policy)])
+                        .unwrap_or(0)
+                } else {
+                    0
+                },
                 stages: stages
                     .into_iter()
                     .map(|((stage, tier), mut durs)| {
@@ -301,6 +313,16 @@ impl Snapshot {
                 g.root_total_ns,
                 avg
             );
+            if g.untraced_fast > 0 {
+                // Reconciliation line: traced roots + owner-fast (untraced)
+                // = the policy's fault counter.
+                let _ = writeln!(
+                    out,
+                    "    owner-fast(untraced)     n={:<6} traced+fast={}",
+                    g.untraced_fast,
+                    g.roots + g.untraced_fast
+                );
+            }
             for s in &g.stages {
                 let name = if s.tier.is_empty() {
                     s.stage.name().to_string()

@@ -25,12 +25,16 @@ mod events;
 mod export;
 pub mod lockorder;
 mod metrics;
+pub mod profile;
 mod spans;
 
 pub use events::{Event, EventKind, EventRing};
 pub use export::{CriticalPathGroup, StageLatency};
 pub use lockorder::{LockOrderToken, LockRank};
 pub use metrics::{Counter, Gauge, Histogram, MetricKey};
+pub use profile::{
+    gini_permille, HeavyHitter, HeavyHitters, LockStats, LockTimeline, DEFAULT_HOT_PAGE_CAPACITY,
+};
 pub use spans::{
     FlightTrace, SpanRecord, Stage, TraceCtx, DEFAULT_FLIGHT_K, DEFAULT_SPAN_CAPACITY,
 };
@@ -57,6 +61,7 @@ struct Inner {
     histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
     events: Mutex<EventRing>,
     spans: Mutex<SpanStore>,
+    hot_pages: std::sync::OnceLock<HeavyHitters>,
 }
 
 /// Shared handle to one metrics registry + event ring.
@@ -96,6 +101,7 @@ impl Telemetry {
                 histograms: Mutex::new(BTreeMap::new()),
                 events: Mutex::new(EventRing::new(events)),
                 spans: Mutex::new(SpanStore::new(DEFAULT_SPAN_CAPACITY)),
+                hot_pages: std::sync::OnceLock::new(),
             }),
         }
     }
@@ -167,6 +173,37 @@ impl Telemetry {
             .entry(key)
             .or_insert_with(|| Histogram::attached(self.inner.enabled.clone(), bounds))
             .clone()
+    }
+
+    /// Mint contention-profiler counters for a lock of rank `rank`.
+    ///
+    /// `labels` distinguishes instances that should aggregate separately
+    /// (typically `[("node", name)]`); a `("lock", rank.name())` label is
+    /// always added. Pair the handle with one [`LockTimeline`] per actual
+    /// lock instance (see [`profile`] module docs).
+    pub fn lock_stats(&self, rank: LockRank, labels: &[(&'static str, &str)]) -> LockStats {
+        let mut all: Vec<(&'static str, &str)> = labels.to_vec();
+        all.push(("lock", rank.name()));
+        LockStats::new(
+            self.counter("lock", "acquisitions", &all),
+            self.counter("lock", "wait_model_ns", &all),
+            self.counter("lock", "contended", &all),
+            rank,
+        )
+    }
+
+    /// The registry's shared hot-page sketch (lazily created with
+    /// [`DEFAULT_HOT_PAGE_CAPACITY`]). Fault paths record
+    /// `(bucket, page)` touches; `mm_scope` reads the top-K.
+    pub fn hot_pages(&self) -> &HeavyHitters {
+        self.inner.hot_pages.get_or_init(|| {
+            HeavyHitters::new(
+                self.inner.enabled.clone(),
+                DEFAULT_HOT_PAGE_CAPACITY,
+                self.counter("scope", "page_touches", &[]),
+                self.counter("scope", "hot_page_evictions", &[]),
+            )
+        })
     }
 
     /// Record one event span. No-op while disabled.
@@ -307,6 +344,9 @@ impl Telemetry {
         }
         self.inner.events.lock().clear();
         self.inner.spans.lock().clear();
+        if let Some(hh) = self.inner.hot_pages.get() {
+            hh.clear();
+        }
     }
 }
 

@@ -4,8 +4,8 @@
 //! (mirrored statically by `mm-lint`'s lock-order rule):
 //!
 //! ```text
-//! VecState < Policy < RtMeta < ApplyShard < ApplyVictim < DmshMeta
-//!          < DmshStore < Mailbox < Resource
+//! VecState < Policy < RtMeta < ApplyShard < ApplyVictim < DirShard
+//!          < DmshMeta < DmshStore < Mailbox < Resource
 //! ```
 //!
 //! A thread may only acquire a lock whose rank is *strictly greater* than
@@ -38,6 +38,11 @@ pub enum LockRank {
     /// a higher rank keeps the ascending-order invariant honest without
     /// introducing a deadlock edge.
     ApplyVictim = 45,
+    /// A directory slice (`Directory::shards[i]`). Probed by the fault
+    /// path before any DMSH lock and by drains that already hold an
+    /// apply/victim shard, so it sits between the apply ranks and
+    /// [`DmshMeta`](Self::DmshMeta).
+    DirShard = 48,
     /// `Dmsh::meta` (blob metadata tree).
     DmshMeta = 50,
     /// A tier's `store` map (blob bytes).
@@ -46,6 +51,38 @@ pub enum LockRank {
     Mailbox = 70,
     /// `SharedResource::reservations` (leaf; never nests further).
     Resource = 80,
+}
+
+impl LockRank {
+    /// Every rank, ascending — the key space of the contention profiler.
+    pub const ALL: [LockRank; 10] = [
+        LockRank::VecState,
+        LockRank::Policy,
+        LockRank::RtMeta,
+        LockRank::ApplyShard,
+        LockRank::ApplyVictim,
+        LockRank::DirShard,
+        LockRank::DmshMeta,
+        LockRank::DmshStore,
+        LockRank::Mailbox,
+        LockRank::Resource,
+    ];
+
+    /// Stable name used as the `lock` label on profiler metrics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LockRank::VecState => "VecState",
+            LockRank::Policy => "Policy",
+            LockRank::RtMeta => "RtMeta",
+            LockRank::ApplyShard => "ApplyShard",
+            LockRank::ApplyVictim => "ApplyVictim",
+            LockRank::DirShard => "DirShard",
+            LockRank::DmshMeta => "DmshMeta",
+            LockRank::DmshStore => "DmshStore",
+            LockRank::Mailbox => "Mailbox",
+            LockRank::Resource => "Resource",
+        }
+    }
 }
 
 #[cfg(debug_assertions)]

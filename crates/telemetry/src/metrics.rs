@@ -142,6 +142,14 @@ impl Gauge {
         }
     }
 
+    /// Raise the value to `v` if it is currently lower (high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
     /// Decrease by `n`, saturating at zero.
     #[inline]
     pub fn sub(&self, n: u64) {

@@ -8,7 +8,8 @@ use std::sync::{Arc, OnceLock};
 use bytes::Bytes;
 use megammap_sim::{DeviceModel, DeviceSpec, FaultPlan, SimTime, TierKind};
 use megammap_telemetry::{
-    lockorder, Counter, EventKind, Gauge, LockOrderToken, LockRank, Stage, Telemetry, TraceCtx,
+    lockorder, Counter, EventKind, Gauge, LockOrderToken, LockRank, LockStats, LockTimeline, Stage,
+    Telemetry, TraceCtx,
 };
 use parking_lot::{Mutex, MutexGuard};
 
@@ -58,6 +59,8 @@ struct Tier {
     device: DeviceModel,
     /// Real storage for resident blobs.
     store: Mutex<HashMap<BlobId, Bytes>>,
+    /// Contention-profiler watermark for this tier's store lock.
+    store_timeline: LockTimeline,
 }
 
 /// Cached telemetry handles for one tier (no registry lookups on hot paths).
@@ -107,6 +110,11 @@ pub struct Dmsh {
     /// Tier-retirement epoch already evacuated (lazy degraded-mode
     /// demotion; compared against the plan's epoch at `now`).
     retire_epoch: AtomicU64,
+    /// Contention-profiler accounting for the `meta` lock (and its
+    /// virtual-time watermark) and the per-tier store locks.
+    meta_stats: LockStats,
+    meta_timeline: LockTimeline,
+    store_stats: LockStats,
 }
 
 impl Dmsh {
@@ -146,8 +154,12 @@ impl Dmsh {
             .map(|spec| Tier {
                 device: DeviceModel::new(format!("{name}/{}", spec.kind.name()), spec),
                 store: Mutex::new(HashMap::new()),
+                store_timeline: LockTimeline::new(),
             })
             .collect();
+        let node_label = [("node", name.as_str())];
+        let meta_stats = telemetry.lock_stats(LockRank::DmshMeta, &node_label);
+        let store_stats = telemetry.lock_stats(LockRank::DmshStore, &node_label);
         let bytes_copied = telemetry.counter("runtime", "bytes_copied", &[]);
         Self {
             name,
@@ -160,6 +172,9 @@ impl Dmsh {
             bytes_copied,
             faults: OnceLock::new(),
             retire_epoch: AtomicU64::new(0),
+            meta_stats,
+            meta_timeline: LockTimeline::new(),
+            store_stats,
         }
     }
 
@@ -207,7 +222,7 @@ impl Dmsh {
         if self.retire_epoch.load(Ordering::Acquire) >= epoch {
             return now;
         }
-        let (mut meta, _lo) = self.lock_meta();
+        let (mut meta, _lo) = self.lock_meta_at(now);
         if self.retire_epoch.load(Ordering::Acquire) >= epoch {
             return now;
         }
@@ -239,7 +254,26 @@ impl Dmsh {
     /// it at [`LockRank::DmshStore`]).
     fn lock_meta(&self) -> (MutexGuard<'_, BTreeMap<BlobId, BlobMeta>>, LockOrderToken) {
         let g = self.meta.lock();
+        self.meta_stats.acquire_untimed();
         (g, lockorder::acquired(LockRank::DmshMeta))
+    }
+
+    /// [`lock_meta`](Self::lock_meta) at a known virtual time: also
+    /// charges the contention profiler's modeled wait.
+    fn lock_meta_at(
+        &self,
+        now: SimTime,
+    ) -> (MutexGuard<'_, BTreeMap<BlobId, BlobMeta>>, LockOrderToken) {
+        let g = self.meta.lock();
+        self.meta_stats.acquire(&self.meta_timeline, now);
+        (g, lockorder::acquired(LockRank::DmshMeta))
+    }
+
+    /// Take tier `i`'s store lock, charging the contention profiler.
+    fn lock_store(&self, i: usize, now: SimTime) -> MutexGuard<'_, HashMap<BlobId, Bytes>> {
+        let g = self.tiers[i].store.lock();
+        self.store_stats.acquire(&self.tiers[i].store_timeline, now);
+        g
     }
 
     /// Publish per-tier occupancy gauges (cheap: one store per tier).
@@ -404,9 +438,8 @@ impl Dmsh {
             done = done.max(self.demote(meta, now, victim, by)?);
         }
         // Move the bytes.
-        let data = self.tiers[from]
-            .store
-            .lock()
+        let data = self
+            .lock_store(from, now)
             .remove(&id)
             .ok_or(DmshError::Internal("meta/store disagree on residency"))?;
         let read_done = self.tier_io(from, now, m.size);
@@ -417,7 +450,7 @@ impl Dmsh {
             return Err(DmshError::Internal("demotion target lost its freed space"));
         }
         self.tiers[from].device.free(m.size);
-        self.tiers[to].store.lock().insert(id, data);
+        self.lock_store(to, read_done).insert(id, data);
         let entry =
             meta.get_mut(&id).ok_or(DmshError::Internal("blob vanished during demotion"))?;
         entry.tier = to;
@@ -444,7 +477,7 @@ impl Dmsh {
         if self.is_retired(to, now) || self.tiers[to].device.available() < m.size {
             return None;
         }
-        let data = self.tiers[m.tier].store.lock().remove(&id)?;
+        let data = self.lock_store(m.tier, now).remove(&id)?;
         let read_done = self.tier_io(m.tier, now, m.size);
         let write_done = self.tier_io(to, read_done, m.size);
         if self.tiers[to].device.alloc(m.size).is_err() {
@@ -453,7 +486,7 @@ impl Dmsh {
             return None;
         }
         self.tiers[m.tier].device.free(m.size);
-        self.tiers[to].store.lock().insert(id, data);
+        self.lock_store(to, read_done).insert(id, data);
         let entry = meta.get_mut(&id)?;
         entry.tier = to;
         entry.tier_kind = self.tiers[to].device.kind();
@@ -481,13 +514,13 @@ impl Dmsh {
         let size = data.len() as u64;
         // Resolve tenant priority before taking `meta` (qos is a leaf lock).
         let prio = self.bucket_priority(id.bucket);
-        let (mut meta, _lo) = self.lock_meta();
+        let (mut meta, _lo) = self.lock_meta_at(now);
         // Overwrite in place if resident and same size — unless the blob
         // sits on a retired device, in which case re-place it.
         if let Some(m) = meta.get(&id).copied() {
             if m.size == size && !self.is_retired(m.tier, now) {
                 let done = self.tier_io(m.tier, now, size);
-                self.tiers[m.tier].store.lock().insert(id, data);
+                self.lock_store(m.tier, now).insert(id, data);
                 let e = meta
                     .get_mut(&id)
                     .ok_or(DmshError::Internal("blob vanished during overwrite"))?;
@@ -543,7 +576,7 @@ impl Dmsh {
             return Err(DmshError::Internal("tier lost capacity between check and alloc"));
         }
         let io_done = self.tier_io(t, done, size);
-        self.tiers[t].store.lock().insert(id, data);
+        self.lock_store(t, done).insert(id, data);
         meta.insert(
             id,
             BlobMeta {
@@ -576,13 +609,12 @@ impl Dmsh {
         id: BlobId,
         ctx: TraceCtx,
     ) -> Result<(Bytes, SimTime), DmshError> {
-        let (meta, _lo) = self.lock_meta();
+        let (meta, _lo) = self.lock_meta_at(now);
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let start = now.max(m.ready_at);
         let done = self.tier_io(m.tier, start, m.size);
-        let data = self.tiers[m.tier]
-            .store
-            .lock()
+        let data = self
+            .lock_store(m.tier, start)
             .get(&id)
             .cloned()
             .ok_or(DmshError::Internal("meta/store disagree on residency"))?;
@@ -664,15 +696,14 @@ impl Dmsh {
         off: u64,
         len: u64,
     ) -> Result<(Bytes, SimTime), DmshError> {
-        let (meta, _lo) = self.lock_meta();
+        let (meta, _lo) = self.lock_meta_at(now);
         let m = *meta.get(&id).ok_or(DmshError::NotFound(id))?;
         let start = now.max(m.ready_at);
         let end = (off + len).min(m.size);
         let off = off.min(m.size);
         let done = self.tier_io(m.tier, start, end - off);
-        let data = self.tiers[m.tier]
-            .store
-            .lock()
+        let data = self
+            .lock_store(m.tier, start)
             .get(&id)
             .cloned()
             .ok_or(DmshError::Internal("meta/store disagree on residency"))?;
@@ -692,9 +723,9 @@ impl Dmsh {
         off: u64,
         patch: &[u8],
     ) -> Result<SimTime, DmshError> {
-        let (mut meta, _lo) = self.lock_meta();
+        let (mut meta, _lo) = self.lock_meta_at(now);
         let m = meta.get_mut(&id).ok_or(DmshError::NotFound(id))?;
-        let mut store = self.tiers[m.tier].store.lock();
+        let mut store = self.lock_store(m.tier, now);
         let _lo_store = lockorder::acquired(LockRank::DmshStore);
         let cur =
             store.remove(&id).ok_or(DmshError::Internal("meta/store disagree on residency"))?;
@@ -787,7 +818,7 @@ impl Dmsh {
     /// highest-score blobs upward into free space. Returns the completion
     /// time of the reorganization I/O.
     pub fn organize(&self, now: SimTime, watermark: f64) -> SimTime {
-        let (mut meta, _lo) = self.lock_meta();
+        let (mut meta, _lo) = self.lock_meta_at(now);
         let mut done = now;
         // Demotion: fastest tier first.
         for i in 0..self.tiers.len().saturating_sub(1) {
