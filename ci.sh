@@ -29,6 +29,21 @@ cargo run -q -p mm-lint "${PROFILE[@]}" -- --root .
 echo "==> mm-lint deny (licenses + duplicate versions)"
 cargo run -q -p mm-lint "${PROFILE[@]}" -- --root . deny
 
+echo "==> mm-lint --check-allow (no stale allowlist entries)"
+cargo run -q -p mm-lint "${PROFILE[@]}" -- --root . --check-allow
+
+echo "==> mm-lint graph (lock graph clean + committed artifact up to date)"
+# Regenerates results/lock_graph.{json,dot} and fails on any non-allowlisted
+# lock-order violation, rank cycle, or hold-across-I/O finding. The second
+# run plus git-diff pins both determinism and artifact freshness: a PR that
+# changes the lock structure must commit the regenerated graph.
+cargo run -q -p mm-lint "${PROFILE[@]}" -- --root . graph
+cp results/lock_graph.json /tmp/lock_graph.ci.a.json
+cargo run -q -p mm-lint "${PROFILE[@]}" -- --root . graph
+diff -q /tmp/lock_graph.ci.a.json results/lock_graph.json
+git diff --exit-code -- results/lock_graph.json results/lock_graph.dot \
+    || { echo "results/lock_graph.{json,dot} out of date; commit the regenerated graph" >&2; exit 1; }
+
 echo "==> cargo test"
 cargo test -q --workspace "${PROFILE[@]}"
 
@@ -116,6 +131,16 @@ cargo build -q --release -p megammap-bench --bin mm_scope
 target/release/mm_scope > /tmp/mm_scope.ci.a.txt 2> /dev/null
 target/release/mm_scope > /tmp/mm_scope.ci.b.txt 2> /dev/null
 diff -q /tmp/mm_scope.ci.a.txt /tmp/mm_scope.ci.b.txt
+
+echo "==> lock-graph cross-check (observed lock edges ⊆ static graph)"
+# The static analyzer claims to over-approximate runtime lock nesting;
+# this makes the claim falsifiable. mm_scope re-runs with edge observation
+# on (stdout is unchanged — verified against the double-run capture above)
+# and mm-lint asserts every dynamically observed edge is in the static
+# graph. A miss means a summary-builder soundness bug (severed call chain).
+target/release/mm_scope --emit-lock-edges /tmp/mm_scope.ci.edges.json > /tmp/mm_scope.ci.c.txt 2> /dev/null
+diff -q /tmp/mm_scope.ci.a.txt /tmp/mm_scope.ci.c.txt
+cargo run -q -p mm-lint "${PROFILE[@]}" -- --root . crosscheck /tmp/mm_scope.ci.edges.json
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run

@@ -48,6 +48,34 @@ const HAMMERS: u64 = 8;
 const ELEMS_PER_PAGE: u64 = PAGE / 8;
 
 fn main() {
+    // `--emit-lock-edges PATH`: additionally record every lock-nesting
+    // edge the `lockorder` tokens observe and write them as
+    // `mm-lock-edges/v1` JSON. CI feeds the file to `mm-lint crosscheck`,
+    // which asserts the static lock graph contains every observed edge
+    // (static ⊇ dynamic). The stdout report is unchanged, so the
+    // double-run byte-diff gate is unaffected.
+    let mut edges_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--emit-lock-edges" => match args.next() {
+                Some(p) => edges_path = Some(p),
+                None => {
+                    eprintln!("mm_scope: --emit-lock-edges needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("mm_scope: unknown argument `{other}` (usage: mm_scope [--emit-lock-edges PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+    if edges_path.is_some() {
+        megammap_telemetry::clear_observed_lock_edges();
+        megammap_telemetry::observe_lock_edges(true);
+    }
+
     let cluster = Cluster::new(ClusterSpec::new(NODES, 1).dram_per_node(GIB));
     let cfg = RuntimeConfig::default()
         .with_page_size(PAGE)
@@ -223,6 +251,16 @@ fn main() {
 
     print!("{out}");
     save_text("mm_scope.txt", &out);
+    if let Some(path) = &edges_path {
+        megammap_telemetry::observe_lock_edges(false);
+        let doc = megammap_telemetry::lock_edges_json();
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("mm_scope: write {path}: {e}");
+            std::process::exit(2);
+        }
+        let n = megammap_telemetry::observed_lock_edges().len();
+        eprintln!("mm_scope: {n} observed lock edge(s) -> {path}");
+    }
     if !caught {
         std::process::exit(1);
     }

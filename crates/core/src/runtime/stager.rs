@@ -154,6 +154,10 @@ pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Re
     let mut done = now;
     let mut ctx = TraceCtx::NONE;
     let mut flushed = 0u64;
+    // Read the policy index before entering any apply-locked section (see
+    // `stage_out_page`); a concurrent policy flip mid-flush only skews the
+    // per-policy stats attribution, never the data path.
+    let policy_ix = meta.policy.lock().index();
     for node in 0..rt.nodes() {
         let dmsh = &rt.inner_node(node).dmsh;
         for id in dmsh.dirty_blobs() {
@@ -180,6 +184,7 @@ pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Re
                     id.blob,
                     &data,
                     node,
+                    policy_ix,
                     ctx,
                 )?;
                 dmsh.mark_clean(id);
@@ -215,7 +220,11 @@ pub(crate) fn stage_out_all(rt: &Runtime, now: SimTime, meta: &VectorMeta) -> Re
     Ok(done)
 }
 
-/// Serialize and write one page image to the backend.
+/// Serialize and write one page image to the backend. `policy_ix` is the
+/// vector's coherence-policy stats index, read by the caller *outside* any
+/// apply/victim critical section: taking the Policy lock (rank 20) under
+/// an apply lock (rank 40/45) would invert the declared order — the
+/// lock-graph pass rejects it.
 #[allow(clippy::too_many_arguments)]
 fn stage_out_page(
     rt: &Runtime,
@@ -225,6 +234,7 @@ fn stage_out_page(
     page: u64,
     data: &[u8],
     node: usize,
+    policy_ix: usize,
     ctx: TraceCtx,
 ) -> Result<SimTime> {
     // Clip the final page to the logical length so the backend never holds
@@ -244,7 +254,7 @@ fn stage_out_page(
         .record_wait((t - serde_done).saturating_sub(rt.inner_pfs().service_time(len as u64)));
     let stats = rt.inner_stats();
     stats.staged_out.add(len as u64);
-    stats.staged_out_by_policy[meta.policy.lock().index()].add(len as u64);
+    stats.staged_out_by_policy[policy_ix].add(len as u64);
     let tel = rt.telemetry();
     tel.counter("stager", "backend_bytes", &[("backend", backend_label(meta)), ("dir", "out")])
         .add(len as u64);
@@ -295,6 +305,9 @@ pub(crate) fn emergency_drain(
             Some(v) => v,
             None => continue,
         };
+        // Policy stats index for the victim's vector, read before taking
+        // its apply lock (see `stage_out_page`).
+        let policy_ix = vec.policy.lock().index();
         // Take the victim's apply lock nonblockingly ([`LockRank::
         // ApplyVictim`]): a page mid-commit is simply skipped this round —
         // the committer holds its lock, and this thread may already hold
@@ -320,6 +333,7 @@ pub(crate) fn emergency_drain(
                     id.blob,
                     &data,
                     node,
+                    policy_ix,
                     TraceCtx::NONE,
                 )?;
             }

@@ -268,10 +268,12 @@ const LOCK_HELPERS: &[(&str, u8, &str)] =
     &[(".lock_state()", 10, "VecState"), (".lock_meta()", 50, "DmshMeta")];
 
 /// Rank of the `.lock()` at `pos`, from the last ranked keyword between
-/// the start of the line and the call.
-fn rank_of_lock(m: &FileModel, pos: usize) -> Option<(u8, &'static str)> {
-    let line_start = m.scrubbed[..pos].rfind('\n').map_or(0, |i| i + 1);
-    let recv = &m.scrubbed[line_start..pos];
+/// the start of the *statement* and the call. Scanning back only to the
+/// line start would miss multi-line chained receivers
+/// (`self.tiers[i]\n  .store\n  .lock()`), silently exempting the call.
+pub(crate) fn rank_of_lock(m: &FileModel, pos: usize) -> Option<(u8, &'static str)> {
+    let stmt_start = m.scrubbed[..pos].rfind([';', '{', '}']).map_or(0, |i| i + 1);
+    let recv = &m.scrubbed[stmt_start..pos];
     let mut best: Option<(usize, u8, &'static str)> = None;
     for (path, kw, rank, name) in LOCK_RANKS {
         if !path.is_empty() && !m.path.contains(path) {
@@ -419,7 +421,7 @@ const EDGE_STOPLIST: &[&str] = &[
     "split", "lock", "load", "store", "append",
 ];
 
-const PANIC_TOKENS: &[&str] =
+pub(crate) const PANIC_TOKENS: &[&str] =
     &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
 
 /// Crates whose functions participate in the fault-path call graph.
@@ -764,6 +766,30 @@ mod tests {
         let m = file(
             "crates/tiered/src/dmsh.rs",
             "fn f(&self) { let s = self.tiers[0].store.lock(); drop(s); let m = self.meta.lock(); }",
+        );
+        assert!(lock_order(&[m]).is_empty());
+    }
+
+    #[test]
+    fn multi_line_chained_receiver_is_still_ranked() {
+        // The ranked keyword sits two lines above the `.lock()` call; the
+        // old line-local scan missed it and silently exempted the site.
+        let m = file(
+            "crates/tiered/src/dmsh.rs",
+            "fn f(&self) {\n    let s = self.tiers[0]\n        .store\n        .lock();\n    let m = self.meta.lock();\n}",
+        );
+        let f = lock_order(&[m]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("DmshMeta"));
+        assert!(f[0].msg.contains("DmshStore"));
+    }
+
+    #[test]
+    fn statement_scan_does_not_cross_statement_boundaries() {
+        // `store` in the *previous statement* must not rank this `.lock()`.
+        let m = file(
+            "crates/tiered/src/dmsh.rs",
+            "fn f(&self) {\n    let x = self.tiers[0].store.len();\n    let g = self.foo.lock();\n}",
         );
         assert!(lock_order(&[m]).is_empty());
     }

@@ -54,9 +54,10 @@ pub fn scrub(src: &str) -> String {
             }
             b'r' | b'b' => {
                 // Raw / byte strings: r", r#", br", b".
-                let start = i;
                 let mut j = i + 1;
+                let mut is_raw = b[i] == b'r';
                 if b[i] == b'b' && j < b.len() && b[j] == b'r' {
+                    is_raw = true;
                     j += 1;
                 }
                 let mut hashes = 0usize;
@@ -64,7 +65,10 @@ pub fn scrub(src: &str) -> String {
                     hashes += 1;
                     j += 1;
                 }
-                if j < b.len() && b[j] == b'"' && (hashes > 0 || j > start) {
+                // Only an actual `r` prefix starts a raw (escape-free)
+                // literal; a plain `b"..."` still honors `\"` escapes and
+                // must go through the escape-aware scanner below.
+                if is_raw && j < b.len() && b[j] == b'"' {
                     // Find the closing quote followed by `hashes` hashes.
                     let close: Vec<u8> =
                         std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
@@ -192,5 +196,57 @@ mod tests {
     fn length_is_preserved() {
         let src = "x /* c */ \"s\" 'c' r\"raw\" // e\n";
         assert_eq!(scrub(src).len(), src.len());
+    }
+
+    #[test]
+    fn raw_string_with_line_comment_and_braces_stays_synchronized() {
+        // The `//` and the braces live inside the raw literal: if the
+        // scrubber ended the literal early, the `}` would vanish (treated
+        // as comment) and every later offset would be off.
+        let src = "fn f() { let x = r#\"// } { unwrap() \"#; after(); }";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("after()"), "code after the literal must survive: {s:?}");
+        // Brace balance of the *code* (literal contents blanked): one pair.
+        assert_eq!(s.matches('{').count(), 1);
+        assert_eq!(s.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn byte_string_escaped_quote_does_not_desynchronize() {
+        // `b"..."` honors escapes: the `\"` must not terminate the
+        // literal, or the tail (including a fake `//`) leaks into code
+        // space and blanks the rest of the line.
+        let src = r#"fn f() { let x = b"a\" // not_a_comment"; tail(); }"#;
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains("not_a_comment"));
+        assert!(s.contains("tail()"), "code after the byte string must survive: {s:?}");
+        assert_eq!(s.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn byte_raw_string_is_escape_free() {
+        let src = "let x = br#\"tx_begin( } \\\"#; keep();";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains("tx_begin"));
+        assert!(s.contains("keep()"), "{s:?}");
+    }
+
+    #[test]
+    fn nested_block_comment_with_code_after_stays_synchronized() {
+        let src = "a /* 1 /* 2 /* 3 */ 2 */ 1 */ b.lock()";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(s.contains("b.lock()"));
+        assert!(!s.contains('1') && !s.contains('2') && !s.contains('3'));
+    }
+
+    #[test]
+    fn identifier_ending_in_b_or_r_is_not_a_literal_prefix() {
+        let src = "let rb = xr; b(r);";
+        assert_eq!(scrub(src), src);
     }
 }

@@ -33,7 +33,9 @@ pub use export::{CriticalPathGroup, StageLatency};
 pub use lockorder::{LockOrderToken, LockRank};
 pub use metrics::{Counter, Gauge, Histogram, MetricKey};
 pub use profile::{
-    gini_permille, HeavyHitter, HeavyHitters, LockStats, LockTimeline, DEFAULT_HOT_PAGE_CAPACITY,
+    clear_observed_lock_edges, gini_permille, lock_edges_enabled, lock_edges_json,
+    lock_edges_json_from, observe_lock_edges, observed_lock_edges, HeavyHitter, HeavyHitters,
+    LockStats, LockTimeline, DEFAULT_HOT_PAGE_CAPACITY,
 };
 pub use spans::{
     FlightTrace, SpanRecord, Stage, TraceCtx, DEFAULT_FLIGHT_K, DEFAULT_SPAN_CAPACITY,

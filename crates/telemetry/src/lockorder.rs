@@ -100,6 +100,9 @@ mod imp {
     #[derive(Debug)]
     pub struct LockOrderToken {
         serial: u64,
+        /// Set when the dynamic edge observer recorded this acquisition
+        /// (see `profile::observe_lock_edges`); the drop must pair it.
+        edge: Option<LockRank>,
     }
 
     pub fn acquired(rank: LockRank) -> LockOrderToken {
@@ -116,7 +119,7 @@ mod imp {
             h.0 += 1;
             let serial = h.0;
             h.1.push((serial, rank));
-            LockOrderToken { serial }
+            LockOrderToken { serial, edge: crate::profile::edge_acquired(rank).then_some(rank) }
         })
     }
 
@@ -128,6 +131,9 @@ mod imp {
                     h.1.remove(pos);
                 }
             });
+            if let Some(rank) = self.edge {
+                crate::profile::edge_released(rank);
+            }
         }
     }
 
@@ -141,13 +147,27 @@ mod imp {
 mod imp {
     use super::LockRank;
 
-    /// Token pairing one acquisition with its release (no-op in release).
+    /// Token pairing one acquisition with its release. In release the
+    /// order assertion compiles to nothing; only the (off-by-default)
+    /// dynamic edge observer remains, costing one relaxed load when
+    /// disabled.
     #[derive(Debug)]
-    pub struct LockOrderToken;
+    pub struct LockOrderToken {
+        edge: Option<LockRank>,
+    }
 
     #[inline(always)]
-    pub fn acquired(_rank: LockRank) -> LockOrderToken {
-        LockOrderToken
+    pub fn acquired(rank: LockRank) -> LockOrderToken {
+        LockOrderToken { edge: crate::profile::edge_acquired(rank).then_some(rank) }
+    }
+
+    impl Drop for LockOrderToken {
+        #[inline]
+        fn drop(&mut self) {
+            if let Some(rank) = self.edge {
+                crate::profile::edge_released(rank);
+            }
+        }
     }
 
     /// Ranks currently held by this thread (always empty in release).

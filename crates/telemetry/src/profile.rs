@@ -320,6 +320,112 @@ impl std::fmt::Debug for HeavyHitters {
     }
 }
 
+// ---- dynamic lock-nesting edge observation --------------------------------
+//
+// When enabled (off by default; `mm_scope --emit-lock-edges` turns it on
+// before the run), every `lockorder::acquired` token records, for each
+// ranked lock the thread already holds, the nesting edge `held -> new`
+// into a global set. The export is the *dynamic* half of mm-lint's
+// static/dynamic cross-check: every edge observed here must appear in the
+// statically computed workspace lock graph, or the analyzer has a summary
+// bug (or the workspace an unranked lock).
+//
+// std primitives on purpose: the loom-model builds swap the parking_lot
+// shim for loom types, and this layer must stay inert (one relaxed load)
+// inside loom models.
+
+static EDGE_OBSERVE: AtomicBool = AtomicBool::new(false);
+
+fn edge_set() -> &'static std::sync::Mutex<std::collections::BTreeSet<(LockRank, LockRank)>> {
+    static EDGES: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::BTreeSet<(LockRank, LockRank)>>,
+    > = std::sync::OnceLock::new();
+    EDGES.get_or_init(|| std::sync::Mutex::new(std::collections::BTreeSet::new()))
+}
+
+std::thread_local! {
+    /// Ranks this thread holds *with observation enabled*, in acquisition
+    /// order. Independent of the debug-assert stack in `lockorder` so the
+    /// release build can observe edges too.
+    static EDGE_HELD: std::cell::RefCell<Vec<LockRank>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Turn dynamic lock-nesting edge observation on or off.
+pub fn observe_lock_edges(on: bool) {
+    EDGE_OBSERVE.store(on, Ordering::Relaxed);
+}
+
+/// Whether edge observation is currently enabled.
+pub fn lock_edges_enabled() -> bool {
+    EDGE_OBSERVE.load(Ordering::Relaxed)
+}
+
+/// Record an acquisition of `rank`: an edge from every rank this thread
+/// already holds to `rank`. Returns true when the acquisition was pushed
+/// (observation enabled) — the caller's token must then pair it with
+/// [`edge_released`]. Called by `lockorder::acquired`.
+pub(crate) fn edge_acquired(rank: LockRank) -> bool {
+    if !EDGE_OBSERVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    EDGE_HELD.with(|h| {
+        let mut h = h.borrow_mut();
+        if !h.is_empty() {
+            let mut set = edge_set().lock().unwrap_or_else(|e| e.into_inner());
+            for &held in h.iter() {
+                set.insert((held, rank));
+            }
+        }
+        h.push(rank);
+    });
+    true
+}
+
+/// Pair of [`edge_acquired`]: pop the most recent occurrence of `rank`
+/// from this thread's held stack.
+pub(crate) fn edge_released(rank: LockRank) {
+    EDGE_HELD.with(|h| {
+        let mut h = h.borrow_mut();
+        if let Some(pos) = h.iter().rposition(|&r| r == rank) {
+            h.remove(pos);
+        }
+    });
+}
+
+/// Every observed nesting edge, sorted by `(from, to)` rank.
+pub fn observed_lock_edges() -> Vec<(LockRank, LockRank)> {
+    edge_set().lock().unwrap_or_else(|e| e.into_inner()).iter().copied().collect()
+}
+
+/// Drop every observed edge (tests / repeated runs).
+pub fn clear_observed_lock_edges() {
+    edge_set().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Render a set of nesting edges as the `mm-lock-edges/v1` JSON document
+/// consumed by `mm-lint crosscheck`. Deterministic: edges are emitted in
+/// the caller's order ([`observed_lock_edges`] is already sorted).
+pub fn lock_edges_json_from(edges: &[(LockRank, LockRank)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mm-lock-edges/v1\",\n  \"edges\": [\n");
+    for (i, (from, to)) in edges.iter().enumerate() {
+        let comma = if i + 1 == edges.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"from\": \"{}\", \"from_rank\": {}, \"to\": \"{}\", \"to_rank\": {} }}{comma}\n",
+            from.name(),
+            *from as u8,
+            to.name(),
+            *to as u8,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The observed edge set as `mm-lock-edges/v1` JSON.
+pub fn lock_edges_json() -> String {
+    lock_edges_json_from(&observed_lock_edges())
+}
+
 /// Gini coefficient of a load distribution, in permille (0 = perfectly
 /// balanced, 1000 = one node holds everything). Integer arithmetic via
 /// u128 accumulation, so the result is exactly deterministic.
@@ -404,6 +510,72 @@ mod tests {
         let top = hh.top(10);
         assert_eq!((top[0].bucket, top[0].page), (1, 3));
         assert_eq!((top[1].bucket, top[1].page), (2, 9));
+    }
+
+    /// Serializes the two edge-observation tests: the enable flag is
+    /// process-global, so they must not interleave.
+    static EDGE_TEST_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn lock_edge_observation_records_nesting() {
+        let _g = EDGE_TEST_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        // The edge set and the enable flag are process-global, so this
+        // test only asserts *containment* (other tests may add edges
+        // concurrently) and runs its nesting on a dedicated thread (a
+        // fresh, empty held stack).
+        observe_lock_edges(true);
+        std::thread::spawn(|| {
+            let a = crate::lockorder::acquired(LockRank::VecState);
+            let b = crate::lockorder::acquired(LockRank::DmshMeta);
+            let c = crate::lockorder::acquired(LockRank::DmshStore);
+            drop(c);
+            drop(b);
+            drop(a);
+            // After release, a fresh acquisition nests under nothing.
+            let _d = crate::lockorder::acquired(LockRank::Mailbox);
+        })
+        .join()
+        .unwrap();
+        observe_lock_edges(false);
+        let edges = observed_lock_edges();
+        assert!(edges.contains(&(LockRank::VecState, LockRank::DmshMeta)), "{edges:?}");
+        assert!(edges.contains(&(LockRank::VecState, LockRank::DmshStore)), "{edges:?}");
+        assert!(edges.contains(&(LockRank::DmshMeta, LockRank::DmshStore)), "{edges:?}");
+        assert!(!edges.contains(&(LockRank::DmshStore, LockRank::Mailbox)), "{edges:?}");
+    }
+
+    #[test]
+    fn lock_edges_disabled_records_nothing() {
+        let _g = EDGE_TEST_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(!lock_edges_enabled(), "observation must default to off");
+        std::thread::spawn(|| {
+            let _a = crate::lockorder::acquired(LockRank::RtMeta);
+            let _b = crate::lockorder::acquired(LockRank::DirShard);
+        })
+        .join()
+        .unwrap();
+        // Cannot assert global emptiness (other tests share the set); no
+        // other test nests this pair, so its absence proves the disabled
+        // path recorded nothing.
+        assert!(!observed_lock_edges().contains(&(LockRank::RtMeta, LockRank::DirShard)));
+    }
+
+    #[test]
+    fn lock_edges_json_schema_is_pinned() {
+        let json = lock_edges_json_from(&[
+            (LockRank::VecState, LockRank::DmshMeta),
+            (LockRank::DmshMeta, LockRank::DmshStore),
+        ]);
+        assert_eq!(
+            json,
+            "{\n  \"schema\": \"mm-lock-edges/v1\",\n  \"edges\": [\n    \
+             { \"from\": \"VecState\", \"from_rank\": 10, \"to\": \"DmshMeta\", \"to_rank\": 50 },\n    \
+             { \"from\": \"DmshMeta\", \"from_rank\": 50, \"to\": \"DmshStore\", \"to_rank\": 60 }\n  ]\n}\n"
+        );
+        assert_eq!(
+            lock_edges_json_from(&[]),
+            "{\n  \"schema\": \"mm-lock-edges/v1\",\n  \"edges\": [\n  ]\n}\n"
+        );
     }
 
     #[test]
