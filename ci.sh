@@ -142,6 +142,22 @@ target/release/mm_scope --emit-lock-edges /tmp/mm_scope.ci.edges.json > /tmp/mm_
 diff -q /tmp/mm_scope.ci.a.txt /tmp/mm_scope.ci.c.txt
 cargo run -q -p mm-lint "${PROFILE[@]}" -- --root . crosscheck /tmp/mm_scope.ci.edges.json
 
+echo "==> mm_ann search sweep (deterministic double run + recall floors)"
+cargo build -q -p megammap-ann "${PROFILE[@]}" --bin mm_ann
+if [[ "${1:-}" == "--release" ]]; then
+    MM_ANN_BIN=target/release/mm_ann
+else
+    MM_ANN_BIN=target/debug/mm_ann
+fi
+# Exit 0 means the recall floors held (flat recall@10 >= 0.90 at the
+# default config, PQ recall@10 >= 0.85 at the smallest pcache cap) and the
+# smallest cap showed the flat-thrashes-while-PQ-sustains contrast; stdout
+# must be byte-identical across the two runs (virtual time + conserved
+# counters only).
+"$MM_ANN_BIN" > /tmp/mm_ann.ci.a.txt 2> /dev/null
+"$MM_ANN_BIN" > /tmp/mm_ann.ci.b.txt 2> /dev/null
+diff -q /tmp/mm_ann.ci.a.txt /tmp/mm_ann.ci.b.txt
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run
 
@@ -149,9 +165,11 @@ echo "==> bench gate (mm_bench --compare against the committed baseline)"
 # Wall-clock floors are only comparable across release builds, so this
 # stage always builds mm_bench in release regardless of the CI profile.
 # The compare gates: fault path +10%, pcache hit +15%, fault p99 +20%,
-# queue-delay p99 +20%, telemetry overhead <= 2% absolute (re-measured
-# with the contention profiler compiled in and enabled), and
-# weak-scaling efficiency >= 0.5 at the largest scale_path point.
+# queue-delay p99 +20%, ann PQ search p99 +20%, ann PQ bytes-faulted per
+# query +20%, telemetry overhead <= 2% absolute (re-measured with the
+# contention profiler compiled in and enabled), weak-scaling efficiency
+# >= 0.5 at the largest scale_path point, and the ann_path recall floors
+# (flat >= 0.90, PQ >= 0.85).
 BASELINE=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
 if [[ -z "$BASELINE" ]]; then
     echo "no committed BENCH_<date>.json baseline; skipping bench gate" >&2

@@ -1,0 +1,215 @@
+//! mm_ann — deterministic ANN search sweep, fig7-style.
+//!
+//! A seeded 4096 x 64 Gaussian-mixture corpus and a fixed 48-query set run
+//! through one published IVF index per DMSH composition, sweeping the
+//! postings pcache cap across three sizes, on both search paths:
+//!
+//! * `flat` — full-precision posting-list scans (Seq transactions, misses
+//!   coalesce into ranged fetches);
+//! * `pq`   — hot-tier ADC over 8-byte codes, then re-ranking 96
+//!   candidates from the cold full-precision postings under a
+//!   `Random`-hinted transaction.
+//!
+//! All latencies are virtual and all volumes are conserved counters, so
+//! stdout is byte-identical across runs (CI double-runs and diffs it).
+//! Exit code: 0 when the recall floors hold — flat recall@10 ≥ 0.90 at
+//! the default configuration, PQ recall@10 ≥ 0.85 at the smallest cap —
+//! and the smallest cap shows the thrash contrast (flat faults ≥ 2x the
+//! bytes per query that PQ does); 1 otherwise; 2 on usage errors.
+
+use std::sync::Arc;
+
+use megammap::prelude::*;
+use megammap_ann::scenario::{ground_truth, measure, PathStats};
+use megammap_ann::{IvfIndex, IvfModel, IvfParams, ServingCaps};
+use megammap_cluster::{Cluster, ClusterSpec};
+use megammap_sim::{DeviceSpec, KIB, MIB};
+use megammap_workloads::vecgen;
+
+const PAGE: u64 = KIB;
+const TOPK: usize = 10;
+const NQ: usize = 48;
+/// Postings pcache caps swept per composition, smallest first.
+const CAPS: [u64; 3] = [8 * KIB, 64 * KIB, 2 * MIB];
+/// The "default config": middle composition at the middle cap.
+const DEFAULT_CFG: usize = 1;
+const DEFAULT_CAP: usize = 1;
+const CODES_PCACHE: u64 = 64 * KIB;
+
+struct Row {
+    cfg: &'static str,
+    cap: u64,
+    path: &'static str,
+    stats: PathStats,
+}
+
+fn kib(b: u64) -> String {
+    format!("{:.1}", b as f64 / 1024.0)
+}
+
+fn fmt_usage(usage: Vec<(megammap_sim::TierKind, u64)>) -> String {
+    usage.iter().map(|(k, b)| format!("{}:{}KiB", k.label(), b / KIB)).collect::<Vec<_>>().join(" ")
+}
+
+fn main() {
+    if std::env::args().len() > 1 {
+        eprintln!("usage: mm_ann  (no arguments; the sweep is fixed and deterministic)");
+        std::process::exit(2);
+    }
+
+    let ds = vecgen::generate(vecgen::VecGenParams {
+        n: 4096,
+        dim: 64,
+        clusters: 32,
+        seed: 42,
+        ..Default::default()
+    });
+    let queries = vecgen::queries(&ds, NQ, 777, 0.1);
+    let gt = ground_truth(&ds, &queries, TOPK);
+    let params = IvfParams::default();
+    let model = Arc::new(IvfModel::train(&ds, params));
+    let pq_ratio = model.pq.as_ref().map(|cb| cb.compression_ratio()).unwrap_or(1.0);
+
+    // Three DMSH compositions, fig7-style: capacity constant, media mixed.
+    // The small DRAM tier in the tiered configs forces the Background
+    // postings bucket down to the capacity media while the Interactive
+    // codes bucket retains the fast tier.
+    let configs: Vec<(&'static str, Vec<DeviceSpec>)> = vec![
+        ("D", vec![DeviceSpec::dram(8 * MIB)]),
+        ("D+N", vec![DeviceSpec::dram(256 * KIB), DeviceSpec::nvme(8 * MIB)]),
+        ("D+H", vec![DeviceSpec::dram(256 * KIB), DeviceSpec::hdd(8 * MIB)]),
+    ];
+    let cfg_names: Vec<&'static str> = configs.iter().map(|(n, _)| *n).collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut placements: Vec<(String, String)> = Vec::new();
+    for (name, tiers) in configs {
+        let cluster = Cluster::new(ClusterSpec::new(1, 1));
+        let rt =
+            Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE).with_tiers(tiers));
+        let rt2 = rt.clone();
+        let model2 = model.clone();
+        let queries2 = queries.clone();
+        let gt2 = gt.clone();
+        let (outs, _) = cluster.run(move |p| {
+            IvfIndex::publish(&rt2, p, "sweep", &model2, PAGE).expect("publish");
+            let mut out: Vec<(u64, &'static str, PathStats)> = Vec::new();
+            let mut placement = (String::new(), String::new());
+            for (ci, cap) in CAPS.iter().enumerate() {
+                let idx = IvfIndex::open(
+                    &rt2,
+                    p,
+                    "sweep",
+                    model2.clone(),
+                    PAGE,
+                    ServingCaps { postings_pcache: *cap, codes_pcache: CODES_PCACHE },
+                )
+                .expect("open");
+                for (path, pq) in [("flat", false), ("pq", true)] {
+                    let stats = measure(&rt2, p, &idx, &queries2, &gt2, TOPK, pq).expect("measure");
+                    out.push((*cap, path, stats));
+                }
+                if ci == 0 {
+                    placement.0 = fmt_usage(idx.postings_tier_usage(&rt2));
+                    placement.1 = idx.codes_tier_usage(&rt2).map(fmt_usage).unwrap_or_default();
+                }
+            }
+            (out, placement)
+        });
+        let (out, placement) = outs.into_iter().next().expect("one proc");
+        placements.push((placement.0, placement.1));
+        for (cap, path, stats) in out {
+            rows.push(Row { cfg: name, cap, path, stats });
+        }
+    }
+
+    println!("mm-ann — IVF search over the MegaMmap DSM (fig7-style sweep)");
+    println!(
+        "corpus: 4096 x 64 f32 ({} KiB) in 32 lists, nprobe {}, {} queries, k={}",
+        4096 * 64 * 4 / 1024,
+        params.nprobe,
+        NQ,
+        TOPK
+    );
+    println!(
+        "pq: m=8 k=64 ({pq_ratio:.0}x compression), rerank {}, codes pcache {} KiB",
+        params.rerank,
+        CODES_PCACHE / KIB
+    );
+    println!();
+    println!(
+        "{:<5} {:>9} {:>5} {:>10} {:>9} {:>9} {:>11} {:>9} {:>9}",
+        "cfg",
+        "cap_KiB",
+        "path",
+        "recall@10",
+        "p50_us",
+        "p99_us",
+        "KiB/query",
+        "faults/q",
+        "prefetch"
+    );
+    for r in &rows {
+        println!(
+            "{:<5} {:>9} {:>5} {:>10.3} {:>9.1} {:>9.1} {:>11} {:>9.1} {:>9}",
+            r.cfg,
+            r.cap / KIB,
+            r.path,
+            r.stats.recall_at_10,
+            r.stats.p50_ns as f64 / 1000.0,
+            r.stats.p99_ns as f64 / 1000.0,
+            kib(r.stats.bytes_per_query),
+            r.stats.faults_per_query,
+            r.stats.prefetches,
+        );
+    }
+    println!();
+    for (name, (post, codes)) in cfg_names.iter().zip(&placements) {
+        println!("{name}: postings tiers [{post}]  codes tiers [{codes}]");
+    }
+
+    // ---- verdict ----------------------------------------------------------
+    let find = |cfg: &str, cap: u64, path: &str| {
+        rows.iter()
+            .find(|r| r.cfg == cfg && r.cap == cap && r.path == path)
+            .map(|r| r.stats)
+            .expect("row present")
+    };
+    let default_cfg = cfg_names[DEFAULT_CFG];
+    let smallest = CAPS[0];
+    let flat_default = find(default_cfg, CAPS[DEFAULT_CAP], "flat");
+    let pq_small = find(default_cfg, smallest, "pq");
+    let flat_small = find(default_cfg, smallest, "flat");
+
+    let mut pass = true;
+    let mut check = |ok: bool, label: String| {
+        println!("{} {label}", if ok { "PASS" } else { "FAIL" });
+        pass &= ok;
+    };
+    check(
+        flat_default.recall_at_10 >= 0.90,
+        format!(
+            "flat recall@10 {:.3} >= 0.90 at default config ({default_cfg}, {} KiB)",
+            flat_default.recall_at_10,
+            CAPS[DEFAULT_CAP] / KIB
+        ),
+    );
+    check(
+        pq_small.recall_at_10 >= 0.85,
+        format!(
+            "pq recall@10 {:.3} >= 0.85 at smallest cap ({} KiB)",
+            pq_small.recall_at_10,
+            smallest / KIB
+        ),
+    );
+    check(
+        flat_small.bytes_per_query >= 2 * pq_small.bytes_per_query.max(1),
+        format!(
+            "thrash contrast at {} KiB: flat faults {} KiB/query vs pq {} KiB/query",
+            smallest / KIB,
+            kib(flat_small.bytes_per_query),
+            kib(pq_small.bytes_per_query)
+        ),
+    );
+    std::process::exit(if pass { 0 } else { 1 });
+}

@@ -1,0 +1,176 @@
+//! SIMD distance kernels with runtime feature dispatch.
+//!
+//! Each kernel exists twice: an explicit AVX2 implementation
+//! (`*_avx2`, compiled for `x86_64` behind `#[target_feature]`) and a
+//! scalar twin (`*_scalar`) written with the *same* 8-lane blocked
+//! accumulation and the same reduction tree. The AVX2 bodies use separate
+//! multiply and add (never FMA), so every per-lane operation performs the
+//! identical IEEE-754 arithmetic as the scalar twin — the proptest pins
+//! the two within 1 ULP per lane-reduction step, and in practice they are
+//! bit-identical. The public entry points (`l2`, `ip`) are the *sole* call
+//! sites of the AVX2 fns and guard them with `is_x86_feature_detected!`;
+//! mm-lint's `simd-fallback` rule enforces both properties.
+
+/// SIMD width in f32 lanes (one AVX2 `__m256`).
+pub const LANES: usize = 8;
+
+/// The fixed lane-reduction tree both implementations share: pairwise over
+/// the 8 accumulator lanes, then the scalar tail. Changing this order
+/// changes results; the proptest pins scalar and AVX2 to it together.
+#[inline]
+fn reduce(acc: [f32; LANES], tail: f32) -> f32 {
+    let lo = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let hi = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+    (lo + hi) + tail
+}
+
+/// Squared L2 distance, scalar reference: 8 independent accumulator lanes
+/// in blocked order, mirroring the AVX2 lane structure exactly.
+pub fn l2_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0f32; LANES];
+    let blocks = a.len() / LANES;
+    for blk in 0..blocks {
+        for (l, slot) in acc.iter_mut().enumerate() {
+            let i = blk * LANES + l;
+            let d = a[i] - b[i];
+            *slot += d * d;
+        }
+    }
+    let mut tail = 0f32;
+    for i in blocks * LANES..a.len() {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    reduce(acc, tail)
+}
+
+/// Inner product, scalar reference (same lane structure as [`l2_scalar`]).
+pub fn ip_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0f32; LANES];
+    let blocks = a.len() / LANES;
+    for blk in 0..blocks {
+        for (l, slot) in acc.iter_mut().enumerate() {
+            let i = blk * LANES + l;
+            *slot += a[i] * b[i];
+        }
+    }
+    let mut tail = 0f32;
+    for i in blocks * LANES..a.len() {
+        tail += a[i] * b[i];
+    }
+    reduce(acc, tail)
+}
+
+/// Squared L2 distance over one AVX2 register of accumulators.
+///
+/// # Safety
+/// Requires AVX2; the sole caller ([`l2`]) verifies with
+/// `is_x86_feature_detected!` before dispatching here.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn l2_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let blocks = a.len() / LANES;
+    let mut vacc = _mm256_setzero_ps();
+    for blk in 0..blocks {
+        let va = _mm256_loadu_ps(a.as_ptr().add(blk * LANES));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(blk * LANES));
+        let d = _mm256_sub_ps(va, vb);
+        // mul + add, not FMA: keeps per-lane arithmetic identical to the
+        // scalar twin (FMA's unrounded intermediate would diverge).
+        vacc = _mm256_add_ps(vacc, _mm256_mul_ps(d, d));
+    }
+    let mut acc = [0f32; LANES];
+    _mm256_storeu_ps(acc.as_mut_ptr(), vacc);
+    let mut tail = 0f32;
+    for i in blocks * LANES..a.len() {
+        let d = a[i] - b[i];
+        tail += d * d;
+    }
+    reduce(acc, tail)
+}
+
+/// Inner product over one AVX2 register of accumulators.
+///
+/// # Safety
+/// Requires AVX2; the sole caller ([`ip`]) verifies with
+/// `is_x86_feature_detected!` before dispatching here.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn ip_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let blocks = a.len() / LANES;
+    let mut vacc = _mm256_setzero_ps();
+    for blk in 0..blocks {
+        let va = _mm256_loadu_ps(a.as_ptr().add(blk * LANES));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(blk * LANES));
+        vacc = _mm256_add_ps(vacc, _mm256_mul_ps(va, vb));
+    }
+    let mut acc = [0f32; LANES];
+    _mm256_storeu_ps(acc.as_mut_ptr(), vacc);
+    let mut tail = 0f32;
+    for i in blocks * LANES..a.len() {
+        tail += a[i] * b[i];
+    }
+    reduce(acc, tail)
+}
+
+/// Squared L2 distance, dispatched: AVX2 when the CPU has it, scalar
+/// otherwise (and on non-x86 targets).
+#[inline]
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence verified by the runtime check above.
+        return unsafe { l2_avx2(a, b) };
+    }
+    l2_scalar(a, b)
+}
+
+/// Inner product, dispatched like [`l2`].
+#[inline]
+pub fn ip(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence verified by the runtime check above.
+        return unsafe { ip_avx2(a, b) };
+    }
+    ip_scalar(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_naive() {
+        let a: Vec<f32> = (0..19).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..19).map(|i| 9.0 - i as f32).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!((l2(&a, &b) - naive).abs() / naive < 1e-5);
+        assert!((l2_scalar(&a, &b) - naive).abs() / naive < 1e-5);
+    }
+
+    #[test]
+    fn ip_matches_naive() {
+        let a: Vec<f32> = (0..19).map(|i| i as f32 * 0.25).collect();
+        let b: Vec<f32> = (0..19).map(|i| 3.0 - i as f32 * 0.125).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((ip(&a, &b) - naive).abs() / naive.abs() < 1e-4);
+        assert!((ip_scalar(&a, &b) - naive).abs() / naive.abs() < 1e-4);
+    }
+
+    #[test]
+    fn dispatch_agrees_with_scalar_exactly() {
+        // On AVX2 hosts this exercises the SIMD path; elsewhere it is a
+        // tautology. The proptest widens this to random vectors.
+        let a: Vec<f32> = (0..64).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..64).map(|i| (i as f32).cos()).collect();
+        assert_eq!(l2(&a, &b).to_bits(), l2_scalar(&a, &b).to_bits());
+        assert_eq!(ip(&a, &b).to_bits(), ip_scalar(&a, &b).to_bits());
+    }
+}

@@ -1,0 +1,153 @@
+//! # megammap-ann — out-of-core vector-similarity search
+//!
+//! ROADMAP item 2: the canonical read-heavy inference-serving shape —
+//! "millions of users" issuing nearest-neighbour queries against a corpus
+//! far larger than fast memory — built on the MegaMmap DSM instead of the
+//! sequential-scan HPC workloads everything else benchmarks.
+//!
+//! Three pieces:
+//!
+//! * [`kernels`] — L2 / inner-product distance kernels: explicit AVX2
+//!   implementations behind runtime feature detection with scalar twins
+//!   that perform identical per-lane arithmetic (mm-lint's
+//!   `simd-fallback` rule pins the pairing);
+//! * [`pq`] — seeded k-means and product quantization: `m`-byte codes
+//!   approximating `dim * 4`-byte vectors, trained on IVF residuals,
+//!   scored through ADC lookup tables;
+//! * [`ivf`] — the IVF-flat index over `MmVec<f32>`: hot coarse centroids
+//!   and codes (Interactive-tenant placement) against cold full-precision
+//!   postings (Background tenant) that page through the DMSH. Flat search
+//!   coalesces list scans into ranged fetches; PQ search re-ranks a few
+//!   candidates under a `Random`-hinted transaction.
+//!
+//! The deterministic `mm_ann` binary sweeps recall@10 vs virtual-time
+//! latency vs pcache cap across DMSH compositions, fig7-style.
+
+pub mod ivf;
+pub mod kernels;
+pub mod pq;
+pub mod scenario;
+
+pub use ivf::{brute_force_topk, recall_at, IvfIndex, IvfModel, IvfParams, ServingCaps};
+pub use pq::{kmeans, PqCodebook, PqParams};
+pub use scenario::{ground_truth, measure, PathStats};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::kernels;
+    use crate::pq::{PqCodebook, PqParams};
+    use megammap_workloads::vecgen;
+
+    /// Distance of two f32 bit patterns in ULPs (same sign assumed).
+    fn ulp_diff(a: f32, b: f32) -> u64 {
+        (a.to_bits() as i64 - b.to_bits() as i64).unsigned_abs()
+    }
+
+    /// Per-lane blocked accumulation has `len / 8 + 8 + 1` reduction
+    /// steps; the issue bound allows 1 ULP per step. In practice the two
+    /// implementations are bit-identical (same per-lane IEEE ops, no
+    /// FMA), so this bound is loose by construction.
+    fn ulp_budget(len: usize) -> u64 {
+        (len / kernels::LANES + kernels::LANES + 1) as u64
+    }
+
+    proptest! {
+        /// Scalar vs dispatched (AVX2 on x86 hosts) L2: within 1 ULP per
+        /// lane-reduction step.
+        #[test]
+        fn l2_scalar_vs_simd(
+            seed in any::<u64>(),
+            len in 1usize..200,
+        ) {
+            let ds = vecgen::generate(vecgen::VecGenParams {
+                n: 2, dim: len, clusters: 1, seed, ..Default::default()
+            });
+            let (a, b) = (ds.row(0), ds.row(1));
+            let s = kernels::l2_scalar(a, b);
+            let v = kernels::l2(a, b);
+            prop_assert!(
+                ulp_diff(s, v) <= ulp_budget(len),
+                "scalar {s} vs simd {v}: {} ULPs over budget {}",
+                ulp_diff(s, v), ulp_budget(len)
+            );
+        }
+
+        /// Scalar vs dispatched inner product, same bound.
+        #[test]
+        fn ip_scalar_vs_simd(
+            seed in any::<u64>(),
+            len in 1usize..200,
+        ) {
+            let ds = vecgen::generate(vecgen::VecGenParams {
+                n: 2, dim: len, clusters: 1, seed, ..Default::default()
+            });
+            let (a, b) = (ds.row(0), ds.row(1));
+            let s = kernels::ip_scalar(a, b);
+            let v = kernels::ip(a, b);
+            prop_assert!(
+                ulp_diff(s, v) <= ulp_budget(len),
+                "scalar {s} vs simd {v}: {} ULPs over budget {}",
+                ulp_diff(s, v), ulp_budget(len)
+            );
+        }
+
+    }
+
+    proptest! {
+        // Each case trains a full codebook; keep the count affordable.
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// PQ encode→decode on seeded Gaussian mixtures, trained on
+        /// residuals (point minus its component mean) exactly as the IVF
+        /// path trains it: the mean squared reconstruction error must land
+        /// below the residual energy itself — quantizing to the nearest of
+        /// k trained centroids has to beat emitting the cluster mean.
+        #[test]
+        fn pq_reconstruction_bounded(seed in any::<u64>()) {
+            let dim = 16usize;
+            let sigma = 0.35f32;
+            let ds = vecgen::generate(vecgen::VecGenParams {
+                n: 512, dim, clusters: 4, seed, sigma, ..Default::default()
+            });
+            // Residualize against the per-component empirical mean.
+            let mut means = vec![0f64; 4 * dim];
+            let mut counts = [0u64; 4];
+            for i in 0..ds.len() {
+                let c = ds.labels[i] as usize;
+                counts[c] += 1;
+                for (d, v) in ds.row(i).iter().enumerate() {
+                    means[c * dim + d] += *v as f64;
+                }
+            }
+            let mut residuals = vec![0f32; ds.len() * dim];
+            for i in 0..ds.len() {
+                let c = ds.labels[i] as usize;
+                for (d, v) in ds.row(i).iter().enumerate() {
+                    residuals[i * dim + d] =
+                        v - (means[c * dim + d] / counts[c] as f64) as f32;
+                }
+            }
+            let cb = PqCodebook::train(
+                &residuals, dim, PqParams { m: 4, k: 16, iters: 6 }, seed ^ 1);
+            let mut code = vec![0u8; 4];
+            let mut rec = vec![0f32; dim];
+            let mut err = 0f64;
+            let mut energy = 0f64;
+            for i in 0..ds.len() {
+                let r = &residuals[i * dim..(i + 1) * dim];
+                cb.encode_into(r, &mut code);
+                cb.decode_into(&code, &mut rec);
+                err += kernels::l2_scalar(r, &rec) as f64;
+                energy += kernels::ip_scalar(r, r) as f64;
+            }
+            let mse = err / ds.len() as f64;
+            let residual_energy = energy / ds.len() as f64;
+            prop_assert!(
+                mse < residual_energy,
+                "PQ mse {mse} vs residual energy {residual_energy}"
+            );
+        }
+    }
+}

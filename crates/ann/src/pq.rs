@@ -1,0 +1,254 @@
+//! Product quantization: compact codes for the hot tier.
+//!
+//! MaxMem-style tiered colocation motivates the split: an `m`-byte PQ code
+//! approximates a `dim * 4`-byte vector, so the hot tier holds
+//! `dim * 4 / m` times more vectors per byte than full precision. Codes
+//! are trained on *residuals* (vector minus its IVF list centroid), the
+//! classic IVF-PQ construction: the coarse quantizer removes the
+//! between-cluster variance, leaving the codebook the easier job of
+//! quantizing the within-cluster spread. Queries score candidates with an
+//! asymmetric-distance (ADC) lookup table and re-rank the best few from
+//! the full-precision postings that page in from the capacity tier.
+
+use megammap::tx::splitmix64;
+
+use crate::kernels;
+
+/// Product-quantization training parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PqParams {
+    /// Subspaces (bytes per code). Must divide the dimensionality.
+    pub m: usize,
+    /// Centroids per subspace (≤ 256 so one code fits a byte).
+    pub k: usize,
+    /// Lloyd iterations per subspace.
+    pub iters: usize,
+}
+
+impl Default for PqParams {
+    fn default() -> Self {
+        Self { m: 8, k: 64, iters: 8 }
+    }
+}
+
+/// Seeded Lloyd k-means over `n = data.len() / dim` row-major points.
+/// Deterministic in `(data, dim, k, iters, seed)`: seeded-row init, fixed
+/// assignment order, f64 accumulation, and deterministic empty-cluster
+/// reseeding. Returns `k * dim` row-major centroids.
+pub fn kmeans(data: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> Vec<f32> {
+    let n = data.len() / dim;
+    assert!(n >= k, "k-means needs at least k points ({n} < {k})");
+    let row = |i: usize| &data[i * dim..(i + 1) * dim];
+    // Init: k seeded distinct rows (linear-probe duplicates away).
+    let mut taken = vec![false; n];
+    let mut centroids = Vec::with_capacity(k * dim);
+    for c in 0..k {
+        let mut i = (splitmix64(seed.wrapping_add(c as u64)) % n as u64) as usize;
+        while taken[i] {
+            i = (i + 1) % n;
+        }
+        taken[i] = true;
+        centroids.extend_from_slice(row(i));
+    }
+    let mut assign = vec![0usize; n];
+    for round in 0..iters {
+        for (i, slot) in assign.iter_mut().enumerate() {
+            let mut best = (f32::INFINITY, 0usize);
+            for c in 0..k {
+                let d = kernels::l2(row(i), &centroids[c * dim..(c + 1) * dim]);
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            *slot = best.1;
+        }
+        let mut sums = vec![0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for (i, &c) in assign.iter().enumerate() {
+            counts[c] += 1;
+            for (d, v) in row(i).iter().enumerate() {
+                sums[c * dim + d] += *v as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Deterministic reseed: an arbitrary-but-fixed row keeps
+                // every centroid meaningful without RNG state.
+                let i = (splitmix64(seed ^ (round as u64) << 32 ^ c as u64) % n as u64) as usize;
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(row(i));
+                continue;
+            }
+            for d in 0..dim {
+                centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+            }
+        }
+    }
+    centroids
+}
+
+/// A trained product-quantization codebook.
+#[derive(Debug, Clone)]
+pub struct PqCodebook {
+    /// Full dimensionality.
+    pub dim: usize,
+    /// Subspaces (bytes per code).
+    pub m: usize,
+    /// Centroids per subspace.
+    pub k: usize,
+    /// `m * k * sub` centroids: subspace-major, then centroid, then coord.
+    centroids: Vec<f32>,
+}
+
+impl PqCodebook {
+    /// Coordinates per subspace.
+    pub fn sub(&self) -> usize {
+        self.dim / self.m
+    }
+
+    /// Train on `n = data.len() / dim` row-major (residual) vectors.
+    pub fn train(data: &[f32], dim: usize, params: PqParams, seed: u64) -> Self {
+        assert!(dim.is_multiple_of(params.m), "m={} must divide dim={dim}", params.m);
+        assert!(params.k <= 256, "PQ codes must fit one byte");
+        let sub = dim / params.m;
+        let n = data.len() / dim;
+        let mut centroids = Vec::with_capacity(params.m * params.k * sub);
+        let mut slice = vec![0f32; n * sub];
+        for j in 0..params.m {
+            for i in 0..n {
+                slice[i * sub..(i + 1) * sub]
+                    .copy_from_slice(&data[i * dim + j * sub..i * dim + (j + 1) * sub]);
+            }
+            centroids.extend(kmeans(
+                &slice,
+                sub,
+                params.k,
+                params.iters,
+                seed.wrapping_add(j as u64),
+            ));
+        }
+        Self { dim, m: params.m, k: params.k, centroids }
+    }
+
+    /// Centroid `c` of subspace `j`.
+    fn centroid(&self, j: usize, c: usize) -> &[f32] {
+        let sub = self.sub();
+        let base = (j * self.k + c) * sub;
+        &self.centroids[base..base + sub]
+    }
+
+    /// Encode one vector into `m` bytes (nearest centroid per subspace).
+    pub fn encode_into(&self, v: &[f32], out: &mut [u8]) {
+        let sub = self.sub();
+        for j in 0..self.m {
+            let s = &v[j * sub..(j + 1) * sub];
+            let mut best = (f32::INFINITY, 0usize);
+            for c in 0..self.k {
+                let d = kernels::l2(s, self.centroid(j, c));
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            out[j] = best.1 as u8;
+        }
+    }
+
+    /// Decode `m` bytes back to the reconstructed vector.
+    pub fn decode_into(&self, code: &[u8], out: &mut [f32]) {
+        let sub = self.sub();
+        for j in 0..self.m {
+            out[j * sub..(j + 1) * sub].copy_from_slice(self.centroid(j, code[j] as usize));
+        }
+    }
+
+    /// ADC lookup table for a query (residual): `m * k` squared distances
+    /// from each query subvector to each subspace centroid.
+    pub fn adc_table(&self, q: &[f32]) -> Vec<f32> {
+        let sub = self.sub();
+        let mut table = Vec::with_capacity(self.m * self.k);
+        for j in 0..self.m {
+            let s = &q[j * sub..(j + 1) * sub];
+            for c in 0..self.k {
+                table.push(kernels::l2(s, self.centroid(j, c)));
+            }
+        }
+        table
+    }
+
+    /// Approximate squared distance of a code against an ADC table.
+    #[inline]
+    pub fn adc_distance(&self, table: &[f32], code: &[u8]) -> f32 {
+        let mut d = 0f32;
+        for (j, &c) in code.iter().enumerate() {
+            d += table[j * self.k + c as usize];
+        }
+        d
+    }
+
+    /// Bytes of full precision replaced by one code byte.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.dim * std::mem::size_of::<f32>()) as f64 / self.m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_recovers_separated_clusters() {
+        // Two far-apart 1-D clusters; k-means must place one centroid each.
+        let mut data = Vec::new();
+        for i in 0..16 {
+            data.push(i as f32 * 0.01);
+            data.push(100.0 + i as f32 * 0.01);
+        }
+        let cents = kmeans(&data, 1, 2, 6, 1);
+        let (lo, hi) = (cents[0].min(cents[1]), cents[0].max(cents[1]));
+        assert!(lo < 1.0 && hi > 99.0, "centroids {cents:?}");
+    }
+
+    #[test]
+    fn encode_decode_round_trip_reduces_error() {
+        let ds = megammap_workloads::vecgen::generate(megammap_workloads::vecgen::VecGenParams {
+            n: 512,
+            dim: 16,
+            clusters: 4,
+            ..Default::default()
+        });
+        let cb = PqCodebook::train(&ds.data, 16, PqParams { m: 4, k: 16, iters: 6 }, 3);
+        let mut code = vec![0u8; 4];
+        let mut rec = vec![0f32; 16];
+        let mut err = 0f64;
+        let mut norm = 0f64;
+        for i in 0..ds.len() {
+            cb.encode_into(ds.row(i), &mut code);
+            cb.decode_into(&code, &mut rec);
+            err += kernels::l2_scalar(ds.row(i), &rec) as f64;
+            norm += kernels::l2_scalar(ds.row(i), &[0f32; 16]) as f64;
+        }
+        assert!(err < norm * 0.5, "reconstruction error {err} vs energy {norm}");
+        assert_eq!(cb.compression_ratio(), 16.0);
+    }
+
+    #[test]
+    fn adc_matches_decoded_distance() {
+        let ds = megammap_workloads::vecgen::generate(megammap_workloads::vecgen::VecGenParams {
+            n: 256,
+            dim: 8,
+            clusters: 2,
+            ..Default::default()
+        });
+        let cb = PqCodebook::train(&ds.data, 8, PqParams { m: 2, k: 8, iters: 4 }, 5);
+        let q = ds.row(0).to_vec();
+        let table = cb.adc_table(&q);
+        let mut code = vec![0u8; 2];
+        let mut rec = vec![0f32; 8];
+        for i in 1..20 {
+            cb.encode_into(ds.row(i), &mut code);
+            cb.decode_into(&code, &mut rec);
+            let exact = kernels::l2_scalar(&q, &rec);
+            let adc = cb.adc_distance(&table, &code);
+            assert!((exact - adc).abs() <= exact.abs() * 1e-4 + 1e-4, "{exact} vs {adc}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Measurement harness shared by the `mm_ann` binary and mm_bench's
+//! `ann_path` section: run a fixed query set through a published index and
+//! report recall plus virtual-time latency and fault-volume observables.
+//! Everything here is deterministic — latencies are virtual, volumes come
+//! from the runtime's conserved counters.
+
+use megammap::prelude::*;
+use megammap_cluster::Proc;
+use megammap_workloads::vecgen::VecDataset;
+
+use crate::ivf::{brute_force_topk, recall_at, IvfIndex};
+
+/// Per-(path, cap, config) observables for one query sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PathStats {
+    /// Mean recall@10 over the query set.
+    pub recall_at_10: f64,
+    /// Median per-query virtual latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile per-query virtual latency (ns).
+    pub p99_ns: u64,
+    /// Bytes fetched into the pcache per query: demand-faulted bytes
+    /// (`runtime.fault_bytes` delta) plus speculative prefetch volume —
+    /// Seq-kind list scans pull their window through the prefetcher, so
+    /// counting demand faults alone would hide the flat path's traffic.
+    pub bytes_per_query: u64,
+    /// Demand faults per query.
+    pub faults_per_query: f64,
+    /// Prefetches issued over the sweep (zero on the Random-hinted path's
+    /// re-rank transactions; list scans may prefetch).
+    pub prefetches: u64,
+}
+
+/// Exact top-`k` ids for every query (scalar kernel; dispatch-independent).
+pub fn ground_truth(ds: &VecDataset, queries: &[f32], k: usize) -> Vec<Vec<u32>> {
+    queries.chunks(ds.dim).map(|q| brute_force_topk(ds, q, k)).collect()
+}
+
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as u64 * p / 100) as usize]
+}
+
+/// Run every query through `idx` on the chosen path, measuring per-query
+/// virtual latency and the runtime's fault-volume counters.
+pub fn measure(
+    rt: &Runtime,
+    p: &Proc,
+    idx: &IvfIndex,
+    queries: &[f32],
+    gt: &[Vec<u32>],
+    topk: usize,
+    pq: bool,
+) -> Result<PathStats, MmError> {
+    let dim = idx.model().dim;
+    let nq = (queries.len() / dim) as u64;
+    let before = rt.stats();
+    let mut lats = Vec::with_capacity(nq as usize);
+    let mut recall_sum = 0f64;
+    for (qi, q) in queries.chunks(dim).enumerate() {
+        let t0 = p.now();
+        let hits = if pq { idx.search_pq(p, q, topk)? } else { idx.search_flat(p, q, topk)? };
+        lats.push(p.now() - t0);
+        recall_sum += recall_at(&gt[qi], &hits, topk);
+    }
+    let after = rt.stats();
+    lats.sort_unstable();
+    let page = idx.page_size();
+    let prefetches = after.prefetches - before.prefetches;
+    Ok(PathStats {
+        recall_at_10: recall_sum / nq as f64,
+        p50_ns: percentile(&lats, 50),
+        p99_ns: percentile(&lats, 99),
+        bytes_per_query: (after.fault_bytes - before.fault_bytes + prefetches * page) / nq,
+        faults_per_query: (after.faults - before.faults) as f64 / nq as f64,
+        prefetches,
+    })
+}

@@ -7,12 +7,14 @@
 //! latency percentiles.
 //!
 //! Output goes to `BENCH_<YYYY-MM-DD>.json` in the current directory, or
-//! to the path in `MM_BENCH_OUT` if set. The schema (`mm-bench/v3`) is
+//! to the path in `MM_BENCH_OUT` if set. The schema (`mm-bench/v4`) is
 //! documented in `DESIGN.md`; v2 added the `shard_path` section (shard
 //! queue-delay p99, ownership fast-path hit rate, batched crossings); v3
-//! adds the `scale_path` section (weak-scaling efficiency trajectory at
+//! added the `scale_path` section (weak-scaling efficiency trajectory at
 //! 4/16/64/256 nodes plus the chaos-recovery virtual cost, all
-//! deterministic virtual-time numbers).
+//! deterministic virtual-time numbers); v4 adds the `ann_path` section
+//! (IVF search recall, virtual-time search percentiles, bytes faulted per
+//! query on the flat and PQ paths, and the PQ compression ratio).
 //!
 //! `mm_bench --compare <old.json> <new.json>` diffs two snapshots: it
 //! prints a per-metric delta table and exits non-zero when any gated
@@ -402,15 +404,21 @@ fn flat_numbers(src: &str) -> BTreeMap<String, f64> {
 
 /// Gated metrics: `(key, max relative growth)` — the new value may exceed
 /// the old by at most this fraction before `--compare` fails.
-const RATIO_GATES: [(&str, f64); 4] = [
+const RATIO_GATES: [(&str, f64); 6] = [
     ("fault_path.fault_from_scache_ns_per_iter", 0.10),
     ("fault_path.pcache_hit_ns_per_iter", 0.15),
     ("fault_latency.p99_ns", 0.20),
     ("shard_path.shard_queue_delay_p99_ns", 0.20),
+    ("ann_path.search_p99_ns_pq", 0.20),
+    ("ann_path.bytes_faulted_per_query_pq", 0.20),
 ];
 
 /// Weak-scaling efficiency floor at the largest trajectory point.
 const EFFICIENCY_FLOOR: f64 = 0.5;
+
+/// Absolute recall floors on the ANN search paths: `(key, floor)`.
+const RECALL_FLOORS: [(&str, f64); 2] =
+    [("ann_path.recall_at_10_flat", 0.90), ("ann_path.recall_at_10_pq", 0.85)];
 
 fn fmt_num(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
@@ -488,6 +496,13 @@ fn compare(old_path: &str, new_path: &str) -> i32 {
             ));
         }
     }
+    for (key, fl) in RECALL_FLOORS {
+        if let Some(&recall) = new.get(key) {
+            if recall < fl {
+                failures.push(format!("{key}: {recall:.4} below recall floor {fl}"));
+            }
+        }
+    }
 
     if failures.is_empty() {
         println!("gates: all passed");
@@ -526,6 +541,61 @@ fn scale_path_json() -> String {
     )
 }
 
+/// Deterministic ANN search observables: a small seeded corpus through one
+/// published IVF index on a DRAM+NVMe stack, both search paths. Everything
+/// here is virtual-time / conserved-counter, so the section is
+/// bit-deterministic across runs.
+fn ann_path_json() -> String {
+    use megammap_ann::{ground_truth, measure, IvfIndex, IvfModel, IvfParams, ServingCaps};
+    use megammap_workloads::vecgen;
+    const PAGE: u64 = 1024;
+    const TOPK: usize = 10;
+    let ds = vecgen::generate(vecgen::VecGenParams {
+        n: 2048,
+        dim: 64,
+        clusters: 16,
+        seed: 42,
+        ..Default::default()
+    });
+    let queries = vecgen::queries(&ds, 32, 777, 0.1);
+    let gt = ground_truth(&ds, &queries, TOPK);
+    let params = IvfParams { nlist: 16, nprobe: 4, ..Default::default() };
+    let model = std::sync::Arc::new(IvfModel::train(&ds, params));
+    let ratio = model.pq.as_ref().map(|c| c.compression_ratio()).unwrap_or(1.0);
+    let cluster = Cluster::new(ClusterSpec::new(1, 1));
+    let cfg = RuntimeConfig::default()
+        .with_page_size(PAGE)
+        .with_tiers(vec![DeviceSpec::dram(256 * 1024), DeviceSpec::nvme(8 << 20)]);
+    let rt = Runtime::new(&cluster, cfg);
+    let rt2 = rt.clone();
+    let ((flat, pq), _) = cluster.run_once(move |p| {
+        IvfIndex::publish(&rt2, p, "bench", &model, PAGE).expect("publish");
+        let idx = IvfIndex::open(
+            &rt2,
+            p,
+            "bench",
+            model.clone(),
+            PAGE,
+            ServingCaps { postings_pcache: 32 * 1024, codes_pcache: 64 * 1024 },
+        )
+        .expect("open");
+        let flat = measure(&rt2, p, &idx, &queries, &gt, TOPK, false).expect("flat");
+        let pq = measure(&rt2, p, &idx, &queries, &gt, TOPK, true).expect("pq");
+        (flat, pq)
+    });
+    format!(
+        "  \"ann_path\": {{\n    \"recall_at_10_flat\": {:.4},\n    \"recall_at_10_pq\": {:.4},\n    \"search_p50_ns_flat\": {},\n    \"search_p99_ns_flat\": {},\n    \"search_p50_ns_pq\": {},\n    \"search_p99_ns_pq\": {},\n    \"bytes_faulted_per_query_flat\": {},\n    \"bytes_faulted_per_query_pq\": {},\n    \"pq_compression_ratio\": {ratio:.1}\n  }}",
+        flat.recall_at_10,
+        pq.recall_at_10,
+        flat.p50_ns,
+        flat.p99_ns,
+        pq.p50_ns,
+        pq.p99_ns,
+        flat.bytes_per_query,
+        pq.bytes_per_query,
+    )
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     if argv.get(1).is_some_and(|a| a == "--compare") {
@@ -554,10 +624,12 @@ fn main() {
     let (p50, p99, p999, faults) = fault_latency_percentiles();
     eprintln!("mm_bench: measuring shard-path observables ...");
     let (queue_p99, hit_rate, hits, misses, crossings) = shard_path_metrics();
+    eprintln!("mm_bench: measuring ann search paths ...");
+    let ann_json = ann_path_json();
     let scale_json = scale_path_json();
 
     let json = format!(
-        "{{\n  \"schema\": \"mm-bench/v3\",\n  \"generated_unix\": {now_unix},\n  \"date\": \"{y:04}-{m:02}-{d:02}\",\n  \"fault_path\": {{\n    \"pcache_hit_ns_per_iter\": {hit_ns:.1},\n    \"fault_from_scache_ns_per_iter\": {fault_ns:.1}\n  }},\n  \"telemetry\": {{\n    \"overhead_pct\": {overhead_pct:.2},\n    \"budget_pct\": 2.0\n  }},\n  \"fault_latency\": {{\n    \"tenant\": \"bench\",\n    \"faults\": {faults},\n    \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"p999_ns\": {p999}\n  }},\n  \"shard_path\": {{\n    \"shard_queue_delay_p99_ns\": {queue_p99},\n    \"owner_fast_hit_rate\": {hit_rate:.4},\n    \"owner_fast_hits\": {hits},\n    \"owner_fast_misses\": {misses},\n    \"batched_crossings\": {crossings}\n  }},\n{scale_json}\n}}\n"
+        "{{\n  \"schema\": \"mm-bench/v4\",\n  \"generated_unix\": {now_unix},\n  \"date\": \"{y:04}-{m:02}-{d:02}\",\n  \"fault_path\": {{\n    \"pcache_hit_ns_per_iter\": {hit_ns:.1},\n    \"fault_from_scache_ns_per_iter\": {fault_ns:.1}\n  }},\n  \"telemetry\": {{\n    \"overhead_pct\": {overhead_pct:.2},\n    \"budget_pct\": 2.0\n  }},\n  \"fault_latency\": {{\n    \"tenant\": \"bench\",\n    \"faults\": {faults},\n    \"p50_ns\": {p50},\n    \"p99_ns\": {p99},\n    \"p999_ns\": {p999}\n  }},\n  \"shard_path\": {{\n    \"shard_queue_delay_p99_ns\": {queue_p99},\n    \"owner_fast_hit_rate\": {hit_rate:.4},\n    \"owner_fast_hits\": {hits},\n    \"owner_fast_misses\": {misses},\n    \"batched_crossings\": {crossings}\n  }},\n{ann_json},\n{scale_json}\n}}\n"
     );
 
     let path = std::env::var("MM_BENCH_OUT")
@@ -573,5 +645,6 @@ fn main() {
         hit_rate * 100.0,
         total = hits + misses
     );
+    println!("  ann path: see the ann_path section of {path}");
     println!("  scale path: see the scale_path section of {path}");
 }

@@ -72,7 +72,7 @@ pub use pagebuf::PageBuf;
 pub use policy::{Access, Policy, TenantClass};
 pub use runtime::Runtime;
 pub use tenant::{TenantAccount, TenantId, TenantLedger};
-pub use tx::{Transaction, TxKind};
+pub use tx::{AccessPattern, Transaction, TxKind};
 pub use txguard::TxScope;
 pub use vector::MmVec;
 
@@ -85,7 +85,7 @@ pub mod prelude {
     pub use crate::policy::{Access, Policy, TenantClass};
     pub use crate::runtime::Runtime;
     pub use crate::tenant::{TenantAccount, TenantId, TenantLedger};
-    pub use crate::tx::{Transaction, TxKind};
+    pub use crate::tx::{AccessPattern, Transaction, TxKind};
     pub use crate::txguard::TxScope;
     pub use crate::vector::MmVec;
 }

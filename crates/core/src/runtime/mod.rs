@@ -168,6 +168,11 @@ pub struct Stats {
     /// still-shared pages and scache patches of shared blobs — the proof
     /// that the zero-copy pipeline stays zero-copy.
     pub bytes_copied: Counter,
+    /// Page-payload bytes pulled in by synchronous demand faults — demand
+    /// page plus any coalesced neighbours, but not speculative prefetch
+    /// windows (`runtime.fault_bytes`). Dividing a delta of this by a query
+    /// count gives bytes-faulted-per-query (mm_ann's thrash observable).
+    pub fault_bytes: Counter,
     /// Extra pages served by a coalesced (ranged) fault — contiguous pages
     /// that shared one MemoryTask dispatch instead of paying their own
     /// (`runtime.coalesced_faults`).
@@ -218,6 +223,7 @@ impl Stats {
             tasks_high: t.counter("runtime", "tasks_high", &[]),
             invalidations: t.counter("runtime", "invalidations", &[]),
             bytes_copied: t.counter("runtime", "bytes_copied", &[]),
+            fault_bytes: t.counter("runtime", "fault_bytes", &[]),
             coalesced: t.counter("runtime", "coalesced_faults", &[]),
             owner_hits: t.counter("runtime", "owner_fast_hits", &[]),
             owner_misses: t.counter("runtime", "owner_fast_misses", &[]),
@@ -267,6 +273,8 @@ pub struct StatsSnapshot {
     pub invalidations: u64,
     /// See [`Stats::bytes_copied`].
     pub bytes_copied: u64,
+    /// See [`Stats::fault_bytes`].
+    pub fault_bytes: u64,
     /// See [`Stats::coalesced`].
     pub coalesced_faults: u64,
     /// See [`Stats::owner_hits`].
@@ -409,6 +417,7 @@ impl Runtime {
             tasks_high: s.tasks_high.get(),
             invalidations: s.invalidations.get(),
             bytes_copied: s.bytes_copied.get(),
+            fault_bytes: s.fault_bytes.get(),
             coalesced_faults: s.coalesced.get(),
             owner_fast_hits: s.owner_hits.get(),
             owner_fast_misses: s.owner_misses.get(),

@@ -88,6 +88,30 @@ impl TxKind {
     }
 }
 
+/// Spatial-locality hint on a read transaction, orthogonal to [`TxKind`].
+///
+/// `TxKind` declares *which* elements an access phase touches; the hint
+/// declares how much speculative work the fault path should do about them.
+/// Point-lookup workloads (ANN re-ranking, serving reads) know their
+/// accesses have no spatial locality: for them the prefetcher's window
+/// scoring is pure overhead on every miss. `Random` turns it off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessPattern {
+    /// Infer behaviour from the [`TxKind`] (the default): sequential and
+    /// append patterns prefetch and coalesce, random patterns are scored
+    /// with retouch protection.
+    #[default]
+    Auto,
+    /// Assert the default windowed prefetch behaviour explicitly (useful
+    /// when a `Rand`-kind stream is known to revisit a small working set
+    /// the scorer should keep resident).
+    Sequential,
+    /// Point lookups with no spatial locality: zero the prefetch window,
+    /// skip score bookkeeping on the fault path, and never coalesce
+    /// speculative neighbours into a demand miss.
+    Random,
+}
+
 /// SplitMix64: a tiny, high-quality hash for reproducible random streams.
 #[inline]
 pub fn splitmix64(mut x: u64) -> u64 {
@@ -111,13 +135,30 @@ pub struct Transaction {
     /// Collective group size, if the region is accessed by a process group
     /// through the Collective hint.
     pub collective: Option<usize>,
+    /// Spatial-locality hint steering prefetch aggressiveness.
+    pub pattern: AccessPattern,
     pub(crate) elem_size: u64,
     pub(crate) page_size: u64,
 }
 
 impl Transaction {
     pub(crate) fn new(kind: TxKind, access: Access, elem_size: u64, page_size: u64) -> Self {
-        Self { kind, access, head: 0, tail: 0, collective: None, elem_size, page_size }
+        Self {
+            kind,
+            access,
+            head: 0,
+            tail: 0,
+            collective: None,
+            pattern: AccessPattern::Auto,
+            elem_size,
+            page_size,
+        }
+    }
+
+    /// Attach a spatial-locality hint (builder-style).
+    pub fn with_pattern(mut self, pattern: AccessPattern) -> Self {
+        self.pattern = pattern;
+        self
     }
 
     /// Mark this transaction collective over a group of `n` processes.

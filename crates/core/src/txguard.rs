@@ -16,7 +16,7 @@ use megammap_cluster::Proc;
 use crate::element::Element;
 use crate::error::Result;
 use crate::policy::Access;
-use crate::tx::TxKind;
+use crate::tx::{AccessPattern, TxKind};
 use crate::vector::{MmVec, TxHandle};
 
 /// An active transaction bound to its vector and process: ends on drop or
@@ -32,6 +32,20 @@ impl<'v, T: Element> TxScope<'v, T> {
     /// Begin a transaction on `vec` (see [`MmVec::tx_begin`]).
     pub fn begin(vec: &'v MmVec<T>, p: &'v Proc, kind: TxKind, access: Access) -> Result<Self> {
         let handle = vec.try_tx_begin(p, kind, access)?;
+        Ok(Self { vec, proc: p, handle: Some(handle) })
+    }
+
+    /// Begin a transaction carrying an explicit [`AccessPattern`] hint.
+    /// `AccessPattern::Random` zeroes the prefetch window and skips score
+    /// bookkeeping on every miss (point-lookup workloads).
+    pub fn begin_hinted(
+        vec: &'v MmVec<T>,
+        p: &'v Proc,
+        kind: TxKind,
+        access: Access,
+        pattern: AccessPattern,
+    ) -> Result<Self> {
+        let handle = vec.begin_hinted(p, kind, access, pattern)?;
         Ok(Self { vec, proc: p, handle: Some(handle) })
     }
 
@@ -87,6 +101,17 @@ impl<T: Element> MmVec<T> {
     /// [`end`](TxScope::end) or drop.
     pub fn tx<'v>(&'v self, p: &'v Proc, kind: TxKind, access: Access) -> Result<TxScope<'v, T>> {
         TxScope::begin(self, p, kind, access)
+    }
+
+    /// Begin a scoped transaction with an explicit access-pattern hint.
+    pub fn tx_hinted<'v>(
+        &'v self,
+        p: &'v Proc,
+        kind: TxKind,
+        access: Access,
+        pattern: AccessPattern,
+    ) -> Result<TxScope<'v, T>> {
+        TxScope::begin_hinted(self, p, kind, access, pattern)
     }
 
     /// Begin a scoped collective transaction.

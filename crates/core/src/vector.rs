@@ -29,7 +29,7 @@ use crate::policy::{Access, Policy};
 use crate::prefetch::{run_prefetcher, PrefetchEnv};
 use crate::runtime::{Runtime, VectorMeta};
 use crate::tenant::TenantAccount;
-use crate::tx::{Transaction, TxKind};
+use crate::tx::{AccessPattern, Transaction, TxKind};
 
 /// Virtual-ns bucket bounds for per-tenant fault-latency histograms: DRAM
 /// hits sit in the first buckets, cross-node / slow-tier faults in the last.
@@ -81,6 +81,9 @@ pub struct MmVec<T: Element> {
     /// Bytes physically copied by copy-on-write promotions — shares the
     /// runtime's `runtime.bytes_copied` registry cell.
     bytes_copied: Counter,
+    /// Bytes pulled by synchronous demand faults (demand page + coalesced
+    /// neighbours) — shares the runtime's `runtime.fault_bytes` cell.
+    fault_bytes: Counter,
     /// Tenant attribution for this handle (mm-serve memory QoS).
     tenant: Option<TenantMetrics>,
     _t: PhantomData<T>,
@@ -130,6 +133,7 @@ impl<T: Element> MmVec<T> {
             no_prefetch: opts.no_prefetch,
             wasted_prefetches: rt.telemetry().counter("prefetch", "wasted", &[("vec", key)]),
             bytes_copied: rt.telemetry().counter("runtime", "bytes_copied", &[]),
+            fault_bytes: rt.telemetry().counter("runtime", "fault_bytes", &[]),
             tenant,
             _t: PhantomData,
         })
@@ -227,6 +231,29 @@ impl<T: Element> MmVec<T> {
     /// [`tx_begin`](Self::tx_begin), surfacing errors (an already-active
     /// transaction, or a failed commit of leftover dirty pages).
     pub fn try_tx_begin(&self, p: &Proc, kind: TxKind, access: Access) -> Result<TxHandle> {
+        self.begin_inner(p, kind, access, AccessPattern::Auto)
+    }
+
+    /// [`try_tx_begin`](Self::try_tx_begin) with an explicit
+    /// [`AccessPattern`] hint. `Random` zeroes the prefetch window and
+    /// skips score bookkeeping on every miss of the transaction.
+    pub(crate) fn begin_hinted(
+        &self,
+        p: &Proc,
+        kind: TxKind,
+        access: Access,
+        pattern: AccessPattern,
+    ) -> Result<TxHandle> {
+        self.begin_inner(p, kind, access, pattern)
+    }
+
+    fn begin_inner(
+        &self,
+        p: &Proc,
+        kind: TxKind,
+        access: Access,
+        pattern: AccessPattern,
+    ) -> Result<TxHandle> {
         {
             let mut pol = self.meta.policy.lock();
             if pol.transition_invalidates(access) {
@@ -258,7 +285,8 @@ impl<T: Element> MmVec<T> {
             let prev = st.tx_seq - 1;
             st.pcache.drop_stale(prev);
         }
-        let mut tx = Transaction::new(kind, access, T::SIZE as u64, self.meta.page_size);
+        let mut tx = Transaction::new(kind, access, T::SIZE as u64, self.meta.page_size)
+            .with_pattern(pattern);
         // Initial prefetch: warm the pipeline before the first access.
         if access.reads() {
             self.run_prefetch(p, &mut st, &mut tx);
@@ -660,6 +688,7 @@ impl<T: Element> MmVec<T> {
             {
                 p.advance_to(done);
                 st.pcache.insert(page, CachedPage::new(PageBuf::shared(data), p.now()));
+                self.fault_bytes.add(self.meta.page_size);
                 if let Some(tm) = &self.tenant {
                     tm.faults.inc();
                     tm.fault_ns.record(p.now().saturating_sub(fault_at));
@@ -724,6 +753,7 @@ impl<T: Element> MmVec<T> {
                 page,
             );
         }
+        self.fault_bytes.add(self.meta.page_size * run);
         if let Some(tm) = &self.tenant {
             tm.faults.inc();
             tm.fault_ns.record(p.now().saturating_sub(fault_at));
@@ -741,7 +771,7 @@ impl<T: Element> MmVec<T> {
             return 1;
         }
         let Some(tx) = st.tx.as_ref() else { return 1 };
-        if !tx.access.reads() {
+        if !tx.access.reads() || tx.pattern == AccessPattern::Random {
             return 1;
         }
         let tx_last = match tx.kind {
@@ -855,7 +885,10 @@ impl<T: Element> MmVec<T> {
     }
 
     fn run_prefetch(&self, p: &Proc, st: &mut VecState, tx: &mut Transaction) {
-        if self.no_prefetch {
+        // `Random`-hinted transactions declare no spatial locality: zero
+        // the window (head catches up to tail) without running Algorithm 1
+        // at all, so the fault path pays no distinct-page window scoring.
+        if self.no_prefetch || tx.pattern == AccessPattern::Random {
             tx.head = tx.tail;
             return;
         }
@@ -1134,6 +1167,44 @@ mod tests {
             // prefetcher stays ahead of a sequential scan.
             assert_eq!(after.faults - before.faults, 0);
             assert_eq!(after.bytes_copied - before.bytes_copied, 0);
+        });
+    }
+
+    #[test]
+    fn random_hint_suppresses_prefetch_and_scoring() {
+        let (cluster, rt) = fixture(1, 1);
+        let rt2 = rt.clone();
+        cluster.run(move |p| {
+            let n = 32 * 1024 / 8;
+            let v: MmVec<u64> =
+                MmVec::open(&rt2, p, "mem://randhint", VecOptions::new().len(n).pcache(8 * 1024))
+                    .unwrap();
+            let tx = v.tx_begin(p, TxKind::seq(0, n), Access::WriteLocal);
+            for i in 0..n {
+                v.store(p, &tx, i, i ^ 0x5a);
+            }
+            v.tx_end(p, tx);
+            // Random-hinted point reads: no prefetch may be issued, no run
+            // coalesced, and every miss is billed to fault_bytes.
+            let vr: MmVec<u64> =
+                MmVec::open(&rt2, p, "mem://randhint", VecOptions::new().len(n).pcache(8 * 1024))
+                    .unwrap();
+            let before = rt2.stats();
+            let tx = vr
+                .tx_hinted(p, TxKind::rand(9, 0, n), Access::ReadOnly, AccessPattern::Random)
+                .unwrap();
+            for k in 0..256u64 {
+                let i = TxKind::rand(9, 0, n).access_index(k);
+                assert_eq!(vr.load(p, &tx, i), i ^ 0x5a);
+            }
+            tx.end().unwrap();
+            let after = rt2.stats();
+            assert_eq!(after.prefetches - before.prefetches, 0, "Random hint must not prefetch");
+            assert_eq!(after.coalesced_faults - before.coalesced_faults, 0);
+            // `faults` counts both dispatched and owner-fast misses.
+            let faults = after.faults - before.faults;
+            assert!(faults > 0, "point reads over a tiny pcache must fault");
+            assert_eq!(after.fault_bytes - before.fault_bytes, faults * 1024);
         });
     }
 

@@ -40,6 +40,7 @@ pub fn run_all(files: &[FileModel]) -> Vec<Finding> {
     out.extend(panic_hygiene(files));
     out.extend(result_hygiene(files));
     out.extend(ownership_release(files));
+    out.extend(simd_fallback(files));
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     out
 }
@@ -599,6 +600,103 @@ pub fn ownership_release(files: &[FileModel]) -> Vec<Finding> {
     out
 }
 
+// ---- rule 8: simd-fallback ------------------------------------------------
+
+/// Crates where SIMD kernels must carry scalar twins and guarded dispatch.
+const SIMD_MODULES: &[&str] = &["crates/ann/"];
+
+/// Every `#[target_feature(enable = "avx2")]` fn must (a) have a
+/// same-arithmetic scalar twin named `{base}_scalar` (base strips a
+/// trailing `_avx2`) in the same file, and (b) be called from exactly one
+/// non-test site, whose enclosing fn gates it with
+/// `is_x86_feature_detected!`. An unguarded call is UB on pre-AVX2 hosts;
+/// a missing twin means non-x86 builds silently lose the kernel.
+pub fn simd_fallback(files: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in files {
+        if !SIMD_MODULES.iter().any(|h| m.path.contains(h)) {
+            continue;
+        }
+        for pos in m.occurrences("#[target_feature(").collect::<Vec<_>>() {
+            // The feature name is a string literal, blanked in scrubbed
+            // text — read it from the raw source.
+            let attr_end = m.src[pos..].find(")]").map_or(m.src.len(), |i| pos + i);
+            if !m.src[pos..attr_end].contains("avx2") {
+                continue;
+            }
+            // The fn this attribute annotates: the next parsed fn item.
+            let Some(f) = m.fns.iter().filter(|f| f.body.start > pos).min_by_key(|f| f.body.start)
+            else {
+                continue;
+            };
+            let base = f.name.strip_suffix("_avx2").unwrap_or(&f.name);
+            let sibling = format!("{base}_scalar");
+            if !m.fns.iter().any(|s| s.name == sibling) {
+                out.push(finding(
+                    "simd-fallback",
+                    m,
+                    pos,
+                    format!(
+                        "avx2 fn `{}` has no scalar twin `{sibling}` in this file — every \
+                         target_feature kernel needs a same-arithmetic fallback",
+                        f.name
+                    ),
+                ));
+            }
+            // Call sites: `name(` occurrences that are neither the
+            // definition nor test code.
+            let needle = format!("{}(", f.name);
+            let mut call_sites = Vec::new();
+            for cpos in m.occurrences(&needle).collect::<Vec<_>>() {
+                if cpos > 0 {
+                    let c = m.scrubbed.as_bytes()[cpos - 1];
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                        continue; // longer identifier or method call
+                    }
+                }
+                if m.scrubbed[..cpos].trim_end().ends_with("fn") {
+                    continue; // the definition itself
+                }
+                if m.in_test(cpos) {
+                    continue;
+                }
+                call_sites.push(cpos);
+            }
+            if call_sites.len() != 1 {
+                out.push(finding(
+                    "simd-fallback",
+                    m,
+                    call_sites.first().copied().unwrap_or(pos),
+                    format!(
+                        "avx2 fn `{}` must have exactly one non-test call site (the guarded \
+                         dispatcher), found {}",
+                        f.name,
+                        call_sites.len()
+                    ),
+                ));
+                continue;
+            }
+            let c = call_sites[0];
+            let guarded = m
+                .enclosing_fn(c)
+                .is_some_and(|g| m.scrubbed[g.body.clone()].contains("is_x86_feature_detected!"));
+            if !guarded {
+                out.push(finding(
+                    "simd-fallback",
+                    m,
+                    c,
+                    format!(
+                        "call to avx2 fn `{}` is not inside a fn that checks \
+                         `is_x86_feature_detected!` — UB on hosts without AVX2",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -901,5 +999,60 @@ mod tests {
             "#[cfg(test)]\nmod tests { fn claim_it(d: &Dir) -> Result<()> { d.claim(id)?; Ok(()) } }",
         );
         assert!(ownership_release(&[m]).is_empty());
+    }
+
+    const SIMD_OK: &str = r#"
+#[target_feature(enable = "avx2")]
+unsafe fn l2_avx2(a: &[f32], b: &[f32]) -> f32 { go(a, b) }
+fn l2_scalar(a: &[f32], b: &[f32]) -> f32 { go(a, b) }
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    if is_x86_feature_detected!("avx2") { return unsafe { l2_avx2(a, b) }; }
+    l2_scalar(a, b)
+}
+"#;
+
+    #[test]
+    fn guarded_avx2_kernel_with_scalar_twin_passes() {
+        let m = file("crates/ann/src/kernels.rs", SIMD_OK);
+        assert!(simd_fallback(&[m]).is_empty());
+        // The rule is scoped to the ann crate: the same shape elsewhere,
+        // even broken, is out of jurisdiction.
+        let elsewhere =
+            file("crates/core/src/vector.rs", &SIMD_OK.replace("fn l2_scalar", "fn l2_other"));
+        assert!(simd_fallback(&[elsewhere]).is_empty());
+    }
+
+    #[test]
+    fn avx2_kernel_without_scalar_twin_is_flagged() {
+        let m = file(
+            "crates/ann/src/kernels.rs",
+            &SIMD_OK
+                .replace("fn l2_scalar", "fn l2_fallback")
+                .replace("l2_scalar(a, b)", "l2_fallback(a, b)"),
+        );
+        let f = simd_fallback(&[m]);
+        assert!(f.iter().any(|x| x.msg.contains("no scalar twin `l2_scalar`")), "{f:?}");
+    }
+
+    #[test]
+    fn unguarded_or_duplicated_avx2_call_site_is_flagged() {
+        // Call site whose enclosing fn never checks the CPU feature.
+        let unguarded = file(
+            "crates/ann/src/kernels.rs",
+            &SIMD_OK.replace(
+                "if is_x86_feature_detected!(\"avx2\") { return unsafe { l2_avx2(a, b) }; }",
+                "return unsafe { l2_avx2(a, b) };",
+            ),
+        );
+        let f = simd_fallback(&[unguarded]);
+        assert!(f.iter().any(|x| x.msg.contains("is_x86_feature_detected!")), "{f:?}");
+
+        // A second non-test call site bypasses the dispatcher.
+        let dup = file(
+            "crates/ann/src/kernels.rs",
+            &format!("{SIMD_OK}\npub fn sneaky(a: &[f32], b: &[f32]) -> f32 {{ unsafe {{ l2_avx2(a, b) }} }}"),
+        );
+        let f = simd_fallback(&[dup]);
+        assert!(f.iter().any(|x| x.msg.contains("exactly one non-test call site")), "{f:?}");
     }
 }

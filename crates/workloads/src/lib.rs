@@ -32,6 +32,7 @@ pub mod kmeans;
 pub mod loader;
 pub mod point;
 pub mod rf;
+pub mod vecgen;
 pub mod verify;
 
 pub use point::Point3D;

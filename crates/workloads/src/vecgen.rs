@@ -1,0 +1,130 @@
+//! Seeded high-dimensional vector datasets for the ANN search workload.
+//!
+//! The inference-serving shape ROADMAP item 2 targets: a corpus of D-dim
+//! embeddings drawn from a Gaussian mixture (queries are perturbed corpus
+//! points, so every query has unambiguous near neighbours), deterministic
+//! in the seed. Both `mm_ann` and the PQ proptests consume this generator,
+//! so the recall numbers in BENCH_*.json and the reconstruction-error
+//! bounds pin the *same* distribution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VecGenParams {
+    /// Corpus size (number of base vectors).
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Mixture components (natural cluster count; IVF lists follow it).
+    pub clusters: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cluster standard deviation.
+    pub sigma: f32,
+    /// Component-center spread (centers drawn uniform in `[0, spread)^dim`).
+    pub spread: f32,
+}
+
+impl Default for VecGenParams {
+    fn default() -> Self {
+        Self { n: 8192, dim: 64, clusters: 32, seed: 42, sigma: 0.35, spread: 10.0 }
+    }
+}
+
+/// A generated corpus: `n` base vectors stored row-major plus the
+/// ground-truth mixture component per vector.
+#[derive(Debug, Clone)]
+pub struct VecDataset {
+    /// Row-major `n x dim` base vectors.
+    pub data: Vec<f32>,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Mixture component per vector.
+    pub labels: Vec<u32>,
+}
+
+impl VecDataset {
+    /// Vector `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// One standard Gaussian sample (Box-Muller, matching `datagen`'s idiom).
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-6..1.0f32);
+    let u2: f32 = rng.gen_range(0.0..1.0f32);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Generate a corpus. Deterministic in the seed.
+pub fn generate(params: VecGenParams) -> VecDataset {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let centers: Vec<f32> =
+        (0..params.clusters * params.dim).map(|_| rng.gen_range(0.0..params.spread)).collect();
+    let mut data = Vec::with_capacity(params.n * params.dim);
+    let mut labels = Vec::with_capacity(params.n);
+    for i in 0..params.n {
+        let c = i % params.clusters;
+        for d in 0..params.dim {
+            data.push(centers[c * params.dim + d] + gaussian(&mut rng) * params.sigma);
+        }
+        labels.push(c as u32);
+    }
+    VecDataset { data, dim: params.dim, labels }
+}
+
+/// Derive `k` query vectors from the corpus: pick seeded corpus rows and
+/// perturb each coordinate with a small Gaussian (so the perturbed source
+/// row stays among the true near neighbours, making recall meaningful).
+pub fn queries(ds: &VecDataset, k: usize, seed: u64, jitter: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(k * ds.dim);
+    for _ in 0..k {
+        let src = rng.gen_range(0..ds.len());
+        for d in 0..ds.dim {
+            out.push(ds.row(src)[d] + gaussian(&mut rng) * jitter);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(VecGenParams { n: 128, ..Default::default() });
+        let b = generate(VecGenParams { n: 128, ..Default::default() });
+        assert_eq!(a.data, b.data);
+        let c = generate(VecGenParams { n: 128, seed: 7, ..Default::default() });
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn queries_track_corpus_rows() {
+        let ds = generate(VecGenParams { n: 256, dim: 16, ..Default::default() });
+        let qs = queries(&ds, 8, 99, 0.05);
+        assert_eq!(qs.len(), 8 * 16);
+        // Every query must sit close to at least one corpus row.
+        for q in qs.chunks(16) {
+            let best = (0..ds.len())
+                .map(|i| ds.row(i).iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum::<f32>())
+                .fold(f32::INFINITY, f32::min);
+            assert!(best < 1.0, "query strayed {best} from the corpus");
+        }
+    }
+}
