@@ -19,7 +19,9 @@ use megammap_cluster::{Cluster, ClusterSpec};
 use std::time::Instant;
 
 const N: u64 = 64 * 1024;
-const BATCHES: usize = 15;
+// Enough interleaved batches for both floors to sample a quiet host
+// moment even under single-core-VM steal time.
+const BATCHES: usize = 45;
 const BUDGET_PCT: f64 = 2.0;
 
 /// Minimum over batches: the best estimator of a loop's true cost, since

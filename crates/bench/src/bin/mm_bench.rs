@@ -74,7 +74,7 @@ fn civil_from_days(z: i64) -> (i64, u32, u32) {
 /// Wall-clock ns/iter of the pure pcache hit path.
 fn pcache_hit_ns() -> f64 {
     const ITERS: u64 = 200_000;
-    const BATCHES: usize = 7;
+    const BATCHES: usize = 11;
     let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
     let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(16 * 1024));
     let (ns, _) = cluster.run_once(|p| {
@@ -105,7 +105,10 @@ fn fault_from_scache_ns() -> f64 {
     const PAGES: u64 = 64;
     const PAGE: u64 = 16 * 1024;
     const ITERS: u64 = 20_000;
-    const BATCHES: usize = 5;
+    // Each batch is ~10ms; host steal-time episodes on a single-core VM
+    // last whole seconds, so the batch series must outlast one for the
+    // floor to sample a quiet moment.
+    const BATCHES: usize = 41;
     let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
     let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(PAGE));
     let (ns, _) = cluster.run_once(|p| {
@@ -145,7 +148,10 @@ fn fault_from_scache_ns() -> f64 {
 /// (interleaved enabled/disabled batches, floors compared).
 fn telemetry_overhead_pct() -> f64 {
     const N: u64 = 64 * 1024;
-    const BATCHES: usize = 11;
+    // Floors only converge once both the enabled and disabled series have
+    // sampled a quiet host moment; 11 batches was not enough under steal
+    // time (observed swings of +/-10% on a single-core VM).
+    const BATCHES: usize = 33;
     let cluster = Cluster::new(ClusterSpec::new(1, 1).dram_per_node(1 << 30));
     let rt = Runtime::new(&cluster, RuntimeConfig::default().with_page_size(64 * 1024));
     let tel = cluster.telemetry().clone();
